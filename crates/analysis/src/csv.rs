@@ -1,0 +1,103 @@
+//! Minimal CSV writing (RFC-4180-style quoting) for experiment exports.
+
+use std::fmt::Write as _;
+
+/// A CSV document builder.
+///
+/// # Examples
+///
+/// ```
+/// use distctr_analysis::Csv;
+/// let mut csv = Csv::new(vec!["algo", "n", "load"]);
+/// csv.row(vec!["tree".into(), "81".into(), "52".into()]);
+/// let s = csv.render();
+/// assert_eq!(s.lines().next(), Some("algo,n,load"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Csv {
+    columns: usize,
+    body: String,
+}
+
+impl Csv {
+    /// Starts a document with a header row.
+    #[must_use]
+    pub fn new<S: AsRef<str>>(headers: Vec<S>) -> Self {
+        let mut csv = Csv { columns: headers.len(), body: String::new() };
+        csv.write_row(headers.iter().map(AsRef::as_ref));
+        csv
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.columns, "row width must match header width");
+        self.write_row(cells.iter().map(String::as_str));
+        self
+    }
+
+    fn write_row<'a>(&mut self, cells: impl Iterator<Item = &'a str>) {
+        let mut first = true;
+        for cell in cells {
+            if !first {
+                self.body.push(',');
+            }
+            first = false;
+            let _ = write!(self.body, "{}", escape(cell));
+        }
+        self.body.push('\n');
+    }
+
+    /// The rendered document.
+    #[must_use]
+    pub fn render(&self) -> String {
+        self.body.clone()
+    }
+}
+
+/// Quotes a field if it contains separators, quotes or newlines.
+#[must_use]
+pub fn escape(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_fields_unquoted() {
+        assert_eq!(escape("abc"), "abc");
+        assert_eq!(escape("1.5"), "1.5");
+    }
+
+    #[test]
+    fn special_fields_quoted() {
+        assert_eq!(escape("a,b"), "\"a,b\"");
+        assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(escape("line\nbreak"), "\"line\nbreak\"");
+    }
+
+    #[test]
+    fn document_structure() {
+        let mut csv = Csv::new(vec!["a", "b"]);
+        csv.row(vec!["1".into(), "x,y".into()]);
+        csv.row(vec!["2".into(), "plain".into()]);
+        let s = csv.render();
+        assert_eq!(s, "a,b\n1,\"x,y\"\n2,plain\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_mismatch_panics() {
+        let mut csv = Csv::new(vec!["a"]);
+        csv.row(vec!["1".into(), "2".into()]);
+    }
+}

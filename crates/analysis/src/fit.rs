@@ -1,0 +1,119 @@
+//! Least-squares line fitting, used by experiments to turn "looks
+//! linear/logarithmic" into a checked verdict.
+//!
+//! The headline experiment fits `log(bottleneck)` against `log(n)`: the
+//! centralized counter's slope is ≈ 1 (linear growth), the retirement
+//! tree's is far below (the O(log n / log log n) bound), and the tests
+//! assert that separation numerically.
+
+/// A fitted line `y = slope * x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination (1.0 = perfect fit; 1.0 for
+    /// degenerate inputs with zero variance).
+    pub r_squared: f64,
+}
+
+/// Ordinary least squares over `(x, y)` pairs.
+///
+/// Returns `None` for fewer than two points or zero variance in `x`.
+///
+/// # Examples
+///
+/// ```
+/// use distctr_analysis::fit::linear_fit;
+/// let pts = [(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)];
+/// let fit = linear_fit(&pts).expect("well-posed");
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.intercept - 1.0).abs() < 1e-12);
+/// assert!(fit.r_squared > 0.999);
+/// ```
+#[must_use]
+pub fn linear_fit(points: &[(f64, f64)]) -> Option<LineFit> {
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let mean_x = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let mean_y = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let sxx: f64 = points.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let sxy: f64 = points.iter().map(|p| (p.0 - mean_x) * (p.1 - mean_y)).sum();
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
+        .sum();
+    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    Some(LineFit { slope, intercept, r_squared })
+}
+
+/// Fits `log y` against `log x`: the returned slope is the growth
+/// exponent (`y ~ x^slope`). All coordinates must be strictly positive.
+///
+/// Returns `None` on non-positive inputs or a degenerate fit.
+#[must_use]
+pub fn loglog_fit(points: &[(f64, f64)]) -> Option<LineFit> {
+    if points.iter().any(|&(x, y)| x <= 0.0 || y <= 0.0) {
+        return None;
+    }
+    let logged: Vec<(f64, f64)> = points.iter().map(|&(x, y)| (x.ln(), y.ln())).collect();
+    linear_fit(&logged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_line_is_recovered() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 - 2.0)).collect();
+        let fit = linear_fit(&pts).expect("fit");
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept + 2.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_r_squared_below_one() {
+        let pts = [(0.0, 0.0), (1.0, 1.2), (2.0, 1.8), (3.0, 3.1)];
+        let fit = linear_fit(&pts).expect("fit");
+        assert!(fit.r_squared < 1.0);
+        assert!(fit.r_squared > 0.9);
+        assert!((fit.slope - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(linear_fit(&[]).is_none());
+        assert!(linear_fit(&[(1.0, 2.0)]).is_none());
+        assert!(linear_fit(&[(1.0, 2.0), (1.0, 3.0)]).is_none(), "zero x-variance");
+    }
+
+    #[test]
+    fn loglog_recovers_power_laws() {
+        // y = 5 x^2
+        let pts: Vec<(f64, f64)> =
+            (1..20).map(|i| (i as f64, 5.0 * (i as f64).powi(2))).collect();
+        let fit = loglog_fit(&pts).expect("fit");
+        assert!((fit.slope - 2.0).abs() < 1e-9);
+        // y = c (constant): slope 0.
+        let flat: Vec<(f64, f64)> = (1..10).map(|i| (i as f64, 7.0)).collect();
+        let fit = loglog_fit(&flat).expect("fit");
+        assert!(fit.slope.abs() < 1e-12);
+    }
+
+    #[test]
+    fn loglog_rejects_nonpositive() {
+        assert!(loglog_fit(&[(1.0, 0.0), (2.0, 1.0)]).is_none());
+        assert!(loglog_fit(&[(-1.0, 1.0), (2.0, 1.0)]).is_none());
+    }
+}

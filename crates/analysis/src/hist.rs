@@ -1,0 +1,134 @@
+//! Text histograms of per-processor load distributions.
+//!
+//! The bottleneck story is a story about the *tail* of the load
+//! distribution; a quick horizontal-bar histogram makes it visible in
+//! terminal reports.
+
+use std::fmt::Write as _;
+
+/// A fixed-bin histogram over `u64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use distctr_analysis::Histogram;
+/// let h = Histogram::from_samples(&[1, 2, 2, 3, 50], 5);
+/// assert_eq!(h.total(), 5);
+/// assert!(h.render(20).contains('#'));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bins: Vec<u64>,
+    lo: u64,
+    hi: u64,
+    width: u64,
+}
+
+impl Histogram {
+    /// Builds a histogram with `bins` equal-width bins spanning the
+    /// sample range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`.
+    #[must_use]
+    pub fn from_samples(samples: &[u64], bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        let lo = samples.iter().copied().min().unwrap_or(0);
+        let hi = samples.iter().copied().max().unwrap_or(0);
+        let width = ((hi - lo) / bins as u64 + 1).max(1);
+        let mut h = Histogram { bins: vec![0; bins], lo, hi, width };
+        for &s in samples {
+            let idx = (((s - lo) / width) as usize).min(bins - 1);
+            h.bins[idx] += 1;
+        }
+        h
+    }
+
+    /// Total samples.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// The bin counts.
+    #[must_use]
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Sample range `(min, max)`.
+    #[must_use]
+    pub fn range(&self) -> (u64, u64) {
+        (self.lo, self.hi)
+    }
+
+    /// Renders horizontal bars scaled to `max_bar` characters.
+    #[must_use]
+    pub fn render(&self, max_bar: usize) -> String {
+        let peak = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &count) in self.bins.iter().enumerate() {
+            let start = self.lo + i as u64 * self.width;
+            let end = start + self.width - 1;
+            let bar = (count as usize * max_bar).div_ceil(peak as usize).min(max_bar);
+            let bar = if count == 0 { 0 } else { bar.max(1) };
+            let _ = writeln!(
+                out,
+                "  [{start:>8} ..{end:>9}] {:<width$} {count}",
+                "#".repeat(bar),
+                width = max_bar
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_cover_all_samples() {
+        let h = Histogram::from_samples(&[0, 1, 2, 3, 4, 5, 6, 7, 8, 9], 5);
+        assert_eq!(h.total(), 10);
+        assert_eq!(h.bins(), &[2, 2, 2, 2, 2]);
+        assert_eq!(h.range(), (0, 9));
+    }
+
+    #[test]
+    fn outlier_lands_in_last_bin() {
+        let h = Histogram::from_samples(&[1, 1, 1, 100], 4);
+        assert_eq!(h.total(), 4);
+        assert_eq!(*h.bins().last().expect("bins"), 1, "the bottleneck outlier");
+        assert_eq!(h.bins()[0], 3);
+    }
+
+    #[test]
+    fn empty_samples() {
+        let h = Histogram::from_samples(&[], 3);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.bins(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn constant_samples_single_bin() {
+        let h = Histogram::from_samples(&[7, 7, 7], 4);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.bins()[0], 3);
+    }
+
+    #[test]
+    fn render_shows_counts() {
+        let h = Histogram::from_samples(&[1, 2, 2, 9], 3);
+        let s = h.render(10);
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        let _ = Histogram::from_samples(&[1], 0);
+    }
+}

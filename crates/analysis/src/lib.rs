@@ -1,0 +1,32 @@
+//! # distctr-analysis
+//!
+//! Statistics and plain-text reporting shared by the distctr experiment
+//! harness: Welford accumulators and percentiles ([`stats`]), aligned
+//! ASCII tables ([`table`]), CSV export ([`csv`]) and load-distribution
+//! histograms ([`hist`]).
+//!
+//! ```
+//! use distctr_analysis::{Stats, Table};
+//!
+//! let loads: Stats = [2.0, 2.0, 52.0].into_iter().collect();
+//! let mut t = Table::new(vec!["metric", "value"]);
+//! t.row(vec!["max load".into(), format!("{}", loads.max().unwrap())]);
+//! assert!(t.render().contains("52"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod fit;
+pub mod hist;
+pub mod plot;
+pub mod stats;
+pub mod table;
+
+pub use csv::Csv;
+pub use fit::{linear_fit, loglog_fit, LineFit};
+pub use hist::Histogram;
+pub use plot::{Plot, Scale};
+pub use stats::{geometric_mean, percentile, Stats};
+pub use table::{fmt_f64, Align, Table};

@@ -1,0 +1,232 @@
+//! Terminal scatter/line plots for experiment reports.
+//!
+//! The paper's headline figure — bottleneck load against n per algorithm
+//! — is a log-log plot. [`Plot`] renders multiple series onto a character
+//! grid with optional log-scaled axes, so `report` output shows the
+//! *shape* (flat vs linear growth) at a glance without leaving the
+//! terminal.
+
+use std::fmt::Write as _;
+
+/// Axis scaling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Linear axis.
+    #[default]
+    Linear,
+    /// Base-10 logarithmic axis (requires strictly positive coordinates).
+    Log,
+}
+
+#[derive(Debug, Clone)]
+struct Series {
+    marker: char,
+    label: String,
+    points: Vec<(f64, f64)>,
+}
+
+/// A multi-series character plot.
+///
+/// # Examples
+///
+/// ```
+/// use distctr_analysis::plot::{Plot, Scale};
+/// let mut plot = Plot::new(40, 12, Scale::Log, Scale::Log);
+/// plot.series('c', "central", &[(8.0, 18.0), (81.0, 164.0), (1024.0, 2050.0)]);
+/// plot.series('t', "tree", &[(8.0, 30.0), (81.0, 52.0), (1024.0, 68.0)]);
+/// let s = plot.render();
+/// assert!(s.contains('c') && s.contains('t'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Plot {
+    width: usize,
+    height: usize,
+    x_scale: Scale,
+    y_scale: Scale,
+    series: Vec<Series>,
+}
+
+impl Plot {
+    /// Creates an empty plot grid of `width` x `height` characters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is below 2.
+    #[must_use]
+    pub fn new(width: usize, height: usize, x_scale: Scale, y_scale: Scale) -> Self {
+        assert!(width >= 2 && height >= 2, "plot grid must be at least 2x2");
+        Plot { width, height, x_scale, y_scale, series: Vec::new() }
+    }
+
+    /// Adds a series drawn with `marker`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a log axis receives a non-positive coordinate.
+    pub fn series(&mut self, marker: char, label: &str, points: &[(f64, f64)]) -> &mut Self {
+        for &(x, y) in points {
+            if self.x_scale == Scale::Log {
+                assert!(x > 0.0, "log x-axis requires positive x, got {x}");
+            }
+            if self.y_scale == Scale::Log {
+                assert!(y > 0.0, "log y-axis requires positive y, got {y}");
+            }
+        }
+        self.series.push(Series { marker, label: label.to_string(), points: points.to_vec() });
+        self
+    }
+
+    fn transform(scale: Scale, v: f64) -> f64 {
+        match scale {
+            Scale::Linear => v,
+            Scale::Log => v.log10(),
+        }
+    }
+
+    /// Renders the plot with axis annotations and a legend.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| {
+                s.points.iter().map(|&(x, y)| {
+                    (Self::transform(self.x_scale, x), Self::transform(self.y_scale, y))
+                })
+            })
+            .collect();
+        let mut out = String::new();
+        if all.is_empty() {
+            let _ = writeln!(out, "(empty plot)");
+            return out;
+        }
+        let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &all {
+            min_x = min_x.min(x);
+            max_x = max_x.max(x);
+            min_y = min_y.min(y);
+            max_y = max_y.max(y);
+        }
+        let span = |lo: f64, hi: f64| if hi > lo { hi - lo } else { 1.0 };
+        let (sx, sy) = (span(min_x, max_x), span(min_y, max_y));
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                let tx = Self::transform(self.x_scale, x);
+                let ty = Self::transform(self.y_scale, y);
+                let col = (((tx - min_x) / sx) * (self.width - 1) as f64).round() as usize;
+                let row = (((ty - min_y) / sy) * (self.height - 1) as f64).round() as usize;
+                let row = self.height - 1 - row; // y grows upward
+                grid[row][col] = s.marker;
+            }
+        }
+
+        let untransform = |scale: Scale, v: f64| match scale {
+            Scale::Linear => v,
+            Scale::Log => 10f64.powf(v),
+        };
+        let y_hi = untransform(self.y_scale, max_y);
+        let y_lo = untransform(self.y_scale, min_y);
+        for (i, row) in grid.iter().enumerate() {
+            let label = if i == 0 {
+                format!("{y_hi:>9.6}", y_hi = trim(y_hi))
+            } else if i == self.height - 1 {
+                format!("{:>9}", trim(y_lo))
+            } else {
+                " ".repeat(9)
+            };
+            let _ = writeln!(out, "{label} |{}", row.iter().collect::<String>());
+        }
+        let _ = writeln!(out, "{} +{}", " ".repeat(9), "-".repeat(self.width));
+        let x_lo = untransform(self.x_scale, min_x);
+        let x_hi = untransform(self.x_scale, max_x);
+        let _ = writeln!(
+            out,
+            "{} {}{}{}",
+            " ".repeat(9),
+            trim(x_lo),
+            " ".repeat(self.width.saturating_sub(trim(x_lo).len() + trim(x_hi).len())),
+            trim(x_hi)
+        );
+        let legend: Vec<String> =
+            self.series.iter().map(|s| format!("{}={}", s.marker, s.label)).collect();
+        let _ = writeln!(out, "{} [{}]", " ".repeat(9), legend.join("  "));
+        out
+    }
+}
+
+fn trim(v: f64) -> String {
+    if v.abs() >= 10.0 || v.fract().abs() < 1e-9 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markers_land_in_expected_corners() {
+        let mut p = Plot::new(21, 11, Scale::Linear, Scale::Linear);
+        p.series('a', "low-left", &[(0.0, 0.0)]);
+        p.series('b', "high-right", &[(10.0, 10.0)]);
+        let s = p.render();
+        let lines: Vec<&str> = s.lines().collect();
+        // 'b' in the top grid row, 'a' in the bottom grid row.
+        assert!(lines[0].ends_with('b'), "top-right: {:?}", lines[0]);
+        assert!(lines[10].contains('a'), "bottom-left: {:?}", lines[10]);
+    }
+
+    #[test]
+    fn log_axes_flatten_power_laws() {
+        // y = x on log-log should be the diagonal; y = const the bottom
+        // row. Check const series stays in one row.
+        let mut p = Plot::new(20, 10, Scale::Log, Scale::Log);
+        let flat: Vec<(f64, f64)> = (1..=3).map(|i| (10f64.powi(i), 5.0)).collect();
+        let linear: Vec<(f64, f64)> = (1..=3).map(|i| (10f64.powi(i), 10f64.powi(i))).collect();
+        p.series('f', "flat", &flat);
+        p.series('l', "linear", &linear);
+        let s = p.render();
+        // Only grid rows (containing the axis '|'), not the legend.
+        let grid_rows_with = |c: char| -> usize {
+            s.lines().filter(|l| l.contains('|') && l.contains(c)).count()
+        };
+        assert_eq!(grid_rows_with('f'), 1, "flat series occupies a single row:\n{s}");
+        assert!(grid_rows_with('l') >= 3, "linear series spans rows:\n{s}");
+    }
+
+    #[test]
+    fn legend_and_axis_labels_present() {
+        let mut p = Plot::new(10, 4, Scale::Linear, Scale::Linear);
+        p.series('x', "demo", &[(1.0, 2.0), (3.0, 4.0)]);
+        let s = p.render();
+        assert!(s.contains("x=demo"));
+        assert!(s.contains('2'), "y-low label");
+        assert!(s.contains('4'), "y-high label");
+    }
+
+    #[test]
+    fn empty_plot_renders_placeholder() {
+        let p = Plot::new(10, 4, Scale::Linear, Scale::Linear);
+        assert!(p.render().contains("empty"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn log_axis_rejects_zero() {
+        let mut p = Plot::new(10, 4, Scale::Log, Scale::Linear);
+        p.series('x', "bad", &[(0.0, 1.0)]);
+    }
+
+    #[test]
+    fn single_point_series_degenerate_span() {
+        let mut p = Plot::new(10, 4, Scale::Linear, Scale::Linear);
+        p.series('o', "dot", &[(5.0, 5.0)]);
+        let s = p.render();
+        assert!(s.contains('o'));
+    }
+}

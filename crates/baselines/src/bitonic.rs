@@ -1,0 +1,294 @@
+//! Construction of the bitonic counting network (Aspnes, Herlihy, Shavit
+//! 1991).
+//!
+//! `Bitonic[w]` (w a power of two) is built recursively: two `Bitonic[w/2]`
+//! networks side by side feeding a `Merger[w]`. `Merger[2k]` sends the
+//! even-indexed wires of its first input and odd-indexed wires of its
+//! second input to one `Merger[k]`, the complementary wires to another,
+//! and joins the results with a final column of balancers. The network
+//! has the *step property*: in any quiescent state the exit counts
+//! `y_0 >= y_1 >= ... >= y_{w-1}` differ by at most one — which is what
+//! makes it count.
+//!
+//! The construction here produces, per physical wire, the ordered list of
+//! balancers the wire passes through, plus the exit ordering — everything
+//! the message-passing protocol in [`counting`](crate::counting) needs to
+//! route tokens.
+
+/// One balancer: two input/output wires. Tokens leave alternately on
+/// `top` then `bottom`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Balancer {
+    /// Physical wire carrying the balancer's top output.
+    pub top: usize,
+    /// Physical wire carrying the balancer's bottom output.
+    pub bottom: usize,
+}
+
+/// A compiled bitonic counting network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitonicNetwork {
+    width: usize,
+    balancers: Vec<Balancer>,
+    /// Per physical wire: balancer ids in traversal order.
+    wire_seq: Vec<Vec<u32>>,
+    /// Exit ordering: `exit_order[rank]` = physical wire with that rank.
+    exit_order: Vec<usize>,
+    /// Inverse: `exit_rank[wire]` = rank of the wire's exit counter.
+    exit_rank: Vec<usize>,
+}
+
+impl BitonicNetwork {
+    /// Builds `Bitonic[width]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or not a power of two.
+    #[must_use]
+    pub fn new(width: usize) -> Self {
+        assert!(width > 0 && width.is_power_of_two(), "width must be a power of two");
+        let mut net = BitonicNetwork {
+            width,
+            balancers: Vec::new(),
+            wire_seq: vec![Vec::new(); width],
+            exit_order: Vec::new(),
+            exit_rank: vec![0; width],
+        };
+        let wires: Vec<usize> = (0..width).collect();
+        net.exit_order = net.bitonic(&wires);
+        for (rank, &wire) in net.exit_order.iter().enumerate() {
+            net.exit_rank[wire] = rank;
+        }
+        net
+    }
+
+    /// Network width (number of wires = exit counters).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of balancers: `w/2 * d` where `d = O(log^2 w)` is the
+    /// network depth.
+    #[must_use]
+    pub fn balancer_count(&self) -> usize {
+        self.balancers.len()
+    }
+
+    /// The balancer with id `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    #[must_use]
+    pub fn balancer(&self, b: u32) -> Balancer {
+        self.balancers[b as usize]
+    }
+
+    /// The first balancer on `wire`, or `None` for a width-1 network.
+    #[must_use]
+    pub fn entry(&self, wire: usize) -> Option<u32> {
+        self.wire_seq[wire].first().copied()
+    }
+
+    /// The balancer following `after` on `wire`, or `None` if `after` is
+    /// the wire's last (the token exits).
+    #[must_use]
+    pub fn next_on_wire(&self, wire: usize, after: u32) -> Option<u32> {
+        let seq = &self.wire_seq[wire];
+        let pos = seq.iter().position(|&b| b == after)?;
+        seq.get(pos + 1).copied()
+    }
+
+    /// Rank of `wire`'s exit counter in the step-property ordering: the
+    /// counter at rank `r` hands out values `r, r + w, r + 2w, ...`.
+    #[must_use]
+    pub fn exit_rank(&self, wire: usize) -> usize {
+        self.exit_rank[wire]
+    }
+
+    /// Network depth: the longest wire sequence.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.wire_seq.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    fn add_balancer(&mut self, top: usize, bottom: usize) -> u32 {
+        let id = u32::try_from(self.balancers.len()).expect("balancer count fits u32");
+        self.balancers.push(Balancer { top, bottom });
+        self.wire_seq[top].push(id);
+        self.wire_seq[bottom].push(id);
+        id
+    }
+
+    /// Recursive `Bitonic[w]` over the given wires (in logical order);
+    /// returns the logical output order.
+    fn bitonic(&mut self, wires: &[usize]) -> Vec<usize> {
+        if wires.len() == 1 {
+            return wires.to_vec();
+        }
+        let half = wires.len() / 2;
+        let top = self.bitonic(&wires[..half]);
+        let bottom = self.bitonic(&wires[half..]);
+        self.merger(&top, &bottom)
+    }
+
+    /// `Merger[2k]` of two k-wire sequences; returns the output order.
+    fn merger(&mut self, x: &[usize], y: &[usize]) -> Vec<usize> {
+        let k = x.len();
+        debug_assert_eq!(k, y.len());
+        if k == 1 {
+            self.add_balancer(x[0], y[0]);
+            return vec![x[0], y[0]];
+        }
+        let even = |s: &[usize]| -> Vec<usize> { s.iter().copied().step_by(2).collect() };
+        let odd = |s: &[usize]| -> Vec<usize> { s.iter().copied().skip(1).step_by(2).collect() };
+        // M1 merges x's evens with y's odds; M2 the complements.
+        let m1_in_a = even(x);
+        let m1_in_b = odd(y);
+        let m2_in_a = odd(x);
+        let m2_in_b = even(y);
+        let z1 = self.merger(&m1_in_a, &m1_in_b);
+        let z2 = self.merger(&m2_in_a, &m2_in_b);
+        // Final column: balancer between z1[i] and z2[i]; outputs
+        // interleave as y_{2i} = z1[i] (top), y_{2i+1} = z2[i] (bottom).
+        let mut out = Vec::with_capacity(2 * k);
+        for i in 0..k {
+            self.add_balancer(z1[i], z2[i]);
+            out.push(z1[i]);
+            out.push(z2[i]);
+        }
+        out
+    }
+
+    /// Reference (non-message-passing) simulation: push `tokens` tokens in
+    /// on the given entry wires, return per-exit-rank counts. Used by
+    /// tests to check the step property independent of the network
+    /// protocol.
+    #[must_use]
+    pub fn simulate_counts(&self, entries: &[usize]) -> Vec<u64> {
+        let mut toggles = vec![false; self.balancers.len()];
+        let mut counts = vec![0u64; self.width];
+        for &entry_wire in entries {
+            let mut wire = entry_wire;
+            let mut next = self.entry(wire);
+            while let Some(b) = next {
+                let bal = self.balancers[b as usize];
+                // toggle=false -> top output next.
+                wire = if toggles[b as usize] { bal.bottom } else { bal.top };
+                toggles[b as usize] = !toggles[b as usize];
+                next = self.next_on_wire(wire, b);
+            }
+            counts[self.exit_rank[wire]] += 1;
+        }
+        counts
+    }
+}
+
+/// Whether exit counts (indexed by rank) satisfy the step property:
+/// non-increasing and adjacent ranks differ by at most one.
+#[must_use]
+pub fn has_step_property(counts: &[u64]) -> bool {
+    counts.windows(2).all(|w| w[0] >= w[1]) && counts
+        .first()
+        .zip(counts.last())
+        .is_none_or(|(first, last)| first - last <= 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_two_is_single_balancer() {
+        let net = BitonicNetwork::new(2);
+        assert_eq!(net.balancer_count(), 1);
+        assert_eq!(net.depth(), 1);
+        assert_eq!(net.width(), 2);
+    }
+
+    #[test]
+    fn balancer_counts_match_formula() {
+        // Bitonic[w] has depth d(w) = log w (log w + 1) / 2 and
+        // w/2 balancers per layer.
+        for (w, expected_depth) in [(2usize, 1usize), (4, 3), (8, 6), (16, 10)] {
+            let net = BitonicNetwork::new(w);
+            assert_eq!(net.depth(), expected_depth, "depth of Bitonic[{w}]");
+            assert_eq!(
+                net.balancer_count(),
+                w / 2 * expected_depth,
+                "balancers of Bitonic[{w}]"
+            );
+        }
+    }
+
+    #[test]
+    fn every_wire_traverses_depth_balancers() {
+        let net = BitonicNetwork::new(8);
+        for wire in 0..8 {
+            assert_eq!(net.wire_seq[wire].len(), net.depth(), "bitonic networks are uniform");
+        }
+    }
+
+    #[test]
+    fn step_property_for_sequential_tokens() {
+        for w in [2usize, 4, 8, 16] {
+            let net = BitonicNetwork::new(w);
+            for m in 0..(3 * w) {
+                let entries: Vec<usize> = (0..m).map(|i| i % w).collect();
+                let counts = net.simulate_counts(&entries);
+                assert!(
+                    has_step_property(&counts),
+                    "Bitonic[{w}] step property after {m} tokens: {counts:?}"
+                );
+                assert_eq!(counts.iter().sum::<u64>(), m as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn step_property_for_skewed_entries() {
+        // All tokens entering on one wire must still spread out.
+        for w in [4usize, 8] {
+            let net = BitonicNetwork::new(w);
+            let entries = vec![0usize; 2 * w + 3];
+            let counts = net.simulate_counts(&entries);
+            assert!(has_step_property(&counts), "skewed entries on Bitonic[{w}]: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn sequential_tokens_count_in_order() {
+        // With tokens inserted one at a time, the i-th token must exit at
+        // rank i mod w (this is what makes sequential counting correct).
+        let w = 8;
+        let net = BitonicNetwork::new(w);
+        let mut toggles = vec![false; net.balancer_count()];
+        for i in 0..4 * w {
+            let mut wire = i % w;
+            let mut next = net.entry(wire);
+            while let Some(b) = next {
+                let bal = net.balancer(b);
+                wire = if toggles[b as usize] { bal.bottom } else { bal.top };
+                toggles[b as usize] = !toggles[b as usize];
+                next = net.next_on_wire(wire, b);
+            }
+            assert_eq!(net.exit_rank(wire), i % w, "token {i} exits at rank {}", i % w);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = BitonicNetwork::new(6);
+    }
+
+    #[test]
+    fn step_property_checker() {
+        assert!(has_step_property(&[3, 3, 2, 2]));
+        assert!(has_step_property(&[]));
+        assert!(has_step_property(&[5]));
+        assert!(!has_step_property(&[2, 3]));
+        assert!(!has_step_property(&[4, 3, 2, 2]), "spread > 1");
+    }
+}

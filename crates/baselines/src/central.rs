@@ -1,0 +1,315 @@
+//! The centralized counter — the paper's introductory strawman.
+//!
+//! "A data structure implementing a distributed counter could be message
+//! optimal by just storing the counter value with a single processor and
+//! having all other processors access the counter with only one message
+//! exchange — but this implementation is clearly unreasonable: the single
+//! processor handling the counter value will be a bottleneck."
+//!
+//! Exactly two messages per operation (message-optimal), but the
+//! coordinator's load is 2n over the canonical workload — the Θ(n)
+//! bottleneck the paper's tree reduces to O(k).
+
+use distctr_sim::{
+    CompletedOp, ConcurrentCounter, Counter, DeliveryPolicy, IncResult, LoadTracker, Network,
+    OpId, Outbox, OverlappedCounter, ProcessorId, Protocol, SimError, SimTime, TraceMode,
+};
+
+/// Protocol messages of the centralized counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CentralMsg {
+    /// Request from an initiator to the coordinator.
+    Request {
+        /// The initiating processor (reply address).
+        origin: ProcessorId,
+    },
+    /// The pre-increment value, returned to the initiator.
+    Value {
+        /// Counter value.
+        value: u64,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct CentralState {
+    coordinator: ProcessorId,
+    value: u64,
+    delivered: Vec<(OpId, ProcessorId, u64)>,
+}
+
+impl Protocol for CentralState {
+    type Msg = CentralMsg;
+
+    fn on_deliver(&mut self, out: &mut Outbox<'_, CentralMsg>, _from: ProcessorId, msg: CentralMsg) {
+        match msg {
+            CentralMsg::Request { origin } => {
+                debug_assert_eq!(out.me(), self.coordinator);
+                let value = self.value;
+                self.value += 1;
+                out.send(origin, CentralMsg::Value { value });
+            }
+            CentralMsg::Value { value } => {
+                self.delivered.push((out.op(), out.me(), value));
+            }
+        }
+    }
+}
+
+/// A counter whose value lives at a single coordinator processor.
+///
+/// # Examples
+///
+/// ```
+/// use distctr_baselines::CentralCounter;
+/// use distctr_sim::{Counter, ProcessorId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut counter = CentralCounter::new(8)?;
+/// assert_eq!(counter.inc(ProcessorId::new(3))?.value, 0);
+/// assert_eq!(counter.inc(ProcessorId::new(5))?.value, 1);
+/// // Two messages per op, both touching the coordinator.
+/// assert_eq!(counter.loads().load_of(ProcessorId::new(0)), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CentralCounter {
+    net: Network<CentralMsg>,
+    state: CentralState,
+    next_op: usize,
+    overlapped: Vec<(OpId, ProcessorId)>,
+}
+
+impl CentralCounter {
+    /// Creates a centralized counter on `n` processors with processor 0 as
+    /// coordinator and FIFO delivery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptyNetwork`] if `n == 0`.
+    pub fn new(n: usize) -> Result<Self, SimError> {
+        Self::with_policy(n, TraceMode::Contacts, DeliveryPolicy::default())
+    }
+
+    /// Creates a centralized counter with explicit trace mode and
+    /// delivery policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptyNetwork`] if `n == 0`.
+    pub fn with_policy(
+        n: usize,
+        trace: TraceMode,
+        policy: DeliveryPolicy,
+    ) -> Result<Self, SimError> {
+        let net = Network::with_policy(n, trace, policy)?;
+        Ok(CentralCounter {
+            net,
+            state: CentralState {
+                coordinator: ProcessorId::new(0),
+                value: 0,
+                delivered: Vec::new(),
+            },
+            next_op: 0,
+            overlapped: Vec::new(),
+        })
+    }
+
+    /// The coordinator processor.
+    #[must_use]
+    pub fn coordinator(&self) -> ProcessorId {
+        self.state.coordinator
+    }
+
+    /// The counter's current value.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.state.value
+    }
+}
+
+impl Counter for CentralCounter {
+    fn name(&self) -> &'static str {
+        "central"
+    }
+
+    fn processors(&self) -> usize {
+        self.net.processors()
+    }
+
+    fn inc(&mut self, initiator: ProcessorId) -> Result<IncResult, SimError> {
+        if initiator.index() >= self.net.processors() {
+            return Err(SimError::UnknownProcessor {
+                index: initiator.index(),
+                processors: self.net.processors(),
+            });
+        }
+        let op = OpId::new(self.next_op);
+        self.next_op += 1;
+        self.state.delivered.clear();
+        self.net.inject(
+            op,
+            initiator,
+            self.state.coordinator,
+            CentralMsg::Request { origin: initiator },
+        );
+        let stats = self.net.run_to_quiescence(&mut self.state)?;
+        let trace = self.net.finish_op(op);
+        let (_, _, value) = self
+            .state
+            .delivered
+            .pop()
+            .expect("coordinator must answer before quiescence");
+        Ok(IncResult { value, messages: stats.delivered, completed_at: stats.end_time, trace })
+    }
+
+    fn loads(&self) -> &LoadTracker {
+        self.net.loads()
+    }
+}
+
+impl ConcurrentCounter for CentralCounter {
+    fn inc_batch(&mut self, initiators: &[ProcessorId]) -> Result<Vec<u64>, SimError> {
+        for &p in initiators {
+            if p.index() >= self.net.processors() {
+                return Err(SimError::UnknownProcessor {
+                    index: p.index(),
+                    processors: self.net.processors(),
+                });
+            }
+        }
+        self.state.delivered.clear();
+        let base = self.next_op;
+        for (i, &p) in initiators.iter().enumerate() {
+            let op = OpId::new(base + i);
+            self.net.inject(op, p, self.state.coordinator, CentralMsg::Request { origin: p });
+        }
+        self.next_op += initiators.len();
+        self.net.run_to_quiescence(&mut self.state)?;
+        for (i, &p) in initiators.iter().enumerate() {
+            self.net.finish_op(OpId::new(base + i));
+            let _ = p;
+        }
+        // Map replies back to initiation order by op id.
+        let delivered = std::mem::take(&mut self.state.delivered);
+        let by_op: std::collections::HashMap<OpId, u64> =
+            delivered.into_iter().map(|(op, _, v)| (op, v)).collect();
+        Ok((0..initiators.len())
+            .map(|i| by_op[&OpId::new(base + i)])
+            .collect())
+    }
+}
+
+impl OverlappedCounter for CentralCounter {
+    fn start_inc(&mut self, initiator: ProcessorId) -> Result<OpId, SimError> {
+        if initiator.index() >= self.net.processors() {
+            return Err(SimError::UnknownProcessor {
+                index: initiator.index(),
+                processors: self.net.processors(),
+            });
+        }
+        let op = OpId::new(self.next_op);
+        self.next_op += 1;
+        self.overlapped.push((op, initiator));
+        self.net.inject(op, initiator, self.state.coordinator, CentralMsg::Request {
+            origin: initiator,
+        });
+        Ok(op)
+    }
+
+    fn advance_until(&mut self, deadline: SimTime) -> Result<(), SimError> {
+        self.net.run_until(&mut self.state, deadline)?;
+        Ok(())
+    }
+
+    fn finish_all(&mut self) -> Result<Vec<CompletedOp>, SimError> {
+        self.net.run_to_quiescence(&mut self.state)?;
+        let delivered = std::mem::take(&mut self.state.delivered);
+        let by_op: std::collections::HashMap<OpId, u64> =
+            delivered.into_iter().map(|(op, _, v)| (op, v)).collect();
+        let mut completed = Vec::new();
+        for (op, initiator) in std::mem::take(&mut self.overlapped) {
+            let trace = self
+                .net
+                .finish_op(op)
+                .expect("overlapped execution requires per-op tracing (TraceMode::Contacts)");
+            completed.push(CompletedOp {
+                op,
+                initiator,
+                value: by_op[&op],
+                started_at: trace.started_at,
+                completed_at: trace.completed_at,
+            });
+        }
+        Ok(completed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distctr_sim::{ConcurrentDriver, SequentialDriver};
+
+    #[test]
+    fn sequential_correctness_and_message_optimality() {
+        let mut c = CentralCounter::new(16).expect("counter");
+        let out = SequentialDriver::run_identity(&mut c).expect("sequence");
+        assert!(out.values_are_sequential());
+        assert_eq!(out.total_messages, 32, "exactly 2 messages per op");
+        assert!((out.messages_per_op() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coordinator_is_the_bottleneck_with_load_2n() {
+        let mut c = CentralCounter::new(16).expect("counter");
+        SequentialDriver::run_identity(&mut c).expect("sequence");
+        let (b, load) = c.loads().bottleneck().expect("bottleneck");
+        assert_eq!(b, ProcessorId::new(0));
+        // 2n from coordinating, plus 2 for its own op.
+        assert_eq!(load, 2 * 16 + 2);
+    }
+
+    #[test]
+    fn hot_spot_lemma_trivially_satisfied() {
+        let mut c = CentralCounter::new(4).expect("counter");
+        let out = SequentialDriver::run_identity(&mut c).expect("sequence");
+        let traces: Vec<_> = out.results.iter().map(|r| r.trace.clone().expect("trace")).collect();
+        for pair in traces.windows(2) {
+            let common = pair[0].contacts.intersection(&pair[1].contacts);
+            assert!(common.contains(&ProcessorId::new(0)), "coordinator in every contact set");
+        }
+    }
+
+    #[test]
+    fn concurrent_batches_are_gap_free() {
+        let mut c = CentralCounter::new(12).expect("counter");
+        let values = ConcurrentDriver::run_batches(&mut c, 4, 3).expect("batches");
+        assert!(ConcurrentDriver::values_are_gap_free(&values));
+        assert_eq!(c.value(), 12);
+    }
+
+    #[test]
+    fn unknown_initiator_rejected_everywhere() {
+        let mut c = CentralCounter::new(2).expect("counter");
+        assert!(c.inc(ProcessorId::new(5)).is_err());
+        assert!(c.inc_batch(&[ProcessorId::new(5)]).is_err());
+    }
+
+    #[test]
+    fn works_under_every_delivery_policy() {
+        for policy in DeliveryPolicy::test_suite() {
+            let mut c =
+                CentralCounter::with_policy(8, TraceMode::Contacts, policy).expect("counter");
+            let out = SequentialDriver::run_shuffled(&mut c, 1).expect("sequence");
+            assert!(out.values_are_sequential());
+        }
+    }
+
+    #[test]
+    fn single_processor_network() {
+        let mut c = CentralCounter::new(1).expect("counter");
+        let r = c.inc(ProcessorId::new(0)).expect("self-inc");
+        assert_eq!(r.value, 0);
+        assert_eq!(r.messages, 2, "request and reply are self-messages but still count");
+    }
+}

@@ -1,0 +1,384 @@
+//! A diffracting tree (Shavit-Zemach 1994).
+//!
+//! A binary tree of toggle balancers whose exits are counters. Each node
+//! carries a *prism*: a token arriving at a node first looks for a
+//! partner parked there. If one is waiting, the pair *diffracts* — one
+//! token goes to each child without touching the toggle (two toggle flips
+//! cancel, so balance is preserved). Otherwise the token parks and sets a
+//! timeout (a self-addressed message, the asynchronous analogue of the
+//! prism's spin bound); if no partner shows up, it takes the toggle.
+//!
+//! Exit counter ordering follows the bit-reversed root-to-leaf path (the
+//! root's toggle decides the *lowest* value bit), which is what makes the
+//! i-th sequential token receive value i.
+
+use std::collections::HashMap;
+
+use distctr_sim::{
+    ConcurrentCounter, Counter, DeliveryPolicy, IncResult, LoadTracker, Network, OpId, Outbox,
+    ProcessorId, Protocol, SimError, TraceMode,
+};
+
+use crate::hosting::Hosting;
+
+/// Messages of the diffracting-tree protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffractingMsg {
+    /// A token arriving at tree node `node` (heap index, root = 1).
+    Token {
+        /// Target node.
+        node: u32,
+        /// Initiator (reply address).
+        origin: ProcessorId,
+    },
+    /// Prism timeout for a parked token.
+    Timeout {
+        /// Node whose prism parked the token.
+        node: u32,
+        /// Parking instance, to ignore stale timeouts.
+        marker: u64,
+    },
+    /// A token arriving at exit counter `exit` (leaf order index).
+    ExitToken {
+        /// Exit counter index (bit-reversed path).
+        exit: u32,
+        /// Initiator (reply address).
+        origin: ProcessorId,
+    },
+    /// Value delivery to the initiator.
+    Value {
+        /// The assigned value.
+        value: u64,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Parked {
+    marker: u64,
+    origin: ProcessorId,
+}
+
+#[derive(Debug, Clone)]
+struct DiffractingState {
+    depth: u32,
+    hosting: Hosting,
+    toggles: Vec<bool>,
+    prisms: HashMap<u32, Parked>,
+    visits: Vec<u64>,
+    next_marker: u64,
+    delivered: Vec<(OpId, ProcessorId, u64)>,
+    diffractions: u64,
+    toggle_passes: u64,
+}
+
+impl DiffractingState {
+    fn width(&self) -> usize {
+        1usize << self.depth
+    }
+
+    fn inner_nodes(&self) -> usize {
+        (1usize << self.depth) - 1
+    }
+
+    fn host_of_node(&self, node: u32) -> ProcessorId {
+        self.hosting.host_of(node as usize - 1)
+    }
+
+    fn host_of_exit(&self, exit: u32) -> ProcessorId {
+        self.hosting.host_of(self.inner_nodes() + exit as usize)
+    }
+
+    /// Routes a token leaving `node` toward child `bit` (0 = left).
+    /// `node` is a heap index; depth of node = floor(log2(node)).
+    fn route(&mut self, out: &mut Outbox<'_, DiffractingMsg>, node: u32, bit: u32, origin: ProcessorId) {
+        let child = node * 2 + bit;
+        if (child as usize) < (1usize << self.depth) {
+            out.send(self.host_of_node(child), DiffractingMsg::Token { node: child, origin });
+        } else {
+            // The child is an exit. Heap leaf index -> path bits -> exit
+            // order index (bit-reversed: root bit is the LSB).
+            let leaf = child as usize - (1usize << self.depth);
+            let mut exit = 0u32;
+            for level in 0..self.depth {
+                let b = (leaf >> (self.depth - 1 - level)) & 1;
+                exit |= (b as u32) << level;
+            }
+            out.send(self.host_of_exit(exit), DiffractingMsg::ExitToken { exit, origin });
+        }
+    }
+}
+
+impl Protocol for DiffractingState {
+    type Msg = DiffractingMsg;
+
+    fn on_deliver(&mut self, out: &mut Outbox<'_, DiffractingMsg>, _from: ProcessorId, msg: DiffractingMsg) {
+        match msg {
+            DiffractingMsg::Token { node, origin } => {
+                if let Some(partner) = self.prisms.remove(&node) {
+                    // Diffract: partner left, newcomer right; the toggle
+                    // is untouched.
+                    self.diffractions += 1;
+                    self.route(out, node, 0, partner.origin);
+                    self.route(out, node, 1, origin);
+                } else {
+                    self.next_marker += 1;
+                    let marker = self.next_marker;
+                    self.prisms.insert(node, Parked { marker, origin });
+                    out.send(out.me(), DiffractingMsg::Timeout { node, marker });
+                }
+            }
+            DiffractingMsg::Timeout { node, marker } => {
+                if self.prisms.get(&node).is_some_and(|p| p.marker == marker) {
+                    let parked = self.prisms.remove(&node).expect("checked present");
+                    self.toggle_passes += 1;
+                    let idx = node as usize - 1;
+                    let bit = u32::from(self.toggles[idx]);
+                    self.toggles[idx] = !self.toggles[idx];
+                    self.route(out, node, bit, parked.origin);
+                }
+            }
+            DiffractingMsg::ExitToken { exit, origin } => {
+                let w = self.width() as u64;
+                let value = u64::from(exit) + w * self.visits[exit as usize];
+                self.visits[exit as usize] += 1;
+                out.send(origin, DiffractingMsg::Value { value });
+            }
+            DiffractingMsg::Value { value } => {
+                self.delivered.push((out.op(), out.me(), value));
+            }
+        }
+    }
+}
+
+/// A distributed counter backed by a diffracting tree of depth `d`
+/// (2^d exit counters).
+///
+/// # Examples
+///
+/// ```
+/// use distctr_baselines::DiffractingTreeCounter;
+/// use distctr_sim::{Counter, ProcessorId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut counter = DiffractingTreeCounter::new(16, 2)?;
+/// assert_eq!(counter.inc(ProcessorId::new(1))?.value, 0);
+/// assert_eq!(counter.inc(ProcessorId::new(9))?.value, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiffractingTreeCounter {
+    net: Network<DiffractingMsg>,
+    state: DiffractingState,
+    next_op: usize,
+}
+
+impl DiffractingTreeCounter {
+    /// Creates a diffracting tree of depth `depth` over `n` processors
+    /// with FIFO delivery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptyNetwork`] if `n == 0`.
+    pub fn new(n: usize, depth: u32) -> Result<Self, SimError> {
+        Self::with_policy(n, depth, TraceMode::Contacts, DeliveryPolicy::default())
+    }
+
+    /// Creates a diffracting tree with explicit trace mode and delivery
+    /// policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptyNetwork`] if `n == 0`.
+    pub fn with_policy(
+        n: usize,
+        depth: u32,
+        trace: TraceMode,
+        policy: DeliveryPolicy,
+    ) -> Result<Self, SimError> {
+        let net = Network::with_policy(n, trace, policy)?;
+        let inner = (1usize << depth) - 1;
+        let width = 1usize << depth;
+        let state = DiffractingState {
+            depth,
+            hosting: Hosting::new((inner + width).max(1), n),
+            toggles: vec![false; inner],
+            prisms: HashMap::new(),
+            visits: vec![0; width],
+            next_marker: 0,
+            delivered: Vec::new(),
+            diffractions: 0,
+            toggle_passes: 0,
+        };
+        Ok(DiffractingTreeCounter { net, state, next_op: 0 })
+    }
+
+    /// Number of exit counters (2^depth).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.state.width()
+    }
+
+    /// Fraction of node passages resolved by diffraction rather than the
+    /// toggle (0.0 under sequential workloads).
+    #[must_use]
+    pub fn diffraction_rate(&self) -> f64 {
+        let total = self.state.diffractions * 2 + self.state.toggle_passes;
+        if total == 0 {
+            0.0
+        } else {
+            (self.state.diffractions * 2) as f64 / total as f64
+        }
+    }
+
+    /// Exit counts (indexed by exit order) for balance checks.
+    #[must_use]
+    pub fn exit_counts(&self) -> &[u64] {
+        &self.state.visits
+    }
+
+    fn entry(&self, p: ProcessorId) -> (ProcessorId, DiffractingMsg) {
+        if self.state.depth == 0 {
+            (self.state.host_of_exit(0), DiffractingMsg::ExitToken { exit: 0, origin: p })
+        } else {
+            (self.state.host_of_node(1), DiffractingMsg::Token { node: 1, origin: p })
+        }
+    }
+
+    fn check(&self, p: ProcessorId) -> Result<(), SimError> {
+        if p.index() >= self.net.processors() {
+            return Err(SimError::UnknownProcessor {
+                index: p.index(),
+                processors: self.net.processors(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Counter for DiffractingTreeCounter {
+    fn name(&self) -> &'static str {
+        "diffracting-tree"
+    }
+
+    fn processors(&self) -> usize {
+        self.net.processors()
+    }
+
+    fn inc(&mut self, initiator: ProcessorId) -> Result<IncResult, SimError> {
+        self.check(initiator)?;
+        let op = OpId::new(self.next_op);
+        self.next_op += 1;
+        self.state.delivered.clear();
+        let (to, msg) = self.entry(initiator);
+        self.net.inject(op, initiator, to, msg);
+        let stats = self.net.run_to_quiescence(&mut self.state)?;
+        let trace = self.net.finish_op(op);
+        let (_, _, value) =
+            self.state.delivered.pop().expect("token must exit and deliver a value");
+        Ok(IncResult { value, messages: stats.delivered, completed_at: stats.end_time, trace })
+    }
+
+    fn loads(&self) -> &LoadTracker {
+        self.net.loads()
+    }
+}
+
+impl ConcurrentCounter for DiffractingTreeCounter {
+    fn inc_batch(&mut self, initiators: &[ProcessorId]) -> Result<Vec<u64>, SimError> {
+        for &p in initiators {
+            self.check(p)?;
+        }
+        self.state.delivered.clear();
+        let base = self.next_op;
+        for (i, &p) in initiators.iter().enumerate() {
+            let (to, msg) = self.entry(p);
+            self.net.inject(OpId::new(base + i), p, to, msg);
+        }
+        self.next_op += initiators.len();
+        self.net.run_to_quiescence(&mut self.state)?;
+        for i in 0..initiators.len() {
+            self.net.finish_op(OpId::new(base + i));
+        }
+        // Combined/diffracted operations share envelopes, so a value's op
+        // id may be a partner's; match replies by initiator instead.
+        let mut delivered = std::mem::take(&mut self.state.delivered);
+        let mut out = Vec::with_capacity(initiators.len());
+        for &p in initiators {
+            let pos = delivered
+                .iter()
+                .position(|&(_, to, _)| to == p)
+                .expect("every initiator must receive a value");
+            out.push(delivered.swap_remove(pos).2);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distctr_sim::{ConcurrentDriver, SequentialDriver};
+
+    #[test]
+    fn sequential_correctness_across_depths() {
+        for depth in 0..=3u32 {
+            let mut c = DiffractingTreeCounter::new(16, depth).expect("counter");
+            let out = SequentialDriver::run_shuffled(&mut c, 6).expect("sequence");
+            assert!(out.values_are_sequential(), "depth {depth}");
+            assert_eq!(c.diffraction_rate(), 0.0, "no partners under sequential ops");
+        }
+    }
+
+    #[test]
+    fn bit_reversed_exits_count_in_order() {
+        // Depth 2: sequential tokens must visit exits 0,1,2,3,0,1,...
+        let mut c = DiffractingTreeCounter::new(8, 2).expect("counter");
+        for i in 0..8u64 {
+            let r = c.inc(ProcessorId::new((i % 8) as usize)).expect("inc");
+            assert_eq!(r.value, i);
+        }
+        assert_eq!(c.exit_counts(), &[2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn concurrent_batches_diffract_and_stay_gap_free() {
+        let mut c = DiffractingTreeCounter::new(32, 3).expect("counter");
+        let values = ConcurrentDriver::run_batches(&mut c, 32, 13).expect("batches");
+        assert!(ConcurrentDriver::values_are_gap_free(&values));
+        assert!(
+            c.diffraction_rate() > 0.3,
+            "full batches should diffract: rate {}",
+            c.diffraction_rate()
+        );
+    }
+
+    #[test]
+    fn exit_counts_stay_balanced_after_quiescence() {
+        let mut c = DiffractingTreeCounter::new(16, 2).expect("counter");
+        for seed in 0..3 {
+            ConcurrentDriver::run_batches(&mut c, 8, seed).expect("batches");
+        }
+        let counts = c.exit_counts();
+        let max = counts.iter().max().expect("nonempty");
+        let min = counts.iter().min().expect("nonempty");
+        assert!(max - min <= 1, "balanced exits: {counts:?}");
+    }
+
+    #[test]
+    fn works_under_every_delivery_policy() {
+        for policy in DeliveryPolicy::test_suite() {
+            let mut c = DiffractingTreeCounter::with_policy(8, 2, TraceMode::Off, policy)
+                .expect("counter");
+            let batch: Vec<_> = (0..8).map(ProcessorId::new).collect();
+            let values = c.inc_batch(&batch).expect("batch");
+            assert!(ConcurrentDriver::values_are_gap_free(&values));
+        }
+    }
+
+    #[test]
+    fn unknown_initiator_rejected() {
+        let mut c = DiffractingTreeCounter::new(4, 1).expect("counter");
+        assert!(c.inc(ProcessorId::new(4)).is_err());
+    }
+}

@@ -1,0 +1,164 @@
+//! Mapping logical protocol elements (tree nodes, balancers, exit
+//! counters) onto the `n` physical processors.
+//!
+//! Baseline structures have their own logical node sets; each logical
+//! node is *hosted* by one processor. The assignment spreads nodes across
+//! processors with a fixed stride so that hosting collisions (two hot
+//! nodes on one processor) do not manufacture artificial bottlenecks.
+
+use distctr_sim::ProcessorId;
+
+/// Deterministic assignment of `logical` node indices onto `processors`
+/// processors.
+///
+/// # Examples
+///
+/// ```
+/// use distctr_baselines::hosting::Hosting;
+/// let h = Hosting::new(5, 16);
+/// let owners: Vec<_> = (0..5).map(|i| h.host_of(i)).collect();
+/// let distinct: std::collections::HashSet<_> = owners.iter().collect();
+/// assert_eq!(distinct.len(), 5, "few nodes on many processors: all distinct");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hosting {
+    logical: usize,
+    processors: usize,
+    stride: usize,
+}
+
+impl Hosting {
+    /// Creates an assignment of `logical` nodes to `processors`
+    /// processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processors == 0`.
+    #[must_use]
+    pub fn new(logical: usize, processors: usize) -> Self {
+        assert!(processors > 0, "hosting requires at least one processor");
+        // A stride coprime to `processors` visits every processor before
+        // any repeats, spreading consecutive logical nodes far apart.
+        let stride = Self::coprime_stride(processors);
+        Hosting { logical, processors, stride }
+    }
+
+    fn coprime_stride(n: usize) -> usize {
+        if n <= 2 {
+            return 1;
+        }
+        // Golden-ratio-ish stride, adjusted upward until coprime.
+        let mut s = (n as f64 * 0.618).round() as usize;
+        s = s.clamp(1, n - 1);
+        while gcd(s, n) != 1 {
+            s += 1;
+            if s >= n {
+                s = 1;
+                break;
+            }
+        }
+        s
+    }
+
+    /// Number of logical nodes.
+    #[must_use]
+    pub fn logical(&self) -> usize {
+        self.logical
+    }
+
+    /// Number of processors.
+    #[must_use]
+    pub fn processors(&self) -> usize {
+        self.processors
+    }
+
+    /// The processor hosting logical node `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= logical`.
+    #[must_use]
+    pub fn host_of(&self, index: usize) -> ProcessorId {
+        assert!(index < self.logical, "logical index {index} out of range");
+        ProcessorId::new((index * self.stride) % self.processors)
+    }
+
+    /// Largest number of logical nodes any single processor hosts.
+    #[must_use]
+    pub fn max_colocation(&self) -> usize {
+        let mut counts = vec![0usize; self.processors];
+        for i in 0..self.logical {
+            counts[self.host_of(i).index()] += 1;
+        }
+        counts.into_iter().max().unwrap_or(0)
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_hosts_in_range() {
+        let h = Hosting::new(100, 7);
+        for i in 0..100 {
+            assert!(h.host_of(i).index() < 7);
+        }
+    }
+
+    #[test]
+    fn distinct_when_fewer_nodes_than_processors() {
+        for n in [3usize, 8, 17, 64, 81] {
+            let nodes = n / 2;
+            let h = Hosting::new(nodes, n);
+            let mut seen = std::collections::HashSet::new();
+            for i in 0..nodes {
+                assert!(seen.insert(h.host_of(i)), "collision at {i} (n={n})");
+            }
+        }
+    }
+
+    #[test]
+    fn colocation_is_balanced() {
+        let h = Hosting::new(100, 10);
+        // 100 nodes over 10 processors: perfectly balanced stride -> 10.
+        assert_eq!(h.max_colocation(), 10);
+    }
+
+    #[test]
+    fn single_processor_hosts_everything() {
+        let h = Hosting::new(5, 1);
+        for i in 0..5 {
+            assert_eq!(h.host_of(i), ProcessorId::new(0));
+        }
+        assert_eq!(h.max_colocation(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        let h = Hosting::new(2, 4);
+        let _ = h.host_of(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_processors_rejected() {
+        let _ = Hosting::new(1, 0);
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(12, 8), 4);
+        assert_eq!(gcd(7, 13), 1);
+        assert_eq!(gcd(5, 0), 5);
+    }
+}

@@ -1,0 +1,124 @@
+//! The static communication tree — the paper's tree *without* retirement.
+//!
+//! This is the ablation that isolates the retirement mechanism's
+//! contribution: identical topology, identical routing, but the root's
+//! initial worker answers every single operation, so its load is Θ(n)
+//! just like the centralized counter (with extra per-op messages for the
+//! tree climb on top).
+
+use distctr_core::{CoreError, RetirementPolicy, TreeCounter, TreeCounterBuilder};
+use distctr_sim::{Counter, DeliveryPolicy, IncResult, LoadTracker, ProcessorId, SimError, TraceMode};
+
+/// The paper's communication tree with retirement disabled.
+///
+/// # Examples
+///
+/// ```
+/// use distctr_baselines::StaticTreeCounter;
+/// use distctr_sim::{Counter, ProcessorId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut counter = StaticTreeCounter::new(81)?;
+/// assert_eq!(counter.inc(ProcessorId::new(9))?.value, 0);
+/// assert_eq!(counter.name(), "static-tree");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct StaticTreeCounter {
+    inner: TreeCounter,
+}
+
+impl StaticTreeCounter {
+    /// Creates a static tree for at least `n` processors (rounded up to
+    /// `k^(k+1)` like [`TreeCounter::new`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] under the same conditions as
+    /// [`TreeCounter::new`].
+    pub fn new(n: usize) -> Result<Self, CoreError> {
+        Self::with_policy(n, TraceMode::Contacts, DeliveryPolicy::default())
+    }
+
+    /// Creates a static tree with explicit trace mode and delivery policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] under the same conditions as
+    /// [`TreeCounter::new`].
+    pub fn with_policy(
+        n: usize,
+        trace: TraceMode,
+        policy: DeliveryPolicy,
+    ) -> Result<Self, CoreError> {
+        let builder: TreeCounterBuilder = TreeCounter::builder(n)?
+            .trace(trace)
+            .delivery(policy)
+            .retirement(RetirementPolicy::Never);
+        Ok(StaticTreeCounter { inner: builder.build()? })
+    }
+
+    /// The underlying tree counter (for topology and audit access).
+    #[must_use]
+    pub fn tree(&self) -> &TreeCounter {
+        &self.inner
+    }
+
+    /// The tree order `k`.
+    #[must_use]
+    pub fn order(&self) -> u32 {
+        self.inner.order()
+    }
+}
+
+impl Counter for StaticTreeCounter {
+    fn name(&self) -> &'static str {
+        "static-tree"
+    }
+
+    fn processors(&self) -> usize {
+        self.inner.processors()
+    }
+
+    fn inc(&mut self, initiator: ProcessorId) -> Result<IncResult, SimError> {
+        self.inner.inc(initiator)
+    }
+
+    fn loads(&self) -> &LoadTracker {
+        self.inner.loads()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distctr_sim::SequentialDriver;
+
+    #[test]
+    fn counts_correctly_but_root_bottlenecked() {
+        let mut c = StaticTreeCounter::new(81).expect("static tree");
+        let out = SequentialDriver::run_identity(&mut c).expect("sequence");
+        assert!(out.values_are_sequential());
+        // Root worker: 1 receive + 1 send per op = 2n, plus its own leaf
+        // and level-1 duties.
+        let n = c.processors() as u64;
+        assert!(c.loads().max_load() >= 2 * n, "static root is a Θ(n) hot spot");
+        assert_eq!(c.tree().audit().stints_completed(), 0);
+    }
+
+    #[test]
+    fn per_op_message_cost_is_tree_height() {
+        let mut c = StaticTreeCounter::new(81).expect("static tree");
+        let r = c.inc(ProcessorId::new(40)).expect("inc");
+        // Climb k+1 hops (leaf -> level k ... -> root) + 1 value reply.
+        assert_eq!(r.messages, (c.order() as u64 + 1) + 1);
+    }
+
+    #[test]
+    fn exposes_topology() {
+        let c = StaticTreeCounter::new(8).expect("static tree");
+        assert_eq!(c.order(), 2);
+        assert_eq!(c.tree().topology().processors(), 8);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests over the baseline substrates.
+
+use distctr_baselines::{
+    has_step_property, BitonicNetwork, CombiningTreeCounter, CountingNetworkCounter,
+    DiffractingTreeCounter, Hosting,
+};
+use distctr_sim::{ConcurrentDriver, Counter, DeliveryPolicy, ProcessorId, TraceMode};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bitonic_step_property_for_any_entry_multiset(
+        width_exp in 1u32..5,
+        entries in prop::collection::vec(0usize..64, 0..200),
+    ) {
+        let width = 1usize << width_exp;
+        let net = BitonicNetwork::new(width);
+        let entries: Vec<usize> = entries.into_iter().map(|e| e % width).collect();
+        let counts = net.simulate_counts(&entries);
+        prop_assert!(has_step_property(&counts), "width {width}: {counts:?}");
+        prop_assert_eq!(counts.iter().sum::<u64>(), entries.len() as u64);
+    }
+
+    #[test]
+    fn bitonic_sequential_tokens_exit_round_robin(
+        width_exp in 1u32..5,
+        m in 1usize..80,
+        entry_seed in any::<u64>(),
+    ) {
+        // Whatever wires sequential tokens enter on, the i-th token exits
+        // at rank i mod w — the counting property.
+        let width = 1usize << width_exp;
+        let net = BitonicNetwork::new(width);
+        let mut toggles = vec![false; net.balancer_count()];
+        let mut x = entry_seed;
+        for i in 0..m {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let mut wire = (x >> 33) as usize % width;
+            let mut next = net.entry(wire);
+            while let Some(b) = next {
+                let bal = net.balancer(b);
+                wire = if toggles[b as usize] { bal.bottom } else { bal.top };
+                toggles[b as usize] = !toggles[b as usize];
+                next = net.next_on_wire(wire, b);
+            }
+            prop_assert_eq!(net.exit_rank(wire), i % width, "token {} of width {}", i, width);
+        }
+    }
+
+    #[test]
+    fn combining_tree_gap_free_for_any_batching(
+        n in 2usize..40,
+        batch in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let mut c = CombiningTreeCounter::new(n).expect("combining");
+        let values = ConcurrentDriver::run_batches(&mut c, batch, seed).expect("runs");
+        prop_assert!(ConcurrentDriver::values_are_gap_free(&values));
+        prop_assert_eq!(values.len(), n);
+    }
+
+    #[test]
+    fn diffracting_tree_exit_spread_for_any_batching(
+        depth in 0u32..4,
+        batch in 1usize..33,
+        seed in any::<u64>(),
+    ) {
+        let mut c = DiffractingTreeCounter::new(32, depth).expect("diffracting");
+        let values = ConcurrentDriver::run_batches(&mut c, batch, seed).expect("runs");
+        prop_assert!(ConcurrentDriver::values_are_gap_free(&values));
+        let counts = c.exit_counts();
+        let max = counts.iter().max().copied().unwrap_or(0);
+        let min = counts.iter().min().copied().unwrap_or(0);
+        prop_assert!(max - min <= 1, "balanced exits: {counts:?}");
+    }
+
+    #[test]
+    fn counting_network_correct_under_random_delays(
+        width_exp in 1u32..4,
+        seed in any::<u64>(),
+        max_delay in 1u64..12,
+    ) {
+        let width = 1usize << width_exp;
+        let mut c = CountingNetworkCounter::with_policy(
+            16,
+            width,
+            TraceMode::Off,
+            DeliveryPolicy::random_delay(seed, max_delay),
+        )
+        .expect("counting");
+        for i in 0..16u64 {
+            let r = c.inc(ProcessorId::new((i % 16) as usize)).expect("inc");
+            prop_assert_eq!(r.value, i, "sequential ops count exactly");
+        }
+    }
+
+    #[test]
+    fn hosting_covers_all_processors_when_enough_nodes(
+        processors in 1usize..64,
+        extra in 0usize..4,
+    ) {
+        // With logical >= processors and a coprime stride, every
+        // processor hosts something.
+        let logical = processors * (extra + 1);
+        let h = Hosting::new(logical, processors);
+        let mut hit = vec![false; processors];
+        for i in 0..logical {
+            hit[h.host_of(i).index()] = true;
+        }
+        prop_assert!(hit.iter().all(|&b| b), "stride covers all {processors} processors");
+        // Balance: colocation within 1 of the mean.
+        let mean = logical / processors;
+        prop_assert!(h.max_colocation() <= mean + 1);
+    }
+}

@@ -1,0 +1,38 @@
+//! Criterion bench for E11: cost of the canonical workload under
+//! different retirement thresholds (retirement traffic vs hot-worker
+//! dwell time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distctr_core::{RetirementPolicy, TreeCounter};
+use distctr_sim::{Counter, SequentialDriver, TraceMode};
+
+fn bench_thresholds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("retirement-threshold");
+    group.sample_size(10);
+    let n = 1024usize; // k = 4
+    let policies = [
+        ("age-k", RetirementPolicy::AfterAge(4)),
+        ("paper-4k", RetirementPolicy::PaperDefault),
+        ("age-32k", RetirementPolicy::AfterAge(128)),
+        ("never", RetirementPolicy::Never),
+    ];
+    for (name, policy) in policies {
+        group.bench_function(BenchmarkId::new(name, n), |b| {
+            b.iter(|| {
+                let mut counter = TreeCounter::builder(n)
+                    .expect("builder")
+                    .trace(TraceMode::Off)
+                    .retirement(policy)
+                    .build()
+                    .expect("tree");
+                let out = SequentialDriver::run_shuffled(&mut counter, 3).expect("runs");
+                assert!(out.values_are_sequential());
+                counter.loads().max_load()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_thresholds);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for E1: cost of the greedy longest-list adversary
+//! (probe-heavy: O(n·s) cloned operations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distctr_baselines::CentralCounter;
+use distctr_bound::Adversary;
+use distctr_core::TreeCounter;
+
+fn bench_adversary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adversary");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("exhaustive/tree", 8), |b| {
+        b.iter(|| {
+            let mut counter = TreeCounter::new(8).expect("tree builds");
+            Adversary::exhaustive().run(&mut counter).expect("adversary runs").bottleneck
+        });
+    });
+    group.bench_function(BenchmarkId::new("exhaustive/central", 8), |b| {
+        b.iter(|| {
+            let mut counter = CentralCounter::new(8).expect("central builds");
+            Adversary::exhaustive().run(&mut counter).expect("adversary runs").bottleneck
+        });
+    });
+    group.bench_function(BenchmarkId::new("sampled8/tree", 81), |b| {
+        b.iter(|| {
+            let mut counter = TreeCounter::new(81).expect("tree builds");
+            Adversary::sampled(8, 1).run(&mut counter).expect("adversary runs").bottleneck
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_adversary);
+criterion_main!(benches);

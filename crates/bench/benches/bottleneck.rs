@@ -1,0 +1,32 @@
+//! Criterion bench for E2: wall-clock cost of running the full canonical
+//! workload on each algorithm (the report binary measures message loads;
+//! this measures simulator throughput).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distctr_bench::{run_canonical, Algo};
+use distctr_sim::DeliveryPolicy;
+
+fn bench_canonical_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("canonical-workload");
+    group.sample_size(10);
+    for n in [81usize, 1024] {
+        for algo in Algo::comparison_set(n) {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), n),
+                &(algo, n),
+                |b, &(algo, n)| {
+                    b.iter(|| {
+                        let summary = run_canonical(algo, n, DeliveryPolicy::Fifo, 7)
+                            .expect("canonical run succeeds");
+                        assert!(summary.correct);
+                        summary.bottleneck
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_canonical_workload);
+criterion_main!(benches);

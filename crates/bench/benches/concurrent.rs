@@ -1,0 +1,42 @@
+//! Criterion bench for E9: batched concurrent workloads on the
+//! concurrency-capable structures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distctr_bench::Algo;
+use distctr_sim::{ConcurrentDriver, DeliveryPolicy, TraceMode};
+
+fn bench_batches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("concurrent-batches");
+    group.sample_size(10);
+    let n = 64usize;
+    let width = 8usize;
+    let algos = [
+        Algo::Central,
+        Algo::Combining,
+        Algo::CountingNetwork { width },
+        Algo::Diffracting { depth: 3 },
+    ];
+    for algo in algos {
+        for batch in [1usize, 64] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), format!("batch{batch}")),
+                &batch,
+                |b, &batch| {
+                    b.iter(|| {
+                        let mut counter = algo
+                            .build_concurrent(n, TraceMode::Off, DeliveryPolicy::Fifo)
+                            .expect("builds");
+                        let values = ConcurrentDriver::run_batches(counter.as_mut(), batch, 3)
+                            .expect("runs");
+                        assert!(ConcurrentDriver::values_are_gap_free(&values));
+                        counter.loads().max_load()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batches);
+criterion_main!(benches);

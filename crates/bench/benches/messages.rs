@@ -1,0 +1,28 @@
+//! Criterion bench for E8: single-operation latency (messages are
+//! counted by the report; here we measure the simulator's per-op cost,
+//! which is proportional to the op's message count).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distctr_bench::Algo;
+use distctr_sim::{DeliveryPolicy, ProcessorId, TraceMode};
+
+fn bench_single_inc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single-inc");
+    let n = 1024usize;
+    for algo in Algo::comparison_set(n) {
+        group.bench_function(BenchmarkId::new(algo.name(), n), |b| {
+            let mut counter =
+                algo.build(n, TraceMode::Off, DeliveryPolicy::Fifo).expect("builds");
+            let mut next = 0usize;
+            b.iter(|| {
+                let p = ProcessorId::new(next % counter.processors());
+                next += 1;
+                counter.inc(p).expect("inc runs").messages
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_inc);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for E10: quorum construction, intersection
+//! verification and load computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use distctr_quorum::{Grid, Majority, QuorumSystem, TreeQuorum, Wall};
+
+fn bench_quorums(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quorum");
+    group.bench_function("grid16/verify+load", |b| {
+        b.iter(|| {
+            let g = Grid::new(16).expect("grid");
+            assert!(g.verify_intersection(256));
+            g.uniform_load()
+        });
+    });
+    group.bench_function("majority15/verify+load", |b| {
+        b.iter(|| {
+            let m = Majority::new(15).expect("majority");
+            assert!(m.verify_intersection(500));
+            m.uniform_load()
+        });
+    });
+    group.bench_function("tree-depth3/build+verify", |b| {
+        b.iter(|| {
+            let t = TreeQuorum::new(3).expect("tree");
+            assert!(t.verify_intersection(255));
+            t.quorum_count()
+        });
+    });
+    group.bench_function("wall-tri6/verify+load", |b| {
+        b.iter(|| {
+            let w = Wall::triangular(6).expect("wall");
+            assert!(w.verify_intersection(500));
+            w.uniform_load()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_quorums);
+criterion_main!(benches);

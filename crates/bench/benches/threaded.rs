@@ -1,0 +1,41 @@
+//! Criterion bench for E16: wall-clock cost of the canonical workload on
+//! the real-threads backend vs the simulator (same protocol, different
+//! executor).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distctr_core::TreeCounter;
+use distctr_net::ThreadedTreeCounter;
+use distctr_sim::{Counter, ProcessorId, SequentialDriver, TraceMode};
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend");
+    group.sample_size(10);
+    let n = 81usize;
+    group.bench_function(BenchmarkId::new("simulator", n), |b| {
+        b.iter(|| {
+            let mut counter = TreeCounter::builder(n)
+                .expect("builder")
+                .trace(TraceMode::Off)
+                .build()
+                .expect("tree");
+            let out = SequentialDriver::run_identity(&mut counter).expect("runs");
+            assert!(out.values_are_sequential());
+            counter.loads().max_load()
+        });
+    });
+    group.bench_function(BenchmarkId::new("threads", n), |b| {
+        b.iter(|| {
+            let mut counter = ThreadedTreeCounter::new(n).expect("threads");
+            for i in 0..n {
+                counter.inc(ProcessorId::new(i)).expect("inc");
+            }
+            let bottleneck = counter.bottleneck();
+            counter.shutdown().expect("shutdown");
+            bottleneck
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

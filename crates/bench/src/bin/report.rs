@@ -1,0 +1,131 @@
+//! Regenerates every experiment of the reproduction as a text report.
+//!
+//! Usage:
+//!
+//! ```text
+//! report               # all experiments at default sizes
+//! report --quick       # smaller sizes (CI-friendly)
+//! report e1 e3 f4      # selected experiments only
+//! report --csv out/    # additionally export machine-readable CSV
+//! ```
+
+use distctr_bench::{
+    exp_ablation, exp_arrow, exp_backend, exp_bottleneck, exp_bound, exp_concurrent,
+    exp_hotspot, exp_lemmas, exp_linearizable, figures,
+};
+
+struct Config {
+    quick: bool,
+    csv_dir: Option<std::path::PathBuf>,
+    selected: Vec<String>,
+}
+
+fn wants(cfg: &Config, id: &str) -> bool {
+    cfg.selected.is_empty() || cfg.selected.iter().any(|s| s.eq_ignore_ascii_case(id))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv_dir = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+    let mut skip_next = false;
+    let selected: Vec<String> = args
+        .into_iter()
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if a == "--csv" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
+        .collect();
+    let cfg = Config { quick, csv_dir, selected };
+
+    let sizes: &[usize] = if cfg.quick { &[8, 81] } else { &[8, 81, 1024] };
+    let lemma_orders: &[u32] = if cfg.quick { &[2, 3] } else { &[2, 3, 4] };
+    let adv_n = if cfg.quick { 8 } else { 81 };
+    let conc_n = if cfg.quick { 32 } else { 64 };
+
+    println!("distctr experiment report");
+    println!("reproducing: Wattenhofer & Widmayer, 'An Inherent Bottleneck in Distributed Counting' (1997)");
+    println!("mode: {}\n", if cfg.quick { "quick" } else { "full" });
+
+    if wants(&cfg, "f1") || wants(&cfg, "f2") {
+        println!("{}", figures::figure_1_and_2(81, 40));
+    }
+    if wants(&cfg, "f3") {
+        println!("{}", figures::figure_3(8, 3));
+    }
+    if wants(&cfg, "f4") {
+        println!("{}", figures::figure_4(3));
+    }
+    if wants(&cfg, "e1") {
+        let sample = if adv_n > 16 { Some(8) } else { None };
+        println!("{}", exp_bound::e1_adversarial_lower_bound(adv_n, sample));
+    }
+    if wants(&cfg, "e2") {
+        println!("{}", exp_bottleneck::e2_bottleneck_vs_n(sizes));
+        println!("{}", exp_bottleneck::e2_load_histograms(if cfg.quick { 81 } else { 1024 }));
+    }
+    if wants(&cfg, "e3") {
+        println!("{}", exp_lemmas::e3_retirements_per_level(lemma_orders));
+    }
+    if wants(&cfg, "e4") {
+        println!("{}", exp_lemmas::e4_per_op_lemmas(lemma_orders));
+    }
+    if wants(&cfg, "e5") {
+        println!("{}", exp_lemmas::e5_work_lemmas(lemma_orders));
+    }
+    if wants(&cfg, "e6") {
+        println!("{}", exp_hotspot::e6_hot_spot(if cfg.quick { 8 } else { 81 }));
+    }
+    if wants(&cfg, "e7") {
+        println!("{}", exp_bound::e7_weight_audit(if cfg.quick { 8 } else { 81 }));
+    }
+    if wants(&cfg, "e8") {
+        println!("{}", exp_bottleneck::e8_message_complexity(if cfg.quick { 81 } else { 1024 }));
+    }
+    if wants(&cfg, "e9") {
+        println!("{}", exp_concurrent::e9_concurrency(conc_n, &[1, 8, conc_n]));
+    }
+    if wants(&cfg, "e10") {
+        println!("{}", exp_hotspot::e10_quorums());
+    }
+    let ablation_k = if cfg.quick { 3 } else { 4 };
+    if wants(&cfg, "e11") {
+        println!("{}", exp_ablation::e11_threshold_ablation(ablation_k));
+    }
+    if wants(&cfg, "e12") {
+        println!("{}", exp_ablation::e12_skewed_workloads(ablation_k));
+    }
+    if wants(&cfg, "e13") {
+        println!("{}", exp_ablation::e13_generalized_structures(if cfg.quick { 3 } else { 4 }));
+    }
+    if wants(&cfg, "e14") {
+        println!("{}", exp_linearizable::e14_linearizability());
+    }
+    if wants(&cfg, "e15") {
+        println!("{}", exp_ablation::e15_multi_round(if cfg.quick { 3 } else { 4 }, 4));
+    }
+    if wants(&cfg, "e16") {
+        println!("{}", exp_backend::e16_backend_agreement(if cfg.quick { 8 } else { 81 }));
+    }
+    if wants(&cfg, "e17") {
+        println!("{}", exp_arrow::e17_arrow_topologies(if cfg.quick { 32 } else { 128 }));
+    }
+
+    if let Some(dir) = &cfg.csv_dir {
+        std::fs::create_dir_all(dir).expect("create CSV output directory");
+        let path = dir.join("e2_bottleneck.csv");
+        std::fs::write(&path, exp_bottleneck::e2_csv(sizes)).expect("write CSV");
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,73 @@
+//! Experiment E17 — spanning-tree topology study for the mobile-token
+//! (Arrow) alternative: where does the hot spot go when the *object*
+//! moves instead of the requests?
+
+use distctr_analysis::{fmt_f64, Table};
+use distctr_baselines::{ArrowCounter, SpanningTree};
+use distctr_sim::{Counter, DeliveryPolicy, SequentialDriver, TraceMode};
+
+use crate::algos::REPORT_SEED;
+
+/// E17 — canonical workload on four spanning-tree shapes.
+#[must_use]
+pub fn e17_arrow_topologies(n: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "E17. Mobile-token (Arrow) counter across spanning trees (n = {n}, canonical workload)\n\n"
+    ));
+    let mut table = Table::new(vec![
+        "tree",
+        "total msgs",
+        "msgs/op",
+        "bottleneck",
+        "gini",
+        "longest find",
+    ]);
+    for tree in [
+        SpanningTree::Star,
+        SpanningTree::Heap,
+        SpanningTree::Random(REPORT_SEED),
+        SpanningTree::Path,
+    ] {
+        let mut counter =
+            ArrowCounter::with_tree(n, tree, TraceMode::Off, DeliveryPolicy::Fifo)
+                .expect("arrow builds");
+        let outcome =
+            SequentialDriver::run_shuffled(&mut counter, REPORT_SEED).expect("runs");
+        assert!(outcome.values_are_sequential());
+        table.row(vec![
+            tree.name().to_string(),
+            outcome.total_messages.to_string(),
+            fmt_f64(outcome.messages_per_op()),
+            counter.loads().max_load().to_string(),
+            fmt_f64(counter.loads().gini()),
+            counter.longest_find_path().to_string(),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "(stars minimize messages but concentrate relaying on the center; paths\n spread load but pay Θ(diameter) per op — no shape escapes the theorem)\n\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e17_renders_all_topologies() {
+        let report = e17_arrow_topologies(64);
+        for name in ["star", "heap", "random", "path"] {
+            assert!(report.contains(name), "{name} row present:\n{report}");
+        }
+        // Star's longest find is at most 2 hops.
+        let star = report.lines().find(|l| l.starts_with("star")).expect("star row");
+        let last: u64 = star
+            .split_whitespace()
+            .last()
+            .and_then(|c| c.parse().ok())
+            .expect("longest find column");
+        assert!(last <= 2, "{star}");
+    }
+}

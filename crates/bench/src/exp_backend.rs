@@ -1,0 +1,85 @@
+//! Experiment E16 — backend agreement: the simulator and the
+//! real-threads backend run the same protocol; their observable behaviour
+//! must coincide.
+
+use distctr_analysis::Table;
+use distctr_core::TreeCounter;
+use distctr_net::ThreadedTreeCounter;
+use distctr_sim::{Counter, ProcessorId, TraceMode};
+
+/// E16 — identical workload on both backends; report values, bottleneck,
+/// retirement counts and the shim-bounded load divergence.
+#[must_use]
+pub fn e16_backend_agreement(n: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "E16. Backend agreement: simulator vs {n} real OS threads (identity order)\n\n"
+    ));
+    let mut sim = TreeCounter::builder(n)
+        .expect("builder")
+        .trace(TraceMode::Off)
+        .build()
+        .expect("sim tree");
+    let mut threads = ThreadedTreeCounter::new(n).expect("threaded tree");
+    let mut value_mismatches = 0usize;
+    for p in 0..sim.processors() {
+        let a = sim.inc(ProcessorId::new(p)).expect("sim inc").value;
+        let b = threads.inc(ProcessorId::new(p)).expect("threaded inc");
+        if a != b {
+            value_mismatches += 1;
+        }
+    }
+    let sim_loads = sim.loads().to_vec();
+    let thread_loads = threads.loads();
+    let max_load_diff = sim_loads
+        .iter()
+        .zip(&thread_loads)
+        .map(|(&a, &b)| a.abs_diff(b))
+        .max()
+        .unwrap_or(0);
+    let sim_retirements: u64 = sim.audit().retirements_by_level().iter().sum();
+
+    let mut table = Table::new(vec!["quantity", "simulator", "threads", "agreement"]);
+    table.row(vec![
+        "values (mismatches)".into(),
+        "0..n".into(),
+        "0..n".into(),
+        format!("{value_mismatches} mismatches"),
+    ]);
+    table.row(vec![
+        "bottleneck".into(),
+        sim.loads().max_load().to_string(),
+        threads.bottleneck().to_string(),
+        format!("|diff| = {}", sim.loads().max_load().abs_diff(threads.bottleneck())),
+    ]);
+    table.row(vec![
+        "retirements".into(),
+        sim_retirements.to_string(),
+        threads.retirements().to_string(),
+        if sim_retirements == threads.retirements() { "exact".into() } else { "DIFFERS".to_string() },
+    ]);
+    table.row(vec![
+        "per-processor load".into(),
+        "-".into(),
+        "-".into(),
+        format!("max |diff| = {max_load_diff} (shim slack)"),
+    ]);
+    out.push_str(&table.render());
+    out.push('\n');
+    threads.shutdown().expect("shutdown");
+    assert_eq!(value_mismatches, 0, "backends must agree on every value");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e16_backends_agree() {
+        let report = e16_backend_agreement(81);
+        assert!(report.contains("0 mismatches"), "{report}");
+        assert!(report.contains("exact"), "{report}");
+        assert!(!report.contains("DIFFERS"), "{report}");
+    }
+}

@@ -1,0 +1,109 @@
+//! Experiment E9 — the concurrency extension: combining trees,
+//! counting networks and diffracting trees only pay off when operations
+//! overlap, which is exactly the regime the paper's sequential model
+//! excludes. This experiment shows both regimes side by side.
+
+use distctr_analysis::{fmt_f64, Table};
+use distctr_sim::{ConcurrentDriver, DeliveryPolicy, TraceMode};
+
+use crate::algos::Algo;
+
+/// E9 — contention under batched concurrency: for each batch size, run a
+/// full permutation in batches and report the bottleneck and the
+/// coordination-structure effectiveness (combining/diffraction rates are
+/// reported by the implementations' own counters where applicable).
+#[must_use]
+pub fn e9_concurrency(n: usize, batches: &[usize]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "E9. Concurrency extension (n = {n}; one op per processor, injected in batches)\n\n"
+    ));
+    let mut table = Table::new(vec![
+        "algorithm",
+        "batch",
+        "bottleneck",
+        "total msgs",
+        "gap-free",
+    ]);
+    let width = ((n as f64).sqrt() as usize).next_power_of_two().clamp(2, 64);
+    let algos = [
+        Algo::Central,
+        Algo::Combining,
+        Algo::CountingNetwork { width },
+        Algo::Diffracting { depth: width.trailing_zeros() },
+    ];
+    for algo in algos {
+        for &batch in batches {
+            let row = (|| -> Result<(u64, u64, bool), String> {
+                let mut counter =
+                    algo.build_concurrent(n, TraceMode::Off, DeliveryPolicy::Fifo)?;
+                let values = ConcurrentDriver::run_batches(counter.as_mut(), batch, 77)
+                    .map_err(|e| e.to_string())?;
+                Ok((
+                    counter.loads().max_load(),
+                    counter.loads().total_messages(),
+                    ConcurrentDriver::values_are_gap_free(&values),
+                ))
+            })();
+            match row {
+                Ok((bottleneck, total, gap_free)) => {
+                    table.row(vec![
+                        algo.name(),
+                        batch.to_string(),
+                        bottleneck.to_string(),
+                        total.to_string(),
+                        if gap_free { "yes".into() } else { "NO".to_string() },
+                    ]);
+                }
+                Err(e) => {
+                    table.row(vec![
+                        algo.name(),
+                        batch.to_string(),
+                        format!("error: {e}"),
+                        "-".into(),
+                        "-".into(),
+                    ]);
+                }
+            }
+        }
+    }
+    out.push_str(&table.render());
+    out.push('\n');
+
+    // Effectiveness detail for the two structures with internal rates.
+    let mut detail = Table::new(vec!["structure", "batch", "rate"]);
+    for &batch in batches {
+        let mut comb = distctr_baselines::CombiningTreeCounter::new(n).expect("combining");
+        ConcurrentDriver::run_batches(&mut comb, batch, 77).expect("runs");
+        detail.row(vec![
+            "combining rate".into(),
+            batch.to_string(),
+            fmt_f64(comb.combining_rate()),
+        ]);
+        let mut diff = distctr_baselines::DiffractingTreeCounter::new(n, width.trailing_zeros())
+            .expect("diffracting");
+        ConcurrentDriver::run_batches(&mut diff, batch, 77).expect("runs");
+        detail.row(vec![
+            "diffraction rate".into(),
+            batch.to_string(),
+            fmt_f64(diff.diffraction_rate()),
+        ]);
+    }
+    out.push_str(&detail.render());
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e9_all_gap_free_and_rates_grow_with_batch() {
+        let report = e9_concurrency(32, &[1, 32]);
+        assert!(!report.contains("NO"), "{report}");
+        assert!(!report.contains("error"), "{report}");
+        assert!(report.contains("combining rate"));
+        assert!(report.contains("diffraction rate"));
+    }
+}

@@ -1,0 +1,158 @@
+//! Experiments E6 (Hot Spot Lemma on traces) and E10 (quorum-system
+//! substrate and the dynamic-quorum view).
+
+use distctr_analysis::{fmt_f64, Table};
+use distctr_quorum::{dynamic_view, Fpp, Grid, Majority, QuorumSystem, TreeQuorum, Wall};
+use distctr_sim::{ContactSet, DeliveryPolicy, TraceMode};
+
+use crate::algos::{run_shuffled_dyn, Algo, REPORT_SEED};
+
+/// E6 — the Hot Spot Lemma checked on recorded traces of every
+/// implementation under every delivery policy.
+#[must_use]
+pub fn e6_hot_spot(n: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "E6. Hot Spot Lemma: consecutive contact sets intersect (n = {n})\n\n"
+    ));
+    let mut table =
+        Table::new(vec!["algorithm", "policy", "pairs checked", "violations", "verdict"]);
+    for algo in Algo::comparison_set(n) {
+        for policy in DeliveryPolicy::test_suite() {
+            let pname = policy.name();
+            let row = (|| -> Result<(usize, usize), String> {
+                let mut counter = algo.build(n, TraceMode::Contacts, policy)?;
+                let outcome =
+                    run_shuffled_dyn(counter.as_mut(), REPORT_SEED).map_err(|e| e.to_string())?;
+                let contacts: Vec<&ContactSet> = outcome
+                    .results
+                    .iter()
+                    .map(|r| &r.trace.as_ref().expect("contacts recorded").contacts)
+                    .collect();
+                let pairs = contacts.len().saturating_sub(1);
+                let violations = contacts
+                    .windows(2)
+                    .filter(|pair| !pair[0].intersects(pair[1]))
+                    .count();
+                Ok((pairs, violations))
+            })();
+            match row {
+                Ok((pairs, violations)) => {
+                    table.row(vec![
+                        algo.name(),
+                        pname.to_string(),
+                        pairs.to_string(),
+                        violations.to_string(),
+                        if violations == 0 { "holds".into() } else { "VIOLATED".into() },
+                    ]);
+                }
+                Err(e) => {
+                    table.row(vec![
+                        algo.name(),
+                        pname.to_string(),
+                        "-".into(),
+                        "-".into(),
+                        format!("error: {e}"),
+                    ]);
+                }
+            }
+        }
+    }
+    out.push_str(&table.render());
+    out.push('\n');
+    out
+}
+
+/// E10 — the quorum substrate: static constructions side by side, and
+/// the execution of the retirement tree read as a *dynamic quorum
+/// system* (the paper's own framing).
+#[must_use]
+pub fn e10_quorums() -> String {
+    let mut out = String::new();
+    out.push_str("E10. Quorum systems (static constructions)\n\n");
+    let mut table = Table::new(vec![
+        "system",
+        "universe",
+        "quorums",
+        "min size",
+        "uniform load",
+        "intersects",
+    ]);
+    let systems: Vec<Box<dyn QuorumSystem>> = vec![
+        Box::new(Majority::new(16).expect("majority")),
+        Box::new(Grid::new(4).expect("grid")),
+        Box::new(Fpp::new(3).expect("projective plane")),
+        Box::new(TreeQuorum::new(3).expect("tree quorum")),
+        Box::new(Wall::triangular(5).expect("wall")),
+    ];
+    for s in &systems {
+        table.row(vec![
+            s.name().to_string(),
+            s.universe().to_string(),
+            s.quorum_count().to_string(),
+            s.min_quorum_size(usize::MAX).to_string(),
+            fmt_f64(s.uniform_load()),
+            if s.verify_intersection(2000) { "yes".into() } else { "NO".to_string() },
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push('\n');
+
+    out.push_str("Dynamic-quorum view of counter executions (n = 81):\n\n");
+    let mut dyn_table = Table::new(vec![
+        "algorithm",
+        "ops",
+        "contact size (min/mean/max)",
+        "busiest",
+        "dyn load",
+        "hot spot",
+    ]);
+    for algo in [Algo::Central, Algo::RetirementTree] {
+        let mut counter =
+            algo.build(81, TraceMode::Contacts, DeliveryPolicy::Fifo).expect("builds");
+        let outcome = run_shuffled_dyn(counter.as_mut(), REPORT_SEED).expect("runs");
+        let contacts: Vec<&ContactSet> = outcome
+            .results
+            .iter()
+            .map(|r| &r.trace.as_ref().expect("contacts recorded").contacts)
+            .collect();
+        let view = dynamic_view(&contacts, counter.processors());
+        dyn_table.row(vec![
+            algo.name(),
+            view.operations.to_string(),
+            format!("{}/{}/{}", view.min_size, fmt_f64(view.mean_size), view.max_size),
+            view.busiest.map_or("-".into(), |(p, c)| format!("{p} ({c} ops)")),
+            fmt_f64(view.load),
+            if view.verdict.holds() { "holds".into() } else { "VIOLATED".to_string() },
+        ]);
+    }
+    out.push_str(&dyn_table.render());
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e6_no_violations_at_n8() {
+        let report = e6_hot_spot(8);
+        assert!(!report.contains("VIOLATED"), "{report}");
+        assert!(!report.contains("error"), "{report}");
+        assert!(report.contains("lifo"));
+    }
+
+    #[test]
+    fn e10_quorum_tables_render() {
+        let report = e10_quorums();
+        for name in ["majority", "grid", "fpp", "tree", "wall"] {
+            assert!(report.contains(name), "{name} in report");
+        }
+        assert!(!report.contains("NO"));
+        assert!(!report.contains("VIOLATED"));
+        // The centralized counter's dynamic load is 1.0 (coordinator in
+        // every contact set).
+        assert!(report.contains("1.00") || report.contains("1.0"));
+    }
+}

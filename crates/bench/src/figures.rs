@@ -1,0 +1,111 @@
+//! Regenerating the paper's figures as text artifacts.
+//!
+//! * Figure 1 — the communication DAG of one inc operation;
+//! * Figure 2 — the same process as a topologically sorted list;
+//! * Figure 3 — the adversary's view: per-processor hypothetical list
+//!   lengths before an operation;
+//! * Figure 4 — the communication tree structure and its id scheme.
+
+use distctr_bound::Adversary;
+use distctr_core::TreeCounter;
+use distctr_sim::{CommList, Counter, ProcessorId, TraceMode};
+
+/// F1 + F2 — trace one inc operation on the retirement tree and render
+/// its DAG and communication list.
+#[must_use]
+pub fn figure_1_and_2(n: usize, initiator: usize) -> String {
+    let mut out = String::new();
+    let mut counter = TreeCounter::builder(n)
+        .expect("builder")
+        .trace(TraceMode::Full)
+        .build()
+        .expect("tree builds");
+    // Warm the tree up so the traced op is a generic one.
+    for p in 0..counter.processors().min(4) {
+        if p != initiator {
+            counter.inc(ProcessorId::new(p)).expect("warmup inc");
+        }
+    }
+    let result = counter.inc(ProcessorId::new(initiator)).expect("inc runs");
+    let trace = result.trace.expect("full trace");
+    let dag = trace.dag.expect("dag recorded");
+    out.push_str(&format!(
+        "Figure 1 — communication DAG of {} initiated by P{initiator} (value {}):\n",
+        trace.op, result.value
+    ));
+    out.push_str(&dag.render_ascii());
+    let list = CommList::from_dag(&dag);
+    out.push_str(&format!(
+        "\nFigure 2 — as a topologically sorted communication list ({} arcs):\n  {}\n",
+        list.len_arcs(),
+        list.render_ascii()
+    ));
+    out.push_str(&format!(
+        "\n  modelling check (list in-arcs <= DAG in-arcs per label): {}\n",
+        if list.models(&dag) { "holds" } else { "VIOLATED" }
+    ));
+    out
+}
+
+/// F3 — the adversary's situation before an operation: candidate
+/// processors and their hypothetical communication-list lengths.
+#[must_use]
+pub fn figure_3(n: usize, after_ops: usize) -> String {
+    let mut out = String::new();
+    let mut counter = TreeCounter::new(n).expect("tree builds");
+    // Execute a short adversarial prefix.
+    let adversary = Adversary::exhaustive();
+    let full = {
+        let mut probe = counter.clone();
+        adversary.run(&mut probe).expect("adversary runs")
+    };
+    let prefix = &full.order[..after_ops.min(full.order.len())];
+    for &p in prefix {
+        counter.inc(p).expect("prefix inc");
+    }
+    out.push_str(&format!(
+        "Figure 3 — list lengths of pending initiators after {} adversarial ops (n = {}):\n",
+        prefix.len(),
+        counter.processors()
+    ));
+    let mut pending: Vec<ProcessorId> = (0..counter.processors())
+        .map(ProcessorId::new)
+        .filter(|p| !prefix.contains(p))
+        .collect();
+    pending.truncate(12);
+    for p in pending {
+        let mut probe = counter.clone();
+        let r = probe.inc(p).expect("probe inc");
+        out.push_str(&format!("  {p}: list length {}\n", r.list_len()));
+    }
+    out.push_str("  (the adversary commits the longest list)\n");
+    out
+}
+
+/// F4 — the communication tree structure with its identifier scheme.
+#[must_use]
+pub fn figure_4(k: u32) -> String {
+    let counter = TreeCounter::with_order(k).expect("tree builds");
+    format!("Figure 4 — communication tree structure:\n{}", counter.topology().render_ascii())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figures_render_without_violations() {
+        let f12 = figure_1_and_2(8, 5);
+        assert!(f12.contains("Figure 1"));
+        assert!(f12.contains("Figure 2"));
+        assert!(f12.contains("holds"));
+        assert!(!f12.contains("VIOLATED"));
+
+        let f3 = figure_3(8, 3);
+        assert!(f3.contains("list length"));
+
+        let f4 = figure_4(3);
+        assert!(f4.contains("level 0"));
+        assert!(f4.contains("81"));
+    }
+}

@@ -1,0 +1,29 @@
+//! # distctr-bench
+//!
+//! The experiment harness: every figure and theorem/lemma of the paper
+//! regenerated as a text report (the paper has no numeric tables; its
+//! "evaluation" is theorems, which the experiments make falsifiable).
+//!
+//! * `report` binary — `cargo run -p distctr-bench --bin report [--all | e1 e2 ...]`
+//!   regenerates the experiment tables recorded in `EXPERIMENTS.md`.
+//! * Criterion benches (`benches/`) — wall-clock cost of operations,
+//!   sequences, adversaries and quorum machinery.
+//!
+//! The experiment index (E1-E10, F1-F4) is documented in `DESIGN.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algos;
+pub mod exp_ablation;
+pub mod exp_arrow;
+pub mod exp_backend;
+pub mod exp_bottleneck;
+pub mod exp_bound;
+pub mod exp_concurrent;
+pub mod exp_hotspot;
+pub mod exp_lemmas;
+pub mod exp_linearizable;
+pub mod figures;
+
+pub use algos::{run_canonical, run_shuffled_dyn, Algo, RunSummary, REPORT_SEED};

@@ -1,0 +1,31 @@
+//! Report determinism: every experiment function is a pure function of
+//! its seed — two invocations in the same process produce byte-identical
+//! output. This is what makes EXPERIMENTS.md reproducible.
+
+use distctr_bench::{exp_ablation, exp_bottleneck, exp_bound, exp_hotspot, exp_lemmas};
+
+#[test]
+fn experiment_tables_are_deterministic() {
+    assert_eq!(
+        exp_bottleneck::e2_bottleneck_vs_n(&[8, 81]),
+        exp_bottleneck::e2_bottleneck_vs_n(&[8, 81]),
+        "E2"
+    );
+    assert_eq!(exp_bottleneck::e2_csv(&[8, 81]), exp_bottleneck::e2_csv(&[8, 81]), "E2 CSV");
+    assert_eq!(
+        exp_lemmas::e3_retirements_per_level(&[2, 3]),
+        exp_lemmas::e3_retirements_per_level(&[2, 3]),
+        "E3"
+    );
+    assert_eq!(
+        exp_bound::e1_adversarial_lower_bound(8, None),
+        exp_bound::e1_adversarial_lower_bound(8, None),
+        "E1"
+    );
+    assert_eq!(exp_hotspot::e10_quorums(), exp_hotspot::e10_quorums(), "E10");
+    assert_eq!(
+        exp_ablation::e12_skewed_workloads(2),
+        exp_ablation::e12_skewed_workloads(2),
+        "E12"
+    );
+}

@@ -1,0 +1,154 @@
+//! Exhaustive worst-case search over *all* operation orders, for tiny
+//! networks.
+//!
+//! The greedy longest-list adversary is a heuristic realization of the
+//! proof's adversary. For small `n` we can afford ground truth: try every
+//! permutation of initiators and report the order that maximizes the
+//! bottleneck load. Tests use this to confirm (a) the theorem's bound is
+//! respected by the *best possible* schedule too, and (b) the greedy
+//! adversary is close to the true worst case.
+
+use distctr_sim::{Counter, ProcessorId, SimError};
+
+/// Result of an exhaustive schedule search.
+#[derive(Debug, Clone)]
+pub struct ExhaustiveOutcome {
+    /// The order achieving the worst (largest) bottleneck.
+    pub worst_order: Vec<ProcessorId>,
+    /// The bottleneck load of that order.
+    pub worst_bottleneck: u64,
+    /// The order achieving the best (smallest) bottleneck.
+    pub best_order: Vec<ProcessorId>,
+    /// The bottleneck load of that order.
+    pub best_bottleneck: u64,
+    /// Number of permutations evaluated.
+    pub permutations: u64,
+}
+
+/// Enumeration bound: 8! = 40320 permutations, each a full simulated
+/// sequence; beyond that the search explodes.
+pub const MAX_EXHAUSTIVE_N: usize = 8;
+
+/// Evaluates every permutation of initiators on clones of `counter`.
+///
+/// # Errors
+///
+/// Propagates errors from the counter's `inc`; returns an error string
+/// if `n` exceeds [`MAX_EXHAUSTIVE_N`].
+pub fn exhaustive_search<C: Counter + Clone>(
+    counter: &C,
+) -> Result<ExhaustiveOutcome, SimError> {
+    let n = counter.processors();
+    assert!(
+        n <= MAX_EXHAUSTIVE_N,
+        "exhaustive search is bounded at n <= {MAX_EXHAUSTIVE_N}, got {n}"
+    );
+    let mut order: Vec<ProcessorId> = (0..n).map(ProcessorId::new).collect();
+    let mut worst: Option<(Vec<ProcessorId>, u64)> = None;
+    let mut best: Option<(Vec<ProcessorId>, u64)> = None;
+    let mut permutations = 0u64;
+
+    // Heap's algorithm, iterative.
+    let mut c = vec![0usize; n];
+    let evaluate = |order: &[ProcessorId],
+                        worst: &mut Option<(Vec<ProcessorId>, u64)>,
+                        best: &mut Option<(Vec<ProcessorId>, u64)>|
+     -> Result<(), SimError> {
+        let mut probe = counter.clone();
+        for &p in order {
+            probe.inc(p)?;
+        }
+        let bottleneck = probe.loads().max_load();
+        if worst.as_ref().is_none_or(|(_, b)| bottleneck > *b) {
+            *worst = Some((order.to_vec(), bottleneck));
+        }
+        if best.as_ref().is_none_or(|(_, b)| bottleneck < *b) {
+            *best = Some((order.to_vec(), bottleneck));
+        }
+        Ok(())
+    };
+
+    evaluate(&order, &mut worst, &mut best)?;
+    permutations += 1;
+    let mut i = 0usize;
+    while i < n {
+        if c[i] < i {
+            if i.is_multiple_of(2) {
+                order.swap(0, i);
+            } else {
+                order.swap(c[i], i);
+            }
+            evaluate(&order, &mut worst, &mut best)?;
+            permutations += 1;
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+
+    let (worst_order, worst_bottleneck) = worst.expect("at least one permutation");
+    let (best_order, best_bottleneck) = best.expect("at least one permutation");
+    Ok(ExhaustiveOutcome {
+        worst_order,
+        worst_bottleneck,
+        best_order,
+        best_bottleneck,
+        permutations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::Adversary;
+    use crate::theory;
+    use distctr_baselines::CentralCounter;
+    use distctr_core::TreeCounter;
+
+    #[test]
+    fn search_covers_all_permutations() {
+        let counter = CentralCounter::new(4).expect("central");
+        let out = exhaustive_search(&counter).expect("search");
+        assert_eq!(out.permutations, 24, "4! orders");
+        // The central counter's bottleneck is order-independent.
+        assert_eq!(out.worst_bottleneck, out.best_bottleneck);
+        assert_eq!(out.worst_bottleneck, 2 * 4 + 2);
+    }
+
+    #[test]
+    fn even_the_best_order_respects_the_lower_bound() {
+        let counter = TreeCounter::new(8).expect("tree");
+        let out = exhaustive_search(&counter).expect("search");
+        let k = u64::from(theory::lower_bound_k(8));
+        assert!(
+            out.best_bottleneck >= k,
+            "no schedule beats the theorem: best {} >= k {k}",
+            out.best_bottleneck
+        );
+        assert!(out.worst_bottleneck >= out.best_bottleneck);
+        assert_eq!(out.permutations, 40_320, "8! orders");
+    }
+
+    #[test]
+    fn greedy_adversary_is_near_the_true_worst_case() {
+        let counter = TreeCounter::new(8).expect("tree");
+        let truth = exhaustive_search(&counter).expect("search");
+        let mut greedy_counter = counter.clone();
+        let greedy = Adversary::exhaustive().run(&mut greedy_counter).expect("adversary");
+        assert!(
+            2 * greedy.bottleneck.1 >= truth.worst_bottleneck,
+            "greedy ({}) within 2x of the true worst case ({})",
+            greedy.bottleneck.1,
+            truth.worst_bottleneck
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bounded")]
+    fn oversized_search_rejected() {
+        let counter = CentralCounter::new(9).expect("central");
+        let _ = exhaustive_search(&counter);
+    }
+}

@@ -1,0 +1,42 @@
+//! # distctr-bound
+//!
+//! Executable machinery for the paper's Lower Bound Theorem: *in any
+//! distributed counter on n processors, over a sequence of n operations
+//! with each processor incrementing exactly once, some processor sends
+//! and receives Ω(k) messages, where k^(k+1) = n.*
+//!
+//! Three pieces make the bound something you can *run*, not just prove:
+//!
+//! * [`theory`] — the arithmetic: `k(n)`, the continuous threshold
+//!   `λ·2^λ ≥ √n`, the AM-GM and pigeonhole steps.
+//! * [`Adversary`] — the proof's "longest communication list first"
+//!   operation scheduler, generic over any [`distctr_sim::Counter`]
+//!   implementation (probing candidates on cloned counters).
+//! * [`audit_weights`] — the weight-function argument replayed on a real
+//!   execution: `q`'s hypothetical list, its position-discounted weight
+//!   trajectory, and the hot-spot premise checked at every step.
+//!
+//! ```
+//! use distctr_bound::{Adversary, theory};
+//! use distctr_core::TreeCounter;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut counter = TreeCounter::new(8)?; // k = 2
+//! let outcome = Adversary::exhaustive().run(&mut counter)?;
+//! assert!(outcome.consistent_with_theorem());
+//! assert_eq!(theory::lower_bound_k(8), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod exhaustive;
+pub mod theory;
+pub mod weights;
+
+pub use adversary::{Adversary, AdversaryOutcome};
+pub use exhaustive::{exhaustive_search, ExhaustiveOutcome, MAX_EXHAUSTIVE_N};
+pub use weights::{audit_weights, WeightAudit};

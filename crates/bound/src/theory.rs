@@ -1,0 +1,184 @@
+//! The Lower Bound Theorem's arithmetic, as executable checks.
+//!
+//! "In any algorithm that implements a distributed counter on n
+//! processors there is a bottleneck processor that sends and receives
+//! Ω(k) messages, where k·k^k = n."
+//!
+//! The proof chains three elementary facts this module makes checkable on
+//! real executions:
+//!
+//! 1. **Pigeonhole**: if the n operations send `Σ L_i = n·L̄` messages in
+//!    total, some processor's load is at least `⌈2nL̄/n⌉ = 2L̄ ≥ L̄`
+//!    (every message is charged to a sender and a receiver).
+//! 2. **AM-GM**: `Σ 2^(−l_i) ≥ n · 2^(−l̄)` for any list lengths `l_i`
+//!    with mean `l̄`.
+//! 3. **Threshold**: combining 1-2 with the weight-function argument
+//!    yields `λ · 2^λ ≥ √n` for the bottleneck load `λ`, whence `λ ≥ k`
+//!    with `k^(k+1) = n` (up to the floor the paper takes).
+
+use distctr_core::kmath;
+
+/// The theorem's `k` for a network of `n` processors: the largest `k`
+/// with `k^(k+1) <= n`. Every counter implementation must have a
+/// bottleneck processor with load at least this.
+///
+/// # Examples
+///
+/// ```
+/// use distctr_bound::theory::lower_bound_k;
+/// assert_eq!(lower_bound_k(81), 3);
+/// assert_eq!(lower_bound_k(1024), 4);
+/// assert_eq!(lower_bound_k(2000), 4);
+/// ```
+#[must_use]
+pub fn lower_bound_k(n: u64) -> u32 {
+    kmath::bottleneck_lower_bound(n)
+}
+
+/// The continuous version of the bound, `x` solving `x^(x+1) = n` —
+/// `≈ ln n / ln ln n`. Used as a plot overlay.
+#[must_use]
+pub fn lower_bound_continuous(n: f64) -> f64 {
+    kmath::continuous_order(n)
+}
+
+/// The smallest `λ` satisfying the proof's final inequality
+/// `λ · 2^λ ≥ sqrt(n)` — the exact form the weight argument produces
+/// before the paper coarsens it to `k` with `k^(k+1) = n`.
+///
+/// # Examples
+///
+/// ```
+/// use distctr_bound::theory::weight_threshold;
+/// assert!(weight_threshold(1024.0) >= 2.0);
+/// ```
+#[must_use]
+pub fn weight_threshold(n: f64) -> f64 {
+    if n <= 1.0 {
+        return 0.0;
+    }
+    let target = n.sqrt();
+    // λ·2^λ is increasing; bisect.
+    let (mut lo, mut hi) = (0.0f64, 64.0f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if mid * mid.exp2() >= target {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+/// Left-hand side of the AM-GM step: `Σ 2^(−l_i)`.
+#[must_use]
+pub fn inverse_exponential_sum(list_lens: &[u64]) -> f64 {
+    list_lens.iter().map(|&l| (-(l as f64)).exp2()).sum()
+}
+
+/// Right-hand side of the AM-GM step: `n · 2^(−mean(l))`.
+#[must_use]
+pub fn amgm_lower_bound(list_lens: &[u64]) -> f64 {
+    if list_lens.is_empty() {
+        return 0.0;
+    }
+    let n = list_lens.len() as f64;
+    let mean = list_lens.iter().sum::<u64>() as f64 / n;
+    n * (-mean).exp2()
+}
+
+/// Verifies the AM-GM inequality `Σ 2^(−l_i) ≥ n·2^(−l̄)` on measured
+/// list lengths (allowing for floating-point slack).
+#[must_use]
+pub fn amgm_holds(list_lens: &[u64]) -> bool {
+    inverse_exponential_sum(list_lens) + 1e-9 >= amgm_lower_bound(list_lens)
+}
+
+/// The pigeonhole step: with `total` messages over `n` processors, some
+/// processor's load (sends + receives) is at least `ceil(2·total / n)`.
+#[must_use]
+pub fn pigeonhole_bound(total_messages: u64, n: u64) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    (2 * total_messages).div_ceil(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_bound_k_matches_kmath_table() {
+        assert_eq!(lower_bound_k(1), 1);
+        assert_eq!(lower_bound_k(8), 2);
+        assert_eq!(lower_bound_k(80), 2);
+        assert_eq!(lower_bound_k(81), 3);
+        assert_eq!(lower_bound_k(15_625), 5);
+        assert_eq!(lower_bound_k(279_936), 6);
+    }
+
+    #[test]
+    fn weight_threshold_is_increasing_and_sane() {
+        let mut last = 0.0;
+        for exp in 1..12 {
+            let n = 10f64.powi(exp);
+            let lam = weight_threshold(n);
+            assert!(lam >= last, "monotone");
+            // Check it actually satisfies the inequality.
+            assert!(lam * lam.exp2() >= n.sqrt() * 0.999);
+            last = lam;
+        }
+        assert_eq!(weight_threshold(1.0), 0.0);
+    }
+
+    #[test]
+    fn weight_threshold_tracks_discrete_k() {
+        // λ(n) and k(n) are within a small factor of each other on the
+        // exact points n = k^(k+1).
+        for k in 2..=6u32 {
+            let n = distctr_core::kmath::leaves_of_order(k) as f64;
+            let lam = weight_threshold(n);
+            let kf = k as f64;
+            assert!(
+                lam <= kf + 1.0 && lam >= kf / 4.0,
+                "k={k}: λ={lam} comparable to k"
+            );
+        }
+    }
+
+    #[test]
+    fn amgm_on_uniform_lists_is_tight() {
+        let lens = vec![5u64; 100];
+        let lhs = inverse_exponential_sum(&lens);
+        let rhs = amgm_lower_bound(&lens);
+        assert!((lhs - rhs).abs() < 1e-9, "equality when all lengths equal");
+        assert!(amgm_holds(&lens));
+    }
+
+    #[test]
+    fn amgm_on_skewed_lists_is_strict() {
+        let lens = vec![0u64, 10];
+        assert!(inverse_exponential_sum(&lens) > amgm_lower_bound(&lens));
+        assert!(amgm_holds(&lens));
+    }
+
+    #[test]
+    fn amgm_empty_input() {
+        assert_eq!(inverse_exponential_sum(&[]), 0.0);
+        assert_eq!(amgm_lower_bound(&[]), 0.0);
+        assert!(amgm_holds(&[]));
+    }
+
+    #[test]
+    fn pigeonhole_examples() {
+        // 16 messages over 8 processors: total load 32, someone has >= 4.
+        assert_eq!(pigeonhole_bound(16, 8), 4);
+        assert_eq!(pigeonhole_bound(1, 8), 1);
+        assert_eq!(pigeonhole_bound(0, 8), 0);
+        assert_eq!(pigeonhole_bound(5, 0), 0);
+        // Rounds up.
+        assert_eq!(pigeonhole_bound(9, 4), 5);
+    }
+}

@@ -1,0 +1,209 @@
+//! The weight-function audit: replaying the lower-bound proof's central
+//! argument on a real execution.
+//!
+//! The proof tracks, for the processor `q` chosen *last*, the
+//! communication list its operation would have at each point in the
+//! sequence, and the weight
+//!
+//! ```text
+//! w_i = Σ_j m(p_ij) / 2^j
+//! ```
+//!
+//! over that list (position-discounted message loads). Two facts make the
+//! argument executable:
+//!
+//! * **Hot-spot premise** — during every operation `i`, at least one
+//!   processor of `q`'s *current hypothetical* process must send or
+//!   receive a message; otherwise `q`'s process would be unable to
+//!   distinguish the pre- and post-`i` states and would return a stale
+//!   value. For a deterministic implementation this is directly
+//!   checkable: probe `q`'s operation on a cloned counter, take its
+//!   contact set, and intersect with the committed operation's contact
+//!   set.
+//! * **Weight growth** — the proof derives `w_{i+1} ≥ w_i + 2^(−l_i)`,
+//!   accumulating to `w_n ≥ Σ 2^(−l_i) ≥ n·2^(−l̄)` (AM-GM), which forces
+//!   the bottleneck `λ` to satisfy `λ·2^λ ≥ √n`. The audit records the
+//!   measured trajectory and the accumulated right-hand sides so
+//!   experiments can display the proof's quantities on real runs.
+
+use distctr_sim::{CommList, Counter, ProcessorId, SimError};
+
+use crate::theory;
+
+/// Measured quantities of one weight-function audit.
+#[derive(Debug, Clone)]
+pub struct WeightAudit {
+    /// The last processor of the audited order.
+    pub q: ProcessorId,
+    /// `w_i` measured before each operation `i` (length `n`).
+    pub weights: Vec<f64>,
+    /// Length `l_i` of `q`'s hypothetical communication list before each
+    /// operation.
+    pub q_list_lens: Vec<u64>,
+    /// Number of operations whose contact set intersected `q`'s
+    /// hypothetical contact set (the hot-spot premise; must equal
+    /// `steps` for a correct counter).
+    pub hot_spot_hits: usize,
+    /// Operations audited (`n − 1`: all but `q`'s own).
+    pub steps: usize,
+    /// `Σ 2^(−l_i)` over the audited steps.
+    pub inverse_exp_sum: f64,
+    /// `q`'s measured load after the full sequence.
+    pub q_load: u64,
+    /// The bottleneck load after the full sequence.
+    pub bottleneck: u64,
+}
+
+impl WeightAudit {
+    /// Whether the hot-spot premise held at every step.
+    #[must_use]
+    pub fn hot_spot_premise_holds(&self) -> bool {
+        self.hot_spot_hits == self.steps
+    }
+
+    /// The AM-GM lower bound `n·2^(−l̄)` for the audited list lengths.
+    #[must_use]
+    pub fn amgm_bound(&self) -> f64 {
+        theory::amgm_lower_bound(&self.q_list_lens)
+    }
+
+    /// Whether the measured bottleneck satisfies the theorem's conclusion
+    /// for this network size.
+    #[must_use]
+    pub fn conclusion_holds(&self, n: u64) -> bool {
+        self.bottleneck >= u64::from(theory::lower_bound_k(n))
+    }
+}
+
+/// Runs the audit: executes `order` (all operations) on `counter`,
+/// probing `q = order.last()`'s hypothetical operation before each step.
+///
+/// The counter must record **full traces** (`TraceMode::Full`) so the
+/// probe can recover `q`'s ordered communication list.
+///
+/// # Errors
+///
+/// Propagates errors from the counter's `inc`.
+///
+/// # Panics
+///
+/// Panics if `order` is empty or if the counter does not record full
+/// traces.
+pub fn audit_weights<C: Counter + Clone>(
+    counter: &mut C,
+    order: &[ProcessorId],
+) -> Result<WeightAudit, SimError> {
+    let q = *order.last().expect("order must be nonempty");
+    let steps = order.len() - 1;
+    let mut weights = Vec::with_capacity(order.len());
+    let mut q_list_lens = Vec::with_capacity(order.len());
+    let mut hot_spot_hits = 0usize;
+    let mut inverse_exp_sum = 0.0f64;
+
+    for (i, &p) in order.iter().enumerate() {
+        // Probe q's hypothetical operation from the current state.
+        let mut probe = counter.clone();
+        let probe_result = probe.inc(q)?;
+        let probe_trace = probe_result
+            .trace
+            .as_ref()
+            .expect("weight audit requires per-op tracing");
+        let dag = probe_trace
+            .dag
+            .as_ref()
+            .expect("weight audit requires TraceMode::Full (communication DAG)");
+        let list = CommList::from_dag(dag);
+        let l = list.len_arcs();
+        // w_i: position-discounted loads along q's list (skipping the
+        // head, which is q's initiation event).
+        let loads = counter.loads();
+        let w: f64 = list
+            .labels()
+            .iter()
+            .skip(1)
+            .enumerate()
+            .map(|(idx, &proc)| loads.load_of(proc) as f64 / (idx as f64 + 1.0).exp2())
+            .sum();
+        weights.push(w);
+        q_list_lens.push(l);
+
+        // Commit operation i and check the hot-spot premise (except for
+        // q's own final operation, which trivially intersects itself).
+        let committed = counter.inc(p)?;
+        if i < steps {
+            inverse_exp_sum += (-(l as f64)).exp2();
+            let committed_trace =
+                committed.trace.as_ref().expect("weight audit requires per-op tracing");
+            if committed_trace.contacts.intersects(&probe_trace.contacts) {
+                hot_spot_hits += 1;
+            }
+        }
+    }
+
+    let bottleneck = counter.loads().max_load();
+    Ok(WeightAudit {
+        q,
+        weights,
+        q_list_lens,
+        hot_spot_hits,
+        steps,
+        inverse_exp_sum,
+        q_load: counter.loads().load_of(q),
+        bottleneck,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distctr_core::TreeCounter;
+    use distctr_sim::TraceMode;
+
+    fn full_trace_tree(k: u32) -> TreeCounter {
+        let n = distctr_core::kmath::leaves_of_order(k) as usize;
+        TreeCounter::builder(n)
+            .expect("builder")
+            .trace(TraceMode::Full)
+            .build()
+            .expect("counter")
+    }
+
+    #[test]
+    fn audit_on_tree_counter_k2() {
+        let mut c = full_trace_tree(2);
+        let order: Vec<ProcessorId> = (0..8).map(ProcessorId::new).collect();
+        let audit = audit_weights(&mut c, &order).expect("audit");
+        assert_eq!(audit.steps, 7);
+        assert_eq!(audit.q, ProcessorId::new(7));
+        assert!(
+            audit.hot_spot_premise_holds(),
+            "hot-spot premise: {} of {} steps",
+            audit.hot_spot_hits,
+            audit.steps
+        );
+        assert!(audit.conclusion_holds(8));
+        assert_eq!(audit.weights.len(), 8);
+        assert_eq!(audit.q_list_lens.len(), 8);
+        // Initial weight is 0: all loads are 0 before the first op.
+        assert_eq!(audit.weights[0], 0.0);
+        // AM-GM consistency on the recorded lengths.
+        assert!(theory::amgm_holds(&audit.q_list_lens));
+        assert!(audit.inverse_exp_sum > 0.0);
+    }
+
+    #[test]
+    fn q_load_is_at_most_bottleneck() {
+        let mut c = full_trace_tree(2);
+        let order: Vec<ProcessorId> = (0..8).rev().map(ProcessorId::new).collect();
+        let audit = audit_weights(&mut c, &order).expect("audit");
+        assert!(audit.q_load <= audit.bottleneck);
+    }
+
+    #[test]
+    #[should_panic(expected = "TraceMode::Full")]
+    fn contacts_only_counter_is_rejected() {
+        let mut c = TreeCounter::new(8).expect("counter"); // Contacts mode
+        let order: Vec<ProcessorId> = (0..8).map(ProcessorId::new).collect();
+        let _ = audit_weights(&mut c, &order);
+    }
+}

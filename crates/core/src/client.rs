@@ -1,0 +1,308 @@
+//! The generic tree-object client: any [`RootObject`] served through the
+//! retirement tree with the paper's O(k) bottleneck guarantee.
+
+use distctr_sim::{
+    DeliveryPolicy, LoadTracker, Network, OpId, ProcessorId, SimError, SimTime, TraceMode,
+};
+
+use crate::audit::CounterAudit;
+use crate::error::CoreError;
+use crate::kmath::{exact_order, leaves_of_order, order_for, MAX_ORDER};
+use crate::messages::TreeMsg;
+use crate::object::RootObject;
+use crate::protocol::{PoolPolicy, RetirementPolicy, TreeProtocol};
+use crate::topology::{NodeRef, Topology};
+
+/// Result of one operation against a tree-hosted object.
+#[derive(Debug, Clone)]
+pub struct InvokeResult<S> {
+    /// The object's response, delivered to the initiator.
+    pub response: S,
+    /// Messages exchanged during the operation (including retirement
+    /// traffic it triggered).
+    pub messages: u64,
+    /// Simulated completion time.
+    pub completed_at: SimTime,
+    /// Per-operation trace, when recorded.
+    pub trace: Option<distctr_sim::OpTrace>,
+}
+
+/// Builder for a [`TreeClient`].
+#[derive(Debug, Clone)]
+pub struct TreeClientBuilder<O> {
+    k: u32,
+    trace: TraceMode,
+    policy: DeliveryPolicy,
+    retirement: RetirementPolicy,
+    pool: PoolPolicy,
+    object: O,
+}
+
+impl<O: RootObject> TreeClientBuilder<O> {
+    /// Sets the trace mode (default: [`TraceMode::Contacts`]).
+    #[must_use]
+    pub fn trace(mut self, trace: TraceMode) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Sets the delivery policy (default: FIFO).
+    #[must_use]
+    pub fn delivery(mut self, policy: DeliveryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the retirement policy (default: the paper's `4k` threshold).
+    #[must_use]
+    pub fn retirement(mut self, retirement: RetirementPolicy) -> Self {
+        self.retirement = retirement;
+        self
+    }
+
+    /// Sets the pool policy (default: the paper's one-shot pools; use
+    /// [`PoolPolicy::Recycling`] for workloads longer than one op per
+    /// processor).
+    #[must_use]
+    pub fn pool(mut self, pool: PoolPolicy) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Builds the client.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] if the topology or network cannot be built.
+    pub fn build(self) -> Result<TreeClient<O>, CoreError> {
+        let topo = Topology::new(self.k).map_err(CoreError::Order)?;
+        let n = usize::try_from(topo.processors()).map_err(|_| {
+            CoreError::Order(format!("n = {} does not fit usize", topo.processors()))
+        })?;
+        let net = Network::with_policy(n, self.trace, self.policy)?;
+        let proto =
+            TreeProtocol::with_pool_policy(topo, self.retirement, self.pool, self.object);
+        Ok(TreeClient { net, proto, next_op: 0 })
+    }
+}
+
+/// A sequentially-dependent object served through the paper's retirement
+/// tree.
+///
+/// # Examples
+///
+/// ```
+/// use distctr_core::client::TreeClient;
+/// use distctr_core::object::FlipBitObject;
+/// use distctr_sim::ProcessorId;
+///
+/// # fn main() -> Result<(), distctr_core::CoreError> {
+/// let mut bit = TreeClient::new(8, FlipBitObject::new())?;
+/// assert!(!bit.invoke(ProcessorId::new(3), ())?.response);
+/// assert!(bit.invoke(ProcessorId::new(5), ())?.response);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TreeClient<O: RootObject> {
+    net: Network<TreeMsg<O::Request, O::Response>>,
+    proto: TreeProtocol<O>,
+    next_op: usize,
+}
+
+impl<O: RootObject> TreeClient<O> {
+    /// Creates a client for at least `n` processors (rounded up to
+    /// `k^(k+1)`), hosting `object`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Order`] if `n` is 0 or beyond the largest
+    /// supported network.
+    pub fn new(n: usize, object: O) -> Result<Self, CoreError> {
+        Self::builder(n, object)?.build()
+    }
+
+    /// Starts a builder for a client of at least `n` processors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Order`] if `n` is 0 or too large.
+    pub fn builder(n: usize, object: O) -> Result<TreeClientBuilder<O>, CoreError> {
+        if n == 0 {
+            return Err(CoreError::Order("n must be at least 1".into()));
+        }
+        let n64 = n as u64;
+        if n64 > leaves_of_order(MAX_ORDER) {
+            return Err(CoreError::Order(format!(
+                "n={n} beyond the largest supported network"
+            )));
+        }
+        let k = if let Some(k) = exact_order(n64) { k } else { order_for(n64) };
+        Ok(TreeClientBuilder {
+            k,
+            trace: TraceMode::Contacts,
+            policy: DeliveryPolicy::default(),
+            retirement: RetirementPolicy::default(),
+            pool: PoolPolicy::default(),
+            object,
+        })
+    }
+
+    /// The tree order `k`.
+    #[must_use]
+    pub fn order(&self) -> u32 {
+        self.proto.topology().order()
+    }
+
+    /// Number of processors (rounded up to `k^(k+1)`).
+    #[must_use]
+    pub fn processors(&self) -> usize {
+        self.net.processors()
+    }
+
+    /// The tree topology.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        self.proto.topology()
+    }
+
+    /// The lemma auditor's view of the run so far.
+    #[must_use]
+    pub fn audit(&self) -> &CounterAudit {
+        self.proto.audit()
+    }
+
+    /// The hosted object's current state.
+    #[must_use]
+    pub fn object(&self) -> &O {
+        self.proto.object()
+    }
+
+    /// The processor currently working for `node`.
+    #[must_use]
+    pub fn worker_of(&self, node: NodeRef) -> ProcessorId {
+        self.proto.worker_of(node)
+    }
+
+    /// Per-processor message loads since construction.
+    #[must_use]
+    pub fn loads(&self) -> &LoadTracker {
+        self.net.loads()
+    }
+
+    /// Number of operations executed.
+    #[must_use]
+    pub fn ops_executed(&self) -> usize {
+        self.next_op
+    }
+
+    /// Executes one operation initiated by `initiator`, running the whole
+    /// process (including retirement cascades) to quiescence.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::UnknownProcessor`] if `initiator` is out of range.
+    /// * [`SimError::MessageCapExceeded`] if the protocol fails to
+    ///   quiesce.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the protocol quiesces without delivering a response to
+    /// the initiator — a protocol bug, not a user condition.
+    pub fn invoke(
+        &mut self,
+        initiator: ProcessorId,
+        req: O::Request,
+    ) -> Result<InvokeResult<O::Response>, SimError> {
+        if initiator.index() >= self.net.processors() {
+            return Err(SimError::UnknownProcessor {
+                index: initiator.index(),
+                processors: self.net.processors(),
+            });
+        }
+        let op = OpId::new(self.next_op);
+        self.next_op += 1;
+        self.proto.audit_mut().begin_op();
+        let leaf_parent = self.proto.topology().leaf_parent(initiator.index() as u64);
+        let worker = self.proto.worker_of(leaf_parent);
+        self.net.inject(
+            op,
+            initiator,
+            worker,
+            TreeMsg::Apply { node: leaf_parent, origin: initiator, req },
+        );
+        let stats = self.net.run_to_quiescence(&mut self.proto)?;
+        self.proto.audit_mut().end_op();
+        let trace = self.net.finish_op(op);
+        let response = self
+            .proto
+            .take_pending_response()
+            .expect("operation must deliver a response to the initiator before quiescence");
+        Ok(InvokeResult { response, messages: stats.delivered, completed_at: stats.end_time, trace })
+    }
+
+    /// Whether the client retires workers (false for the static-tree
+    /// ablation).
+    #[must_use]
+    pub fn retirement_enabled(&self) -> bool {
+        self.proto.threshold().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::{FlipBitObject, PqRequest, PqResponse, PriorityQueueObject};
+
+    #[test]
+    fn flip_bit_through_the_tree() {
+        let mut bit = TreeClient::new(8, FlipBitObject::new()).expect("client");
+        for i in 0..8usize {
+            let r = bit.invoke(ProcessorId::new(i), ()).expect("invoke");
+            assert_eq!(r.response, i % 2 == 1, "flips alternate");
+        }
+        assert!(!bit.object().bit(), "8 flips return to false");
+        assert!(bit.audit().retirement_lemma_holds());
+    }
+
+    #[test]
+    fn priority_queue_through_the_tree() {
+        let mut pq = TreeClient::new(8, PriorityQueueObject::new()).expect("client");
+        for (i, key) in [42u64, 7, 19].iter().enumerate() {
+            let r = pq.invoke(ProcessorId::new(i), PqRequest::Insert(*key)).expect("insert");
+            assert_eq!(r.response, PqResponse::Inserted { len: i as u64 + 1 });
+        }
+        let r = pq.invoke(ProcessorId::new(5), PqRequest::ExtractMin).expect("extract");
+        assert_eq!(r.response, PqResponse::Min(Some(7)));
+        assert_eq!(pq.object().len(), 2);
+    }
+
+    #[test]
+    fn generic_client_keeps_the_bottleneck_guarantee() {
+        // The O(k) bottleneck is object-independent: one op per processor
+        // on the flip bit stays within 20k, same as the counter.
+        let mut bit = TreeClient::new(81, FlipBitObject::new()).expect("client");
+        for i in 0..81usize {
+            bit.invoke(ProcessorId::new(i), ()).expect("invoke");
+        }
+        assert!(bit.loads().max_load() <= 20 * 3);
+        assert!(bit.audit().grow_old_lemma_holds());
+        assert!(bit.audit().retirement_counts_within_pools(bit.topology()));
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(TreeClient::new(0, FlipBitObject::new()).is_err());
+        let client = TreeClient::new(50, FlipBitObject::new()).expect("rounds up");
+        assert_eq!(client.processors(), 81);
+        assert_eq!(client.order(), 3);
+        assert!(client.retirement_enabled());
+    }
+
+    #[test]
+    fn unknown_initiator_rejected() {
+        let mut bit = TreeClient::new(8, FlipBitObject::new()).expect("client");
+        let err = bit.invoke(ProcessorId::new(99), ()).unwrap_err();
+        assert_eq!(err, SimError::UnknownProcessor { index: 99, processors: 8 });
+    }
+}

@@ -1,0 +1,342 @@
+//! The public distributed counter: the paper's matching upper bound.
+//!
+//! A [`TreeCounter`] is the counter instance of the generic
+//! [`TreeClient`] and exposes the paper's
+//! `inc` operation. Every processor's total message load over the
+//! canonical workload (each processor increments exactly once) is O(k),
+//! where `n = k^(k+1)` — the Bottleneck Theorem, which the audits and
+//! experiments verify on real runs.
+
+use distctr_sim::{
+    Counter, DeliveryPolicy, IncResult, LoadTracker, ProcessorId, SimError, TraceMode,
+};
+
+use crate::audit::CounterAudit;
+use crate::client::{TreeClient, TreeClientBuilder};
+use crate::error::CoreError;
+use crate::kmath::{leaves_of_order, MAX_ORDER};
+use crate::object::CounterObject;
+use crate::protocol::{PoolPolicy, RetirementPolicy};
+use crate::topology::{NodeRef, Topology};
+
+/// Builder for [`TreeCounter`] with non-default delivery policy, trace
+/// mode or retirement policy.
+///
+/// # Examples
+///
+/// ```
+/// use distctr_core::{TreeCounter, RetirementPolicy};
+/// use distctr_sim::{DeliveryPolicy, TraceMode};
+///
+/// # fn main() -> Result<(), distctr_core::CoreError> {
+/// let counter = TreeCounter::builder(81)?
+///     .delivery(DeliveryPolicy::random_delay(7, 4))
+///     .trace(TraceMode::Full)
+///     .retirement(RetirementPolicy::PaperDefault)
+///     .build()?;
+/// assert_eq!(counter.order(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TreeCounterBuilder {
+    inner: TreeClientBuilder<CounterObject>,
+}
+
+impl TreeCounterBuilder {
+    /// Sets the trace mode (default: [`TraceMode::Contacts`]).
+    #[must_use]
+    pub fn trace(mut self, trace: TraceMode) -> Self {
+        self.inner = self.inner.trace(trace);
+        self
+    }
+
+    /// Sets the delivery policy (default: FIFO).
+    #[must_use]
+    pub fn delivery(mut self, policy: DeliveryPolicy) -> Self {
+        self.inner = self.inner.delivery(policy);
+        self
+    }
+
+    /// Sets the retirement policy (default: the paper's `4k` threshold).
+    #[must_use]
+    pub fn retirement(mut self, retirement: RetirementPolicy) -> Self {
+        self.inner = self.inner.retirement(retirement);
+        self
+    }
+
+    /// Sets the pool policy (default: the paper's one-shot pools).
+    #[must_use]
+    pub fn pool(mut self, pool: PoolPolicy) -> Self {
+        self.inner = self.inner.pool(pool);
+        self
+    }
+
+    /// Builds the counter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] if the topology or network cannot be built.
+    pub fn build(self) -> Result<TreeCounter, CoreError> {
+        Ok(TreeCounter { client: self.inner.build()? })
+    }
+}
+
+/// The retirement-based k-ary communication-tree counter.
+///
+/// # Examples
+///
+/// ```
+/// use distctr_core::TreeCounter;
+/// use distctr_sim::{Counter, ProcessorId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // 81 = 3^4 processors, tree order k = 3.
+/// let mut counter = TreeCounter::new(81)?;
+/// let first = counter.inc(ProcessorId::new(17))?;
+/// let second = counter.inc(ProcessorId::new(63))?;
+/// assert_eq!(first.value, 0);
+/// assert_eq!(second.value, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TreeCounter {
+    client: TreeClient<CounterObject>,
+}
+
+impl TreeCounter {
+    /// Creates a counter for at least `n` processors, rounding `n` up to
+    /// the next value of the form `k^(k+1)` exactly as the paper suggests.
+    /// [`Counter::processors`] reports the rounded size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Order`] if `n` is 0 or beyond the largest
+    /// supported network.
+    pub fn new(n: usize) -> Result<Self, CoreError> {
+        Self::builder(n)?.build()
+    }
+
+    /// Creates a counter for an exact tree order `k` (n = k^(k+1)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Order`] if `k` is 0 or above [`MAX_ORDER`].
+    pub fn with_order(k: u32) -> Result<Self, CoreError> {
+        if k == 0 || k > MAX_ORDER {
+            return Err(CoreError::Order(format!("order k={k} outside 1..={MAX_ORDER}")));
+        }
+        Self::new(usize::try_from(leaves_of_order(k)).expect("supported orders fit usize"))
+    }
+
+    /// Starts a builder for a counter of at least `n` processors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Order`] if `n` is 0 or too large.
+    pub fn builder(n: usize) -> Result<TreeCounterBuilder, CoreError> {
+        Ok(TreeCounterBuilder { inner: TreeClient::builder(n, CounterObject::new())? })
+    }
+
+    /// The tree order `k`.
+    #[must_use]
+    pub fn order(&self) -> u32 {
+        self.client.order()
+    }
+
+    /// The tree topology.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        self.client.topology()
+    }
+
+    /// The lemma auditor's view of the run so far.
+    #[must_use]
+    pub fn audit(&self) -> &CounterAudit {
+        self.client.audit()
+    }
+
+    /// The counter's current value (stored at the root).
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.client.object().value()
+    }
+
+    /// The processor currently working for `node`.
+    #[must_use]
+    pub fn worker_of(&self, node: NodeRef) -> ProcessorId {
+        self.client.worker_of(node)
+    }
+
+    /// Number of operations executed.
+    #[must_use]
+    pub fn ops_executed(&self) -> usize {
+        self.client.ops_executed()
+    }
+}
+
+impl Counter for TreeCounter {
+    fn name(&self) -> &'static str {
+        if self.client.retirement_enabled() {
+            "retirement-tree"
+        } else {
+            "static-tree"
+        }
+    }
+
+    fn processors(&self) -> usize {
+        self.client.processors()
+    }
+
+    fn inc(&mut self, initiator: ProcessorId) -> Result<IncResult, SimError> {
+        let result = self.client.invoke(initiator, ())?;
+        Ok(IncResult {
+            value: result.response,
+            messages: result.messages,
+            completed_at: result.completed_at,
+            trace: result.trace,
+        })
+    }
+
+    fn loads(&self) -> &LoadTracker {
+        self.client.loads()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distctr_sim::SequentialDriver;
+
+    #[test]
+    fn rounding_rule_matches_paper() {
+        let c = TreeCounter::new(50).expect("n=50 rounds to 81");
+        assert_eq!(c.order(), 3);
+        assert_eq!(c.processors(), 81);
+        let c = TreeCounter::new(81).expect("exact");
+        assert_eq!(c.processors(), 81);
+        let c = TreeCounter::new(82).expect("rounds to 1024");
+        assert_eq!(c.order(), 4);
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert!(matches!(TreeCounter::new(0), Err(CoreError::Order(_))));
+        assert!(matches!(TreeCounter::with_order(0), Err(CoreError::Order(_))));
+        assert!(matches!(TreeCounter::with_order(MAX_ORDER + 1), Err(CoreError::Order(_))));
+    }
+
+    #[test]
+    fn single_inc_returns_zero_and_increments() {
+        let mut c = TreeCounter::with_order(2).expect("k=2");
+        let r = c.inc(ProcessorId::new(5)).expect("inc");
+        assert_eq!(r.value, 0);
+        assert_eq!(c.value(), 1);
+        assert!(r.messages >= 4, "leaf->L2->L1->root->leaf takes at least 4 messages");
+        let trace = r.trace.expect("contacts traced by default");
+        assert!(trace.contacts.contains(ProcessorId::new(5)));
+    }
+
+    #[test]
+    fn values_are_sequential_for_identity_permutation() {
+        let mut c = TreeCounter::with_order(2).expect("k=2");
+        let out = SequentialDriver::run_identity(&mut c).expect("sequence");
+        assert!(out.values_are_sequential());
+        assert_eq!(c.value(), 8);
+        assert_eq!(c.ops_executed(), 8);
+    }
+
+    #[test]
+    fn unknown_initiator_rejected() {
+        let mut c = TreeCounter::with_order(2).expect("k=2");
+        let err = c.inc(ProcessorId::new(99)).unwrap_err();
+        assert_eq!(err, SimError::UnknownProcessor { index: 99, processors: 8 });
+    }
+
+    #[test]
+    fn name_reflects_retirement_policy() {
+        let c = TreeCounter::with_order(2).expect("k=2");
+        assert_eq!(c.name(), "retirement-tree");
+        let s = TreeCounter::builder(8)
+            .expect("builder")
+            .retirement(RetirementPolicy::Never)
+            .build()
+            .expect("static");
+        assert_eq!(s.name(), "static-tree");
+    }
+
+    #[test]
+    fn all_lemmas_hold_on_canonical_workload_k3() {
+        let mut c = TreeCounter::with_order(3).expect("k=3");
+        let out = SequentialDriver::run_shuffled(&mut c, 42).expect("sequence");
+        assert!(out.values_are_sequential());
+        let audit = c.audit();
+        assert!(audit.grow_old_lemma_holds(), "Grow Old Lemma");
+        assert!(audit.retirement_lemma_holds(), "Retirement Lemma");
+        assert!(
+            audit.retirement_counts_within_pools(c.topology()),
+            "Number of Retirements Lemma; per-level: {:?}, exhausted: {:?}",
+            audit.retirements_by_level(),
+            audit.pool_exhausted_by_level()
+        );
+        let k = c.order() as u64;
+        assert!(
+            audit.stint_work_within(8 * k + 8),
+            "Inner Node Work Lemma: max stint {} vs 8k+8 = {}",
+            audit.max_stint_msgs(),
+            8 * k + 8
+        );
+    }
+
+    #[test]
+    fn bottleneck_is_big_o_of_k_not_n() {
+        // The headline: the max per-processor load is O(k). The constant
+        // is sizeable (a processor can serve the root once and one other
+        // inner node once, each stint costing ~6k messages), so we check
+        // against 20k — and against n once n is large enough for the
+        // asymptotics to separate.
+        for k in [3u32, 4] {
+            let mut c = TreeCounter::with_order(k).expect("tree");
+            SequentialDriver::run_identity(&mut c).expect("sequence");
+            let bottleneck = c.loads().max_load();
+            let n = c.processors() as u64;
+            assert!(
+                bottleneck <= 20 * u64::from(k),
+                "k={k}: bottleneck {bottleneck} exceeds 20k = {}",
+                20 * k
+            );
+            if k >= 4 {
+                assert!(
+                    bottleneck < n / 4,
+                    "k={k}: bottleneck {bottleneck} should be far below n = {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn static_tree_root_is_bottlenecked() {
+        let mut s = TreeCounter::builder(8)
+            .expect("builder")
+            .retirement(RetirementPolicy::Never)
+            .build()
+            .expect("static");
+        SequentialDriver::run_identity(&mut s).expect("sequence");
+        // Root worker receives every inc and sends every value: load 2n at
+        // the root's processor (plus its own leaf traffic).
+        assert!(s.loads().max_load() >= 2 * 8);
+        assert_eq!(s.audit().stints_completed(), 0, "no retirement ever");
+    }
+
+    #[test]
+    fn clone_forks_full_counter_state() {
+        let mut c = TreeCounter::with_order(2).expect("k=2");
+        c.inc(ProcessorId::new(0)).expect("inc");
+        let mut fork = c.clone();
+        let a = c.inc(ProcessorId::new(1)).expect("inc");
+        let b = fork.inc(ProcessorId::new(1)).expect("inc");
+        assert_eq!(a.value, b.value, "fork replays identically");
+        assert_eq!(a.messages, b.messages);
+    }
+}

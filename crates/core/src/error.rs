@@ -1,0 +1,56 @@
+//! Error type for counter construction.
+
+use std::error::Error;
+use std::fmt;
+
+use distctr_sim::SimError;
+
+/// Errors from building or driving a [`TreeCounter`](crate::TreeCounter).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The requested network size cannot be mapped to a supported tree
+    /// order.
+    Order(String),
+    /// An underlying simulator error.
+    Sim(SimError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Order(msg) => write!(f, "invalid tree order: {msg}"),
+            CoreError::Sim(e) => write!(f, "simulator error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Order(_) => None,
+            CoreError::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<SimError> for CoreError {
+    fn from(e: SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::Order("k too large".into());
+        assert!(e.to_string().contains("k too large"));
+        assert!(e.source().is_none());
+        let s: CoreError = SimError::EmptyNetwork.into();
+        assert!(s.to_string().contains("at least one"));
+        assert!(s.source().is_some());
+    }
+}

@@ -1,0 +1,244 @@
+//! Arithmetic around the paper's tree order `k`.
+//!
+//! The lower bound says some processor exchanges Ω(k) messages where
+//! `k·k^k = k^(k+1) = n`; the matching tree has arity `k`, inner levels
+//! `0..=k` and `n = k^(k+1)` leaves. This module solves for `k` given `n`
+//! (exactly, or rounded up as the paper suggests: "simply increase n to
+//! the next higher value of the form k·k^k"), and provides the continuous
+//! approximation `k ≈ ln n / ln ln n` used in plots.
+
+/// Largest tree order the simulator supports: `k^(k+1)` must fit the
+/// `u32`-indexed processor space (`9^10 ≈ 3.49e9 < 2^32 < 10^11`).
+pub const MAX_ORDER: u32 = 9;
+
+/// Computes `k^(k+1)` — the number of leaves (= processors) of an order-k
+/// tree.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > MAX_ORDER`.
+///
+/// # Examples
+///
+/// ```
+/// use distctr_core::kmath::leaves_of_order;
+/// assert_eq!(leaves_of_order(1), 1);
+/// assert_eq!(leaves_of_order(2), 8);
+/// assert_eq!(leaves_of_order(3), 81);
+/// assert_eq!(leaves_of_order(4), 1024);
+/// assert_eq!(leaves_of_order(5), 15_625);
+/// ```
+#[must_use]
+pub fn leaves_of_order(k: u32) -> u64 {
+    assert!(k >= 1, "tree order k must be at least 1");
+    assert!(k <= MAX_ORDER, "tree order k={k} exceeds MAX_ORDER={MAX_ORDER}");
+    (k as u64).pow(k + 1)
+}
+
+/// The smallest order `k` with `k^(k+1) >= n` — the paper's rounding rule
+/// for arbitrary `n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > leaves_of_order(MAX_ORDER)`.
+///
+/// # Examples
+///
+/// ```
+/// use distctr_core::kmath::order_for;
+/// assert_eq!(order_for(1), 1);
+/// assert_eq!(order_for(2), 2);
+/// assert_eq!(order_for(8), 2);
+/// assert_eq!(order_for(9), 3);
+/// assert_eq!(order_for(1024), 4);
+/// assert_eq!(order_for(1025), 5);
+/// ```
+#[must_use]
+pub fn order_for(n: u64) -> u32 {
+    assert!(n >= 1, "n must be at least 1");
+    assert!(
+        n <= leaves_of_order(MAX_ORDER),
+        "n={n} exceeds the largest supported network {}",
+        leaves_of_order(MAX_ORDER)
+    );
+    (1..=MAX_ORDER).find(|&k| leaves_of_order(k) >= n).expect("checked against MAX_ORDER")
+}
+
+/// The exact order if `n` is of the form `k^(k+1)`, else `None`.
+///
+/// # Examples
+///
+/// ```
+/// use distctr_core::kmath::exact_order;
+/// assert_eq!(exact_order(81), Some(3));
+/// assert_eq!(exact_order(82), None);
+/// ```
+#[must_use]
+pub fn exact_order(n: u64) -> Option<u32> {
+    if n == 0 || n > leaves_of_order(MAX_ORDER) {
+        return None;
+    }
+    let k = order_for(n);
+    (leaves_of_order(k) == n).then_some(k)
+}
+
+/// The paper's lower bound on the bottleneck load for `n` sequential
+/// operations spread over `n` processors: the `k` with `k^(k+1) = n`,
+/// rounded *down* for intermediate `n` (a valid bound since the bound is
+/// monotone in `n`).
+///
+/// # Examples
+///
+/// ```
+/// use distctr_core::kmath::bottleneck_lower_bound;
+/// assert_eq!(bottleneck_lower_bound(8), 2);
+/// assert_eq!(bottleneck_lower_bound(80), 2);
+/// assert_eq!(bottleneck_lower_bound(81), 3);
+/// assert_eq!(bottleneck_lower_bound(1_000_000), 6); // 6^7 = 279936 <= 1e6
+/// ```
+#[must_use]
+pub fn bottleneck_lower_bound(n: u64) -> u32 {
+    assert!(n >= 1, "n must be at least 1");
+    (1..=MAX_ORDER).rev().find(|&k| leaves_of_order(k) <= n).unwrap_or(1)
+}
+
+/// Continuous approximation of the bound: the solution `x` of
+/// `x^(x+1) = n`, close to `ln n / ln ln n` for large `n`. Used for plot
+/// overlays; the discrete [`bottleneck_lower_bound`] is the real bound.
+///
+/// Returns 1.0 for `n <= 1`.
+#[must_use]
+pub fn continuous_order(n: f64) -> f64 {
+    if n <= 1.0 {
+        return 1.0;
+    }
+    let target = n.ln();
+    // Solve (x+1) ln x = ln n by Newton iteration; f is increasing for
+    // x >= 1 so bisection-seeded Newton converges fast.
+    let mut x = (target / target.ln().max(1.0)).max(1.0);
+    for _ in 0..64 {
+        let f = (x + 1.0) * x.ln() - target;
+        let fp = x.ln() + (x + 1.0) / x;
+        let next = x - f / fp;
+        if !next.is_finite() {
+            break;
+        }
+        let next = next.max(1.0);
+        if (next - x).abs() < 1e-12 {
+            x = next;
+            break;
+        }
+        x = next;
+    }
+    x
+}
+
+/// `k^e` as `u64`, for id-block arithmetic.
+///
+/// # Panics
+///
+/// Panics on overflow — callers stay within `k <= MAX_ORDER`, where all
+/// block sizes fit comfortably.
+#[must_use]
+pub fn pow_u64(k: u32, e: u32) -> u64 {
+    (k as u64).checked_pow(e).expect("k^e fits in u64 for supported orders")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaves_table() {
+        let expected = [(1, 1u64), (2, 8), (3, 81), (4, 1024), (5, 15_625), (6, 279_936)];
+        for (k, n) in expected {
+            assert_eq!(leaves_of_order(k), n, "k={k}");
+        }
+    }
+
+    #[test]
+    fn max_order_fits_u32_processor_space() {
+        assert!(leaves_of_order(MAX_ORDER) < u32::MAX as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_order_rejected() {
+        let _ = leaves_of_order(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_ORDER")]
+    fn huge_order_rejected() {
+        let _ = leaves_of_order(MAX_ORDER + 1);
+    }
+
+    #[test]
+    fn order_for_rounds_up() {
+        assert_eq!(order_for(1), 1);
+        for n in 2..=8 {
+            assert_eq!(order_for(n), 2, "n={n}");
+        }
+        for n in 9..=81 {
+            assert_eq!(order_for(n), 3, "n={n}");
+        }
+        assert_eq!(order_for(82), 4);
+        assert_eq!(order_for(leaves_of_order(MAX_ORDER)), MAX_ORDER);
+    }
+
+    #[test]
+    fn order_and_bound_sandwich_every_n() {
+        for n in 1..5000u64 {
+            let up = order_for(n);
+            let down = bottleneck_lower_bound(n);
+            assert!(leaves_of_order(up) >= n);
+            assert!(leaves_of_order(down) <= n || down == 1);
+            assert!(up.saturating_sub(down) <= 1, "n={n}: up={up}, down={down}");
+        }
+    }
+
+    #[test]
+    fn exact_order_only_on_exact_sizes() {
+        for k in 1..=6 {
+            assert_eq!(exact_order(leaves_of_order(k)), Some(k));
+            assert_eq!(exact_order(leaves_of_order(k) + 1), None);
+        }
+        assert_eq!(exact_order(0), None);
+    }
+
+    #[test]
+    fn continuous_order_matches_discrete_on_exact_points() {
+        for k in 2..=6u32 {
+            let n = leaves_of_order(k) as f64;
+            let x = continuous_order(n);
+            assert!(
+                (x - k as f64).abs() < 1e-6,
+                "continuous solution at n=k^(k+1) should be k: k={k}, x={x}"
+            );
+        }
+    }
+
+    #[test]
+    fn continuous_order_is_monotone() {
+        let mut last = 0.0;
+        for exp in 1..18 {
+            let x = continuous_order(10f64.powi(exp));
+            assert!(x >= last, "monotone in n");
+            last = x;
+        }
+    }
+
+    #[test]
+    fn continuous_order_degenerate_inputs() {
+        assert_eq!(continuous_order(0.0), 1.0);
+        assert_eq!(continuous_order(1.0), 1.0);
+        assert!(continuous_order(1.5) >= 1.0);
+    }
+
+    #[test]
+    fn pow_u64_small_cases() {
+        assert_eq!(pow_u64(3, 0), 1);
+        assert_eq!(pow_u64(3, 4), 81);
+        assert_eq!(pow_u64(9, 10), 3_486_784_401);
+    }
+}

@@ -1,0 +1,145 @@
+//! Per-node runtime state.
+//!
+//! "Each inner node stores k+2 values: an identifier id that tells which
+//! processor currently works for the node, the identifiers of its k
+//! children and its parent, and the number of messages that the node sent
+//! or received since its current processor works for it — its age."
+//!
+//! In the simulator the neighbour ids are derivable from the
+//! [`Topology`](crate::topology::Topology) plus each neighbour's current
+//! worker, so the state here is the worker, the pool cursor, the age and
+//! the in-progress handoff bookkeeping. The hosted object's state (the
+//! counter value at the root) lives in the protocol's
+//! [`RootObject`](crate::object::RootObject).
+
+use distctr_sim::ProcessorId;
+
+/// Mutable state of one inner tree node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeState {
+    /// The processor currently working for this node.
+    pub worker: ProcessorId,
+    /// How many retirements have happened (worker = pool start + cursor).
+    pub pool_cursor: u64,
+    /// Messages sent or received by the node in the current stint.
+    pub age: u64,
+    /// Whether a handoff to a successor is in flight.
+    pub handing_off: bool,
+    /// The successor that will take over when the handoff completes.
+    pub pending_worker: Option<ProcessorId>,
+    /// Handoff parts received so far by the successor.
+    pub handoff_parts_seen: u32,
+}
+
+impl NodeState {
+    /// Fresh state for a node whose initial worker is `worker`.
+    #[must_use]
+    pub fn new(worker: ProcessorId) -> Self {
+        NodeState {
+            worker,
+            pool_cursor: 0,
+            age: 0,
+            handing_off: false,
+            pending_worker: None,
+            handoff_parts_seen: 0,
+        }
+    }
+
+    /// Records one message sent or received by the node; returns the new
+    /// age.
+    pub fn grow_older(&mut self, by: u64) -> u64 {
+        self.age += by;
+        self.age
+    }
+
+    /// Begins a retirement: resets the age, advances the pool cursor and
+    /// remembers the successor until the handoff completes.
+    pub fn begin_retirement(&mut self, successor: ProcessorId) {
+        debug_assert!(!self.handing_off, "cannot retire twice concurrently");
+        self.age = 0;
+        self.pool_cursor += 1;
+        self.handing_off = true;
+        self.pending_worker = Some(successor);
+        self.handoff_parts_seen = 0;
+    }
+
+    /// Registers one received handoff part; when all `total` parts have
+    /// arrived, installs the successor and returns `true`.
+    pub fn receive_handoff_part(&mut self, total: u32) -> bool {
+        self.handoff_parts_seen += 1;
+        if self.handoff_parts_seen >= total {
+            self.worker = self
+                .pending_worker
+                .take()
+                .expect("handoff completion requires a pending successor");
+            self.handing_off = false;
+            self.handoff_parts_seen = 0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessorId {
+        ProcessorId::new(i)
+    }
+
+    #[test]
+    fn new_state_is_quiet() {
+        let s = NodeState::new(p(7));
+        assert_eq!(s.worker, p(7));
+        assert_eq!(s.age, 0);
+        assert!(!s.handing_off);
+        assert_eq!(s.pool_cursor, 0);
+    }
+
+    #[test]
+    fn aging_accumulates() {
+        let mut s = NodeState::new(p(0));
+        assert_eq!(s.grow_older(2), 2);
+        assert_eq!(s.grow_older(1), 3);
+        assert_eq!(s.age, 3);
+    }
+
+    #[test]
+    fn retirement_resets_age_and_advances_cursor() {
+        let mut s = NodeState::new(p(0));
+        s.grow_older(8);
+        s.begin_retirement(p(1));
+        assert_eq!(s.age, 0);
+        assert_eq!(s.pool_cursor, 1);
+        assert!(s.handing_off);
+        assert_eq!(s.pending_worker, Some(p(1)));
+        // Worker switches only when the handoff completes.
+        assert_eq!(s.worker, p(0));
+    }
+
+    #[test]
+    fn handoff_completes_after_all_parts() {
+        let mut s = NodeState::new(p(0));
+        s.begin_retirement(p(1));
+        assert!(!s.receive_handoff_part(3));
+        assert!(!s.receive_handoff_part(3));
+        assert!(s.receive_handoff_part(3), "third of three parts completes");
+        assert_eq!(s.worker, p(1));
+        assert!(!s.handing_off);
+        assert_eq!(s.pending_worker, None);
+        assert_eq!(s.handoff_parts_seen, 0, "ready for the next handoff");
+    }
+
+    #[test]
+    fn consecutive_retirements_walk_the_pool() {
+        let mut s = NodeState::new(p(10));
+        for step in 1..=3u64 {
+            s.begin_retirement(p(10 + step as usize));
+            assert!(s.receive_handoff_part(1));
+            assert_eq!(s.pool_cursor, step);
+            assert_eq!(s.worker, p(10 + step as usize));
+        }
+    }
+}

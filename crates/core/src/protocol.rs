@@ -1,0 +1,368 @@
+//! The retirement-tree protocol state machine.
+//!
+//! One [`TreeProtocol`] value holds the state of every inner node (the
+//! simulator is single-threaded; keeping the states in one flat vector
+//! indexed by [`Topology::flat_index`] is both simple and fast) plus the
+//! hosted [`RootObject`], and reacts to message deliveries:
+//!
+//! * `Apply` climbs the tree toward the root, aging each node by 2 (one
+//!   receive + one forward);
+//! * at the root, the object applies the request and the response is
+//!   sent straight back to the operation's initiator;
+//! * any node whose age reaches the retirement threshold (the paper's
+//!   `4k`) retires: it hands its job to the next processor of its
+//!   replacement pool in k+1 unit messages and notifies its parent and
+//!   children, whose ages grow by 1 each — possibly cascading.
+//!
+//! Messages that reach a processor no longer working for the target node
+//! (possible under adversarial delivery while a handoff is in flight) are
+//! forwarded to the current worker — the "proper handshaking protocol
+//! with a constant number of extra messages" the paper sketches.
+
+use distctr_sim::{Outbox, ProcessorId, Protocol};
+
+use crate::audit::CounterAudit;
+use crate::messages::TreeMsg;
+use crate::node::NodeState;
+use crate::object::{CounterObject, RootObject};
+use crate::topology::{NodeRef, Topology};
+
+/// Retirement behaviour of the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RetirementPolicy {
+    /// The paper's threshold: retire at age `4k`.
+    #[default]
+    PaperDefault,
+    /// Retire at a custom age (ablation experiments).
+    AfterAge(u64),
+    /// Never retire — this is exactly the static-tree baseline the paper
+    /// argues is bottlenecked at the root.
+    Never,
+}
+
+impl RetirementPolicy {
+    /// The concrete age threshold for an order-`k` tree, or `None` for
+    /// [`RetirementPolicy::Never`].
+    #[must_use]
+    pub fn threshold(self, k: u32) -> Option<u64> {
+        match self {
+            RetirementPolicy::PaperDefault => Some(4 * k as u64),
+            RetirementPolicy::AfterAge(age) => Some(age.max(1)),
+            RetirementPolicy::Never => None,
+        }
+    }
+}
+
+/// How a node's replacement pool is consumed.
+///
+/// The paper dimensions each pool for the canonical workload (each
+/// processor increments exactly once): `pool_size - 1` retirements
+/// suffice, and a drained pool is never touched again. For longer
+/// operation sequences (M rounds of the canonical workload) that
+/// dimensioning is too small — [`PoolPolicy::Recycling`] wraps around the
+/// pool instead, keeping the *amortized* per-processor load at O(k) per
+/// round. This is an extension beyond the paper, exercised by experiment
+/// E15.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PoolPolicy {
+    /// The paper's scheme: a node stops retiring when its pool is
+    /// exhausted.
+    #[default]
+    OneShot,
+    /// Wrap around the pool: after the last id, reuse the first.
+    Recycling,
+}
+
+/// Complete protocol state: topology, per-node state, audit, the hosted
+/// object, and the response pending delivery to the current operation's
+/// initiator.
+#[derive(Debug, Clone)]
+pub struct TreeProtocol<O: RootObject = CounterObject> {
+    topo: Topology,
+    nodes: Vec<NodeState>,
+    threshold: Option<u64>,
+    pool_policy: PoolPolicy,
+    pending_response: Option<O::Response>,
+    audit: CounterAudit,
+    object: O,
+}
+
+impl<O: RootObject> TreeProtocol<O> {
+    /// Builds the initial protocol state for `topo`, hosting `object` at
+    /// the root.
+    #[must_use]
+    pub fn new(topo: Topology, retirement: RetirementPolicy, object: O) -> Self {
+        Self::with_pool_policy(topo, retirement, PoolPolicy::OneShot, object)
+    }
+
+    /// Builds the protocol with an explicit pool policy.
+    #[must_use]
+    pub fn with_pool_policy(
+        topo: Topology,
+        retirement: RetirementPolicy,
+        pool_policy: PoolPolicy,
+        object: O,
+    ) -> Self {
+        let nodes: Vec<NodeState> =
+            topo.nodes().map(|n| NodeState::new(topo.initial_worker(n))).collect();
+        let audit = CounterAudit::new(&topo);
+        let threshold = retirement.threshold(topo.order());
+        TreeProtocol { topo, nodes, threshold, pool_policy, pending_response: None, audit, object }
+    }
+
+    /// The pool policy in force.
+    #[must_use]
+    pub fn pool_policy(&self) -> PoolPolicy {
+        self.pool_policy
+    }
+
+    /// The tree topology.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The lemma auditor.
+    #[must_use]
+    pub fn audit(&self) -> &CounterAudit {
+        &self.audit
+    }
+
+    /// Mutable access for op bracketing by the client.
+    pub(crate) fn audit_mut(&mut self) -> &mut CounterAudit {
+        &mut self.audit
+    }
+
+    /// The hosted object's current state.
+    #[must_use]
+    pub fn object(&self) -> &O {
+        &self.object
+    }
+
+    /// Current worker of `node`.
+    #[must_use]
+    pub fn worker_of(&self, node: NodeRef) -> ProcessorId {
+        self.nodes[self.topo.flat_index(node)].worker
+    }
+
+    /// Age of `node` in its current stint.
+    #[must_use]
+    pub fn age_of(&self, node: NodeRef) -> u64 {
+        self.nodes[self.topo.flat_index(node)].age
+    }
+
+    /// The retirement age threshold in force, if any.
+    #[must_use]
+    pub fn threshold(&self) -> Option<u64> {
+        self.threshold
+    }
+
+    /// Takes the response delivered to the current operation's initiator.
+    pub(crate) fn take_pending_response(&mut self) -> Option<O::Response> {
+        self.pending_response.take()
+    }
+
+    /// The response waiting for the current operation's initiator, if
+    /// delivered (read-only; used by the schedule explorer's invariants).
+    #[must_use]
+    pub fn peek_response(&self) -> Option<&O::Response> {
+        self.pending_response.as_ref()
+    }
+
+    fn handle_apply(
+        &mut self,
+        out: &mut Outbox<'_, TreeMsg<O::Request, O::Response>>,
+        node: NodeRef,
+        origin: ProcessorId,
+        req: O::Request,
+    ) {
+        let flat = self.topo.flat_index(node);
+        if self.nodes[flat].worker != out.me() {
+            // Shim: this processor retired from the node; forward to the
+            // current worker (counts as one extra message, as in the
+            // paper's handshake argument).
+            self.audit.record_shim_forward();
+            let worker = self.nodes[flat].worker;
+            out.send(worker, TreeMsg::Apply { node, origin, req });
+            return;
+        }
+        self.audit.record_kind("apply");
+        self.audit.record_node_msgs(flat, 2);
+        self.nodes[flat].grow_older(2);
+        if node == NodeRef::ROOT {
+            let resp = self.object.apply(req);
+            out.send(origin, TreeMsg::Reply { resp });
+        } else {
+            let parent = self.topo.parent(node).expect("non-root has a parent");
+            let parent_worker = self.nodes[self.topo.flat_index(parent)].worker;
+            out.send(parent_worker, TreeMsg::Apply { node: parent, origin, req });
+        }
+        self.maybe_retire(out, node, flat);
+    }
+
+    fn handle_new_worker(
+        &mut self,
+        out: &mut Outbox<'_, TreeMsg<O::Request, O::Response>>,
+        msg: TreeMsg<O::Request, O::Response>,
+    ) {
+        let TreeMsg::NewWorker { node, .. } = &msg else { unreachable!() };
+        let node = *node;
+        let flat = self.topo.flat_index(node);
+        if self.nodes[flat].worker != out.me() && !self.nodes[flat].handing_off {
+            self.audit.record_shim_forward();
+            let worker = self.nodes[flat].worker;
+            out.send(worker, msg);
+            return;
+        }
+        self.audit.record_kind("new-worker");
+        self.audit.record_node_msgs(flat, 1);
+        self.nodes[flat].grow_older(1);
+        self.maybe_retire(out, node, flat);
+    }
+
+    fn handle_handoff(&mut self, node: NodeRef, total: u32) {
+        self.audit.record_kind("handoff");
+        let flat = self.topo.flat_index(node);
+        if self.nodes[flat].receive_handoff_part(total) {
+            self.audit.record_stint_complete(flat, total.into());
+        }
+    }
+
+    fn maybe_retire(
+        &mut self,
+        out: &mut Outbox<'_, TreeMsg<O::Request, O::Response>>,
+        node: NodeRef,
+        flat: usize,
+    ) {
+        let Some(threshold) = self.threshold else { return };
+        if self.nodes[flat].handing_off || self.nodes[flat].age < threshold {
+            return;
+        }
+        let pool = self.topo.pool(node);
+        let size = pool.end - pool.start;
+        let blocked = match self.pool_policy {
+            // Under the paper's dimensioning a drained pool is
+            // unreachable for the canonical workload (the audit asserts
+            // so); the node soldiers on with a reset age.
+            PoolPolicy::OneShot => self.nodes[flat].pool_cursor + 1 >= size,
+            // Recycling wraps; only a singleton pool (no one to hand to)
+            // blocks.
+            PoolPolicy::Recycling => size <= 1,
+        };
+        if blocked {
+            self.audit.record_pool_exhausted(node);
+            self.nodes[flat].age = 0;
+            return;
+        }
+        let next_index = (self.nodes[flat].pool_cursor + 1) % size;
+        let successor = ProcessorId::new((pool.start + next_index) as usize);
+        self.audit.record_retirement(node, flat);
+        self.nodes[flat].begin_retirement(successor);
+
+        // k+1 unit messages transfer the job to the successor.
+        let parts = self.topo.order() + 1;
+        for part in 0..parts {
+            out.send(successor, TreeMsg::Handoff { node, part, total: parts });
+        }
+        // Notify parent and children of the new worker id. The root
+        // "saves the message that would inform the parent".
+        let mut notifications = 0u64;
+        if let Some(parent) = self.topo.parent(node) {
+            let w = self.nodes[self.topo.flat_index(parent)].worker;
+            out.send(
+                w,
+                TreeMsg::NewWorker { node: parent, retired: node, new_worker: successor },
+            );
+            notifications += 1;
+        }
+        match self.topo.inner_children(node) {
+            Some(children) => {
+                for child in children {
+                    let w = self.nodes[self.topo.flat_index(child)].worker;
+                    out.send(
+                        w,
+                        TreeMsg::NewWorker { node: child, retired: node, new_worker: successor },
+                    );
+                    notifications += 1;
+                }
+            }
+            None => {
+                for leaf in self.topo.leaf_children(node) {
+                    out.send(
+                        leaf,
+                        TreeMsg::NewWorkerLeaf { retired: node, new_worker: successor },
+                    );
+                    notifications += 1;
+                }
+            }
+        }
+        self.audit.record_node_msgs(flat, u64::from(parts) + notifications);
+    }
+}
+
+impl<O: RootObject> Protocol for TreeProtocol<O> {
+    type Msg = TreeMsg<O::Request, O::Response>;
+
+    fn on_deliver(
+        &mut self,
+        out: &mut Outbox<'_, Self::Msg>,
+        _from: ProcessorId,
+        msg: Self::Msg,
+    ) {
+        match msg {
+            TreeMsg::Apply { node, origin, req } => self.handle_apply(out, node, origin, req),
+            TreeMsg::Reply { resp } => {
+                self.audit.record_kind("reply");
+                self.pending_response = Some(resp);
+            }
+            TreeMsg::Handoff { node, total, .. } => self.handle_handoff(node, total),
+            m @ TreeMsg::NewWorker { .. } => self.handle_new_worker(out, m),
+            TreeMsg::NewWorkerLeaf { .. } => {
+                self.audit.record_kind("new-worker-leaf");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retirement_policy_thresholds() {
+        assert_eq!(RetirementPolicy::PaperDefault.threshold(3), Some(12));
+        assert_eq!(RetirementPolicy::AfterAge(7).threshold(3), Some(7));
+        assert_eq!(RetirementPolicy::AfterAge(0).threshold(3), Some(1), "clamped to 1");
+        assert_eq!(RetirementPolicy::Never.threshold(3), None);
+        assert_eq!(RetirementPolicy::default(), RetirementPolicy::PaperDefault);
+    }
+
+    #[test]
+    fn fresh_protocol_has_initial_workers_and_zero_value() {
+        let topo = Topology::new(3).expect("k=3");
+        let proto: TreeProtocol =
+            TreeProtocol::new(topo.clone(), RetirementPolicy::PaperDefault, CounterObject::new());
+        assert_eq!(proto.object().value(), 0);
+        assert_eq!(proto.threshold(), Some(12));
+        for node in topo.nodes() {
+            assert_eq!(proto.worker_of(node), topo.initial_worker(node));
+            assert_eq!(proto.age_of(node), 0);
+        }
+    }
+
+    #[test]
+    fn never_policy_disables_threshold() {
+        let topo = Topology::new(2).expect("k=2");
+        let proto: TreeProtocol =
+            TreeProtocol::new(topo, RetirementPolicy::Never, CounterObject::new());
+        assert_eq!(proto.threshold(), None);
+    }
+
+    #[test]
+    fn protocol_hosts_arbitrary_objects() {
+        use crate::object::FlipBitObject;
+        let topo = Topology::new(2).expect("k=2");
+        let proto = TreeProtocol::new(topo, RetirementPolicy::PaperDefault, FlipBitObject::new());
+        assert!(!proto.object().bit());
+    }
+}

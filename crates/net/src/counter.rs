@@ -1,0 +1,427 @@
+//! The public threaded client and counter.
+//!
+//! One OS thread per processor, crossbeam channels as the network,
+//! sequential driving per the paper's model: each operation waits for its
+//! response *and* for full quiescence of the retirement cascade ("enough
+//! time elapses between any two inc requests").
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use distctr_core::{kmath, CounterObject, NodeRef, RootObject, Topology};
+use distctr_sim::ProcessorId;
+
+use crate::error::NetError;
+use crate::messages::NetMsg;
+use crate::worker::{Hosted, Shared, Worker};
+
+/// Hard cap on spawned threads: one per processor.
+pub const MAX_THREADED_PROCESSORS: usize = 4096;
+
+/// Any [`RootObject`] served by the retirement tree on real OS threads.
+///
+/// # Examples
+///
+/// ```
+/// use distctr_core::FlipBitObject;
+/// use distctr_net::ThreadedTreeClient;
+/// use distctr_sim::ProcessorId;
+///
+/// # fn main() -> Result<(), distctr_net::NetError> {
+/// let mut bit = ThreadedTreeClient::new(8, FlipBitObject::new())?;
+/// assert!(!bit.invoke(ProcessorId::new(3), ())?);
+/// assert!(bit.invoke(ProcessorId::new(5), ())?);
+/// bit.shutdown()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ThreadedTreeClient<O: RootObject> {
+    topo: Arc<Topology>,
+    peers: Arc<Vec<Sender<NetMsg<O>>>>,
+    results: Receiver<(u64, O::Response)>,
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    next_op: u64,
+    shut_down: bool,
+}
+
+impl<O> ThreadedTreeClient<O>
+where
+    O: RootObject + Send + 'static,
+    O::Request: Send + 'static,
+    O::Response: Send + 'static,
+{
+    /// Spawns one thread per processor for a tree of at least `n`
+    /// processors (rounded up to `k^(k+1)`), hosting `object` at the
+    /// root.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Order`] for invalid sizes; [`NetError::TooManyThreads`]
+    /// beyond [`MAX_THREADED_PROCESSORS`]; [`NetError::Spawn`] if thread
+    /// creation fails.
+    pub fn new(n: usize, object: O) -> Result<Self, NetError> {
+        if n == 0 {
+            return Err(NetError::Order("n must be at least 1".into()));
+        }
+        let k = kmath::order_for(n as u64);
+        let topo = Arc::new(Topology::new(k).map_err(NetError::Order)?);
+        let processors = usize::try_from(topo.processors())
+            .map_err(|_| NetError::Order("n does not fit usize".into()))?;
+        if processors > MAX_THREADED_PROCESSORS {
+            return Err(NetError::TooManyThreads { requested: processors });
+        }
+
+        let mut senders = Vec::with_capacity(processors);
+        let mut receivers = Vec::with_capacity(processors);
+        for _ in 0..processors {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let peers = Arc::new(senders);
+        let shared = Arc::new(Shared::new(processors));
+        let (result_tx, results) = unbounded();
+        let threshold = 4 * u64::from(k);
+
+        // Initial hosting: each thread owns the nodes whose initial
+        // worker it is, with neighbour routing seeded from the topology.
+        let mut initial: Vec<HashMap<NodeRef, Hosted<O>>> =
+            (0..processors).map(|_| HashMap::new()).collect();
+        for node in topo.nodes() {
+            let worker = topo.initial_worker(node);
+            let parent_worker = topo.parent(node).map(|p| topo.initial_worker(p));
+            let child_workers = topo
+                .inner_children(node)
+                .map(|children| children.iter().map(|&c| topo.initial_worker(c)).collect())
+                .unwrap_or_default();
+            initial[worker.index()].insert(
+                node,
+                Hosted {
+                    age: 0,
+                    pool_cursor: 0,
+                    parent_worker,
+                    child_workers,
+                    object: (node == NodeRef::ROOT).then(|| object.clone()),
+                },
+            );
+        }
+
+        let mut handles = Vec::with_capacity(processors);
+        for (index, rx) in receivers.into_iter().enumerate() {
+            let me = ProcessorId::new(index);
+            let leaf_parent = topo.leaf_parent(index as u64);
+            let worker = Worker {
+                me,
+                topo: Arc::clone(&topo),
+                threshold,
+                rx,
+                peers: Arc::clone(&peers),
+                shared: Arc::clone(&shared),
+                results: result_tx.clone(),
+                nodes: std::mem::take(&mut initial[index]),
+                forwarding: HashMap::new(),
+                pending: HashMap::new(),
+                leaf_parent_worker: topo.initial_worker(leaf_parent),
+            };
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("distctr-p{index}"))
+                    .spawn(move || worker.run())
+                    .map_err(|e| NetError::Spawn(e.to_string()))?,
+            );
+        }
+        Ok(ThreadedTreeClient {
+            topo,
+            peers,
+            results,
+            shared,
+            handles,
+            next_op: 0,
+            shut_down: false,
+        })
+    }
+
+    /// Number of processors (= threads).
+    #[must_use]
+    pub fn processors(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// The tree order `k`.
+    #[must_use]
+    pub fn order(&self) -> u32 {
+        self.topo.order()
+    }
+
+    /// Executes one operation initiated by `initiator`, waiting for the
+    /// response and for the retirement cascade to quiesce.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownProcessor`] for an out-of-range initiator;
+    /// [`NetError::ShutDown`] after [`ThreadedTreeClient::shutdown`].
+    pub fn invoke(
+        &mut self,
+        initiator: ProcessorId,
+        req: O::Request,
+    ) -> Result<O::Response, NetError> {
+        if self.shut_down {
+            return Err(NetError::ShutDown);
+        }
+        if initiator.index() >= self.processors() {
+            return Err(NetError::UnknownProcessor {
+                index: initiator.index(),
+                processors: self.processors(),
+            });
+        }
+        let op_seq = self.next_op;
+        self.next_op += 1;
+        self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        self.peers[initiator.index()]
+            .send(NetMsg::StartOp { op_seq, req })
+            .map_err(|_| NetError::ShutDown)?;
+        // First the response...
+        let (seq, resp) = self.results.recv().map_err(|_| NetError::ShutDown)?;
+        debug_assert_eq!(seq, op_seq, "sequential driving delivers in order");
+        // ...then quiescence of any retirement cascade, per the paper's
+        // "enough time elapses" assumption.
+        self.wait_quiescent();
+        Ok(resp)
+    }
+
+    fn wait_quiescent(&self) {
+        let mut spins = 0u32;
+        while self.shared.in_flight.load(Ordering::SeqCst) != 0 {
+            spins += 1;
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Per-processor message loads (sent + received), snapshot.
+    #[must_use]
+    pub fn loads(&self) -> Vec<u64> {
+        (0..self.processors())
+            .map(|i| {
+                self.shared.sent[i].load(Ordering::Relaxed)
+                    + self.shared.received[i].load(Ordering::Relaxed)
+            })
+            .collect()
+    }
+
+    /// The bottleneck load.
+    #[must_use]
+    pub fn bottleneck(&self) -> u64 {
+        self.loads().into_iter().max().unwrap_or(0)
+    }
+
+    /// Total retirements across the run.
+    #[must_use]
+    pub fn retirements(&self) -> u64 {
+        self.shared.retirements.load(Ordering::Relaxed)
+    }
+
+    /// Stops every worker thread and joins them.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Spawn`] if a worker thread panicked.
+    pub fn shutdown(&mut self) -> Result<(), NetError> {
+        if self.shut_down {
+            return Ok(());
+        }
+        self.shut_down = true;
+        for tx in self.peers.iter() {
+            let _ = tx.send(NetMsg::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            handle.join().map_err(|_| NetError::Spawn("worker thread panicked".into()))?;
+        }
+        Ok(())
+    }
+}
+
+impl<O: RootObject> Drop for ThreadedTreeClient<O> {
+    fn drop(&mut self) {
+        if !self.shut_down {
+            self.shut_down = true;
+            for tx in self.peers.iter() {
+                let _ = tx.send(NetMsg::Shutdown);
+            }
+            for handle in self.handles.drain(..) {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// The retirement-tree counter running on real OS threads.
+///
+/// # Examples
+///
+/// ```
+/// use distctr_net::ThreadedTreeCounter;
+/// use distctr_sim::ProcessorId;
+///
+/// # fn main() -> Result<(), distctr_net::NetError> {
+/// let mut counter = ThreadedTreeCounter::new(8)?; // 8 threads, k = 2
+/// assert_eq!(counter.inc(ProcessorId::new(3))?, 0);
+/// assert_eq!(counter.inc(ProcessorId::new(5))?, 1);
+/// counter.shutdown()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ThreadedTreeCounter {
+    client: ThreadedTreeClient<CounterObject>,
+}
+
+impl ThreadedTreeCounter {
+    /// Spawns one thread per processor for a tree of at least `n`
+    /// processors (rounded up to `k^(k+1)`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ThreadedTreeClient::new`].
+    pub fn new(n: usize) -> Result<Self, NetError> {
+        Ok(ThreadedTreeCounter { client: ThreadedTreeClient::new(n, CounterObject::new())? })
+    }
+
+    /// Number of processors (= threads).
+    #[must_use]
+    pub fn processors(&self) -> usize {
+        self.client.processors()
+    }
+
+    /// The tree order `k`.
+    #[must_use]
+    pub fn order(&self) -> u32 {
+        self.client.order()
+    }
+
+    /// Executes one `inc` initiated by `initiator`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ThreadedTreeClient::invoke`].
+    pub fn inc(&mut self, initiator: ProcessorId) -> Result<u64, NetError> {
+        self.client.invoke(initiator, ())
+    }
+
+    /// Per-processor message loads (sent + received), snapshot.
+    #[must_use]
+    pub fn loads(&self) -> Vec<u64> {
+        self.client.loads()
+    }
+
+    /// The bottleneck load.
+    #[must_use]
+    pub fn bottleneck(&self) -> u64 {
+        self.client.bottleneck()
+    }
+
+    /// Total retirements across the run.
+    #[must_use]
+    pub fn retirements(&self) -> u64 {
+        self.client.retirements()
+    }
+
+    /// Stops every worker thread and joins them.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ThreadedTreeClient::shutdown`].
+    pub fn shutdown(&mut self) -> Result<(), NetError> {
+        self.client.shutdown()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_sequentially_and_shuts_down() {
+        let mut c = ThreadedTreeCounter::new(8).expect("8 threads");
+        assert_eq!(c.processors(), 8);
+        assert_eq!(c.order(), 2);
+        for i in 0..8 {
+            let v = c.inc(ProcessorId::new(i)).expect("inc");
+            assert_eq!(v, i as u64);
+        }
+        assert!(c.retirements() > 0, "retirement really happened across threads");
+        c.shutdown().expect("clean shutdown");
+        assert!(matches!(c.inc(ProcessorId::new(0)), Err(NetError::ShutDown)));
+    }
+
+    #[test]
+    fn bottleneck_is_big_o_of_k() {
+        let mut c = ThreadedTreeCounter::new(81).expect("81 threads");
+        for i in 0..81 {
+            c.inc(ProcessorId::new(i)).expect("inc");
+        }
+        let b = c.bottleneck();
+        assert!(b >= 3, "lower bound k = 3: {b}");
+        assert!(b <= 20 * 3, "O(k) bound: {b}");
+        c.shutdown().expect("shutdown");
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(matches!(ThreadedTreeCounter::new(0), Err(NetError::Order(_))));
+        let mut c = ThreadedTreeCounter::new(8).expect("counter");
+        assert!(matches!(
+            c.inc(ProcessorId::new(99)),
+            Err(NetError::UnknownProcessor { .. })
+        ));
+        c.shutdown().expect("shutdown");
+    }
+
+    #[test]
+    fn rounds_up_like_the_simulator() {
+        let mut c = ThreadedTreeCounter::new(50).expect("counter");
+        assert_eq!(c.processors(), 81);
+        c.shutdown().expect("shutdown");
+    }
+
+    #[test]
+    fn drop_shuts_down_cleanly() {
+        let mut c = ThreadedTreeCounter::new(8).expect("counter");
+        c.inc(ProcessorId::new(0)).expect("inc");
+        drop(c); // must not hang or panic
+    }
+
+    #[test]
+    fn generic_client_hosts_a_priority_queue_on_threads() {
+        use distctr_core::object::{PqRequest, PqResponse, PriorityQueueObject};
+        let mut pq =
+            ThreadedTreeClient::new(8, PriorityQueueObject::new()).expect("threads");
+        for (i, key) in [9u64, 2, 7].into_iter().enumerate() {
+            let resp = pq.invoke(ProcessorId::new(i), PqRequest::Insert(key)).expect("insert");
+            assert_eq!(resp, PqResponse::Inserted { len: i as u64 + 1 });
+        }
+        assert_eq!(
+            pq.invoke(ProcessorId::new(5), PqRequest::ExtractMin).expect("extract"),
+            PqResponse::Min(Some(2)),
+            "the heap migrated with root retirements and still orders keys"
+        );
+        pq.shutdown().expect("shutdown");
+    }
+
+    #[test]
+    fn generic_client_hosts_a_max_register_on_threads() {
+        use distctr_core::MaxRegisterObject;
+        let mut reg = ThreadedTreeClient::new(8, MaxRegisterObject::new()).expect("threads");
+        assert_eq!(reg.invoke(ProcessorId::new(0), 5).expect("fetch_max"), 0);
+        assert_eq!(reg.invoke(ProcessorId::new(3), 2).expect("fetch_max"), 5);
+        assert_eq!(reg.invoke(ProcessorId::new(7), 9).expect("fetch_max"), 5);
+        reg.shutdown().expect("shutdown");
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type of the threaded backend.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the threaded counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// Invalid network size / tree order.
+    Order(String),
+    /// More threads requested than the backend allows.
+    TooManyThreads {
+        /// The requested processor (thread) count.
+        requested: usize,
+    },
+    /// A worker thread could not be spawned or panicked.
+    Spawn(String),
+    /// Out-of-range initiator.
+    UnknownProcessor {
+        /// The offending index.
+        index: usize,
+        /// The network size.
+        processors: usize,
+    },
+    /// The counter was already shut down.
+    ShutDown,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Order(msg) => write!(f, "invalid tree order: {msg}"),
+            NetError::TooManyThreads { requested } => write!(
+                f,
+                "{requested} processors exceed the threaded backend's limit of {}",
+                crate::MAX_THREADED_PROCESSORS
+            ),
+            NetError::Spawn(msg) => write!(f, "worker thread failure: {msg}"),
+            NetError::UnknownProcessor { index, processors } => write!(
+                f,
+                "processor index {index} out of range for a network of {processors} processors"
+            ),
+            NetError::ShutDown => write!(f, "counter has been shut down"),
+        }
+    }
+}
+
+impl Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(NetError::Order("bad".into()).to_string().contains("bad"));
+        assert!(NetError::TooManyThreads { requested: 9999 }.to_string().contains("9999"));
+        assert!(NetError::UnknownProcessor { index: 5, processors: 2 }
+            .to_string()
+            .contains('5'));
+        assert!(NetError::ShutDown.to_string().contains("shut down"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Wire messages of the threaded backend.
+//!
+//! Mirrors the simulator protocol's message economy: an `inc` climbs the
+//! tree as `Apply` hops, the root replies straight to the initiator, and
+//! a retirement sends k+1 handoff messages (k unit parts plus one
+//! carrying the node's transferable state) and one `NewWorker`
+//! notification per neighbour.
+
+use distctr_core::{NodeRef, RootObject};
+use distctr_sim::ProcessorId;
+
+/// The state that migrates with a retiring node's job.
+#[derive(Debug, Clone)]
+pub struct NodeTransfer<O> {
+    /// The node changing hands.
+    pub node: NodeRef,
+    /// Retirements so far (the pool cursor).
+    pub pool_cursor: u64,
+    /// Current worker of the parent node (None at the root).
+    pub parent_worker: Option<ProcessorId>,
+    /// Current workers of the inner-node children (empty on level k).
+    pub child_workers: Vec<ProcessorId>,
+    /// The hosted object state (Some at the root only).
+    pub object: Option<O>,
+}
+
+/// A message between worker threads, generic over the hosted
+/// [`RootObject`].
+#[derive(Debug, Clone)]
+pub enum NetMsg<O: RootObject> {
+    /// Driver control: the receiving processor initiates one operation.
+    /// Not counted as network load (it models the local request).
+    StartOp {
+        /// Driver-assigned operation sequence number.
+        op_seq: u64,
+        /// The operation payload.
+        req: O::Request,
+    },
+    /// An operation request climbing the tree.
+    Apply {
+        /// The tree node this hop targets.
+        node: NodeRef,
+        /// The initiating processor (reply address).
+        origin: ProcessorId,
+        /// Operation sequence number.
+        op_seq: u64,
+        /// The operation payload.
+        req: O::Request,
+    },
+    /// The operation's response, root worker → initiator.
+    Reply {
+        /// The response.
+        resp: O::Response,
+        /// Operation sequence number.
+        op_seq: u64,
+    },
+    /// One unit of a retirement handoff (parts `0..total-1`).
+    HandoffPart {
+        /// The node changing hands.
+        node: NodeRef,
+        /// Part number.
+        part: u32,
+        /// Total parts including the final state-bearing one.
+        total: u32,
+    },
+    /// The final handoff message, carrying the migrating state.
+    HandoffFinal {
+        /// The transferred node state.
+        transfer: Box<NodeTransfer<O>>,
+    },
+    /// Notification that `retired`'s worker changed; addressed to the
+    /// worker of the adjacent node `node`.
+    NewWorker {
+        /// The neighbour being informed.
+        node: NodeRef,
+        /// The node whose worker changed.
+        retired: NodeRef,
+        /// The new worker.
+        new_worker: ProcessorId,
+    },
+    /// Driver control: exit the thread loop. Not counted as load.
+    Shutdown,
+}
+
+impl<O: RootObject> NetMsg<O> {
+    /// Whether this message counts toward the paper's per-processor
+    /// message load (driver control traffic does not).
+    #[must_use]
+    pub fn counts_as_load(&self) -> bool {
+        !matches!(self, NetMsg::StartOp { .. } | NetMsg::Shutdown)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distctr_core::CounterObject;
+
+    type Msg = NetMsg<CounterObject>;
+
+    #[test]
+    fn control_messages_are_not_load() {
+        assert!(!Msg::StartOp { op_seq: 0, req: () }.counts_as_load());
+        assert!(!Msg::Shutdown.counts_as_load());
+        assert!(Msg::Reply { resp: 0, op_seq: 0 }.counts_as_load());
+        assert!(Msg::Apply {
+            node: NodeRef::ROOT,
+            origin: ProcessorId::new(0),
+            op_seq: 0,
+            req: ()
+        }
+        .counts_as_load());
+        assert!(Msg::HandoffPart { node: NodeRef::ROOT, part: 0, total: 4 }.counts_as_load());
+    }
+
+    #[test]
+    fn transfer_round_trips_through_clone() {
+        let t: NodeTransfer<CounterObject> = NodeTransfer {
+            node: NodeRef { level: 1, index: 2 },
+            pool_cursor: 3,
+            parent_worker: Some(ProcessorId::new(0)),
+            child_workers: vec![ProcessorId::new(4), ProcessorId::new(5)],
+            object: None,
+        };
+        let c = t.clone();
+        assert_eq!(c.pool_cursor, 3);
+        assert_eq!(c.node, t.node);
+    }
+}

@@ -1,0 +1,264 @@
+//! The worker-thread event loop.
+//!
+//! Each OS thread *is* one processor: it owns the state of every tree
+//! node it currently works for, a routing view of its neighbours'
+//! workers, and forwarding addresses for nodes it has retired from. All
+//! knowledge is local; node state genuinely migrates between threads
+//! inside handoff messages — there is no shared map of "who serves what"
+//! anywhere.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam_channel::{Receiver, Sender};
+use distctr_core::{NodeRef, RootObject, Topology};
+use distctr_sim::ProcessorId;
+
+use crate::messages::{NetMsg, NodeTransfer};
+
+/// State of one tree node, owned by the thread currently working for it.
+#[derive(Debug, Clone)]
+pub(crate) struct Hosted<O> {
+    pub(crate) age: u64,
+    pub(crate) pool_cursor: u64,
+    pub(crate) parent_worker: Option<ProcessorId>,
+    /// Inner-node children's workers (empty on level k).
+    pub(crate) child_workers: Vec<ProcessorId>,
+    /// Hosted object (root only).
+    pub(crate) object: Option<O>,
+}
+
+/// Shared accounting: per-processor sent/received counters and the
+/// global in-flight message count used for quiescence detection.
+#[derive(Debug)]
+pub(crate) struct Shared {
+    pub(crate) sent: Vec<AtomicU64>,
+    pub(crate) received: Vec<AtomicU64>,
+    pub(crate) in_flight: AtomicI64,
+    pub(crate) retirements: AtomicU64,
+}
+
+impl Shared {
+    pub(crate) fn new(n: usize) -> Self {
+        Shared {
+            sent: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            received: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            in_flight: AtomicI64::new(0),
+            retirements: AtomicU64::new(0),
+        }
+    }
+}
+
+pub(crate) struct Worker<O: RootObject> {
+    pub(crate) me: ProcessorId,
+    pub(crate) topo: Arc<Topology>,
+    pub(crate) threshold: u64,
+    pub(crate) rx: Receiver<NetMsg<O>>,
+    pub(crate) peers: Arc<Vec<Sender<NetMsg<O>>>>,
+    pub(crate) shared: Arc<Shared>,
+    pub(crate) results: Sender<(u64, O::Response)>,
+    pub(crate) nodes: HashMap<NodeRef, Hosted<O>>,
+    /// Nodes this thread retired from, with the successor to forward to.
+    pub(crate) forwarding: HashMap<NodeRef, ProcessorId>,
+    /// Messages for nodes whose handoff has not arrived yet.
+    pub(crate) pending: HashMap<NodeRef, Vec<NetMsg<O>>>,
+    /// The (static) worker of this leaf's parent node: level-k nodes have
+    /// singleton pools and never retire, so this never changes.
+    pub(crate) leaf_parent_worker: ProcessorId,
+}
+
+impl<O: RootObject> Worker<O> {
+    /// Sends `msg` to `to`, charging this processor's sent counter and
+    /// the in-flight gauge (increment happens strictly before the send so
+    /// quiescence can never be observed spuriously).
+    fn send(&self, to: ProcessorId, msg: NetMsg<O>) {
+        if msg.counts_as_load() {
+            self.shared.sent[self.me.index()].fetch_add(1, Ordering::Relaxed);
+        }
+        self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        self.peers[to.index()]
+            .send(msg)
+            .expect("peer channel closed while the network is running");
+    }
+
+    /// The thread main loop: handle messages until `Shutdown`.
+    pub(crate) fn run(mut self) {
+        while let Ok(msg) = self.rx.recv() {
+            let shutdown = matches!(msg, NetMsg::Shutdown);
+            if msg.counts_as_load() {
+                self.shared.received[self.me.index()].fetch_add(1, Ordering::Relaxed);
+            }
+            self.handle(msg);
+            // The decrement strictly follows any sends made by the
+            // handler, so in_flight only reaches 0 at true quiescence.
+            self.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            if shutdown {
+                break;
+            }
+        }
+    }
+
+    fn handle(&mut self, msg: NetMsg<O>) {
+        match msg {
+            NetMsg::StartOp { op_seq, req } => {
+                let leaf_parent = self.topo.leaf_parent(self.me.index() as u64);
+                self.send(
+                    self.leaf_parent_worker,
+                    NetMsg::Apply { node: leaf_parent, origin: self.me, op_seq, req },
+                );
+            }
+            NetMsg::Apply { node, origin, op_seq, req } => {
+                self.on_apply(node, origin, op_seq, req);
+            }
+            NetMsg::Reply { resp, op_seq } => {
+                self.results.send((op_seq, resp)).expect("driver result channel open");
+            }
+            NetMsg::HandoffPart { .. } => {
+                // Unit parts only carry load; the final part installs.
+            }
+            NetMsg::HandoffFinal { transfer } => self.on_handoff(*transfer),
+            NetMsg::NewWorker { node, retired, new_worker } => {
+                self.on_new_worker(node, retired, new_worker);
+            }
+            NetMsg::Shutdown => {}
+        }
+    }
+
+    fn on_apply(&mut self, node: NodeRef, origin: ProcessorId, op_seq: u64, req: O::Request) {
+        if !self.nodes.contains_key(&node) {
+            // Shim: forward to the successor if we retired from this
+            // node; buffer if its handoff has not reached us yet.
+            if let Some(&successor) = self.forwarding.get(&node) {
+                self.send(successor, NetMsg::Apply { node, origin, op_seq, req });
+            } else {
+                self.pending
+                    .entry(node)
+                    .or_default()
+                    .push(NetMsg::Apply { node, origin, op_seq, req });
+            }
+            return;
+        }
+        {
+            let hosted = self.nodes.get_mut(&node).expect("checked present");
+            hosted.age += 2;
+        }
+        if node == NodeRef::ROOT {
+            let hosted = self.nodes.get_mut(&node).expect("root hosted");
+            let object = hosted.object.as_mut().expect("root carries the object");
+            let resp = object.apply(req);
+            self.send(origin, NetMsg::Reply { resp, op_seq });
+        } else {
+            let parent = self.topo.parent(node).expect("non-root has a parent");
+            let parent_worker = self
+                .nodes
+                .get(&node)
+                .expect("checked present")
+                .parent_worker
+                .expect("non-root knows its parent's worker");
+            self.send(parent_worker, NetMsg::Apply { node: parent, origin, op_seq, req });
+        }
+        self.maybe_retire(node);
+    }
+
+    fn on_handoff(&mut self, transfer: NodeTransfer<O>) {
+        let node = transfer.node;
+        let hosted = Hosted {
+            age: 0,
+            pool_cursor: transfer.pool_cursor,
+            parent_worker: transfer.parent_worker,
+            child_workers: transfer.child_workers,
+            object: transfer.object,
+        };
+        self.nodes.insert(node, hosted);
+        // We are the current worker now; drop any stale forwarding entry
+        // (possible if this processor served the node in a previous
+        // recycling epoch — not reachable with one-shot pools).
+        self.forwarding.remove(&node);
+        // Deliver everything that arrived before the handoff.
+        if let Some(buffered) = self.pending.remove(&node) {
+            for msg in buffered {
+                self.handle(msg);
+            }
+        }
+    }
+
+    fn on_new_worker(&mut self, node: NodeRef, retired: NodeRef, new_worker: ProcessorId) {
+        if !self.nodes.contains_key(&node) {
+            if let Some(&successor) = self.forwarding.get(&node) {
+                self.send(successor, NetMsg::NewWorker { node, retired, new_worker });
+            } else {
+                self.pending
+                    .entry(node)
+                    .or_default()
+                    .push(NetMsg::NewWorker { node, retired, new_worker });
+            }
+            return;
+        }
+        let hosted = self.nodes.get_mut(&node).expect("checked present");
+        hosted.age += 1;
+        if self.topo.parent(node) == Some(retired) {
+            hosted.parent_worker = Some(new_worker);
+        } else if let Some(children) = self.topo.inner_children(node) {
+            if let Some(idx) = children.iter().position(|&c| c == retired) {
+                hosted.child_workers[idx] = new_worker;
+            }
+        }
+        self.maybe_retire(node);
+    }
+
+    fn maybe_retire(&mut self, node: NodeRef) {
+        let (age, pool_cursor) = {
+            let hosted = self.nodes.get(&node).expect("hosted");
+            (hosted.age, hosted.pool_cursor)
+        };
+        if age < self.threshold {
+            return;
+        }
+        let pool = self.topo.pool(node);
+        let size = pool.end - pool.start;
+        if pool_cursor + 1 >= size {
+            // Pool drained (unreachable on the canonical workload).
+            self.nodes.get_mut(&node).expect("hosted").age = 0;
+            return;
+        }
+        let successor = ProcessorId::new((pool.start + pool_cursor + 1) as usize);
+        let hosted = self.nodes.remove(&node).expect("hosted");
+        self.shared.retirements.fetch_add(1, Ordering::Relaxed);
+        self.forwarding.insert(node, successor);
+
+        // k+1 handoff messages: k unit parts + the state-bearing final.
+        let total = self.topo.order() + 1;
+        for part in 0..total - 1 {
+            self.send(successor, NetMsg::HandoffPart { node, part, total });
+        }
+        self.send(
+            successor,
+            NetMsg::HandoffFinal {
+                transfer: Box::new(NodeTransfer {
+                    node,
+                    pool_cursor: pool_cursor + 1,
+                    parent_worker: hosted.parent_worker,
+                    child_workers: hosted.child_workers.clone(),
+                    object: hosted.object,
+                }),
+            },
+        );
+        // Notify the parent and every child of the new worker.
+        if let Some(parent) = self.topo.parent(node) {
+            let parent_worker = hosted.parent_worker.expect("non-root parent worker");
+            self.send(
+                parent_worker,
+                NetMsg::NewWorker { node: parent, retired: node, new_worker: successor },
+            );
+        }
+        if let Some(children) = self.topo.inner_children(node) {
+            for (idx, child) in children.into_iter().enumerate() {
+                let w = hosted.child_workers[idx];
+                self.send(w, NetMsg::NewWorker { node: child, retired: node, new_worker: successor });
+            }
+        }
+        // Level-k nodes never retire (singleton pools), so leaves need no
+        // notification channel here.
+    }
+}

@@ -1,0 +1,185 @@
+//! Finite-projective-plane quorum system (Maekawa's √N construction).
+//!
+//! For a prime `q`, the projective plane `PG(2, q)` has `q² + q + 1`
+//! points and as many lines; every line carries `q + 1` points and **any
+//! two lines meet in exactly one point** — the ideal quorum system:
+//! quorum size `O(√n)`, uniform load `(q+1)/(q²+q+1) ≈ 1/√n`, and
+//! minimal intersections (one element, against the grid's up-to-two).
+//!
+//! Points and lines are the nonzero vectors of `GF(q)³` up to scaling,
+//! with incidence `L · P ≡ 0 (mod q)`.
+
+use crate::system::QuorumSystem;
+
+/// The line-quorums of a projective plane of prime order `q`.
+///
+/// # Examples
+///
+/// ```
+/// use distctr_quorum::{Fpp, QuorumSystem};
+/// let fano = Fpp::new(2).expect("the Fano plane");
+/// assert_eq!(fano.universe(), 7);
+/// assert_eq!(fano.quorum_count(), 7);
+/// assert_eq!(fano.quorum(0).len(), 3);
+/// assert!(fano.verify_intersection(usize::MAX));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fpp {
+    q: u32,
+    points: Vec<[u32; 3]>,
+    lines: Vec<Vec<usize>>,
+}
+
+impl Fpp {
+    /// Builds the plane of prime order `q` (supported: q ≤ 31, keeping
+    /// the plane below ~1000 elements).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message if `q` is not a prime in `2..=31`.
+    pub fn new(q: u32) -> Result<Self, String> {
+        if !(2..=31).contains(&q) || !is_prime(q) {
+            return Err(format!("projective plane order must be a prime in 2..=31, got {q}"));
+        }
+        let reps = normalized_triples(q);
+        let mut lines = Vec::with_capacity(reps.len());
+        for line in &reps {
+            let members: Vec<usize> = reps
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| dot_mod(line, p, q) == 0)
+                .map(|(i, _)| i)
+                .collect();
+            lines.push(members);
+        }
+        Ok(Fpp { q, points: reps, lines })
+    }
+
+    /// The plane order `q`.
+    #[must_use]
+    pub fn order(&self) -> u32 {
+        self.q
+    }
+
+    /// The largest prime `q` with `q² + q + 1 <= n`, if any.
+    #[must_use]
+    pub fn largest_within(n: usize) -> Option<Fpp> {
+        (2..=31u32)
+            .rev()
+            .filter(|&q| is_prime(q))
+            .find(|&q| (q * q + q + 1) as usize <= n)
+            .and_then(|q| Fpp::new(q).ok())
+    }
+}
+
+impl QuorumSystem for Fpp {
+    fn universe(&self) -> usize {
+        self.points.len()
+    }
+
+    fn quorum_count(&self) -> usize {
+        self.lines.len()
+    }
+
+    fn quorum(&self, i: usize) -> Vec<usize> {
+        self.lines[i].clone()
+    }
+
+    fn name(&self) -> &'static str {
+        "fpp"
+    }
+}
+
+/// Normalized projective representatives over `GF(q)`: `(1, a, b)`,
+/// `(0, 1, b)`, `(0, 0, 1)`.
+fn normalized_triples(q: u32) -> Vec<[u32; 3]> {
+    let mut reps = Vec::with_capacity((q * q + q + 1) as usize);
+    for a in 0..q {
+        for b in 0..q {
+            reps.push([1, a, b]);
+        }
+    }
+    for b in 0..q {
+        reps.push([0, 1, b]);
+    }
+    reps.push([0, 0, 1]);
+    reps
+}
+
+fn dot_mod(a: &[u32; 3], b: &[u32; 3], q: u32) -> u32 {
+    (a[0] * b[0] + a[1] * b[1] + a[2] * b[2]) % q
+}
+
+fn is_prime(n: u32) -> bool {
+    if n < 2 {
+        return false;
+    }
+    (2..=n / 2).all(|d| !n.is_multiple_of(d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plane_sizes_follow_the_formula() {
+        for q in [2u32, 3, 5, 7] {
+            let plane = Fpp::new(q).expect("prime order");
+            let expected = (q * q + q + 1) as usize;
+            assert_eq!(plane.universe(), expected, "points of PG(2,{q})");
+            assert_eq!(plane.quorum_count(), expected, "lines of PG(2,{q})");
+            for i in 0..plane.quorum_count() {
+                assert_eq!(plane.quorum(i).len(), (q + 1) as usize, "line size q+1");
+            }
+        }
+    }
+
+    #[test]
+    fn any_two_lines_meet_in_exactly_one_point() {
+        for q in [2u32, 3, 5] {
+            let plane = Fpp::new(q).expect("prime order");
+            for a in 0..plane.quorum_count() {
+                for b in (a + 1)..plane.quorum_count() {
+                    let qa = plane.quorum(a);
+                    let qb = plane.quorum(b);
+                    let common =
+                        qa.iter().filter(|e| qb.contains(e)).count();
+                    assert_eq!(common, 1, "lines {a},{b} of PG(2,{q})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fpp_load_is_inverse_square_root() {
+        let plane = Fpp::new(5).expect("q=5"); // n = 31
+        let expected = 6.0 / 31.0;
+        assert!((plane.uniform_load() - expected).abs() < 1e-12);
+        // Beats majority by a wide margin on a similar universe.
+        use crate::majority::Majority;
+        let m = Majority::new(24).expect("majority");
+        assert!(plane.uniform_load() < m.uniform_load() / 2.0);
+    }
+
+    #[test]
+    fn non_prime_orders_rejected() {
+        for q in [0u32, 1, 4, 6, 8, 9, 32] {
+            assert!(Fpp::new(q).is_err(), "q={q}");
+        }
+    }
+
+    #[test]
+    fn largest_within_picks_the_right_prime() {
+        assert_eq!(Fpp::largest_within(7).map(|p| p.order()), Some(2));
+        assert_eq!(Fpp::largest_within(12).map(|p| p.order()), Some(2));
+        assert_eq!(Fpp::largest_within(13).map(|p| p.order()), Some(3));
+        assert_eq!(Fpp::largest_within(100).map(|p| p.order()), Some(7)); // 57 <= 100 < 111
+        assert_eq!(Fpp::largest_within(6), None);
+    }
+
+    #[test]
+    fn primality_helper() {
+        let primes: Vec<u32> = (0..32).filter(|&n| is_prime(n)).collect();
+        assert_eq!(primes, vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31]);
+    }
+}

@@ -1,0 +1,139 @@
+//! The grid quorum system (Maekawa-style).
+//!
+//! Elements arranged in a `d × d` grid; quorum `(r, c)` is the union of
+//! row `r` and column `c`. Any two quorums intersect (row of one crosses
+//! column of the other), quorum size is `2d − 1 = O(√n)` and the uniform
+//! load is `O(1/√n)` — the classic low-load construction the related-work
+//! section points to.
+
+use crate::system::QuorumSystem;
+
+/// A `d × d` grid quorum system (`n = d²` elements, `n` quorums).
+///
+/// # Examples
+///
+/// ```
+/// use distctr_quorum::{Grid, QuorumSystem};
+/// let g = Grid::new(3).expect("3x3");
+/// assert_eq!(g.universe(), 9);
+/// assert_eq!(g.quorum(0).len(), 5); // 2d - 1
+/// assert!(g.verify_intersection(usize::MAX));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grid {
+    d: usize,
+}
+
+impl Grid {
+    /// Creates a `d × d` grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message if `d == 0`.
+    pub fn new(d: usize) -> Result<Self, String> {
+        if d == 0 {
+            return Err("grid side must be at least 1".to_string());
+        }
+        Ok(Grid { d })
+    }
+
+    /// The grid side `d`.
+    #[must_use]
+    pub fn side(&self) -> usize {
+        self.d
+    }
+
+    /// The largest grid fitting within `n` elements.
+    #[must_use]
+    pub fn largest_within(n: usize) -> Option<Grid> {
+        let d = (n as f64).sqrt().floor() as usize;
+        (d >= 1).then_some(Grid { d })
+    }
+}
+
+impl QuorumSystem for Grid {
+    fn universe(&self) -> usize {
+        self.d * self.d
+    }
+
+    fn quorum_count(&self) -> usize {
+        self.d * self.d
+    }
+
+    fn quorum(&self, i: usize) -> Vec<usize> {
+        assert!(i < self.quorum_count(), "quorum index {i} out of range");
+        let (r, c) = (i / self.d, i % self.d);
+        let mut q: Vec<usize> = (0..self.d)
+            .map(|col| r * self.d + col)
+            .chain((0..self.d).map(|row| row * self.d + c))
+            .collect();
+        q.sort_unstable();
+        q.dedup();
+        q
+    }
+
+    fn name(&self) -> &'static str {
+        "grid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_shape() {
+        let g = Grid::new(4).expect("grid");
+        for i in 0..16 {
+            let q = g.quorum(i);
+            assert_eq!(q.len(), 7, "2d - 1 elements");
+            assert!(q.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+        }
+    }
+
+    #[test]
+    fn any_two_quorums_intersect() {
+        for d in 1..=5 {
+            let g = Grid::new(d).expect("grid");
+            assert!(g.verify_intersection(usize::MAX), "d = {d}");
+        }
+    }
+
+    #[test]
+    fn load_is_inverse_square_root() {
+        // Element (r, c) is in a quorum (r', c') iff r' == r or c' == c:
+        // 2d - 1 of d^2 quorums.
+        for d in [2usize, 4, 8] {
+            let g = Grid::new(d).expect("grid");
+            let expected = (2 * d - 1) as f64 / (d * d) as f64;
+            assert!((g.uniform_load() - expected).abs() < 1e-12, "d = {d}");
+        }
+    }
+
+    #[test]
+    fn grid_beats_majority_load() {
+        use crate::majority::Majority;
+        let g = Grid::new(4).expect("grid"); // n = 16
+        let m = Majority::new(16).expect("majority");
+        assert!(
+            g.uniform_load() < m.uniform_load(),
+            "grid load {} < majority load {}",
+            g.uniform_load(),
+            m.uniform_load()
+        );
+    }
+
+    #[test]
+    fn largest_within() {
+        assert_eq!(Grid::largest_within(81).map(|g| g.side()), Some(9));
+        assert_eq!(Grid::largest_within(80).map(|g| g.side()), Some(8));
+        assert_eq!(Grid::largest_within(0), None);
+    }
+
+    #[test]
+    fn degenerate_one_by_one() {
+        let g = Grid::new(1).expect("grid");
+        assert_eq!(g.quorum(0), vec![0]);
+        assert!((g.uniform_load() - 1.0).abs() < 1e-12);
+    }
+}

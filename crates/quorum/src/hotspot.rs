@@ -1,0 +1,169 @@
+//! The Hot Spot Lemma as a trace checker, and the "dynamic quorum
+//! system" view of a counter execution.
+//!
+//! "Let p and q be two processors that increment the counter in direct
+//! succession. Then I_p ∩ I_q ≠ ∅ must hold." The paper notes its
+//! approach "might be called a Dynamic Quorum System": the contact sets
+//! of consecutive operations form a chain-intersecting family. This
+//! module checks that property on recorded traces of *any* counter and
+//! summarizes the family the way quorum systems are summarized (sizes,
+//! per-element load).
+
+use distctr_sim::{ContactSet, ProcessorId};
+
+/// Result of checking the Hot Spot Lemma over a trace sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HotSpotVerdict {
+    /// Every consecutive pair intersects.
+    Holds,
+    /// The first violating pair (indices into the sequence).
+    ViolatedAt(usize, usize),
+}
+
+impl HotSpotVerdict {
+    /// Whether the lemma held.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        matches!(self, HotSpotVerdict::Holds)
+    }
+}
+
+/// Checks `I_i ∩ I_{i+1} ≠ ∅` for every consecutive pair.
+#[must_use]
+pub fn check_chain(contacts: &[&ContactSet]) -> HotSpotVerdict {
+    for (i, pair) in contacts.windows(2).enumerate() {
+        if !pair[0].intersects(pair[1]) {
+            return HotSpotVerdict::ViolatedAt(i, i + 1);
+        }
+    }
+    HotSpotVerdict::Holds
+}
+
+/// Summary of an execution's contact-set family, read as a dynamic
+/// quorum system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicQuorumView {
+    /// Number of operations (quorums).
+    pub operations: usize,
+    /// Smallest contact-set size.
+    pub min_size: usize,
+    /// Largest contact-set size.
+    pub max_size: usize,
+    /// Mean contact-set size.
+    pub mean_size: f64,
+    /// The processor appearing in the most contact sets, with its count.
+    pub busiest: Option<(ProcessorId, usize)>,
+    /// Fraction of operations touching the busiest processor — the
+    /// dynamic analogue of quorum load.
+    pub load: f64,
+    /// The chain-intersection verdict.
+    pub verdict: HotSpotVerdict,
+}
+
+/// Builds the dynamic-quorum view of an execution from its per-op
+/// contact sets, over a network of `processors` processors.
+#[must_use]
+pub fn dynamic_view(contacts: &[&ContactSet], processors: usize) -> DynamicQuorumView {
+    let operations = contacts.len();
+    let sizes: Vec<usize> = contacts.iter().map(|c| c.len()).collect();
+    let min_size = sizes.iter().copied().min().unwrap_or(0);
+    let max_size = sizes.iter().copied().max().unwrap_or(0);
+    let mean_size = if operations == 0 {
+        0.0
+    } else {
+        sizes.iter().sum::<usize>() as f64 / operations as f64
+    };
+    let mut counts = vec![0usize; processors];
+    for c in contacts {
+        for p in c.iter() {
+            if p.index() < processors {
+                counts[p.index()] += 1;
+            }
+        }
+    }
+    let busiest = counts
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+        .filter(|&(_, &c)| c > 0)
+        .map(|(i, &c)| (ProcessorId::new(i), c));
+    let load = match (busiest, operations) {
+        (Some((_, c)), n) if n > 0 => c as f64 / n as f64,
+        _ => 0.0,
+    };
+    DynamicQuorumView {
+        operations,
+        min_size,
+        max_size,
+        mean_size,
+        busiest,
+        load,
+        verdict: check_chain(contacts),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[usize]) -> ContactSet {
+        ids.iter().map(|&i| ProcessorId::new(i)).collect()
+    }
+
+    #[test]
+    fn chain_holds_for_overlapping_sequence() {
+        let a = set(&[0, 1]);
+        let b = set(&[1, 2]);
+        let c = set(&[2, 3]);
+        assert!(check_chain(&[&a, &b, &c]).holds());
+    }
+
+    #[test]
+    fn chain_violation_is_located() {
+        let a = set(&[0, 1]);
+        let b = set(&[1, 2]);
+        let c = set(&[5, 6]);
+        assert_eq!(check_chain(&[&a, &b, &c]), HotSpotVerdict::ViolatedAt(1, 2));
+    }
+
+    #[test]
+    fn chain_trivially_holds_for_short_sequences() {
+        assert!(check_chain(&[]).holds());
+        let a = set(&[0]);
+        assert!(check_chain(&[&a]).holds());
+    }
+
+    #[test]
+    fn nonadjacent_sets_may_be_disjoint() {
+        // The lemma only constrains *consecutive* operations.
+        let a = set(&[0, 1]);
+        let b = set(&[1, 5]);
+        let c = set(&[5, 9]);
+        assert!(check_chain(&[&a, &b, &c]).holds());
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn dynamic_view_statistics() {
+        let a = set(&[0, 1, 2]);
+        let b = set(&[2, 3]);
+        let c = set(&[2]);
+        let v = dynamic_view(&[&a, &b, &c], 8);
+        assert_eq!(v.operations, 3);
+        assert_eq!(v.min_size, 1);
+        assert_eq!(v.max_size, 3);
+        assert!((v.mean_size - 2.0).abs() < 1e-12);
+        assert_eq!(v.busiest, Some((ProcessorId::new(2), 3)));
+        assert!((v.load - 1.0).abs() < 1e-12, "P2 is in every contact set");
+        assert!(v.verdict.holds());
+    }
+
+    #[test]
+    fn dynamic_view_empty_execution() {
+        let v = dynamic_view(&[], 4);
+        assert_eq!(v.operations, 0);
+        assert_eq!(v.busiest, None);
+        assert_eq!(v.load, 0.0);
+        assert!(v.verdict.holds());
+    }
+}

@@ -1,0 +1,44 @@
+//! # distctr-quorum
+//!
+//! The quorum-system substrate the paper's reasoning leans on: the Hot
+//! Spot Lemma is an intersection requirement on consecutive operations'
+//! contact sets, and the related-work section frames the counter as a
+//! *dynamic quorum system*.
+//!
+//! * Static constructions: [`Majority`], [`Grid`] (Maekawa), [`Fpp`]
+//!   (finite projective planes), [`TreeQuorum`] (Agrawal-El Abbadi),
+//!   [`Wall`] (Peleg-Wool crumbling walls) — all
+//!   implementing [`QuorumSystem`] with intersection verification and
+//!   uniform-strategy load.
+//! * Dynamic checking: [`hotspot`] verifies the Hot Spot Lemma on real
+//!   counter traces and summarizes an execution's contact-set family as
+//!   a quorum system (experiment E6/E10).
+//!
+//! ```
+//! use distctr_quorum::{Grid, Majority, QuorumSystem};
+//!
+//! let grid = Grid::new(4).expect("4x4 grid");
+//! let majority = Majority::new(16).expect("n = 16");
+//! assert!(grid.verify_intersection(usize::MAX));
+//! // The load story in miniature: structured beats majority.
+//! assert!(grid.uniform_load() < majority.uniform_load());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fpp;
+pub mod grid;
+pub mod hotspot;
+pub mod majority;
+pub mod system;
+pub mod tree;
+pub mod walls;
+
+pub use fpp::Fpp;
+pub use grid::Grid;
+pub use hotspot::{check_chain, dynamic_view, DynamicQuorumView, HotSpotVerdict};
+pub use majority::Majority;
+pub use system::{sorted_intersects, QuorumSystem};
+pub use tree::TreeQuorum;
+pub use walls::Wall;

@@ -1,0 +1,158 @@
+//! The majority quorum system (Garcia-Molina & Barbara / Thomas).
+//!
+//! Quorums are all subsets of size `⌊n/2⌋ + 1`. Any two majorities
+//! intersect, the quorums are as small as possible for that resilience,
+//! but the uniform load is ~1/2 — the grid and wall systems beat it by an
+//! order of magnitude, which is the quorum-side analogue of the paper's
+//! bottleneck story.
+
+use crate::system::QuorumSystem;
+
+/// All-majorities quorum system over `n` elements.
+///
+/// The number of quorums is `C(n, ⌊n/2⌋+1)`, so this type is intended for
+/// small universes (tests and demonstrations); construction rejects
+/// `n > 24` to keep enumeration bounded.
+///
+/// # Examples
+///
+/// ```
+/// use distctr_quorum::{Majority, QuorumSystem};
+/// let m = Majority::new(5).expect("n = 5");
+/// assert_eq!(m.quorum(0), vec![0, 1, 2]);
+/// assert!(m.verify_intersection(usize::MAX));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Majority {
+    n: usize,
+    size: usize,
+    count: usize,
+}
+
+impl Majority {
+    /// Creates the majority system over `n` elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message if `n == 0` or `n > 24` (enumeration
+    /// bound).
+    pub fn new(n: usize) -> Result<Self, String> {
+        if n == 0 {
+            return Err("majority system needs at least one element".to_string());
+        }
+        if n > 24 {
+            return Err(format!("majority enumeration bounded at n <= 24, got {n}"));
+        }
+        let size = n / 2 + 1;
+        Ok(Majority { n, size, count: binomial(n, size) })
+    }
+
+    /// The quorum size `⌊n/2⌋ + 1`.
+    #[must_use]
+    pub fn quorum_size(&self) -> usize {
+        self.size
+    }
+}
+
+impl QuorumSystem for Majority {
+    fn universe(&self) -> usize {
+        self.n
+    }
+
+    fn quorum_count(&self) -> usize {
+        self.count
+    }
+
+    fn quorum(&self, i: usize) -> Vec<usize> {
+        assert!(i < self.count, "quorum index {i} out of range");
+        // Unrank the i-th k-combination of 0..n in lexicographic order.
+        let mut result = Vec::with_capacity(self.size);
+        let mut rank = i;
+        let mut next = 0usize;
+        let mut remaining = self.size;
+        while remaining > 0 {
+            let with_next = binomial(self.n - next - 1, remaining - 1);
+            if rank < with_next {
+                result.push(next);
+                remaining -= 1;
+            } else {
+                rank -= with_next;
+            }
+            next += 1;
+        }
+        result
+    }
+
+    fn name(&self) -> &'static str {
+        "majority"
+    }
+}
+
+/// Binomial coefficient `C(n, k)` (0 when `k > n`).
+#[must_use]
+pub fn binomial(n: usize, k: usize) -> usize {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc * (n - i) as u128 / (i + 1) as u128;
+    }
+    usize::try_from(acc).expect("binomial fits usize for bounded n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn binomial_table() {
+        assert_eq!(binomial(5, 3), 10);
+        assert_eq!(binomial(4, 0), 1);
+        assert_eq!(binomial(4, 4), 1);
+        assert_eq!(binomial(3, 5), 0);
+        assert_eq!(binomial(24, 13), 2_496_144);
+    }
+
+    #[test]
+    fn enumerates_all_majorities_exactly_once() {
+        let m = Majority::new(5).expect("n = 5");
+        assert_eq!(m.quorum_count(), 10);
+        let mut seen = HashSet::new();
+        for i in 0..10 {
+            let q = m.quorum(i);
+            assert_eq!(q.len(), 3);
+            assert!(q.windows(2).all(|w| w[0] < w[1]), "sorted");
+            assert!(seen.insert(q), "distinct");
+        }
+    }
+
+    #[test]
+    fn intersection_and_load() {
+        let m = Majority::new(7).expect("n = 7");
+        assert!(m.verify_intersection(usize::MAX));
+        assert_eq!(m.min_quorum_size(usize::MAX), 4);
+        // Symmetric system: every element is in C(n-1, s-1) quorums.
+        let expected = binomial(6, 3) as f64 / m.quorum_count() as f64;
+        assert!((m.uniform_load() - expected).abs() < 1e-12);
+        // Majority load is ~1/2 — high.
+        assert!(m.uniform_load() > 0.5);
+    }
+
+    #[test]
+    fn bounds_enforced() {
+        assert!(Majority::new(0).is_err());
+        assert!(Majority::new(25).is_err());
+        assert!(Majority::new(24).is_ok());
+    }
+
+    #[test]
+    fn single_element_universe() {
+        let m = Majority::new(1).expect("n = 1");
+        assert_eq!(m.quorum_count(), 1);
+        assert_eq!(m.quorum(0), vec![0]);
+        assert!((m.uniform_load() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,159 @@
+//! The quorum-system abstraction.
+//!
+//! "A quorum system is a collection of sets of elements where every two
+//! sets in the collection intersect." The paper's Hot Spot Lemma is
+//! exactly a *dynamic* intersection requirement on the contact sets of
+//! consecutive operations, which is why quorum machinery appears here as
+//! a substrate.
+
+/// A quorum system over the universe `0..universe()`.
+///
+/// Implementations materialize quorums on demand ([`QuorumSystem::quorum`])
+/// so that structured systems (grid, wall, tree) stay cheap even when the
+/// number of quorums is large.
+pub trait QuorumSystem {
+    /// Size of the element universe.
+    fn universe(&self) -> usize;
+
+    /// Number of quorums in the collection.
+    fn quorum_count(&self) -> usize;
+
+    /// The `i`-th quorum, as sorted element indices.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `i >= quorum_count()`.
+    fn quorum(&self, i: usize) -> Vec<usize>;
+
+    /// A short stable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Checks pairwise intersection over (up to) the first `limit`
+    /// quorums — the defining property.
+    fn verify_intersection(&self, limit: usize) -> bool {
+        let m = self.quorum_count().min(limit);
+        let quorums: Vec<Vec<usize>> = (0..m).map(|i| self.quorum(i)).collect();
+        for a in 0..m {
+            for b in (a + 1)..m {
+                if !sorted_intersects(&quorums[a], &quorums[b]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Size of the smallest quorum among the first `limit`.
+    fn min_quorum_size(&self, limit: usize) -> usize {
+        (0..self.quorum_count().min(limit)).map(|i| self.quorum(i).len()).min().unwrap_or(0)
+    }
+
+    /// The *uniform-strategy load*: pick quorums uniformly at random; the
+    /// load of an element is the fraction of quorums containing it, and
+    /// the system's load is the maximum over elements. (The optimal-
+    /// strategy load of Naor-Wool is an LP; the uniform strategy upper-
+    /// bounds it and is exact for the symmetric systems built here.)
+    fn uniform_load(&self) -> f64 {
+        let m = self.quorum_count();
+        if m == 0 || self.universe() == 0 {
+            return 0.0;
+        }
+        let mut counts = vec![0u64; self.universe()];
+        for i in 0..m {
+            for e in self.quorum(i) {
+                counts[e] += 1;
+            }
+        }
+        counts.into_iter().max().unwrap_or(0) as f64 / m as f64
+    }
+}
+
+/// Whether two sorted slices share an element.
+#[must_use]
+pub fn sorted_intersects(a: &[usize], b: &[usize]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A hand-rolled three-quorum system for exercising the defaults.
+    struct Toy;
+    impl QuorumSystem for Toy {
+        fn universe(&self) -> usize {
+            4
+        }
+        fn quorum_count(&self) -> usize {
+            3
+        }
+        fn quorum(&self, i: usize) -> Vec<usize> {
+            match i {
+                0 => vec![0, 1],
+                1 => vec![1, 2],
+                2 => vec![1, 3],
+                _ => panic!("quorum index out of range"),
+            }
+        }
+        fn name(&self) -> &'static str {
+            "toy"
+        }
+    }
+
+    /// Two disjoint sets: not a quorum system.
+    struct Broken;
+    impl QuorumSystem for Broken {
+        fn universe(&self) -> usize {
+            4
+        }
+        fn quorum_count(&self) -> usize {
+            2
+        }
+        fn quorum(&self, i: usize) -> Vec<usize> {
+            if i == 0 {
+                vec![0, 1]
+            } else {
+                vec![2, 3]
+            }
+        }
+        fn name(&self) -> &'static str {
+            "broken"
+        }
+    }
+
+    #[test]
+    fn sorted_intersects_cases() {
+        assert!(sorted_intersects(&[1, 3, 5], &[5, 7]));
+        assert!(!sorted_intersects(&[1, 3], &[2, 4]));
+        assert!(!sorted_intersects(&[], &[1]));
+        assert!(sorted_intersects(&[2], &[2]));
+    }
+
+    #[test]
+    fn toy_system_properties() {
+        let s = Toy;
+        assert!(s.verify_intersection(10), "element 1 is in every quorum");
+        assert_eq!(s.min_quorum_size(10), 2);
+        // Element 1 is in 3 of 3 quorums: uniform load 1.0.
+        assert!((s.uniform_load() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn broken_system_detected() {
+        assert!(!Broken.verify_intersection(10));
+    }
+
+    #[test]
+    fn limits_respected() {
+        // With limit 1 there are no pairs, so the check passes trivially.
+        assert!(Broken.verify_intersection(1));
+    }
+}

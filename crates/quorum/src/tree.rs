@@ -1,0 +1,162 @@
+//! The tree quorum system (Agrawal & El Abbadi).
+//!
+//! Elements are the nodes of a complete binary tree. A quorum is built
+//! recursively: take the root together with a quorum of either subtree,
+//! or — modelling an unavailable root — quorums of *both* subtrees. Any
+//! two quorums intersect, and small quorums (a root-to-leaf path, size
+//! `O(log n)`) exist, at the price of higher load on nodes near the root
+//! — a structural cousin of the paper's communication tree, which
+//! motivates why retirement is needed to spread that load.
+
+use crate::system::QuorumSystem;
+
+/// Tree quorum system over a complete binary tree of the given depth
+/// (depth 0 = single node). All quorums are materialized at construction,
+/// so depth is capped at 4 (65 535 quorums).
+///
+/// # Examples
+///
+/// ```
+/// use distctr_quorum::{QuorumSystem, TreeQuorum};
+/// let t = TreeQuorum::new(2).expect("depth 2");
+/// assert_eq!(t.universe(), 7);
+/// assert!(t.verify_intersection(usize::MAX));
+/// assert_eq!(t.min_quorum_size(usize::MAX), 3, "a root-to-leaf path");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeQuorum {
+    depth: u32,
+    quorums: Vec<Vec<usize>>,
+}
+
+impl TreeQuorum {
+    /// Builds the system for a complete binary tree of `depth`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message if `depth > 4` (enumeration bound).
+    pub fn new(depth: u32) -> Result<Self, String> {
+        if depth > 4 {
+            return Err(format!("tree quorum enumeration bounded at depth <= 4, got {depth}"));
+        }
+        let mut quorums = Self::build(1, depth);
+        for q in &mut quorums {
+            q.sort_unstable();
+        }
+        Ok(TreeQuorum { depth, quorums })
+    }
+
+    /// Tree depth.
+    #[must_use]
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Quorums of the subtree rooted at heap index `node` with `depth`
+    /// levels below it. Elements are heap indices minus one.
+    fn build(node: usize, depth: u32) -> Vec<Vec<usize>> {
+        if depth == 0 {
+            return vec![vec![node - 1]];
+        }
+        let left = Self::build(node * 2, depth - 1);
+        let right = Self::build(node * 2 + 1, depth - 1);
+        let mut out = Vec::new();
+        // Root plus a quorum of either child.
+        for q in left.iter().chain(right.iter()) {
+            let mut with_root = q.clone();
+            with_root.push(node - 1);
+            out.push(with_root);
+        }
+        // Or quorums of both children (root unavailable).
+        for ql in &left {
+            for qr in &right {
+                let mut q = ql.clone();
+                q.extend_from_slice(qr);
+                out.push(q);
+            }
+        }
+        out
+    }
+}
+
+impl QuorumSystem for TreeQuorum {
+    fn universe(&self) -> usize {
+        (1 << (self.depth + 1)) - 1
+    }
+
+    fn quorum_count(&self) -> usize {
+        self.quorums.len()
+    }
+
+    fn quorum(&self, i: usize) -> Vec<usize> {
+        self.quorums[i].clone()
+    }
+
+    fn name(&self) -> &'static str {
+        "tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_counts_follow_recurrence() {
+        // |Q(d)| = 2|Q(d-1)| + |Q(d-1)|^2.
+        let counts: Vec<usize> =
+            (0..=3).map(|d| TreeQuorum::new(d).expect("tree").quorum_count()).collect();
+        assert_eq!(counts, vec![1, 3, 15, 255]);
+    }
+
+    #[test]
+    fn all_quorums_intersect() {
+        for depth in 0..=3u32 {
+            let t = TreeQuorum::new(depth).expect("tree");
+            assert!(t.verify_intersection(usize::MAX), "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn smallest_quorum_is_a_path() {
+        for depth in 0..=3u32 {
+            let t = TreeQuorum::new(depth).expect("tree");
+            assert_eq!(t.min_quorum_size(usize::MAX), depth as usize + 1, "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn every_minimum_quorum_passes_through_the_root() {
+        // The cheap quorums are root-to-leaf paths; a client preferring
+        // them makes the root the hot spot — the load concentration the
+        // paper's retirement mechanism exists to break.
+        let t = TreeQuorum::new(3).expect("tree");
+        let min = t.min_quorum_size(usize::MAX);
+        for i in 0..t.quorum_count() {
+            let q = t.quorum(i);
+            if q.len() == min {
+                assert!(q.contains(&0), "minimum quorum {q:?} must contain the root");
+            }
+        }
+        // Root participation count follows the recurrence 2|Q(d-1)|.
+        let root_count =
+            (0..t.quorum_count()).filter(|&i| t.quorum(i).contains(&0)).count();
+        assert_eq!(root_count, 30, "2 * |Q(2)| = 30 quorums use the root");
+    }
+
+    #[test]
+    fn depth_bound_enforced() {
+        assert!(TreeQuorum::new(5).is_err());
+        assert!(TreeQuorum::new(4).is_ok());
+    }
+
+    #[test]
+    fn elements_stay_in_universe() {
+        let t = TreeQuorum::new(3).expect("tree");
+        for i in 0..t.quorum_count() {
+            for e in t.quorum(i) {
+                assert!(e < t.universe());
+            }
+        }
+    }
+}

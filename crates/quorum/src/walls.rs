@@ -1,0 +1,199 @@
+//! Crumbling walls (Peleg & Wool 1995).
+//!
+//! Elements are arranged in rows of given widths. A quorum is one *full*
+//! row `i` plus one representative element from every row **below** `i`.
+//! Two quorums with full rows `i <= i'` intersect because the first
+//! quorum's representative in row `i'` lies inside the second quorum's
+//! full row (or they share row `i = i'`). Triangular walls (row widths
+//! 1, 2, 3, ...) give quorums and loads of size `O(√n)`-ish with very
+//! simple structure.
+
+use crate::system::QuorumSystem;
+
+/// A crumbling-wall quorum system with the given row widths (top first).
+///
+/// # Examples
+///
+/// ```
+/// use distctr_quorum::{QuorumSystem, Wall};
+/// let w = Wall::new(vec![1, 2, 3]).expect("triangular wall");
+/// assert_eq!(w.universe(), 6);
+/// assert!(w.verify_intersection(usize::MAX));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Wall {
+    widths: Vec<usize>,
+    /// Starting element index of each row.
+    row_starts: Vec<usize>,
+    /// `choices[i]` = number of quorums whose full row is `i`
+    /// (product of widths below row `i`).
+    choices: Vec<usize>,
+    total: usize,
+}
+
+impl Wall {
+    /// Builds a wall with the given row widths, top row first.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message if there are no rows, any row is empty,
+    /// or the total quorum count overflows the enumeration bound (2^24).
+    pub fn new(widths: Vec<usize>) -> Result<Self, String> {
+        if widths.is_empty() {
+            return Err("wall needs at least one row".to_string());
+        }
+        if widths.contains(&0) {
+            return Err("wall rows must be nonempty".to_string());
+        }
+        let mut row_starts = Vec::with_capacity(widths.len());
+        let mut acc = 0usize;
+        for &w in &widths {
+            row_starts.push(acc);
+            acc += w;
+        }
+        let mut choices = Vec::with_capacity(widths.len());
+        let mut total = 0usize;
+        for i in 0..widths.len() {
+            let mut c: usize = 1;
+            for &w in &widths[i + 1..] {
+                c = c.checked_mul(w).ok_or("quorum count overflow")?;
+                if c > (1 << 24) {
+                    return Err("wall enumeration bounded at 2^24 quorums".to_string());
+                }
+            }
+            total += c;
+            if total > (1 << 24) {
+                return Err("wall enumeration bounded at 2^24 quorums".to_string());
+            }
+            choices.push(c);
+        }
+        Ok(Wall { widths, row_starts, choices, total })
+    }
+
+    /// The triangular wall with rows 1, 2, ..., `rows`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Wall::new`].
+    pub fn triangular(rows: usize) -> Result<Self, String> {
+        Wall::new((1..=rows).collect())
+    }
+
+    /// Row widths, top first.
+    #[must_use]
+    pub fn widths(&self) -> &[usize] {
+        &self.widths
+    }
+}
+
+impl QuorumSystem for Wall {
+    fn universe(&self) -> usize {
+        self.widths.iter().sum()
+    }
+
+    fn quorum_count(&self) -> usize {
+        self.total
+    }
+
+    fn quorum(&self, i: usize) -> Vec<usize> {
+        assert!(i < self.total, "quorum index {i} out of range");
+        // Decompose i into (full row r, representative choices below).
+        let mut rank = i;
+        let mut row = 0usize;
+        while rank >= self.choices[row] {
+            rank -= self.choices[row];
+            row += 1;
+        }
+        let mut q: Vec<usize> =
+            (0..self.widths[row]).map(|c| self.row_starts[row] + c).collect();
+        // Unrank the representatives in mixed radix over rows below.
+        for below in row + 1..self.widths.len() {
+            let w = self.widths[below];
+            q.push(self.row_starts[below] + rank % w);
+            rank /= w;
+        }
+        q.sort_unstable();
+        q
+    }
+
+    fn name(&self) -> &'static str {
+        "wall"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_count_formula() {
+        // Rows 1,2,3: counts 2*3 + 3 + 1 = 10.
+        let w = Wall::triangular(3).expect("wall");
+        assert_eq!(w.quorum_count(), 10);
+        assert_eq!(w.universe(), 6);
+    }
+
+    #[test]
+    fn every_pair_intersects() {
+        for rows in 1..=4usize {
+            let w = Wall::triangular(rows).expect("wall");
+            assert!(w.verify_intersection(usize::MAX), "rows = {rows}");
+        }
+        let uneven = Wall::new(vec![2, 1, 4, 3]).expect("wall");
+        assert!(uneven.verify_intersection(usize::MAX));
+    }
+
+    #[test]
+    fn quorums_are_distinct_and_well_formed() {
+        let w = Wall::triangular(4).expect("wall");
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..w.quorum_count() {
+            let q = w.quorum(i);
+            assert!(q.windows(2).all(|p| p[0] < p[1]), "sorted, distinct elements");
+            assert!(q.iter().all(|&e| e < w.universe()));
+            assert!(seen.insert(q), "quorum {i} duplicated");
+        }
+    }
+
+    #[test]
+    fn quorum_structure_row_plus_representatives() {
+        let w = Wall::new(vec![1, 2]).expect("wall");
+        // Full top row (element 0) + one of row 2 -> {0,1}, {0,2};
+        // full bottom row -> {1,2}.
+        let quorums: Vec<Vec<usize>> = (0..w.quorum_count()).map(|i| w.quorum(i)).collect();
+        assert_eq!(quorums.len(), 3);
+        assert!(quorums.contains(&vec![0, 1]));
+        assert!(quorums.contains(&vec![0, 2]));
+        assert!(quorums.contains(&vec![1, 2]));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Wall::new(vec![]).is_err());
+        assert!(Wall::new(vec![2, 0, 1]).is_err());
+        assert!(Wall::triangular(0).is_err());
+    }
+
+    #[test]
+    fn wall_quorums_are_smaller_than_majorities() {
+        // What walls buy over majorities: much smaller quorums (a bottom
+        // row alone is one). Under the *uniform* strategy implemented by
+        // `uniform_load` the top row is over-weighted — Peleg-Wool's load
+        // results assume the optimal strategy, which favours low rows —
+        // so we assert the size advantage plus where the uniform
+        // strategy's hot spot sits.
+        use crate::majority::Majority;
+        let w = Wall::triangular(5).expect("wall"); // n = 15
+        let m = Majority::new(15).expect("majority");
+        assert!(w.min_quorum_size(usize::MAX) < m.quorum_size());
+        // Uniform-strategy hot spot is the single top-row element: it is
+        // in every full-row-0 quorum, the most numerous kind.
+        let mut counts = vec![0usize; w.universe()];
+        for i in 0..w.quorum_count() {
+            for e in w.quorum(i) {
+                counts[e] += 1;
+            }
+        }
+        assert_eq!(counts.iter().copied().max(), Some(counts[0]));
+    }
+}

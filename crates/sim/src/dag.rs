@@ -1,0 +1,328 @@
+//! The communication DAG of a single operation (paper Figure 1).
+//!
+//! "We can visualize the process of an inc operation as a directed acyclic
+//! graph. A node with label q of the DAG represents processor q performing
+//! some communication. An arc from a node labelled p1 to a node labelled
+//! p2 denotes the sending of a message from processor p1 to processor p2."
+//!
+//! Nodes are created in delivery order, and arcs always point from an
+//! earlier-created node to a later one, so the structure is acyclic by
+//! construction.
+
+use std::fmt;
+
+use crate::id::ProcessorId;
+
+/// Index of an event node within one [`CommDag`].
+pub type DagNodeId = u32;
+/// Index of an arc (message) within one [`CommDag`].
+pub type ArcId = u32;
+
+/// A directed acyclic graph of communication events.
+///
+/// # Examples
+///
+/// ```
+/// use distctr_sim::{CommDag, ProcessorId};
+/// let mut dag = CommDag::new();
+/// let a = dag.add_node(ProcessorId::new(0));
+/// let b = dag.add_node(ProcessorId::new(7));
+/// dag.add_arc(a, b);
+/// assert_eq!(dag.node_count(), 2);
+/// assert_eq!(dag.arc_count(), 1);
+/// assert_eq!(dag.label(b), ProcessorId::new(7));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CommDag {
+    labels: Vec<ProcessorId>,
+    arcs: Vec<(DagNodeId, DagNodeId)>,
+}
+
+impl CommDag {
+    /// Creates an empty DAG.
+    #[must_use]
+    pub fn new() -> Self {
+        CommDag::default()
+    }
+
+    /// Adds an event node labelled with processor `p`, returning its id.
+    pub fn add_node(&mut self, p: ProcessorId) -> DagNodeId {
+        let id = u32::try_from(self.labels.len()).expect("DAG node count fits in u32");
+        self.labels.push(p);
+        id
+    }
+
+    /// Adds an arc (message) from event `from` to event `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node id is unknown, or if `from >= to` (which
+    /// would break acyclicity — events only send to later events).
+    pub fn add_arc(&mut self, from: DagNodeId, to: DagNodeId) {
+        let n = self.node_count() as u32;
+        assert!(from < n && to < n, "arc endpoints must be existing nodes");
+        assert!(from < to, "arcs must point from earlier to later events");
+        self.arcs.push((from, to));
+    }
+
+    /// Number of event nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of arcs (messages).
+    #[must_use]
+    pub fn arc_count(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// The processor label of node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn label(&self, id: DagNodeId) -> ProcessorId {
+        self.labels[id as usize]
+    }
+
+    /// All arcs as `(from, to)` node-id pairs, in insertion order.
+    #[must_use]
+    pub fn arcs(&self) -> &[(DagNodeId, DagNodeId)] {
+        &self.arcs
+    }
+
+    /// All node labels, indexed by node id.
+    #[must_use]
+    pub fn labels(&self) -> &[ProcessorId] {
+        &self.labels
+    }
+
+    /// In-degree of every node.
+    #[must_use]
+    pub fn in_degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.node_count()];
+        for &(_, to) in &self.arcs {
+            deg[to as usize] += 1;
+        }
+        deg
+    }
+
+    /// Out-degree of every node.
+    #[must_use]
+    pub fn out_degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.node_count()];
+        for &(from, _) in &self.arcs {
+            deg[from as usize] += 1;
+        }
+        deg
+    }
+
+    /// Node ids with no incoming arc (the op initiator's start event, plus
+    /// any synthesized senders).
+    #[must_use]
+    pub fn sources(&self) -> Vec<DagNodeId> {
+        self.in_degrees()
+            .iter()
+            .enumerate()
+            .filter(|&(_, d)| *d == 0)
+            .map(|(i, _)| i as DagNodeId)
+            .collect()
+    }
+
+    /// Number of incoming arcs to nodes labelled `p` — the per-processor
+    /// receive count the Lower Bound proof compares between DAG and list.
+    #[must_use]
+    pub fn in_arcs_of_label(&self, p: ProcessorId) -> usize {
+        self.arcs.iter().filter(|&&(_, to)| self.label(to) == p).count()
+    }
+
+    /// A topological order of the node ids. Because arcs always point from
+    /// lower ids to higher ids, `0..n` is already topological; this is
+    /// exposed for clarity and verified by tests.
+    #[must_use]
+    pub fn topological_order(&self) -> Vec<DagNodeId> {
+        (0..self.node_count() as u32).collect()
+    }
+
+    /// Exports the DAG in Graphviz DOT format: one node per event
+    /// (labelled with its processor), one edge per message. Render with
+    /// `dot -Tsvg`.
+    #[must_use]
+    pub fn to_dot(&self, name: &str) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph {name} {{");
+        let _ = writeln!(out, "  rankdir=LR;");
+        let _ = writeln!(out, "  node [shape=circle, fontsize=10];");
+        for (i, label) in self.labels.iter().enumerate() {
+            let _ = writeln!(out, "  e{i} [label=\"{label}\"];");
+        }
+        for &(from, to) in &self.arcs {
+            let _ = writeln!(out, "  e{from} -> e{to};");
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// Renders the DAG as indented ASCII in the spirit of paper Figure 1:
+    /// one line per arc, grouped by sending event.
+    #[must_use]
+    pub fn render_ascii(&self) -> String {
+        let mut out = String::new();
+        use fmt::Write as _;
+        let _ = writeln!(
+            out,
+            "communication DAG: {} events, {} messages",
+            self.node_count(),
+            self.arc_count()
+        );
+        for (i, label) in self.labels.iter().enumerate() {
+            let outgoing: Vec<String> = self
+                .arcs
+                .iter()
+                .filter(|&&(from, _)| from as usize == i)
+                .map(|&(_, to)| format!("{}@e{}", self.label(to), to))
+                .collect();
+            let _ = writeln!(
+                out,
+                "  e{i}:{label}{}",
+                if outgoing.is_empty() {
+                    String::new()
+                } else {
+                    format!(" -> {}", outgoing.join(", "))
+                }
+            );
+        }
+        out
+    }
+}
+
+impl fmt::Display for CommDag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CommDag(nodes={}, arcs={})", self.node_count(), self.arc_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessorId {
+        ProcessorId::new(i)
+    }
+
+    /// Builds the shape of paper Figure 1: processor 3 initiates, fans out
+    /// to 11 and 7, 7 reaches 17, both 11 and 17 converge on 27, and 3 is
+    /// informed at the end.
+    fn figure_one() -> CommDag {
+        let mut d = CommDag::new();
+        let e3 = d.add_node(p(3));
+        let e11 = d.add_node(p(11));
+        let e7 = d.add_node(p(7));
+        let e17 = d.add_node(p(17));
+        let e27 = d.add_node(p(27));
+        let e3b = d.add_node(p(3));
+        d.add_arc(e3, e11);
+        d.add_arc(e3, e7);
+        d.add_arc(e7, e17);
+        d.add_arc(e11, e27);
+        d.add_arc(e17, e27);
+        d.add_arc(e27, e3b);
+        d
+    }
+
+    #[test]
+    fn figure_one_shape() {
+        let d = figure_one();
+        assert_eq!(d.node_count(), 6);
+        assert_eq!(d.arc_count(), 6);
+        assert_eq!(d.sources(), vec![0], "single source: the initiator");
+        assert_eq!(d.in_degrees(), vec![0, 1, 1, 1, 2, 1]);
+        assert_eq!(d.out_degrees(), vec![2, 1, 1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn initiator_appears_twice() {
+        // "the initiating processor p appears as the source of the DAG and
+        // somewhere else in the DAG where p is informed of the current
+        // counter value" (paper §2).
+        let d = figure_one();
+        let occurrences = d.labels().iter().filter(|&&l| l == p(3)).count();
+        assert_eq!(occurrences, 2);
+    }
+
+    #[test]
+    fn in_arcs_of_label_counts_converging_messages() {
+        let d = figure_one();
+        assert_eq!(d.in_arcs_of_label(p(27)), 2);
+        assert_eq!(d.in_arcs_of_label(p(3)), 1);
+        assert_eq!(d.in_arcs_of_label(p(99)), 0);
+    }
+
+    #[test]
+    fn topological_order_respects_arcs() {
+        let d = figure_one();
+        let order = d.topological_order();
+        let pos: Vec<usize> = {
+            let mut v = vec![0; order.len()];
+            for (i, &n) in order.iter().enumerate() {
+                v[n as usize] = i;
+            }
+            v
+        };
+        for &(from, to) in d.arcs() {
+            assert!(pos[from as usize] < pos[to as usize]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier to later")]
+    fn back_arc_rejected() {
+        let mut d = CommDag::new();
+        let a = d.add_node(p(0));
+        let b = d.add_node(p(1));
+        d.add_arc(b, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "existing nodes")]
+    fn arc_to_missing_node_rejected() {
+        let mut d = CommDag::new();
+        let a = d.add_node(p(0));
+        d.add_arc(a, 5);
+    }
+
+    #[test]
+    fn render_lists_every_event() {
+        let d = figure_one();
+        let s = d.render_ascii();
+        for i in 0..6 {
+            assert!(s.contains(&format!("e{i}:")), "event e{i} rendered:\n{s}");
+        }
+        assert!(s.contains("6 messages"));
+    }
+
+    #[test]
+    fn dot_export_contains_nodes_and_edges() {
+        let d = figure_one();
+        let dot = d.to_dot("fig1");
+        assert!(dot.starts_with("digraph fig1 {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert_eq!(dot.matches(" -> ").count(), 6, "one edge per arc");
+        for i in 0..6 {
+            assert!(dot.contains(&format!("e{i} [label=")), "node e{i}");
+        }
+        assert!(dot.contains("label=\"P27\""));
+    }
+
+    #[test]
+    fn empty_dag() {
+        let d = CommDag::new();
+        assert_eq!(d.node_count(), 0);
+        assert_eq!(d.arc_count(), 0);
+        assert!(d.sources().is_empty());
+        assert_eq!(d.to_string(), "CommDag(nodes=0, arcs=0)");
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type for simulator construction and driving.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the simulator's public API.
+///
+/// Message-level faults (sending to an out-of-range processor from inside a
+/// protocol) are programmer errors and panic instead; see the `Panics`
+/// sections on the relevant methods.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A network or counter was requested with zero processors.
+    EmptyNetwork,
+    /// A driver was given an initiator outside `0..n`.
+    UnknownProcessor {
+        /// The offending processor index.
+        index: usize,
+        /// The network size.
+        processors: usize,
+    },
+    /// A driver was asked to run an operation sequence that does not
+    /// satisfy the paper's "each processor increments exactly once"
+    /// requirement.
+    NotAPermutation,
+    /// The run exceeded the configured safety cap on delivered messages,
+    /// which almost always indicates a protocol that fails to quiesce.
+    MessageCapExceeded {
+        /// The cap that was hit.
+        cap: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::EmptyNetwork => write!(f, "network must contain at least one processor"),
+            SimError::UnknownProcessor { index, processors } => write!(
+                f,
+                "processor index {index} out of range for a network of {processors} processors"
+            ),
+            SimError::NotAPermutation => {
+                write!(f, "operation sequence is not a permutation of all processors")
+            }
+            SimError::MessageCapExceeded { cap } => {
+                write!(f, "delivered-message cap of {cap} exceeded; protocol may not quiesce")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = SimError::UnknownProcessor { index: 9, processors: 4 };
+        let s = e.to_string();
+        assert!(s.contains('9') && s.contains('4'));
+        assert!(s.starts_with(char::is_lowercase));
+        assert!(SimError::EmptyNetwork.to_string().contains("at least one"));
+        assert!(SimError::NotAPermutation.to_string().contains("permutation"));
+        assert!(SimError::MessageCapExceeded { cap: 7 }.to_string().contains('7'));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<SimError>();
+    }
+}

@@ -1,0 +1,150 @@
+//! Strongly typed identifiers for processors and operations.
+//!
+//! The paper identifies each of the `n` processors "with one of the
+//! integers from 1 to n"; internally we use zero-based indices so that a
+//! [`ProcessorId`] doubles as a direct index into per-processor tables.
+//! [`ProcessorId::display_one_based`] recovers the paper's numbering.
+
+use std::fmt;
+
+/// Identifier of one of the `n` processors in the network.
+///
+/// Zero-based. Construction is unchecked against any particular network
+/// size; the [`Network`](crate::Network) validates destinations on send.
+///
+/// # Examples
+///
+/// ```
+/// use distctr_sim::ProcessorId;
+/// let p = ProcessorId::new(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(p.display_one_based(), 4);
+/// assert_eq!(p.to_string(), "P3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcessorId(u32);
+
+impl ProcessorId {
+    /// Creates a processor id from a zero-based index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32` (the simulator supports at
+    /// most `u32::MAX` processors, far above the paper's `n = k^(k+1)`
+    /// experiment sizes).
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        ProcessorId(u32::try_from(index).expect("processor index fits in u32"))
+    }
+
+    /// The zero-based index of this processor.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The paper's one-based numbering (processors 1..=n).
+    #[must_use]
+    pub fn display_one_based(self) -> usize {
+        self.0 as usize + 1
+    }
+}
+
+impl fmt::Display for ProcessorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl From<ProcessorId> for usize {
+    fn from(p: ProcessorId) -> usize {
+        p.index()
+    }
+}
+
+/// Identifier of a single `inc` operation within a run.
+///
+/// Operations are numbered in initiation order: in the paper's canonical
+/// sequence, operation `i` is the `i`-th `inc` performed. Envelopes carry
+/// the op id of the operation whose process they belong to, which is how
+/// the tracer attributes messages to contact sets `I_p`.
+///
+/// # Examples
+///
+/// ```
+/// use distctr_sim::OpId;
+/// let op = OpId::new(7);
+/// assert_eq!(op.index(), 7);
+/// assert_eq!(op.to_string(), "op7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct OpId(u32);
+
+impl OpId {
+    /// Creates an operation id from a zero-based sequence number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        OpId(u32::try_from(index).expect("op index fits in u32"))
+    }
+
+    /// Zero-based sequence number of this operation.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn processor_id_roundtrip() {
+        for i in [0usize, 1, 41, 1 << 20] {
+            let p = ProcessorId::new(i);
+            assert_eq!(p.index(), i);
+            assert_eq!(p.display_one_based(), i + 1);
+            assert_eq!(usize::from(p), i);
+        }
+    }
+
+    #[test]
+    fn processor_id_ordering_matches_index() {
+        let a = ProcessorId::new(3);
+        let b = ProcessorId::new(9);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn ids_are_hashable_and_distinct() {
+        let set: HashSet<ProcessorId> = (0..100).map(ProcessorId::new).collect();
+        assert_eq!(set.len(), 100);
+        let ops: HashSet<OpId> = (0..100).map(OpId::new).collect();
+        assert_eq!(ops.len(), 100);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ProcessorId::new(12).to_string(), "P12");
+        assert_eq!(OpId::new(3).to_string(), "op3");
+        assert_eq!(format!("{:?}", ProcessorId::new(0)), "ProcessorId(0)");
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(ProcessorId::default(), ProcessorId::new(0));
+        assert_eq!(OpId::default(), OpId::new(0));
+    }
+}

@@ -1,0 +1,485 @@
+//! The discrete-event network engine.
+//!
+//! A [`Network`] delivers messages between `n` processors according to a
+//! [`DeliveryPolicy`], charging every send and receive to the
+//! [`LoadTracker`] and (optionally) recording per-operation traces.
+//! Protocol logic lives outside the network in a [`Protocol`]
+//! implementation: a state machine that reacts to deliveries by emitting
+//! further messages into an [`Outbox`].
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::SimError;
+use crate::id::{OpId, ProcessorId};
+use crate::load::LoadTracker;
+use crate::policy::DeliveryPolicy;
+use crate::queue::{Envelope, EventQueue};
+use crate::time::SimTime;
+use crate::trace::{OpTrace, TraceMode, TraceRecorder};
+
+/// Default cap on deliveries per [`Network::run_to_quiescence`] call;
+/// hitting it means the protocol almost certainly livelocks.
+pub const DEFAULT_MESSAGE_CAP: u64 = 1 << 30;
+
+/// A distributed protocol: the state of all processors plus the reaction
+/// to message deliveries.
+///
+/// The protocol owns every processor's local state (the simulator is
+/// single-threaded, so a single struct holding a vector of per-processor
+/// states is both simple and fast). The network calls
+/// [`Protocol::on_deliver`] once per delivered message; any messages the
+/// handler emits through the [`Outbox`] are sent *by the receiving
+/// processor* (`out.me()`).
+pub trait Protocol {
+    /// The protocol's message type.
+    type Msg: Clone + fmt::Debug;
+
+    /// Handles delivery of `msg` from `from` to `out.me()`.
+    fn on_deliver(&mut self, out: &mut Outbox<'_, Self::Msg>, from: ProcessorId, msg: Self::Msg);
+}
+
+/// Collects the messages a processor emits while handling one delivery.
+#[derive(Debug)]
+pub struct Outbox<'a, M> {
+    me: ProcessorId,
+    op: OpId,
+    sends: &'a mut Vec<(ProcessorId, M)>,
+}
+
+impl<'a, M> Outbox<'a, M> {
+    /// The processor currently handling a delivery.
+    #[must_use]
+    pub fn me(&self) -> ProcessorId {
+        self.me
+    }
+
+    /// The operation the delivered message belongs to.
+    #[must_use]
+    pub fn op(&self) -> OpId {
+        self.op
+    }
+
+    /// Sends `msg` from [`Outbox::me`] to `to`. Delivery time is chosen by
+    /// the network's policy; the send is charged to `me` immediately.
+    pub fn send(&mut self, to: ProcessorId, msg: M) {
+        self.sends.push((to, msg));
+    }
+
+    /// Number of messages queued in this outbox so far.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.sends.len()
+    }
+
+    /// Constructor for the schedule explorer (crate-internal).
+    pub(crate) fn for_explorer(
+        me: ProcessorId,
+        op: OpId,
+        sends: &'a mut Vec<(ProcessorId, M)>,
+    ) -> Outbox<'a, M> {
+        Outbox { me, op, sends }
+    }
+}
+
+/// Statistics of one call to [`Network::run_to_quiescence`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Messages delivered during the call.
+    pub delivered: u64,
+    /// Simulated time at quiescence.
+    pub end_time: SimTime,
+}
+
+/// An asynchronous message-passing network of `n` processors.
+///
+/// See the crate-level docs for a complete example.
+#[derive(Debug, Clone)]
+pub struct Network<M> {
+    processors: usize,
+    queue: EventQueue<M>,
+    policy: DeliveryPolicy,
+    loads: LoadTracker,
+    recorder: TraceRecorder,
+    op_sources: HashMap<OpId, Option<u32>>,
+    now: SimTime,
+    seq: u64,
+    message_cap: u64,
+}
+
+impl<M: Clone + fmt::Debug> Network<M> {
+    /// Creates a network of `processors` processors with FIFO delivery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptyNetwork`] if `processors == 0`.
+    pub fn new(processors: usize, trace: TraceMode) -> Result<Self, SimError> {
+        Self::with_policy(processors, trace, DeliveryPolicy::default())
+    }
+
+    /// Creates a network with an explicit delivery policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptyNetwork`] if `processors == 0`.
+    pub fn with_policy(
+        processors: usize,
+        trace: TraceMode,
+        policy: DeliveryPolicy,
+    ) -> Result<Self, SimError> {
+        if processors == 0 {
+            return Err(SimError::EmptyNetwork);
+        }
+        Ok(Network {
+            processors,
+            queue: EventQueue::new(),
+            policy,
+            loads: LoadTracker::new(processors),
+            recorder: TraceRecorder::new(trace),
+            op_sources: HashMap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            message_cap: DEFAULT_MESSAGE_CAP,
+        })
+    }
+
+    /// Number of processors.
+    #[must_use]
+    pub fn processors(&self) -> usize {
+        self.processors
+    }
+
+    /// The per-processor load accounting so far.
+    #[must_use]
+    pub fn loads(&self) -> &LoadTracker {
+        &self.loads
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Messages currently in flight.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no messages are in flight.
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Replaces the livelock-protection cap on deliveries per run call.
+    pub fn set_message_cap(&mut self, cap: u64) {
+        self.message_cap = cap.max(1);
+    }
+
+    /// Injects the first message of operation `op`: `from` (the initiator
+    /// or a processor acting for it) sends `msg` to `to`. Begins trace
+    /// recording for `op` if it is not already open.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` or `to` is outside the network — sending to an
+    /// unknown processor is a protocol bug, not a recoverable condition.
+    pub fn inject(&mut self, op: OpId, from: ProcessorId, to: ProcessorId, msg: M) {
+        self.check_processor(from);
+        self.check_processor(to);
+        if !self.recorder.is_open(op) && !self.op_sources.contains_key(&op) {
+            let source = self.recorder.begin_op(op, from, self.now);
+            self.op_sources.insert(op, source);
+        }
+        let source = self.op_sources.get(&op).copied().flatten();
+        self.schedule_send(op, from, to, msg, source);
+    }
+
+    /// Delivers messages until none are in flight, handing each to
+    /// `protocol`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MessageCapExceeded`] if more than the
+    /// configured cap of messages is delivered in this single call.
+    pub fn run_to_quiescence<P: Protocol<Msg = M>>(
+        &mut self,
+        protocol: &mut P,
+    ) -> Result<RunStats, SimError> {
+        self.run_while(protocol, None)
+    }
+
+    /// Delivers every message due at or before `deadline`, then advances
+    /// the clock to `deadline` (simulated time passes even if nothing was
+    /// in flight). Messages scheduled after `deadline` stay queued —
+    /// this is how overlapping-operation schedules are constructed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MessageCapExceeded`] if more than the
+    /// configured cap of messages is delivered in this single call.
+    pub fn run_until<P: Protocol<Msg = M>>(
+        &mut self,
+        protocol: &mut P,
+        deadline: SimTime,
+    ) -> Result<RunStats, SimError> {
+        let stats = self.run_while(protocol, Some(deadline))?;
+        self.now = self.now.max_with(deadline);
+        Ok(stats)
+    }
+
+    fn run_while<P: Protocol<Msg = M>>(
+        &mut self,
+        protocol: &mut P,
+        deadline: Option<SimTime>,
+    ) -> Result<RunStats, SimError> {
+        let mut delivered: u64 = 0;
+        let mut sends: Vec<(ProcessorId, M)> = Vec::new();
+        loop {
+            match self.queue.peek_rank() {
+                None => break,
+                Some(rank) if deadline.is_some_and(|d| rank.at > d) => break,
+                Some(_) => {}
+            }
+            let (rank, env) = self.queue.pop().expect("peeked nonempty");
+            if delivered >= self.message_cap {
+                return Err(SimError::MessageCapExceeded { cap: self.message_cap });
+            }
+            delivered += 1;
+            self.now = self.now.max_with(rank.at);
+            self.loads.record_receive(env.to);
+            let event = self.recorder.record_delivery(
+                env.op,
+                env.from,
+                env.to,
+                env.sent_from_event,
+                self.now,
+            );
+            sends.clear();
+            let mut outbox = Outbox { me: env.to, op: env.op, sends: &mut sends };
+            protocol.on_deliver(&mut outbox, env.from, env.msg);
+            for (to, msg) in sends.drain(..) {
+                self.check_processor(to);
+                self.schedule_send(env.op, env.to, to, msg, event);
+            }
+        }
+        Ok(RunStats { delivered, end_time: self.now })
+    }
+
+    /// Ends trace recording for `op`, returning what was recorded (always
+    /// `None` under [`TraceMode::Off`]).
+    pub fn finish_op(&mut self, op: OpId) -> Option<OpTrace> {
+        self.op_sources.remove(&op);
+        self.recorder.finish_op(op)
+    }
+
+    fn schedule_send(
+        &mut self,
+        op: OpId,
+        from: ProcessorId,
+        to: ProcessorId,
+        msg: M,
+        sent_from_event: Option<u32>,
+    ) {
+        self.loads.record_send(from);
+        self.recorder.record_send(op, from);
+        let rank = self.policy.schedule(self.now, self.seq, from.index() as u32, to.index() as u32);
+        self.seq += 1;
+        self.queue.push(rank, Envelope { from, to, op, msg, sent_from_event });
+    }
+
+    fn check_processor(&self, p: ProcessorId) {
+        assert!(
+            p.index() < self.processors,
+            "processor {p} out of range for a network of {} processors",
+            self.processors
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessorId {
+        ProcessorId::new(i)
+    }
+
+    /// A relay ring: processor i forwards a token to i+1 until it has made
+    /// `hops` hops.
+    #[derive(Clone)]
+    struct Ring {
+        n: usize,
+    }
+    impl Protocol for Ring {
+        type Msg = u32; // remaining hops
+        fn on_deliver(&mut self, out: &mut Outbox<'_, u32>, _from: ProcessorId, hops: u32) {
+            if hops > 0 {
+                let next = (out.me().index() + 1) % self.n;
+                out.send(p(next), hops - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn token_ring_loads_and_time() {
+        let mut net = Network::new(4, TraceMode::Full).expect("net");
+        let op = OpId::new(0);
+        net.inject(op, p(0), p(1), 6);
+        let stats = net.run_to_quiescence(&mut Ring { n: 4 }).expect("quiesce");
+        assert_eq!(stats.delivered, 7, "inject + 6 forwards");
+        assert_eq!(stats.end_time, SimTime::from_ticks(7), "unit delays");
+        // 7 messages, each charged to one sender and one receiver.
+        assert_eq!(net.loads().total_messages(), 7);
+        // Every processor touched: ring of 4 over 7 hops -> loads 3..4.
+        assert_eq!(net.loads().max_load(), 4);
+        let trace = net.finish_op(op).expect("trace recorded");
+        assert_eq!(trace.messages, 7);
+        assert_eq!(trace.contacts.len(), 4);
+        let dag = trace.dag.expect("full trace");
+        assert_eq!(dag.arc_count(), 7);
+        assert_eq!(dag.sources().len(), 1);
+    }
+
+    #[test]
+    fn quiescent_network_runs_are_empty() {
+        let mut net: Network<u32> = Network::new(1, TraceMode::Off).expect("net");
+        assert!(net.is_quiescent());
+        let stats = net.run_to_quiescence(&mut Ring { n: 1 }).expect("quiesce");
+        assert_eq!(stats.delivered, 0);
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn zero_processors_rejected() {
+        assert_eq!(Network::<u32>::new(0, TraceMode::Off).unwrap_err(), SimError::EmptyNetwork);
+    }
+
+    #[test]
+    fn message_cap_detects_livelock() {
+        /// Ping-pong forever.
+        #[derive(Clone)]
+        struct Forever;
+        impl Protocol for Forever {
+            type Msg = ();
+            fn on_deliver(&mut self, out: &mut Outbox<'_, ()>, from: ProcessorId, (): ()) {
+                out.send(from, ());
+            }
+        }
+        let mut net = Network::new(2, TraceMode::Off).expect("net");
+        net.set_message_cap(100);
+        net.inject(OpId::new(0), p(0), p(1), ());
+        let err = net.run_to_quiescence(&mut Forever).unwrap_err();
+        assert_eq!(err, SimError::MessageCapExceeded { cap: 100 });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sending_to_unknown_processor_panics() {
+        let mut net: Network<u32> = Network::new(2, TraceMode::Off).expect("net");
+        net.inject(OpId::new(0), p(0), p(7), 1);
+    }
+
+    #[test]
+    fn policies_agree_on_loads() {
+        // Loads are delay-independent: run the same protocol under every
+        // policy and compare load vectors.
+        let mut reference: Option<Vec<u64>> = None;
+        for policy in DeliveryPolicy::test_suite() {
+            let mut net = Network::with_policy(5, TraceMode::Contacts, policy).expect("net");
+            net.inject(OpId::new(0), p(0), p(1), 9);
+            net.run_to_quiescence(&mut Ring { n: 5 }).expect("quiesce");
+            let loads = net.loads().to_vec();
+            match &reference {
+                None => reference = Some(loads),
+                Some(r) => assert_eq!(&loads, r, "loads must not depend on delivery policy"),
+            }
+        }
+    }
+
+    #[test]
+    fn trace_contacts_only_has_no_dag() {
+        let mut net = Network::new(3, TraceMode::Contacts).expect("net");
+        let op = OpId::new(5);
+        net.inject(op, p(0), p(1), 2);
+        net.run_to_quiescence(&mut Ring { n: 3 }).expect("quiesce");
+        let t = net.finish_op(op).expect("trace");
+        assert!(t.dag.is_none());
+        assert_eq!(t.contacts.len(), 3);
+    }
+
+    #[test]
+    fn multiple_ops_attribute_contacts_separately() {
+        let mut net = Network::new(6, TraceMode::Contacts).expect("net");
+        let a = OpId::new(0);
+        let b = OpId::new(1);
+        net.inject(a, p(0), p(1), 0);
+        net.inject(b, p(3), p(4), 0);
+        net.run_to_quiescence(&mut Ring { n: 6 }).expect("quiesce");
+        let ta = net.finish_op(a).expect("a");
+        let tb = net.finish_op(b).expect("b");
+        assert!(ta.contacts.contains(p(0)) && ta.contacts.contains(p(1)));
+        assert!(!ta.contacts.contains(p(3)));
+        assert!(tb.contacts.contains(p(3)) && tb.contacts.contains(p(4)));
+        assert!(!tb.contacts.contains(p(0)));
+    }
+
+    #[test]
+    fn clock_is_monotone_across_runs() {
+        let mut net = Network::new(2, TraceMode::Off).expect("net");
+        net.inject(OpId::new(0), p(0), p(1), 0);
+        let s1 = net.run_to_quiescence(&mut Ring { n: 2 }).expect("run");
+        net.inject(OpId::new(1), p(0), p(1), 0);
+        let s2 = net.run_to_quiescence(&mut Ring { n: 2 }).expect("run");
+        assert!(s2.end_time >= s1.end_time);
+    }
+
+    #[test]
+    fn run_until_delivers_only_due_messages_and_advances_clock() {
+        let mut net = Network::new(4, TraceMode::Contacts).expect("net");
+        let op = OpId::new(0);
+        net.inject(op, p(0), p(1), 6); // 7 unit-delay hops total
+        let stats = net.run_until(&mut Ring { n: 4 }, SimTime::from_ticks(3)).expect("runs");
+        assert_eq!(stats.delivered, 3, "hops due by t=3");
+        assert_eq!(net.in_flight(), 1, "the rest stays queued");
+        assert_eq!(net.now(), SimTime::from_ticks(3));
+        // Time passes even with nothing due.
+        let stats = net.run_until(&mut Ring { n: 4 }, SimTime::from_ticks(3)).expect("runs");
+        assert_eq!(stats.delivered, 0);
+        let _ = net.run_until(&mut Ring { n: 4 }, SimTime::from_ticks(10)).expect("runs");
+        assert!(net.is_quiescent());
+        assert_eq!(net.now(), SimTime::from_ticks(10));
+        let trace = net.finish_op(op).expect("trace");
+        assert_eq!(trace.started_at, SimTime::ZERO);
+        assert_eq!(trace.completed_at, SimTime::from_ticks(7), "last delivery stamped");
+    }
+
+    #[test]
+    fn scripted_policy_stalls_a_chosen_message() {
+        let mut net = Network::with_policy(
+            3,
+            TraceMode::Off,
+            DeliveryPolicy::scripted([1, 50]),
+        )
+        .expect("net");
+        net.inject(OpId::new(0), p(0), p(1), 2); // 3 sends total
+        let stats = net.run_until(&mut Ring { n: 3 }, SimTime::from_ticks(10)).expect("runs");
+        assert_eq!(stats.delivered, 1, "second hop is stalled until t=51");
+        net.run_to_quiescence(&mut Ring { n: 3 }).expect("drains");
+        assert_eq!(net.now(), SimTime::from_ticks(52), "1 + 50 + 1");
+    }
+
+    #[test]
+    fn cloned_network_diverges_independently() {
+        let mut net = Network::new(3, TraceMode::Off).expect("net");
+        net.inject(OpId::new(0), p(0), p(1), 1);
+        let mut fork = net.clone();
+        net.run_to_quiescence(&mut Ring { n: 3 }).expect("run");
+        assert!(net.is_quiescent());
+        assert_eq!(fork.in_flight(), 1, "fork kept the pending message");
+        fork.run_to_quiescence(&mut Ring { n: 3 }).expect("run");
+        assert_eq!(fork.loads().to_vec(), net.loads().to_vec());
+    }
+}

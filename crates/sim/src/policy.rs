@@ -1,0 +1,289 @@
+//! Message delivery policies.
+//!
+//! The paper's network is asynchronous: message delays are unbounded but
+//! finite and chosen nondeterministically. A [`DeliveryPolicy`] resolves
+//! that nondeterminism into a concrete, reproducible schedule. All of the
+//! paper's claims are delay-independent (they count messages), which the
+//! test suite exercises by running every experiment under every policy.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::time::SimTime;
+
+/// The rank at which a message is delivered: primary key is arrival time,
+/// secondary key breaks ties deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub(crate) struct DeliveryRank {
+    pub(crate) at: SimTime,
+    pub(crate) tiebreak: u64,
+}
+
+/// Strategy for assigning an arrival time to each sent message.
+///
+/// The policy is an enum rather than a trait object so that entire
+/// simulations (including their scheduling state) are `Clone` — the
+/// lower-bound adversary in `distctr-bound` relies on cheaply forking a
+/// run to explore hypothetical operations.
+///
+/// # Examples
+///
+/// ```
+/// use distctr_sim::DeliveryPolicy;
+/// let fifo = DeliveryPolicy::Fifo;
+/// let random = DeliveryPolicy::random_delay(0xC0FFEE, 16);
+/// let lifo = DeliveryPolicy::Lifo;
+/// assert_ne!(format!("{fifo:?}"), format!("{lifo:?}"));
+/// # let _ = random;
+/// ```
+#[derive(Debug, Clone)]
+pub enum DeliveryPolicy {
+    /// Every message takes exactly one tick; ties are delivered in send
+    /// order. This makes every channel FIFO and runs fully synchronous.
+    Fifo,
+    /// Every message takes a uniformly random delay in `1..=max_delay`
+    /// drawn from a seeded RNG. Reorders messages (also within a single
+    /// channel), exercising genuine asynchrony while staying reproducible.
+    RandomDelay {
+        /// Seeded generator supplying delays.
+        rng: StdRng,
+        /// Largest possible per-message delay, in ticks (`>= 1`).
+        max_delay: u64,
+    },
+    /// Every message takes one tick but simultaneous deliveries happen in
+    /// *reverse* send order — an adversarial schedule that maximally
+    /// perturbs protocols relying on implicit send ordering.
+    Lifo,
+    /// Targeted asynchrony: the i-th send (in global send order) takes
+    /// the i-th scripted delay; sends beyond the script take
+    /// `default_delay`. Used to construct specific interleavings, e.g.
+    /// the classic execution showing counting networks are not
+    /// linearizable.
+    Scripted {
+        /// Remaining scripted per-send delays, consumed front to back.
+        delays: std::collections::VecDeque<u64>,
+        /// Delay for sends once the script is exhausted (`>= 1`).
+        default_delay: u64,
+    },
+    /// TCP-like links: random per-message delays, but each ordered pair
+    /// of processors is a FIFO channel — a message never overtakes an
+    /// earlier message on the same link (cross-link reordering still
+    /// happens freely).
+    ChannelFifo {
+        /// Seeded generator supplying delays.
+        rng: StdRng,
+        /// Largest possible per-message delay, in ticks (`>= 1`).
+        max_delay: u64,
+        /// Last scheduled arrival per (from, to) link.
+        last_on_link: std::collections::HashMap<(u32, u32), SimTime>,
+    },
+}
+
+impl DeliveryPolicy {
+    /// Convenience constructor for [`DeliveryPolicy::RandomDelay`].
+    ///
+    /// `max_delay` is clamped up to 1 so the policy always makes progress.
+    #[must_use]
+    pub fn random_delay(seed: u64, max_delay: u64) -> Self {
+        DeliveryPolicy::RandomDelay {
+            rng: StdRng::seed_from_u64(seed),
+            max_delay: max_delay.max(1),
+        }
+    }
+
+    /// Convenience constructor for [`DeliveryPolicy::ChannelFifo`].
+    ///
+    /// `max_delay` is clamped up to 1 so the policy always makes progress.
+    #[must_use]
+    pub fn channel_fifo(seed: u64, max_delay: u64) -> Self {
+        DeliveryPolicy::ChannelFifo {
+            rng: StdRng::seed_from_u64(seed),
+            max_delay: max_delay.max(1),
+            last_on_link: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Convenience constructor for [`DeliveryPolicy::Scripted`].
+    ///
+    /// Delays are clamped up to 1 so the policy always makes progress.
+    #[must_use]
+    pub fn scripted<I: IntoIterator<Item = u64>>(delays: I) -> Self {
+        DeliveryPolicy::Scripted {
+            delays: delays.into_iter().map(|d| d.max(1)).collect(),
+            default_delay: 1,
+        }
+    }
+
+    /// All policy variants used by the exhaustive portions of the test
+    /// suite, with a representative seed for the random one.
+    #[must_use]
+    pub fn test_suite() -> Vec<DeliveryPolicy> {
+        vec![
+            DeliveryPolicy::Fifo,
+            DeliveryPolicy::random_delay(0xDEC0DE, 8),
+            DeliveryPolicy::Lifo,
+            DeliveryPolicy::channel_fifo(0xBEEF, 8),
+        ]
+    }
+
+    /// A short stable name for reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            DeliveryPolicy::Fifo => "fifo",
+            DeliveryPolicy::RandomDelay { .. } => "random",
+            DeliveryPolicy::Lifo => "lifo",
+            DeliveryPolicy::Scripted { .. } => "scripted",
+            DeliveryPolicy::ChannelFifo { .. } => "channel-fifo",
+        }
+    }
+
+    /// Computes the delivery rank for a message sent at `now` with global
+    /// send sequence number `seq` on the link `from -> to`.
+    pub(crate) fn schedule(
+        &mut self,
+        now: SimTime,
+        seq: u64,
+        from: u32,
+        to: u32,
+    ) -> DeliveryRank {
+        match self {
+            DeliveryPolicy::Fifo => DeliveryRank { at: now + 1, tiebreak: seq },
+            DeliveryPolicy::RandomDelay { rng, max_delay } => {
+                let delay = rng.gen_range(1..=*max_delay);
+                DeliveryRank { at: now + delay, tiebreak: seq }
+            }
+            DeliveryPolicy::Lifo => DeliveryRank { at: now + 1, tiebreak: u64::MAX - seq },
+            DeliveryPolicy::Scripted { delays, default_delay } => {
+                let delay = delays.pop_front().unwrap_or(*default_delay).max(1);
+                DeliveryRank { at: now + delay, tiebreak: seq }
+            }
+            DeliveryPolicy::ChannelFifo { rng, max_delay, last_on_link } => {
+                let delay = rng.gen_range(1..=*max_delay);
+                let floor = last_on_link.get(&(from, to)).copied().unwrap_or(SimTime::ZERO);
+                let at = (now + delay).max_with(floor);
+                last_on_link.insert((from, to), at);
+                DeliveryRank { at, tiebreak: seq }
+            }
+        }
+    }
+}
+
+impl Default for DeliveryPolicy {
+    /// The default policy is [`DeliveryPolicy::Fifo`], the fully
+    /// deterministic synchronous schedule.
+    fn default() -> Self {
+        DeliveryPolicy::Fifo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_preserves_send_order() {
+        let mut p = DeliveryPolicy::Fifo;
+        let a = p.schedule(SimTime::ZERO, 0, 0, 1);
+        let b = p.schedule(SimTime::ZERO, 1, 0, 1);
+        assert_eq!(a.at, b.at);
+        assert!(a < b, "earlier send delivered first on ties");
+    }
+
+    #[test]
+    fn lifo_reverses_send_order() {
+        let mut p = DeliveryPolicy::Lifo;
+        let a = p.schedule(SimTime::ZERO, 0, 0, 1);
+        let b = p.schedule(SimTime::ZERO, 1, 0, 1);
+        assert_eq!(a.at, b.at);
+        assert!(b < a, "later send delivered first on ties");
+    }
+
+    #[test]
+    fn random_delay_is_reproducible_and_bounded() {
+        let mut p1 = DeliveryPolicy::random_delay(42, 10);
+        let mut p2 = DeliveryPolicy::random_delay(42, 10);
+        for seq in 0..1000 {
+            let r1 = p1.schedule(SimTime::ZERO, seq, 0, 1);
+            let r2 = p2.schedule(SimTime::ZERO, seq, 0, 1);
+            assert_eq!(r1, r2, "same seed, same schedule");
+            let delay = r1.at - SimTime::ZERO;
+            assert!((1..=10).contains(&delay), "delay {delay} within bounds");
+        }
+    }
+
+    #[test]
+    fn random_delay_differs_across_seeds() {
+        let mut p1 = DeliveryPolicy::random_delay(1, 1000);
+        let mut p2 = DeliveryPolicy::random_delay(2, 1000);
+        let same = (0..100)
+            .filter(|&s| p1.schedule(SimTime::ZERO, s, 0, 1) == p2.schedule(SimTime::ZERO, s, 0, 1))
+            .count();
+        assert!(same < 100, "different seeds should diverge somewhere");
+    }
+
+    #[test]
+    fn zero_max_delay_is_clamped() {
+        let mut p = DeliveryPolicy::random_delay(7, 0);
+        let r = p.schedule(SimTime::ZERO, 0, 0, 1);
+        assert_eq!(r.at - SimTime::ZERO, 1);
+    }
+
+    #[test]
+    fn clone_forks_rng_state() {
+        let mut p = DeliveryPolicy::random_delay(9, 50);
+        let mut q = p.clone();
+        for seq in 0..64 {
+            assert_eq!(p.schedule(SimTime::ZERO, seq, 0, 1), q.schedule(SimTime::ZERO, seq, 0, 1));
+        }
+    }
+
+    #[test]
+    fn names_and_default() {
+        assert_eq!(DeliveryPolicy::default().name(), "fifo");
+        assert_eq!(DeliveryPolicy::test_suite().len(), 4);
+        assert_eq!(DeliveryPolicy::scripted([5]).name(), "scripted");
+    }
+
+    #[test]
+    fn scripted_consumes_then_defaults() {
+        let mut p = DeliveryPolicy::scripted([3, 100, 1]);
+        let delays: Vec<u64> = (0..5)
+            .map(|seq| p.schedule(SimTime::ZERO, seq, 0, 1).at - SimTime::ZERO)
+            .collect();
+        assert_eq!(delays, vec![3, 100, 1, 1, 1], "script then default");
+    }
+
+    #[test]
+    fn channel_fifo_never_reorders_within_a_link() {
+        let mut p = DeliveryPolicy::channel_fifo(3, 50);
+        let mut last = SimTime::ZERO;
+        for seq in 0..200 {
+            let r = p.schedule(SimTime::ZERO, seq, 2, 5);
+            assert!(r.at >= last, "link 2->5 stays FIFO");
+            last = r.at;
+        }
+    }
+
+    #[test]
+    fn channel_fifo_reorders_across_links() {
+        let mut p = DeliveryPolicy::channel_fifo(7, 1000);
+        let mut inversions = 0;
+        let mut prev = SimTime::ZERO;
+        for seq in 0..100 {
+            // Alternate links; arrival times need not be monotone.
+            let r = p.schedule(SimTime::ZERO, seq, (seq % 4) as u32, 9);
+            if r.at < prev {
+                inversions += 1;
+            }
+            prev = r.at;
+        }
+        assert!(inversions > 0, "cross-link reordering happens");
+    }
+
+    #[test]
+    fn scripted_clamps_zero_delays() {
+        let mut p = DeliveryPolicy::scripted([0]);
+        assert_eq!(p.schedule(SimTime::ZERO, 0, 0, 1).at - SimTime::ZERO, 1);
+    }
+}

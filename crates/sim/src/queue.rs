@@ -1,0 +1,157 @@
+//! The pending-message priority queue.
+//!
+//! Messages wait here between being sent and being delivered, ordered by
+//! their `DeliveryRank` (arrival time, then
+//! a policy-chosen tiebreak). The queue is a min-heap; `pop` yields the
+//! next message the network should deliver.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::id::{OpId, ProcessorId};
+use crate::policy::DeliveryRank;
+
+/// A message in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Sender.
+    pub from: ProcessorId,
+    /// Recipient.
+    pub to: ProcessorId,
+    /// The operation whose process this message belongs to.
+    pub op: OpId,
+    /// Protocol payload.
+    pub msg: M,
+    /// Trace node id of the *send* event, if tracing is on.
+    pub(crate) sent_from_event: Option<u32>,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<M> {
+    rank: DeliveryRank,
+    envelope: Envelope<M>,
+}
+
+// Min-heap semantics: reverse the natural rank order.
+impl<M> PartialEq for Entry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.rank == other.rank
+    }
+}
+impl<M> Eq for Entry<M> {}
+impl<M> PartialOrd for Entry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Entry<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.rank.cmp(&self.rank)
+    }
+}
+
+/// Priority queue of in-flight messages, ordered by delivery rank.
+///
+/// Not exposed mutably outside the crate; the [`Network`](crate::Network)
+/// is the only producer and consumer. Public so that diagnostics can
+/// report queue depth.
+#[derive(Debug, Clone, Default)]
+pub struct EventQueue<M> {
+    heap: BinaryHeap<Entry<M>>,
+}
+
+impl<M> EventQueue<M> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new() }
+    }
+
+    /// Number of messages currently in flight.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no messages are in flight (the network is quiescent).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub(crate) fn push(&mut self, rank: DeliveryRank, envelope: Envelope<M>) {
+        self.heap.push(Entry { rank, envelope });
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<(DeliveryRank, Envelope<M>)> {
+        self.heap.pop().map(|e| (e.rank, e.envelope))
+    }
+
+    /// Rank of the next message to be delivered, if any.
+    pub(crate) fn peek_rank(&self) -> Option<DeliveryRank> {
+        self.heap.peek().map(|e| e.rank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn env(tag: u8) -> Envelope<u8> {
+        Envelope {
+            from: ProcessorId::new(0),
+            to: ProcessorId::new(1),
+            op: OpId::new(0),
+            msg: tag,
+            sent_from_event: None,
+        }
+    }
+
+    fn rank(at: u64, tiebreak: u64) -> DeliveryRank {
+        DeliveryRank { at: SimTime::from_ticks(at), tiebreak }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(rank(5, 0), env(5));
+        q.push(rank(1, 0), env(1));
+        q.push(rank(3, 0), env(3));
+        let order: Vec<u8> = std::iter::from_fn(|| q.pop().map(|(_, e)| e.msg)).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn tiebreak_orders_equal_times() {
+        let mut q = EventQueue::new();
+        q.push(rank(2, 9), env(9));
+        q.push(rank(2, 1), env(1));
+        q.push(rank(2, 4), env(4));
+        let order: Vec<u8> = std::iter::from_fn(|| q.pop().map(|(_, e)| e.msg)).collect();
+        assert_eq!(order, vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn len_and_quiescence() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(rank(1, 0), env(0));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_rank(), Some(rank(1, 0)));
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_rank(), None);
+    }
+
+    #[test]
+    fn clone_preserves_contents() {
+        let mut q = EventQueue::new();
+        q.push(rank(1, 1), env(1));
+        q.push(rank(1, 0), env(0));
+        let mut c = q.clone();
+        assert_eq!(c.pop().map(|(_, e)| e.msg), Some(0));
+        assert_eq!(c.pop().map(|(_, e)| e.msg), Some(1));
+        assert_eq!(q.len(), 2, "original untouched");
+    }
+}

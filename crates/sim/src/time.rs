@@ -1,0 +1,104 @@
+//! Simulated time.
+//!
+//! The paper's model is asynchronous: a message arrives "an unbounded but
+//! finite amount of time after it has been sent". The simulator realizes a
+//! particular (policy-chosen) arrival time for every message; [`SimTime`]
+//! is the discrete clock those arrival times live on. None of the paper's
+//! results depend on time — only on message counts — but exposing the
+//! clock lets experiments also report hop-latency.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time (discrete ticks since the start of the run).
+///
+/// # Examples
+///
+/// ```
+/// use distctr_sim::SimTime;
+/// let t = SimTime::ZERO + 5;
+/// assert_eq!(t.ticks(), 5);
+/// assert_eq!((t + 2) - t, 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from raw ticks.
+    #[must_use]
+    pub fn from_ticks(ticks: u64) -> Self {
+        SimTime(ticks)
+    }
+
+    /// The number of ticks since simulation start.
+    #[must_use]
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// The later of two times.
+    #[must_use]
+    pub fn max_with(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    fn add(self, delay: u64) -> SimTime {
+        SimTime(self.0.checked_add(delay).expect("simulated clock overflow"))
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    fn add_assign(&mut self, delay: u64) {
+        *self = *self + delay;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = u64;
+    fn sub(self, earlier: SimTime) -> u64 {
+        self.0
+            .checked_sub(earlier.0)
+            .expect("subtracting a later SimTime from an earlier one")
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + 10;
+        assert_eq!(t.ticks(), 10);
+        assert_eq!(t - SimTime::ZERO, 10);
+        let mut u = t;
+        u += 5;
+        assert_eq!(u.ticks(), 15);
+        assert_eq!(u.max_with(t), u);
+        assert_eq!(t.max_with(u), u);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_ticks(3) < SimTime::from_ticks(4));
+        assert_eq!(SimTime::from_ticks(7).to_string(), "t7");
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier")]
+    fn underflow_panics() {
+        let _ = SimTime::ZERO - SimTime::from_ticks(1);
+    }
+}

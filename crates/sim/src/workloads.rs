@@ -1,0 +1,246 @@
+//! Workload generators: who initiates which operation, in what order.
+//!
+//! The paper's lower bound is stated for the *canonical* workload — a
+//! sequence of `n` operations with every processor initiating exactly
+//! once. The experiments also probe what happens outside it (skew,
+//! locality, multi-round). This module centralizes the generators so
+//! every experiment and test draws from the same, seeded, documented
+//! distributions.
+
+use rand::distributions::Distribution;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::id::ProcessorId;
+
+/// A named initiator-sequence generator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Workload {
+    /// The paper's canonical workload: a uniformly random permutation of
+    /// all processors.
+    Canonical {
+        /// Shuffle seed.
+        seed: u64,
+    },
+    /// Processors in id order (0, 1, ..., n-1) — maximal locality for
+    /// tree structures.
+    Identity,
+    /// `rounds` canonical permutations back to back (n·rounds ops).
+    MultiRound {
+        /// Number of rounds.
+        rounds: u32,
+        /// Shuffle seed (varied per round).
+        seed: u64,
+    },
+    /// `ops` operations drawn from a Zipf-like distribution over the
+    /// processors (exponent `s`): a heavy-hitter workload. `s = 0` is
+    /// uniform-with-replacement; larger `s` concentrates on few
+    /// initiators.
+    Zipf {
+        /// Number of operations.
+        ops: usize,
+        /// Skew exponent (>= 0).
+        s: f64,
+        /// Sampling seed.
+        seed: u64,
+    },
+    /// All `ops` operations from one processor — the extreme the paper's
+    /// §3 remark covers.
+    SingleInitiator {
+        /// The lone initiator.
+        initiator: usize,
+        /// Number of operations.
+        ops: usize,
+    },
+}
+
+impl Workload {
+    /// A short stable name for reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::Canonical { .. } => "canonical",
+            Workload::Identity => "identity",
+            Workload::MultiRound { .. } => "multi-round",
+            Workload::Zipf { .. } => "zipf",
+            Workload::SingleInitiator { .. } => "single-initiator",
+        }
+    }
+
+    /// Generates the initiator sequence for a network of `n` processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, or if a referenced initiator is out of range.
+    #[must_use]
+    pub fn generate(&self, n: usize) -> Vec<ProcessorId> {
+        assert!(n > 0, "workloads need at least one processor");
+        match self {
+            Workload::Canonical { seed } => {
+                let mut order: Vec<ProcessorId> = (0..n).map(ProcessorId::new).collect();
+                let mut rng = rand::rngs::StdRng::seed_from_u64(*seed);
+                order.shuffle(&mut rng);
+                order
+            }
+            Workload::Identity => (0..n).map(ProcessorId::new).collect(),
+            Workload::MultiRound { rounds, seed } => {
+                let mut all = Vec::with_capacity(n * *rounds as usize);
+                for round in 0..*rounds {
+                    all.extend(
+                        Workload::Canonical { seed: seed.wrapping_add(round.into()) }
+                            .generate(n),
+                    );
+                }
+                all
+            }
+            Workload::Zipf { ops, s, seed } => {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(*seed);
+                let zipf = ZipfSampler::new(n, *s);
+                (0..*ops).map(|_| ProcessorId::new(zipf.sample(&mut rng))).collect()
+            }
+            Workload::SingleInitiator { initiator, ops } => {
+                assert!(*initiator < n, "initiator out of range");
+                vec![ProcessorId::new(*initiator); *ops]
+            }
+        }
+    }
+}
+
+/// Inverse-CDF sampler for the Zipf distribution over ranks `0..n`
+/// (probability of rank r proportional to `1/(r+1)^s`).
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with exponent `s >= 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative/NaN.
+    #[must_use]
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one rank");
+        assert!(s >= 0.0, "zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Draws a rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("finite cdf")) {
+            Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+impl Distribution<usize> for ZipfSampler {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        ZipfSampler::sample(self, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn canonical_is_a_permutation() {
+        let order = Workload::Canonical { seed: 9 }.generate(50);
+        let mut seen = vec![false; 50];
+        for p in &order {
+            assert!(!seen[p.index()], "no repeats");
+            seen[p.index()] = true;
+        }
+        assert!(seen.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn canonical_is_seed_deterministic() {
+        let a = Workload::Canonical { seed: 4 }.generate(20);
+        let b = Workload::Canonical { seed: 4 }.generate(20);
+        let c = Workload::Canonical { seed: 5 }.generate(20);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds differ (overwhelmingly)");
+    }
+
+    #[test]
+    fn identity_and_single_initiator() {
+        let id = Workload::Identity.generate(4);
+        assert_eq!(id, (0..4).map(ProcessorId::new).collect::<Vec<_>>());
+        let single = Workload::SingleInitiator { initiator: 2, ops: 5 }.generate(4);
+        assert_eq!(single.len(), 5);
+        assert!(single.iter().all(|&p| p == ProcessorId::new(2)));
+    }
+
+    #[test]
+    fn multi_round_covers_everyone_each_round() {
+        let seq = Workload::MultiRound { rounds: 3, seed: 1 }.generate(10);
+        assert_eq!(seq.len(), 30);
+        for round in 0..3 {
+            let mut seen = vec![false; 10];
+            for p in &seq[round * 10..(round + 1) * 10] {
+                seen[p.index()] = true;
+            }
+            assert!(seen.into_iter().all(|b| b), "round {round} is a permutation");
+        }
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let z = ZipfSampler::new(10, 0.0);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "roughly uniform: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_large_exponent_concentrates_on_rank_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let z = ZipfSampler::new(100, 2.5);
+        let mut zero = 0u32;
+        for _ in 0..5_000 {
+            if z.sample(&mut rng) == 0 {
+                zero += 1;
+            }
+        }
+        assert!(zero > 3_000, "rank 0 dominates: {zero}/5000");
+    }
+
+    #[test]
+    fn zipf_workload_respects_bounds() {
+        let seq = Workload::Zipf { ops: 200, s: 1.0, seed: 7 }.generate(16);
+        assert_eq!(seq.len(), 200);
+        assert!(seq.iter().all(|p| p.index() < 16));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Workload::Identity.name(), "identity");
+        assert_eq!(Workload::Canonical { seed: 0 }.name(), "canonical");
+        assert_eq!(Workload::Zipf { ops: 1, s: 1.0, seed: 0 }.name(), "zipf");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn single_initiator_bounds_checked() {
+        let _ = Workload::SingleInitiator { initiator: 9, ops: 1 }.generate(4);
+    }
+}

@@ -1,0 +1,47 @@
+//! Quickstart: build the paper's retirement-tree counter, run the
+//! canonical workload, and check the headline O(k) bottleneck claim.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use distctr::bound::theory;
+use distctr::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 81 = 3^4 processors -> tree order k = 3.
+    let n = 81usize;
+    let mut counter = TreeCounter::new(n)?;
+    println!("{}", counter.topology().render_ascii());
+
+    // The paper's workload: every processor increments exactly once.
+    let outcome = SequentialDriver::run_shuffled(&mut counter, 42)?;
+    assert!(outcome.values_are_sequential(), "counter returned 0,1,2,... in op order");
+
+    let k = counter.order() as u64;
+    let (bottleneck_proc, bottleneck) = counter.loads().bottleneck().expect("nonempty");
+    println!("n = {n}, k = {k}");
+    println!("total messages      : {}", outcome.total_messages);
+    println!("messages per op     : {:.2}", outcome.messages_per_op());
+    println!("bottleneck processor: {bottleneck_proc} with load {bottleneck}");
+    println!("lower bound (k)     : {}", theory::lower_bound_k(n as u64));
+    println!("upper bound (20k)   : {}", 20 * k);
+    assert!(bottleneck >= u64::from(theory::lower_bound_k(n as u64)));
+    assert!(bottleneck <= 20 * k);
+
+    // Every lemma of the paper, checked on this very run.
+    let audit = counter.audit();
+    println!("\nlemma audit:");
+    println!("  Grow Old Lemma        : {}", audit.grow_old_lemma_holds());
+    println!("  Retirement Lemma      : {}", audit.retirement_lemma_holds());
+    println!(
+        "  Retirement counts     : {} (per level: {:?})",
+        audit.retirement_counts_within_pools(counter.topology()),
+        audit.retirements_by_level()
+    );
+    println!(
+        "  Inner Node Work Lemma : {} (max stint {} <= 8k+8 = {})",
+        audit.stint_work_within(8 * k + 8),
+        audit.max_stint_msgs(),
+        8 * k + 8
+    );
+    Ok(())
+}

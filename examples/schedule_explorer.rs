@@ -1,0 +1,50 @@
+//! Model-checking an operation: exhaustively explore every delivery
+//! order the asynchronous network admits for one inc, and verify the
+//! outcome is schedule-independent.
+//!
+//! Run with: `cargo run --release --example schedule_explorer`
+
+use distctr::core::{CounterObject, RetirementPolicy, Topology, TreeMsg, TreeProtocol};
+use distctr::sim::{explore, Injection, OpId, ProcessorId};
+
+type Proto = TreeProtocol<CounterObject>;
+
+fn main() {
+    let topo = Topology::new(2).expect("k = 2 tree");
+    let mut proto = TreeProtocol::new(topo, RetirementPolicy::PaperDefault, CounterObject::new());
+
+    println!("model-checking inc operations on the k=2 retirement tree\n");
+    for i in 0..8usize {
+        let origin = ProcessorId::new(i);
+        let leaf_parent = proto.topology().leaf_parent(i as u64);
+        let injection = Injection {
+            op: OpId::new(i),
+            from: origin,
+            to: proto.worker_of(leaf_parent),
+            msg: TreeMsg::Apply { node: leaf_parent, origin, req: () },
+        };
+        let expected = i as u64;
+        let outcome = explore(&proto, std::slice::from_ref(&injection), 100_000, &|p: &Proto| {
+            match p.peek_response() {
+                Some(&v) if v == expected => Ok(()),
+                other => Err(format!("op {i}: expected {expected}, got {other:?}")),
+            }
+        });
+        println!(
+            "op {i} (P{i}): {} delivery schedule(s) explored{}, all returned value {expected}",
+            outcome.schedules,
+            if outcome.truncated { " (budget-truncated)" } else { "" },
+        );
+        assert!(outcome.holds(), "{:?}", outcome.violation);
+
+        // Advance the mainline along one schedule for the next op.
+        let next = std::cell::RefCell::new(None);
+        explore(&proto, std::slice::from_ref(&injection), 1, &|p: &Proto| {
+            *next.borrow_mut() = Some(p.clone());
+            Ok(())
+        });
+        proto = next.into_inner().expect("one schedule");
+    }
+    println!("\nvalue returned is independent of message delivery order — on every");
+    println!("schedule the asynchronous model admits, not just the sampled policies.");
+}

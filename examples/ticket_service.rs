@@ -1,0 +1,81 @@
+//! Domain scenario: a cluster-wide unique ticket service.
+//!
+//! "Counting is an essential ingredient in virtually any computation" —
+//! the intro's motivation in miniature: 64 worker processors each need a
+//! globally unique, gap-free ticket number (order ids, log sequence
+//! numbers, lock tickets). This example serves the same workload from a
+//! centralized allocator, a combining tree, and a counting network, and
+//! shows where the traffic lands.
+//!
+//! Run with: `cargo run --release --example ticket_service`
+
+use distctr::analysis::{fmt_f64, Table};
+use distctr::prelude::*;
+
+fn serve<C: ConcurrentCounter>(
+    counter: &mut C,
+    batch: usize,
+) -> Result<(u64, f64, bool), Box<dyn std::error::Error>> {
+    let tickets = ConcurrentDriver::run_batches(counter, batch, 99)?;
+    let gap_free = ConcurrentDriver::values_are_gap_free(&tickets);
+    let loads = counter.loads();
+    Ok((loads.max_load(), loads.average_load(), gap_free))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 64usize;
+    println!("Ticket service: {n} workers each claim one unique ticket.\n");
+    let mut table = Table::new(vec![
+        "allocator",
+        "concurrency",
+        "hottest host",
+        "avg load",
+        "gap-free",
+    ]);
+    for batch in [1usize, n] {
+        let label = if batch == 1 { "one at a time" } else { "all at once" };
+        {
+            let mut c = CentralCounter::new(n)?;
+            let (max, avg, ok) = serve(&mut c, batch)?;
+            table.row(vec![
+                "central".into(),
+                label.into(),
+                max.to_string(),
+                fmt_f64(avg),
+                ok.to_string(),
+            ]);
+        }
+        {
+            let mut c = CombiningTreeCounter::new(n)?;
+            let (max, avg, ok) = serve(&mut c, batch)?;
+            table.row(vec![
+                "combining-tree".into(),
+                label.into(),
+                max.to_string(),
+                fmt_f64(avg),
+                ok.to_string(),
+            ]);
+        }
+        {
+            let mut c = CountingNetworkCounter::new(n, 8)?;
+            let (max, avg, ok) = serve(&mut c, batch)?;
+            table.row(vec![
+                "counting-net[w=8]".into(),
+                label.into(),
+                max.to_string(),
+                fmt_f64(avg),
+                ok.to_string(),
+            ]);
+        }
+    }
+    println!("{table}");
+    println!("Reading the table:");
+    println!("  * the central allocator's hottest host does ~2 messages per ticket, always;");
+    println!("  * the combining tree's hot spot melts away once requests overlap;");
+    println!("  * the counting network spreads traffic regardless of concurrency,");
+    println!("    at a higher per-ticket message cost.");
+    println!("\nFor strictly sequential clients, the paper's retirement tree is the only");
+    println!("structure that provably keeps every host at O(k) messages — see the");
+    println!("bottleneck_comparison example.");
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! # distctr
+//!
+//! A from-scratch Rust reproduction of **Wattenhofer & Widmayer, *An
+//! Inherent Bottleneck in Distributed Counting* (ETH Zürich / PODC 1997)**:
+//! the Ω(k) lower bound on some processor's message load (where
+//! `k^(k+1) = n`), and the matching retirement-based communication-tree
+//! counter whose bottleneck is O(k).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`sim`] | `distctr-sim` | asynchronous message-passing network simulator, load accounting, traces |
+//! | [`core`] | `distctr-core` | the paper's retirement-tree counter and lemma audits |
+//! | [`baselines`] | `distctr-baselines` | central, static-tree, combining-tree, counting-network, diffracting-tree counters |
+//! | [`quorum`] | `distctr-quorum` | quorum systems and the Hot Spot Lemma checker |
+//! | [`bound`] | `distctr-bound` | the executable lower bound: adversary + weight audit |
+//! | [`net`] | `distctr-net` | real-threads backend: the tree counter over OS threads + channels |
+//! | [`analysis`] | `distctr-analysis` | statistics and report rendering |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use distctr::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // n = 81 = 3^4 processors; tree order k = 3.
+//! let mut counter = TreeCounter::new(81)?;
+//! let outcome = SequentialDriver::run_shuffled(&mut counter, 42)?;
+//! assert!(outcome.values_are_sequential());
+//!
+//! // The headline result: the bottleneck is O(k), not O(n)...
+//! let bottleneck = counter.loads().max_load();
+//! assert!(bottleneck <= 20 * 3);
+//!
+//! // ...and it cannot drop below k, for *any* implementation.
+//! assert!(bottleneck >= distctr::bound::theory::lower_bound_k(81) as u64);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use distctr_analysis as analysis;
+pub use distctr_baselines as baselines;
+pub use distctr_bound as bound;
+pub use distctr_core as core;
+pub use distctr_net as net;
+pub use distctr_quorum as quorum;
+pub use distctr_sim as sim;
+
+/// The most common imports for working with the reproduction.
+pub mod prelude {
+    pub use distctr_baselines::{
+        CentralCounter, CombiningTreeCounter, CountingNetworkCounter, DiffractingTreeCounter,
+        StaticTreeCounter,
+    };
+    pub use distctr_bound::{audit_weights, Adversary};
+    pub use distctr_net::ThreadedTreeCounter;
+    pub use distctr_core::{
+        DistributedFlipBit, DistributedPriorityQueue, RetirementPolicy, TreeClient, TreeCounter,
+    };
+    pub use distctr_quorum::QuorumSystem;
+    pub use distctr_sim::{
+        ConcurrentCounter, ConcurrentDriver, Counter, DeliveryPolicy, ProcessorId,
+        SequentialDriver, TraceMode,
+    };
+}

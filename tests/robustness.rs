@@ -1,0 +1,100 @@
+//! Robustness sweep: the upper-bound guarantees hold across a wide grid
+//! of seeds × delivery policies × workload shapes — not just the
+//! report's canonical configuration.
+
+use distctr::prelude::*;
+use distctr::sim::Workload;
+
+#[test]
+fn lemmas_hold_across_a_seed_and_policy_grid() {
+    let n = 81usize;
+    for seed in (0..50u64).step_by(7) {
+        for policy in DeliveryPolicy::test_suite() {
+            let mut counter = TreeCounter::builder(n)
+                .expect("builder")
+                .trace(TraceMode::Off)
+                .delivery(policy.clone())
+                .build()
+                .expect("tree");
+            let out = SequentialDriver::run_shuffled(&mut counter, seed).expect("runs");
+            assert!(out.values_are_sequential(), "seed {seed} policy {}", policy.name());
+            let audit = counter.audit();
+            assert!(audit.grow_old_lemma_holds(), "seed {seed} policy {}", policy.name());
+            assert!(audit.retirement_lemma_holds(), "seed {seed} policy {}", policy.name());
+            assert!(
+                audit.retirement_counts_within_pools(counter.topology()),
+                "seed {seed} policy {}",
+                policy.name()
+            );
+            assert!(
+                counter.loads().max_load() <= 20 * 3,
+                "seed {seed} policy {}: {}",
+                policy.name(),
+                counter.loads().max_load()
+            );
+        }
+    }
+}
+
+#[test]
+fn correctness_across_workload_shapes() {
+    let n = 81usize;
+    let workloads = [
+        Workload::Identity,
+        Workload::Canonical { seed: 3 },
+        Workload::MultiRound { rounds: 2, seed: 4 },
+        Workload::Zipf { ops: 120, s: 1.2, seed: 5 },
+        Workload::SingleInitiator { initiator: 40, ops: 30 },
+    ];
+    for workload in &workloads {
+        // Multi-round and heavy-skew workloads outlive one-shot pools;
+        // use recycling so the comparison is about correctness, not pool
+        // sizing (E12/E15 study the load side).
+        let mut counter = TreeCounter::builder(n)
+            .expect("builder")
+            .trace(TraceMode::Off)
+            .pool(distctr::core::PoolPolicy::Recycling)
+            .build()
+            .expect("tree");
+        let out = SequentialDriver::run_workload(&mut counter, workload).expect("runs");
+        assert!(out.values_are_sequential(), "workload {}", workload.name());
+        assert!(counter.audit().retirement_lemma_holds(), "workload {}", workload.name());
+    }
+}
+
+#[test]
+fn every_baseline_survives_the_grid_at_small_n() {
+    let n = 16usize;
+    for seed in [1u64, 9, 27] {
+        for policy in DeliveryPolicy::test_suite() {
+            let counters: Vec<Box<dyn Counter>> = vec![
+                Box::new(
+                    CentralCounter::with_policy(n, TraceMode::Off, policy.clone())
+                        .expect("central"),
+                ),
+                Box::new(
+                    CombiningTreeCounter::with_policy(n, TraceMode::Off, policy.clone())
+                        .expect("combining"),
+                ),
+                Box::new(
+                    CountingNetworkCounter::with_policy(n, 4, TraceMode::Off, policy.clone())
+                        .expect("counting"),
+                ),
+                Box::new(
+                    DiffractingTreeCounter::with_policy(n, 2, TraceMode::Off, policy.clone())
+                        .expect("diffracting"),
+                ),
+            ];
+            for mut counter in counters {
+                let out =
+                    SequentialDriver::run_shuffled(counter.as_mut(), seed).expect("runs");
+                assert!(
+                    out.values_are_sequential(),
+                    "{} seed {seed} policy {}",
+                    counter.name(),
+                    policy.name()
+                );
+            }
+        }
+    }
+}
