@@ -48,10 +48,7 @@ pub fn linear_fit(points: &[(f64, f64)]) -> Option<LineFit> {
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
     let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
-    let ss_res: f64 = points
-        .iter()
-        .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
-        .sum();
+    let ss_res: f64 = points.iter().map(|p| (p.1 - (slope * p.0 + intercept)).powi(2)).sum();
     let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
     Some(LineFit { slope, intercept, r_squared })
 }
@@ -101,8 +98,7 @@ mod tests {
     #[test]
     fn loglog_recovers_power_laws() {
         // y = 5 x^2
-        let pts: Vec<(f64, f64)> =
-            (1..20).map(|i| (i as f64, 5.0 * (i as f64).powi(2))).collect();
+        let pts: Vec<(f64, f64)> = (1..20).map(|i| (i as f64, 5.0 * (i as f64).powi(2))).collect();
         let fit = loglog_fit(&pts).expect("fit");
         assert!((fit.slope - 2.0).abs() < 1e-9);
         // y = c (constant): slope 0.

@@ -192,9 +192,8 @@ mod tests {
         p.series('l', "linear", &linear);
         let s = p.render();
         // Only grid rows (containing the axis '|'), not the legend.
-        let grid_rows_with = |c: char| -> usize {
-            s.lines().filter(|l| l.contains('|') && l.contains(c)).count()
-        };
+        let grid_rows_with =
+            |c: char| -> usize { s.lines().filter(|l| l.contains('|') && l.contains(c)).count() };
         assert_eq!(grid_rows_with('f'), 1, "flat series occupies a single row:\n{s}");
         assert!(grid_rows_with('l') >= 3, "linear series spans rows:\n{s}");
     }

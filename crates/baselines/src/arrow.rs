@@ -21,8 +21,8 @@ use rand::Rng;
 use rand::SeedableRng;
 
 use distctr_sim::{
-    Counter, DeliveryPolicy, IncResult, LoadTracker, Network, OpId, Outbox, ProcessorId,
-    Protocol, SimError, TraceMode,
+    Counter, DeliveryPolicy, IncResult, LoadTracker, Network, OpId, Outbox, ProcessorId, Protocol,
+    SimError, TraceMode,
 };
 
 /// The fixed spanning tree the arrows live on.
@@ -116,8 +116,7 @@ impl Protocol for ArrowState {
                 self.arrows[me] = Arrow::Toward(from);
                 match previous {
                     Arrow::Holder => {
-                        let value =
-                            self.token[me].take().expect("holder carries the token value");
+                        let value = self.token[me].take().expect("holder carries the token value");
                         self.longest_path = self.longest_path.max(self.current_path);
                         self.current_path = 0;
                         out.send(origin, ArrowMsg::Token { value });
@@ -268,12 +267,7 @@ impl Counter for ArrowCounter {
             let value = self.state.token[me].take().expect("holder has the token");
             self.state.token[me] = Some(value + 1);
             self.next_op += 1;
-            return Ok(IncResult {
-                value,
-                messages: 0,
-                completed_at: self.net.now(),
-                trace: None,
-            });
+            return Ok(IncResult { value, messages: 0, completed_at: self.net.now(), trace: None });
         }
         let op = OpId::new(self.next_op);
         self.next_op += 1;
@@ -284,8 +278,7 @@ impl Counter for ArrowCounter {
         self.net.inject(op, initiator, next, ArrowMsg::Find { origin: initiator });
         let stats = self.net.run_to_quiescence(&mut self.state)?;
         let trace = self.net.finish_op(op);
-        let (_, _, value) =
-            self.state.delivered.pop().expect("token must reach the initiator");
+        let (_, _, value) = self.state.delivered.pop().expect("token must reach the initiator");
         Ok(IncResult { value, messages: stats.delivered, completed_at: stats.end_time, trace })
     }
 
@@ -354,11 +347,7 @@ mod tests {
         SequentialDriver::run_shuffled(&mut c, 5).expect("sequence");
         // Balanced binary tree over 64 nodes: diameter ~ 2*log2(64) = 12;
         // a find path can traverse at most diameter+1 edges.
-        assert!(
-            c.longest_find_path() <= 13,
-            "path {} within tree diameter",
-            c.longest_find_path()
-        );
+        assert!(c.longest_find_path() <= 13, "path {} within tree diameter", c.longest_find_path());
     }
 
     #[test]
@@ -394,12 +383,9 @@ mod tests {
 
     #[test]
     fn all_spanning_trees_count_correctly() {
-        for tree in [
-            SpanningTree::Heap,
-            SpanningTree::Star,
-            SpanningTree::Path,
-            SpanningTree::Random(5),
-        ] {
+        for tree in
+            [SpanningTree::Heap, SpanningTree::Star, SpanningTree::Path, SpanningTree::Random(5)]
+        {
             let mut c = ArrowCounter::with_tree(32, tree, TraceMode::Off, DeliveryPolicy::Fifo)
                 .expect("arrow");
             let out = SequentialDriver::run_shuffled(&mut c, 13).expect("sequence");

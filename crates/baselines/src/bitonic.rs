@@ -189,10 +189,8 @@ impl BitonicNetwork {
 /// non-increasing and adjacent ranks differ by at most one.
 #[must_use]
 pub fn has_step_property(counts: &[u64]) -> bool {
-    counts.windows(2).all(|w| w[0] >= w[1]) && counts
-        .first()
-        .zip(counts.last())
-        .is_none_or(|(first, last)| first - last <= 1)
+    counts.windows(2).all(|w| w[0] >= w[1])
+        && counts.first().zip(counts.last()).is_none_or(|(first, last)| first - last <= 1)
 }
 
 #[cfg(test)]
@@ -214,11 +212,7 @@ mod tests {
         for (w, expected_depth) in [(2usize, 1usize), (4, 3), (8, 6), (16, 10)] {
             let net = BitonicNetwork::new(w);
             assert_eq!(net.depth(), expected_depth, "depth of Bitonic[{w}]");
-            assert_eq!(
-                net.balancer_count(),
-                w / 2 * expected_depth,
-                "balancers of Bitonic[{w}]"
-            );
+            assert_eq!(net.balancer_count(), w / 2 * expected_depth, "balancers of Bitonic[{w}]");
         }
     }
 

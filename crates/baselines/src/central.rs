@@ -11,8 +11,8 @@
 //! bottleneck the paper's tree reduces to O(k).
 
 use distctr_sim::{
-    CompletedOp, ConcurrentCounter, Counter, DeliveryPolicy, IncResult, LoadTracker, Network,
-    OpId, Outbox, OverlappedCounter, ProcessorId, Protocol, SimError, SimTime, TraceMode,
+    CompletedOp, ConcurrentCounter, Counter, DeliveryPolicy, IncResult, LoadTracker, Network, OpId,
+    Outbox, OverlappedCounter, ProcessorId, Protocol, SimError, SimTime, TraceMode,
 };
 
 /// Protocol messages of the centralized counter.
@@ -40,7 +40,12 @@ struct CentralState {
 impl Protocol for CentralState {
     type Msg = CentralMsg;
 
-    fn on_deliver(&mut self, out: &mut Outbox<'_, CentralMsg>, _from: ProcessorId, msg: CentralMsg) {
+    fn on_deliver(
+        &mut self,
+        out: &mut Outbox<'_, CentralMsg>,
+        _from: ProcessorId,
+        msg: CentralMsg,
+    ) {
         match msg {
             CentralMsg::Request { origin } => {
                 debug_assert_eq!(out.me(), self.coordinator);
@@ -155,11 +160,8 @@ impl Counter for CentralCounter {
         );
         let stats = self.net.run_to_quiescence(&mut self.state)?;
         let trace = self.net.finish_op(op);
-        let (_, _, value) = self
-            .state
-            .delivered
-            .pop()
-            .expect("coordinator must answer before quiescence");
+        let (_, _, value) =
+            self.state.delivered.pop().expect("coordinator must answer before quiescence");
         Ok(IncResult { value, messages: stats.delivered, completed_at: stats.end_time, trace })
     }
 
@@ -194,9 +196,7 @@ impl ConcurrentCounter for CentralCounter {
         let delivered = std::mem::take(&mut self.state.delivered);
         let by_op: std::collections::HashMap<OpId, u64> =
             delivered.into_iter().map(|(op, _, v)| (op, v)).collect();
-        Ok((0..initiators.len())
-            .map(|i| by_op[&OpId::new(base + i)])
-            .collect())
+        Ok((0..initiators.len()).map(|i| by_op[&OpId::new(base + i)]).collect())
     }
 }
 
@@ -211,9 +211,12 @@ impl OverlappedCounter for CentralCounter {
         let op = OpId::new(self.next_op);
         self.next_op += 1;
         self.overlapped.push((op, initiator));
-        self.net.inject(op, initiator, self.state.coordinator, CentralMsg::Request {
-            origin: initiator,
-        });
+        self.net.inject(
+            op,
+            initiator,
+            self.state.coordinator,
+            CentralMsg::Request { origin: initiator },
+        );
         Ok(op)
     }
 

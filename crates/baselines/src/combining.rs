@@ -166,8 +166,7 @@ impl Protocol for CombiningState {
                         // First request: open a window and schedule its
                         // closing timeout (a self-message).
                         let marker = self.fresh();
-                        self.windows
-                            .insert(node, Window { marker, parts: vec![(reply, count)] });
+                        self.windows.insert(node, Window { marker, parts: vec![(reply, count)] });
                         out.send(out.me(), CombiningMsg::Timeout { node, marker });
                     }
                     Some(mut w) => {
@@ -426,8 +425,8 @@ mod tests {
     #[test]
     fn works_under_every_delivery_policy() {
         for policy in DeliveryPolicy::test_suite() {
-            let mut c = CombiningTreeCounter::with_policy(8, TraceMode::Contacts, policy)
-                .expect("counter");
+            let mut c =
+                CombiningTreeCounter::with_policy(8, TraceMode::Contacts, policy).expect("counter");
             let out = SequentialDriver::run_shuffled(&mut c, 3).expect("sequence");
             assert!(out.values_are_sequential());
             let batch: Vec<_> = (0..8).map(ProcessorId::new).collect();

@@ -12,8 +12,8 @@
 //! sequential model they count exactly.
 
 use distctr_sim::{
-    CompletedOp, ConcurrentCounter, Counter, DeliveryPolicy, IncResult, LoadTracker, Network,
-    OpId, Outbox, OverlappedCounter, ProcessorId, Protocol, SimError, SimTime, TraceMode,
+    CompletedOp, ConcurrentCounter, Counter, DeliveryPolicy, IncResult, LoadTracker, Network, OpId,
+    Outbox, OverlappedCounter, ProcessorId, Protocol, SimError, SimTime, TraceMode,
 };
 
 use crate::bitonic::BitonicNetwork;
@@ -63,9 +63,17 @@ impl CountingState {
         self.hosting.host_of(self.network.balancer_count() + wire as usize)
     }
 
-    fn forward(&mut self, out: &mut Outbox<'_, CountingMsg>, wire: usize, after: u32, origin: ProcessorId) {
+    fn forward(
+        &mut self,
+        out: &mut Outbox<'_, CountingMsg>,
+        wire: usize,
+        after: u32,
+        origin: ProcessorId,
+    ) {
         match self.network.next_on_wire(wire, after) {
-            Some(next) => out.send(self.balancer_host(next), CountingMsg::Token { balancer: next, origin }),
+            Some(next) => {
+                out.send(self.balancer_host(next), CountingMsg::Token { balancer: next, origin })
+            }
             None => out.send(
                 self.exit_host(wire as u32),
                 CountingMsg::ExitToken { wire: wire as u32, origin },
@@ -77,7 +85,12 @@ impl CountingState {
 impl Protocol for CountingState {
     type Msg = CountingMsg;
 
-    fn on_deliver(&mut self, out: &mut Outbox<'_, CountingMsg>, _from: ProcessorId, msg: CountingMsg) {
+    fn on_deliver(
+        &mut self,
+        out: &mut Outbox<'_, CountingMsg>,
+        _from: ProcessorId,
+        msg: CountingMsg,
+    ) {
         match msg {
             CountingMsg::Token { balancer, origin } => {
                 let bal = self.network.balancer(balancer);

@@ -90,7 +90,13 @@ impl DiffractingState {
 
     /// Routes a token leaving `node` toward child `bit` (0 = left).
     /// `node` is a heap index; depth of node = floor(log2(node)).
-    fn route(&mut self, out: &mut Outbox<'_, DiffractingMsg>, node: u32, bit: u32, origin: ProcessorId) {
+    fn route(
+        &mut self,
+        out: &mut Outbox<'_, DiffractingMsg>,
+        node: u32,
+        bit: u32,
+        origin: ProcessorId,
+    ) {
         let child = node * 2 + bit;
         if (child as usize) < (1usize << self.depth) {
             out.send(self.host_of_node(child), DiffractingMsg::Token { node: child, origin });
@@ -111,7 +117,12 @@ impl DiffractingState {
 impl Protocol for DiffractingState {
     type Msg = DiffractingMsg;
 
-    fn on_deliver(&mut self, out: &mut Outbox<'_, DiffractingMsg>, _from: ProcessorId, msg: DiffractingMsg) {
+    fn on_deliver(
+        &mut self,
+        out: &mut Outbox<'_, DiffractingMsg>,
+        _from: ProcessorId,
+        msg: DiffractingMsg,
+    ) {
         match msg {
             DiffractingMsg::Token { node, origin } => {
                 if let Some(partner) = self.prisms.remove(&node) {
@@ -368,8 +379,8 @@ mod tests {
     #[test]
     fn works_under_every_delivery_policy() {
         for policy in DeliveryPolicy::test_suite() {
-            let mut c = DiffractingTreeCounter::with_policy(8, 2, TraceMode::Off, policy)
-                .expect("counter");
+            let mut c =
+                DiffractingTreeCounter::with_policy(8, 2, TraceMode::Off, policy).expect("counter");
             let batch: Vec<_> = (0..8).map(ProcessorId::new).collect();
             let values = c.inc_batch(&batch).expect("batch");
             assert!(ConcurrentDriver::values_are_gap_free(&values));

@@ -7,7 +7,9 @@
 //! tree climb on top).
 
 use distctr_core::{CoreError, RetirementPolicy, TreeCounter, TreeCounterBuilder};
-use distctr_sim::{Counter, DeliveryPolicy, IncResult, LoadTracker, ProcessorId, SimError, TraceMode};
+use distctr_sim::{
+    Counter, DeliveryPolicy, IncResult, LoadTracker, ProcessorId, SimError, TraceMode,
+};
 
 /// The paper's communication tree with retirement disabled.
 ///

@@ -11,8 +11,7 @@ fn bench_single_inc(c: &mut Criterion) {
     let n = 1024usize;
     for algo in Algo::comparison_set(n) {
         group.bench_function(BenchmarkId::new(algo.name(), n), |b| {
-            let mut counter =
-                algo.build(n, TraceMode::Off, DeliveryPolicy::Fifo).expect("builds");
+            let mut counter = algo.build(n, TraceMode::Off, DeliveryPolicy::Fifo).expect("builds");
             let mut next = 0usize;
             b.iter(|| {
                 let p = ProcessorId::new(next % counter.processors());

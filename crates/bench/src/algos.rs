@@ -6,9 +6,7 @@ use distctr_baselines::{
     DiffractingTreeCounter, StaticTreeCounter,
 };
 use distctr_core::TreeCounter;
-use distctr_sim::{
-    ConcurrentCounter, Counter, DeliveryPolicy, ProcessorId, SimError, TraceMode,
-};
+use distctr_sim::{ConcurrentCounter, Counter, DeliveryPolicy, ProcessorId, SimError, TraceMode};
 
 /// The algorithms under study.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,10 +137,7 @@ impl Algo {
                     .map_err(|e| e.to_string())?,
             ),
             Algo::RetirementTree | Algo::StaticTree | Algo::Arrow => {
-                return Err(format!(
-                    "{} follows the paper's sequential model only",
-                    self.name()
-                ))
+                return Err(format!("{} follows the paper's sequential model only", self.name()))
             }
         })
     }
@@ -236,8 +231,7 @@ mod tests {
         assert_eq!(set.len(), 7);
         assert!(set.contains(&Algo::CountingNetwork { width: 16 }), "√81=9 -> 16");
         assert!(set.contains(&Algo::Arrow));
-        let names: std::collections::HashSet<String> =
-            set.iter().map(|a| a.name()).collect();
+        let names: std::collections::HashSet<String> = set.iter().map(|a| a.name()).collect();
         assert_eq!(names.len(), 7, "distinct names");
     }
 
@@ -257,9 +251,7 @@ mod tests {
         assert!(Algo::RetirementTree
             .build_concurrent(8, TraceMode::Off, DeliveryPolicy::Fifo)
             .is_err());
-        assert!(Algo::Central
-            .build_concurrent(8, TraceMode::Off, DeliveryPolicy::Fifo)
-            .is_ok());
+        assert!(Algo::Central.build_concurrent(8, TraceMode::Off, DeliveryPolicy::Fifo).is_ok());
     }
 
     #[test]

@@ -10,8 +10,8 @@
 //! ```
 
 use distctr_bench::{
-    exp_ablation, exp_arrow, exp_backend, exp_bottleneck, exp_bound, exp_concurrent,
-    exp_hotspot, exp_lemmas, exp_linearizable, figures,
+    exp_ablation, exp_arrow, exp_backend, exp_bottleneck, exp_bound, exp_concurrent, exp_hotspot,
+    exp_lemmas, exp_linearizable, figures,
 };
 
 struct Config {

@@ -16,8 +16,7 @@
 
 use distctr_analysis::Table;
 use distctr_core::{
-    kmath, DistributedFlipBit, DistributedPriorityQueue, PoolPolicy, RetirementPolicy,
-    TreeCounter,
+    kmath, DistributedFlipBit, DistributedPriorityQueue, PoolPolicy, RetirementPolicy, TreeCounter,
 };
 use distctr_sim::{Counter, ProcessorId, SequentialDriver, TraceMode};
 
@@ -40,13 +39,8 @@ pub fn e11_threshold_ablation(k: u32) -> String {
         "pool exhaustions",
         "retirement lemma",
     ]);
-    let mut thresholds: Vec<u64> = vec![
-        u64::from(k),
-        2 * u64::from(k),
-        4 * u64::from(k),
-        8 * u64::from(k),
-        32 * u64::from(k),
-    ];
+    let mut thresholds: Vec<u64> =
+        vec![u64::from(k), 2 * u64::from(k), 4 * u64::from(k), 8 * u64::from(k), 32 * u64::from(k)];
     thresholds.dedup();
     for &t in &thresholds {
         let mut counter = TreeCounter::builder(n)
@@ -106,10 +100,12 @@ pub fn e12_skewed_workloads(k: u32) -> String {
         "bottleneck",
         "lemmas hold",
     ]);
-    let workloads = [Workload::Canonical { seed: REPORT_SEED },
+    let workloads = [
+        Workload::Canonical { seed: REPORT_SEED },
         Workload::Zipf { ops: n, s: 1.0, seed: REPORT_SEED },
         Workload::Zipf { ops: n, s: 2.0, seed: REPORT_SEED },
-        Workload::SingleInitiator { initiator: 0, ops: n }];
+        Workload::SingleInitiator { initiator: 0, ops: n },
+    ];
     for (idx, workload) in workloads.iter().enumerate() {
         let order = workload.generate(n);
         let mut per_initiator = vec![0u64; n];
@@ -118,11 +114,8 @@ pub fn e12_skewed_workloads(k: u32) -> String {
         }
         let distinct = per_initiator.iter().filter(|&&c| c > 0).count();
         let busiest = per_initiator.iter().copied().max().unwrap_or(0);
-        let mut counter = TreeCounter::builder(n)
-            .expect("builder")
-            .trace(TraceMode::Off)
-            .build()
-            .expect("tree");
+        let mut counter =
+            TreeCounter::builder(n).expect("builder").trace(TraceMode::Off).build().expect("tree");
         let outcome = SequentialDriver::run_order(&mut counter, &order).expect("runs");
         assert!(outcome.values_are_sequential());
         let audit = counter.audit();
@@ -262,8 +255,7 @@ mod tests {
     fn e11_paper_threshold_is_the_sweet_spot() {
         let report = e11_threshold_ablation(3);
         // The paper row holds every lemma with zero pool exhaustions...
-        let paper_line =
-            report.lines().find(|l| l.contains("(paper)")).expect("paper row");
+        let paper_line = report.lines().find(|l| l.contains("(paper)")).expect("paper row");
         assert!(paper_line.ends_with("holds"), "{paper_line}");
         let cols: Vec<&str> = paper_line.split_whitespace().collect();
         assert_eq!(cols[cols.len() - 2], "0", "no exhaustion at 4k: {paper_line}");
@@ -276,10 +268,7 @@ mod tests {
         );
         // And 4k achieves the smallest bottleneck of the sweep.
         let first_number = |line: &str| -> u64 {
-            line.split_whitespace()
-                .skip(1)
-                .find_map(|t| t.parse().ok())
-                .expect("bottleneck column")
+            line.split_whitespace().skip(1).find_map(|t| t.parse().ok()).expect("bottleneck column")
         };
         let bottlenecks: Vec<u64> = report
             .lines()
@@ -307,10 +296,7 @@ mod tests {
         };
         let canonical = bottleneck_of("canonical");
         let single = bottleneck_of("single-initiator");
-        assert!(
-            single >= 2 * 8,
-            "single initiator floor 2n = 16: {single}"
-        );
+        assert!(single >= 2 * 8, "single initiator floor 2n = 16: {single}");
         assert!(single > canonical, "skew hurts: {single} > {canonical}");
         assert!(report.contains("zipf(s=1)") || report.contains("zipf(s=1.0)"), "{report}");
     }

@@ -15,25 +15,17 @@ pub fn e17_arrow_topologies(n: usize) -> String {
     out.push_str(&format!(
         "E17. Mobile-token (Arrow) counter across spanning trees (n = {n}, canonical workload)\n\n"
     ));
-    let mut table = Table::new(vec![
-        "tree",
-        "total msgs",
-        "msgs/op",
-        "bottleneck",
-        "gini",
-        "longest find",
-    ]);
+    let mut table =
+        Table::new(vec!["tree", "total msgs", "msgs/op", "bottleneck", "gini", "longest find"]);
     for tree in [
         SpanningTree::Star,
         SpanningTree::Heap,
         SpanningTree::Random(REPORT_SEED),
         SpanningTree::Path,
     ] {
-        let mut counter =
-            ArrowCounter::with_tree(n, tree, TraceMode::Off, DeliveryPolicy::Fifo)
-                .expect("arrow builds");
-        let outcome =
-            SequentialDriver::run_shuffled(&mut counter, REPORT_SEED).expect("runs");
+        let mut counter = ArrowCounter::with_tree(n, tree, TraceMode::Off, DeliveryPolicy::Fifo)
+            .expect("arrow builds");
+        let outcome = SequentialDriver::run_shuffled(&mut counter, REPORT_SEED).expect("runs");
         assert!(outcome.values_are_sequential());
         table.row(vec![
             tree.name().to_string(),

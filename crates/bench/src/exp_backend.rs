@@ -15,11 +15,8 @@ pub fn e16_backend_agreement(n: usize) -> String {
     out.push_str(&format!(
         "E16. Backend agreement: simulator vs {n} real OS threads (identity order)\n\n"
     ));
-    let mut sim = TreeCounter::builder(n)
-        .expect("builder")
-        .trace(TraceMode::Off)
-        .build()
-        .expect("sim tree");
+    let mut sim =
+        TreeCounter::builder(n).expect("builder").trace(TraceMode::Off).build().expect("sim tree");
     let mut threads = ThreadedTreeCounter::new(n).expect("threaded tree");
     let mut value_mismatches = 0usize;
     for p in 0..sim.processors() {
@@ -31,12 +28,8 @@ pub fn e16_backend_agreement(n: usize) -> String {
     }
     let sim_loads = sim.loads().to_vec();
     let thread_loads = threads.loads();
-    let max_load_diff = sim_loads
-        .iter()
-        .zip(&thread_loads)
-        .map(|(&a, &b)| a.abs_diff(b))
-        .max()
-        .unwrap_or(0);
+    let max_load_diff =
+        sim_loads.iter().zip(&thread_loads).map(|(&a, &b)| a.abs_diff(b)).max().unwrap_or(0);
     let sim_retirements: u64 = sim.audit().retirements_by_level().iter().sum();
 
     let mut table = Table::new(vec!["quantity", "simulator", "threads", "agreement"]);
@@ -56,7 +49,11 @@ pub fn e16_backend_agreement(n: usize) -> String {
         "retirements".into(),
         sim_retirements.to_string(),
         threads.retirements().to_string(),
-        if sim_retirements == threads.retirements() { "exact".into() } else { "DIFFERS".to_string() },
+        if sim_retirements == threads.retirements() {
+            "exact".into()
+        } else {
+            "DIFFERS".to_string()
+        },
     ]);
     table.row(vec![
         "per-processor load".into(),

@@ -18,15 +18,8 @@ pub fn e2_bottleneck_vs_n(sizes: &[usize]) -> String {
     let mut out = String::new();
     out.push_str("E2. Bottleneck load m_b = max_p m_p over the canonical workload\n");
     out.push_str("    (n sequential incs, one per processor, shuffled order)\n\n");
-    let mut table = Table::new(vec![
-        "algorithm",
-        "n",
-        "k(n)",
-        "bottleneck",
-        "vs k",
-        "msgs/op",
-        "correct",
-    ]);
+    let mut table =
+        Table::new(vec!["algorithm", "n", "k(n)", "bottleneck", "vs k", "msgs/op", "correct"]);
     // (algo name, (n, bottleneck)) series for the growth-exponent fit.
     let mut series: std::collections::BTreeMap<String, Vec<(f64, f64)>> =
         std::collections::BTreeMap::new();
@@ -71,11 +64,7 @@ pub fn e2_bottleneck_vs_n(sizes: &[usize]) -> String {
         let mut fit_table = Table::new(vec!["algorithm", "exponent", "r^2"]);
         for (name, points) in &series {
             if let Some(fit) = loglog_fit(points) {
-                fit_table.row(vec![
-                    name.clone(),
-                    fmt_f64(fit.slope),
-                    fmt_f64(fit.r_squared),
-                ]);
+                fit_table.row(vec![name.clone(), fmt_f64(fit.slope), fmt_f64(fit.r_squared)]);
             }
         }
         out.push_str(&fit_table.render());
@@ -266,10 +255,7 @@ mod tests {
     fn e8_central_is_message_optimal() {
         let report = e8_message_complexity(81);
         // Central: exactly 2 msgs/op.
-        let central_line = report
-            .lines()
-            .find(|l| l.starts_with("central"))
-            .expect("central row");
+        let central_line = report.lines().find(|l| l.starts_with("central")).expect("central row");
         assert!(central_line.contains("2.00"), "2 msgs/op: {central_line}");
     }
 }

@@ -32,8 +32,8 @@ pub fn e1_adversarial_lower_bound(n: usize, sample: Option<usize>) -> String {
         Some(s) => Adversary::sampled(s, 23),
         None => Adversary::exhaustive(),
     };
-    let mut run = |name: &str, outcome: Result<distctr_bound::AdversaryOutcome, SimError>| {
-        match outcome {
+    let mut run =
+        |name: &str, outcome: Result<distctr_bound::AdversaryOutcome, SimError>| match outcome {
             Ok(o) => {
                 table.row(vec![
                     name.to_string(),
@@ -55,8 +55,7 @@ pub fn e1_adversarial_lower_bound(n: usize, sample: Option<usize>) -> String {
                     "-".into(),
                 ]);
             }
-        }
-    };
+        };
 
     {
         let mut c = TreeCounter::new(n).expect("tree builds");
@@ -120,8 +119,7 @@ pub fn e7_weight_audit(n: usize) -> String {
             .trace(TraceMode::Full)
             .build()
             .expect("tree builds");
-        let full_order: Vec<ProcessorId> =
-            (0..c.processors()).map(ProcessorId::new).collect();
+        let full_order: Vec<ProcessorId> = (0..c.processors()).map(ProcessorId::new).collect();
         let a = audit_weights(&mut c, &full_order).expect("audit runs");
         table.row(vec![
             "retirement-tree".into(),

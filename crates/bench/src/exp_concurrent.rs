@@ -18,13 +18,7 @@ pub fn e9_concurrency(n: usize, batches: &[usize]) -> String {
     out.push_str(&format!(
         "E9. Concurrency extension (n = {n}; one op per processor, injected in batches)\n\n"
     ));
-    let mut table = Table::new(vec![
-        "algorithm",
-        "batch",
-        "bottleneck",
-        "total msgs",
-        "gap-free",
-    ]);
+    let mut table = Table::new(vec!["algorithm", "batch", "bottleneck", "total msgs", "gap-free"]);
     let width = ((n as f64).sqrt() as usize).next_power_of_two().clamp(2, 64);
     let algos = [
         Algo::Central,
@@ -35,8 +29,7 @@ pub fn e9_concurrency(n: usize, batches: &[usize]) -> String {
     for algo in algos {
         for &batch in batches {
             let row = (|| -> Result<(u64, u64, bool), String> {
-                let mut counter =
-                    algo.build_concurrent(n, TraceMode::Off, DeliveryPolicy::Fifo)?;
+                let mut counter = algo.build_concurrent(n, TraceMode::Off, DeliveryPolicy::Fifo)?;
                 let values = ConcurrentDriver::run_batches(counter.as_mut(), batch, 77)
                     .map_err(|e| e.to_string())?;
                 Ok((

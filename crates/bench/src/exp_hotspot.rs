@@ -12,9 +12,7 @@ use crate::algos::{run_shuffled_dyn, Algo, REPORT_SEED};
 #[must_use]
 pub fn e6_hot_spot(n: usize) -> String {
     let mut out = String::new();
-    out.push_str(&format!(
-        "E6. Hot Spot Lemma: consecutive contact sets intersect (n = {n})\n\n"
-    ));
+    out.push_str(&format!("E6. Hot Spot Lemma: consecutive contact sets intersect (n = {n})\n\n"));
     let mut table =
         Table::new(vec!["algorithm", "policy", "pairs checked", "violations", "verdict"]);
     for algo in Algo::comparison_set(n) {
@@ -30,10 +28,8 @@ pub fn e6_hot_spot(n: usize) -> String {
                     .map(|r| &r.trace.as_ref().expect("contacts recorded").contacts)
                     .collect();
                 let pairs = contacts.len().saturating_sub(1);
-                let violations = contacts
-                    .windows(2)
-                    .filter(|pair| !pair[0].intersects(pair[1]))
-                    .count();
+                let violations =
+                    contacts.windows(2).filter(|pair| !pair[0].intersects(pair[1])).count();
                 Ok((pairs, violations))
             })();
             match row {
@@ -70,14 +66,8 @@ pub fn e6_hot_spot(n: usize) -> String {
 pub fn e10_quorums() -> String {
     let mut out = String::new();
     out.push_str("E10. Quorum systems (static constructions)\n\n");
-    let mut table = Table::new(vec![
-        "system",
-        "universe",
-        "quorums",
-        "min size",
-        "uniform load",
-        "intersects",
-    ]);
+    let mut table =
+        Table::new(vec!["system", "universe", "quorums", "min size", "uniform load", "intersects"]);
     let systems: Vec<Box<dyn QuorumSystem>> = vec![
         Box::new(Majority::new(16).expect("majority")),
         Box::new(Grid::new(4).expect("grid")),

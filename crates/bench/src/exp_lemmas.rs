@@ -25,9 +25,8 @@ fn canonical_tree(k: u32, policy: DeliveryPolicy) -> TreeCounter {
 pub fn e3_retirements_per_level(orders: &[u32]) -> String {
     let mut out = String::new();
     out.push_str("E3. Retirements per level vs the lemma bound pool(i) - 1\n\n");
-    let mut table = Table::new(vec![
-        "k", "level", "nodes", "max retirements", "lemma bound", "total on level",
-    ]);
+    let mut table =
+        Table::new(vec!["k", "level", "nodes", "max retirements", "lemma bound", "total on level"]);
     for &k in orders {
         let c = canonical_tree(k, DeliveryPolicy::Fifo);
         let topo = c.topology();

@@ -21,12 +21,7 @@ fn stalled_schedule<C: OverlappedCounter>(counter: &mut C) -> Vec<OpRecord> {
     counter.start_inc(ProcessorId::new(1)).expect("T2");
     counter.advance_until(t(70)).expect("advance");
     counter.start_inc(ProcessorId::new(2)).expect("T3");
-    counter
-        .finish_all()
-        .expect("drain")
-        .into_iter()
-        .map(|c| c.to_record())
-        .collect()
+    counter.finish_all().expect("drain").into_iter().map(|c| c.to_record()).collect()
 }
 
 /// E14 — the stalled-token schedule against the overlappable counters.

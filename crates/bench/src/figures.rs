@@ -68,10 +68,8 @@ pub fn figure_3(n: usize, after_ops: usize) -> String {
         prefix.len(),
         counter.processors()
     ));
-    let mut pending: Vec<ProcessorId> = (0..counter.processors())
-        .map(ProcessorId::new)
-        .filter(|p| !prefix.contains(p))
-        .collect();
+    let mut pending: Vec<ProcessorId> =
+        (0..counter.processors()).map(ProcessorId::new).filter(|p| !prefix.contains(p)).collect();
     pending.truncate(12);
     for p in pending {
         let mut probe = counter.clone();

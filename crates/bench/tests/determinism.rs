@@ -23,9 +23,5 @@ fn experiment_tables_are_deterministic() {
         "E1"
     );
     assert_eq!(exp_hotspot::e10_quorums(), exp_hotspot::e10_quorums(), "E10");
-    assert_eq!(
-        exp_ablation::e12_skewed_workloads(2),
-        exp_ablation::e12_skewed_workloads(2),
-        "E12"
-    );
+    assert_eq!(exp_ablation::e12_skewed_workloads(2), exp_ablation::e12_skewed_workloads(2), "E12");
 }

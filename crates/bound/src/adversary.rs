@@ -44,14 +44,12 @@ impl AdversaryOutcome {
     /// pigeonhole bound.
     #[must_use]
     pub fn consistent_with_theorem(&self) -> bool {
-        self.bottleneck.1 >= u64::from(self.lower_bound_k)
-            && self.bottleneck.1 >= self.pigeonhole
+        self.bottleneck.1 >= u64::from(self.lower_bound_k) && self.bottleneck.1 >= self.pigeonhole
     }
 }
 
 /// Configuration of the greedy longest-list adversary.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Adversary {
     /// Probe at most this many pending candidates per step (all when
     /// `None`). Sampling keeps the adversary `O(n·s)` instead of `O(n²)`
@@ -60,7 +58,6 @@ pub struct Adversary {
     /// Seed for candidate sampling.
     pub seed: u64,
 }
-
 
 impl Adversary {
     /// A full (exhaustive-probe) adversary.

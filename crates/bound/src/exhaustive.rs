@@ -35,9 +35,7 @@ pub const MAX_EXHAUSTIVE_N: usize = 8;
 ///
 /// Propagates errors from the counter's `inc`; returns an error string
 /// if `n` exceeds [`MAX_EXHAUSTIVE_N`].
-pub fn exhaustive_search<C: Counter + Clone>(
-    counter: &C,
-) -> Result<ExhaustiveOutcome, SimError> {
+pub fn exhaustive_search<C: Counter + Clone>(counter: &C) -> Result<ExhaustiveOutcome, SimError> {
     let n = counter.processors();
     assert!(
         n <= MAX_EXHAUSTIVE_N,
@@ -51,8 +49,8 @@ pub fn exhaustive_search<C: Counter + Clone>(
     // Heap's algorithm, iterative.
     let mut c = vec![0usize; n];
     let evaluate = |order: &[ProcessorId],
-                        worst: &mut Option<(Vec<ProcessorId>, u64)>,
-                        best: &mut Option<(Vec<ProcessorId>, u64)>|
+                    worst: &mut Option<(Vec<ProcessorId>, u64)>,
+                    best: &mut Option<(Vec<ProcessorId>, u64)>|
      -> Result<(), SimError> {
         let mut probe = counter.clone();
         for &p in order {

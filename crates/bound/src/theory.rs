@@ -141,10 +141,7 @@ mod tests {
             let n = distctr_core::kmath::leaves_of_order(k) as f64;
             let lam = weight_threshold(n);
             let kf = k as f64;
-            assert!(
-                lam <= kf + 1.0 && lam >= kf / 4.0,
-                "k={k}: λ={lam} comparable to k"
-            );
+            assert!(lam <= kf + 1.0 && lam >= kf / 4.0, "k={k}: λ={lam} comparable to k");
         }
     }
 

@@ -104,10 +104,8 @@ pub fn audit_weights<C: Counter + Clone>(
         // Probe q's hypothetical operation from the current state.
         let mut probe = counter.clone();
         let probe_result = probe.inc(q)?;
-        let probe_trace = probe_result
-            .trace
-            .as_ref()
-            .expect("weight audit requires per-op tracing");
+        let probe_trace =
+            probe_result.trace.as_ref().expect("weight audit requires per-op tracing");
         let dag = probe_trace
             .dag
             .as_ref()
@@ -161,11 +159,7 @@ mod tests {
 
     fn full_trace_tree(k: u32) -> TreeCounter {
         let n = distctr_core::kmath::leaves_of_order(k) as usize;
-        TreeCounter::builder(n)
-            .expect("builder")
-            .trace(TraceMode::Full)
-            .build()
-            .expect("counter")
+        TreeCounter::builder(n).expect("builder").trace(TraceMode::Full).build().expect("counter")
     }
 
     #[test]

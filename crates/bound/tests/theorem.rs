@@ -57,11 +57,8 @@ fn weight_audit_hot_spot_premise_across_implementations() {
     // The hot-spot premise must hold for every correct implementation.
     let order: Vec<ProcessorId> = (0..8).map(ProcessorId::new).collect();
 
-    let mut tree = TreeCounter::builder(8)
-        .expect("builder")
-        .trace(TraceMode::Full)
-        .build()
-        .expect("tree");
+    let mut tree =
+        TreeCounter::builder(8).expect("builder").trace(TraceMode::Full).build().expect("tree");
     let audit = audit_weights(&mut tree, &order).expect("audit");
     assert!(audit.hot_spot_premise_holds(), "tree: {}/{}", audit.hot_spot_hits, audit.steps);
 

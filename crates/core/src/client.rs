@@ -2,7 +2,8 @@
 //! retirement tree with the paper's O(k) bottleneck guarantee.
 
 use distctr_sim::{
-    DeliveryPolicy, LoadTracker, Network, OpId, ProcessorId, SimError, SimTime, TraceMode,
+    DeliveryPolicy, FaultEvent, FaultPlan, FaultStats, LoadTracker, Network, OpId, ProcessorId,
+    SimError, SimTime, TraceMode,
 };
 
 use crate::audit::CounterAudit;
@@ -35,6 +36,7 @@ pub struct TreeClientBuilder<O> {
     policy: DeliveryPolicy,
     retirement: RetirementPolicy,
     pool: PoolPolicy,
+    faults: Option<FaultPlan>,
     object: O,
 }
 
@@ -69,6 +71,17 @@ impl<O: RootObject> TreeClientBuilder<O> {
         self
     }
 
+    /// Injects faults from `plan` (message drops, duplications, scheduled
+    /// processor crashes) and arms the protocol's crash-recovery
+    /// machinery. Drive the client with
+    /// [`TreeClient::invoke_fault_tolerant`] so the watchdog can repair
+    /// crashes and retry lost operations.
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Builds the client.
     ///
     /// # Errors
@@ -79,10 +92,15 @@ impl<O: RootObject> TreeClientBuilder<O> {
         let n = usize::try_from(topo.processors()).map_err(|_| {
             CoreError::Order(format!("n = {} does not fit usize", topo.processors()))
         })?;
-        let net = Network::with_policy(n, self.trace, self.policy)?;
-        let proto =
+        let fault_tolerant = self.faults.is_some();
+        let net = match self.faults {
+            Some(plan) => Network::with_faults(n, self.trace, self.policy, plan)?,
+            None => Network::with_policy(n, self.trace, self.policy)?,
+        };
+        let mut proto =
             TreeProtocol::with_pool_policy(topo, self.retirement, self.pool, self.object);
-        Ok(TreeClient { net, proto, next_op: 0 })
+        proto.set_fault_tolerant(fault_tolerant);
+        Ok(TreeClient { net, proto, next_op: 0, watchdog_retries: 0 })
     }
 }
 
@@ -108,9 +126,14 @@ pub struct TreeClient<O: RootObject> {
     net: Network<TreeMsg<O::Request, O::Response>>,
     proto: TreeProtocol<O>,
     next_op: usize,
+    watchdog_retries: u64,
 }
 
 impl<O: RootObject> TreeClient<O> {
+    /// Watchdog rounds [`TreeClient::invoke_fault_tolerant`] runs before
+    /// giving up on an operation.
+    pub const MAX_RECOVERY_ATTEMPTS: u32 = 25;
+
     /// Creates a client for at least `n` processors (rounded up to
     /// `k^(k+1)`), hosting `object`.
     ///
@@ -133,9 +156,7 @@ impl<O: RootObject> TreeClient<O> {
         }
         let n64 = n as u64;
         if n64 > leaves_of_order(MAX_ORDER) {
-            return Err(CoreError::Order(format!(
-                "n={n} beyond the largest supported network"
-            )));
+            return Err(CoreError::Order(format!("n={n} beyond the largest supported network")));
         }
         let k = if let Some(k) = exact_order(n64) { k } else { order_for(n64) };
         Ok(TreeClientBuilder {
@@ -144,6 +165,7 @@ impl<O: RootObject> TreeClient<O> {
             policy: DeliveryPolicy::default(),
             retirement: RetirementPolicy::default(),
             pool: PoolPolicy::default(),
+            faults: None,
             object,
         })
     }
@@ -202,7 +224,7 @@ impl<O: RootObject> TreeClient<O> {
     /// # Errors
     ///
     /// * [`SimError::UnknownProcessor`] if `initiator` is out of range.
-    /// * [`SimError::MessageCapExceeded`] if the protocol fails to
+    /// * [`SimError::Livelock`] if the protocol fails to
     ///   quiesce.
     ///
     /// # Panics
@@ -238,7 +260,12 @@ impl<O: RootObject> TreeClient<O> {
             .proto
             .take_pending_response()
             .expect("operation must deliver a response to the initiator before quiescence");
-        Ok(InvokeResult { response, messages: stats.delivered, completed_at: stats.end_time, trace })
+        Ok(InvokeResult {
+            response,
+            messages: stats.delivered,
+            completed_at: stats.end_time,
+            trace,
+        })
     }
 
     /// Whether the client retires workers (false for the static-tree
@@ -246,6 +273,217 @@ impl<O: RootObject> TreeClient<O> {
     #[must_use]
     pub fn retirement_enabled(&self) -> bool {
         self.proto.threshold().is_some()
+    }
+
+    // --- fault tolerance -------------------------------------------------
+
+    /// The fault plan driving the network, if any.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.net.fault_plan()
+    }
+
+    /// Every fault the network injected so far, in order.
+    #[must_use]
+    pub fn fault_log(&self) -> &[FaultEvent] {
+        self.net.fault_log()
+    }
+
+    /// Summary counts of injected faults.
+    #[must_use]
+    pub fn fault_stats(&self) -> FaultStats {
+        self.net.fault_stats()
+    }
+
+    /// Processors currently down.
+    #[must_use]
+    pub fn crashed_processors(&self) -> Vec<ProcessorId> {
+        self.net.crashed_processors()
+    }
+
+    /// Whether `p` is down.
+    #[must_use]
+    pub fn is_crashed(&self, p: ProcessorId) -> bool {
+        self.net.is_crashed(p)
+    }
+
+    /// Times the watchdog re-ran an operation because a round quiesced
+    /// without a response (a slack term of the fault-aware load bound).
+    #[must_use]
+    pub fn watchdog_retries(&self) -> u64 {
+        self.watchdog_retries
+    }
+
+    /// Crashes processor `p` immediately (test hook; scheduled crashes
+    /// normally come from the [`FaultPlan`]) and arms the recovery
+    /// machinery.
+    pub fn crash(&mut self, p: ProcessorId) {
+        self.net.crash(p);
+        self.proto.set_fault_tolerant(true);
+    }
+
+    /// Executes one operation on a faulty network: like
+    /// [`TreeClient::invoke`], but quiescing without a response triggers
+    /// the recovery watchdog instead of a panic. Each round the watchdog
+    /// promotes the pool successor of every crashed or stuck worker (a
+    /// forced retirement rebuilt from the node's neighbours) and re-sends
+    /// the operation; the root's reply cache keeps retries exactly-once.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Unrecoverable`] if the initiator is down, or a node
+    ///   on the operation's path lost its worker with no live pool
+    ///   successor left (level-k nodes have singleton pools and cannot
+    ///   recover).
+    /// * [`CoreError::RecoveryFailed`] if
+    ///   [`TreeClient::MAX_RECOVERY_ATTEMPTS`] rounds all quiesce without
+    ///   a response.
+    /// * [`CoreError::Sim`] for simulator errors (livelock, bad
+    ///   initiator).
+    pub fn invoke_fault_tolerant(
+        &mut self,
+        initiator: ProcessorId,
+        req: O::Request,
+    ) -> Result<InvokeResult<O::Response>, CoreError> {
+        if initiator.index() >= self.net.processors() {
+            return Err(SimError::UnknownProcessor {
+                index: initiator.index(),
+                processors: self.net.processors(),
+            }
+            .into());
+        }
+        self.proto.set_fault_tolerant(true);
+        let op = OpId::new(self.next_op);
+        self.next_op += 1;
+        self.proto.audit_mut().begin_op();
+        let leaf_parent = self.proto.topology().leaf_parent(initiator.index() as u64);
+        let path = self.op_path(leaf_parent);
+        let mut messages = 0u64;
+        let mut attempts = 0u32;
+        let (response, completed_at) = loop {
+            if attempts >= Self::MAX_RECOVERY_ATTEMPTS {
+                self.proto.audit_mut().end_op();
+                self.net.finish_op(op);
+                return Err(CoreError::RecoveryFailed { attempts });
+            }
+            attempts += 1;
+            if self.net.is_crashed(initiator) {
+                self.proto.audit_mut().end_op();
+                self.net.finish_op(op);
+                return Err(CoreError::Unrecoverable(format!(
+                    "initiator {initiator} has crashed and cannot receive a response"
+                )));
+            }
+            // Promote successors for crashed/stuck workers before
+            // (re-)sending the operation into the tree.
+            if let Err(e) = self.promote_successors(op, &path) {
+                self.proto.audit_mut().end_op();
+                self.net.finish_op(op);
+                return Err(e);
+            }
+            let entry_worker = self.proto.worker_of(leaf_parent);
+            if !self.net.is_crashed(entry_worker) {
+                self.net.inject(
+                    op,
+                    initiator,
+                    entry_worker,
+                    TreeMsg::Apply { node: leaf_parent, origin: initiator, req: req.clone() },
+                );
+            }
+            let stats = self.net.run_to_quiescence(&mut self.proto)?;
+            messages += stats.delivered;
+            if let Some(resp) = self.proto.take_pending_response() {
+                break (resp, stats.end_time);
+            }
+            // Quiescent with no response: the op (or its reply) was lost
+            // to a drop or a crash. Repair and retry.
+            self.watchdog_retries += 1;
+        };
+        self.proto.audit_mut().end_op();
+        let trace = self.net.finish_op(op);
+        Ok(InvokeResult { response, messages, completed_at, trace })
+    }
+
+    /// Flat indices of the inner nodes the op climbs, leaf-parent to root.
+    fn op_path(&self, leaf_parent: NodeRef) -> Vec<usize> {
+        let topo = self.proto.topology();
+        let mut path = Vec::new();
+        let mut cur = Some(leaf_parent);
+        while let Some(node) = cur {
+            path.push(topo.flat_index(node));
+            cur = topo.parent(node);
+        }
+        path
+    }
+
+    /// One watchdog repair pass: for every node whose worker is down,
+    /// whose handoff successor died mid-handoff, or whose recovery
+    /// stalled (quiescent while still collecting shares), inject a
+    /// [`TreeMsg::RecoverPromote`] self-message at a live pool successor.
+    ///
+    /// Nodes with no live successor are fatal only when they sit on the
+    /// operation's `path`; off-path stranded nodes are left alone (their
+    /// own operations will report the error).
+    fn promote_successors(&mut self, op: OpId, path: &[usize]) -> Result<(), CoreError> {
+        let node_count =
+            usize::try_from(self.proto.topology().inner_node_count()).expect("nodes fit usize");
+        // Root first: a crashed parent must be repaired for its child's
+        // rebuild queries to be answerable, and flat order is level-major.
+        for flat in 0..node_count {
+            let node = self.proto.topology().node_at(flat);
+            let st = self.proto.node_state(flat);
+            let pending_dead = st.pending_worker.is_some_and(|p| self.net.is_crashed(p));
+            let worker_dead = self.net.is_crashed(st.worker);
+            let stuck_handoff = st.handing_off && pending_dead;
+            let stalled_recovery = st.recovering;
+            if !worker_dead && !stuck_handoff && !stalled_recovery {
+                continue;
+            }
+            let Some(successor) = self.live_successor(node, flat) else {
+                // Fatal only if the op needs this node and its worker is
+                // actually gone; a live worker stuck mid-handoff still
+                // serves requests (it just cannot retire again).
+                if worker_dead && path.contains(&flat) {
+                    return Err(CoreError::Unrecoverable(format!(
+                        "node ({}, {}) lost worker {} and its pool has no live successor",
+                        node.level, node.index, st.worker
+                    )));
+                }
+                continue;
+            };
+            // The promote models the successor's own watchdog timeout: a
+            // self-message, charged to the successor.
+            self.net.inject(op, successor, successor, TreeMsg::RecoverPromote { node });
+        }
+        Ok(())
+    }
+
+    /// The next live processor of `node`'s pool, if one is left. A
+    /// recovery already in flight keeps its successor (the promote is a
+    /// restart, not a new promotion).
+    fn live_successor(&self, node: NodeRef, flat: usize) -> Option<ProcessorId> {
+        let st = self.proto.node_state(flat);
+        if st.recovering {
+            if let Some(p) = st.pending_worker {
+                if !self.net.is_crashed(p) {
+                    return Some(p);
+                }
+            }
+        }
+        let pool = self.proto.topology().pool(node);
+        let size = pool.end - pool.start;
+        let candidates: Vec<u64> = match self.proto.pool_policy() {
+            // One-shot pools never reuse an id: only indices past the
+            // cursor are eligible.
+            PoolPolicy::OneShot => (st.pool_cursor + 1..size).collect(),
+            // Recycling pools wrap; every index but the current one is
+            // eligible.
+            PoolPolicy::Recycling => (1..size).map(|step| (st.pool_cursor + step) % size).collect(),
+        };
+        candidates
+            .into_iter()
+            .map(|i| ProcessorId::new((pool.start + i) as usize))
+            .find(|&p| !self.net.is_crashed(p))
     }
 }
 

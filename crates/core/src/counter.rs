@@ -8,7 +8,8 @@
 //! experiments verify on real runs.
 
 use distctr_sim::{
-    Counter, DeliveryPolicy, IncResult, LoadTracker, ProcessorId, SimError, TraceMode,
+    Counter, DeliveryPolicy, FaultEvent, FaultPlan, FaultStats, IncResult, LoadTracker,
+    ProcessorId, SimError, TraceMode,
 };
 
 use crate::audit::CounterAudit;
@@ -69,6 +70,14 @@ impl TreeCounterBuilder {
     #[must_use]
     pub fn pool(mut self, pool: PoolPolicy) -> Self {
         self.inner = self.inner.pool(pool);
+        self
+    }
+
+    /// Injects faults from `plan` and arms crash recovery; drive the
+    /// counter with [`TreeCounter::inc_fault_tolerant`].
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.inner = self.inner.faults(plan);
         self
     }
 
@@ -173,6 +182,59 @@ impl TreeCounter {
     #[must_use]
     pub fn ops_executed(&self) -> usize {
         self.client.ops_executed()
+    }
+
+    /// One `inc` on a faulty network: quiescing without a response
+    /// triggers the recovery watchdog (crashed workers are replaced by
+    /// their pool successors, the operation is retried exactly-once) —
+    /// see [`TreeClient::invoke_fault_tolerant`].
+    ///
+    /// # Errors
+    ///
+    /// See [`TreeClient::invoke_fault_tolerant`].
+    pub fn inc_fault_tolerant(&mut self, initiator: ProcessorId) -> Result<IncResult, CoreError> {
+        let result = self.client.invoke_fault_tolerant(initiator, ())?;
+        Ok(IncResult {
+            value: result.response,
+            messages: result.messages,
+            completed_at: result.completed_at,
+            trace: result.trace,
+        })
+    }
+
+    /// Crashes processor `p` immediately (test hook) and arms recovery.
+    pub fn crash(&mut self, p: ProcessorId) {
+        self.client.crash(p);
+    }
+
+    /// The fault plan driving the network, if any.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.client.fault_plan()
+    }
+
+    /// Every fault the network injected so far, in order.
+    #[must_use]
+    pub fn fault_log(&self) -> &[FaultEvent] {
+        self.client.fault_log()
+    }
+
+    /// Summary counts of injected faults.
+    #[must_use]
+    pub fn fault_stats(&self) -> FaultStats {
+        self.client.fault_stats()
+    }
+
+    /// Processors currently down.
+    #[must_use]
+    pub fn crashed_processors(&self) -> Vec<ProcessorId> {
+        self.client.crashed_processors()
+    }
+
+    /// Times the recovery watchdog re-ran an operation.
+    #[must_use]
+    pub fn watchdog_retries(&self) -> u64 {
+        self.client.watchdog_retries()
     }
 }
 
@@ -327,6 +389,70 @@ mod tests {
         // the root's processor (plus its own leaf traffic).
         assert!(s.loads().max_load() >= 2 * 8);
         assert_eq!(s.audit().stints_completed(), 0, "no retirement ever");
+    }
+
+    #[test]
+    fn crash_recovery_promotes_the_pool_successor() {
+        let mut c = TreeCounter::with_order(3).expect("k=3");
+        let root = NodeRef::ROOT;
+        let old_worker = c.worker_of(root);
+        c.crash(old_worker);
+        // Initiator 80 is far from the root's pool; its first attempt
+        // dead-letters at the root, the watchdog promotes the pool
+        // successor, and the retry goes through.
+        let r = c.inc_fault_tolerant(ProcessorId::new(80)).expect("recovered inc");
+        assert_eq!(r.value, 0);
+        assert_eq!(c.value(), 1);
+        assert_ne!(c.worker_of(root), old_worker, "successor installed");
+        // Pools overlap along root paths, so P0's crash takes out the
+        // root and the level-1 node it also served — both recover.
+        assert!(c.audit().recoveries() >= 1);
+        assert_eq!(c.audit().recoveries_by_level()[0], 1);
+        assert!(c.watchdog_retries() >= 1);
+        assert!(c.audit().recovery_msgs() >= 1 + 3 + 3, "promote + k queries + k shares");
+        // Later operations run normally on the recovered tree.
+        let r = c.inc_fault_tolerant(ProcessorId::new(7)).expect("second inc");
+        assert_eq!(r.value, 1);
+    }
+
+    #[test]
+    fn duplicated_applies_stay_exactly_once() {
+        // Every message duplicated: without the root's reply cache the
+        // counter would double-count.
+        let mut c = TreeCounter::builder(8)
+            .expect("builder")
+            .faults(FaultPlan::new(7).dup_prob(1.0))
+            .build()
+            .expect("counter");
+        for i in 0..4usize {
+            let r = c.inc_fault_tolerant(ProcessorId::new(i)).expect("inc");
+            assert_eq!(r.value, i as u64, "values stay sequential under duplication");
+        }
+        assert_eq!(c.value(), 4);
+        assert!(c.fault_stats().dups > 0, "duplication actually happened");
+    }
+
+    #[test]
+    fn crashing_a_singleton_pool_on_the_path_is_unrecoverable() {
+        let mut c = TreeCounter::with_order(3).expect("k=3");
+        // Processor 54 is the lone pool member of level-3 node (3, 0),
+        // serving leaves 0..2.
+        let leaf_parent = c.topology().leaf_parent(0);
+        let worker = c.worker_of(leaf_parent);
+        c.crash(worker);
+        let err = c.inc_fault_tolerant(ProcessorId::new(0)).unwrap_err();
+        assert!(matches!(err, CoreError::Unrecoverable(_)), "{err}");
+        // Leaves under a different level-3 node are unaffected.
+        let r = c.inc_fault_tolerant(ProcessorId::new(40)).expect("other subtree");
+        assert_eq!(r.value, 0);
+    }
+
+    #[test]
+    fn crashed_initiator_is_rejected() {
+        let mut c = TreeCounter::with_order(2).expect("k=2");
+        c.crash(ProcessorId::new(5));
+        let err = c.inc_fault_tolerant(ProcessorId::new(5)).unwrap_err();
+        assert!(matches!(err, CoreError::Unrecoverable(_)), "{err}");
     }
 
     #[test]

@@ -14,6 +14,17 @@ pub enum CoreError {
     Order(String),
     /// An underlying simulator error.
     Sim(SimError),
+    /// A crashed processor cannot be replaced: the node it served has no
+    /// live pool successor left (level-k nodes have singleton pools; a
+    /// one-shot pool may be drained), or the operation's initiator itself
+    /// is down.
+    Unrecoverable(String),
+    /// The recovery watchdog gave up: after `attempts` inject-and-repair
+    /// rounds the operation still produced no response.
+    RecoveryFailed {
+        /// Watchdog rounds spent before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -21,6 +32,10 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::Order(msg) => write!(f, "invalid tree order: {msg}"),
             CoreError::Sim(e) => write!(f, "simulator error: {e}"),
+            CoreError::Unrecoverable(msg) => write!(f, "unrecoverable crash: {msg}"),
+            CoreError::RecoveryFailed { attempts } => {
+                write!(f, "operation still unanswered after {attempts} recovery attempts")
+            }
         }
     }
 }
@@ -28,8 +43,8 @@ impl fmt::Display for CoreError {
 impl Error for CoreError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            CoreError::Order(_) => None,
             CoreError::Sim(e) => Some(e),
+            _ => None,
         }
     }
 }
@@ -52,5 +67,10 @@ mod tests {
         let s: CoreError = SimError::EmptyNetwork.into();
         assert!(s.to_string().contains("at least one"));
         assert!(s.source().is_some());
+        let u = CoreError::Unrecoverable("node (3, 0) pool drained".into());
+        assert!(u.to_string().contains("unrecoverable"));
+        assert!(u.source().is_none());
+        let r = CoreError::RecoveryFailed { attempts: 25 };
+        assert!(r.to_string().contains("25"));
     }
 }

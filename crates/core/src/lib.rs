@@ -55,7 +55,9 @@ pub use client::{InvokeResult, TreeClient, TreeClientBuilder};
 pub use counter::{TreeCounter, TreeCounterBuilder};
 pub use error::CoreError;
 pub use messages::{CounterMsg, TreeMsg};
-pub use object::{CounterObject, FlipBitObject, MaxRegisterObject, PriorityQueueObject, RootObject};
+pub use object::{
+    CounterObject, FlipBitObject, MaxRegisterObject, PriorityQueueObject, RootObject,
+};
 pub use protocol::{PoolPolicy, RetirementPolicy, TreeProtocol};
 pub use structures::{DistributedFlipBit, DistributedPriorityQueue};
 pub use topology::{NodeRef, Topology};

@@ -65,6 +65,32 @@ pub enum TreeMsg<R, S> {
         /// The replacement processor.
         new_worker: ProcessorId,
     },
+    /// Recovery: the watchdog of `node`'s pool successor fired because the
+    /// current worker is presumed crashed. Delivered to the successor
+    /// itself (a self-message modelling its local timeout), this starts a
+    /// *forced retirement*: the successor rebuilds the node's k+2-value
+    /// state from its neighbours instead of receiving a handoff from the
+    /// dead worker.
+    RecoverPromote {
+        /// The node whose worker crashed.
+        node: NodeRef,
+    },
+    /// Recovery: the promoted `successor` asks a neighbour's worker to
+    /// resend its share of `node`'s state (the neighbour's own id, plus —
+    /// from the parent — the node's pool cursor).
+    RebuildQuery {
+        /// The node being rebuilt.
+        node: NodeRef,
+        /// Where to send the [`TreeMsg::RebuildShare`].
+        successor: ProcessorId,
+    },
+    /// Recovery: one neighbour's unit share of `node`'s rebuilt state.
+    /// Like handoff parts, each share is a unit message; the successor
+    /// takes over once every neighbour has answered.
+    RebuildShare {
+        /// The node being rebuilt.
+        node: NodeRef,
+    },
 }
 
 /// The paper's counter instance of the protocol messages.
@@ -80,6 +106,9 @@ impl<R, S> TreeMsg<R, S> {
             TreeMsg::Handoff { .. } => "handoff",
             TreeMsg::NewWorker { .. } => "new-worker",
             TreeMsg::NewWorkerLeaf { .. } => "new-worker-leaf",
+            TreeMsg::RecoverPromote { .. } => "recover-promote",
+            TreeMsg::RebuildQuery { .. } => "rebuild-query",
+            TreeMsg::RebuildShare { .. } => "rebuild-share",
         }
     }
 
@@ -102,6 +131,9 @@ impl<R, S> TreeMsg<R, S> {
                 TreeMsg::Handoff { .. } => node_bits + 2 * (32 - k.max(2).leading_zeros() + 2),
                 TreeMsg::NewWorker { .. } => 2 * node_bits + id_bits,
                 TreeMsg::NewWorkerLeaf { .. } => node_bits + id_bits,
+                TreeMsg::RecoverPromote { .. } => node_bits,
+                TreeMsg::RebuildQuery { .. } => node_bits + id_bits,
+                TreeMsg::RebuildShare { .. } => node_bits,
             }
     }
 }
@@ -120,7 +152,7 @@ mod tests {
 
     #[test]
     fn kinds_are_distinct() {
-        let msgs: [CounterMsg; 5] = [
+        let msgs: [CounterMsg; 8] = [
             TreeMsg::Apply { node: node(1, 0), origin: ProcessorId::new(0), req: () },
             TreeMsg::Reply { resp: 1 },
             TreeMsg::Handoff { node: node(1, 0), part: 0, total: 4 },
@@ -130,6 +162,9 @@ mod tests {
                 new_worker: ProcessorId::new(1),
             },
             TreeMsg::NewWorkerLeaf { retired: node(3, 0), new_worker: ProcessorId::new(1) },
+            TreeMsg::RecoverPromote { node: node(1, 0) },
+            TreeMsg::RebuildQuery { node: node(1, 0), successor: ProcessorId::new(2) },
+            TreeMsg::RebuildShare { node: node(1, 0) },
         ];
         let kinds: std::collections::HashSet<_> = msgs.iter().map(TreeMsg::kind).collect();
         assert_eq!(kinds.len(), msgs.len());
@@ -155,11 +190,14 @@ mod tests {
 
     #[test]
     fn all_variants_have_positive_size() {
-        let msgs: [CounterMsg; 4] = [
+        let msgs: [CounterMsg; 7] = [
             TreeMsg::Apply { node: node(1, 0), origin: ProcessorId::new(0), req: () },
             TreeMsg::Reply { resp: 1 },
             TreeMsg::Handoff { node: node(1, 0), part: 0, total: 4 },
             TreeMsg::NewWorkerLeaf { retired: node(3, 0), new_worker: ProcessorId::new(1) },
+            TreeMsg::RecoverPromote { node: node(1, 0) },
+            TreeMsg::RebuildQuery { node: node(1, 0), successor: ProcessorId::new(2) },
+            TreeMsg::RebuildShare { node: node(1, 0) },
         ];
         for m in msgs {
             assert!(m.wire_size_bits(1024, 4, 0, 11) > 0, "{}", m.kind());

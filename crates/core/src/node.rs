@@ -29,6 +29,12 @@ pub struct NodeState {
     pub pending_worker: Option<ProcessorId>,
     /// Handoff parts received so far by the successor.
     pub handoff_parts_seen: u32,
+    /// Whether a crash recovery (forced retirement) is in flight: the
+    /// pool successor is rebuilding the node's state from its neighbours
+    /// because the previous worker died without handing off.
+    pub recovering: bool,
+    /// Rebuild shares received so far by the promoted successor.
+    pub rebuild_shares_seen: u32,
 }
 
 impl NodeState {
@@ -42,6 +48,8 @@ impl NodeState {
             handing_off: false,
             pending_worker: None,
             handoff_parts_seen: 0,
+            recovering: false,
+            rebuild_shares_seen: 0,
         }
     }
 
@@ -65,7 +73,14 @@ impl NodeState {
 
     /// Registers one received handoff part; when all `total` parts have
     /// arrived, installs the successor and returns `true`.
+    ///
+    /// Parts arriving while no handoff is in flight — duplicated by a
+    /// faulty network, or left over from a handoff a crash recovery
+    /// cancelled — are ignored.
     pub fn receive_handoff_part(&mut self, total: u32) -> bool {
+        if !self.handing_off {
+            return false;
+        }
         self.handoff_parts_seen += 1;
         if self.handoff_parts_seen >= total {
             self.worker = self
@@ -74,6 +89,42 @@ impl NodeState {
                 .expect("handoff completion requires a pending successor");
             self.handing_off = false;
             self.handoff_parts_seen = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Begins a crash recovery: `successor` (promoted by its watchdog)
+    /// will take over once it has rebuilt the node's state from its
+    /// neighbours. Cancels any handoff the dead worker left in flight;
+    /// a repeated promotion restarts the share collection (the retry path
+    /// when rebuild traffic is itself lost).
+    pub fn begin_recovery(&mut self, successor: ProcessorId) {
+        self.handing_off = false;
+        self.handoff_parts_seen = 0;
+        self.recovering = true;
+        self.rebuild_shares_seen = 0;
+        self.pending_worker = Some(successor);
+    }
+
+    /// Registers one rebuild share; when all `needed` neighbours have
+    /// answered, installs the successor, resets the age and returns
+    /// `true`. Shares arriving outside a recovery (late or duplicated)
+    /// are ignored.
+    pub fn receive_rebuild_share(&mut self, needed: u32) -> bool {
+        if !self.recovering {
+            return false;
+        }
+        self.rebuild_shares_seen += 1;
+        if self.rebuild_shares_seen >= needed {
+            self.worker = self
+                .pending_worker
+                .take()
+                .expect("recovery completion requires a pending successor");
+            self.recovering = false;
+            self.rebuild_shares_seen = 0;
+            self.age = 0;
             true
         } else {
             false
@@ -130,6 +181,52 @@ mod tests {
         assert!(!s.handing_off);
         assert_eq!(s.pending_worker, None);
         assert_eq!(s.handoff_parts_seen, 0, "ready for the next handoff");
+    }
+
+    #[test]
+    fn stray_handoff_parts_are_ignored() {
+        let mut s = NodeState::new(p(0));
+        assert!(!s.receive_handoff_part(1), "no handoff in flight");
+        assert_eq!(s.worker, p(0));
+        assert_eq!(s.handoff_parts_seen, 0);
+    }
+
+    #[test]
+    fn recovery_cancels_a_handoff_and_installs_on_last_share() {
+        let mut s = NodeState::new(p(0));
+        s.grow_older(9);
+        s.begin_retirement(p(1));
+        s.receive_handoff_part(3);
+        // The old worker dies mid-handoff; the watchdog promotes p(2).
+        s.begin_recovery(p(2));
+        assert!(s.recovering);
+        assert!(!s.handing_off, "recovery cancels the in-flight handoff");
+        assert!(!s.receive_handoff_part(3), "late parts are ignored");
+        assert!(!s.receive_rebuild_share(2));
+        assert!(s.receive_rebuild_share(2), "last share completes");
+        assert_eq!(s.worker, p(2));
+        assert_eq!(s.age, 0, "the fresh worker starts a fresh stint");
+        assert!(!s.recovering);
+        assert_eq!(s.pending_worker, None);
+    }
+
+    #[test]
+    fn repeated_promotion_restarts_share_collection() {
+        let mut s = NodeState::new(p(0));
+        s.begin_recovery(p(1));
+        assert!(!s.receive_rebuild_share(2));
+        s.begin_recovery(p(1));
+        assert_eq!(s.rebuild_shares_seen, 0, "restart drops stale shares");
+        assert!(!s.receive_rebuild_share(2));
+        assert!(s.receive_rebuild_share(2));
+        assert_eq!(s.worker, p(1));
+    }
+
+    #[test]
+    fn stray_rebuild_shares_are_ignored() {
+        let mut s = NodeState::new(p(0));
+        assert!(!s.receive_rebuild_share(1), "no recovery in flight");
+        assert_eq!(s.worker, p(0));
     }
 
     #[test]

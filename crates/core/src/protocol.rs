@@ -18,6 +18,32 @@
 //! (possible under adversarial delivery while a handoff is in flight) are
 //! forwarded to the current worker — the "proper handshaking protocol
 //! with a constant number of extra messages" the paper sketches.
+//!
+//! ## Crash recovery as forced retirement
+//!
+//! The paper assumes "no failures occur"; this implementation extends the
+//! retirement pool into a failure-recovery mechanism. When a worker
+//! crashes, its pool successor (promoted by a watchdog timeout, modelled
+//! as a [`TreeMsg::RecoverPromote`] self-message) performs a *forced
+//! retirement*: because the dead worker can no longer send its k+1
+//! handoff parts, the successor rebuilds the node's k+2-value state by
+//! querying the node's neighbours ([`TreeMsg::RebuildQuery`]) and
+//! collecting one unit share from each ([`TreeMsg::RebuildShare`]). Once
+//! every neighbour has answered, the successor takes over exactly as if a
+//! normal handoff had completed and notifies parent and children.
+//! Recovery messages do not age nodes; they are tracked by the audit as
+//! the explicit slack term of the fault-aware load bound.
+//!
+//! Two explicit stable-storage assumptions make root crashes recoverable:
+//! the hosted object's state and the per-operation reply cache survive a
+//! crash of the root's worker (in the simulator both live in the
+//! [`TreeProtocol`] value rather than per-processor memory, which models
+//! exactly that). The reply cache, enabled in fault-tolerant mode, makes
+//! retried operations exactly-once: a re-sent `Apply` for an operation
+//! the root already executed returns the cached response instead of
+//! applying twice.
+
+use std::collections::HashMap;
 
 use distctr_sim::{Outbox, ProcessorId, Protocol};
 
@@ -85,6 +111,12 @@ pub struct TreeProtocol<O: RootObject = CounterObject> {
     pending_response: Option<O::Response>,
     audit: CounterAudit,
     object: O,
+    /// Whether crash-recovery machinery (root reply cache) is armed.
+    fault_tolerant: bool,
+    /// Responses already produced by the root, keyed by operation index.
+    /// Stable storage for exactly-once retries; only populated in
+    /// fault-tolerant mode, so fault-free runs pay nothing.
+    reply_cache: HashMap<usize, O::Response>,
 }
 
 impl<O: RootObject> TreeProtocol<O> {
@@ -107,7 +139,17 @@ impl<O: RootObject> TreeProtocol<O> {
             topo.nodes().map(|n| NodeState::new(topo.initial_worker(n))).collect();
         let audit = CounterAudit::new(&topo);
         let threshold = retirement.threshold(topo.order());
-        TreeProtocol { topo, nodes, threshold, pool_policy, pending_response: None, audit, object }
+        TreeProtocol {
+            topo,
+            nodes,
+            threshold,
+            pool_policy,
+            pending_response: None,
+            audit,
+            object,
+            fault_tolerant: false,
+            reply_cache: HashMap::new(),
+        }
     }
 
     /// The pool policy in force.
@@ -162,6 +204,36 @@ impl<O: RootObject> TreeProtocol<O> {
         self.pending_response.take()
     }
 
+    /// Whether crash-recovery machinery is armed.
+    #[must_use]
+    pub fn fault_tolerant(&self) -> bool {
+        self.fault_tolerant
+    }
+
+    /// Arms the crash-recovery machinery: the root caches one response
+    /// per operation so watchdog retries are exactly-once.
+    pub fn set_fault_tolerant(&mut self, enabled: bool) {
+        self.fault_tolerant = enabled;
+    }
+
+    /// State of the node with flat index `flat` (used by the client's
+    /// watchdog to find crashed or stuck workers).
+    #[must_use]
+    pub fn node_state(&self, flat: usize) -> &NodeState {
+        &self.nodes[flat]
+    }
+
+    /// How many rebuild shares a recovery of `node` must collect: one per
+    /// inner neighbour (parent plus inner children). Leaf children hold no
+    /// share — but level-k nodes have singleton pools and are never
+    /// promoted in the first place.
+    #[must_use]
+    pub fn expected_shares(&self, node: NodeRef) -> u32 {
+        let parent = u32::from(self.topo.parent(node).is_some());
+        let children = self.topo.inner_children(node).map_or(0, |c| c.len() as u32);
+        parent + children
+    }
+
     /// The response waiting for the current operation's initiator, if
     /// delivered (read-only; used by the schedule explorer's invariants).
     #[must_use]
@@ -190,7 +262,18 @@ impl<O: RootObject> TreeProtocol<O> {
         self.audit.record_node_msgs(flat, 2);
         self.nodes[flat].grow_older(2);
         if node == NodeRef::ROOT {
-            let resp = self.object.apply(req);
+            // In fault-tolerant mode the root deduplicates by operation:
+            // a retried (or network-duplicated) Apply for an operation
+            // already executed re-sends the cached response instead of
+            // applying twice.
+            let resp = if self.fault_tolerant {
+                self.reply_cache
+                    .entry(out.op().index())
+                    .or_insert_with(|| self.object.apply(req))
+                    .clone()
+            } else {
+                self.object.apply(req)
+            };
             out.send(origin, TreeMsg::Reply { resp });
         } else {
             let parent = self.topo.parent(node).expect("non-root has a parent");
@@ -226,6 +309,121 @@ impl<O: RootObject> TreeProtocol<O> {
         if self.nodes[flat].receive_handoff_part(total) {
             self.audit.record_stint_complete(flat, total.into());
         }
+    }
+
+    /// The successor's watchdog fired: start (or restart) the forced
+    /// retirement of `node` with `out.me()` as the replacement worker.
+    fn handle_recover_promote(
+        &mut self,
+        out: &mut Outbox<'_, TreeMsg<O::Request, O::Response>>,
+        node: NodeRef,
+    ) {
+        self.audit.record_kind("recover-promote");
+        let flat = self.topo.flat_index(node);
+        if self.nodes[flat].worker == out.me() && !self.nodes[flat].recovering {
+            // Stale promotion: this processor already took over.
+            return;
+        }
+        self.nodes[flat].begin_recovery(out.me());
+        // One unit query per neighbour that holds a share of the node's
+        // state: the parent knows the node's place in its pool, each
+        // inner child knows its own id.
+        let mut queries = 0u64;
+        if let Some(parent) = self.topo.parent(node) {
+            let w = self.reachable_worker(self.topo.flat_index(parent));
+            out.send(w, TreeMsg::RebuildQuery { node, successor: out.me() });
+            queries += 1;
+        }
+        if let Some(children) = self.topo.inner_children(node) {
+            for child in children {
+                let w = self.reachable_worker(self.topo.flat_index(child));
+                out.send(w, TreeMsg::RebuildQuery { node, successor: out.me() });
+                queries += 1;
+            }
+        }
+        // The promote delivery plus the queries it sent.
+        self.audit.record_recovery_msgs(1 + queries);
+    }
+
+    /// Where to address recovery traffic for the node with flat index
+    /// `flat`: its worker, or — when the node is itself mid-recovery (its
+    /// worker crashed too; pools overlap along root paths, so one crash
+    /// can take out a whole ancestor chain) — the successor being
+    /// promoted for it. Any pool member can answer a rebuild query, since
+    /// a share's content is the neighbour's own identity.
+    fn reachable_worker(&self, flat: usize) -> ProcessorId {
+        let st = &self.nodes[flat];
+        if st.recovering {
+            st.pending_worker.unwrap_or(st.worker)
+        } else {
+            st.worker
+        }
+    }
+
+    /// A neighbour's worker answers a rebuild query with its unit share.
+    fn handle_rebuild_query(
+        &mut self,
+        out: &mut Outbox<'_, TreeMsg<O::Request, O::Response>>,
+        node: NodeRef,
+        successor: ProcessorId,
+    ) {
+        self.audit.record_kind("rebuild-query");
+        // Query received plus share sent. Any processor that serves (or
+        // served) the neighbour can answer — the share's content is the
+        // neighbour's own identity, which every pool member knows.
+        self.audit.record_recovery_msgs(2);
+        out.send(successor, TreeMsg::RebuildShare { node });
+    }
+
+    /// One share of the rebuilt state arrived at the promoted successor.
+    fn handle_rebuild_share(
+        &mut self,
+        out: &mut Outbox<'_, TreeMsg<O::Request, O::Response>>,
+        node: NodeRef,
+    ) {
+        self.audit.record_kind("rebuild-share");
+        self.audit.record_recovery_msgs(1);
+        let flat = self.topo.flat_index(node);
+        let needed = self.expected_shares(node);
+        if !self.nodes[flat].receive_rebuild_share(needed) {
+            return;
+        }
+        // Recovery complete: the successor is installed (age 0). Align
+        // the pool cursor with the promoted worker so a later ordinary
+        // retirement continues from the right place in the pool.
+        let pool = self.topo.pool(node);
+        let me = out.me().index() as u64;
+        debug_assert!(pool.contains(&me), "successor must come from the node's pool");
+        self.nodes[flat].pool_cursor = me - pool.start;
+        self.audit.record_recovery(node);
+        self.audit.record_stint_complete(flat, u64::from(needed));
+        // Parent and children learn the new worker id through the normal
+        // notification messages (ordinary, aging traffic).
+        let mut notifications = 0u64;
+        if let Some(parent) = self.topo.parent(node) {
+            let w = self.nodes[self.topo.flat_index(parent)].worker;
+            out.send(w, TreeMsg::NewWorker { node: parent, retired: node, new_worker: out.me() });
+            notifications += 1;
+        }
+        match self.topo.inner_children(node) {
+            Some(children) => {
+                for child in children {
+                    let w = self.nodes[self.topo.flat_index(child)].worker;
+                    out.send(
+                        w,
+                        TreeMsg::NewWorker { node: child, retired: node, new_worker: out.me() },
+                    );
+                    notifications += 1;
+                }
+            }
+            None => {
+                for leaf in self.topo.leaf_children(node) {
+                    out.send(leaf, TreeMsg::NewWorkerLeaf { retired: node, new_worker: out.me() });
+                    notifications += 1;
+                }
+            }
+        }
+        self.audit.record_node_msgs(flat, notifications);
     }
 
     fn maybe_retire(
@@ -269,10 +467,7 @@ impl<O: RootObject> TreeProtocol<O> {
         let mut notifications = 0u64;
         if let Some(parent) = self.topo.parent(node) {
             let w = self.nodes[self.topo.flat_index(parent)].worker;
-            out.send(
-                w,
-                TreeMsg::NewWorker { node: parent, retired: node, new_worker: successor },
-            );
+            out.send(w, TreeMsg::NewWorker { node: parent, retired: node, new_worker: successor });
             notifications += 1;
         }
         match self.topo.inner_children(node) {
@@ -288,10 +483,7 @@ impl<O: RootObject> TreeProtocol<O> {
             }
             None => {
                 for leaf in self.topo.leaf_children(node) {
-                    out.send(
-                        leaf,
-                        TreeMsg::NewWorkerLeaf { retired: node, new_worker: successor },
-                    );
+                    out.send(leaf, TreeMsg::NewWorkerLeaf { retired: node, new_worker: successor });
                     notifications += 1;
                 }
             }
@@ -303,12 +495,7 @@ impl<O: RootObject> TreeProtocol<O> {
 impl<O: RootObject> Protocol for TreeProtocol<O> {
     type Msg = TreeMsg<O::Request, O::Response>;
 
-    fn on_deliver(
-        &mut self,
-        out: &mut Outbox<'_, Self::Msg>,
-        _from: ProcessorId,
-        msg: Self::Msg,
-    ) {
+    fn on_deliver(&mut self, out: &mut Outbox<'_, Self::Msg>, _from: ProcessorId, msg: Self::Msg) {
         match msg {
             TreeMsg::Apply { node, origin, req } => self.handle_apply(out, node, origin, req),
             TreeMsg::Reply { resp } => {
@@ -320,6 +507,11 @@ impl<O: RootObject> Protocol for TreeProtocol<O> {
             TreeMsg::NewWorkerLeaf { .. } => {
                 self.audit.record_kind("new-worker-leaf");
             }
+            TreeMsg::RecoverPromote { node } => self.handle_recover_promote(out, node),
+            TreeMsg::RebuildQuery { node, successor } => {
+                self.handle_rebuild_query(out, node, successor);
+            }
+            TreeMsg::RebuildShare { node } => self.handle_rebuild_share(out, node),
         }
     }
 }

@@ -261,9 +261,7 @@ impl Topology {
             let pool = self.pool_size(level);
             let show = width.min(4);
             let ids: Vec<String> = (0..show)
-                .map(|j| {
-                    self.initial_worker(NodeRef { level, index: j }).to_string()
-                })
+                .map(|j| self.initial_worker(NodeRef { level, index: j }).to_string())
                 .collect();
             let _ = writeln!(
                 out,
@@ -272,7 +270,8 @@ impl Topology {
                 if width > show { ", ..." } else { "" }
             );
         }
-        let _ = writeln!(out, "  level {}: {} leaves (processors P0..)", self.k + 1, self.processors());
+        let _ =
+            writeln!(out, "  level {}: {} leaves (processors P0..)", self.k + 1, self.processors());
         out
     }
 }

@@ -2,9 +2,7 @@
 //! on *every* delivery order the asynchronous model admits, not just the
 //! sampled policies.
 
-use distctr_core::{
-    CounterObject, RetirementPolicy, Topology, TreeMsg, TreeProtocol,
-};
+use distctr_core::{CounterObject, RetirementPolicy, Topology, TreeMsg, TreeProtocol};
 use distctr_sim::{explore, Injection, OpId, ProcessorId};
 
 type Proto = TreeProtocol<CounterObject>;
@@ -29,15 +27,12 @@ fn inc_injection(proto: &Proto, initiator: usize, op: usize) -> Injection<Msg> {
 #[test]
 fn every_schedule_of_a_single_inc_is_correct() {
     let proto = fresh(2);
-    let outcome = explore(
-        &proto,
-        &[inc_injection(&proto, 5, 0)],
-        10_000,
-        &|p: &Proto| match p.peek_response() {
-            Some(&0) => Ok(()),
-            other => Err(format!("expected value 0, got {other:?}")),
-        },
-    );
+    let outcome = explore(&proto, &[inc_injection(&proto, 5, 0)], 10_000, &|p: &Proto| match p
+        .peek_response()
+    {
+        Some(&0) => Ok(()),
+        other => Err(format!("expected value 0, got {other:?}")),
+    });
     assert!(outcome.holds(), "{outcome:?}");
     assert!(!outcome.truncated);
     // The inc path is a chain: one schedule only.
@@ -81,10 +76,7 @@ fn every_schedule_of_a_retirement_cascade_keeps_the_lemmas() {
             Ok(())
         });
         assert!(outcome.holds(), "op {i}: {outcome:?}");
-        assert!(
-            outcome.schedules >= 1,
-            "op {i}: at least one schedule checked ({outcome:?})"
-        );
+        assert!(outcome.schedules >= 1, "op {i}: at least one schedule checked ({outcome:?})");
 
         // Advance the mainline along one concrete schedule (the DFS's
         // first = FIFO-ish order), reproduced by a budget-1 exploration

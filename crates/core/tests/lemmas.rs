@@ -53,10 +53,7 @@ fn number_of_retirements_matches_level_formula() {
         for level in 0..=k {
             let max = audit.max_retirements_on_level(topo, level);
             let bound = topo.pool_size(level) - 1;
-            assert!(
-                max <= bound,
-                "k={k} level={level}: max retirements {max} > bound {bound}"
-            );
+            assert!(max <= bound, "k={k} level={level}: max retirements {max} > bound {bound}");
         }
         // Level-k nodes never retire (singleton pools).
         assert_eq!(audit.max_retirements_on_level(topo, k), 0);

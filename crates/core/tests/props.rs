@@ -17,10 +17,7 @@ enum PqOp {
 }
 
 fn pq_op() -> impl Strategy<Value = PqOp> {
-    prop_oneof![
-        (0u64..1000).prop_map(PqOp::Insert),
-        Just(PqOp::ExtractMin),
-    ]
+    prop_oneof![(0u64..1000).prop_map(PqOp::Insert), Just(PqOp::ExtractMin),]
 }
 
 proptest! {

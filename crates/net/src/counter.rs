@@ -9,8 +9,9 @@ use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use crossbeam_channel::{unbounded, Receiver, Sender};
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use distctr_core::{kmath, CounterObject, NodeRef, RootObject, Topology};
 use distctr_sim::ProcessorId;
 
@@ -20,6 +21,21 @@ use crate::worker::{Hosted, Shared, Worker};
 
 /// Hard cap on spawned threads: one per processor.
 pub const MAX_THREADED_PROCESSORS: usize = 4096;
+
+/// Bounded retry: how many times the driver (re)sends an operation
+/// before reporting [`NetError::Timeout`]. Retries are safe because the
+/// root deduplicates by op sequence through its migrating reply cache.
+pub const SEND_ATTEMPTS: u32 = 3;
+
+/// Base per-attempt response timeout; attempt `i` waits `i` times this
+/// (linear backoff), so a crashed path is reported after
+/// `BASE_TIMEOUT * (1 + 2 + … + SEND_ATTEMPTS)`.
+pub const BASE_TIMEOUT: Duration = Duration::from_millis(150);
+
+/// Upper bound on waiting for the retirement cascade to quiesce; only
+/// reachable if in-flight accounting leaks, so hitting it is reported
+/// as a timeout instead of spinning forever.
+const QUIESCENCE_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Any [`RootObject`] served by the retirement tree on real OS threads.
 ///
@@ -47,6 +63,7 @@ pub struct ThreadedTreeClient<O: RootObject> {
     handles: Vec<JoinHandle<()>>,
     next_op: u64,
     shut_down: bool,
+    crashed: Vec<bool>,
 }
 
 impl<O> ThreadedTreeClient<O>
@@ -107,6 +124,7 @@ where
                     parent_worker,
                     child_workers,
                     object: (node == NodeRef::ROOT).then(|| object.clone()),
+                    reply_cache: Vec::new(),
                 },
             );
         }
@@ -127,6 +145,7 @@ where
                 forwarding: HashMap::new(),
                 pending: HashMap::new(),
                 leaf_parent_worker: topo.initial_worker(leaf_parent),
+                crashed: false,
             };
             handles.push(
                 std::thread::Builder::new()
@@ -143,6 +162,7 @@ where
             handles,
             next_op: 0,
             shut_down: false,
+            crashed: vec![false; processors],
         })
     }
 
@@ -161,48 +181,189 @@ where
     /// Executes one operation initiated by `initiator`, waiting for the
     /// response and for the retirement cascade to quiesce.
     ///
+    /// The wait is bounded: each of up to [`SEND_ATTEMPTS`] sends waits
+    /// with linear backoff, and a retry reuses the same op sequence so
+    /// the root's reply cache keeps the object's history exactly-once
+    /// even if the original `Apply` did land.
+    ///
     /// # Errors
     ///
     /// [`NetError::UnknownProcessor`] for an out-of-range initiator;
-    /// [`NetError::ShutDown`] after [`ThreadedTreeClient::shutdown`].
+    /// [`NetError::ShutDown`] after [`ThreadedTreeClient::shutdown`];
+    /// [`NetError::PeerLost`] if the initiator itself has crashed;
+    /// [`NetError::Timeout`] when every attempt went unanswered —
+    /// typically a crashed worker black-holes the operation's path.
     pub fn invoke(
         &mut self,
         initiator: ProcessorId,
         req: O::Request,
     ) -> Result<O::Response, NetError> {
+        self.check_peer(initiator)?;
+        self.drive(initiator, |op_seq| NetMsg::StartOp { op_seq, req: req.clone() })
+    }
+
+    /// Injects an operation addressed to `node` directly at
+    /// `entry_worker`, modelling a sender with a **stale routing view**
+    /// (one that has not yet heard a retirement's `NewWorker`
+    /// notification). If `entry_worker` retired from `node`, its shim
+    /// forwards the request to the pool successor — and counts the hop —
+    /// exactly like the simulator's forwarding accounting. The reply
+    /// still flows to `initiator` and back to the driver.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ThreadedTreeClient::invoke`], for
+    /// `entry_worker` in place of the initiator.
+    pub fn invoke_stale(
+        &mut self,
+        entry_worker: ProcessorId,
+        node: NodeRef,
+        initiator: ProcessorId,
+        req: O::Request,
+    ) -> Result<O::Response, NetError> {
+        self.check_peer(entry_worker)?;
+        self.check_peer(initiator)?;
+        self.drive(entry_worker, |op_seq| NetMsg::Apply {
+            node,
+            origin: initiator,
+            op_seq,
+            req: req.clone(),
+        })
+    }
+
+    /// Crashes the worker thread of processor `p`: it loses all hosted
+    /// node state and silently discards traffic from then on (fail
+    /// silent). Operations whose path crosses the crashed processor time
+    /// out instead of aborting the process; the rest of the network
+    /// keeps serving.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownProcessor`] for an out-of-range index;
+    /// [`NetError::ShutDown`] after shutdown.
+    pub fn crash_worker(&mut self, p: ProcessorId) -> Result<(), NetError> {
         if self.shut_down {
             return Err(NetError::ShutDown);
         }
-        if initiator.index() >= self.processors() {
+        if p.index() >= self.processors() {
             return Err(NetError::UnknownProcessor {
-                index: initiator.index(),
+                index: p.index(),
                 processors: self.processors(),
             });
         }
+        if !self.crashed[p.index()] {
+            self.crashed[p.index()] = true;
+            self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+            if self.peers[p.index()].send(NetMsg::Crash).is_err() {
+                // The thread is already gone; that is a crash too.
+                self.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            }
+            self.wait_quiescent(QUIESCENCE_TIMEOUT);
+        }
+        Ok(())
+    }
+
+    /// Processors crashed via [`ThreadedTreeClient::crash_worker`].
+    #[must_use]
+    pub fn crashed_workers(&self) -> Vec<ProcessorId> {
+        self.crashed
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c)
+            .map(|(i, _)| ProcessorId::new(i))
+            .collect()
+    }
+
+    fn check_peer(&self, p: ProcessorId) -> Result<(), NetError> {
+        if self.shut_down {
+            return Err(NetError::ShutDown);
+        }
+        if p.index() >= self.processors() {
+            return Err(NetError::UnknownProcessor {
+                index: p.index(),
+                processors: self.processors(),
+            });
+        }
+        if self.crashed[p.index()] {
+            return Err(NetError::PeerLost { peer: p.index() });
+        }
+        Ok(())
+    }
+
+    /// The bounded retry/backoff loop shared by [`invoke`] and
+    /// [`invoke_stale`]: send, await the matching reply under a per
+    /// attempt deadline, resend with the same op sequence on timeout.
+    ///
+    /// [`invoke`]: ThreadedTreeClient::invoke
+    /// [`invoke_stale`]: ThreadedTreeClient::invoke_stale
+    fn drive(
+        &mut self,
+        target: ProcessorId,
+        make_msg: impl Fn(u64) -> NetMsg<O>,
+    ) -> Result<O::Response, NetError> {
         let op_seq = self.next_op;
         self.next_op += 1;
-        self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
-        self.peers[initiator.index()]
-            .send(NetMsg::StartOp { op_seq, req })
-            .map_err(|_| NetError::ShutDown)?;
-        // First the response...
-        let (seq, resp) = self.results.recv().map_err(|_| NetError::ShutDown)?;
-        debug_assert_eq!(seq, op_seq, "sequential driving delivers in order");
-        // ...then quiescence of any retirement cascade, per the paper's
-        // "enough time elapses" assumption.
-        self.wait_quiescent();
+        let started = Instant::now();
+        let mut attempts = 0u32;
+        let resp = 'attempts: loop {
+            if attempts == SEND_ATTEMPTS {
+                // Let any half-finished cascade drain before reporting,
+                // so the client stays usable after the error.
+                self.wait_quiescent(QUIESCENCE_TIMEOUT);
+                return Err(NetError::Timeout {
+                    waited_ms: started.elapsed().as_millis() as u64,
+                    attempts,
+                });
+            }
+            attempts += 1;
+            self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+            if self.peers[target.index()].send(make_msg(op_seq)).is_err() {
+                self.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                return Err(NetError::PeerLost { peer: target.index() });
+            }
+            let deadline = Instant::now() + BASE_TIMEOUT * attempts;
+            loop {
+                let now = Instant::now();
+                if now >= deadline {
+                    continue 'attempts;
+                }
+                match self.results.recv_timeout(deadline - now) {
+                    Ok((seq, resp)) if seq == op_seq => break 'attempts resp,
+                    // A stale reply from an attempt that already timed
+                    // out (or a previous timed-out operation): discard.
+                    Ok(_) => {}
+                    Err(RecvTimeoutError::Timeout) => continue 'attempts,
+                    Err(RecvTimeoutError::Disconnected) => return Err(NetError::ShutDown),
+                }
+            }
+        };
+        // Quiescence of any retirement cascade, per the paper's "enough
+        // time elapses" assumption.
+        if !self.wait_quiescent(QUIESCENCE_TIMEOUT) {
+            return Err(NetError::Timeout {
+                waited_ms: started.elapsed().as_millis() as u64,
+                attempts,
+            });
+        }
         Ok(resp)
     }
 
-    fn wait_quiescent(&self) {
+    /// Spins until `in_flight` reaches zero or `deadline` elapses;
+    /// returns whether quiescence was observed.
+    fn wait_quiescent(&self, deadline: Duration) -> bool {
+        let started = Instant::now();
         let mut spins = 0u32;
         while self.shared.in_flight.load(Ordering::SeqCst) != 0 {
             spins += 1;
             if spins.is_multiple_of(64) {
                 std::thread::yield_now();
+                if started.elapsed() >= deadline {
+                    return false;
+                }
             }
             std::hint::spin_loop();
         }
+        true
     }
 
     /// Per-processor message loads (sent + received), snapshot.
@@ -226,6 +387,26 @@ where
     #[must_use]
     pub fn retirements(&self) -> u64 {
         self.shared.retirements.load(Ordering::Relaxed)
+    }
+
+    /// Messages that arrived at a retired worker and were forwarded to
+    /// its pool successor by the retirement shim.
+    #[must_use]
+    pub fn shim_forwards(&self) -> u64 {
+        self.shared.shim_forwards.load(Ordering::Relaxed)
+    }
+
+    /// Messages dropped because their destination thread was gone or a
+    /// crashed processor discarded them.
+    #[must_use]
+    pub fn dead_letters(&self) -> u64 {
+        self.shared.dead_letters.load(Ordering::Relaxed)
+    }
+
+    /// The tree topology backing this network.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topo
     }
 
     /// Stops every worker thread and joins them.
@@ -333,6 +514,34 @@ impl ThreadedTreeCounter {
         self.client.retirements()
     }
 
+    /// Crashes one worker thread; see
+    /// [`ThreadedTreeClient::crash_worker`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ThreadedTreeClient::crash_worker`].
+    pub fn crash_worker(&mut self, p: ProcessorId) -> Result<(), NetError> {
+        self.client.crash_worker(p)
+    }
+
+    /// Processors crashed so far.
+    #[must_use]
+    pub fn crashed_workers(&self) -> Vec<ProcessorId> {
+        self.client.crashed_workers()
+    }
+
+    /// Messages forwarded by the retirement shim.
+    #[must_use]
+    pub fn shim_forwards(&self) -> u64 {
+        self.client.shim_forwards()
+    }
+
+    /// Messages dropped at crashed or vanished destinations.
+    #[must_use]
+    pub fn dead_letters(&self) -> u64 {
+        self.client.dead_letters()
+    }
+
     /// Stops every worker thread and joins them.
     ///
     /// # Errors
@@ -377,10 +586,7 @@ mod tests {
     fn validation_errors() {
         assert!(matches!(ThreadedTreeCounter::new(0), Err(NetError::Order(_))));
         let mut c = ThreadedTreeCounter::new(8).expect("counter");
-        assert!(matches!(
-            c.inc(ProcessorId::new(99)),
-            Err(NetError::UnknownProcessor { .. })
-        ));
+        assert!(matches!(c.inc(ProcessorId::new(99)), Err(NetError::UnknownProcessor { .. })));
         c.shutdown().expect("shutdown");
     }
 
@@ -389,6 +595,59 @@ mod tests {
         let mut c = ThreadedTreeCounter::new(50).expect("counter");
         assert_eq!(c.processors(), 81);
         c.shutdown().expect("shutdown");
+    }
+
+    #[test]
+    fn crashed_initiator_is_peer_lost() {
+        let mut c = ThreadedTreeCounter::new(8).expect("counter");
+        c.crash_worker(ProcessorId::new(3)).expect("crash");
+        assert_eq!(c.crashed_workers(), vec![ProcessorId::new(3)]);
+        assert!(matches!(c.inc(ProcessorId::new(3)), Err(NetError::PeerLost { peer: 3 })));
+        c.shutdown().expect("shutdown");
+    }
+
+    #[test]
+    fn a_crashed_path_times_out_but_the_rest_keeps_counting() {
+        let mut c = ThreadedTreeCounter::new(8).expect("counter");
+        let topo = self::topo_of(&c);
+        // Pick a leaf-parent worker to kill whose processor serves no
+        // node on some other initiator's path to the root, so exactly
+        // one subtree degrades.
+        let path_workers = |i: u64| -> Vec<ProcessorId> {
+            let mut node = Some(topo.leaf_parent(i));
+            let mut ws = Vec::new();
+            while let Some(n) = node {
+                ws.push(topo.initial_worker(n));
+                node = topo.parent(n);
+            }
+            ws
+        };
+        let (victim, crash_target, survivor) = (0u64..8)
+            .flat_map(|a| (0u64..8).map(move |b| (a, b)))
+            .find_map(|(a, b)| {
+                let target = topo.initial_worker(topo.leaf_parent(a));
+                let clear = a != b
+                    && ProcessorId::new(b as usize) != target
+                    && !path_workers(b).contains(&target);
+                clear.then_some((a, target, b))
+            })
+            .expect("some subtree is independent of another's leaf parent");
+        c.crash_worker(crash_target).expect("crash");
+        // The crashed subtree degrades to a bounded timeout...
+        match c.inc(ProcessorId::new(victim as usize)) {
+            Err(NetError::Timeout { attempts, .. }) => assert_eq!(attempts, SEND_ATTEMPTS),
+            other => panic!("expected a timeout, got {other:?}"),
+        }
+        assert!(c.dead_letters() >= u64::from(SEND_ATTEMPTS), "black-holed applies");
+        // ...while the rest of the network keeps counting: the crashed
+        // operation never reached the root, so the sequence is intact.
+        assert_eq!(c.inc(ProcessorId::new(survivor as usize)).expect("inc"), 0);
+        assert_eq!(c.inc(ProcessorId::new(survivor as usize)).expect("inc"), 1);
+        c.shutdown().expect("shutdown");
+    }
+
+    fn topo_of(c: &ThreadedTreeCounter) -> Arc<Topology> {
+        Arc::new(Topology::new(c.order()).expect("same order builds"))
     }
 
     #[test]
@@ -401,8 +660,7 @@ mod tests {
     #[test]
     fn generic_client_hosts_a_priority_queue_on_threads() {
         use distctr_core::object::{PqRequest, PqResponse, PriorityQueueObject};
-        let mut pq =
-            ThreadedTreeClient::new(8, PriorityQueueObject::new()).expect("threads");
+        let mut pq = ThreadedTreeClient::new(8, PriorityQueueObject::new()).expect("threads");
         for (i, key) in [9u64, 2, 7].into_iter().enumerate() {
             let resp = pq.invoke(ProcessorId::new(i), PqRequest::Insert(key)).expect("insert");
             assert_eq!(resp, PqResponse::Inserted { len: i as u64 + 1 });

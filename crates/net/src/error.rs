@@ -25,6 +25,22 @@ pub enum NetError {
     },
     /// The counter was already shut down.
     ShutDown,
+    /// A peer processor is unreachable: it was crashed by fault
+    /// injection (see `ThreadedTreeClient::crash_worker`) or its thread
+    /// is gone. Replaces the old hard abort when a channel closed.
+    PeerLost {
+        /// The unreachable processor's index.
+        peer: usize,
+    },
+    /// No response arrived within the bounded retry/backoff window —
+    /// typically a crashed worker sits on the operation's path up the
+    /// tree and black-holes the `Apply` chain.
+    Timeout {
+        /// Total time waited across all retry attempts, in milliseconds.
+        waited_ms: u64,
+        /// Send attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -42,6 +58,14 @@ impl fmt::Display for NetError {
                 "processor index {index} out of range for a network of {processors} processors"
             ),
             NetError::ShutDown => write!(f, "counter has been shut down"),
+            NetError::PeerLost { peer } => {
+                write!(f, "peer processor P{peer} is unreachable (crashed or gone)")
+            }
+            NetError::Timeout { waited_ms, attempts } => write!(
+                f,
+                "no response after {attempts} attempts over {waited_ms} ms \
+                 (a crashed worker on the operation's path?)"
+            ),
         }
     }
 }
@@ -56,9 +80,11 @@ mod tests {
     fn displays_are_informative() {
         assert!(NetError::Order("bad".into()).to_string().contains("bad"));
         assert!(NetError::TooManyThreads { requested: 9999 }.to_string().contains("9999"));
-        assert!(NetError::UnknownProcessor { index: 5, processors: 2 }
-            .to_string()
-            .contains('5'));
+        assert!(NetError::UnknownProcessor { index: 5, processors: 2 }.to_string().contains('5'));
         assert!(NetError::ShutDown.to_string().contains("shut down"));
+        assert!(NetError::PeerLost { peer: 3 }.to_string().contains("P3"));
+        let t = NetError::Timeout { waited_ms: 700, attempts: 3 };
+        assert!(t.to_string().contains("700"));
+        assert!(t.to_string().contains('3'));
     }
 }

@@ -11,7 +11,7 @@ use distctr_sim::ProcessorId;
 
 /// The state that migrates with a retiring node's job.
 #[derive(Debug, Clone)]
-pub struct NodeTransfer<O> {
+pub struct NodeTransfer<O: RootObject> {
     /// The node changing hands.
     pub node: NodeRef,
     /// Retirements so far (the pool cursor).
@@ -22,6 +22,10 @@ pub struct NodeTransfer<O> {
     pub child_workers: Vec<ProcessorId>,
     /// The hosted object state (Some at the root only).
     pub object: Option<O>,
+    /// Recent `(op_seq, response)` pairs already answered by the root,
+    /// migrating with the object so driver retries stay exactly-once
+    /// across retirements (root only; empty elsewhere).
+    pub reply_cache: Vec<(u64, O::Response)>,
 }
 
 /// A message between worker threads, generic over the hosted
@@ -78,6 +82,11 @@ pub enum NetMsg<O: RootObject> {
         /// The new worker.
         new_worker: ProcessorId,
     },
+    /// Fault injection: the receiving processor crashes. It loses every
+    /// hosted node, its forwarding table, and its pending buffers, and
+    /// from then on silently discards all traffic (a fail-silent model).
+    /// Not counted as load.
+    Crash,
     /// Driver control: exit the thread loop. Not counted as load.
     Shutdown,
 }
@@ -87,7 +96,7 @@ impl<O: RootObject> NetMsg<O> {
     /// message load (driver control traffic does not).
     #[must_use]
     pub fn counts_as_load(&self) -> bool {
-        !matches!(self, NetMsg::StartOp { .. } | NetMsg::Shutdown)
+        !matches!(self, NetMsg::StartOp { .. } | NetMsg::Shutdown | NetMsg::Crash)
     }
 }
 
@@ -102,6 +111,7 @@ mod tests {
     fn control_messages_are_not_load() {
         assert!(!Msg::StartOp { op_seq: 0, req: () }.counts_as_load());
         assert!(!Msg::Shutdown.counts_as_load());
+        assert!(!Msg::Crash.counts_as_load());
         assert!(Msg::Reply { resp: 0, op_seq: 0 }.counts_as_load());
         assert!(Msg::Apply {
             node: NodeRef::ROOT,
@@ -121,6 +131,7 @@ mod tests {
             parent_worker: Some(ProcessorId::new(0)),
             child_workers: vec![ProcessorId::new(4), ProcessorId::new(5)],
             object: None,
+            reply_cache: Vec::new(),
         };
         let c = t.clone();
         assert_eq!(c.pool_cursor, 3);

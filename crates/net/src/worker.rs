@@ -17,9 +17,14 @@ use distctr_sim::ProcessorId;
 
 use crate::messages::{NetMsg, NodeTransfer};
 
+/// Recent root replies kept for driver-retry deduplication. Sequential
+/// driving means only the newest entries can ever be retried, so a
+/// small window suffices.
+pub(crate) const REPLY_CACHE_CAP: usize = 8;
+
 /// State of one tree node, owned by the thread currently working for it.
 #[derive(Debug, Clone)]
-pub(crate) struct Hosted<O> {
+pub(crate) struct Hosted<O: RootObject> {
     pub(crate) age: u64,
     pub(crate) pool_cursor: u64,
     pub(crate) parent_worker: Option<ProcessorId>,
@@ -27,6 +32,10 @@ pub(crate) struct Hosted<O> {
     pub(crate) child_workers: Vec<ProcessorId>,
     /// Hosted object (root only).
     pub(crate) object: Option<O>,
+    /// Replies already sent, keyed by op sequence (root only). A driver
+    /// retry whose original `Apply` did land is answered from here, so
+    /// retries stay exactly-once; migrates with the object on handoff.
+    pub(crate) reply_cache: Vec<(u64, O::Response)>,
 }
 
 /// Shared accounting: per-processor sent/received counters and the
@@ -37,6 +46,13 @@ pub(crate) struct Shared {
     pub(crate) received: Vec<AtomicU64>,
     pub(crate) in_flight: AtomicI64,
     pub(crate) retirements: AtomicU64,
+    /// Messages that arrived at a retired worker and were forwarded to
+    /// the pool successor by the retirement shim.
+    pub(crate) shim_forwards: AtomicU64,
+    /// Messages abandoned because the destination thread was gone
+    /// (crashed or already shut down) — the graceful replacement for
+    /// the old `expect()` abort on a closed channel.
+    pub(crate) dead_letters: AtomicU64,
 }
 
 impl Shared {
@@ -46,6 +62,8 @@ impl Shared {
             received: (0..n).map(|_| AtomicU64::new(0)).collect(),
             in_flight: AtomicI64::new(0),
             retirements: AtomicU64::new(0),
+            shim_forwards: AtomicU64::new(0),
+            dead_letters: AtomicU64::new(0),
         }
     }
 }
@@ -66,27 +84,42 @@ pub(crate) struct Worker<O: RootObject> {
     /// The (static) worker of this leaf's parent node: level-k nodes have
     /// singleton pools and never retire, so this never changes.
     pub(crate) leaf_parent_worker: ProcessorId,
+    /// Set by [`NetMsg::Crash`]: a crashed processor has lost all hosted
+    /// state and silently discards every message (fail-silent model). It
+    /// keeps draining its channel so in-flight accounting — and hence
+    /// quiescence detection — stays exact.
+    pub(crate) crashed: bool,
 }
 
 impl<O: RootObject> Worker<O> {
     /// Sends `msg` to `to`, charging this processor's sent counter and
     /// the in-flight gauge (increment happens strictly before the send so
     /// quiescence can never be observed spuriously).
+    ///
+    /// A closed peer channel is *not* fatal: the message becomes a dead
+    /// letter, the in-flight charge is rolled back (nothing will ever
+    /// drain it), and this thread keeps running — a killed worker
+    /// degrades the network, it no longer aborts it.
     fn send(&self, to: ProcessorId, msg: NetMsg<O>) {
-        if msg.counts_as_load() {
+        let load = msg.counts_as_load();
+        self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        if self.peers[to.index()].send(msg).is_err() {
+            self.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            self.shared.dead_letters.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if load {
             self.shared.sent[self.me.index()].fetch_add(1, Ordering::Relaxed);
         }
-        self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
-        self.peers[to.index()]
-            .send(msg)
-            .expect("peer channel closed while the network is running");
     }
 
     /// The thread main loop: handle messages until `Shutdown`.
     pub(crate) fn run(mut self) {
         while let Ok(msg) = self.rx.recv() {
             let shutdown = matches!(msg, NetMsg::Shutdown);
-            if msg.counts_as_load() {
+            // A crashed processor does no work, so nothing it drains
+            // counts toward the paper's per-processor load.
+            if !self.crashed && msg.counts_as_load() {
                 self.shared.received[self.me.index()].fetch_add(1, Ordering::Relaxed);
             }
             self.handle(msg);
@@ -100,6 +133,14 @@ impl<O: RootObject> Worker<O> {
     }
 
     fn handle(&mut self, msg: NetMsg<O>) {
+        if self.crashed {
+            // Fail-silent: drain and discard everything except the
+            // driver's shutdown (handled by `run`'s break).
+            if matches!(msg, NetMsg::Apply { .. } | NetMsg::Reply { .. }) {
+                self.shared.dead_letters.fetch_add(1, Ordering::Relaxed);
+            }
+            return;
+        }
         match msg {
             NetMsg::StartOp { op_seq, req } => {
                 let leaf_parent = self.topo.leaf_parent(self.me.index() as u64);
@@ -112,7 +153,8 @@ impl<O: RootObject> Worker<O> {
                 self.on_apply(node, origin, op_seq, req);
             }
             NetMsg::Reply { resp, op_seq } => {
-                self.results.send((op_seq, resp)).expect("driver result channel open");
+                // The driver hung up (shutdown race): drop, don't abort.
+                let _ = self.results.send((op_seq, resp));
             }
             NetMsg::HandoffPart { .. } => {
                 // Unit parts only carry load; the final part installs.
@@ -120,6 +162,12 @@ impl<O: RootObject> Worker<O> {
             NetMsg::HandoffFinal { transfer } => self.on_handoff(*transfer),
             NetMsg::NewWorker { node, retired, new_worker } => {
                 self.on_new_worker(node, retired, new_worker);
+            }
+            NetMsg::Crash => {
+                self.crashed = true;
+                self.nodes.clear();
+                self.forwarding.clear();
+                self.pending.clear();
             }
             NetMsg::Shutdown => {}
         }
@@ -130,32 +178,56 @@ impl<O: RootObject> Worker<O> {
             // Shim: forward to the successor if we retired from this
             // node; buffer if its handoff has not reached us yet.
             if let Some(&successor) = self.forwarding.get(&node) {
+                self.shared.shim_forwards.fetch_add(1, Ordering::Relaxed);
                 self.send(successor, NetMsg::Apply { node, origin, op_seq, req });
             } else {
-                self.pending
-                    .entry(node)
-                    .or_default()
-                    .push(NetMsg::Apply { node, origin, op_seq, req });
+                self.pending.entry(node).or_default().push(NetMsg::Apply {
+                    node,
+                    origin,
+                    op_seq,
+                    req,
+                });
             }
             return;
         }
-        {
-            let hosted = self.nodes.get_mut(&node).expect("checked present");
-            hosted.age += 2;
-        }
         if node == NodeRef::ROOT {
-            let hosted = self.nodes.get_mut(&node).expect("root hosted");
-            let object = hosted.object.as_mut().expect("root carries the object");
-            let resp = object.apply(req);
+            let Some(hosted) = self.nodes.get_mut(&node) else { return };
+            hosted.age += 2;
+            // Answer a driver retry from the reply cache so the object
+            // observes each operation exactly once.
+            let resp = match hosted.reply_cache.iter().find(|(seq, _)| *seq == op_seq) {
+                Some((_, cached)) => cached.clone(),
+                None => {
+                    let Some(object) = hosted.object.as_mut() else {
+                        // State was lost (crash without recovery): the
+                        // operation dies here instead of aborting the run.
+                        self.shared.dead_letters.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    };
+                    let resp = object.apply(req);
+                    hosted.reply_cache.push((op_seq, resp.clone()));
+                    if hosted.reply_cache.len() > REPLY_CACHE_CAP {
+                        hosted.reply_cache.remove(0);
+                    }
+                    resp
+                }
+            };
             self.send(origin, NetMsg::Reply { resp, op_seq });
         } else {
-            let parent = self.topo.parent(node).expect("non-root has a parent");
-            let parent_worker = self
-                .nodes
-                .get(&node)
-                .expect("checked present")
-                .parent_worker
-                .expect("non-root knows its parent's worker");
+            let parent = self.topo.parent(node);
+            let (parent, parent_worker) = {
+                let Some(hosted) = self.nodes.get_mut(&node) else { return };
+                hosted.age += 2;
+                match (parent, hosted.parent_worker) {
+                    (Some(p), Some(w)) => (p, w),
+                    // An inner node that has lost its routing view drops
+                    // the request rather than aborting the thread.
+                    _ => {
+                        self.shared.dead_letters.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                }
+            };
             self.send(parent_worker, NetMsg::Apply { node: parent, origin, op_seq, req });
         }
         self.maybe_retire(node);
@@ -169,6 +241,7 @@ impl<O: RootObject> Worker<O> {
             parent_worker: transfer.parent_worker,
             child_workers: transfer.child_workers,
             object: transfer.object,
+            reply_cache: transfer.reply_cache,
         };
         self.nodes.insert(node, hosted);
         // We are the current worker now; drop any stale forwarding entry
@@ -186,16 +259,18 @@ impl<O: RootObject> Worker<O> {
     fn on_new_worker(&mut self, node: NodeRef, retired: NodeRef, new_worker: ProcessorId) {
         if !self.nodes.contains_key(&node) {
             if let Some(&successor) = self.forwarding.get(&node) {
+                self.shared.shim_forwards.fetch_add(1, Ordering::Relaxed);
                 self.send(successor, NetMsg::NewWorker { node, retired, new_worker });
             } else {
-                self.pending
-                    .entry(node)
-                    .or_default()
-                    .push(NetMsg::NewWorker { node, retired, new_worker });
+                self.pending.entry(node).or_default().push(NetMsg::NewWorker {
+                    node,
+                    retired,
+                    new_worker,
+                });
             }
             return;
         }
-        let hosted = self.nodes.get_mut(&node).expect("checked present");
+        let Some(hosted) = self.nodes.get_mut(&node) else { return };
         hosted.age += 1;
         if self.topo.parent(node) == Some(retired) {
             hosted.parent_worker = Some(new_worker);
@@ -209,7 +284,7 @@ impl<O: RootObject> Worker<O> {
 
     fn maybe_retire(&mut self, node: NodeRef) {
         let (age, pool_cursor) = {
-            let hosted = self.nodes.get(&node).expect("hosted");
+            let Some(hosted) = self.nodes.get(&node) else { return };
             (hosted.age, hosted.pool_cursor)
         };
         if age < self.threshold {
@@ -219,11 +294,13 @@ impl<O: RootObject> Worker<O> {
         let size = pool.end - pool.start;
         if pool_cursor + 1 >= size {
             // Pool drained (unreachable on the canonical workload).
-            self.nodes.get_mut(&node).expect("hosted").age = 0;
+            if let Some(hosted) = self.nodes.get_mut(&node) {
+                hosted.age = 0;
+            }
             return;
         }
         let successor = ProcessorId::new((pool.start + pool_cursor + 1) as usize);
-        let hosted = self.nodes.remove(&node).expect("hosted");
+        let Some(hosted) = self.nodes.remove(&node) else { return };
         self.shared.retirements.fetch_add(1, Ordering::Relaxed);
         self.forwarding.insert(node, successor);
 
@@ -241,12 +318,13 @@ impl<O: RootObject> Worker<O> {
                     parent_worker: hosted.parent_worker,
                     child_workers: hosted.child_workers.clone(),
                     object: hosted.object,
+                    reply_cache: hosted.reply_cache,
                 }),
             },
         );
         // Notify the parent and every child of the new worker.
-        if let Some(parent) = self.topo.parent(node) {
-            let parent_worker = hosted.parent_worker.expect("non-root parent worker");
+        if let (Some(parent), Some(parent_worker)) = (self.topo.parent(node), hosted.parent_worker)
+        {
             self.send(
                 parent_worker,
                 NetMsg::NewWorker { node: parent, retired: node, new_worker: successor },
@@ -255,7 +333,10 @@ impl<O: RootObject> Worker<O> {
         if let Some(children) = self.topo.inner_children(node) {
             for (idx, child) in children.into_iter().enumerate() {
                 let w = hosted.child_workers[idx];
-                self.send(w, NetMsg::NewWorker { node: child, retired: node, new_worker: successor });
+                self.send(
+                    w,
+                    NetMsg::NewWorker { node: child, retired: node, new_worker: successor },
+                );
             }
         }
         // Level-k nodes never retire (singleton pools), so leaves need no

@@ -142,8 +142,7 @@ mod tests {
                 for b in (a + 1)..plane.quorum_count() {
                     let qa = plane.quorum(a);
                     let qb = plane.quorum(b);
-                    let common =
-                        qa.iter().filter(|e| qb.contains(e)).count();
+                    let common = qa.iter().filter(|e| qb.contains(e)).count();
                     assert_eq!(common, 1, "lines {a},{b} of PG(2,{q})");
                 }
             }

@@ -68,11 +68,8 @@ pub fn dynamic_view(contacts: &[&ContactSet], processors: usize) -> DynamicQuoru
     let sizes: Vec<usize> = contacts.iter().map(|c| c.len()).collect();
     let min_size = sizes.iter().copied().min().unwrap_or(0);
     let max_size = sizes.iter().copied().max().unwrap_or(0);
-    let mean_size = if operations == 0 {
-        0.0
-    } else {
-        sizes.iter().sum::<usize>() as f64 / operations as f64
-    };
+    let mean_size =
+        if operations == 0 { 0.0 } else { sizes.iter().sum::<usize>() as f64 / operations as f64 };
     let mut counts = vec![0usize; processors];
     for c in contacts {
         for p in c.iter() {

@@ -139,8 +139,7 @@ mod tests {
             }
         }
         // Root participation count follows the recurrence 2|Q(d-1)|.
-        let root_count =
-            (0..t.quorum_count()).filter(|&i| t.quorum(i).contains(&0)).count();
+        let root_count = (0..t.quorum_count()).filter(|&i| t.quorum(i).contains(&0)).count();
         assert_eq!(root_count, 30, "2 * |Q(2)| = 30 quorums use the root");
     }
 

@@ -104,8 +104,7 @@ impl QuorumSystem for Wall {
             rank -= self.choices[row];
             row += 1;
         }
-        let mut q: Vec<usize> =
-            (0..self.widths[row]).map(|c| self.row_starts[row] + c).collect();
+        let mut q: Vec<usize> = (0..self.widths[row]).map(|c| self.row_starts[row] + c).collect();
         // Unrank the representatives in mixed radix over rows below.
         for below in row + 1..self.widths.len() {
             let w = self.widths[below];

@@ -58,7 +58,7 @@ pub trait Counter {
     /// # Errors
     ///
     /// * [`SimError::UnknownProcessor`] if `initiator` is out of range.
-    /// * [`SimError::MessageCapExceeded`] if the protocol fails to
+    /// * [`SimError::Livelock`] if the protocol fails to
     ///   quiesce.
     fn inc(&mut self, initiator: ProcessorId) -> Result<IncResult, SimError>;
 
@@ -119,7 +119,7 @@ pub trait OverlappedCounter: Counter {
     ///
     /// # Errors
     ///
-    /// [`SimError::MessageCapExceeded`] if the protocol livelocks.
+    /// [`SimError::Livelock`] if the protocol livelocks.
     fn advance_until(&mut self, deadline: SimTime) -> Result<(), SimError>;
 
     /// Runs the network to quiescence and returns every operation started
@@ -128,7 +128,7 @@ pub trait OverlappedCounter: Counter {
     ///
     /// # Errors
     ///
-    /// [`SimError::MessageCapExceeded`] if the protocol livelocks.
+    /// [`SimError::Livelock`] if the protocol livelocks.
     fn finish_all(&mut self) -> Result<Vec<CompletedOp>, SimError>;
 }
 
@@ -155,12 +155,8 @@ mod tests {
 
     #[test]
     fn inc_result_list_len_equals_messages() {
-        let r = IncResult {
-            value: 3,
-            messages: 11,
-            completed_at: SimTime::from_ticks(4),
-            trace: None,
-        };
+        let r =
+            IncResult { value: 3, messages: 11, completed_at: SimTime::from_ticks(4), trace: None };
         assert_eq!(r.list_len(), 11);
     }
 

@@ -85,8 +85,7 @@ impl SequentialDriver {
         counter: &mut C,
         seed: u64,
     ) -> Result<SequenceOutcome, SimError> {
-        let mut order: Vec<ProcessorId> =
-            (0..counter.processors()).map(ProcessorId::new).collect();
+        let mut order: Vec<ProcessorId> = (0..counter.processors()).map(ProcessorId::new).collect();
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         order.shuffle(&mut rng);
         Self::run_order(counter, &order)
@@ -173,8 +172,7 @@ impl ConcurrentDriver {
         batch: usize,
         seed: u64,
     ) -> Result<Vec<u64>, SimError> {
-        let mut order: Vec<ProcessorId> =
-            (0..counter.processors()).map(ProcessorId::new).collect();
+        let mut order: Vec<ProcessorId> = (0..counter.processors()).map(ProcessorId::new).collect();
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         order.shuffle(&mut rng);
         let mut values = Vec::with_capacity(order.len());
@@ -293,8 +291,7 @@ mod tests {
     #[test]
     fn unknown_initiator_propagates() {
         let mut c = Local::new(2);
-        let err =
-            SequentialDriver::run_order(&mut c, &[ProcessorId::new(9)]).unwrap_err();
+        let err = SequentialDriver::run_order(&mut c, &[ProcessorId::new(9)]).unwrap_err();
         assert_eq!(err, SimError::UnknownProcessor { index: 9, processors: 2 });
     }
 

@@ -26,9 +26,19 @@ pub enum SimError {
     NotAPermutation,
     /// The run exceeded the configured safety cap on delivered messages,
     /// which almost always indicates a protocol that fails to quiesce.
-    MessageCapExceeded {
+    /// Carries enough diagnostics to see *what* was ping-ponging when
+    /// the cap was hit.
+    Livelock {
         /// The cap that was hit.
         cap: u64,
+        /// Messages delivered by this run call before giving up.
+        delivered: u64,
+        /// Messages still queued when the cap was hit.
+        queue_depth: usize,
+        /// Summaries of the last few deliveries before the cap.
+        recent_deliveries: Vec<String>,
+        /// Summaries of the next few messages that were due.
+        next_pending: Vec<String>,
     },
 }
 
@@ -43,8 +53,19 @@ impl fmt::Display for SimError {
             SimError::NotAPermutation => {
                 write!(f, "operation sequence is not a permutation of all processors")
             }
-            SimError::MessageCapExceeded { cap } => {
-                write!(f, "delivered-message cap of {cap} exceeded; protocol may not quiesce")
+            SimError::Livelock { cap, delivered, queue_depth, recent_deliveries, next_pending } => {
+                write!(
+                    f,
+                    "delivered-message cap of {cap} exceeded after {delivered} deliveries \
+                     with {queue_depth} still queued; protocol may not quiesce"
+                )?;
+                if !recent_deliveries.is_empty() {
+                    write!(f, "; last deliveries: [{}]", recent_deliveries.join("; "))?;
+                }
+                if !next_pending.is_empty() {
+                    write!(f, "; next due: [{}]", next_pending.join("; "))?;
+                }
+                Ok(())
             }
         }
     }
@@ -64,7 +85,15 @@ mod tests {
         assert!(s.starts_with(char::is_lowercase));
         assert!(SimError::EmptyNetwork.to_string().contains("at least one"));
         assert!(SimError::NotAPermutation.to_string().contains("permutation"));
-        assert!(SimError::MessageCapExceeded { cap: 7 }.to_string().contains('7'));
+        let livelock = SimError::Livelock {
+            cap: 7,
+            delivered: 7,
+            queue_depth: 2,
+            recent_deliveries: vec!["t=3 P1 -> P2 (op0): ping".into()],
+            next_pending: vec!["t=4 P2 -> P1 (op0): pong".into()],
+        };
+        let s = livelock.to_string();
+        assert!(s.contains('7') && s.contains("ping") && s.contains("pong"));
     }
 
     #[test]

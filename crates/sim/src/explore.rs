@@ -173,14 +173,13 @@ mod tests {
             Injection { op: OpId::new(0), from: p(0), to: p(1), msg: 2 },
             Injection { op: OpId::new(1), from: p(2), to: p(3), msg: 2 },
         ];
-        let outcome =
-            explore(&Chain { hops_seen: 0 }, &injections, 10_000, &|c: &Chain| {
-                if c.hops_seen == 6 {
-                    Ok(())
-                } else {
-                    Err("wrong hop count".into())
-                }
-            });
+        let outcome = explore(&Chain { hops_seen: 0 }, &injections, 10_000, &|c: &Chain| {
+            if c.hops_seen == 6 {
+                Ok(())
+            } else {
+                Err("wrong hop count".into())
+            }
+        });
         assert!(outcome.holds());
         assert_eq!(outcome.schedules, 20, "C(6,3) interleavings");
     }

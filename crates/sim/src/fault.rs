@@ -1,0 +1,356 @@
+//! Seeded fault injection: message drops, duplication and processor
+//! crashes.
+//!
+//! The paper's model assumes a failure-free network; this module is the
+//! controlled departure from that assumption used by the robustness
+//! experiments (E18). A [`FaultPlan`] describes *what* may go wrong —
+//! per-message drop and duplication probabilities plus a schedule of
+//! processor crashes — and a seed that makes every probabilistic choice
+//! deterministic. The network consults the plan at well-defined points:
+//!
+//! * **drops / duplicates** are decided at *send* time (the sender is
+//!   still charged for the send, mirroring a message lost in transit);
+//! * **crashes** fire between deliveries, once the network has delivered
+//!   the scheduled number of messages; a crashed processor's pending
+//!   inbox is discarded and later sends to it become dead letters.
+//!
+//! Every injected fault is recorded as a [`FaultEvent`], so a run is
+//! fully replayable from `(policy seed, FaultPlan)` alone and the fault
+//! log can be diffed across replays.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::id::{OpId, ProcessorId};
+use crate::time::SimTime;
+
+/// One scheduled processor crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// The processor that halts.
+    pub processor: ProcessorId,
+    /// The crash fires once this many messages have been delivered
+    /// network-wide (counted over the network's whole lifetime,
+    /// duplicates included).
+    pub after_deliveries: u64,
+}
+
+/// A deterministic description of the faults to inject into one run.
+///
+/// Plans are built fluently:
+///
+/// ```
+/// use distctr_sim::{FaultPlan, ProcessorId};
+/// let plan = FaultPlan::new(0xFA11)
+///     .drop_prob(0.05)
+///     .dup_prob(0.02)
+///     .crash(ProcessorId::new(3), 40);
+/// assert_eq!(plan.crashes.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the dedicated fault RNG (independent of the delivery
+    /// policy's RNG, so adding faults never perturbs delivery delays).
+    pub seed: u64,
+    /// Probability in `[0, 1]` that any given send is lost in transit.
+    pub drop_prob: f64,
+    /// Probability in `[0, 1]` that any given send is delivered twice.
+    pub dup_prob: f64,
+    /// Scheduled crashes, applied in `after_deliveries` order.
+    pub crashes: Vec<CrashPoint>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing yet; combine with the builder methods.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, drop_prob: 0.0, dup_prob: 0.0, crashes: Vec::new() }
+    }
+
+    /// Sets the per-send drop probability (clamped to `[0, 1]`).
+    #[must_use]
+    pub fn drop_prob(mut self, p: f64) -> Self {
+        self.drop_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the per-send duplication probability (clamped to `[0, 1]`).
+    #[must_use]
+    pub fn dup_prob(mut self, p: f64) -> Self {
+        self.dup_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Schedules `processor` to crash after `after_deliveries` total
+    /// network deliveries.
+    #[must_use]
+    pub fn crash(mut self, processor: ProcessorId, after_deliveries: u64) -> Self {
+        self.crashes.push(CrashPoint { processor, after_deliveries });
+        self
+    }
+
+    /// Whether the plan injects any fault at all.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.drop_prob > 0.0 || self.dup_prob > 0.0 || !self.crashes.is_empty()
+    }
+}
+
+/// One injected fault, in the order it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// A send was lost in transit (sender charged, nothing enqueued).
+    Dropped {
+        /// Operation the message belonged to.
+        op: OpId,
+        /// Sender (charged for the send).
+        from: ProcessorId,
+        /// Intended recipient.
+        to: ProcessorId,
+        /// Simulated time of the send.
+        at: SimTime,
+    },
+    /// A send was delivered twice; the second copy got its own delivery
+    /// rank from the policy.
+    Duplicated {
+        /// Operation the message belonged to.
+        op: OpId,
+        /// Sender.
+        from: ProcessorId,
+        /// Recipient (receives the message twice).
+        to: ProcessorId,
+        /// Scheduled arrival of the duplicate copy.
+        at: SimTime,
+    },
+    /// A processor halted; it no longer receives or sends.
+    Crashed {
+        /// The halted processor.
+        processor: ProcessorId,
+        /// Network-wide delivery count at which the crash fired.
+        after_deliveries: u64,
+        /// Simulated time when the crash was applied.
+        at: SimTime,
+    },
+    /// A message addressed to an already-crashed processor was discarded
+    /// (either purged from its inbox at crash time or sent afterwards).
+    DeadLetter {
+        /// Operation the message belonged to.
+        op: OpId,
+        /// Sender.
+        from: ProcessorId,
+        /// The crashed recipient.
+        to: ProcessorId,
+        /// Simulated time of the discard.
+        at: SimTime,
+    },
+}
+
+/// Aggregate counts over a fault log, for load-bound accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// Sends lost in transit.
+    pub drops: u64,
+    /// Sends delivered twice.
+    pub dups: u64,
+    /// Messages discarded because their recipient had crashed.
+    pub dead_letters: u64,
+    /// Crashes applied so far.
+    pub crashes: u64,
+}
+
+/// Live fault-injection state carried by a network.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    rng: StdRng,
+    crashed: Vec<bool>,
+    /// Crashes not yet applied, sorted by descending `after_deliveries`
+    /// so the next due crash is last (popped cheaply).
+    pending_crashes: Vec<CrashPoint>,
+    /// Real deliveries over the network's lifetime (dup copies count,
+    /// dead letters do not).
+    total_delivered: u64,
+    log: Vec<FaultEvent>,
+    stats: FaultStats,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan, processors: usize) -> Self {
+        let mut pending_crashes = plan.crashes.clone();
+        pending_crashes.sort_by(|a, b| {
+            b.after_deliveries
+                .cmp(&a.after_deliveries)
+                .then(b.processor.index().cmp(&a.processor.index()))
+        });
+        FaultState {
+            rng: StdRng::seed_from_u64(plan.seed),
+            plan,
+            crashed: vec![false; processors],
+            pending_crashes,
+            total_delivered: 0,
+            log: Vec::new(),
+            stats: FaultStats::default(),
+        }
+    }
+
+    pub(crate) fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    pub(crate) fn log(&self) -> &[FaultEvent] {
+        &self.log
+    }
+
+    pub(crate) fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    pub(crate) fn is_crashed(&self, p: ProcessorId) -> bool {
+        self.crashed.get(p.index()).copied().unwrap_or(false)
+    }
+
+    pub(crate) fn crashed_processors(&self) -> Vec<ProcessorId> {
+        self.crashed
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &dead)| dead.then_some(ProcessorId::new(i)))
+            .collect()
+    }
+
+    pub(crate) fn note_delivered(&mut self) {
+        self.total_delivered += 1;
+    }
+
+    /// Rolls the drop die for one send.
+    pub(crate) fn roll_drop(&mut self) -> bool {
+        self.plan.drop_prob > 0.0 && self.rng.gen_bool(self.plan.drop_prob)
+    }
+
+    /// Rolls the duplication die for one send.
+    pub(crate) fn roll_dup(&mut self) -> bool {
+        self.plan.dup_prob > 0.0 && self.rng.gen_bool(self.plan.dup_prob)
+    }
+
+    pub(crate) fn note_drop(&mut self, op: OpId, from: ProcessorId, to: ProcessorId, at: SimTime) {
+        self.stats.drops += 1;
+        self.log.push(FaultEvent::Dropped { op, from, to, at });
+    }
+
+    pub(crate) fn note_dup(&mut self, op: OpId, from: ProcessorId, to: ProcessorId, at: SimTime) {
+        self.stats.dups += 1;
+        self.log.push(FaultEvent::Duplicated { op, from, to, at });
+    }
+
+    pub(crate) fn note_dead_letter(
+        &mut self,
+        op: OpId,
+        from: ProcessorId,
+        to: ProcessorId,
+        at: SimTime,
+    ) {
+        self.stats.dead_letters += 1;
+        self.log.push(FaultEvent::DeadLetter { op, from, to, at });
+    }
+
+    /// Marks `p` crashed immediately (used both by the schedule and by
+    /// direct [`Network::crash`](crate::Network::crash) calls). Returns
+    /// false if it was already down.
+    pub(crate) fn mark_crashed(&mut self, p: ProcessorId, at: SimTime) -> bool {
+        if self.crashed[p.index()] {
+            return false;
+        }
+        self.crashed[p.index()] = true;
+        self.stats.crashes += 1;
+        self.log.push(FaultEvent::Crashed {
+            processor: p,
+            after_deliveries: self.total_delivered,
+            at,
+        });
+        true
+    }
+
+    /// Pops every scheduled crash whose delivery threshold has been
+    /// reached, marking the processors crashed. Returns the processors
+    /// that just went down (already-down ones are skipped).
+    pub(crate) fn take_due_crashes(&mut self, at: SimTime) -> Vec<ProcessorId> {
+        let mut downed = Vec::new();
+        while self
+            .pending_crashes
+            .last()
+            .is_some_and(|c| c.after_deliveries <= self.total_delivered)
+        {
+            let point = self.pending_crashes.pop().expect("checked nonempty");
+            if self.mark_crashed(point.processor, at) {
+                downed.push(point.processor);
+            }
+        }
+        downed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessorId {
+        ProcessorId::new(i)
+    }
+
+    #[test]
+    fn plan_builder_clamps_and_accumulates() {
+        let plan = FaultPlan::new(7).drop_prob(2.0).dup_prob(-1.0).crash(p(1), 5).crash(p(2), 3);
+        assert_eq!(plan.drop_prob, 1.0);
+        assert_eq!(plan.dup_prob, 0.0);
+        assert_eq!(plan.crashes.len(), 2);
+        assert!(plan.is_active());
+        assert!(!FaultPlan::new(7).is_active());
+    }
+
+    #[test]
+    fn rolls_are_deterministic_per_seed() {
+        let plan = FaultPlan::new(99).drop_prob(0.5);
+        let mut a = FaultState::new(plan.clone(), 4);
+        let mut b = FaultState::new(plan, 4);
+        let ra: Vec<bool> = (0..256).map(|_| a.roll_drop()).collect();
+        let rb: Vec<bool> = (0..256).map(|_| b.roll_drop()).collect();
+        assert_eq!(ra, rb);
+        assert!(ra.iter().any(|&x| x) && ra.iter().any(|&x| !x), "p=0.5 hits both outcomes");
+    }
+
+    #[test]
+    fn zero_probabilities_never_fire() {
+        let mut s = FaultState::new(FaultPlan::new(1), 4);
+        for _ in 0..100 {
+            assert!(!s.roll_drop());
+            assert!(!s.roll_dup());
+        }
+    }
+
+    #[test]
+    fn crashes_fire_in_delivery_order() {
+        let plan = FaultPlan::new(0).crash(p(2), 10).crash(p(0), 3).crash(p(1), 3);
+        let mut s = FaultState::new(plan, 4);
+        assert!(s.take_due_crashes(SimTime::ZERO).is_empty(), "nothing due at 0 deliveries");
+        for _ in 0..3 {
+            s.note_delivered();
+        }
+        let downed = s.take_due_crashes(SimTime::ZERO);
+        assert_eq!(downed, vec![p(0), p(1)], "both threshold-3 crashes, index order");
+        assert!(s.is_crashed(p(0)) && s.is_crashed(p(1)) && !s.is_crashed(p(2)));
+        for _ in 0..7 {
+            s.note_delivered();
+        }
+        assert_eq!(s.take_due_crashes(SimTime::ZERO), vec![p(2)]);
+        assert_eq!(s.stats().crashes, 3);
+        assert_eq!(s.crashed_processors(), vec![p(0), p(1), p(2)]);
+    }
+
+    #[test]
+    fn double_crash_is_logged_once() {
+        let mut s = FaultState::new(FaultPlan::new(0), 2);
+        assert!(s.mark_crashed(p(1), SimTime::ZERO));
+        assert!(!s.mark_crashed(p(1), SimTime::ZERO));
+        assert_eq!(s.stats().crashes, 1);
+        assert_eq!(s.log().len(), 1);
+    }
+}

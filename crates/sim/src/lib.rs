@@ -61,6 +61,7 @@ pub mod dag;
 pub mod drivers;
 pub mod error;
 pub mod explore;
+pub mod fault;
 pub mod id;
 pub mod linearize;
 pub mod list;
@@ -73,12 +74,13 @@ pub mod trace;
 pub mod workloads;
 
 pub use counter::{CompletedOp, ConcurrentCounter, Counter, IncResult, OverlappedCounter};
-pub use linearize::{counter_history_linearizable, LinearizabilityVerdict, OpRecord};
 pub use dag::{ArcId, CommDag, DagNodeId};
-pub use drivers::{ConcurrentDriver, SequentialDriver, SequenceOutcome};
+pub use drivers::{ConcurrentDriver, SequenceOutcome, SequentialDriver};
 pub use error::SimError;
 pub use explore::{explore, ExploreOutcome, Injection};
+pub use fault::{CrashPoint, FaultEvent, FaultPlan, FaultStats};
 pub use id::{OpId, ProcessorId};
+pub use linearize::{counter_history_linearizable, LinearizabilityVerdict, OpRecord};
 pub use list::CommList;
 pub use load::{LoadSummary, LoadTracker};
 pub use network::{Network, Outbox, Protocol, RunStats, DEFAULT_MESSAGE_CAP};

@@ -82,11 +82,7 @@ impl LinearizabilityVerdict {
 pub fn counter_history_linearizable(records: &[OpRecord]) -> LinearizabilityVerdict {
     let mut by_value: Vec<OpRecord> = records.to_vec();
     for r in &by_value {
-        assert!(
-            r.started_at <= r.completed_at,
-            "operation {} completes before it starts",
-            r.op
-        );
+        assert!(r.started_at <= r.completed_at, "operation {} completes before it starts", r.op);
     }
     by_value.sort_by_key(|r| r.value);
     for w in by_value.windows(2) {

@@ -97,11 +97,7 @@ impl CommList {
     /// `3 -> 11 -> 7 -> 17 -> 27 -> 3`.
     #[must_use]
     pub fn render_ascii(&self) -> String {
-        self.labels
-            .iter()
-            .map(|p| p.to_string())
-            .collect::<Vec<_>>()
-            .join(" -> ")
+        self.labels.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(" -> ")
     }
 }
 

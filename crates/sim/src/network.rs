@@ -7,10 +7,11 @@
 //! implementation: a state machine that reacts to deliveries by emitting
 //! further messages into an [`Outbox`].
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
 use crate::error::SimError;
+use crate::fault::{FaultEvent, FaultPlan, FaultState, FaultStats};
 use crate::id::{OpId, ProcessorId};
 use crate::load::LoadTracker;
 use crate::policy::DeliveryPolicy;
@@ -21,6 +22,10 @@ use crate::trace::{OpTrace, TraceMode, TraceRecorder};
 /// Default cap on deliveries per [`Network::run_to_quiescence`] call;
 /// hitting it means the protocol almost certainly livelocks.
 pub const DEFAULT_MESSAGE_CAP: u64 = 1 << 30;
+
+/// How many trailing deliveries and pending heads a
+/// [`SimError::Livelock`] report captures.
+const LIVELOCK_RECENT: usize = 4;
 
 /// A distributed protocol: the state of all processors plus the reaction
 /// to message deliveries.
@@ -105,6 +110,7 @@ pub struct Network<M> {
     now: SimTime,
     seq: u64,
     message_cap: u64,
+    faults: Option<FaultState>,
 }
 
 impl<M: Clone + fmt::Debug> Network<M> {
@@ -140,7 +146,37 @@ impl<M: Clone + fmt::Debug> Network<M> {
             now: SimTime::ZERO,
             seq: 0,
             message_cap: DEFAULT_MESSAGE_CAP,
+            faults: None,
         })
+    }
+
+    /// Creates a network with an explicit delivery policy and a seeded
+    /// [`FaultPlan`]. Every probabilistic fault decision comes from the
+    /// plan's own RNG, so the run replays exactly from
+    /// `(policy, plan)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptyNetwork`] if `processors == 0`, or
+    /// [`SimError::UnknownProcessor`] if the plan schedules a crash for
+    /// a processor outside the network.
+    pub fn with_faults(
+        processors: usize,
+        trace: TraceMode,
+        policy: DeliveryPolicy,
+        plan: FaultPlan,
+    ) -> Result<Self, SimError> {
+        let mut net = Self::with_policy(processors, trace, policy)?;
+        for point in &plan.crashes {
+            if point.processor.index() >= processors {
+                return Err(SimError::UnknownProcessor {
+                    index: point.processor.index(),
+                    processors,
+                });
+            }
+        }
+        net.faults = Some(FaultState::new(plan, processors));
+        Ok(net)
     }
 
     /// Number of processors.
@@ -178,6 +214,55 @@ impl<M: Clone + fmt::Debug> Network<M> {
         self.message_cap = cap.max(1);
     }
 
+    /// The fault plan in force, if the network was built with one.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(FaultState::plan)
+    }
+
+    /// Every fault injected so far, in order (empty without a plan).
+    #[must_use]
+    pub fn fault_log(&self) -> &[FaultEvent] {
+        self.faults.as_ref().map_or(&[], FaultState::log)
+    }
+
+    /// Aggregate fault counts (all zero without a plan).
+    #[must_use]
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map_or_else(FaultStats::default, FaultState::stats)
+    }
+
+    /// Whether `p` has crashed.
+    #[must_use]
+    pub fn is_crashed(&self, p: ProcessorId) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.is_crashed(p))
+    }
+
+    /// The processors that have crashed so far, in index order.
+    #[must_use]
+    pub fn crashed_processors(&self) -> Vec<ProcessorId> {
+        self.faults.as_ref().map_or_else(Vec::new, FaultState::crashed_processors)
+    }
+
+    /// Crashes `p` immediately: its pending inbox is discarded as dead
+    /// letters and later sends to it are dropped on the floor. Works
+    /// with or without a configured [`FaultPlan`] (tests use this to
+    /// stage precise crash scenarios without probability machinery).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside the network.
+    pub fn crash(&mut self, p: ProcessorId) {
+        self.check_processor(p);
+        let faults =
+            self.faults.get_or_insert_with(|| FaultState::new(FaultPlan::new(0), self.processors));
+        if faults.mark_crashed(p, self.now) {
+            for (rank, env) in self.queue.drain_for(p) {
+                faults.note_dead_letter(env.op, env.from, env.to, rank.at);
+            }
+        }
+    }
+
     /// Injects the first message of operation `op`: `from` (the initiator
     /// or a processor acting for it) sends `msg` to `to`. Begins trace
     /// recording for `op` if it is not already open.
@@ -202,8 +287,9 @@ impl<M: Clone + fmt::Debug> Network<M> {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::MessageCapExceeded`] if more than the
-    /// configured cap of messages is delivered in this single call.
+    /// Returns [`SimError::Livelock`] (with delivery and queue
+    /// diagnostics) if more than the configured cap of messages is
+    /// delivered in this single call.
     pub fn run_to_quiescence<P: Protocol<Msg = M>>(
         &mut self,
         protocol: &mut P,
@@ -218,8 +304,9 @@ impl<M: Clone + fmt::Debug> Network<M> {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::MessageCapExceeded`] if more than the
-    /// configured cap of messages is delivered in this single call.
+    /// Returns [`SimError::Livelock`] (with delivery and queue
+    /// diagnostics) if more than the configured cap of messages is
+    /// delivered in this single call.
     pub fn run_until<P: Protocol<Msg = M>>(
         &mut self,
         protocol: &mut P,
@@ -237,19 +324,49 @@ impl<M: Clone + fmt::Debug> Network<M> {
     ) -> Result<RunStats, SimError> {
         let mut delivered: u64 = 0;
         let mut sends: Vec<(ProcessorId, M)> = Vec::new();
+        let mut recent: VecDeque<String> = VecDeque::new();
         loop {
+            self.apply_due_crashes();
             match self.queue.peek_rank() {
                 None => break,
                 Some(rank) if deadline.is_some_and(|d| rank.at > d) => break,
                 Some(_) => {}
             }
-            let (rank, env) = self.queue.pop().expect("peeked nonempty");
             if delivered >= self.message_cap {
-                return Err(SimError::MessageCapExceeded { cap: self.message_cap });
+                return Err(SimError::Livelock {
+                    cap: self.message_cap,
+                    delivered,
+                    queue_depth: self.queue.len(),
+                    recent_deliveries: recent.into_iter().collect(),
+                    next_pending: self.queue.head_summaries(LIVELOCK_RECENT),
+                });
+            }
+            let (rank, env) = self.queue.pop().expect("peeked nonempty");
+            // Messages whose recipient crashed after they were queued are
+            // discarded, never delivered (the scheduled-crash path purges
+            // the inbox eagerly; this covers direct `crash` calls racing
+            // a deadline-bounded run).
+            if let Some(faults) = &mut self.faults {
+                if faults.is_crashed(env.to) {
+                    faults.note_dead_letter(env.op, env.from, env.to, rank.at);
+                    continue;
+                }
             }
             delivered += 1;
             self.now = self.now.max_with(rank.at);
             self.loads.record_receive(env.to);
+            if let Some(faults) = &mut self.faults {
+                faults.note_delivered();
+            }
+            if delivered + LIVELOCK_RECENT as u64 > self.message_cap {
+                if recent.len() == LIVELOCK_RECENT {
+                    recent.pop_front();
+                }
+                recent.push_back(format!(
+                    "{} {} -> {} ({}): {:?}",
+                    rank.at, env.from, env.to, env.op, env.msg
+                ));
+            }
             let event = self.recorder.record_delivery(
                 env.op,
                 env.from,
@@ -266,6 +383,17 @@ impl<M: Clone + fmt::Debug> Network<M> {
             }
         }
         Ok(RunStats { delivered, end_time: self.now })
+    }
+
+    /// Applies every scheduled crash whose delivery threshold has been
+    /// reached, purging the downed processors' inboxes as dead letters.
+    fn apply_due_crashes(&mut self) {
+        let Some(faults) = &mut self.faults else { return };
+        for p in faults.take_due_crashes(self.now) {
+            for (rank, env) in self.queue.drain_for(p) {
+                faults.note_dead_letter(env.op, env.from, env.to, rank.at);
+            }
+        }
     }
 
     /// Ends trace recording for `op`, returning what was recorded (always
@@ -285,6 +413,29 @@ impl<M: Clone + fmt::Debug> Network<M> {
     ) {
         self.loads.record_send(from);
         self.recorder.record_send(op, from);
+        if let Some(faults) = &mut self.faults {
+            // Fault decisions happen at send time: the sender has paid
+            // for the send either way.
+            if faults.is_crashed(to) {
+                faults.note_dead_letter(op, from, to, self.now);
+                return;
+            }
+            if faults.roll_drop() {
+                faults.note_drop(op, from, to, self.now);
+                return;
+            }
+            if faults.roll_dup() {
+                let rank = self.policy.schedule(
+                    self.now,
+                    self.seq,
+                    from.index() as u32,
+                    to.index() as u32,
+                );
+                self.seq += 1;
+                faults.note_dup(op, from, to, rank.at);
+                self.queue.push(rank, Envelope { from, to, op, msg: msg.clone(), sent_from_event });
+            }
+        }
         let rank = self.policy.schedule(self.now, self.seq, from.index() as u32, to.index() as u32);
         self.seq += 1;
         self.queue.push(rank, Envelope { from, to, op, msg, sent_from_event });
@@ -372,7 +523,20 @@ mod tests {
         net.set_message_cap(100);
         net.inject(OpId::new(0), p(0), p(1), ());
         let err = net.run_to_quiescence(&mut Forever).unwrap_err();
-        assert_eq!(err, SimError::MessageCapExceeded { cap: 100 });
+        match err {
+            SimError::Livelock { cap, delivered, queue_depth, recent_deliveries, next_pending } => {
+                assert_eq!(cap, 100);
+                assert_eq!(delivered, 100);
+                assert_eq!(queue_depth, 1, "the ping-pong message is still in flight");
+                assert_eq!(recent_deliveries.len(), 4, "last few deliveries captured");
+                assert_eq!(next_pending.len(), 1);
+                assert!(
+                    recent_deliveries.iter().all(|s| s.contains("op0")),
+                    "summaries name the op: {recent_deliveries:?}"
+                );
+            }
+            other => panic!("expected livelock, got {other:?}"),
+        }
     }
 
     #[test]
@@ -458,17 +622,131 @@ mod tests {
 
     #[test]
     fn scripted_policy_stalls_a_chosen_message() {
-        let mut net = Network::with_policy(
-            3,
-            TraceMode::Off,
-            DeliveryPolicy::scripted([1, 50]),
-        )
-        .expect("net");
+        let mut net = Network::with_policy(3, TraceMode::Off, DeliveryPolicy::scripted([1, 50]))
+            .expect("net");
         net.inject(OpId::new(0), p(0), p(1), 2); // 3 sends total
         let stats = net.run_until(&mut Ring { n: 3 }, SimTime::from_ticks(10)).expect("runs");
         assert_eq!(stats.delivered, 1, "second hop is stalled until t=51");
         net.run_to_quiescence(&mut Ring { n: 3 }).expect("drains");
         assert_eq!(net.now(), SimTime::from_ticks(52), "1 + 50 + 1");
+    }
+
+    #[test]
+    fn dropped_messages_charge_the_sender_only() {
+        // drop_prob = 1: the injected message is lost; sender charged,
+        // receiver untouched, fault logged.
+        let plan = FaultPlan::new(11).drop_prob(1.0);
+        let mut net =
+            Network::with_faults(2, TraceMode::Off, DeliveryPolicy::Fifo, plan).expect("net");
+        net.inject(OpId::new(0), p(0), p(1), 3);
+        let stats = net.run_to_quiescence(&mut Ring { n: 2 }).expect("quiesce");
+        assert_eq!(stats.delivered, 0);
+        assert_eq!(net.loads().load_of(p(0)), 1, "send was charged");
+        assert_eq!(net.loads().load_of(p(1)), 0);
+        assert_eq!(net.fault_stats().drops, 1);
+        assert!(matches!(net.fault_log()[0], FaultEvent::Dropped { .. }));
+    }
+
+    #[test]
+    fn duplicated_messages_deliver_twice() {
+        let plan = FaultPlan::new(11).dup_prob(1.0);
+        let mut net =
+            Network::with_faults(2, TraceMode::Off, DeliveryPolicy::Fifo, plan).expect("net");
+        // hops = 0: the token stops at p(1), so only the injected send
+        // duplicates.
+        net.inject(OpId::new(0), p(0), p(1), 0);
+        let stats = net.run_to_quiescence(&mut Ring { n: 2 }).expect("quiesce");
+        assert_eq!(stats.delivered, 2, "original + duplicate");
+        assert_eq!(net.loads().load_of(p(0)), 1, "one send charged");
+        assert_eq!(net.loads().load_of(p(1)), 2, "two receives charged");
+        assert_eq!(net.fault_stats().dups, 1);
+    }
+
+    #[test]
+    fn scheduled_crash_dead_letters_the_inbox() {
+        // p(2) crashes after the very first delivery; the ring token dies
+        // when it reaches p(2)'s inbox.
+        let plan = FaultPlan::new(0).crash(p(2), 1);
+        let mut net =
+            Network::with_faults(3, TraceMode::Off, DeliveryPolicy::Fifo, plan).expect("net");
+        net.inject(OpId::new(0), p(0), p(1), 9);
+        let stats = net.run_to_quiescence(&mut Ring { n: 3 }).expect("quiesce");
+        assert_eq!(stats.delivered, 1, "p(1) got the token; the forward to p(2) died");
+        assert!(net.is_crashed(p(2)));
+        assert_eq!(net.crashed_processors(), vec![p(2)]);
+        assert_eq!(net.fault_stats().dead_letters, 1);
+        assert!(net.is_quiescent(), "dead letters drain the queue");
+    }
+
+    #[test]
+    fn direct_crash_purges_pending_messages() {
+        let mut net = Network::new(4, TraceMode::Off).expect("net");
+        net.inject(OpId::new(0), p(0), p(1), 6);
+        net.crash(p(1));
+        let stats = net.run_to_quiescence(&mut Ring { n: 4 }).expect("quiesce");
+        assert_eq!(stats.delivered, 0, "inbox purged at crash time");
+        assert_eq!(net.fault_stats().dead_letters, 1);
+        assert_eq!(net.fault_stats().crashes, 1);
+        // Sends to a dead processor after the crash are dead letters too.
+        net.inject(OpId::new(1), p(0), p(1), 1);
+        assert!(net.is_quiescent(), "nothing was enqueued");
+        assert_eq!(net.fault_stats().dead_letters, 2);
+    }
+
+    #[test]
+    fn fault_runs_replay_exactly_from_seed_and_plan() {
+        let run = |policy_seed: u64, plan: FaultPlan| {
+            let mut net = Network::with_faults(
+                5,
+                TraceMode::Off,
+                DeliveryPolicy::random_delay(policy_seed, 8),
+                plan,
+            )
+            .expect("net");
+            for op in 0..20 {
+                net.inject(OpId::new(op), p(op % 5), p((op + 1) % 5), 12);
+                net.run_to_quiescence(&mut Ring { n: 5 }).expect("quiesce");
+            }
+            (net.loads().to_vec(), net.fault_log().to_vec(), net.fault_stats())
+        };
+        let plan = FaultPlan::new(0xFA11).drop_prob(0.1).dup_prob(0.05).crash(p(4), 60);
+        let (loads_a, log_a, stats_a) = run(7, plan.clone());
+        let (loads_b, log_b, stats_b) = run(7, plan.clone());
+        assert_eq!(loads_a, loads_b, "same (seed, plan) => same loads");
+        assert_eq!(log_a, log_b, "same (seed, plan) => same fault log");
+        assert_eq!(stats_a, stats_b);
+        assert!(stats_a.drops > 0 && stats_a.dups > 0, "faults actually fired: {stats_a:?}");
+        let (_, log_c, _) = run(7, FaultPlan::new(0xFA12).drop_prob(0.1).dup_prob(0.05));
+        assert_ne!(log_a, log_c, "a different fault seed gives a different run");
+    }
+
+    #[test]
+    fn fault_plan_crash_out_of_range_is_rejected() {
+        let plan = FaultPlan::new(0).crash(p(9), 1);
+        let err =
+            Network::<u32>::with_faults(3, TraceMode::Off, DeliveryPolicy::Fifo, plan).unwrap_err();
+        assert_eq!(err, SimError::UnknownProcessor { index: 9, processors: 3 });
+    }
+
+    #[test]
+    fn faults_do_not_perturb_delivery_delays() {
+        // An inactive plan must leave the schedule identical to a
+        // fault-free run: the fault RNG is separate from the policy RNG.
+        let mut plain = Network::with_policy(3, TraceMode::Off, DeliveryPolicy::random_delay(5, 9))
+            .expect("net");
+        let mut faulty = Network::with_faults(
+            3,
+            TraceMode::Off,
+            DeliveryPolicy::random_delay(5, 9),
+            FaultPlan::new(123),
+        )
+        .expect("net");
+        plain.inject(OpId::new(0), p(0), p(1), 20);
+        faulty.inject(OpId::new(0), p(0), p(1), 20);
+        let sp = plain.run_to_quiescence(&mut Ring { n: 3 }).expect("run");
+        let sf = faulty.run_to_quiescence(&mut Ring { n: 3 }).expect("run");
+        assert_eq!(sp, sf, "identical stats with an empty plan");
+        assert_eq!(plain.loads().to_vec(), faulty.loads().to_vec());
     }
 
     #[test]

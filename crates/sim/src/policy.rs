@@ -140,13 +140,7 @@ impl DeliveryPolicy {
 
     /// Computes the delivery rank for a message sent at `now` with global
     /// send sequence number `seq` on the link `from -> to`.
-    pub(crate) fn schedule(
-        &mut self,
-        now: SimTime,
-        seq: u64,
-        from: u32,
-        to: u32,
-    ) -> DeliveryRank {
+    pub(crate) fn schedule(&mut self, now: SimTime, seq: u64, from: u32, to: u32) -> DeliveryRank {
         match self {
             DeliveryPolicy::Fifo => DeliveryRank { at: now + 1, tiebreak: seq },
             DeliveryPolicy::RandomDelay { rng, max_delay } => {
@@ -248,9 +242,8 @@ mod tests {
     #[test]
     fn scripted_consumes_then_defaults() {
         let mut p = DeliveryPolicy::scripted([3, 100, 1]);
-        let delays: Vec<u64> = (0..5)
-            .map(|seq| p.schedule(SimTime::ZERO, seq, 0, 1).at - SimTime::ZERO)
-            .collect();
+        let delays: Vec<u64> =
+            (0..5).map(|seq| p.schedule(SimTime::ZERO, seq, 0, 1).at - SimTime::ZERO).collect();
         assert_eq!(delays, vec![3, 100, 1, 1, 1], "script then default");
     }
 

@@ -91,6 +91,47 @@ impl<M> EventQueue<M> {
     pub(crate) fn peek_rank(&self) -> Option<DeliveryRank> {
         self.heap.peek().map(|e| e.rank)
     }
+
+    /// Removes every message addressed to `to`, returning them in
+    /// delivery order. Used when `to` crashes: its inbox becomes dead
+    /// letters.
+    pub(crate) fn drain_for(&mut self, to: ProcessorId) -> Vec<(DeliveryRank, Envelope<M>)> {
+        if self.heap.iter().all(|e| e.envelope.to != to) {
+            return Vec::new();
+        }
+        let mut kept = BinaryHeap::with_capacity(self.heap.len());
+        let mut purged = Vec::new();
+        for entry in std::mem::take(&mut self.heap) {
+            if entry.envelope.to == to {
+                purged.push((entry.rank, entry.envelope));
+            } else {
+                kept.push(entry);
+            }
+        }
+        self.heap = kept;
+        purged.sort_by_key(|(rank, _)| *rank);
+        purged
+    }
+
+    /// Short human-readable summaries of the next messages due, in
+    /// delivery order. Used by livelock diagnostics.
+    pub(crate) fn head_summaries(&self, limit: usize) -> Vec<String>
+    where
+        M: std::fmt::Debug,
+    {
+        let mut entries: Vec<&Entry<M>> = self.heap.iter().collect();
+        entries.sort_by_key(|e| e.rank);
+        entries
+            .into_iter()
+            .take(limit)
+            .map(|e| {
+                format!(
+                    "{} {} -> {} ({}): {:?}",
+                    e.rank.at, e.envelope.from, e.envelope.to, e.envelope.op, e.envelope.msg
+                )
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -142,6 +183,40 @@ mod tests {
         q.pop();
         assert!(q.is_empty());
         assert_eq!(q.peek_rank(), None);
+    }
+
+    #[test]
+    fn drain_for_splits_by_recipient() {
+        let mut q = EventQueue::new();
+        let mut to = |i: usize, tag: u8, at: u64| {
+            let mut e = env(tag);
+            e.to = ProcessorId::new(i);
+            q.push(rank(at, u64::from(tag)), e);
+        };
+        to(1, 1, 5);
+        to(2, 2, 1);
+        to(1, 3, 2);
+        let purged = q.drain_for(ProcessorId::new(1));
+        assert_eq!(
+            purged.iter().map(|(_, e)| e.msg).collect::<Vec<_>>(),
+            vec![3, 1],
+            "purged in delivery order"
+        );
+        assert_eq!(q.len(), 1, "other recipients keep their messages");
+        assert_eq!(q.pop().map(|(_, e)| e.msg), Some(2));
+        assert!(q.drain_for(ProcessorId::new(1)).is_empty(), "nothing left to purge");
+    }
+
+    #[test]
+    fn head_summaries_are_in_delivery_order_and_bounded() {
+        let mut q = EventQueue::new();
+        q.push(rank(9, 0), env(9));
+        q.push(rank(1, 0), env(1));
+        q.push(rank(4, 0), env(4));
+        let heads = q.head_summaries(2);
+        assert_eq!(heads.len(), 2);
+        assert!(heads[0].contains("t1") && heads[0].contains("P0 -> P1"), "{heads:?}");
+        assert!(heads[1].contains("t4"), "{heads:?}");
     }
 
     #[test]

@@ -62,9 +62,7 @@ impl AddAssign<u64> for SimTime {
 impl Sub<SimTime> for SimTime {
     type Output = u64;
     fn sub(self, earlier: SimTime) -> u64 {
-        self.0
-            .checked_sub(earlier.0)
-            .expect("subtracting a later SimTime from an earlier one")
+        self.0.checked_sub(earlier.0).expect("subtracting a later SimTime from an earlier one")
     }
 }
 

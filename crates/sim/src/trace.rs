@@ -78,8 +78,7 @@ impl ContactSet {
     /// of the Hot Spot Lemma for consecutive operations.
     #[must_use]
     pub fn intersects(&self, other: &ContactSet) -> bool {
-        let (small, large) =
-            if self.len() <= other.len() { (self, other) } else { (other, self) };
+        let (small, large) = if self.len() <= other.len() { (self, other) } else { (other, self) };
         small.members.iter().any(|p| large.members.contains(p))
     }
 
@@ -312,9 +311,11 @@ mod tests {
         let op = OpId::new(2);
         let src = r.begin_op(op, p(0), SimTime::ZERO).expect("source node");
         r.record_send(op, p(0));
-        let e1 = r.record_delivery(op, p(0), p(1), Some(src), SimTime::from_ticks(1)).expect("event");
+        let e1 =
+            r.record_delivery(op, p(0), p(1), Some(src), SimTime::from_ticks(1)).expect("event");
         r.record_send(op, p(1));
-        let _e2 = r.record_delivery(op, p(1), p(2), Some(e1), SimTime::from_ticks(2)).expect("event");
+        let _e2 =
+            r.record_delivery(op, p(1), p(2), Some(e1), SimTime::from_ticks(2)).expect("event");
         let t = r.finish_op(op).expect("trace");
         let dag = t.dag.expect("full mode keeps DAG");
         assert_eq!(dag.node_count(), 3);

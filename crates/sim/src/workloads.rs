@@ -87,8 +87,7 @@ impl Workload {
                 let mut all = Vec::with_capacity(n * *rounds as usize);
                 for round in 0..*rounds {
                     all.extend(
-                        Workload::Canonical { seed: seed.wrapping_add(round.into()) }
-                            .generate(n),
+                        Workload::Canonical { seed: seed.wrapping_add(round.into()) }.generate(n),
                     );
                 }
                 all

@@ -4,12 +4,15 @@
 //!
 //! Run with: `cargo run --release --example adversary_audit`
 
-use distctr::prelude::*;
 use distctr::bound::theory;
+use distctr::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 8usize; // k = 2
-    println!("Lower Bound Theorem, executable edition (n = {n}, k = {}).\n", theory::lower_bound_k(n as u64));
+    println!(
+        "Lower Bound Theorem, executable edition (n = {n}, k = {}).\n",
+        theory::lower_bound_k(n as u64)
+    );
 
     // 1. The adversary: always schedule the pending initiator whose
     //    operation would have the longest communication list.
@@ -25,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         };
         println!("{build}:");
-        println!("  adversarial order : {:?}", outcome.order.iter().map(|p| p.index()).collect::<Vec<_>>());
+        println!(
+            "  adversarial order : {:?}",
+            outcome.order.iter().map(|p| p.index()).collect::<Vec<_>>()
+        );
         println!("  list lengths L_i  : {:?}", outcome.list_lens);
         println!("  average list len  : {:.2}", outcome.avg_list_len);
         println!("  pigeonhole bound  : {}", outcome.pigeonhole);

@@ -8,7 +8,10 @@ use distctr::analysis::{fmt_f64, Table};
 use distctr::bound::theory;
 use distctr::prelude::*;
 
-fn run<C: Counter>(mut counter: C, seed: u64) -> Result<(String, usize, u64, f64), Box<dyn std::error::Error>> {
+fn run<C: Counter>(
+    mut counter: C,
+    seed: u64,
+) -> Result<(String, usize, u64, f64), Box<dyn std::error::Error>> {
     let outcome = SequentialDriver::run_shuffled(&mut counter, seed)?;
     assert!(outcome.values_are_sequential(), "{} must count correctly", counter.name());
     Ok((

@@ -44,11 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         print!(" {deadline}");
     }
     println!();
-    println!(
-        "priority queue bottleneck = {} (<= 20k = {})",
-        pq.loads().max_load(),
-        20 * 3
-    );
+    println!("priority queue bottleneck = {} (<= 20k = {})", pq.loads().max_load(), 20 * 3);
     assert!(pq.loads().max_load() <= 20 * 3);
 
     println!("\nSame tree, same retirement, same O(k) guarantee — for any");

@@ -35,12 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("simulator bottleneck: {} (same protocol, measured exactly)", sim.loads().max_load());
     println!(
         "load agreement: threads vs sim differ by at most {} messages per processor",
-        loads
-            .iter()
-            .zip(sim.loads().to_vec())
-            .map(|(&a, b)| a.abs_diff(b))
-            .max()
-            .unwrap_or(0)
+        loads.iter().zip(sim.loads().to_vec()).map(|(&a, b)| a.abs_diff(b)).max().unwrap_or(0)
     );
 
     threaded.shutdown()?;

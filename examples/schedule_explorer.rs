@@ -24,12 +24,13 @@ fn main() {
             msg: TreeMsg::Apply { node: leaf_parent, origin, req: () },
         };
         let expected = i as u64;
-        let outcome = explore(&proto, std::slice::from_ref(&injection), 100_000, &|p: &Proto| {
-            match p.peek_response() {
+        let outcome =
+            explore(&proto, std::slice::from_ref(&injection), 100_000, &|p: &Proto| match p
+                .peek_response()
+            {
                 Some(&v) if v == expected => Ok(()),
                 other => Err(format!("op {i}: expected {expected}, got {other:?}")),
-            }
-        });
+            });
         println!(
             "op {i} (P{i}): {} delivery schedule(s) explored{}, all returned value {expected}",
             outcome.schedules,

@@ -25,13 +25,8 @@ fn serve<C: ConcurrentCounter>(
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 64usize;
     println!("Ticket service: {n} workers each claim one unique ticket.\n");
-    let mut table = Table::new(vec![
-        "allocator",
-        "concurrency",
-        "hottest host",
-        "avg load",
-        "gap-free",
-    ]);
+    let mut table =
+        Table::new(vec!["allocator", "concurrency", "hottest host", "avg load", "gap-free"]);
     for batch in [1usize, n] {
         let label = if batch == 1 { "one at a time" } else { "all at once" };
         {

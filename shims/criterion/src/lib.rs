@@ -1,0 +1,166 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the bench-harness surface its benches use: [`Criterion`],
+//! benchmark groups, [`BenchmarkId`], `Bencher::iter` and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Measurement is a
+//! simple wall-clock median over `sample_size` samples — enough to spot
+//! order-of-magnitude regressions in CI without the statistics engine.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported from `std`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id (`function_name/parameter`).
+    pub fn new<F: Display, P: Display>(function_name: F, parameter: P) -> Self {
+        BenchmarkId { label: format!("{function_name}/{parameter}") }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its return value alive via a black box.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed() / u32::try_from(self.iters_per_sample).unwrap_or(1));
+    }
+}
+
+/// A named collection of benchmarks sharing a sample count.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many samples each benchmark records (min 2).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<I: Display, R: FnMut(&mut Bencher)>(&mut self, id: I, mut routine: R) {
+        let mut bencher = Bencher { iters_per_sample: 1, samples: Vec::new() };
+        // One warmup sample, then the measured ones.
+        for _ in 0..=self.sample_size {
+            bencher.samples.clear();
+            routine(&mut bencher);
+        }
+        let mut samples = std::mem::take(&mut bencher.samples);
+        samples.sort_unstable();
+        let median = samples.get(samples.len() / 2).copied().unwrap_or_default();
+        println!("bench {}/{id}: median {median:?} over {} sample(s)", self.name, samples.len());
+        let _ = &self.criterion;
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: Display, T: ?Sized, R: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut routine: R,
+    ) {
+        self.bench_function(id, |b| routine(b, input));
+    }
+
+    /// Ends the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// The bench harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 10 }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<I: Display, R: FnMut(&mut Bencher)>(&mut self, id: I, routine: R) {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, routine);
+        group.finish();
+    }
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` over group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("unit");
+        group.sample_size(3);
+        group.bench_function(BenchmarkId::new("sum", 100), |b| b.iter(|| (0u64..100).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum-input", 50), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, quick_bench);
+
+    #[test]
+    fn harness_runs_groups() {
+        benches();
+    }
+
+    #[test]
+    fn ids_render_both_parts() {
+        assert_eq!(BenchmarkId::new("algo", 81).to_string(), "algo/81");
+    }
+}

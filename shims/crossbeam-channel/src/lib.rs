@@ -1,0 +1,307 @@
+//! Offline stand-in for the `crossbeam-channel` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the channel surface the threaded backend uses: an unbounded
+//! mpmc channel with cloneable senders, blocking/timeout/non-blocking
+//! receives and crossbeam's disconnect semantics (a send to a channel
+//! with no receivers fails; a receive on an empty channel with no
+//! senders fails). Built on `std::sync::{Mutex, Condvar}` — slower than
+//! real crossbeam, identical in behaviour for this workspace's patterns.
+
+#![forbid(unsafe_code)]
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error of a send on a disconnected channel; returns the message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+/// Error of a blocking receive on an empty, disconnected channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+/// Error of a receive with a timeout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed with no message.
+    Timeout,
+    /// The channel is empty and all senders dropped.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => f.write_str("timed out waiting on receive operation"),
+            RecvTimeoutError::Disconnected => f.write_str("channel is empty and disconnected"),
+        }
+    }
+}
+
+/// Error of a non-blocking receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message was ready.
+    Empty,
+    /// The channel is empty and all senders dropped.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+            TryRecvError::Disconnected => f.write_str("channel is empty and disconnected"),
+        }
+    }
+}
+
+struct Chan<T> {
+    queue: Mutex<VecDeque<T>>,
+    ready: Condvar,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+/// The sending half; cloneable, shareable across threads.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// The receiving half; cloneable (mpmc), shareable across threads.
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Creates an unbounded mpmc channel.
+#[must_use]
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (Sender { chan: Arc::clone(&chan) }, Receiver { chan })
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `msg`, failing only if every receiver is gone.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        if self.chan.receivers.load(Ordering::SeqCst) == 0 {
+            return Err(SendError(msg));
+        }
+        {
+            let mut queue = self.chan.queue.lock().expect("channel mutex healthy");
+            // Re-check under the lock so a racing receiver drop cannot
+            // strand the message unobserved.
+            if self.chan.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(SendError(msg));
+            }
+            queue.push_back(msg);
+        }
+        self.chan.ready.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan.senders.fetch_add(1, Ordering::SeqCst);
+        Sender { chan: Arc::clone(&self.chan) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.chan.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last sender gone: wake blocked receivers so they observe
+            // the disconnect.
+            self.chan.ready.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut queue = self.chan.queue.lock().expect("channel mutex healthy");
+        loop {
+            if let Some(msg) = queue.pop_front() {
+                return Ok(msg);
+            }
+            if self.chan.senders.load(Ordering::SeqCst) == 0 {
+                return Err(RecvError);
+            }
+            queue = self.chan.ready.wait(queue).expect("channel mutex healthy");
+        }
+    }
+
+    /// Blocks up to `timeout` for a message.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut queue = self.chan.queue.lock().expect("channel mutex healthy");
+        loop {
+            if let Some(msg) = queue.pop_front() {
+                return Ok(msg);
+            }
+            if self.chan.senders.load(Ordering::SeqCst) == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _timed_out) =
+                self.chan.ready.wait_timeout(queue, deadline - now).expect("channel mutex healthy");
+            queue = guard;
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut queue = self.chan.queue.lock().expect("channel mutex healthy");
+        if let Some(msg) = queue.pop_front() {
+            return Ok(msg);
+        }
+        if self.chan.senders.load(Ordering::SeqCst) == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    /// Number of messages currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.chan.queue.lock().expect("channel mutex healthy").len()
+    }
+
+    /// Whether the queue is currently empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.chan.receivers.fetch_add(1, Ordering::SeqCst);
+        Receiver { chan: Arc::clone(&self.chan) }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        if self.chan.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last receiver gone: queued messages are dropped, matching
+            // crossbeam (subsequent sends fail fast).
+            if let Ok(mut queue) = self.chan.queue.lock() {
+                queue.clear();
+            }
+        }
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_flow_in_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).expect("send");
+        }
+        for i in 0..100 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn cross_thread_handoff() {
+        let (tx, rx) = unbounded();
+        let producer = std::thread::spawn(move || {
+            for i in 0..1000u64 {
+                tx.send(i).expect("send");
+            }
+        });
+        let mut sum = 0u64;
+        for _ in 0..1000 {
+            sum += rx.recv().expect("recv");
+        }
+        producer.join().expect("join");
+        assert_eq!(sum, 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn disconnect_semantics() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn clone_counts_keep_the_channel_alive() {
+        let (tx, rx) = unbounded::<u8>();
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(1).expect("still connected");
+        assert_eq!(rx.recv(), Ok(1));
+        drop(tx2);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_and_delivers() {
+        let (tx, rx) = unbounded::<u8>();
+        let err = rx.recv_timeout(Duration::from_millis(20)).unwrap_err();
+        assert_eq!(err, RecvTimeoutError::Timeout);
+        tx.send(9).expect("send");
+        assert_eq!(rx.recv_timeout(Duration::from_millis(20)), Ok(9));
+        drop(tx);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(20)), Err(RecvTimeoutError::Disconnected));
+    }
+
+    #[test]
+    fn blocked_receiver_wakes_on_late_send() {
+        let (tx, rx) = unbounded::<u8>();
+        let waiter = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(Duration::from_millis(10));
+        tx.send(42).expect("send");
+        assert_eq!(waiter.join().expect("join"), Ok(42));
+    }
+}

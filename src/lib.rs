@@ -57,13 +57,13 @@ pub mod prelude {
         StaticTreeCounter,
     };
     pub use distctr_bound::{audit_weights, Adversary};
-    pub use distctr_net::ThreadedTreeCounter;
     pub use distctr_core::{
         DistributedFlipBit, DistributedPriorityQueue, RetirementPolicy, TreeClient, TreeCounter,
     };
+    pub use distctr_net::ThreadedTreeCounter;
     pub use distctr_quorum::QuorumSystem;
     pub use distctr_sim::{
-        ConcurrentCounter, ConcurrentDriver, Counter, DeliveryPolicy, ProcessorId,
+        ConcurrentCounter, ConcurrentDriver, Counter, DeliveryPolicy, FaultPlan, ProcessorId,
         SequentialDriver, TraceMode,
     };
 }

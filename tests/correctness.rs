@@ -20,8 +20,7 @@ fn all_counters(n: usize, trace: TraceMode, policy: DeliveryPolicy) -> Vec<Box<d
         Box::new(CentralCounter::with_policy(n, trace, policy.clone()).expect("central")),
         Box::new(CombiningTreeCounter::with_policy(n, trace, policy.clone()).expect("combining")),
         Box::new(
-            CountingNetworkCounter::with_policy(n, width, trace, policy.clone())
-                .expect("counting"),
+            CountingNetworkCounter::with_policy(n, width, trace, policy.clone()).expect("counting"),
         ),
         Box::new(
             DiffractingTreeCounter::with_policy(n, width.trailing_zeros(), trace, policy)
@@ -96,11 +95,8 @@ fn loads_are_policy_independent_for_deterministic_protocols() {
     // interleave differently), but correctness and the O(k) bottleneck
     // ceiling hold under both.
     for policy in [DeliveryPolicy::Fifo, DeliveryPolicy::Lifo] {
-        let mut counter = TreeCounter::builder(81)
-            .expect("builder")
-            .delivery(policy)
-            .build()
-            .expect("tree");
+        let mut counter =
+            TreeCounter::builder(81).expect("builder").delivery(policy).build().expect("tree");
         let out = SequentialDriver::run_identity(&mut counter).expect("runs");
         assert!(out.values_are_sequential());
         assert!(counter.loads().max_load() <= 20 * 3);

@@ -19,7 +19,9 @@ fn all_counters(n: usize, policy: DeliveryPolicy) -> Vec<Box<dyn Counter>> {
                 .build()
                 .expect("tree"),
         ),
-        Box::new(StaticTreeCounter::with_policy(n, TraceMode::Off, policy.clone()).expect("static")),
+        Box::new(
+            StaticTreeCounter::with_policy(n, TraceMode::Off, policy.clone()).expect("static"),
+        ),
         Box::new(CentralCounter::with_policy(n, TraceMode::Off, policy.clone()).expect("central")),
         Box::new(
             CombiningTreeCounter::with_policy(n, TraceMode::Off, policy.clone())
@@ -59,7 +61,8 @@ fn every_pair_of_implementations_agrees_on_every_schedule() {
             let (ref_name, ref_values) = &value_sequences[0];
             for (name, values) in &value_sequences[1..] {
                 assert_eq!(
-                    values, ref_values,
+                    values,
+                    ref_values,
                     "{name} diverges from {ref_name} (seed {seed}, policy {})",
                     policy.name()
                 );
@@ -102,11 +105,8 @@ fn tree_counter_at_quarter_million_processors() {
     // The largest exact tree order that fits comfortably: k = 6,
     // n = 279,936. The Bottleneck Theorem holds with the same constant.
     let n = 279_936usize;
-    let mut counter = TreeCounter::builder(n)
-        .expect("builder")
-        .trace(TraceMode::Off)
-        .build()
-        .expect("tree");
+    let mut counter =
+        TreeCounter::builder(n).expect("builder").trace(TraceMode::Off).build().expect("tree");
     let out = SequentialDriver::run_shuffled(&mut counter, 6).expect("sequence runs");
     assert!(out.values_are_sequential());
     let bottleneck = counter.loads().max_load();

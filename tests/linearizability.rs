@@ -13,9 +13,7 @@ use distctr::sim::{
 /// token completes with a larger value; a third token, started after the
 /// second finished, slips into the stalled token's exit slot and returns
 /// the *smaller* value 0.
-fn stalled_token_schedule<C: OverlappedCounter>(
-    counter: &mut C,
-) -> Vec<distctr::sim::OpRecord> {
+fn stalled_token_schedule<C: OverlappedCounter>(counter: &mut C) -> Vec<distctr::sim::OpRecord> {
     let t = SimTime::from_ticks;
     counter.start_inc(ProcessorId::new(0)).expect("T1 starts");
     counter.advance_until(t(50)).expect("T1 stalls in the network");
@@ -63,12 +61,9 @@ fn central_counter_is_linearizable_under_the_same_stall() {
     // The same adversarial delays cannot break the centralized counter:
     // the coordinator assigns values in processing order, which respects
     // real time.
-    let mut counter = CentralCounter::with_policy(
-        4,
-        TraceMode::Contacts,
-        DeliveryPolicy::scripted([1, 100]),
-    )
-    .expect("central");
+    let mut counter =
+        CentralCounter::with_policy(4, TraceMode::Contacts, DeliveryPolicy::scripted([1, 100]))
+            .expect("central");
     let records = stalled_token_schedule(&mut counter);
     assert!(
         counter_history_linearizable(&records).is_linearizable(),
@@ -92,12 +87,8 @@ fn central_counter_linearizable_under_random_staggered_schedules() {
             counter.advance_until(SimTime::from_ticks(at)).expect("advance");
             counter.start_inc(ProcessorId::new(i)).expect("start");
         }
-        let records: Vec<_> = counter
-            .finish_all()
-            .expect("drain")
-            .into_iter()
-            .map(|c| c.to_record())
-            .collect();
+        let records: Vec<_> =
+            counter.finish_all().expect("drain").into_iter().map(|c| c.to_record()).collect();
         assert!(
             counter_history_linearizable(&records).is_linearizable(),
             "seed {seed}: {records:?}"

@@ -8,9 +8,9 @@ use distctr::sim::{CommList, ContactSet};
 use proptest::prelude::*;
 
 fn arbitrary_permutation(n: usize) -> impl Strategy<Value = Vec<ProcessorId>> {
-    Just((0..n).collect::<Vec<usize>>()).prop_shuffle().prop_map(|v| {
-        v.into_iter().map(ProcessorId::new).collect()
-    })
+    Just((0..n).collect::<Vec<usize>>())
+        .prop_shuffle()
+        .prop_map(|v| v.into_iter().map(ProcessorId::new).collect())
 }
 
 proptest! {

@@ -86,8 +86,7 @@ fn every_baseline_survives_the_grid_at_small_n() {
                 ),
             ];
             for mut counter in counters {
-                let out =
-                    SequentialDriver::run_shuffled(counter.as_mut(), seed).expect("runs");
+                let out = SequentialDriver::run_shuffled(counter.as_mut(), seed).expect("runs");
                 assert!(
                     out.values_are_sequential(),
                     "{} seed {seed} policy {}",
