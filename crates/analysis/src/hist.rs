@@ -2,9 +2,12 @@
 //!
 //! The bottleneck story is a story about the *tail* of the load
 //! distribution; a quick horizontal-bar histogram makes it visible in
-//! terminal reports.
+//! terminal reports. The same applies to the serving layer's
+//! client-observed latencies, so [`Histogram::from_durations`] buckets
+//! wall-clock samples in microseconds.
 
 use std::fmt::Write as _;
+use std::time::Duration;
 
 /// A fixed-bin histogram over `u64` samples.
 ///
@@ -43,6 +46,30 @@ impl Histogram {
             h.bins[idx] += 1;
         }
         h
+    }
+
+    /// Builds a histogram over wall-clock durations, bucketed in
+    /// microseconds — the latency companion to
+    /// [`Histogram::from_samples`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use distctr_analysis::Histogram;
+    /// let lat = [Duration::from_micros(120), Duration::from_micros(95), Duration::from_millis(2)];
+    /// let h = Histogram::from_durations(&lat, 4);
+    /// assert_eq!(h.total(), 3);
+    /// assert_eq!(h.range(), (95, 2000));
+    /// ```
+    #[must_use]
+    pub fn from_durations(samples: &[Duration], bins: usize) -> Self {
+        let us: Vec<u64> = samples.iter().map(|d| d.as_micros() as u64).collect();
+        Self::from_samples(&us, bins)
     }
 
     /// Total samples.

@@ -10,7 +10,7 @@
 //!
 //! let loads: Stats = [2.0, 2.0, 52.0].into_iter().collect();
 //! let mut t = Table::new(vec!["metric", "value"]);
-//! t.row(vec!["max load".into(), format!("{}", loads.max().unwrap())]);
+//! t.row(vec!["max load".into(), format!("{}", loads.max().unwrap_or(0.0))]);
 //! assert!(t.render().contains("52"));
 //! ```
 

@@ -11,7 +11,7 @@
 
 use distctr_bench::{
     exp_ablation, exp_arrow, exp_backend, exp_bottleneck, exp_bound, exp_concurrent, exp_hotspot,
-    exp_lemmas, exp_linearizable, figures,
+    exp_lemmas, exp_linearizable, exp_serve, figures,
 };
 
 struct Config {
@@ -120,6 +120,10 @@ fn main() {
     }
     if wants(&cfg, "e17") {
         println!("{}", exp_arrow::e17_arrow_topologies(if cfg.quick { 32 } else { 128 }));
+    }
+    if wants(&cfg, "e19") {
+        let (n, ops) = if cfg.quick { (8, 400) } else { (81, 2000) };
+        println!("{}", exp_serve::e19_service_loadgen(n, 16, ops));
     }
 
     if let Some(dir) = &cfg.csv_dir {

@@ -24,6 +24,7 @@ pub mod exp_concurrent;
 pub mod exp_hotspot;
 pub mod exp_lemmas;
 pub mod exp_linearizable;
+pub mod exp_serve;
 pub mod figures;
 
 pub use algos::{run_canonical, run_shuffled_dyn, Algo, RunSummary, REPORT_SEED};

@@ -47,6 +47,7 @@ pub mod messages;
 pub mod node;
 pub mod object;
 pub mod protocol;
+pub mod serve;
 pub mod structures;
 pub mod topology;
 
@@ -59,5 +60,6 @@ pub use object::{
     CounterObject, FlipBitObject, MaxRegisterObject, PriorityQueueObject, RootObject,
 };
 pub use protocol::{PoolPolicy, RetirementPolicy, TreeProtocol};
+pub use serve::CounterBackend;
 pub use structures::{DistributedFlipBit, DistributedPriorityQueue};
 pub use topology::{NodeRef, Topology};

@@ -1,0 +1,129 @@
+//! The backend-agnostic serving interface.
+//!
+//! A service boundary (such as `distctr-server`'s TCP layer) needs a
+//! uniform view of "a counter it can host": execute one `inc` charged to
+//! an initiating processor, and report the load-accounting quantities
+//! the bottleneck story is about. Both execution backends implement it —
+//! [`TreeCounter`] (the discrete-event simulator) here, and the
+//! real-threads `ThreadedTreeCounter` in `distctr-net` — so the same
+//! server, tests and experiments run against either.
+//!
+//! Exactly-once across retries is part of the interface: a backend that
+//! owns a reply cache (the root's migrating cache in both tree backends)
+//! can hand out **tickets** via [`CounterBackend::reserve`]. Driving
+//! [`CounterBackend::inc_ticketed`] twice with the same ticket applies
+//! the increment once and returns the same value twice — which is what a
+//! server needs when a client reconnects and retries a request whose
+//! reply was lost in flight.
+
+use distctr_sim::{Counter, ProcessorId};
+
+use crate::counter::TreeCounter;
+use crate::error::CoreError;
+
+/// A counter implementation that can be hosted behind a service
+/// boundary.
+///
+/// # Examples
+///
+/// ```
+/// use distctr_core::{CounterBackend, TreeCounter};
+/// use distctr_sim::ProcessorId;
+///
+/// # fn main() -> Result<(), distctr_core::CoreError> {
+/// let mut backend = TreeCounter::new(8)?;
+/// assert_eq!(CounterBackend::inc(&mut backend, ProcessorId::new(3))?, 0);
+/// assert_eq!(CounterBackend::inc(&mut backend, ProcessorId::new(5))?, 1);
+/// assert!(backend.bottleneck() >= 1);
+/// # Ok(())
+/// # }
+/// ```
+pub trait CounterBackend {
+    /// The backend's error type.
+    type Error: std::error::Error + Send + Sync + 'static;
+
+    /// Number of processors in the hosted network.
+    fn processors(&self) -> usize;
+
+    /// Executes one `inc` initiated (and charged to) `initiator`,
+    /// returning the counter value.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific: out-of-range initiators always fail; threaded
+    /// backends may also time out or lose peers.
+    fn inc(&mut self, initiator: ProcessorId) -> Result<u64, Self::Error>;
+
+    /// Reserves a dedup ticket for one client request, if this backend
+    /// supports exactly-once retries. `None` (the default) means the
+    /// caller must deduplicate retries itself.
+    fn reserve(&mut self) -> Option<u64> {
+        None
+    }
+
+    /// Executes one `inc` under a ticket from
+    /// [`CounterBackend::reserve`]: re-driving the same ticket must not
+    /// increment again, and must return the value of the first
+    /// application. The default ignores the ticket and increments.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CounterBackend::inc`].
+    fn inc_ticketed(&mut self, initiator: ProcessorId, _ticket: u64) -> Result<u64, Self::Error> {
+        self.inc(initiator)
+    }
+
+    /// The bottleneck load `m_b = max_p m_p` so far.
+    fn bottleneck(&self) -> u64;
+
+    /// Total worker retirements so far.
+    fn retirements(&self) -> u64;
+}
+
+impl CounterBackend for TreeCounter {
+    type Error = CoreError;
+
+    fn processors(&self) -> usize {
+        Counter::processors(self)
+    }
+
+    fn inc(&mut self, initiator: ProcessorId) -> Result<u64, Self::Error> {
+        Ok(Counter::inc(self, initiator).map_err(CoreError::Sim)?.value)
+    }
+
+    fn bottleneck(&self) -> u64 {
+        self.loads().max_load()
+    }
+
+    fn retirements(&self) -> u64 {
+        self.audit().retirements_by_level().iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sequential_through_the_trait<B: CounterBackend>(backend: &mut B, ops: usize) {
+        for i in 0..ops {
+            let p = ProcessorId::new(i % backend.processors());
+            assert_eq!(backend.inc(p).expect("inc"), i as u64);
+        }
+    }
+
+    #[test]
+    fn sim_backend_counts_through_the_trait() {
+        let mut sim = TreeCounter::new(8).expect("counter");
+        sequential_through_the_trait(&mut sim, 8);
+        assert!(sim.bottleneck() >= 2, "the root's worker moved messages");
+        assert!(CounterBackend::retirements(&sim) > 0);
+    }
+
+    #[test]
+    fn default_ticketing_is_a_plain_inc() {
+        let mut sim = TreeCounter::new(8).expect("counter");
+        assert_eq!(sim.reserve(), None);
+        assert_eq!(sim.inc_ticketed(ProcessorId::new(0), 7).expect("inc"), 0);
+        assert_eq!(sim.inc_ticketed(ProcessorId::new(1), 7).expect("inc"), 1);
+    }
+}

@@ -12,12 +12,12 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use distctr_core::{kmath, CounterObject, NodeRef, RootObject, Topology};
+use distctr_core::{kmath, CounterBackend, CounterObject, NodeRef, RootObject, Topology};
 use distctr_sim::ProcessorId;
 
 use crate::error::NetError;
 use crate::messages::NetMsg;
-use crate::worker::{Hosted, Shared, Worker};
+use crate::worker::{Hosted, Shared, Worker, DEFAULT_REPLY_CACHE};
 
 /// Hard cap on spawned threads: one per processor.
 pub const MAX_THREADED_PROCESSORS: usize = 4096;
@@ -82,6 +82,23 @@ where
     /// beyond [`MAX_THREADED_PROCESSORS`]; [`NetError::Spawn`] if thread
     /// creation fails.
     pub fn new(n: usize, object: O) -> Result<Self, NetError> {
+        Self::with_reply_cache(n, object, DEFAULT_REPLY_CACHE)
+    }
+
+    /// Like [`ThreadedTreeClient::new`], but with an explicit root
+    /// reply-cache capacity. The cache deduplicates retries by op
+    /// sequence; a service boundary multiplexing many client sessions
+    /// needs a window at least as large as the number of operations that
+    /// may land between a lost reply and its retry.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ThreadedTreeClient::new`], plus
+    /// [`NetError::Order`] if `reply_cache_cap` is 0.
+    pub fn with_reply_cache(n: usize, object: O, reply_cache_cap: usize) -> Result<Self, NetError> {
+        if reply_cache_cap == 0 {
+            return Err(NetError::Order("reply cache needs at least one slot".into()));
+        }
         if n == 0 {
             return Err(NetError::Order("n must be at least 1".into()));
         }
@@ -145,6 +162,7 @@ where
                 forwarding: HashMap::new(),
                 pending: HashMap::new(),
                 leaf_parent_worker: topo.initial_worker(leaf_parent),
+                reply_cache_cap,
                 crashed: false,
             };
             handles.push(
@@ -198,8 +216,39 @@ where
         initiator: ProcessorId,
         req: O::Request,
     ) -> Result<O::Response, NetError> {
+        let op_seq = self.reserve_op();
+        self.invoke_reserved(initiator, op_seq, req)
+    }
+
+    /// Reserves the next op sequence without driving anything. Combined
+    /// with [`ThreadedTreeClient::invoke_reserved`], this is the
+    /// exactly-once hook for a service boundary: reserve a sequence when
+    /// a client request first arrives, then drive it — possibly more than
+    /// once, across client reconnects — under that same sequence. The
+    /// root's migrating reply cache answers every re-drive with the value
+    /// of the first application.
+    pub fn reserve_op(&mut self) -> u64 {
+        let op_seq = self.next_op;
+        self.next_op += 1;
+        op_seq
+    }
+
+    /// Executes one operation under a caller-reserved op sequence (see
+    /// [`ThreadedTreeClient::reserve_op`]). Re-driving a sequence whose
+    /// original application already reached the root is answered from the
+    /// reply cache instead of applying again.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ThreadedTreeClient::invoke`].
+    pub fn invoke_reserved(
+        &mut self,
+        initiator: ProcessorId,
+        op_seq: u64,
+        req: O::Request,
+    ) -> Result<O::Response, NetError> {
         self.check_peer(initiator)?;
-        self.drive(initiator, |op_seq| NetMsg::StartOp { op_seq, req: req.clone() })
+        self.drive(initiator, op_seq, |op_seq| NetMsg::StartOp { op_seq, req: req.clone() })
     }
 
     /// Injects an operation addressed to `node` directly at
@@ -223,7 +272,8 @@ where
     ) -> Result<O::Response, NetError> {
         self.check_peer(entry_worker)?;
         self.check_peer(initiator)?;
-        self.drive(entry_worker, |op_seq| NetMsg::Apply {
+        let op_seq = self.reserve_op();
+        self.drive(entry_worker, op_seq, |op_seq| NetMsg::Apply {
             node,
             origin: initiator,
             op_seq,
@@ -299,10 +349,9 @@ where
     fn drive(
         &mut self,
         target: ProcessorId,
+        op_seq: u64,
         make_msg: impl Fn(u64) -> NetMsg<O>,
     ) -> Result<O::Response, NetError> {
-        let op_seq = self.next_op;
-        self.next_op += 1;
         let started = Instant::now();
         let mut attempts = 0u32;
         let resp = 'attempts: loop {
@@ -475,6 +524,36 @@ impl ThreadedTreeCounter {
         Ok(ThreadedTreeCounter { client: ThreadedTreeClient::new(n, CounterObject::new())? })
     }
 
+    /// Like [`ThreadedTreeCounter::new`], but with an explicit root
+    /// reply-cache capacity; see
+    /// [`ThreadedTreeClient::with_reply_cache`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ThreadedTreeClient::with_reply_cache`].
+    pub fn with_reply_cache(n: usize, reply_cache_cap: usize) -> Result<Self, NetError> {
+        Ok(ThreadedTreeCounter {
+            client: ThreadedTreeClient::with_reply_cache(n, CounterObject::new(), reply_cache_cap)?,
+        })
+    }
+
+    /// Reserves the next op sequence for [`ThreadedTreeCounter::inc_reserved`];
+    /// see [`ThreadedTreeClient::reserve_op`].
+    pub fn reserve_op(&mut self) -> u64 {
+        self.client.reserve_op()
+    }
+
+    /// Executes one `inc` under a reserved op sequence. Re-driving the
+    /// same sequence (a retry whose original did land) is answered from
+    /// the root's reply cache without incrementing again.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ThreadedTreeClient::invoke`].
+    pub fn inc_reserved(&mut self, initiator: ProcessorId, op_seq: u64) -> Result<u64, NetError> {
+        self.client.invoke_reserved(initiator, op_seq, ())
+    }
+
     /// Number of processors (= threads).
     #[must_use]
     pub fn processors(&self) -> usize {
@@ -549,6 +628,34 @@ impl ThreadedTreeCounter {
     /// Same conditions as [`ThreadedTreeClient::shutdown`].
     pub fn shutdown(&mut self) -> Result<(), NetError> {
         self.client.shutdown()
+    }
+}
+
+impl CounterBackend for ThreadedTreeCounter {
+    type Error = NetError;
+
+    fn processors(&self) -> usize {
+        ThreadedTreeCounter::processors(self)
+    }
+
+    fn inc(&mut self, initiator: ProcessorId) -> Result<u64, Self::Error> {
+        ThreadedTreeCounter::inc(self, initiator)
+    }
+
+    fn reserve(&mut self) -> Option<u64> {
+        Some(self.reserve_op())
+    }
+
+    fn inc_ticketed(&mut self, initiator: ProcessorId, ticket: u64) -> Result<u64, Self::Error> {
+        self.inc_reserved(initiator, ticket)
+    }
+
+    fn bottleneck(&self) -> u64 {
+        ThreadedTreeCounter::bottleneck(self)
+    }
+
+    fn retirements(&self) -> u64 {
+        ThreadedTreeCounter::retirements(self)
     }
 }
 
@@ -648,6 +755,39 @@ mod tests {
 
     fn topo_of(c: &ThreadedTreeCounter) -> Arc<Topology> {
         Arc::new(Topology::new(c.order()).expect("same order builds"))
+    }
+
+    #[test]
+    fn reserved_retry_is_exactly_once() {
+        let mut c = ThreadedTreeCounter::with_reply_cache(8, 64).expect("counter");
+        let seq = c.reserve_op();
+        let first = c.inc_reserved(ProcessorId::new(2), seq).expect("inc");
+        // Unrelated traffic lands in between, then the "retry" re-drives
+        // the same sequence: the reply cache must answer with the
+        // original value and the count must not advance for it.
+        let between = c.inc(ProcessorId::new(5)).expect("inc");
+        let retried = c.inc_reserved(ProcessorId::new(2), seq).expect("retry");
+        assert_eq!(first, 0);
+        assert_eq!(between, 1);
+        assert_eq!(retried, 0, "retry answered from the reply cache");
+        assert_eq!(c.inc(ProcessorId::new(7)).expect("inc"), 2, "nothing double-counted");
+        c.shutdown().expect("shutdown");
+    }
+
+    #[test]
+    fn zero_reply_cache_rejected() {
+        assert!(matches!(ThreadedTreeCounter::with_reply_cache(8, 0), Err(NetError::Order(_))));
+    }
+
+    #[test]
+    fn backend_trait_reserves_real_tickets() {
+        use distctr_core::CounterBackend as _;
+        let mut c = ThreadedTreeCounter::new(8).expect("counter");
+        let t = c.reserve().expect("threaded backend hands out tickets");
+        assert_eq!(c.inc_ticketed(ProcessorId::new(0), t).expect("inc"), 0);
+        assert_eq!(c.inc_ticketed(ProcessorId::new(0), t).expect("retry"), 0);
+        assert_eq!(c.inc(ProcessorId::new(1)).expect("inc"), 1);
+        c.shutdown().expect("shutdown");
     }
 
     #[test]

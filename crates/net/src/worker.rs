@@ -17,10 +17,12 @@ use distctr_sim::ProcessorId;
 
 use crate::messages::{NetMsg, NodeTransfer};
 
-/// Recent root replies kept for driver-retry deduplication. Sequential
-/// driving means only the newest entries can ever be retried, so a
-/// small window suffices.
-pub(crate) const REPLY_CACHE_CAP: usize = 8;
+/// Default number of recent root replies kept for driver-retry
+/// deduplication. Sequential driving means only the newest entries can
+/// ever be retried, so a small window suffices; a service boundary
+/// multiplexing many client sessions raises it via
+/// `ThreadedTreeClient::with_reply_cache`.
+pub const DEFAULT_REPLY_CACHE: usize = 8;
 
 /// State of one tree node, owned by the thread currently working for it.
 #[derive(Debug, Clone)]
@@ -84,6 +86,8 @@ pub(crate) struct Worker<O: RootObject> {
     /// The (static) worker of this leaf's parent node: level-k nodes have
     /// singleton pools and never retire, so this never changes.
     pub(crate) leaf_parent_worker: ProcessorId,
+    /// Root reply-cache capacity (see [`DEFAULT_REPLY_CACHE`]).
+    pub(crate) reply_cache_cap: usize,
     /// Set by [`NetMsg::Crash`]: a crashed processor has lost all hosted
     /// state and silently discards every message (fail-silent model). It
     /// keeps draining its channel so in-flight accounting — and hence
@@ -206,7 +210,7 @@ impl<O: RootObject> Worker<O> {
                     };
                     let resp = object.apply(req);
                     hosted.reply_cache.push((op_seq, resp.clone()));
-                    if hosted.reply_cache.len() > REPLY_CACHE_CAP {
+                    if hosted.reply_cache.len() > self.reply_cache_cap {
                         hosted.reply_cache.remove(0);
                     }
                     resp

@@ -1,0 +1,243 @@
+//! The native client: a counter whose network is a real TCP connection.
+//!
+//! [`RemoteCounter`] speaks the wire protocol of [`crate::wire`] and
+//! implements the same [`CounterBackend`] interface as the local
+//! backends, so everything that drives a `TreeCounter` or a
+//! `ThreadedTreeCounter` — tests, experiments, the load generator — can
+//! drive a counter on the other end of a socket unchanged.
+//!
+//! Reconnect-and-retry is first-class: [`RemoteCounter::session`] is the
+//! resume token, and [`RemoteCounter::inc_with_id`] replays a request id
+//! after [`RemoteCounter::resume`], landing on the server's dedup state
+//! so the increment applies exactly once no matter how many times the
+//! connection died.
+
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use distctr_core::CounterBackend;
+use distctr_sim::ProcessorId;
+
+use crate::error::ServerError;
+use crate::wire::{read_frame, write_frame, StatsSnapshot, WireMsg};
+
+/// Client-side guard against a wedged server: every reply must arrive
+/// within this window.
+const REPLY_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A counter served over TCP.
+///
+/// # Examples
+///
+/// ```
+/// use distctr_net::ThreadedTreeCounter;
+/// use distctr_server::{CounterServer, RemoteCounter, ServerError};
+///
+/// # fn main() -> Result<(), ServerError> {
+/// let backend = ThreadedTreeCounter::new(8).map_err(|e| ServerError::Backend(e.to_string()))?;
+/// let mut server = CounterServer::serve(backend)?;
+/// let mut counter = RemoteCounter::connect(server.local_addr())?;
+/// assert_eq!(counter.inc()?, 0);
+/// assert_eq!(counter.inc()?, 1);
+/// server.shutdown()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct RemoteCounter {
+    stream: TcpStream,
+    addr: SocketAddr,
+    session: u64,
+    processor: u64,
+    processors: u64,
+    next_request: u64,
+}
+
+impl RemoteCounter {
+    /// Connects to a [`crate::CounterServer`] at `addr` and opens a
+    /// fresh session.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Io`] on connect failure; [`ServerError::Wire`],
+    /// [`ServerError::Remote`] or [`ServerError::Protocol`] on a failed
+    /// handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServerError> {
+        Self::handshake(addr, None)
+    }
+
+    /// Reconnects to `addr` and resumes session `session` (from
+    /// [`RemoteCounter::session`] of a previous connection), keeping its
+    /// server-side dedup state.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RemoteCounter::connect`];
+    /// [`ServerError::Remote`] with `UnknownSession` if the server does
+    /// not know the session.
+    pub fn resume(addr: impl ToSocketAddrs, session: u64) -> Result<Self, ServerError> {
+        Self::handshake(addr, Some(session))
+    }
+
+    fn handshake(addr: impl ToSocketAddrs, resume: Option<u64>) -> Result<Self, ServerError> {
+        let stream = TcpStream::connect(addr).map_err(|e| ServerError::Io(e.to_string()))?;
+        stream.set_nodelay(true).map_err(|e| ServerError::Io(e.to_string()))?;
+        stream.set_read_timeout(Some(REPLY_TIMEOUT)).map_err(|e| ServerError::Io(e.to_string()))?;
+        let addr = stream.peer_addr().map_err(|e| ServerError::Io(e.to_string()))?;
+        let mut counter = RemoteCounter {
+            stream,
+            addr,
+            session: 0,
+            processor: 0,
+            processors: 0,
+            next_request: 0,
+        };
+        counter.send(&WireMsg::Hello { resume })?;
+        match counter.receive()? {
+            WireMsg::HelloOk { session, processor } => {
+                counter.session = session;
+                counter.processor = processor;
+            }
+            other => return Err(unexpected(&other)),
+        }
+        counter.processors = counter.stats()?.processors;
+        Ok(counter)
+    }
+
+    /// The session id — the resume token for [`RemoteCounter::resume`].
+    #[must_use]
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// The processor this session's operations are charged to by
+    /// default.
+    #[must_use]
+    pub fn processor(&self) -> ProcessorId {
+        ProcessorId::new(self.processor as usize)
+    }
+
+    /// The server's address.
+    #[must_use]
+    pub fn server_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Request ids handed out so far; `next_request_id - 1` is the id of
+    /// the operation in flight when a connection dies mid-`inc`, which is
+    /// what [`RemoteCounter::inc_with_id`] replays after a resume.
+    #[must_use]
+    pub fn next_request_id(&self) -> u64 {
+        self.next_request
+    }
+
+    /// Executes one `inc` charged to the session's processor.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Wire`] on transport failure (resume and replay to
+    /// retry); [`ServerError::Remote`] if the server reports one.
+    pub fn inc(&mut self) -> Result<u64, ServerError> {
+        let request_id = self.next_request;
+        self.next_request += 1;
+        self.inc_with_id(request_id, None)
+    }
+
+    /// Executes one `inc` charged to an explicit initiating processor.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RemoteCounter::inc`], plus
+    /// [`ServerError::Remote`] with `BadInitiator` if out of range.
+    pub fn inc_as(&mut self, initiator: ProcessorId) -> Result<u64, ServerError> {
+        let request_id = self.next_request;
+        self.next_request += 1;
+        self.inc_with_id(request_id, Some(initiator.index() as u64))
+    }
+
+    /// Executes (or replays) an `inc` under an explicit request id: the
+    /// exactly-once retry hook. Replaying an id the server has seen is
+    /// answered from its dedup state without incrementing again.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RemoteCounter::inc`].
+    pub fn inc_with_id(
+        &mut self,
+        request_id: u64,
+        initiator: Option<u64>,
+    ) -> Result<u64, ServerError> {
+        self.next_request = self.next_request.max(request_id + 1);
+        self.send(&WireMsg::Inc { request_id, initiator })?;
+        match self.receive()? {
+            WireMsg::IncOk { request_id: rid, value } if rid == request_id => Ok(value),
+            WireMsg::IncOk { request_id: rid, .. } => Err(ServerError::Protocol(format!(
+                "IncOk for request {rid} while {request_id} was in flight"
+            ))),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the server's statistics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RemoteCounter::inc`].
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ServerError> {
+        self.send(&WireMsg::Stats)?;
+        match self.receive()? {
+            WireMsg::StatsOk(s) => Ok(s),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Like [`RemoteCounter::stats`], but usable through a shared
+    /// reference (TCP reads and writes only need `&TcpStream`); backs
+    /// the [`CounterBackend`] accessors.
+    fn stats_shared(&self) -> Result<StatsSnapshot, ServerError> {
+        let mut half = &self.stream;
+        write_frame(&mut half, &WireMsg::Stats)?;
+        match read_frame(&mut half)? {
+            WireMsg::StatsOk(s) => Ok(s),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    fn send(&mut self, msg: &WireMsg) -> Result<(), ServerError> {
+        write_frame(&mut self.stream, msg).map_err(ServerError::Wire)
+    }
+
+    fn receive(&mut self) -> Result<WireMsg, ServerError> {
+        match read_frame(&mut self.stream)? {
+            WireMsg::Err { code } => Err(ServerError::Remote(code)),
+            msg => Ok(msg),
+        }
+    }
+}
+
+fn unexpected(msg: &WireMsg) -> ServerError {
+    match msg {
+        WireMsg::Err { code } => ServerError::Remote(*code),
+        other => ServerError::Protocol(format!("unexpected frame {other:?}")),
+    }
+}
+
+impl CounterBackend for RemoteCounter {
+    type Error = ServerError;
+
+    fn processors(&self) -> usize {
+        self.processors as usize
+    }
+
+    fn inc(&mut self, initiator: ProcessorId) -> Result<u64, Self::Error> {
+        self.inc_as(initiator)
+    }
+
+    fn bottleneck(&self) -> u64 {
+        self.stats_shared().map_or(0, |s| s.bottleneck)
+    }
+
+    fn retirements(&self) -> u64 {
+        self.stats_shared().map_or(0, |s| s.retirements)
+    }
+}

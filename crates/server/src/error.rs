@@ -1,0 +1,157 @@
+//! Error types of the service layer.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::wire::WireError;
+
+/// A failure code a server reports to its client over the wire
+/// (`WireMsg::Err`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ErrCode {
+    /// The frame's length prefix exceeded the limit.
+    Oversized,
+    /// The frame's tag byte was not a known message.
+    UnknownTag,
+    /// The frame's payload did not match its tag's layout.
+    Malformed,
+    /// The connection's first frame was not a `Hello`, or a `Hello`
+    /// arrived mid-session.
+    BadHandshake,
+    /// A `Hello` tried to resume a session this server does not know.
+    UnknownSession,
+    /// An `Inc` named an initiator outside the hosted network.
+    BadInitiator,
+    /// The hosted backend failed the operation (timeout, lost peer).
+    Backend,
+    /// A code this client build does not know (forward compatibility).
+    Other(u16),
+}
+
+impl ErrCode {
+    /// The wire representation.
+    #[must_use]
+    pub fn as_u16(self) -> u16 {
+        match self {
+            ErrCode::Oversized => 1,
+            ErrCode::UnknownTag => 2,
+            ErrCode::Malformed => 3,
+            ErrCode::BadHandshake => 4,
+            ErrCode::UnknownSession => 5,
+            ErrCode::BadInitiator => 6,
+            ErrCode::Backend => 7,
+            ErrCode::Other(c) => c,
+        }
+    }
+
+    /// Decodes a wire code, mapping unknown values to
+    /// [`ErrCode::Other`].
+    #[must_use]
+    pub fn from_u16(code: u16) -> Self {
+        match code {
+            1 => ErrCode::Oversized,
+            2 => ErrCode::UnknownTag,
+            3 => ErrCode::Malformed,
+            4 => ErrCode::BadHandshake,
+            5 => ErrCode::UnknownSession,
+            6 => ErrCode::BadInitiator,
+            7 => ErrCode::Backend,
+            other => ErrCode::Other(other),
+        }
+    }
+}
+
+impl fmt::Display for ErrCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrCode::Oversized => write!(f, "frame too large"),
+            ErrCode::UnknownTag => write!(f, "unknown frame tag"),
+            ErrCode::Malformed => write!(f, "malformed frame"),
+            ErrCode::BadHandshake => write!(f, "expected a Hello handshake"),
+            ErrCode::UnknownSession => write!(f, "unknown session"),
+            ErrCode::BadInitiator => write!(f, "initiator out of range"),
+            ErrCode::Backend => write!(f, "backend failure"),
+            ErrCode::Other(c) => write!(f, "unknown error code {c}"),
+        }
+    }
+}
+
+/// Errors of the server, the [`RemoteCounter`] client and the load
+/// generator.
+///
+/// [`RemoteCounter`]: crate::RemoteCounter
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServerError {
+    /// A codec or transport failure.
+    Wire(WireError),
+    /// The peer reported a failure over the wire.
+    Remote(ErrCode),
+    /// The peer sent a well-formed frame the protocol does not allow
+    /// here (e.g. an `IncOk` answering a `Stats`).
+    Protocol(String),
+    /// Binding, accepting or configuring sockets failed.
+    Io(String),
+    /// Constructing the hosted backend failed.
+    Backend(String),
+    /// The server (or client) was already shut down.
+    ShutDown,
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Wire(e) => write!(f, "wire failure: {e}"),
+            ServerError::Remote(code) => write!(f, "server reported: {code}"),
+            ServerError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            ServerError::Io(msg) => write!(f, "socket failure: {msg}"),
+            ServerError::Backend(msg) => write!(f, "backend failure: {msg}"),
+            ServerError::ShutDown => write!(f, "service has been shut down"),
+        }
+    }
+}
+
+impl Error for ServerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServerError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for ServerError {
+    fn from(e: WireError) -> Self {
+        ServerError::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn err_codes_round_trip() {
+        for code in [
+            ErrCode::Oversized,
+            ErrCode::UnknownTag,
+            ErrCode::Malformed,
+            ErrCode::BadHandshake,
+            ErrCode::UnknownSession,
+            ErrCode::BadInitiator,
+            ErrCode::Backend,
+            ErrCode::Other(4242),
+        ] {
+            assert_eq!(ErrCode::from_u16(code.as_u16()), code);
+        }
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(ServerError::Remote(ErrCode::UnknownSession).to_string().contains("session"));
+        assert!(ServerError::Wire(WireError::Closed).to_string().contains("closed"));
+        assert!(ServerError::Protocol("surprise".into()).to_string().contains("surprise"));
+        assert!(ErrCode::Other(99).to_string().contains("99"));
+    }
+}

@@ -1,0 +1,308 @@
+//! The load-generation harness: N concurrent client connections in
+//! front of one server, with client-observed latency accounting.
+//!
+//! Two driving disciplines:
+//!
+//! * **closed loop** — every connection keeps exactly one operation in
+//!   flight (send, wait, repeat). Throughput is limited by the server's
+//!   serialized backend; latency measures service time plus queueing
+//!   behind the other connections.
+//! * **open loop** — operations are injected on a fixed schedule
+//!   regardless of completions, and latency is measured from the
+//!   *scheduled* injection time. Past the saturation rate the queue
+//!   grows without bound and the tail explodes — the classic
+//!   contention-vs-throughput picture (cf. Lenzen–Rybicki's counting
+//!   regimes), retold as what a client actually experiences in front of
+//!   the paper's bottleneck.
+
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use distctr_analysis::{percentile, Histogram, Table};
+
+use crate::client::RemoteCounter;
+use crate::error::ServerError;
+use crate::wire::{read_frame, write_frame, WireMsg};
+
+/// The driving discipline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadMode {
+    /// One in-flight operation per connection.
+    Closed,
+    /// Fixed-schedule injection at `rate` operations/second in total
+    /// (split evenly over the connections), latency measured from the
+    /// scheduled injection time.
+    Open {
+        /// Total target rate, operations per second.
+        rate: f64,
+    },
+}
+
+/// A load-generation run description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadConfig {
+    /// Concurrent client connections.
+    pub conns: usize,
+    /// Total operations across all connections.
+    pub ops: usize,
+    /// Driving discipline.
+    pub mode: LoadMode,
+}
+
+impl LoadConfig {
+    /// A closed-loop run.
+    #[must_use]
+    pub fn closed(conns: usize, ops: usize) -> Self {
+        LoadConfig { conns, ops, mode: LoadMode::Closed }
+    }
+
+    /// An open-loop run at `rate` total operations/second.
+    #[must_use]
+    pub fn open(conns: usize, ops: usize, rate: f64) -> Self {
+        LoadConfig { conns, ops, mode: LoadMode::Open { rate } }
+    }
+}
+
+/// Per-connection client-side accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnReport {
+    /// Operations this connection completed.
+    pub ops: usize,
+    /// Largest latency this connection observed, in microseconds.
+    pub max_us: u64,
+}
+
+/// The aggregated result of a load run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Operations completed.
+    pub ops: usize,
+    /// Wall-clock duration of the whole run.
+    pub wall: Duration,
+    /// All observed latencies in microseconds, ascending.
+    pub latencies_us: Vec<u64>,
+    /// All counter values handed out, ascending.
+    pub values: Vec<u64>,
+    /// Per-connection accounting, by connection index.
+    pub per_conn: Vec<ConnReport>,
+}
+
+impl LoadReport {
+    /// Completed operations per second.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        if self.wall.is_zero() {
+            return 0.0;
+        }
+        self.ops as f64 / self.wall.as_secs_f64()
+    }
+
+    /// The `q`-th latency percentile in microseconds (0–100).
+    #[must_use]
+    pub fn latency_percentile_us(&self, q: f64) -> u64 {
+        let as_f64: Vec<f64> = self.latencies_us.iter().map(|&v| v as f64).collect();
+        percentile(&as_f64, q).map_or(0, |v| v.round() as u64)
+    }
+
+    /// The largest observed latency in microseconds.
+    #[must_use]
+    pub fn max_latency_us(&self) -> u64 {
+        self.latencies_us.last().copied().unwrap_or(0)
+    }
+
+    /// Whether the values handed out across *all* connections are
+    /// exactly `start..start + ops` — the distributed counter's
+    /// correctness condition, observed from outside the service
+    /// boundary.
+    #[must_use]
+    pub fn values_are_sequential_from(&self, start: u64) -> bool {
+        self.values.len() == self.ops
+            && self.values.iter().enumerate().all(|(i, &v)| v == start + i as u64)
+    }
+
+    /// Renders the throughput summary and the latency histogram.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut t = Table::new(vec!["metric", "value"]);
+        t.row(vec!["operations".into(), self.ops.to_string()]);
+        t.row(vec!["wall time".into(), format!("{:.3} s", self.wall.as_secs_f64())]);
+        t.row(vec!["throughput".into(), format!("{:.0} ops/s", self.throughput())]);
+        t.row(vec!["p50 latency".into(), format!("{} us", self.latency_percentile_us(50.0))]);
+        t.row(vec!["p99 latency".into(), format!("{} us", self.latency_percentile_us(99.0))]);
+        t.row(vec!["max latency".into(), format!("{} us", self.max_latency_us())]);
+        out.push_str(&t.render());
+        out.push_str("\nlatency distribution (us):\n");
+        let h = Histogram::from_samples(&self.latencies_us, 10);
+        out.push_str(&h.render(40));
+        out
+    }
+}
+
+/// Runs `cfg` against the server at `addr` and aggregates the result.
+///
+/// # Errors
+///
+/// Propagates the first connection-level [`ServerError`]; a failed
+/// connection aborts the run.
+///
+/// # Panics
+///
+/// Panics if `cfg.conns` or `cfg.ops` is zero.
+pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> Result<LoadReport, ServerError> {
+    assert!(cfg.conns > 0, "need at least one connection");
+    assert!(cfg.ops > 0, "need at least one operation");
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(cfg.conns);
+    for conn in 0..cfg.conns {
+        // Spread the remainder over the first `ops % conns` connections.
+        let ops = cfg.ops / cfg.conns + usize::from(conn < cfg.ops % cfg.conns);
+        let mode = cfg.mode;
+        let conns = cfg.conns;
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("loadgen-c{conn}"))
+                .spawn(move || match mode {
+                    LoadMode::Closed => drive_closed(addr, ops),
+                    LoadMode::Open { rate } => drive_open(addr, ops, rate / conns as f64),
+                })
+                .map_err(|e| ServerError::Io(e.to_string()))?,
+        );
+    }
+    let mut latencies = Vec::with_capacity(cfg.ops);
+    let mut values = Vec::with_capacity(cfg.ops);
+    let mut per_conn = Vec::with_capacity(cfg.conns);
+    let mut first_error = None;
+    for handle in handles {
+        match handle.join() {
+            Ok(Ok(conn_result)) => {
+                per_conn.push(ConnReport {
+                    ops: conn_result.len(),
+                    max_us: conn_result.iter().map(|&(_, lat)| lat).max().unwrap_or(0),
+                });
+                for (value, lat_us) in conn_result {
+                    values.push(value);
+                    latencies.push(lat_us);
+                }
+            }
+            Ok(Err(e)) => first_error = first_error.or(Some(e)),
+            Err(_) => {
+                first_error =
+                    first_error.or(Some(ServerError::Io("a loadgen thread panicked".into())));
+            }
+        }
+    }
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    let wall = started.elapsed();
+    latencies.sort_unstable();
+    values.sort_unstable();
+    Ok(LoadReport { ops: values.len(), wall, latencies_us: latencies, values, per_conn })
+}
+
+/// One closed-loop connection: `(value, latency_us)` per operation.
+fn drive_closed(addr: SocketAddr, ops: usize) -> Result<Vec<(u64, u64)>, ServerError> {
+    let mut client = RemoteCounter::connect(addr)?;
+    let mut out = Vec::with_capacity(ops);
+    for _ in 0..ops {
+        let t0 = Instant::now();
+        let value = client.inc()?;
+        out.push((value, t0.elapsed().as_micros() as u64));
+    }
+    Ok(out)
+}
+
+/// One open-loop connection at `rate` operations/second: requests go out
+/// on schedule over a pipelined socket while a reader half collects the
+/// replies; latency is completion minus *scheduled* injection.
+fn drive_open(addr: SocketAddr, ops: usize, rate: f64) -> Result<Vec<(u64, u64)>, ServerError> {
+    assert!(rate > 0.0, "open-loop rate must be positive");
+    let stream = TcpStream::connect(addr).map_err(|e| ServerError::Io(e.to_string()))?;
+    stream.set_nodelay(true).map_err(|e| ServerError::Io(e.to_string()))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| ServerError::Io(e.to_string()))?;
+    let mut writer = stream.try_clone().map_err(|e| ServerError::Io(e.to_string()))?;
+    write_frame(&mut writer, &WireMsg::Hello { resume: None })?;
+    let mut reader = stream;
+    match read_frame(&mut reader)? {
+        WireMsg::HelloOk { .. } => {}
+        WireMsg::Err { code } => return Err(ServerError::Remote(code)),
+        other => return Err(ServerError::Protocol(format!("unexpected frame {other:?}"))),
+    }
+
+    let interval = Duration::from_secs_f64(1.0 / rate);
+    let start = Instant::now();
+    let collector = std::thread::Builder::new()
+        .name("loadgen-read".into())
+        .spawn(move || -> Result<Vec<(u64, u64)>, ServerError> {
+            let mut out = Vec::with_capacity(ops);
+            for _ in 0..ops {
+                match read_frame(&mut reader)? {
+                    WireMsg::IncOk { request_id, value } => {
+                        let scheduled = start + interval.mul_f64(request_id as f64);
+                        let lat = Instant::now().saturating_duration_since(scheduled);
+                        out.push((value, lat.as_micros() as u64));
+                    }
+                    WireMsg::Err { code } => return Err(ServerError::Remote(code)),
+                    other => {
+                        return Err(ServerError::Protocol(format!("unexpected frame {other:?}")))
+                    }
+                }
+            }
+            Ok(out)
+        })
+        .map_err(|e| ServerError::Io(e.to_string()))?;
+
+    for i in 0..ops {
+        let due = start + interval.mul_f64(i as f64);
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        write_frame(&mut writer, &WireMsg::Inc { request_id: i as u64, initiator: None })?;
+    }
+    collector.join().map_err(|_| ServerError::Io("the reader thread panicked".into()))?
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(latencies: Vec<u64>, values: Vec<u64>) -> LoadReport {
+        let ops = values.len();
+        LoadReport {
+            ops,
+            wall: Duration::from_millis(100),
+            latencies_us: latencies,
+            values,
+            per_conn: vec![ConnReport { ops, max_us: 0 }],
+        }
+    }
+
+    #[test]
+    fn sequential_check_catches_gaps_and_dups() {
+        assert!(report(vec![1, 2, 3], vec![0, 1, 2]).values_are_sequential_from(0));
+        assert!(report(vec![1, 2, 3], vec![5, 6, 7]).values_are_sequential_from(5));
+        assert!(!report(vec![1, 2, 3], vec![0, 2, 3]).values_are_sequential_from(0));
+        assert!(!report(vec![1, 2, 3], vec![0, 1, 1]).values_are_sequential_from(0));
+    }
+
+    #[test]
+    fn percentiles_and_throughput() {
+        let r = report((1..=100).collect(), (0..100).collect());
+        assert_eq!(r.latency_percentile_us(50.0), 51);
+        assert_eq!(r.latency_percentile_us(99.0), 99);
+        assert_eq!(r.max_latency_us(), 100);
+        assert!((r.throughput() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn render_contains_the_headlines() {
+        let r = report(vec![10, 20, 30, 1000], vec![0, 1, 2, 3]);
+        let s = r.render();
+        assert!(s.contains("throughput"));
+        assert!(s.contains("p99 latency"));
+        assert!(s.contains('#'), "histogram bars present");
+    }
+}

@@ -1,0 +1,486 @@
+//! The thread-per-connection TCP server.
+//!
+//! A [`CounterServer`] hosts any [`CounterBackend`] behind the wire
+//! protocol of [`crate::wire`]. Connections are mapped to **sessions**:
+//! the handshake either opens a fresh session (assigned a processor
+//! round-robin, so independent clients spread over the tree's leaves
+//! like the paper's initiators) or resumes an existing one after a
+//! reconnect. A session keeps the dedup state that makes
+//! reconnect-and-retry exactly-once: for backends with a reply cache
+//! (the threaded tree), each request id is pinned to a backend **ticket**
+//! — re-driving the same ticket is answered from the root's migrating
+//! reply cache; for backends without one, the session's own answer table
+//! serves the retry.
+//!
+//! Operations are serialized through one mutex around the backend,
+//! matching the paper's sequential-driving model ("enough time elapses
+//! between any two inc requests"): with many concurrent clients the
+//! *server* stays correct and the contention becomes client-observed
+//! queueing latency — which is exactly what the load generator measures.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use distctr_core::CounterBackend;
+use distctr_sim::ProcessorId;
+
+use crate::error::{ErrCode, ServerError};
+use crate::wire::{read_frame, write_frame, StatsSnapshot, WireError, WireMsg};
+
+/// Per-session dedup window: how many recent request ids a session
+/// remembers for exactly-once retries.
+pub const DEDUP_WINDOW: usize = 256;
+
+/// How often blocked reads poll the shutdown flag.
+const POLL: Duration = Duration::from_millis(50);
+
+/// Dedup state and accounting of one client session.
+#[derive(Debug, Default)]
+struct Session {
+    /// The processor this session's operations are charged to (unless
+    /// an `Inc` names an explicit initiator).
+    processor: u64,
+    /// request id -> backend ticket (ticketed backends).
+    tickets: HashMap<u64, u64>,
+    /// request id -> value already handed out (non-ticketed backends).
+    answered: HashMap<u64, u64>,
+    /// Insertion order of request ids, for pruning to [`DEDUP_WINDOW`].
+    seen: VecDeque<u64>,
+    /// Operations this session completed.
+    ops: u64,
+}
+
+impl Session {
+    fn remember(&mut self, request_id: u64) {
+        self.seen.push_back(request_id);
+        while self.seen.len() > DEDUP_WINDOW {
+            if let Some(old) = self.seen.pop_front() {
+                self.tickets.remove(&old);
+                self.answered.remove(&old);
+            }
+        }
+    }
+}
+
+/// Mutex-guarded server state: the backend plus the session table.
+struct Inner<B> {
+    backend: B,
+    sessions: HashMap<u64, Session>,
+    next_session: u64,
+}
+
+/// Lock-free counters, updated by connection threads.
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    ops: AtomicU64,
+    deduped: AtomicU64,
+    wire_errors: AtomicU64,
+}
+
+struct Shared<B> {
+    inner: Mutex<Inner<B>>,
+    stats: Counters,
+}
+
+/// A TCP stream whose reads poll the server's stop flag: a blocked
+/// connection thread observes shutdown as EOF instead of wedging in
+/// `read` forever.
+struct PollRead {
+    inner: TcpStream,
+    stop: Arc<AtomicBool>,
+}
+
+impl Read for PollRead {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                return Ok(0);
+            }
+            match self.inner.read(buf) {
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                other => return other,
+            }
+        }
+    }
+}
+
+/// A TCP service hosting a [`CounterBackend`].
+///
+/// # Examples
+///
+/// ```
+/// use distctr_core::TreeCounter;
+/// use distctr_server::{CounterServer, RemoteCounter};
+///
+/// # fn main() -> Result<(), distctr_server::ServerError> {
+/// let backend = TreeCounter::new(8).map_err(|e| distctr_server::ServerError::Backend(e.to_string()))?;
+/// let mut server = CounterServer::serve(backend)?;
+/// let mut client = RemoteCounter::connect(server.local_addr())?;
+/// assert_eq!(client.inc()?, 0);
+/// assert_eq!(client.inc()?, 1);
+/// server.shutdown()?;
+/// # Ok(())
+/// # }
+/// ```
+pub struct CounterServer<B: CounterBackend + Send + 'static> {
+    shared: Option<Arc<Shared<B>>>,
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl<B: CounterBackend + Send + 'static> CounterServer<B> {
+    /// Serves `backend` on an ephemeral loopback port; see
+    /// [`CounterServer::serve_on`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CounterServer::serve_on`].
+    pub fn serve(backend: B) -> Result<Self, ServerError> {
+        Self::serve_on("127.0.0.1:0", backend)
+    }
+
+    /// Binds `addr` and starts the accept loop, hosting `backend`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Io`] if binding or spawning fails.
+    pub fn serve_on(addr: impl ToSocketAddrs, backend: B) -> Result<Self, ServerError> {
+        let listener = TcpListener::bind(addr).map_err(|e| ServerError::Io(e.to_string()))?;
+        let addr = listener.local_addr().map_err(|e| ServerError::Io(e.to_string()))?;
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner { backend, sessions: HashMap::new(), next_session: 0 }),
+            stats: Counters::default(),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("distctr-accept".into())
+                .spawn(move || accept_loop(&listener, &shared, &stop, &conns))
+                .map_err(|e| ServerError::Io(e.to_string()))?
+        };
+        Ok(CounterServer { shared: Some(shared), stop, addr, accept: Some(accept), conns })
+    }
+
+    /// The bound address (connect [`crate::RemoteCounter`] here).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A statistics snapshot, identical to what [`WireMsg::Stats`]
+    /// returns over the wire.
+    #[must_use]
+    pub fn stats(&self) -> StatsSnapshot {
+        match &self.shared {
+            Some(shared) => snapshot(shared),
+            None => StatsSnapshot::default(),
+        }
+    }
+
+    /// Per-session operation counts `(session id, ops)`, ordered by
+    /// session id — the server-side per-connection counters.
+    #[must_use]
+    pub fn session_ops(&self) -> Vec<(u64, u64)> {
+        let Some(shared) = &self.shared else { return Vec::new() };
+        let Ok(inner) = shared.inner.lock() else { return Vec::new() };
+        let mut out: Vec<(u64, u64)> = inner.sessions.iter().map(|(&id, s)| (id, s.ops)).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Stops accepting, disconnects every client, and joins all threads.
+    /// The hosted backend stays alive until the server is dropped (or
+    /// reclaimed via [`CounterServer::into_backend`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Io`] if a service thread panicked.
+    pub fn shutdown(&mut self) -> Result<(), ServerError> {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return Ok(());
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let mut panicked = false;
+        if let Some(handle) = self.accept.take() {
+            panicked |= handle.join().is_err();
+        }
+        let handles = match self.conns.lock() {
+            Ok(mut conns) => conns.drain(..).collect::<Vec<_>>(),
+            Err(_) => Vec::new(),
+        };
+        for handle in handles {
+            panicked |= handle.join().is_err();
+        }
+        if panicked {
+            return Err(ServerError::Io("a service thread panicked".into()));
+        }
+        Ok(())
+    }
+
+    /// Shuts down and hands back the hosted backend for direct
+    /// inspection (loads, audits).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CounterServer::shutdown`].
+    pub fn into_backend(mut self) -> Result<B, ServerError> {
+        self.shutdown()?;
+        let shared = self.shared.take().ok_or(ServerError::ShutDown)?;
+        let shared = Arc::try_unwrap(shared)
+            .map_err(|_| ServerError::Io("a connection still holds the server state".into()))?;
+        let inner = shared.inner.into_inner().map_err(|_| {
+            ServerError::Io("server state poisoned by a panicked connection".into())
+        })?;
+        Ok(inner.backend)
+    }
+}
+
+impl<B: CounterBackend + Send + 'static> Drop for CounterServer<B> {
+    fn drop(&mut self) {
+        let _ = self.shutdown();
+    }
+}
+
+fn accept_loop<B: CounterBackend + Send + 'static>(
+    listener: &TcpListener,
+    shared: &Arc<Shared<B>>,
+    stop: &Arc<AtomicBool>,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::clone(shared);
+        let stop_flag = Arc::clone(stop);
+        let spawned = std::thread::Builder::new()
+            .name("distctr-conn".into())
+            .spawn(move || handle_conn(stream, &shared, &stop_flag));
+        if let (Ok(handle), Ok(mut conns)) = (spawned, conns.lock()) {
+            // Opportunistically reap finished connections so long-lived
+            // servers don't accumulate dead handles.
+            conns.retain(|h| !h.is_finished());
+            conns.push(handle);
+        }
+    }
+}
+
+/// Serves one connection to completion. Never panics on client input:
+/// every codec failure becomes a typed `Err` frame (best-effort) and a
+/// closed connection, with the session state kept for a resume.
+fn handle_conn<B: CounterBackend + Send + 'static>(
+    stream: TcpStream,
+    shared: &Arc<Shared<B>>,
+    stop: &Arc<AtomicBool>,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL));
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = PollRead { inner: read_half, stop: Arc::clone(stop) };
+    let mut writer = stream;
+
+    // --- handshake: the first frame must be a Hello ------------------
+    let session_id = match read_frame(&mut reader) {
+        Ok(WireMsg::Hello { resume }) => {
+            let Ok(mut inner) = shared.inner.lock() else { return };
+            match resume {
+                Some(id) => {
+                    if inner.sessions.contains_key(&id) {
+                        id
+                    } else {
+                        let _ = write_frame(
+                            &mut writer,
+                            &WireMsg::Err { code: ErrCode::UnknownSession },
+                        );
+                        return;
+                    }
+                }
+                None => {
+                    let id = inner.next_session;
+                    inner.next_session += 1;
+                    let processor = id % inner.backend.processors() as u64;
+                    inner.sessions.insert(id, Session { processor, ..Session::default() });
+                    id
+                }
+            }
+        }
+        Ok(_) => {
+            shared.stats.wire_errors.fetch_add(1, Ordering::Relaxed);
+            let _ = write_frame(&mut writer, &WireMsg::Err { code: ErrCode::BadHandshake });
+            return;
+        }
+        Err(e) => {
+            report_wire_error(&mut writer, shared, &e);
+            return;
+        }
+    };
+    let processor = {
+        let Ok(inner) = shared.inner.lock() else { return };
+        inner.sessions.get(&session_id).map_or(0, |s| s.processor)
+    };
+    if write_frame(&mut writer, &WireMsg::HelloOk { session: session_id, processor }).is_err() {
+        return;
+    }
+
+    // --- session loop -------------------------------------------------
+    loop {
+        match read_frame(&mut reader) {
+            Ok(WireMsg::Inc { request_id, initiator }) => {
+                let reply = serve_inc(shared, session_id, request_id, initiator);
+                if write_frame(&mut writer, &reply).is_err() {
+                    break;
+                }
+            }
+            Ok(WireMsg::Stats) => {
+                let reply = WireMsg::StatsOk(snapshot(shared));
+                if write_frame(&mut writer, &reply).is_err() {
+                    break;
+                }
+            }
+            Ok(WireMsg::Hello { .. }) => {
+                shared.stats.wire_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = write_frame(&mut writer, &WireMsg::Err { code: ErrCode::BadHandshake });
+                break;
+            }
+            Ok(
+                WireMsg::HelloOk { .. }
+                | WireMsg::IncOk { .. }
+                | WireMsg::StatsOk(_)
+                | WireMsg::Err { .. },
+            ) => {
+                shared.stats.wire_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = write_frame(&mut writer, &WireMsg::Err { code: ErrCode::Malformed });
+                break;
+            }
+            Err(WireError::Closed) => break,
+            Err(e) => {
+                report_wire_error(&mut writer, shared, &e);
+                break;
+            }
+        }
+    }
+}
+
+/// Maps a decode failure to its wire code, counts it, and makes a
+/// best-effort attempt to tell the client before the connection closes.
+fn report_wire_error<B: CounterBackend + Send + 'static>(
+    writer: &mut TcpStream,
+    shared: &Arc<Shared<B>>,
+    e: &WireError,
+) {
+    shared.stats.wire_errors.fetch_add(1, Ordering::Relaxed);
+    let code = match e {
+        WireError::Oversized { .. } => ErrCode::Oversized,
+        WireError::UnknownTag(_) => ErrCode::UnknownTag,
+        WireError::Malformed(_) => ErrCode::Malformed,
+        // Truncated / Io: the transport is gone; nothing to send on.
+        _ => return,
+    };
+    let _ = write_frame(writer, &WireMsg::Err { code });
+}
+
+/// One increment, with exactly-once retry semantics. See the module doc
+/// for the two dedup paths (backend tickets vs the session answer
+/// table).
+fn serve_inc<B: CounterBackend + Send + 'static>(
+    shared: &Arc<Shared<B>>,
+    session_id: u64,
+    request_id: u64,
+    initiator: Option<u64>,
+) -> WireMsg {
+    let Ok(mut guard) = shared.inner.lock() else {
+        return WireMsg::Err { code: ErrCode::Backend };
+    };
+    let inner = &mut *guard;
+    let Some(session) = inner.sessions.get_mut(&session_id) else {
+        return WireMsg::Err { code: ErrCode::UnknownSession };
+    };
+    let charged = match initiator {
+        Some(i) if i < inner.backend.processors() as u64 => i,
+        Some(_) => return WireMsg::Err { code: ErrCode::BadInitiator },
+        None => session.processor,
+    };
+    let p = ProcessorId::new(charged as usize);
+
+    // Retry of a request a non-ticketed backend already answered: the
+    // session's own table is the reply cache.
+    if let Some(&value) = session.answered.get(&request_id) {
+        shared.stats.deduped.fetch_add(1, Ordering::Relaxed);
+        return WireMsg::IncOk { request_id, value };
+    }
+    // Ticketed path: the first sighting of a request id reserves a
+    // backend ticket; a retry re-drives the *same* ticket, which the
+    // backend's reply cache answers without incrementing again.
+    let (ticket, is_retry) = match session.tickets.get(&request_id) {
+        Some(&t) => (Some(t), true),
+        None => match inner.backend.reserve() {
+            Some(t) => {
+                session.tickets.insert(request_id, t);
+                session.remember(request_id);
+                (Some(t), false)
+            }
+            None => (None, false),
+        },
+    };
+    let result = match ticket {
+        Some(t) => inner.backend.inc_ticketed(p, t),
+        None => inner.backend.inc(p),
+    };
+    match result {
+        Ok(value) => {
+            session.ops += 1;
+            if is_retry {
+                shared.stats.deduped.fetch_add(1, Ordering::Relaxed);
+            } else {
+                shared.stats.ops.fetch_add(1, Ordering::Relaxed);
+                if ticket.is_none() {
+                    session.answered.insert(request_id, value);
+                    session.remember(request_id);
+                }
+            }
+            WireMsg::IncOk { request_id, value }
+        }
+        // The ticket (if any) stays pinned to the request id, so the
+        // client's retry converges on exactly-once.
+        Err(_) => WireMsg::Err { code: ErrCode::Backend },
+    }
+}
+
+fn snapshot<B: CounterBackend + Send + 'static>(shared: &Arc<Shared<B>>) -> StatsSnapshot {
+    let (processors, sessions, bottleneck, retirements) = match shared.inner.lock() {
+        Ok(inner) => (
+            inner.backend.processors() as u64,
+            inner.next_session,
+            inner.backend.bottleneck(),
+            inner.backend.retirements(),
+        ),
+        Err(_) => (0, 0, 0, 0),
+    };
+    StatsSnapshot {
+        processors,
+        sessions,
+        connections: shared.stats.connections.load(Ordering::Relaxed),
+        ops: shared.stats.ops.load(Ordering::Relaxed),
+        deduped: shared.stats.deduped.load(Ordering::Relaxed),
+        wire_errors: shared.stats.wire_errors.load(Ordering::Relaxed),
+        bottleneck,
+        retirements,
+    }
+}

@@ -1,0 +1,468 @@
+//! The length-prefixed binary wire codec.
+//!
+//! Every frame is a little-endian `u32` payload length followed by the
+//! payload: one tag byte and fixed-width little-endian fields. The
+//! format is deliberately minimal — no self-describing envelope, no
+//! registry dependencies — but decoding is hardened: a partial read
+//! surfaces as [`WireError::Truncated`] (never a panic or a wedged
+//! loop), a length prefix beyond [`MAX_FRAME`] is rejected *before* any
+//! allocation as [`WireError::Oversized`], an unknown tag or trailing
+//! garbage is a typed error, and a peer closing between frames is the
+//! distinct [`WireError::Closed`] so servers can tell a clean disconnect
+//! from a mid-frame one.
+
+use std::io::{ErrorKind, Read, Write};
+
+use crate::error::ErrCode;
+
+/// Upper bound on a frame's payload length, in bytes. Every legal
+/// message fits comfortably; anything larger is an attack or a corrupt
+/// prefix and is rejected before allocation.
+pub const MAX_FRAME: u32 = 256;
+
+// Payload tags. Client-to-server frames use the low range,
+// server-to-client the high range.
+const TAG_HELLO: u8 = 0x01;
+const TAG_INC: u8 = 0x02;
+const TAG_STATS: u8 = 0x03;
+const TAG_HELLO_OK: u8 = 0x81;
+const TAG_INC_OK: u8 = 0x82;
+const TAG_STATS_OK: u8 = 0x83;
+const TAG_ERR: u8 = 0xEE;
+
+/// A server-side statistics snapshot, carried by [`WireMsg::StatsOk`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Processors in the hosted network.
+    pub processors: u64,
+    /// Sessions ever created.
+    pub sessions: u64,
+    /// Connections accepted (reconnects included).
+    pub connections: u64,
+    /// Operations applied by the backend.
+    pub ops: u64,
+    /// Retries answered exactly-once from a reply cache.
+    pub deduped: u64,
+    /// Frames rejected by the codec (truncated, oversized, garbage).
+    pub wire_errors: u64,
+    /// The backend's bottleneck load `max_p m_p`.
+    pub bottleneck: u64,
+    /// Worker retirements inside the backend.
+    pub retirements: u64,
+}
+
+/// One protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireMsg {
+    /// Client handshake: open a fresh session, or resume session
+    /// `resume` after a reconnect (keeping its dedup state).
+    Hello {
+        /// Session id to resume, if any.
+        resume: Option<u64>,
+    },
+    /// One increment request. `request_id` is the client's retry key:
+    /// resending the same id after a reconnect must not increment again.
+    /// `initiator` optionally charges the operation to an explicit
+    /// processor; the default is the session's assigned processor.
+    Inc {
+        /// Client-chosen retry/dedup key, unique per session.
+        request_id: u64,
+        /// Explicit initiating processor, if the client wants one.
+        initiator: Option<u64>,
+    },
+    /// Request a [`WireMsg::StatsOk`] snapshot.
+    Stats,
+    /// Server handshake reply.
+    HelloOk {
+        /// The session id (present this to resume after a reconnect).
+        session: u64,
+        /// The processor this session's operations are charged to.
+        processor: u64,
+    },
+    /// Reply to [`WireMsg::Inc`].
+    IncOk {
+        /// Echo of the request's `request_id`.
+        request_id: u64,
+        /// The counter value handed out.
+        value: u64,
+    },
+    /// Reply to [`WireMsg::Stats`].
+    StatsOk(StatsSnapshot),
+    /// Server-reported failure.
+    Err {
+        /// What went wrong.
+        code: ErrCode,
+    },
+}
+
+/// Codec and transport errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The peer closed cleanly between frames (no bytes of a new frame
+    /// had arrived). A normal disconnect, not a protocol violation.
+    Closed,
+    /// The stream ended in the middle of a frame.
+    Truncated {
+        /// Which part of the frame was cut short.
+        context: &'static str,
+    },
+    /// The length prefix exceeds [`MAX_FRAME`].
+    Oversized {
+        /// The advertised payload length.
+        len: u32,
+        /// The permitted maximum.
+        max: u32,
+    },
+    /// The payload's tag byte is not a known message.
+    UnknownTag(
+        /// The offending tag.
+        u8,
+    ),
+    /// The payload's length does not match its tag's layout, or a field
+    /// holds an impossible value.
+    Malformed(&'static str),
+    /// An underlying I/O failure (connection reset, refused, ...).
+    Io(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "peer closed the connection"),
+            WireError::Truncated { context } => {
+                write!(f, "stream ended mid-frame while reading {context}")
+            }
+            WireError::Oversized { len, max } => {
+                write!(f, "frame length {len} exceeds the {max}-byte limit")
+            }
+            WireError::UnknownTag(tag) => write!(f, "unknown frame tag 0x{tag:02x}"),
+            WireError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            WireError::Io(msg) => write!(f, "i/o failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// `read_exact` that distinguishes EOF from transport errors. `at_start`
+/// selects between [`WireError::Closed`] (EOF before any byte of the
+/// frame) and [`WireError::Truncated`].
+fn fill(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    at_start: bool,
+    context: &'static str,
+) -> Result<(), WireError> {
+    let mut read = 0usize;
+    while read < buf.len() {
+        match r.read(&mut buf[read..]) {
+            Ok(0) => {
+                return Err(if at_start && read == 0 {
+                    WireError::Closed
+                } else {
+                    WireError::Truncated { context }
+                });
+            }
+            Ok(n) => read += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == ErrorKind::UnexpectedEof => {
+                return Err(if at_start && read == 0 {
+                    WireError::Closed
+                } else {
+                    WireError::Truncated { context }
+                });
+            }
+            Err(e) => return Err(WireError::Io(e.to_string())),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame. See [`WireError`] for the failure taxonomy; in
+/// particular a peer that closed between frames yields
+/// [`WireError::Closed`], not a truncation.
+///
+/// # Errors
+///
+/// Any [`WireError`]; the reader is left mid-stream on error and should
+/// be discarded except after [`WireError::Closed`].
+pub fn read_frame(r: &mut impl Read) -> Result<WireMsg, WireError> {
+    let mut len_buf = [0u8; 4];
+    fill(r, &mut len_buf, true, "the length prefix")?;
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(WireError::Oversized { len, max: MAX_FRAME });
+    }
+    if len == 0 {
+        return Err(WireError::Malformed("zero-length payload"));
+    }
+    let mut payload = vec![0u8; len as usize];
+    fill(r, &mut payload, false, "the payload")?;
+    decode(&payload)
+}
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// [`WireError::Io`] if the underlying write fails.
+pub fn write_frame(w: &mut impl Write, msg: &WireMsg) -> Result<(), WireError> {
+    let payload = encode(msg);
+    debug_assert!(payload.len() <= MAX_FRAME as usize);
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    w.write_all(&frame).map_err(|e| WireError::Io(e.to_string()))?;
+    w.flush().map_err(|e| WireError::Io(e.to_string()))
+}
+
+/// Encodes `msg` into a payload (tag + fields, no length prefix).
+#[must_use]
+pub fn encode(msg: &WireMsg) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    match msg {
+        WireMsg::Hello { resume } => {
+            out.push(TAG_HELLO);
+            push_opt_u64(&mut out, *resume);
+        }
+        WireMsg::Inc { request_id, initiator } => {
+            out.push(TAG_INC);
+            out.extend_from_slice(&request_id.to_le_bytes());
+            push_opt_u64(&mut out, *initiator);
+        }
+        WireMsg::Stats => out.push(TAG_STATS),
+        WireMsg::HelloOk { session, processor } => {
+            out.push(TAG_HELLO_OK);
+            out.extend_from_slice(&session.to_le_bytes());
+            out.extend_from_slice(&processor.to_le_bytes());
+        }
+        WireMsg::IncOk { request_id, value } => {
+            out.push(TAG_INC_OK);
+            out.extend_from_slice(&request_id.to_le_bytes());
+            out.extend_from_slice(&value.to_le_bytes());
+        }
+        WireMsg::StatsOk(s) => {
+            out.push(TAG_STATS_OK);
+            for field in [
+                s.processors,
+                s.sessions,
+                s.connections,
+                s.ops,
+                s.deduped,
+                s.wire_errors,
+                s.bottleneck,
+                s.retirements,
+            ] {
+                out.extend_from_slice(&field.to_le_bytes());
+            }
+        }
+        WireMsg::Err { code } => {
+            out.push(TAG_ERR);
+            out.extend_from_slice(&code.as_u16().to_le_bytes());
+        }
+    }
+    out
+}
+
+fn push_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        Some(v) => {
+            out.push(1);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        None => out.push(0),
+    }
+}
+
+/// Decodes a payload (tag + fields). Exposed for tests; transport code
+/// uses [`read_frame`].
+///
+/// # Errors
+///
+/// [`WireError::UnknownTag`] or [`WireError::Malformed`].
+pub fn decode(payload: &[u8]) -> Result<WireMsg, WireError> {
+    let (&tag, body) = payload.split_first().ok_or(WireError::Malformed("empty payload"))?;
+    let mut cur = Cursor { body, pos: 0 };
+    let msg = match tag {
+        TAG_HELLO => WireMsg::Hello { resume: cur.opt_u64()? },
+        TAG_INC => WireMsg::Inc { request_id: cur.u64()?, initiator: cur.opt_u64()? },
+        TAG_STATS => WireMsg::Stats,
+        TAG_HELLO_OK => WireMsg::HelloOk { session: cur.u64()?, processor: cur.u64()? },
+        TAG_INC_OK => WireMsg::IncOk { request_id: cur.u64()?, value: cur.u64()? },
+        TAG_STATS_OK => WireMsg::StatsOk(StatsSnapshot {
+            processors: cur.u64()?,
+            sessions: cur.u64()?,
+            connections: cur.u64()?,
+            ops: cur.u64()?,
+            deduped: cur.u64()?,
+            wire_errors: cur.u64()?,
+            bottleneck: cur.u64()?,
+            retirements: cur.u64()?,
+        }),
+        TAG_ERR => WireMsg::Err { code: ErrCode::from_u16(cur.u16()?) },
+        other => return Err(WireError::UnknownTag(other)),
+    };
+    cur.finish()?;
+    Ok(msg)
+}
+
+/// Bounds-checked field reader over a payload body.
+struct Cursor<'a> {
+    body: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], WireError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.body.len());
+        let end = end.ok_or(WireError::Malformed("payload shorter than its tag's layout"))?;
+        let slice = &self.body[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let bytes = self.take(8)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("take(8) returns 8 bytes")))
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let bytes = self.take(2)?;
+        Ok(u16::from_le_bytes(bytes.try_into().expect("take(2) returns 2 bytes")))
+    }
+
+    fn opt_u64(&mut self) -> Result<Option<u64>, WireError> {
+        match self.take(1)?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            _ => Err(WireError::Malformed("option flag must be 0 or 1")),
+        }
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.body.len() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing bytes after the message"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor as IoCursor;
+
+    fn round_trip(msg: WireMsg) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg).expect("write");
+        let mut r = IoCursor::new(buf);
+        assert_eq!(read_frame(&mut r).expect("read"), msg);
+    }
+
+    #[test]
+    fn all_messages_round_trip() {
+        round_trip(WireMsg::Hello { resume: None });
+        round_trip(WireMsg::Hello { resume: Some(42) });
+        round_trip(WireMsg::Inc { request_id: 7, initiator: None });
+        round_trip(WireMsg::Inc { request_id: u64::MAX, initiator: Some(80) });
+        round_trip(WireMsg::Stats);
+        round_trip(WireMsg::HelloOk { session: 3, processor: 17 });
+        round_trip(WireMsg::IncOk { request_id: 9, value: 1234 });
+        round_trip(WireMsg::StatsOk(StatsSnapshot {
+            processors: 81,
+            sessions: 16,
+            connections: 18,
+            ops: 2000,
+            deduped: 2,
+            wire_errors: 1,
+            bottleneck: 55,
+            retirements: 40,
+        }));
+        round_trip(WireMsg::Err { code: ErrCode::UnknownTag });
+        round_trip(WireMsg::Err { code: ErrCode::Other(999) });
+    }
+
+    #[test]
+    fn clean_eof_is_closed_not_truncated() {
+        let mut r = IoCursor::new(Vec::<u8>::new());
+        assert_eq!(read_frame(&mut r), Err(WireError::Closed));
+    }
+
+    #[test]
+    fn partial_length_prefix_is_truncated() {
+        let mut r = IoCursor::new(vec![5u8, 0]);
+        assert_eq!(read_frame(&mut r), Err(WireError::Truncated { context: "the length prefix" }));
+    }
+
+    #[test]
+    fn partial_payload_is_truncated() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &WireMsg::Inc { request_id: 1, initiator: None }).expect("write");
+        buf.truncate(buf.len() - 3);
+        let mut r = IoCursor::new(buf);
+        assert_eq!(read_frame(&mut r), Err(WireError::Truncated { context: "the payload" }));
+    }
+
+    #[test]
+    fn oversized_prefix_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 16]);
+        let mut r = IoCursor::new(buf);
+        assert_eq!(read_frame(&mut r), Err(WireError::Oversized { len: u32::MAX, max: MAX_FRAME }));
+    }
+
+    #[test]
+    fn garbage_tag_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(0x7F);
+        let mut r = IoCursor::new(buf);
+        assert_eq!(read_frame(&mut r), Err(WireError::UnknownTag(0x7F)));
+    }
+
+    #[test]
+    fn zero_length_frame_rejected() {
+        let mut r = IoCursor::new(0u32.to_le_bytes().to_vec());
+        assert_eq!(read_frame(&mut r), Err(WireError::Malformed("zero-length payload")));
+    }
+
+    #[test]
+    fn short_and_long_payloads_rejected() {
+        // Inc with a missing initiator flag byte.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&9u32.to_le_bytes());
+        buf.push(0x02);
+        buf.extend_from_slice(&[0u8; 8]);
+        let mut r = IoCursor::new(buf);
+        assert!(matches!(read_frame(&mut r), Err(WireError::Malformed(_))));
+        // Stats with trailing garbage.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        buf.extend_from_slice(&[0x03, 0, 0]);
+        let mut r = IoCursor::new(buf);
+        assert_eq!(
+            read_frame(&mut r),
+            Err(WireError::Malformed("trailing bytes after the message"))
+        );
+    }
+
+    #[test]
+    fn bad_option_flag_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&[0x01, 7]);
+        let mut r = IoCursor::new(buf);
+        assert_eq!(read_frame(&mut r), Err(WireError::Malformed("option flag must be 0 or 1")));
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(WireError::Oversized { len: 500, max: 256 }.to_string().contains("500"));
+        assert!(WireError::UnknownTag(0xAB).to_string().contains("0xab"));
+        assert!(WireError::Truncated { context: "the payload" }.to_string().contains("payload"));
+        assert!(WireError::Closed.to_string().contains("closed"));
+    }
+}

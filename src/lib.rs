@@ -16,6 +16,7 @@
 //! | [`quorum`] | `distctr-quorum` | quorum systems and the Hot Spot Lemma checker |
 //! | [`bound`] | `distctr-bound` | the executable lower bound: adversary + weight audit |
 //! | [`net`] | `distctr-net` | real-threads backend: the tree counter over OS threads + channels |
+//! | [`server`] | `distctr-server` | TCP service layer: wire codec, counter server, remote client, load generator |
 //! | [`analysis`] | `distctr-analysis` | statistics and report rendering |
 //!
 //! ## Quickstart
@@ -48,6 +49,7 @@ pub use distctr_bound as bound;
 pub use distctr_core as core;
 pub use distctr_net as net;
 pub use distctr_quorum as quorum;
+pub use distctr_server as server;
 pub use distctr_sim as sim;
 
 /// The most common imports for working with the reproduction.
@@ -57,11 +59,15 @@ pub mod prelude {
         StaticTreeCounter,
     };
     pub use distctr_bound::{audit_weights, Adversary};
+    // `CounterBackend` is deliberately NOT here: its `inc` would collide
+    // with `Counter::inc` on `TreeCounter` for every prelude user. Reach
+    // it as `distctr::core::CounterBackend`.
     pub use distctr_core::{
         DistributedFlipBit, DistributedPriorityQueue, RetirementPolicy, TreeClient, TreeCounter,
     };
     pub use distctr_net::ThreadedTreeCounter;
     pub use distctr_quorum::QuorumSystem;
+    pub use distctr_server::{run_load, CounterServer, LoadConfig, RemoteCounter};
     pub use distctr_sim::{
         ConcurrentCounter, ConcurrentDriver, Counter, DeliveryPolicy, FaultPlan, ProcessorId,
         SequentialDriver, TraceMode,
