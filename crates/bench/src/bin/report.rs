@@ -125,6 +125,10 @@ fn main() {
         let (n, ops) = if cfg.quick { (8, 400) } else { (81, 2000) };
         println!("{}", exp_serve::e19_service_loadgen(n, 16, ops));
     }
+    if wants(&cfg, "e20") {
+        let (n, rounds) = if cfg.quick { (8, 3) } else { (81, 7) };
+        println!("{}", exp_backend::e20_engine_throughput(n, rounds));
+    }
 
     if let Some(dir) = &cfg.csv_dir {
         std::fs::create_dir_all(dir).expect("create CSV output directory");

@@ -68,6 +68,48 @@ pub fn e16_backend_agreement(n: usize) -> String {
     out
 }
 
+/// E20 — threaded-backend throughput: wall-clock cost of the canonical
+/// workload (one inc per processor, identity order) on real OS threads.
+///
+/// Each round builds a fresh counter (one-shot pools are dimensioned for
+/// exactly one op per processor), times the `n` incs, and shuts the
+/// threads down outside the timed window. Reported alongside the engine
+/// refactor (EXPERIMENTS.md E20) as the before/after regression check.
+#[must_use]
+pub fn e20_engine_throughput(n: usize, rounds: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "E20. Threaded-backend throughput: {n} incs (identity order) per round, {rounds} rounds\n\n"
+    ));
+    let mut table = Table::new(vec!["round", "elapsed (ms)", "throughput (ops/s)"]);
+    let mut rates: Vec<f64> = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        let mut threads = ThreadedTreeCounter::new(n).expect("threaded tree");
+        let start = std::time::Instant::now();
+        for p in 0..threads.processors() {
+            let v = threads.inc(ProcessorId::new(p)).expect("threaded inc");
+            assert_eq!(v, p as u64, "values stay sequential");
+        }
+        let elapsed = start.elapsed();
+        threads.shutdown().expect("shutdown");
+        let rate = n as f64 / elapsed.as_secs_f64();
+        rates.push(rate);
+        table.row(vec![
+            round.to_string(),
+            format!("{:.2}", elapsed.as_secs_f64() * 1e3),
+            format!("{rate:.0}"),
+        ]);
+    }
+    rates.sort_by(|a, b| a.total_cmp(b));
+    let median = rates[rates.len() / 2];
+    let best = rates.last().copied().unwrap_or(0.0);
+    table.row(vec!["median".into(), "-".into(), format!("{median:.0}")]);
+    table.row(vec!["best".into(), "-".into(), format!("{best:.0}")]);
+    out.push_str(&table.render());
+    out.push('\n');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,5 +120,12 @@ mod tests {
         assert!(report.contains("0 mismatches"), "{report}");
         assert!(report.contains("exact"), "{report}");
         assert!(!report.contains("DIFFERS"), "{report}");
+    }
+
+    #[test]
+    fn e20_reports_a_throughput_per_round() {
+        let report = e20_engine_throughput(8, 2);
+        assert!(report.contains("throughput"), "{report}");
+        assert!(report.contains("median"), "{report}");
     }
 }

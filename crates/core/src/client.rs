@@ -9,7 +9,7 @@ use distctr_sim::{
 use crate::audit::CounterAudit;
 use crate::error::CoreError;
 use crate::kmath::{exact_order, leaves_of_order, order_for, MAX_ORDER};
-use crate::messages::TreeMsg;
+use crate::messages::Msg;
 use crate::object::RootObject;
 use crate::protocol::{PoolPolicy, RetirementPolicy, TreeProtocol};
 use crate::topology::{NodeRef, Topology};
@@ -123,7 +123,7 @@ impl<O: RootObject> TreeClientBuilder<O> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct TreeClient<O: RootObject> {
-    net: Network<TreeMsg<O::Request, O::Response>>,
+    net: Network<Msg<O>>,
     proto: TreeProtocol<O>,
     next_op: usize,
     watchdog_retries: u64,
@@ -251,7 +251,7 @@ impl<O: RootObject> TreeClient<O> {
             op,
             initiator,
             worker,
-            TreeMsg::Apply { node: leaf_parent, origin: initiator, req },
+            Msg::Apply { node: leaf_parent, origin: initiator, op_seq: op.index() as u64, req },
         );
         let stats = self.net.run_to_quiescence(&mut self.proto)?;
         self.proto.audit_mut().end_op();
@@ -387,7 +387,12 @@ impl<O: RootObject> TreeClient<O> {
                     op,
                     initiator,
                     entry_worker,
-                    TreeMsg::Apply { node: leaf_parent, origin: initiator, req: req.clone() },
+                    Msg::Apply {
+                        node: leaf_parent,
+                        origin: initiator,
+                        op_seq: op.index() as u64,
+                        req: req.clone(),
+                    },
                 );
             }
             let stats = self.net.run_to_quiescence(&mut self.proto)?;
@@ -398,6 +403,14 @@ impl<O: RootObject> TreeClient<O> {
             // Quiescent with no response: the op (or its reply) was lost
             // to a drop or a crash. Repair and retry.
             self.watchdog_retries += 1;
+            // A plain retry heals a dropped message; if it did not, some
+            // engine on the path may hold a stale routing view (a lost
+            // NewWorker after a retirement or recovery leaves it sending
+            // to a dead processor forever). Re-advertise the registry's
+            // worker of every path node to the engine below it.
+            if attempts >= 2 {
+                self.refresh_path_routing(op, &path);
+            }
         };
         self.proto.audit_mut().end_op();
         let trace = self.net.finish_op(op);
@@ -417,9 +430,13 @@ impl<O: RootObject> TreeClient<O> {
     }
 
     /// One watchdog repair pass: for every node whose worker is down,
-    /// whose handoff successor died mid-handoff, or whose recovery
-    /// stalled (quiescent while still collecting shares), inject a
-    /// [`TreeMsg::RecoverPromote`] self-message at a live pool successor.
+    /// whose handoff stalled (quiescent while the state-bearing final is
+    /// still unaccounted for — the successor either died or never got
+    /// it), or whose recovery stalled (quiescent while still collecting
+    /// shares), inject a [`Msg::RecoverPromote`] self-message at a live
+    /// pool successor. The promote realizes the engine's `SetTimer`
+    /// protection: quiescence with the transfer still open *is* the
+    /// timeout.
     ///
     /// Nodes with no live successor are fatal only when they sit on the
     /// operation's `path`; off-path stranded nodes are left alone (their
@@ -432,11 +449,13 @@ impl<O: RootObject> TreeClient<O> {
         for flat in 0..node_count {
             let node = self.proto.topology().node_at(flat);
             let st = self.proto.node_state(flat);
-            let pending_dead = st.pending_worker.is_some_and(|p| self.net.is_crashed(p));
             let worker_dead = self.net.is_crashed(st.worker);
-            let stuck_handoff = st.handing_off && pending_dead;
+            // A handoff still open at quiescence lost its final part
+            // (with the migrating state aboard) to a drop or a crash:
+            // rebuild from the neighbours exactly as after a crash.
+            let stalled_handoff = st.handing_off;
             let stalled_recovery = st.recovering;
-            if !worker_dead && !stuck_handoff && !stalled_recovery {
+            if !worker_dead && !stalled_handoff && !stalled_recovery {
                 continue;
             }
             let Some(successor) = self.live_successor(node, flat) else {
@@ -451,19 +470,79 @@ impl<O: RootObject> TreeClient<O> {
                 }
                 continue;
             };
+            // The promote carries the watchdog's registry view of the
+            // node's neighbourhood: the successor's own routing view died
+            // with the old worker, so the promote must tell it where to
+            // send its rebuild queries.
+            let neighbours = self.neighbour_workers(node);
             // The promote models the successor's own watchdog timeout: a
             // self-message, charged to the successor.
-            self.net.inject(op, successor, successor, TreeMsg::RecoverPromote { node });
+            self.net.inject(op, successor, successor, Msg::RecoverPromote { node, neighbours });
         }
         Ok(())
     }
 
+    /// The node's inner neighbours (parent plus inner children) with the
+    /// worker each is currently reachable at: its registry worker, or —
+    /// when the neighbour is itself mid-recovery (pools overlap along
+    /// root paths, so one crash can take out a whole ancestor chain) —
+    /// the successor being promoted for it. Any pool member can answer a
+    /// rebuild query, since a share's content is the neighbour's own
+    /// identity.
+    fn neighbour_workers(&self, node: NodeRef) -> Vec<(NodeRef, ProcessorId)> {
+        let topo = self.proto.topology();
+        topo.parent(node)
+            .into_iter()
+            .chain(topo.inner_children(node).unwrap_or_default())
+            .map(|neighbour| (neighbour, self.reachable_worker(neighbour)))
+            .collect()
+    }
+
+    /// The processor `node` is currently reachable at: its registry
+    /// worker, or — mid-recovery — the successor being promoted for it.
+    fn reachable_worker(&self, node: NodeRef) -> ProcessorId {
+        let st = self.proto.node_state(self.proto.topology().flat_index(node));
+        if st.recovering {
+            st.pending_worker.unwrap_or(st.worker)
+        } else {
+            st.worker
+        }
+    }
+
+    /// Repairs stale engine routing along the operation's path: for each
+    /// path node with a parent, inject a [`Msg::NewWorker`] self-message
+    /// at the node's worker re-announcing the parent's current worker.
+    /// Engines route with strictly local knowledge, so a `NewWorker`
+    /// notification lost to a drop or a crash leaves the engine below
+    /// forwarding to a dead processor indefinitely; the registry (which
+    /// the driver keeps current from the engines' install/recover
+    /// effects) is the directory that re-seeds that knowledge. Costs at
+    /// most `k + 1` self-messages per invocation, charged like any other
+    /// protocol traffic.
+    fn refresh_path_routing(&mut self, op: OpId, path: &[usize]) {
+        for &flat in path {
+            let node = self.proto.topology().node_at(flat);
+            let Some(parent) = self.proto.topology().parent(node) else { continue };
+            let worker = self.reachable_worker(node);
+            if self.net.is_crashed(worker) {
+                continue; // promote_successors owns the dead-worker case
+            }
+            let new_worker = self.reachable_worker(parent);
+            self.net.inject(
+                op,
+                worker,
+                worker,
+                Msg::NewWorker { node, retired: parent, new_worker },
+            );
+        }
+    }
+
     /// The next live processor of `node`'s pool, if one is left. A
-    /// recovery already in flight keeps its successor (the promote is a
-    /// restart, not a new promotion).
+    /// recovery or handoff already in flight keeps its successor (the
+    /// promote is a restart or rescue, not a new promotion).
     fn live_successor(&self, node: NodeRef, flat: usize) -> Option<ProcessorId> {
         let st = self.proto.node_state(flat);
-        if st.recovering {
+        if st.recovering || st.handing_off {
             if let Some(p) = st.pending_worker {
                 if !self.net.is_crashed(p) {
                     return Some(p);

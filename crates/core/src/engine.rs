@@ -1,0 +1,1226 @@
+//! The sans-io protocol engine: one state machine, three backends.
+//!
+//! Following the I/O-automaton shape (a protocol is pure state plus a
+//! transition function; schedulers, clocks and wires live outside it),
+//! every protocol decision of the retirement tree — `Apply` forwarding,
+//! value return, retirement handoff, pool-successor promotion, and crash
+//! recovery — is made in exactly one place: [`NodeEngine::on_event`].
+//! The engine never touches a channel, a clock or a counter directly;
+//! it consumes [`Event`]s and returns pure [`Effect`]s, and each
+//! execution layer is a thin driver that realizes those effects on its
+//! own transport:
+//!
+//! | driver | `Send` | `Reply` | `SetTimer` | `Audit` |
+//! |---|---|---|---|---|
+//! | simulator ([`TreeProtocol`](crate::protocol::TreeProtocol)) | sim network | pending response | client watchdog at quiescence | [`CounterAudit`](crate::audit::CounterAudit) ledger |
+//! | threads (`distctr-net`) | crossbeam channel | results channel | driver retry/backoff | shared atomic counters |
+//!
+//! One engine instance models one *processor* (mirroring the threaded
+//! backend, where all knowledge is local and node state genuinely
+//! migrates inside [`Msg::HandoffFinal`]); the single-threaded simulator
+//! simply owns a vector of engines, one per processor.
+//!
+//! ## State model
+//!
+//! The engine hosts the nodes this processor currently works for. A
+//! retirement removes the node and leaves a forwarding address (the
+//! shim: messages that still arrive are forwarded to the successor for
+//! one extra hop, the paper's handshake argument); the successor buffers
+//! early traffic until the state-bearing final part installs the node.
+//! Crash recovery is a *forced retirement*: the promoted successor
+//! rebuilds the k+2-value state from one [`Msg::RebuildShare`] per
+//! distinct neighbour instead of a handoff from the dead worker.
+//!
+//! Timer effects are advisory: the engine brackets every handoff and
+//! rebuild with [`Effect::SetTimer`]/[`Effect::CancelTimer`] so an async
+//! driver could arm real timeouts; the current drivers realize the same
+//! protection at quiescence (the simulator's client watchdog) or by
+//! bounded retry (the threaded driver), and ignore the effects.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use distctr_sim::ProcessorId;
+
+use crate::kmath;
+use crate::messages::{Msg, NodeTransfer};
+use crate::object::RootObject;
+use crate::topology::{NodeRef, Topology};
+
+/// Monotone protocol time, in driver-defined ticks. The simulator feeds
+/// its `SimTime`; the threaded driver, which has no virtual clock, feeds
+/// [`VirtualTime::ZERO`] (its retry loop plays the watchdog instead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct VirtualTime(pub u64);
+
+impl VirtualTime {
+    /// Time zero.
+    pub const ZERO: VirtualTime = VirtualTime(0);
+
+    /// The raw tick count.
+    #[must_use]
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::ops::Add<u64> for VirtualTime {
+    type Output = VirtualTime;
+    fn add(self, rhs: u64) -> VirtualTime {
+        VirtualTime(self.0 + rhs)
+    }
+}
+
+/// Ticks after which an unfinished handoff or rebuild should be treated
+/// as lost (the deadline the engine stamps on [`Effect::SetTimer`]).
+pub const WATCHDOG_TICKS: u64 = 16;
+
+/// Retirement behaviour of the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RetirementPolicy {
+    /// The paper's threshold: retire at age `4k`.
+    #[default]
+    PaperDefault,
+    /// Retire at a custom age (ablation experiments).
+    AfterAge(u64),
+    /// Never retire — this is exactly the static-tree baseline the paper
+    /// argues is bottlenecked at the root.
+    Never,
+}
+
+impl RetirementPolicy {
+    /// The concrete age threshold for an order-`k` tree, or `None` for
+    /// [`RetirementPolicy::Never`].
+    #[must_use]
+    pub fn threshold(self, k: u32) -> Option<u64> {
+        match self {
+            RetirementPolicy::PaperDefault => Some(kmath::retirement_threshold(k)),
+            RetirementPolicy::AfterAge(age) => Some(age.max(1)),
+            RetirementPolicy::Never => None,
+        }
+    }
+}
+
+/// How a node's replacement pool is consumed.
+///
+/// The paper dimensions each pool for the canonical workload (each
+/// processor increments exactly once): `pool_size - 1` retirements
+/// suffice, and a drained pool is never touched again. For longer
+/// operation sequences (M rounds of the canonical workload) that
+/// dimensioning is too small — [`PoolPolicy::Recycling`] wraps around the
+/// pool instead, keeping the *amortized* per-processor load at O(k) per
+/// round. This is an extension beyond the paper, exercised by experiment
+/// E15.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PoolPolicy {
+    /// The paper's scheme: a node stops retiring when its pool is
+    /// exhausted.
+    #[default]
+    OneShot,
+    /// Wrap around the pool: after the last id, reuse the first.
+    Recycling,
+}
+
+/// Static per-run parameters of a [`NodeEngine`]. The two drivers differ
+/// only here — protocol transitions are identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Retirement age threshold; `None` disables retirement (the
+    /// static-tree ablation).
+    pub threshold: Option<u64>,
+    /// How replacement pools are consumed.
+    pub pool_policy: PoolPolicy,
+    /// Root reply-cache capacity (oldest entries evicted beyond it).
+    pub reply_cache_cap: usize,
+    /// Whether the root answers duplicate `op_seq`s from the reply cache
+    /// (exactly-once retries). The threaded driver always dedupes; the
+    /// simulator arms this with its fault-tolerant mode so fault-free
+    /// runs pay nothing.
+    pub dedupe: bool,
+    /// Whether every fresh root application emits [`Effect::Persist`] —
+    /// the simulator's stable-storage model, powering root crash
+    /// recovery. The threaded driver has no stable storage and leaves
+    /// this off.
+    pub persist: bool,
+}
+
+impl EngineConfig {
+    /// The paper's configuration for an order-`k` tree: retire at `4k`,
+    /// one-shot pools, no dedupe, no stable storage.
+    #[must_use]
+    pub fn paper(k: u32) -> Self {
+        EngineConfig {
+            threshold: Some(kmath::retirement_threshold(k)),
+            pool_policy: PoolPolicy::OneShot,
+            reply_cache_cap: usize::MAX,
+            dedupe: false,
+            persist: false,
+        }
+    }
+}
+
+/// The k+2 values of one hosted node (plus the object at the root): the
+/// paper's "id that tells which processor currently works for the node,
+/// the identifiers of its k children and its parent, and … its age".
+#[derive(Debug, Clone)]
+pub struct Hosted<O: RootObject> {
+    /// Messages sent or received by the node in the current stint.
+    pub age: u64,
+    /// Retirements so far (worker = pool start + cursor).
+    pub pool_cursor: u64,
+    /// Current worker of the parent node (None at the root).
+    pub parent_worker: Option<ProcessorId>,
+    /// Inner-node children's workers (empty on level k).
+    pub child_workers: Vec<ProcessorId>,
+    /// Hosted object (root only).
+    pub object: Option<O>,
+    /// Replies already sent, keyed by op sequence (root only); migrates
+    /// with the object on handoff.
+    pub reply_cache: Vec<(u64, O::Response)>,
+}
+
+/// An input to the engine.
+#[derive(Debug, Clone)]
+pub enum Event<O: RootObject> {
+    /// A protocol message was delivered to this processor.
+    Deliver {
+        /// The message.
+        msg: Msg<O>,
+    },
+    /// The local user asks this processor to initiate one operation.
+    Invoke {
+        /// Driver-assigned operation sequence number.
+        op_seq: u64,
+        /// The operation payload.
+        req: O::Request,
+    },
+    /// Stable storage restores a recovered node's object state (the
+    /// driver answers [`Effect::Recovered`] for the root with this).
+    Restore {
+        /// The node being restored.
+        node: NodeRef,
+        /// The object state from stable storage.
+        object: O,
+        /// The reply cache from stable storage (exactly-once across the
+        /// crash).
+        reply_cache: Vec<(u64, O::Response)>,
+    },
+}
+
+/// Ledger entries the engine emits so drivers can account identically.
+/// The simulator maps these 1:1 onto
+/// [`CounterAudit`](crate::audit::CounterAudit) calls; the threaded
+/// driver keeps only the shared counters it reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditEvent {
+    /// `node`'s worker handled a message of `kind`, aging the node by
+    /// `aged` (2 for an apply: receive + forward; 1 for a notification).
+    Handled {
+        /// The node that grew older.
+        node: NodeRef,
+        /// Message kind, as [`Msg::kind`].
+        kind: &'static str,
+        /// Age growth (also the node's message count for this delivery).
+        aged: u64,
+    },
+    /// A message of `kind` was handled without aging anyone.
+    Kind(&'static str),
+    /// `msgs` messages were charged to `node`'s current stint without
+    /// aging it through [`AuditEvent::Handled`] (handoff parts and
+    /// notifications sent on retirement/recovery).
+    Traffic {
+        /// The node whose stint the messages belong to.
+        node: NodeRef,
+        /// Number of messages.
+        msgs: u64,
+    },
+    /// A message reached a retired worker and was forwarded to the
+    /// successor by the shim.
+    ShimForward,
+    /// `node` began an ordinary retirement.
+    Retirement {
+        /// The retiring node.
+        node: NodeRef,
+    },
+    /// `node` reached the threshold with no successor available.
+    PoolExhausted {
+        /// The blocked node.
+        node: NodeRef,
+    },
+    /// A stint of `node` completed (handoff or rebuild installed here);
+    /// the new stint starts charged with the `setup_msgs` that installed
+    /// it.
+    StintComplete {
+        /// The node that changed hands.
+        node: NodeRef,
+        /// Messages that set the new stint up (k+1 handoff parts, or one
+        /// rebuild share per neighbour).
+        setup_msgs: u64,
+    },
+    /// A crash recovery of `node` completed.
+    Recovery {
+        /// The recovered node.
+        node: NodeRef,
+    },
+    /// `count` recovery messages (promotes, queries, shares) were
+    /// exchanged — the explicit slack term of the fault-aware load
+    /// bound. Recovery traffic never ages nodes.
+    RecoveryMsgs {
+        /// Number of messages.
+        count: u64,
+    },
+    /// A message had to be dropped (lost routing view or missing object
+    /// state after an unrecovered crash).
+    Lost,
+}
+
+/// A pure output of the engine; drivers realize these on their
+/// transport.
+#[derive(Debug, Clone)]
+pub enum Effect<O: RootObject> {
+    /// Send `msg` to `to` (charged as network load by the driver).
+    Send {
+        /// Destination processor.
+        to: ProcessorId,
+        /// The message.
+        msg: Msg<O>,
+    },
+    /// Deliver `resp` to the local user who invoked operation `op_seq`
+    /// (the initiator received the root's `Reply`).
+    Reply {
+        /// Operation sequence number.
+        op_seq: u64,
+        /// The response.
+        resp: O::Response,
+    },
+    /// Arm a watchdog for `node`: if the matching [`Effect::CancelTimer`]
+    /// has not arrived by `deadline`, the in-flight handoff or rebuild
+    /// should be presumed lost and recovery started.
+    SetTimer {
+        /// The node being watched.
+        node: NodeRef,
+        /// When to fire.
+        deadline: VirtualTime,
+    },
+    /// Disarm `node`'s watchdog (the handoff or rebuild completed).
+    CancelTimer {
+        /// The node no longer being watched.
+        node: NodeRef,
+    },
+    /// This processor retired from `node`; `successor` will take over
+    /// once the in-flight handoff installs there.
+    Retired {
+        /// The node changing hands.
+        node: NodeRef,
+        /// The pool successor the handoff is addressed to.
+        successor: ProcessorId,
+    },
+    /// A handoff installed `node` at this processor (`worker`), which
+    /// now serves it with the given pool cursor.
+    Installed {
+        /// The node that changed hands.
+        node: NodeRef,
+        /// The new worker (the emitting engine's processor).
+        worker: ProcessorId,
+        /// The node's position in its replacement pool.
+        pool_cursor: u64,
+    },
+    /// A crash recovery of `node` started at this processor
+    /// (`successor`), which is now collecting rebuild shares.
+    RecoveryStarted {
+        /// The node being rebuilt.
+        node: NodeRef,
+        /// The promoted pool successor (the emitting engine's
+        /// processor).
+        successor: ProcessorId,
+    },
+    /// A crash recovery of `node` completed: this processor (`worker`)
+    /// serves it now. For the root, the driver should follow up with
+    /// [`Event::Restore`] from stable storage.
+    Recovered {
+        /// The rebuilt node.
+        node: NodeRef,
+        /// The new worker (the emitting engine's processor).
+        worker: ProcessorId,
+        /// The node's position in its replacement pool.
+        pool_cursor: u64,
+    },
+    /// Stable storage checkpoint: the root applied operation `op_seq`
+    /// fresh, producing `resp` and the new `object` state. Only emitted
+    /// with [`EngineConfig::persist`].
+    Persist {
+        /// The node whose state is checkpointed (the root).
+        node: NodeRef,
+        /// The object state after the application.
+        object: O,
+        /// The operation just applied.
+        op_seq: u64,
+        /// Its response.
+        resp: O::Response,
+    },
+    /// An accounting entry; see [`AuditEvent`].
+    Audit(AuditEvent),
+}
+
+/// The effects of one [`NodeEngine::on_event`] call, in emission order
+/// (audit entries are ordered consistently with the simulator's
+/// pre-refactor ledger).
+pub type Effects<O> = Vec<Effect<O>>;
+
+/// How many rebuild shares a recovery of `node` must collect: one per
+/// inner neighbour (parent plus inner children). Leaf children hold no
+/// share — but level-k nodes have singleton pools and are never promoted
+/// in the first place.
+#[must_use]
+pub fn expected_shares(topo: &Topology, node: NodeRef) -> u32 {
+    let parent = u32::from(topo.parent(node).is_some());
+    let children = topo.inner_children(node).map_or(0, |c| c.len() as u32);
+    parent + children
+}
+
+/// Seeds the initial hosting across a fleet of per-processor engines:
+/// each node is installed at its pool's first processor, with neighbour
+/// routing derived from the topology and `object` hosted at the root.
+///
+/// # Panics
+///
+/// Panics if `engines` does not hold one engine per processor of
+/// `topo`, in processor order.
+pub fn seed_initial_hosting<O: RootObject>(
+    topo: &Topology,
+    engines: &mut [NodeEngine<O>],
+    object: &O,
+) {
+    assert_eq!(engines.len() as u64, topo.processors(), "one engine per processor");
+    for node in topo.nodes() {
+        let worker = topo.initial_worker(node);
+        let parent_worker = topo.parent(node).map(|p| topo.initial_worker(p));
+        let child_workers = topo
+            .inner_children(node)
+            .map(|children| children.iter().map(|&c| topo.initial_worker(c)).collect())
+            .unwrap_or_default();
+        engines[worker.index()].install(
+            node,
+            Hosted {
+                age: 0,
+                pool_cursor: 0,
+                parent_worker,
+                child_workers,
+                object: (node == NodeRef::ROOT).then(|| object.clone()),
+                reply_cache: Vec::new(),
+            },
+        );
+    }
+}
+
+/// The per-processor protocol state machine. See the module docs.
+#[derive(Debug, Clone)]
+pub struct NodeEngine<O: RootObject> {
+    me: ProcessorId,
+    topo: Arc<Topology>,
+    config: EngineConfig,
+    /// Nodes this processor currently works for.
+    hosted: HashMap<NodeRef, Hosted<O>>,
+    /// Nodes this processor retired from, with the successor to forward
+    /// to (the shim).
+    forwarding: HashMap<NodeRef, ProcessorId>,
+    /// Messages for nodes whose handoff has not arrived here yet.
+    pending: HashMap<NodeRef, Vec<Msg<O>>>,
+    /// In-flight rebuilds: per node, the distinct neighbours that
+    /// answered so far with the worker each reported.
+    rebuilding: HashMap<NodeRef, HashMap<NodeRef, ProcessorId>>,
+}
+
+impl<O: RootObject> NodeEngine<O> {
+    /// An engine for processor `me`, hosting nothing yet (see
+    /// [`seed_initial_hosting`]).
+    #[must_use]
+    pub fn new(me: ProcessorId, topo: Arc<Topology>, config: EngineConfig) -> Self {
+        NodeEngine {
+            me,
+            topo,
+            config,
+            hosted: HashMap::new(),
+            forwarding: HashMap::new(),
+            pending: HashMap::new(),
+            rebuilding: HashMap::new(),
+        }
+    }
+
+    /// The processor this engine models.
+    #[must_use]
+    pub fn me(&self) -> ProcessorId {
+        self.me
+    }
+
+    /// The engine's static configuration.
+    #[must_use]
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Arms or disarms reply-cache deduplication at runtime (the
+    /// simulator toggles it with its fault-tolerant mode).
+    pub fn set_dedupe(&mut self, enabled: bool) {
+        self.config.dedupe = enabled;
+    }
+
+    /// Whether this processor currently works for `node`.
+    #[must_use]
+    pub fn hosts(&self, node: NodeRef) -> bool {
+        self.hosted.contains_key(&node)
+    }
+
+    /// The hosted state of `node`, if this processor works for it.
+    #[must_use]
+    pub fn hosted(&self, node: NodeRef) -> Option<&Hosted<O>> {
+        self.hosted.get(&node)
+    }
+
+    /// Installs `node` here directly (initial seeding; protocol-driven
+    /// installs go through [`Msg::HandoffFinal`]).
+    pub fn install(&mut self, node: NodeRef, hosted: Hosted<O>) {
+        self.hosted.insert(node, hosted);
+    }
+
+    /// The single entry point: consumes one event, returns the effects.
+    pub fn on_event(&mut self, event: Event<O>, now: VirtualTime) -> Effects<O> {
+        let mut fx = Vec::new();
+        match event {
+            Event::Deliver { msg } => self.on_msg(msg, now, &mut fx),
+            Event::Invoke { op_seq, req } => {
+                // Level-k nodes have singleton pools and never move, so
+                // the leaf's entry point into the tree is static.
+                let leaf_parent = self.topo.leaf_parent(self.me.index() as u64);
+                let worker = self.topo.initial_worker(leaf_parent);
+                fx.push(Effect::Send {
+                    to: worker,
+                    msg: Msg::Apply { node: leaf_parent, origin: self.me, op_seq, req },
+                });
+            }
+            Event::Restore { node, object, reply_cache } => {
+                if let Some(h) = self.hosted.get_mut(&node) {
+                    h.object = Some(object);
+                    h.reply_cache = reply_cache;
+                    // The object is back; traffic buffered during the
+                    // rebuild can flow now.
+                    self.replay_pending(node, now, &mut fx);
+                }
+            }
+        }
+        fx
+    }
+
+    fn on_msg(&mut self, msg: Msg<O>, now: VirtualTime, fx: &mut Effects<O>) {
+        match msg {
+            Msg::Apply { node, origin, op_seq, req } => {
+                self.on_apply(node, origin, op_seq, req, now, fx);
+            }
+            Msg::Reply { op_seq, resp } => {
+                fx.push(Effect::Audit(AuditEvent::Kind("reply")));
+                fx.push(Effect::Reply { op_seq, resp });
+            }
+            Msg::HandoffPart { .. } => {
+                // Unit parts only carry load; the final part installs.
+                fx.push(Effect::Audit(AuditEvent::Kind("handoff")));
+            }
+            Msg::HandoffFinal { transfer } => self.on_handoff_final(*transfer, now, fx),
+            m @ Msg::NewWorker { .. } => self.on_new_worker(m, now, fx),
+            Msg::NewWorkerLeaf { .. } => {
+                fx.push(Effect::Audit(AuditEvent::Kind("new-worker-leaf")));
+            }
+            Msg::RecoverPromote { node, neighbours } => {
+                self.on_recover_promote(node, neighbours, now, fx);
+            }
+            Msg::RebuildQuery { node, neighbour, successor } => {
+                fx.push(Effect::Audit(AuditEvent::Kind("rebuild-query")));
+                // Query received plus share sent. Any processor that
+                // serves (or served) the neighbour can answer — the
+                // share's content is the neighbour's identity and a
+                // worker it answers at, which every pool member knows.
+                fx.push(Effect::Audit(AuditEvent::RecoveryMsgs { count: 2 }));
+                fx.push(Effect::Send {
+                    to: successor,
+                    msg: Msg::RebuildShare { node, neighbour, worker: self.me },
+                });
+            }
+            Msg::RebuildShare { node, neighbour, worker } => {
+                self.on_rebuild_share(node, neighbour, worker, now, fx);
+            }
+        }
+    }
+
+    /// Shims or buffers a message for a node this processor no longer
+    /// (or does not yet) work for. Returns `true` if the message was
+    /// consumed.
+    fn shim_or_buffer(&mut self, node: NodeRef, msg: Msg<O>, fx: &mut Effects<O>) -> bool {
+        if self.hosted.contains_key(&node) {
+            return false;
+        }
+        if let Some(&successor) = self.forwarding.get(&node) {
+            // Shim: forward to the successor we handed the node to
+            // (counts as one extra message, the paper's handshake
+            // argument).
+            fx.push(Effect::Audit(AuditEvent::ShimForward));
+            fx.push(Effect::Send { to: successor, msg });
+        } else {
+            // The handoff has not reached us yet; deliver when it does.
+            self.pending.entry(node).or_default().push(msg);
+        }
+        true
+    }
+
+    fn on_apply(
+        &mut self,
+        node: NodeRef,
+        origin: ProcessorId,
+        op_seq: u64,
+        req: O::Request,
+        now: VirtualTime,
+        fx: &mut Effects<O>,
+    ) {
+        if self.shim_or_buffer(node, Msg::Apply { node, origin, op_seq, req: req.clone() }, fx) {
+            return;
+        }
+        fx.push(Effect::Audit(AuditEvent::Handled { node, kind: "apply", aged: 2 }));
+        let h = self.hosted.get_mut(&node).expect("hosted checked above");
+        h.age += 2;
+        if node == NodeRef::ROOT {
+            // Deduplicate by operation: a retried (or network-duplicated)
+            // Apply for an operation already executed re-sends the
+            // cached response instead of applying twice.
+            let cached = self
+                .config
+                .dedupe
+                .then(|| h.reply_cache.iter().find(|(seq, _)| *seq == op_seq))
+                .flatten()
+                .map(|(_, resp)| resp.clone());
+            let resp = if let Some(resp) = cached {
+                resp
+            } else {
+                let Some(object) = h.object.as_mut() else {
+                    // State was lost (crash without recovery): the
+                    // operation dies here instead of aborting the run.
+                    fx.push(Effect::Audit(AuditEvent::Lost));
+                    return;
+                };
+                let resp = object.apply(req);
+                h.reply_cache.push((op_seq, resp.clone()));
+                if h.reply_cache.len() > self.config.reply_cache_cap {
+                    h.reply_cache.remove(0);
+                }
+                if self.config.persist {
+                    fx.push(Effect::Persist {
+                        node,
+                        object: object.clone(),
+                        op_seq,
+                        resp: resp.clone(),
+                    });
+                }
+                resp
+            };
+            fx.push(Effect::Send { to: origin, msg: Msg::Reply { op_seq, resp } });
+        } else {
+            let parent = self.topo.parent(node).expect("non-root has a parent");
+            let Some(parent_worker) = h.parent_worker else {
+                // An inner node that has lost its routing view drops the
+                // request rather than aborting.
+                fx.push(Effect::Audit(AuditEvent::Lost));
+                return;
+            };
+            fx.push(Effect::Send {
+                to: parent_worker,
+                msg: Msg::Apply { node: parent, origin, op_seq, req },
+            });
+        }
+        self.maybe_retire(node, now, fx);
+    }
+
+    fn on_new_worker(&mut self, msg: Msg<O>, now: VirtualTime, fx: &mut Effects<O>) {
+        let Msg::NewWorker { node, retired, new_worker } = msg else { unreachable!() };
+        if self.shim_or_buffer(node, Msg::NewWorker { node, retired, new_worker }, fx) {
+            return;
+        }
+        fx.push(Effect::Audit(AuditEvent::Handled { node, kind: "new-worker", aged: 1 }));
+        let h = self.hosted.get_mut(&node).expect("hosted checked above");
+        h.age += 1;
+        if self.topo.parent(node) == Some(retired) {
+            h.parent_worker = Some(new_worker);
+        } else if let Some(children) = self.topo.inner_children(node) {
+            if let Some(idx) = children.iter().position(|&c| c == retired) {
+                h.child_workers[idx] = new_worker;
+            }
+        }
+        self.maybe_retire(node, now, fx);
+    }
+
+    fn on_handoff_final(
+        &mut self,
+        transfer: NodeTransfer<O>,
+        now: VirtualTime,
+        fx: &mut Effects<O>,
+    ) {
+        fx.push(Effect::Audit(AuditEvent::Kind("handoff-final")));
+        let node = transfer.node;
+        self.hosted.insert(
+            node,
+            Hosted {
+                age: 0,
+                pool_cursor: transfer.pool_cursor,
+                parent_worker: transfer.parent_worker,
+                child_workers: transfer.child_workers,
+                object: transfer.object,
+                reply_cache: transfer.reply_cache,
+            },
+        );
+        // We are the current worker now; drop any stale forwarding entry
+        // (possible if this processor served the node in a previous
+        // recycling epoch).
+        self.forwarding.remove(&node);
+        fx.push(Effect::Installed { node, worker: self.me, pool_cursor: transfer.pool_cursor });
+        fx.push(Effect::CancelTimer { node });
+        // The stint that just ended absorbed the k+1 handoff messages;
+        // they seed the new stint's count.
+        let setup = u64::from(self.topo.order()) + 1;
+        fx.push(Effect::Audit(AuditEvent::StintComplete { node, setup_msgs: setup }));
+        self.replay_pending(node, now, fx);
+    }
+
+    fn on_recover_promote(
+        &mut self,
+        node: NodeRef,
+        neighbours: Vec<(NodeRef, ProcessorId)>,
+        now: VirtualTime,
+        fx: &mut Effects<O>,
+    ) {
+        fx.push(Effect::Audit(AuditEvent::Kind("recover-promote")));
+        if self.hosted.contains_key(&node) {
+            // Stale promotion: this processor already took over.
+            return;
+        }
+        // (Re-)start the collection: a repeated promotion is the retry
+        // path when rebuild traffic is itself lost.
+        self.rebuilding.insert(node, HashMap::new());
+        fx.push(Effect::RecoveryStarted { node, successor: self.me });
+        fx.push(Effect::SetTimer { node, deadline: now + WATCHDOG_TICKS });
+        let queries = neighbours.len() as u64;
+        for (neighbour, worker) in neighbours {
+            fx.push(Effect::Send {
+                to: worker,
+                msg: Msg::RebuildQuery { node, neighbour, successor: self.me },
+            });
+        }
+        // The promote delivery plus the queries it sent.
+        fx.push(Effect::Audit(AuditEvent::RecoveryMsgs { count: 1 + queries }));
+    }
+
+    fn on_rebuild_share(
+        &mut self,
+        node: NodeRef,
+        neighbour: NodeRef,
+        worker: ProcessorId,
+        now: VirtualTime,
+        fx: &mut Effects<O>,
+    ) {
+        fx.push(Effect::Audit(AuditEvent::Kind("rebuild-share")));
+        fx.push(Effect::Audit(AuditEvent::RecoveryMsgs { count: 1 }));
+        let Some(collected) = self.rebuilding.get_mut(&node) else {
+            // Late or duplicated share, no rebuild in flight: ignore.
+            return;
+        };
+        collected.insert(neighbour, worker);
+        // Every *distinct* neighbour must answer (a duplicated share
+        // must not complete the rebuild with a neighbour missing).
+        let needed = expected_shares(&self.topo, node);
+        if (collected.len() as u32) < needed {
+            return;
+        }
+        let collected = self.rebuilding.remove(&node).expect("present above");
+        // Align the pool cursor with the promoted worker so a later
+        // ordinary retirement continues from the right place.
+        let pool = self.topo.pool(node);
+        let me = self.me.index() as u64;
+        debug_assert!(pool.contains(&me), "successor must come from the node's pool");
+        let pool_cursor = me - pool.start;
+        let parent = self.topo.parent(node);
+        let parent_worker = parent.map(|p| *collected.get(&p).expect("parent share collected"));
+        let child_workers: Vec<ProcessorId> = self
+            .topo
+            .inner_children(node)
+            .map(|children| {
+                children.iter().map(|c| *collected.get(c).expect("child share collected")).collect()
+            })
+            .unwrap_or_default();
+        self.hosted.insert(
+            node,
+            Hosted {
+                age: 0,
+                pool_cursor,
+                parent_worker,
+                child_workers: child_workers.clone(),
+                // The object (root only) comes back from stable storage:
+                // the driver answers `Recovered` with `Event::Restore`.
+                object: None,
+                reply_cache: Vec::new(),
+            },
+        );
+        self.forwarding.remove(&node);
+        fx.push(Effect::Recovered { node, worker: self.me, pool_cursor });
+        fx.push(Effect::CancelTimer { node });
+        fx.push(Effect::Audit(AuditEvent::Recovery { node }));
+        fx.push(Effect::Audit(AuditEvent::StintComplete { node, setup_msgs: u64::from(needed) }));
+        // Parent and children learn the new worker id through the normal
+        // notification messages (ordinary, aging traffic).
+        let mut notifications = 0u64;
+        if let (Some(parent), Some(w)) = (parent, parent_worker) {
+            fx.push(Effect::Send {
+                to: w,
+                msg: Msg::NewWorker { node: parent, retired: node, new_worker: self.me },
+            });
+            notifications += 1;
+        }
+        match self.topo.inner_children(node) {
+            Some(children) => {
+                for (idx, child) in children.into_iter().enumerate() {
+                    fx.push(Effect::Send {
+                        to: child_workers[idx],
+                        msg: Msg::NewWorker { node: child, retired: node, new_worker: self.me },
+                    });
+                    notifications += 1;
+                }
+            }
+            None => {
+                for leaf in self.topo.leaf_children(node) {
+                    fx.push(Effect::Send {
+                        to: leaf,
+                        msg: Msg::NewWorkerLeaf { retired: node, new_worker: self.me },
+                    });
+                    notifications += 1;
+                }
+            }
+        }
+        fx.push(Effect::Audit(AuditEvent::Traffic { node, msgs: notifications }));
+        // A rebuilt root has no object until `Event::Restore`; replaying
+        // applies before that would lose them, so its pending buffer
+        // waits for the restore.
+        if node != NodeRef::ROOT {
+            self.replay_pending(node, now, fx);
+        }
+    }
+
+    fn maybe_retire(&mut self, node: NodeRef, now: VirtualTime, fx: &mut Effects<O>) {
+        let Some(threshold) = self.config.threshold else { return };
+        let Some(h) = self.hosted.get(&node) else { return };
+        if h.age < threshold {
+            return;
+        }
+        let pool = self.topo.pool(node);
+        let size = pool.end - pool.start;
+        let recycle = self.config.pool_policy == PoolPolicy::Recycling;
+        let Some(next_index) = kmath::next_pool_index(h.pool_cursor, size, recycle) else {
+            // No successor available (a drained one-shot pool, or a
+            // singleton): the node soldiers on with a reset age. Under
+            // the paper's dimensioning this is unreachable for the
+            // canonical workload (the audit asserts so).
+            fx.push(Effect::Audit(AuditEvent::PoolExhausted { node }));
+            self.hosted.get_mut(&node).expect("hosted checked above").age = 0;
+            return;
+        };
+        let successor = ProcessorId::new((pool.start + next_index) as usize);
+        fx.push(Effect::Audit(AuditEvent::Retirement { node }));
+        let h = self.hosted.remove(&node).expect("hosted checked above");
+        self.forwarding.insert(node, successor);
+        fx.push(Effect::Retired { node, successor });
+        fx.push(Effect::SetTimer { node, deadline: now + WATCHDOG_TICKS });
+
+        // k+1 handoff messages: k unit parts plus the state-bearing
+        // final (the paper's "k+3 messages" per retirement are these
+        // plus the notifications below).
+        let total = self.topo.order() + 1;
+        for part in 0..total - 1 {
+            fx.push(Effect::Send { to: successor, msg: Msg::HandoffPart { node, part, total } });
+        }
+        fx.push(Effect::Send {
+            to: successor,
+            msg: Msg::HandoffFinal {
+                transfer: Box::new(NodeTransfer {
+                    node,
+                    pool_cursor: next_index,
+                    parent_worker: h.parent_worker,
+                    child_workers: h.child_workers.clone(),
+                    object: h.object,
+                    reply_cache: h.reply_cache,
+                }),
+            },
+        });
+        // Notify the parent and every child of the new worker. The root
+        // "saves the message that would inform the parent".
+        let mut notifications = 0u64;
+        if let (Some(parent), Some(w)) = (self.topo.parent(node), h.parent_worker) {
+            fx.push(Effect::Send {
+                to: w,
+                msg: Msg::NewWorker { node: parent, retired: node, new_worker: successor },
+            });
+            notifications += 1;
+        }
+        match self.topo.inner_children(node) {
+            Some(children) => {
+                for (idx, child) in children.into_iter().enumerate() {
+                    fx.push(Effect::Send {
+                        to: h.child_workers[idx],
+                        msg: Msg::NewWorker { node: child, retired: node, new_worker: successor },
+                    });
+                    notifications += 1;
+                }
+            }
+            None => {
+                // Only reachable in ablation configurations: level-k
+                // pools are singletons under the paper's scheme, so
+                // level-k nodes never retire.
+                for leaf in self.topo.leaf_children(node) {
+                    fx.push(Effect::Send {
+                        to: leaf,
+                        msg: Msg::NewWorkerLeaf { retired: node, new_worker: successor },
+                    });
+                    notifications += 1;
+                }
+            }
+        }
+        fx.push(Effect::Audit(AuditEvent::Traffic {
+            node,
+            msgs: u64::from(total) + notifications,
+        }));
+    }
+
+    fn replay_pending(&mut self, node: NodeRef, now: VirtualTime, fx: &mut Effects<O>) {
+        if let Some(buffered) = self.pending.remove(&node) {
+            for msg in buffered {
+                self.on_msg(msg, now, fx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::CounterObject;
+
+    fn p(i: usize) -> ProcessorId {
+        ProcessorId::new(i)
+    }
+
+    fn fleet(k: u32, config: EngineConfig) -> (Arc<Topology>, Vec<NodeEngine<CounterObject>>) {
+        let topo = Arc::new(Topology::new(k).expect("topology"));
+        let mut engines: Vec<NodeEngine<CounterObject>> = (0..topo.processors() as usize)
+            .map(|i| NodeEngine::new(p(i), Arc::clone(&topo), config))
+            .collect();
+        seed_initial_hosting(&topo, &mut engines, &CounterObject::new());
+        (topo, engines)
+    }
+
+    fn sends<O: RootObject>(fx: &[Effect<O>]) -> Vec<(ProcessorId, &Msg<O>)> {
+        fx.iter()
+            .filter_map(|e| match e {
+                Effect::Send { to, msg } => Some((*to, msg)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Runs the fleet like a zero-delay network until no sends remain,
+    /// collecting every non-send effect. The engines are a complete
+    /// executable protocol on their own — this is the smallest possible
+    /// driver.
+    fn run_fleet(
+        engines: &mut [NodeEngine<CounterObject>],
+        mut inbox: Vec<(ProcessorId, Msg<CounterObject>)>,
+    ) -> Vec<Effect<CounterObject>> {
+        let mut observed = Vec::new();
+        while let Some((to, msg)) = inbox.pop() {
+            let fx = engines[to.index()].on_event(Event::Deliver { msg }, VirtualTime::ZERO);
+            for e in fx {
+                match e {
+                    Effect::Send { to, msg } => inbox.push((to, msg)),
+                    other => observed.push(other),
+                }
+            }
+        }
+        observed
+    }
+
+    #[test]
+    fn seeding_installs_each_node_at_its_pool_start() {
+        let (topo, engines) = fleet(2, EngineConfig::paper(2));
+        for node in topo.nodes() {
+            let w = topo.initial_worker(node);
+            assert!(engines[w.index()].hosts(node), "{node} at its initial worker");
+        }
+        let root = engines[0].hosted(NodeRef::ROOT).expect("root hosted at 0");
+        assert!(root.object.is_some(), "object lives at the root");
+        assert_eq!(root.child_workers.len(), 2);
+    }
+
+    #[test]
+    fn invoke_enters_the_tree_at_the_leaf_parent() {
+        let (topo, mut engines) = fleet(2, EngineConfig::paper(2));
+        let fx = engines[5].on_event(Event::Invoke { op_seq: 9, req: () }, VirtualTime::ZERO);
+        let s = sends(&fx);
+        assert_eq!(s.len(), 1);
+        let leaf_parent = topo.leaf_parent(5);
+        assert_eq!(s[0].0, topo.initial_worker(leaf_parent));
+        assert!(matches!(s[0].1, Msg::Apply { node, op_seq: 9, .. } if *node == leaf_parent));
+    }
+
+    #[test]
+    fn an_operation_climbs_to_the_root_and_replies_to_the_initiator() {
+        let (_, mut engines) = fleet(2, EngineConfig::paper(2));
+        let fx = engines[3].on_event(Event::Invoke { op_seq: 0, req: () }, VirtualTime::ZERO);
+        let inbox = sends(&fx).into_iter().map(|(to, m)| (to, m.clone())).collect();
+        let observed = run_fleet(&mut engines, inbox);
+        let replies: Vec<_> = observed
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Reply { op_seq, resp } => Some((*op_seq, *resp)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(replies, vec![(0, 0)], "first count, delivered to the invoker");
+    }
+
+    #[test]
+    fn the_root_applies_each_op_seq_exactly_once_when_deduping() {
+        let config = EngineConfig { dedupe: true, ..EngineConfig::paper(2) };
+        let (_, mut engines) = fleet(2, config);
+        let apply = Msg::Apply { node: NodeRef::ROOT, origin: p(7), op_seq: 4, req: () };
+        for _ in 0..2 {
+            let fx = engines[0].on_event(Event::Deliver { msg: apply.clone() }, VirtualTime::ZERO);
+            let s = sends(&fx);
+            assert!(
+                matches!(s[0].1, Msg::Reply { op_seq: 4, resp: 0 }),
+                "duplicate answered from the cache, not re-applied"
+            );
+        }
+        let next = Msg::Apply { node: NodeRef::ROOT, origin: p(7), op_seq: 5, req: () };
+        let fx = engines[0].on_event(Event::Deliver { msg: next }, VirtualTime::ZERO);
+        assert!(matches!(sends(&fx)[0].1, Msg::Reply { resp: 1, .. }), "count advanced once");
+    }
+
+    #[test]
+    fn reaching_the_threshold_retires_with_k_plus_one_handoffs_and_notifications() {
+        let (topo, mut engines) = fleet(2, EngineConfig::paper(2));
+        let node = NodeRef { level: 1, index: 0 };
+        let me = topo.initial_worker(node);
+        // Age the node to the threshold (8 = 4k): four applies.
+        let mut fx = Vec::new();
+        for seq in 0..4 {
+            let msg = Msg::Apply { node, origin: p(0), op_seq: seq, req: () };
+            fx = engines[me.index()].on_event(Event::Deliver { msg }, VirtualTime(3));
+        }
+        assert!(
+            fx.iter().any(|e| matches!(e, Effect::Retired { node: n, .. } if *n == node)),
+            "threshold reached → retired"
+        );
+        let successor = topo.pool(node).start + 1;
+        let to_successor: Vec<_> =
+            sends(&fx).into_iter().filter(|(to, _)| to.index() as u64 == successor).collect();
+        let parts =
+            to_successor.iter().filter(|(_, m)| matches!(m, Msg::HandoffPart { .. })).count();
+        let finals =
+            to_successor.iter().filter(|(_, m)| matches!(m, Msg::HandoffFinal { .. })).count();
+        assert_eq!((parts, finals), (2, 1), "k unit parts + the state-bearing final");
+        let notifications =
+            sends(&fx).iter().filter(|(_, m)| matches!(m, Msg::NewWorker { .. })).count();
+        assert_eq!(notifications, 3, "parent + 2 children");
+        assert!(fx.iter().any(|e| matches!(e, Effect::SetTimer { .. })), "watchdog armed");
+        assert!(!engines[me.index()].hosts(node), "the job left this processor");
+    }
+
+    #[test]
+    fn early_traffic_buffers_until_the_final_installs_then_replays() {
+        let (topo, mut engines) = fleet(2, EngineConfig::paper(2));
+        let node = NodeRef { level: 1, index: 0 };
+        let successor = ProcessorId::new(topo.pool(node).start as usize + 1);
+        // An apply reaches the successor before any handoff: buffered.
+        let early = Msg::Apply { node, origin: p(0), op_seq: 0, req: () };
+        let fx =
+            engines[successor.index()].on_event(Event::Deliver { msg: early }, VirtualTime::ZERO);
+        assert!(sends(&fx).is_empty(), "nothing forwarded yet");
+        // The final arrives: install + replay of the buffered apply.
+        let transfer = NodeTransfer {
+            node,
+            pool_cursor: 1,
+            parent_worker: Some(p(0)),
+            child_workers: vec![p(0), p(2)],
+            object: None,
+            reply_cache: Vec::new(),
+        };
+        let fx = engines[successor.index()].on_event(
+            Event::Deliver { msg: Msg::HandoffFinal { transfer: Box::new(transfer) } },
+            VirtualTime::ZERO,
+        );
+        assert!(fx.iter().any(|e| matches!(e, Effect::Installed { .. })));
+        assert!(fx.iter().any(|e| matches!(e, Effect::CancelTimer { .. })));
+        assert!(
+            sends(&fx).iter().any(|(to, m)| *to == p(0) && matches!(m, Msg::Apply { .. })),
+            "the buffered apply climbed on after the install"
+        );
+        assert_eq!(engines[successor.index()].hosted(node).expect("installed").age, 2);
+    }
+
+    #[test]
+    fn a_retired_worker_shims_traffic_to_its_successor() {
+        let (topo, mut engines) = fleet(2, EngineConfig::paper(2));
+        let node = NodeRef { level: 1, index: 0 };
+        let me = topo.initial_worker(node);
+        for seq in 0..4 {
+            let msg = Msg::Apply { node, origin: p(0), op_seq: seq, req: () };
+            engines[me.index()].on_event(Event::Deliver { msg }, VirtualTime::ZERO);
+        }
+        assert!(!engines[me.index()].hosts(node), "retired above");
+        let stale = Msg::Apply { node, origin: p(0), op_seq: 9, req: () };
+        let fx = engines[me.index()].on_event(Event::Deliver { msg: stale }, VirtualTime::ZERO);
+        assert!(fx.iter().any(|e| matches!(e, Effect::Audit(AuditEvent::ShimForward))));
+        let s = sends(&fx);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].0.index() as u64, topo.pool(node).start + 1, "forwarded to successor");
+    }
+
+    #[test]
+    fn recovery_rebuilds_from_distinct_neighbours_only() {
+        let (topo, mut engines) = fleet(2, EngineConfig::paper(2));
+        let node = NodeRef { level: 1, index: 0 };
+        let successor = ProcessorId::new(topo.pool(node).start as usize + 1);
+        let parent = topo.parent(node).expect("level 1 has a parent");
+        let children = topo.inner_children(node).expect("level 1 has inner children");
+        let neighbours: Vec<(NodeRef, ProcessorId)> =
+            std::iter::once((parent, topo.initial_worker(parent)))
+                .chain(children.iter().map(|&c| (c, topo.initial_worker(c))))
+                .collect();
+        let promote = Msg::RecoverPromote { node, neighbours: neighbours.clone() };
+        let fx =
+            engines[successor.index()].on_event(Event::Deliver { msg: promote }, VirtualTime::ZERO);
+        assert!(fx.iter().any(|e| matches!(e, Effect::RecoveryStarted { .. })));
+        let queries =
+            sends(&fx).iter().filter(|(_, m)| matches!(m, Msg::RebuildQuery { .. })).count();
+        assert_eq!(queries, neighbours.len(), "one query per neighbour");
+        // A duplicated parent share must not complete the rebuild early.
+        let parent_share =
+            Msg::RebuildShare { node, neighbour: parent, worker: topo.initial_worker(parent) };
+        for _ in 0..3 {
+            let fx = engines[successor.index()]
+                .on_event(Event::Deliver { msg: parent_share.clone() }, VirtualTime::ZERO);
+            assert!(
+                !fx.iter().any(|e| matches!(e, Effect::Recovered { .. })),
+                "duplicates of one neighbour never complete the rebuild"
+            );
+        }
+        // The remaining distinct neighbours complete it.
+        let mut last = Vec::new();
+        for &c in &children {
+            let share = Msg::RebuildShare { node, neighbour: c, worker: topo.initial_worker(c) };
+            last = engines[successor.index()]
+                .on_event(Event::Deliver { msg: share }, VirtualTime::ZERO);
+        }
+        assert!(
+            last.iter().any(|e| matches!(
+                e,
+                Effect::Recovered { node: n, worker, .. } if *n == node && *worker == successor
+            )),
+            "all distinct neighbours answered → recovered"
+        );
+        let rebuilt = engines[successor.index()].hosted(node).expect("installed");
+        assert_eq!(rebuilt.pool_cursor, 1, "cursor aligned with the promoted worker");
+        assert_eq!(rebuilt.parent_worker, Some(topo.initial_worker(parent)));
+        let notifications =
+            sends(&last).iter().filter(|(_, m)| matches!(m, Msg::NewWorker { .. })).count();
+        assert_eq!(notifications, neighbours.len(), "neighbours learn the new worker");
+    }
+
+    #[test]
+    fn a_recovered_root_waits_for_restore_before_serving_buffered_applies() {
+        let (topo, mut engines) = fleet(2, EngineConfig::paper(2));
+        let successor = p(1);
+        let children = topo.inner_children(NodeRef::ROOT).expect("root children");
+        let neighbours: Vec<(NodeRef, ProcessorId)> =
+            children.iter().map(|&c| (c, topo.initial_worker(c))).collect();
+        engines[successor.index()].on_event(
+            Event::Deliver { msg: Msg::RecoverPromote { node: NodeRef::ROOT, neighbours } },
+            VirtualTime::ZERO,
+        );
+        // An apply lands mid-rebuild: buffered.
+        let apply = Msg::Apply { node: NodeRef::ROOT, origin: p(6), op_seq: 3, req: () };
+        let fx =
+            engines[successor.index()].on_event(Event::Deliver { msg: apply }, VirtualTime::ZERO);
+        assert!(sends(&fx).is_empty(), "buffered while rebuilding");
+        for &c in &children {
+            let share = Msg::RebuildShare { node: NodeRef::ROOT, neighbour: c, worker: p(0) };
+            let fx = engines[successor.index()]
+                .on_event(Event::Deliver { msg: share }, VirtualTime::ZERO);
+            // Even once recovered, the buffered apply must wait for the
+            // object to come back from stable storage.
+            assert!(!sends(&fx).iter().any(|(_, m)| matches!(m, Msg::Reply { .. })));
+        }
+        let mut restored = CounterObject::new();
+        let replies =
+            vec![(0, restored.apply(())), (1, restored.apply(())), (2, restored.apply(()))];
+        let fx = engines[successor.index()].on_event(
+            Event::Restore { node: NodeRef::ROOT, object: restored, reply_cache: replies },
+            VirtualTime::ZERO,
+        );
+        let s = sends(&fx);
+        assert!(
+            s.iter().any(|(to, m)| *to == p(6) && matches!(m, Msg::Reply { op_seq: 3, resp: 3 })),
+            "restore replayed the buffered apply against the restored state: {s:?}"
+        );
+    }
+
+    #[test]
+    fn exhausted_pools_reset_the_age_instead_of_retiring() {
+        // Threshold 1 with one-shot pools: the level-2 (singleton pool)
+        // node blocks immediately.
+        let config = EngineConfig { threshold: Some(1), ..EngineConfig::paper(2) };
+        let (topo, mut engines) = fleet(2, config);
+        let node = topo.leaf_parent(0);
+        let me = topo.initial_worker(node);
+        let msg = Msg::Apply { node, origin: p(0), op_seq: 0, req: () };
+        let fx = engines[me.index()].on_event(Event::Deliver { msg }, VirtualTime::ZERO);
+        assert!(fx.iter().any(
+            |e| matches!(e, Effect::Audit(AuditEvent::PoolExhausted { node: n }) if *n == node)
+        ));
+        assert_eq!(engines[me.index()].hosted(node).expect("still hosted").age, 0);
+        assert!(engines[me.index()].hosts(node), "the node soldiers on");
+    }
+
+    #[test]
+    fn stale_promotions_are_ignored_by_the_current_worker() {
+        let (_, mut engines) = fleet(2, EngineConfig::paper(2));
+        let promote = Msg::RecoverPromote { node: NodeRef::ROOT, neighbours: Vec::new() };
+        let fx = engines[0].on_event(Event::Deliver { msg: promote }, VirtualTime::ZERO);
+        assert!(sends(&fx).is_empty(), "processor 0 still hosts the root: no rebuild");
+        assert!(!fx.iter().any(|e| matches!(e, Effect::RecoveryStarted { .. })));
+    }
+
+    #[test]
+    fn rebuild_queries_are_answered_with_a_unit_share() {
+        let (_, mut engines) = fleet(2, EngineConfig::paper(2));
+        let node = NodeRef { level: 1, index: 0 };
+        let query = Msg::RebuildQuery { node, neighbour: NodeRef::ROOT, successor: p(3) };
+        let fx = engines[0].on_event(Event::Deliver { msg: query }, VirtualTime::ZERO);
+        let s = sends(&fx);
+        assert_eq!(s.len(), 1);
+        assert!(matches!(
+            s[0].1,
+            Msg::RebuildShare { node: n, neighbour, worker } if *n == node && *neighbour == NodeRef::ROOT && *worker == p(0)
+        ));
+    }
+
+    #[test]
+    fn retirement_policy_thresholds_come_from_kmath() {
+        assert_eq!(RetirementPolicy::PaperDefault.threshold(3), Some(12));
+        assert_eq!(RetirementPolicy::AfterAge(7).threshold(3), Some(7));
+        assert_eq!(RetirementPolicy::AfterAge(0).threshold(3), Some(1), "clamped to 1");
+        assert_eq!(RetirementPolicy::Never.threshold(3), None);
+        assert_eq!(RetirementPolicy::default(), RetirementPolicy::PaperDefault);
+    }
+}

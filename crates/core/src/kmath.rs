@@ -133,6 +133,47 @@ pub fn continuous_order(n: f64) -> f64 {
     x
 }
 
+/// The paper's retirement age threshold for an order-`k` tree: a worker
+/// retires once its node has sent or received `4k` messages. Both
+/// backends (and the engine's default policy) call this so they cannot
+/// disagree on when a node retires.
+///
+/// # Examples
+///
+/// ```
+/// use distctr_core::kmath::retirement_threshold;
+/// assert_eq!(retirement_threshold(2), 8);
+/// assert_eq!(retirement_threshold(3), 12);
+/// ```
+#[must_use]
+pub fn retirement_threshold(k: u32) -> u64 {
+    4 * u64::from(k)
+}
+
+/// The pool index of the next replacement worker after `cursor` in a
+/// pool of `size` ids, or `None` if no successor is available: a
+/// one-shot pool (`recycle = false`, the paper's dimensioning) is
+/// exhausted once the cursor reaches its last id, while a recycling pool
+/// wraps around and only a singleton pool (no one to hand to) blocks.
+///
+/// # Examples
+///
+/// ```
+/// use distctr_core::kmath::next_pool_index;
+/// assert_eq!(next_pool_index(0, 3, false), Some(1));
+/// assert_eq!(next_pool_index(2, 3, false), None); // one-shot: drained
+/// assert_eq!(next_pool_index(2, 3, true), Some(0)); // recycling: wraps
+/// assert_eq!(next_pool_index(0, 1, true), None); // singleton: stuck
+/// ```
+#[must_use]
+pub fn next_pool_index(cursor: u64, size: u64, recycle: bool) -> Option<u64> {
+    if recycle {
+        (size > 1).then(|| (cursor + 1) % size)
+    } else {
+        (cursor + 1 < size).then(|| cursor + 1)
+    }
+}
+
 /// `k^e` as `u64`, for id-block arithmetic.
 ///
 /// # Panics
@@ -233,6 +274,35 @@ mod tests {
         assert_eq!(continuous_order(0.0), 1.0);
         assert_eq!(continuous_order(1.0), 1.0);
         assert!(continuous_order(1.5) >= 1.0);
+    }
+
+    #[test]
+    fn retirement_threshold_is_four_k() {
+        for k in 1..=MAX_ORDER {
+            assert_eq!(retirement_threshold(k), 4 * u64::from(k));
+        }
+    }
+
+    #[test]
+    fn one_shot_pools_drain_and_recycling_pools_wrap() {
+        // One-shot: walk 0 → size-1, then stop forever.
+        let mut cursor = 0;
+        let mut steps = 0;
+        while let Some(next) = next_pool_index(cursor, 4, false) {
+            assert_eq!(next, cursor + 1);
+            cursor = next;
+            steps += 1;
+        }
+        assert_eq!((cursor, steps), (3, 3), "one-shot visits each id once");
+        // Recycling: the walk never ends and cycles through every id.
+        let mut cursor = 0;
+        for step in 1..=8u64 {
+            cursor = next_pool_index(cursor, 4, true).expect("recycling never drains");
+            assert_eq!(cursor, step % 4);
+        }
+        // Singleton pools block either way.
+        assert_eq!(next_pool_index(0, 1, false), None);
+        assert_eq!(next_pool_index(0, 1, true), None);
     }
 
     #[test]

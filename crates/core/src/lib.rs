@@ -41,6 +41,7 @@
 pub mod audit;
 pub mod client;
 pub mod counter;
+pub mod engine;
 pub mod error;
 pub mod kmath;
 pub mod messages;
@@ -54,8 +55,9 @@ pub mod topology;
 pub use audit::CounterAudit;
 pub use client::{InvokeResult, TreeClient, TreeClientBuilder};
 pub use counter::{TreeCounter, TreeCounterBuilder};
+pub use engine::{AuditEvent, Effect, Effects, EngineConfig, Event, NodeEngine, VirtualTime};
 pub use error::CoreError;
-pub use messages::{CounterMsg, TreeMsg};
+pub use messages::{CounterMsg, Msg, NodeTransfer};
 pub use object::{
     CounterObject, FlipBitObject, MaxRegisterObject, PriorityQueueObject, RootObject,
 };

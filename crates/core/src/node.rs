@@ -1,20 +1,22 @@
-//! Per-node runtime state.
+//! The simulator's global registry view of per-node state.
 //!
 //! "Each inner node stores k+2 values: an identifier id that tells which
 //! processor currently works for the node, the identifiers of its k
 //! children and its parent, and the number of messages that the node sent
 //! or received since its current processor works for it — its age."
 //!
-//! In the simulator the neighbour ids are derivable from the
-//! [`Topology`](crate::topology::Topology) plus each neighbour's current
-//! worker, so the state here is the worker, the pool cursor, the age and
-//! the in-progress handoff bookkeeping. The hosted object's state (the
-//! counter value at the root) lives in the protocol's
-//! [`RootObject`](crate::object::RootObject).
+//! The authoritative copy of those values lives inside the engines (see
+//! [`crate::engine::NodeEngine`]), migrating between processors with the
+//! handoff messages. [`NodeState`] is the simulator driver's *registry*
+//! mirror of one node: who works for it now, how old its stint is, and
+//! whether a handoff or a crash recovery is in flight. The client's
+//! watchdog reads this view at quiescence to find crashed or stuck
+//! workers; the driver updates it from the engines' install/retire/
+//! recover effects. Engines never read it.
 
 use distctr_sim::ProcessorId;
 
-/// Mutable state of one inner tree node.
+/// Registry mirror of one inner tree node.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeState {
     /// The processor currently working for this node.
@@ -25,16 +27,13 @@ pub struct NodeState {
     pub age: u64,
     /// Whether a handoff to a successor is in flight.
     pub handing_off: bool,
-    /// The successor that will take over when the handoff completes.
+    /// The successor that will take over when the handoff or recovery
+    /// completes.
     pub pending_worker: Option<ProcessorId>,
-    /// Handoff parts received so far by the successor.
-    pub handoff_parts_seen: u32,
     /// Whether a crash recovery (forced retirement) is in flight: the
     /// pool successor is rebuilding the node's state from its neighbours
     /// because the previous worker died without handing off.
     pub recovering: bool,
-    /// Rebuild shares received so far by the promoted successor.
-    pub rebuild_shares_seen: u32,
 }
 
 impl NodeState {
@@ -47,9 +46,7 @@ impl NodeState {
             age: 0,
             handing_off: false,
             pending_worker: None,
-            handoff_parts_seen: 0,
             recovering: false,
-            rebuild_shares_seen: 0,
         }
     }
 
@@ -60,75 +57,26 @@ impl NodeState {
         self.age
     }
 
-    /// Begins a retirement: resets the age, advances the pool cursor and
-    /// remembers the successor until the handoff completes.
+    /// Mirrors a retirement beginning: resets the age, advances the pool
+    /// cursor and remembers the successor until the handoff completes
+    /// (the engine's `Installed` effect clears the in-flight flags).
     pub fn begin_retirement(&mut self, successor: ProcessorId) {
         debug_assert!(!self.handing_off, "cannot retire twice concurrently");
         self.age = 0;
         self.pool_cursor += 1;
         self.handing_off = true;
         self.pending_worker = Some(successor);
-        self.handoff_parts_seen = 0;
     }
 
-    /// Registers one received handoff part; when all `total` parts have
-    /// arrived, installs the successor and returns `true`.
-    ///
-    /// Parts arriving while no handoff is in flight — duplicated by a
-    /// faulty network, or left over from a handoff a crash recovery
-    /// cancelled — are ignored.
-    pub fn receive_handoff_part(&mut self, total: u32) -> bool {
-        if !self.handing_off {
-            return false;
-        }
-        self.handoff_parts_seen += 1;
-        if self.handoff_parts_seen >= total {
-            self.worker = self
-                .pending_worker
-                .take()
-                .expect("handoff completion requires a pending successor");
-            self.handing_off = false;
-            self.handoff_parts_seen = 0;
-            true
-        } else {
-            false
-        }
-    }
-
-    /// Begins a crash recovery: `successor` (promoted by its watchdog)
-    /// will take over once it has rebuilt the node's state from its
-    /// neighbours. Cancels any handoff the dead worker left in flight;
-    /// a repeated promotion restarts the share collection (the retry path
-    /// when rebuild traffic is itself lost).
+    /// Mirrors a crash recovery beginning: `successor` (promoted by its
+    /// watchdog) will take over once it has rebuilt the node's state from
+    /// its neighbours. Cancels any handoff the dead worker left in
+    /// flight; a repeated promotion just re-registers the successor (the
+    /// retry path when rebuild traffic is itself lost).
     pub fn begin_recovery(&mut self, successor: ProcessorId) {
         self.handing_off = false;
-        self.handoff_parts_seen = 0;
         self.recovering = true;
-        self.rebuild_shares_seen = 0;
         self.pending_worker = Some(successor);
-    }
-
-    /// Registers one rebuild share; when all `needed` neighbours have
-    /// answered, installs the successor, resets the age and returns
-    /// `true`. Shares arriving outside a recovery (late or duplicated)
-    /// are ignored.
-    pub fn receive_rebuild_share(&mut self, needed: u32) -> bool {
-        if !self.recovering {
-            return false;
-        }
-        self.rebuild_shares_seen += 1;
-        if self.rebuild_shares_seen >= needed {
-            self.worker = self
-                .pending_worker
-                .take()
-                .expect("recovery completion requires a pending successor");
-            self.recovering = false;
-            self.rebuild_shares_seen = 0;
-            self.age = 0;
-            true
-        } else {
-            false
-        }
     }
 }
 
@@ -146,7 +94,9 @@ mod tests {
         assert_eq!(s.worker, p(7));
         assert_eq!(s.age, 0);
         assert!(!s.handing_off);
+        assert!(!s.recovering);
         assert_eq!(s.pool_cursor, 0);
+        assert_eq!(s.pending_worker, None);
     }
 
     #[test]
@@ -166,77 +116,30 @@ mod tests {
         assert_eq!(s.pool_cursor, 1);
         assert!(s.handing_off);
         assert_eq!(s.pending_worker, Some(p(1)));
-        // Worker switches only when the handoff completes.
+        // The worker field switches only when the engine's install
+        // effect arrives at the driver.
         assert_eq!(s.worker, p(0));
     }
 
     #[test]
-    fn handoff_completes_after_all_parts() {
-        let mut s = NodeState::new(p(0));
-        s.begin_retirement(p(1));
-        assert!(!s.receive_handoff_part(3));
-        assert!(!s.receive_handoff_part(3));
-        assert!(s.receive_handoff_part(3), "third of three parts completes");
-        assert_eq!(s.worker, p(1));
-        assert!(!s.handing_off);
-        assert_eq!(s.pending_worker, None);
-        assert_eq!(s.handoff_parts_seen, 0, "ready for the next handoff");
-    }
-
-    #[test]
-    fn stray_handoff_parts_are_ignored() {
-        let mut s = NodeState::new(p(0));
-        assert!(!s.receive_handoff_part(1), "no handoff in flight");
-        assert_eq!(s.worker, p(0));
-        assert_eq!(s.handoff_parts_seen, 0);
-    }
-
-    #[test]
-    fn recovery_cancels_a_handoff_and_installs_on_last_share() {
+    fn recovery_cancels_an_in_flight_handoff() {
         let mut s = NodeState::new(p(0));
         s.grow_older(9);
         s.begin_retirement(p(1));
-        s.receive_handoff_part(3);
         // The old worker dies mid-handoff; the watchdog promotes p(2).
         s.begin_recovery(p(2));
         assert!(s.recovering);
         assert!(!s.handing_off, "recovery cancels the in-flight handoff");
-        assert!(!s.receive_handoff_part(3), "late parts are ignored");
-        assert!(!s.receive_rebuild_share(2));
-        assert!(s.receive_rebuild_share(2), "last share completes");
-        assert_eq!(s.worker, p(2));
-        assert_eq!(s.age, 0, "the fresh worker starts a fresh stint");
-        assert!(!s.recovering);
-        assert_eq!(s.pending_worker, None);
+        assert_eq!(s.pending_worker, Some(p(2)));
+        assert_eq!(s.worker, p(0), "worker updates only on the recovered effect");
     }
 
     #[test]
-    fn repeated_promotion_restarts_share_collection() {
+    fn repeated_promotion_keeps_the_successor_registered() {
         let mut s = NodeState::new(p(0));
         s.begin_recovery(p(1));
-        assert!(!s.receive_rebuild_share(2));
         s.begin_recovery(p(1));
-        assert_eq!(s.rebuild_shares_seen, 0, "restart drops stale shares");
-        assert!(!s.receive_rebuild_share(2));
-        assert!(s.receive_rebuild_share(2));
-        assert_eq!(s.worker, p(1));
-    }
-
-    #[test]
-    fn stray_rebuild_shares_are_ignored() {
-        let mut s = NodeState::new(p(0));
-        assert!(!s.receive_rebuild_share(1), "no recovery in flight");
-        assert_eq!(s.worker, p(0));
-    }
-
-    #[test]
-    fn consecutive_retirements_walk_the_pool() {
-        let mut s = NodeState::new(p(10));
-        for step in 1..=3u64 {
-            s.begin_retirement(p(10 + step as usize));
-            assert!(s.receive_handoff_part(1));
-            assert_eq!(s.pool_cursor, step);
-            assert_eq!(s.worker, p(10 + step as usize));
-        }
+        assert!(s.recovering);
+        assert_eq!(s.pending_worker, Some(p(1)));
     }
 }

@@ -1,122 +1,78 @@
-//! The retirement-tree protocol state machine.
+//! The simulator driver of the protocol engine.
 //!
-//! One [`TreeProtocol`] value holds the state of every inner node (the
-//! simulator is single-threaded; keeping the states in one flat vector
-//! indexed by [`Topology::flat_index`] is both simple and fast) plus the
-//! hosted [`RootObject`], and reacts to message deliveries:
+//! All protocol decisions live in [`crate::engine::NodeEngine`]; this
+//! module adapts a fleet of per-processor engines (one per simulated
+//! processor) to the discrete-event [`Network`](distctr_sim::Network):
+//! each delivered message becomes an [`Event::Deliver`] for the
+//! receiving processor's engine, and the resulting [`Effect`]s are
+//! realized on simulator facilities:
 //!
-//! * `Apply` climbs the tree toward the root, aging each node by 2 (one
-//!   receive + one forward);
-//! * at the root, the object applies the request and the response is
-//!   sent straight back to the operation's initiator;
-//! * any node whose age reaches the retirement threshold (the paper's
-//!   `4k`) retires: it hands its job to the next processor of its
-//!   replacement pool in k+1 unit messages and notifies its parent and
-//!   children, whose ages grow by 1 each — possibly cascading.
+//! * [`Effect::Send`] goes back out through the [`Outbox`] (charged to
+//!   the load tracker like any send);
+//! * [`Effect::Reply`] parks the response for the client to collect at
+//!   quiescence;
+//! * [`Effect::Audit`] entries feed the [`CounterAudit`] lemma ledger
+//!   and keep the *registry* — a global `NodeState` view of every
+//!   node's current worker — in sync, which the client's watchdog reads
+//!   to find crashed or stuck workers;
+//! * [`Effect::Persist`] maintains the stable-storage shadow of the
+//!   root's object and reply cache, and [`Effect::Recovered`] for the
+//!   root is answered with an [`Event::Restore`] from that shadow;
+//! * [`Effect::SetTimer`]/[`Effect::CancelTimer`] are ignored — the
+//!   simulator realizes watchdog timeouts at quiescence (the client
+//!   promotes successors between rounds), not with a timer wheel.
 //!
-//! Messages that reach a processor no longer working for the target node
-//! (possible under adversarial delivery while a handoff is in flight) are
-//! forwarded to the current worker — the "proper handshaking protocol
-//! with a constant number of extra messages" the paper sketches.
+//! ## Stable storage and the registry
 //!
-//! ## Crash recovery as forced retirement
+//! Two explicit stable-storage assumptions make root crashes
+//! recoverable: the hosted object's state and the per-operation reply
+//! cache survive a crash of the root's worker. The shadow kept here
+//! (updated on every [`Effect::Persist`]) models exactly that. The
+//! reply cache, with deduplication enabled in fault-tolerant mode,
+//! makes retried operations exactly-once: a re-sent `Apply` for an
+//! operation the root already executed returns the cached response
+//! instead of applying twice.
 //!
-//! The paper assumes "no failures occur"; this implementation extends the
-//! retirement pool into a failure-recovery mechanism. When a worker
-//! crashes, its pool successor (promoted by a watchdog timeout, modelled
-//! as a [`TreeMsg::RecoverPromote`] self-message) performs a *forced
-//! retirement*: because the dead worker can no longer send its k+1
-//! handoff parts, the successor rebuilds the node's k+2-value state by
-//! querying the node's neighbours ([`TreeMsg::RebuildQuery`]) and
-//! collecting one unit share from each ([`TreeMsg::RebuildShare`]). Once
-//! every neighbour has answered, the successor takes over exactly as if a
-//! normal handoff had completed and notifies parent and children.
-//! Recovery messages do not age nodes; they are tracked by the audit as
-//! the explicit slack term of the fault-aware load bound.
-//!
-//! Two explicit stable-storage assumptions make root crashes recoverable:
-//! the hosted object's state and the per-operation reply cache survive a
-//! crash of the root's worker (in the simulator both live in the
-//! [`TreeProtocol`] value rather than per-processor memory, which models
-//! exactly that). The reply cache, enabled in fault-tolerant mode, makes
-//! retried operations exactly-once: a re-sent `Apply` for an operation
-//! the root already executed returns the cached response instead of
-//! applying twice.
+//! The registry is *observer* state: the engines never read it. It
+//! mirrors what each engine announces through install/retire/recover
+//! effects, so the watchdog (and tests) can ask "who works for this
+//! node now?" without reaching into per-processor state.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use distctr_sim::{Outbox, ProcessorId, Protocol};
 
 use crate::audit::CounterAudit;
-use crate::messages::TreeMsg;
+use crate::engine::{
+    seed_initial_hosting, AuditEvent, Effect, Effects, EngineConfig, Event, NodeEngine, VirtualTime,
+};
+pub use crate::engine::{PoolPolicy, RetirementPolicy};
+use crate::messages::Msg;
 use crate::node::NodeState;
 use crate::object::{CounterObject, RootObject};
 use crate::topology::{NodeRef, Topology};
 
-/// Retirement behaviour of the tree.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum RetirementPolicy {
-    /// The paper's threshold: retire at age `4k`.
-    #[default]
-    PaperDefault,
-    /// Retire at a custom age (ablation experiments).
-    AfterAge(u64),
-    /// Never retire — this is exactly the static-tree baseline the paper
-    /// argues is bottlenecked at the root.
-    Never,
-}
-
-impl RetirementPolicy {
-    /// The concrete age threshold for an order-`k` tree, or `None` for
-    /// [`RetirementPolicy::Never`].
-    #[must_use]
-    pub fn threshold(self, k: u32) -> Option<u64> {
-        match self {
-            RetirementPolicy::PaperDefault => Some(4 * k as u64),
-            RetirementPolicy::AfterAge(age) => Some(age.max(1)),
-            RetirementPolicy::Never => None,
-        }
-    }
-}
-
-/// How a node's replacement pool is consumed.
-///
-/// The paper dimensions each pool for the canonical workload (each
-/// processor increments exactly once): `pool_size - 1` retirements
-/// suffice, and a drained pool is never touched again. For longer
-/// operation sequences (M rounds of the canonical workload) that
-/// dimensioning is too small — [`PoolPolicy::Recycling`] wraps around the
-/// pool instead, keeping the *amortized* per-processor load at O(k) per
-/// round. This is an extension beyond the paper, exercised by experiment
-/// E15.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum PoolPolicy {
-    /// The paper's scheme: a node stops retiring when its pool is
-    /// exhausted.
-    #[default]
-    OneShot,
-    /// Wrap around the pool: after the last id, reuse the first.
-    Recycling,
-}
-
-/// Complete protocol state: topology, per-node state, audit, the hosted
-/// object, and the response pending delivery to the current operation's
-/// initiator.
+/// The simulator driver: a fleet of per-processor engines plus the
+/// simulator-only facilities (registry, audit ledger, stable-storage
+/// shadow, pending response).
 #[derive(Debug, Clone)]
 pub struct TreeProtocol<O: RootObject = CounterObject> {
-    topo: Topology,
+    topo: Arc<Topology>,
+    engines: Vec<NodeEngine<O>>,
+    /// Global registry of each node's current worker (observer state for
+    /// the client watchdog; engines never read it).
     nodes: Vec<NodeState>,
     threshold: Option<u64>,
     pool_policy: PoolPolicy,
     pending_response: Option<O::Response>,
     audit: CounterAudit,
-    object: O,
-    /// Whether crash-recovery machinery (root reply cache) is armed.
+    /// Whether crash-recovery machinery (root reply dedupe) is armed.
     fault_tolerant: bool,
-    /// Responses already produced by the root, keyed by operation index.
-    /// Stable storage for exactly-once retries; only populated in
-    /// fault-tolerant mode, so fault-free runs pay nothing.
-    reply_cache: HashMap<usize, O::Response>,
+    /// Stable-storage shadow of the root object (updated on every
+    /// persist effect; survives any crash by construction).
+    stable_object: O,
+    /// Stable-storage shadow of the root's reply history.
+    stable_replies: Vec<(u64, O::Response)>,
 }
 
 impl<O: RootObject> TreeProtocol<O> {
@@ -135,20 +91,35 @@ impl<O: RootObject> TreeProtocol<O> {
         pool_policy: PoolPolicy,
         object: O,
     ) -> Self {
+        let topo = Arc::new(topo);
+        let threshold = retirement.threshold(topo.order());
+        let config = EngineConfig {
+            threshold,
+            pool_policy,
+            // The simulator's stable storage is unbounded; the cache only
+            // grows in fault-tolerant mode (dedupe off ⇒ handled fresh).
+            reply_cache_cap: usize::MAX,
+            dedupe: false,
+            persist: true,
+        };
+        let mut engines: Vec<NodeEngine<O>> = (0..topo.processors() as usize)
+            .map(|i| NodeEngine::new(ProcessorId::new(i), Arc::clone(&topo), config))
+            .collect();
+        seed_initial_hosting(&topo, &mut engines, &object);
         let nodes: Vec<NodeState> =
             topo.nodes().map(|n| NodeState::new(topo.initial_worker(n))).collect();
         let audit = CounterAudit::new(&topo);
-        let threshold = retirement.threshold(topo.order());
         TreeProtocol {
             topo,
+            engines,
             nodes,
             threshold,
             pool_policy,
             pending_response: None,
             audit,
-            object,
             fault_tolerant: false,
-            reply_cache: HashMap::new(),
+            stable_object: object,
+            stable_replies: Vec::new(),
         }
     }
 
@@ -175,10 +146,11 @@ impl<O: RootObject> TreeProtocol<O> {
         &mut self.audit
     }
 
-    /// The hosted object's current state.
+    /// The hosted object's current state (the stable-storage shadow,
+    /// which tracks every fresh application at the root).
     #[must_use]
     pub fn object(&self) -> &O {
-        &self.object
+        &self.stable_object
     }
 
     /// Current worker of `node`.
@@ -214,6 +186,9 @@ impl<O: RootObject> TreeProtocol<O> {
     /// per operation so watchdog retries are exactly-once.
     pub fn set_fault_tolerant(&mut self, enabled: bool) {
         self.fault_tolerant = enabled;
+        for engine in &mut self.engines {
+            engine.set_dedupe(enabled);
+        }
     }
 
     /// State of the node with flat index `flat` (used by the client's
@@ -223,15 +198,16 @@ impl<O: RootObject> TreeProtocol<O> {
         &self.nodes[flat]
     }
 
-    /// How many rebuild shares a recovery of `node` must collect: one per
-    /// inner neighbour (parent plus inner children). Leaf children hold no
-    /// share — but level-k nodes have singleton pools and are never
-    /// promoted in the first place.
+    /// The engine of processor `p` (read-only; tests and invariants).
+    #[must_use]
+    pub fn engine_of(&self, p: ProcessorId) -> &NodeEngine<O> {
+        &self.engines[p.index()]
+    }
+
+    /// How many rebuild shares a recovery of `node` must collect.
     #[must_use]
     pub fn expected_shares(&self, node: NodeRef) -> u32 {
-        let parent = u32::from(self.topo.parent(node).is_some());
-        let children = self.topo.inner_children(node).map_or(0, |c| c.len() as u32);
-        parent + children
+        crate::engine::expected_shares(&self.topo, node)
     }
 
     /// The response waiting for the current operation's initiator, if
@@ -241,278 +217,110 @@ impl<O: RootObject> TreeProtocol<O> {
         self.pending_response.as_ref()
     }
 
-    fn handle_apply(
-        &mut self,
-        out: &mut Outbox<'_, TreeMsg<O::Request, O::Response>>,
-        node: NodeRef,
-        origin: ProcessorId,
-        req: O::Request,
-    ) {
-        let flat = self.topo.flat_index(node);
-        if self.nodes[flat].worker != out.me() {
-            // Shim: this processor retired from the node; forward to the
-            // current worker (counts as one extra message, as in the
-            // paper's handshake argument).
-            self.audit.record_shim_forward();
-            let worker = self.nodes[flat].worker;
-            out.send(worker, TreeMsg::Apply { node, origin, req });
-            return;
-        }
-        self.audit.record_kind("apply");
-        self.audit.record_node_msgs(flat, 2);
-        self.nodes[flat].grow_older(2);
-        if node == NodeRef::ROOT {
-            // In fault-tolerant mode the root deduplicates by operation:
-            // a retried (or network-duplicated) Apply for an operation
-            // already executed re-sends the cached response instead of
-            // applying twice.
-            let resp = if self.fault_tolerant {
-                self.reply_cache
-                    .entry(out.op().index())
-                    .or_insert_with(|| self.object.apply(req))
-                    .clone()
-            } else {
-                self.object.apply(req)
-            };
-            out.send(origin, TreeMsg::Reply { resp });
-        } else {
-            let parent = self.topo.parent(node).expect("non-root has a parent");
-            let parent_worker = self.nodes[self.topo.flat_index(parent)].worker;
-            out.send(parent_worker, TreeMsg::Apply { node: parent, origin, req });
-        }
-        self.maybe_retire(out, node, flat);
-    }
-
-    fn handle_new_worker(
-        &mut self,
-        out: &mut Outbox<'_, TreeMsg<O::Request, O::Response>>,
-        msg: TreeMsg<O::Request, O::Response>,
-    ) {
-        let TreeMsg::NewWorker { node, .. } = &msg else { unreachable!() };
-        let node = *node;
-        let flat = self.topo.flat_index(node);
-        if self.nodes[flat].worker != out.me() && !self.nodes[flat].handing_off {
-            self.audit.record_shim_forward();
-            let worker = self.nodes[flat].worker;
-            out.send(worker, msg);
-            return;
-        }
-        self.audit.record_kind("new-worker");
-        self.audit.record_node_msgs(flat, 1);
-        self.nodes[flat].grow_older(1);
-        self.maybe_retire(out, node, flat);
-    }
-
-    fn handle_handoff(&mut self, node: NodeRef, total: u32) {
-        self.audit.record_kind("handoff");
-        let flat = self.topo.flat_index(node);
-        if self.nodes[flat].receive_handoff_part(total) {
-            self.audit.record_stint_complete(flat, total.into());
-        }
-    }
-
-    /// The successor's watchdog fired: start (or restart) the forced
-    /// retirement of `node` with `out.me()` as the replacement worker.
-    fn handle_recover_promote(
-        &mut self,
-        out: &mut Outbox<'_, TreeMsg<O::Request, O::Response>>,
-        node: NodeRef,
-    ) {
-        self.audit.record_kind("recover-promote");
-        let flat = self.topo.flat_index(node);
-        if self.nodes[flat].worker == out.me() && !self.nodes[flat].recovering {
-            // Stale promotion: this processor already took over.
-            return;
-        }
-        self.nodes[flat].begin_recovery(out.me());
-        // One unit query per neighbour that holds a share of the node's
-        // state: the parent knows the node's place in its pool, each
-        // inner child knows its own id.
-        let mut queries = 0u64;
-        if let Some(parent) = self.topo.parent(node) {
-            let w = self.reachable_worker(self.topo.flat_index(parent));
-            out.send(w, TreeMsg::RebuildQuery { node, successor: out.me() });
-            queries += 1;
-        }
-        if let Some(children) = self.topo.inner_children(node) {
-            for child in children {
-                let w = self.reachable_worker(self.topo.flat_index(child));
-                out.send(w, TreeMsg::RebuildQuery { node, successor: out.me() });
-                queries += 1;
-            }
-        }
-        // The promote delivery plus the queries it sent.
-        self.audit.record_recovery_msgs(1 + queries);
-    }
-
-    /// Where to address recovery traffic for the node with flat index
-    /// `flat`: its worker, or — when the node is itself mid-recovery (its
-    /// worker crashed too; pools overlap along root paths, so one crash
-    /// can take out a whole ancestor chain) — the successor being
-    /// promoted for it. Any pool member can answer a rebuild query, since
-    /// a share's content is the neighbour's own identity.
-    fn reachable_worker(&self, flat: usize) -> ProcessorId {
-        let st = &self.nodes[flat];
-        if st.recovering {
-            st.pending_worker.unwrap_or(st.worker)
-        } else {
-            st.worker
-        }
-    }
-
-    /// A neighbour's worker answers a rebuild query with its unit share.
-    fn handle_rebuild_query(
-        &mut self,
-        out: &mut Outbox<'_, TreeMsg<O::Request, O::Response>>,
-        node: NodeRef,
-        successor: ProcessorId,
-    ) {
-        self.audit.record_kind("rebuild-query");
-        // Query received plus share sent. Any processor that serves (or
-        // served) the neighbour can answer — the share's content is the
-        // neighbour's own identity, which every pool member knows.
-        self.audit.record_recovery_msgs(2);
-        out.send(successor, TreeMsg::RebuildShare { node });
-    }
-
-    /// One share of the rebuilt state arrived at the promoted successor.
-    fn handle_rebuild_share(
-        &mut self,
-        out: &mut Outbox<'_, TreeMsg<O::Request, O::Response>>,
-        node: NodeRef,
-    ) {
-        self.audit.record_kind("rebuild-share");
-        self.audit.record_recovery_msgs(1);
-        let flat = self.topo.flat_index(node);
-        let needed = self.expected_shares(node);
-        if !self.nodes[flat].receive_rebuild_share(needed) {
-            return;
-        }
-        // Recovery complete: the successor is installed (age 0). Align
-        // the pool cursor with the promoted worker so a later ordinary
-        // retirement continues from the right place in the pool.
-        let pool = self.topo.pool(node);
-        let me = out.me().index() as u64;
-        debug_assert!(pool.contains(&me), "successor must come from the node's pool");
-        self.nodes[flat].pool_cursor = me - pool.start;
-        self.audit.record_recovery(node);
-        self.audit.record_stint_complete(flat, u64::from(needed));
-        // Parent and children learn the new worker id through the normal
-        // notification messages (ordinary, aging traffic).
-        let mut notifications = 0u64;
-        if let Some(parent) = self.topo.parent(node) {
-            let w = self.nodes[self.topo.flat_index(parent)].worker;
-            out.send(w, TreeMsg::NewWorker { node: parent, retired: node, new_worker: out.me() });
-            notifications += 1;
-        }
-        match self.topo.inner_children(node) {
-            Some(children) => {
-                for child in children {
-                    let w = self.nodes[self.topo.flat_index(child)].worker;
-                    out.send(
-                        w,
-                        TreeMsg::NewWorker { node: child, retired: node, new_worker: out.me() },
-                    );
-                    notifications += 1;
+    /// Realizes one batch of engine effects on the simulator.
+    fn apply_effects(&mut self, out: &mut Outbox<'_, Msg<O>>, fx: Effects<O>) {
+        for effect in fx {
+            match effect {
+                Effect::Send { to, msg } => out.send(to, msg),
+                Effect::Reply { resp, .. } => self.pending_response = Some(resp),
+                Effect::Retired { node, successor } => {
+                    let flat = self.topo.flat_index(node);
+                    self.nodes[flat].begin_retirement(successor);
                 }
-            }
-            None => {
-                for leaf in self.topo.leaf_children(node) {
-                    out.send(leaf, TreeMsg::NewWorkerLeaf { retired: node, new_worker: out.me() });
-                    notifications += 1;
+                Effect::Installed { node, worker, pool_cursor } => {
+                    let flat = self.topo.flat_index(node);
+                    let st = &mut self.nodes[flat];
+                    st.worker = worker;
+                    st.pending_worker = None;
+                    st.handing_off = false;
+                    st.pool_cursor = pool_cursor;
                 }
+                Effect::RecoveryStarted { node, successor } => {
+                    let flat = self.topo.flat_index(node);
+                    self.nodes[flat].begin_recovery(successor);
+                }
+                Effect::Recovered { node, worker, pool_cursor } => {
+                    let flat = self.topo.flat_index(node);
+                    let st = &mut self.nodes[flat];
+                    st.worker = worker;
+                    st.pending_worker = None;
+                    st.handing_off = false;
+                    st.recovering = false;
+                    st.age = 0;
+                    st.pool_cursor = pool_cursor;
+                    if node == NodeRef::ROOT {
+                        // Stable storage restores the object (and the
+                        // reply history for exactly-once) at the new
+                        // worker before any further delivery.
+                        let restore = Event::Restore {
+                            node,
+                            object: self.stable_object.clone(),
+                            reply_cache: self.stable_replies.clone(),
+                        };
+                        let now = VirtualTime(out.now().ticks());
+                        let fx2 = self.engines[worker.index()].on_event(restore, now);
+                        self.apply_effects(out, fx2);
+                    }
+                }
+                Effect::Persist { object, op_seq, resp, .. } => {
+                    self.stable_object = object;
+                    self.stable_replies.push((op_seq, resp));
+                }
+                Effect::SetTimer { .. } | Effect::CancelTimer { .. } => {
+                    // The client watchdog realizes timer protection at
+                    // quiescence; no timer wheel in the simulator.
+                }
+                Effect::Audit(ev) => self.apply_audit(ev),
             }
         }
-        self.audit.record_node_msgs(flat, notifications);
     }
 
-    fn maybe_retire(
-        &mut self,
-        out: &mut Outbox<'_, TreeMsg<O::Request, O::Response>>,
-        node: NodeRef,
-        flat: usize,
-    ) {
-        let Some(threshold) = self.threshold else { return };
-        if self.nodes[flat].handing_off || self.nodes[flat].age < threshold {
-            return;
-        }
-        let pool = self.topo.pool(node);
-        let size = pool.end - pool.start;
-        let blocked = match self.pool_policy {
-            // Under the paper's dimensioning a drained pool is
-            // unreachable for the canonical workload (the audit asserts
-            // so); the node soldiers on with a reset age.
-            PoolPolicy::OneShot => self.nodes[flat].pool_cursor + 1 >= size,
-            // Recycling wraps; only a singleton pool (no one to hand to)
-            // blocks.
-            PoolPolicy::Recycling => size <= 1,
-        };
-        if blocked {
-            self.audit.record_pool_exhausted(node);
-            self.nodes[flat].age = 0;
-            return;
-        }
-        let next_index = (self.nodes[flat].pool_cursor + 1) % size;
-        let successor = ProcessorId::new((pool.start + next_index) as usize);
-        self.audit.record_retirement(node, flat);
-        self.nodes[flat].begin_retirement(successor);
-
-        // k+1 unit messages transfer the job to the successor.
-        let parts = self.topo.order() + 1;
-        for part in 0..parts {
-            out.send(successor, TreeMsg::Handoff { node, part, total: parts });
-        }
-        // Notify parent and children of the new worker id. The root
-        // "saves the message that would inform the parent".
-        let mut notifications = 0u64;
-        if let Some(parent) = self.topo.parent(node) {
-            let w = self.nodes[self.topo.flat_index(parent)].worker;
-            out.send(w, TreeMsg::NewWorker { node: parent, retired: node, new_worker: successor });
-            notifications += 1;
-        }
-        match self.topo.inner_children(node) {
-            Some(children) => {
-                for child in children {
-                    let w = self.nodes[self.topo.flat_index(child)].worker;
-                    out.send(
-                        w,
-                        TreeMsg::NewWorker { node: child, retired: node, new_worker: successor },
-                    );
-                    notifications += 1;
-                }
+    /// Maps one audit event onto the ledger and the registry.
+    fn apply_audit(&mut self, ev: AuditEvent) {
+        match ev {
+            AuditEvent::Handled { node, kind, aged } => {
+                let flat = self.topo.flat_index(node);
+                self.audit.record_kind(kind);
+                self.audit.record_node_msgs(flat, aged);
+                self.nodes[flat].grow_older(aged);
             }
-            None => {
-                for leaf in self.topo.leaf_children(node) {
-                    out.send(leaf, TreeMsg::NewWorkerLeaf { retired: node, new_worker: successor });
-                    notifications += 1;
-                }
+            AuditEvent::Kind(kind) => self.audit.record_kind(kind),
+            AuditEvent::Traffic { node, msgs } => {
+                let flat = self.topo.flat_index(node);
+                self.audit.record_node_msgs(flat, msgs);
+            }
+            AuditEvent::ShimForward => self.audit.record_shim_forward(),
+            AuditEvent::Retirement { node } => {
+                let flat = self.topo.flat_index(node);
+                self.audit.record_retirement(node, flat);
+            }
+            AuditEvent::PoolExhausted { node } => {
+                let flat = self.topo.flat_index(node);
+                self.audit.record_pool_exhausted(node);
+                self.nodes[flat].age = 0;
+            }
+            AuditEvent::StintComplete { node, setup_msgs } => {
+                let flat = self.topo.flat_index(node);
+                self.audit.record_stint_complete(flat, setup_msgs);
+            }
+            AuditEvent::Recovery { node } => self.audit.record_recovery(node),
+            AuditEvent::RecoveryMsgs { count } => self.audit.record_recovery_msgs(count),
+            AuditEvent::Lost => {
+                // An operation died inside the protocol (object state
+                // missing after an unrecovered crash). The watchdog's
+                // retry loop notices the missing response.
             }
         }
-        self.audit.record_node_msgs(flat, u64::from(parts) + notifications);
     }
 }
 
 impl<O: RootObject> Protocol for TreeProtocol<O> {
-    type Msg = TreeMsg<O::Request, O::Response>;
+    type Msg = Msg<O>;
 
     fn on_deliver(&mut self, out: &mut Outbox<'_, Self::Msg>, _from: ProcessorId, msg: Self::Msg) {
-        match msg {
-            TreeMsg::Apply { node, origin, req } => self.handle_apply(out, node, origin, req),
-            TreeMsg::Reply { resp } => {
-                self.audit.record_kind("reply");
-                self.pending_response = Some(resp);
-            }
-            TreeMsg::Handoff { node, total, .. } => self.handle_handoff(node, total),
-            m @ TreeMsg::NewWorker { .. } => self.handle_new_worker(out, m),
-            TreeMsg::NewWorkerLeaf { .. } => {
-                self.audit.record_kind("new-worker-leaf");
-            }
-            TreeMsg::RecoverPromote { node } => self.handle_recover_promote(out, node),
-            TreeMsg::RebuildQuery { node, successor } => {
-                self.handle_rebuild_query(out, node, successor);
-            }
-            TreeMsg::RebuildShare { node } => self.handle_rebuild_share(out, node),
-        }
+        let now = VirtualTime(out.now().ticks());
+        let fx = self.engines[out.me().index()].on_event(Event::Deliver { msg }, now);
+        self.apply_effects(out, fx);
     }
 }
 
@@ -539,6 +347,8 @@ mod tests {
         for node in topo.nodes() {
             assert_eq!(proto.worker_of(node), topo.initial_worker(node));
             assert_eq!(proto.age_of(node), 0);
+            // The engine fleet agrees with the registry.
+            assert!(proto.engine_of(topo.initial_worker(node)).hosts(node));
         }
     }
 
@@ -556,5 +366,18 @@ mod tests {
         let topo = Topology::new(2).expect("k=2");
         let proto = TreeProtocol::new(topo, RetirementPolicy::PaperDefault, FlipBitObject::new());
         assert!(!proto.object().bit());
+    }
+
+    #[test]
+    fn fault_tolerance_toggle_reaches_every_engine() {
+        let topo = Topology::new(2).expect("k=2");
+        let mut proto: TreeProtocol =
+            TreeProtocol::new(topo, RetirementPolicy::PaperDefault, CounterObject::new());
+        assert!(!proto.fault_tolerant());
+        proto.set_fault_tolerant(true);
+        assert!(proto.fault_tolerant());
+        assert!(proto.engine_of(ProcessorId::new(3)).config().dedupe);
+        proto.set_fault_tolerant(false);
+        assert!(!proto.engine_of(ProcessorId::new(0)).config().dedupe);
     }
 }

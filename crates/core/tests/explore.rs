@@ -2,25 +2,24 @@
 //! on *every* delivery order the asynchronous model admits, not just the
 //! sampled policies.
 
-use distctr_core::{CounterObject, RetirementPolicy, Topology, TreeMsg, TreeProtocol};
+use distctr_core::{CounterMsg, CounterObject, Msg, RetirementPolicy, Topology, TreeProtocol};
 use distctr_sim::{explore, Injection, OpId, ProcessorId};
 
 type Proto = TreeProtocol<CounterObject>;
-type Msg = TreeMsg<(), u64>;
 
 fn fresh(k: u32) -> Proto {
     let topo = Topology::new(k).expect("topology");
     TreeProtocol::new(topo, RetirementPolicy::PaperDefault, CounterObject::new())
 }
 
-fn inc_injection(proto: &Proto, initiator: usize, op: usize) -> Injection<Msg> {
+fn inc_injection(proto: &Proto, initiator: usize, op: usize) -> Injection<CounterMsg> {
     let origin = ProcessorId::new(initiator);
     let leaf_parent = proto.topology().leaf_parent(initiator as u64);
     Injection {
         op: OpId::new(op),
         from: origin,
         to: proto.worker_of(leaf_parent),
-        msg: TreeMsg::Apply { node: leaf_parent, origin, req: () },
+        msg: Msg::Apply { node: leaf_parent, origin, op_seq: op as u64, req: () },
     }
 }
 
@@ -93,7 +92,7 @@ fn every_schedule_of_a_retirement_cascade_keeps_the_lemmas() {
 
 /// Runs one operation to quiescence along the first DFS schedule and
 /// returns the resulting protocol state.
-fn advance_one_schedule(proto: &Proto, injection: &Injection<Msg>) -> Proto {
+fn advance_one_schedule(proto: &Proto, injection: &Injection<CounterMsg>) -> Proto {
     use std::cell::RefCell;
     let result: RefCell<Option<Proto>> = RefCell::new(None);
     let outcome = explore(proto, std::slice::from_ref(injection), 1, &|p: &Proto| {

@@ -215,7 +215,7 @@ fn messages_stay_logarithmic_in_n() {
         let n = distctr_core::kmath::leaves_of_order(k);
         let value_bits = 64 - n.leading_zeros() + 1;
         let msg: CounterMsg =
-            distctr_core::TreeMsg::Apply { node, origin: ProcessorId::new(0), req: () };
+            distctr_core::Msg::Apply { node, origin: ProcessorId::new(0), op_seq: 0, req: () };
         let bits = msg.wire_size_bits(n, k, 0, value_bits);
         let budget = 8 * (64 - n.leading_zeros()) + 16;
         assert!(bits <= budget, "k={k}: {bits} bits within O(log n) budget {budget}");

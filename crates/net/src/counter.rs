@@ -5,19 +5,19 @@
 //! response *and* for full quiescence of the retirement cascade ("enough
 //! time elapses between any two inc requests").
 
-use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use distctr_core::{kmath, CounterBackend, CounterObject, NodeRef, RootObject, Topology};
+use distctr_core::engine::{seed_initial_hosting, EngineConfig, NodeEngine, PoolPolicy};
+use distctr_core::{kmath, CounterBackend, CounterObject, Msg, NodeRef, RootObject, Topology};
 use distctr_sim::ProcessorId;
 
 use crate::error::NetError;
 use crate::messages::NetMsg;
-use crate::worker::{Hosted, Shared, Worker, DEFAULT_REPLY_CACHE};
+use crate::worker::{Shared, Worker, DEFAULT_REPLY_CACHE};
 
 /// Hard cap on spawned threads: one per processor.
 pub const MAX_THREADED_PROCESSORS: usize = 4096;
@@ -120,49 +120,33 @@ where
         let peers = Arc::new(senders);
         let shared = Arc::new(Shared::new(processors));
         let (result_tx, results) = unbounded();
-        let threshold = 4 * u64::from(k);
 
-        // Initial hosting: each thread owns the nodes whose initial
-        // worker it is, with neighbour routing seeded from the topology.
-        let mut initial: Vec<HashMap<NodeRef, Hosted<O>>> =
-            (0..processors).map(|_| HashMap::new()).collect();
-        for node in topo.nodes() {
-            let worker = topo.initial_worker(node);
-            let parent_worker = topo.parent(node).map(|p| topo.initial_worker(p));
-            let child_workers = topo
-                .inner_children(node)
-                .map(|children| children.iter().map(|&c| topo.initial_worker(c)).collect())
-                .unwrap_or_default();
-            initial[worker.index()].insert(
-                node,
-                Hosted {
-                    age: 0,
-                    pool_cursor: 0,
-                    parent_worker,
-                    child_workers,
-                    object: (node == NodeRef::ROOT).then(|| object.clone()),
-                    reply_cache: Vec::new(),
-                },
-            );
-        }
+        // One shared-protocol engine per thread, seeded with the initial
+        // hosting and neighbour routing straight from the topology. The
+        // driver's bounded retry makes deduplication mandatory here.
+        let config = EngineConfig {
+            threshold: Some(kmath::retirement_threshold(k)),
+            pool_policy: PoolPolicy::OneShot,
+            reply_cache_cap,
+            dedupe: true,
+            persist: false,
+        };
+        let mut engines: Vec<NodeEngine<O>> = (0..processors)
+            .map(|i| NodeEngine::new(ProcessorId::new(i), Arc::clone(&topo), config))
+            .collect();
+        seed_initial_hosting(&topo, &mut engines, &object);
 
         let mut handles = Vec::with_capacity(processors);
-        for (index, rx) in receivers.into_iter().enumerate() {
+        for ((index, rx), engine) in receivers.into_iter().enumerate().zip(engines) {
             let me = ProcessorId::new(index);
-            let leaf_parent = topo.leaf_parent(index as u64);
             let worker = Worker {
                 me,
                 topo: Arc::clone(&topo),
-                threshold,
                 rx,
                 peers: Arc::clone(&peers),
                 shared: Arc::clone(&shared),
                 results: result_tx.clone(),
-                nodes: std::mem::take(&mut initial[index]),
-                forwarding: HashMap::new(),
-                pending: HashMap::new(),
-                leaf_parent_worker: topo.initial_worker(leaf_parent),
-                reply_cache_cap,
+                engine,
                 crashed: false,
             };
             handles.push(
@@ -273,11 +257,8 @@ where
         self.check_peer(entry_worker)?;
         self.check_peer(initiator)?;
         let op_seq = self.reserve_op();
-        self.drive(entry_worker, op_seq, |op_seq| NetMsg::Apply {
-            node,
-            origin: initiator,
-            op_seq,
-            req: req.clone(),
+        self.drive(entry_worker, op_seq, |op_seq| {
+            NetMsg::Protocol(Msg::Apply { node, origin: initiator, op_seq, req: req.clone() })
         })
     }
 

@@ -1,37 +1,23 @@
 //! Wire messages of the threaded backend.
 //!
-//! Mirrors the simulator protocol's message economy: an `inc` climbs the
-//! tree as `Apply` hops, the root replies straight to the initiator, and
-//! a retirement sends k+1 handoff messages (k unit parts plus one
-//! carrying the node's transferable state) and one `NewWorker`
-//! notification per neighbour.
+//! The protocol itself speaks the shared [`distctr_core::Msg`] enum — the
+//! same messages the simulator delivers — so the two backends cannot
+//! drift apart. [`NetMsg`] merely wraps it with the transport-level
+//! control traffic a real thread pool needs (start an operation, crash a
+//! worker, shut a thread down), none of which counts toward the paper's
+//! per-processor message load.
 
-use distctr_core::{NodeRef, RootObject};
-use distctr_sim::ProcessorId;
+use distctr_core::RootObject;
 
-/// The state that migrates with a retiring node's job.
-#[derive(Debug, Clone)]
-pub struct NodeTransfer<O: RootObject> {
-    /// The node changing hands.
-    pub node: NodeRef,
-    /// Retirements so far (the pool cursor).
-    pub pool_cursor: u64,
-    /// Current worker of the parent node (None at the root).
-    pub parent_worker: Option<ProcessorId>,
-    /// Current workers of the inner-node children (empty on level k).
-    pub child_workers: Vec<ProcessorId>,
-    /// The hosted object state (Some at the root only).
-    pub object: Option<O>,
-    /// Recent `(op_seq, response)` pairs already answered by the root,
-    /// migrating with the object so driver retries stay exactly-once
-    /// across retirements (root only; empty elsewhere).
-    pub reply_cache: Vec<(u64, O::Response)>,
-}
+pub use distctr_core::{Msg, NodeTransfer};
 
-/// A message between worker threads, generic over the hosted
-/// [`RootObject`].
+/// A message between worker threads: one shared-protocol message, or a
+/// driver control signal.
 #[derive(Debug, Clone)]
 pub enum NetMsg<O: RootObject> {
+    /// A protocol message of the shared engine (an `Apply` hop, a reply,
+    /// handoff traffic, a worker-change notification, recovery traffic).
+    Protocol(Msg<O>),
     /// Driver control: the receiving processor initiates one operation.
     /// Not counted as network load (it models the local request).
     StartOp {
@@ -39,48 +25,6 @@ pub enum NetMsg<O: RootObject> {
         op_seq: u64,
         /// The operation payload.
         req: O::Request,
-    },
-    /// An operation request climbing the tree.
-    Apply {
-        /// The tree node this hop targets.
-        node: NodeRef,
-        /// The initiating processor (reply address).
-        origin: ProcessorId,
-        /// Operation sequence number.
-        op_seq: u64,
-        /// The operation payload.
-        req: O::Request,
-    },
-    /// The operation's response, root worker → initiator.
-    Reply {
-        /// The response.
-        resp: O::Response,
-        /// Operation sequence number.
-        op_seq: u64,
-    },
-    /// One unit of a retirement handoff (parts `0..total-1`).
-    HandoffPart {
-        /// The node changing hands.
-        node: NodeRef,
-        /// Part number.
-        part: u32,
-        /// Total parts including the final state-bearing one.
-        total: u32,
-    },
-    /// The final handoff message, carrying the migrating state.
-    HandoffFinal {
-        /// The transferred node state.
-        transfer: Box<NodeTransfer<O>>,
-    },
-    /// Notification that `retired`'s worker changed; addressed to the
-    /// worker of the adjacent node `node`.
-    NewWorker {
-        /// The neighbour being informed.
-        node: NodeRef,
-        /// The node whose worker changed.
-        retired: NodeRef,
-        /// The new worker.
-        new_worker: ProcessorId,
     },
     /// Fault injection: the receiving processor crashes. It loses every
     /// hosted node, its forwarding table, and its pending buffers, and
@@ -93,34 +37,36 @@ pub enum NetMsg<O: RootObject> {
 
 impl<O: RootObject> NetMsg<O> {
     /// Whether this message counts toward the paper's per-processor
-    /// message load (driver control traffic does not).
+    /// message load: protocol traffic does, driver control does not.
     #[must_use]
     pub fn counts_as_load(&self) -> bool {
-        !matches!(self, NetMsg::StartOp { .. } | NetMsg::Shutdown | NetMsg::Crash)
+        matches!(self, NetMsg::Protocol(_))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use distctr_core::CounterObject;
+    use distctr_core::{CounterObject, NodeRef};
+    use distctr_sim::ProcessorId;
 
-    type Msg = NetMsg<CounterObject>;
+    type Wire = NetMsg<CounterObject>;
 
     #[test]
     fn control_messages_are_not_load() {
-        assert!(!Msg::StartOp { op_seq: 0, req: () }.counts_as_load());
-        assert!(!Msg::Shutdown.counts_as_load());
-        assert!(!Msg::Crash.counts_as_load());
-        assert!(Msg::Reply { resp: 0, op_seq: 0 }.counts_as_load());
-        assert!(Msg::Apply {
+        assert!(!Wire::StartOp { op_seq: 0, req: () }.counts_as_load());
+        assert!(!Wire::Shutdown.counts_as_load());
+        assert!(!Wire::Crash.counts_as_load());
+        assert!(Wire::Protocol(Msg::Reply { resp: 0, op_seq: 0 }).counts_as_load());
+        assert!(Wire::Protocol(Msg::Apply {
             node: NodeRef::ROOT,
             origin: ProcessorId::new(0),
             op_seq: 0,
             req: ()
-        }
+        })
         .counts_as_load());
-        assert!(Msg::HandoffPart { node: NodeRef::ROOT, part: 0, total: 4 }.counts_as_load());
+        assert!(Wire::Protocol(Msg::HandoffPart { node: NodeRef::ROOT, part: 0, total: 4 })
+            .counts_as_load());
     }
 
     #[test]

@@ -1,21 +1,23 @@
 //! The worker-thread event loop.
 //!
-//! Each OS thread *is* one processor: it owns the state of every tree
-//! node it currently works for, a routing view of its neighbours'
-//! workers, and forwarding addresses for nodes it has retired from. All
-//! knowledge is local; node state genuinely migrates between threads
-//! inside handoff messages — there is no shared map of "who serves what"
-//! anywhere.
+//! Each OS thread *is* one processor, but the thread itself decides
+//! nothing about the protocol: it owns a [`NodeEngine`] — the same
+//! sans-io state machine the simulator drives — and merely shuttles
+//! events in and effects out. Receive a message, feed it to the engine,
+//! realize the returned effects on the channel mesh (sends, driver
+//! replies, audit counters). All protocol knowledge is local to the
+//! engine; node state genuinely migrates between threads inside handoff
+//! messages — there is no shared map of "who serves what" anywhere.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam_channel::{Receiver, Sender};
-use distctr_core::{NodeRef, RootObject, Topology};
+use distctr_core::engine::{AuditEvent, Effect, Event, NodeEngine, VirtualTime};
+use distctr_core::{Msg, RootObject, Topology};
 use distctr_sim::ProcessorId;
 
-use crate::messages::{NetMsg, NodeTransfer};
+use crate::messages::NetMsg;
 
 /// Default number of recent root replies kept for driver-retry
 /// deduplication. Sequential driving means only the newest entries can
@@ -23,22 +25,6 @@ use crate::messages::{NetMsg, NodeTransfer};
 /// multiplexing many client sessions raises it via
 /// `ThreadedTreeClient::with_reply_cache`.
 pub const DEFAULT_REPLY_CACHE: usize = 8;
-
-/// State of one tree node, owned by the thread currently working for it.
-#[derive(Debug, Clone)]
-pub(crate) struct Hosted<O: RootObject> {
-    pub(crate) age: u64,
-    pub(crate) pool_cursor: u64,
-    pub(crate) parent_worker: Option<ProcessorId>,
-    /// Inner-node children's workers (empty on level k).
-    pub(crate) child_workers: Vec<ProcessorId>,
-    /// Hosted object (root only).
-    pub(crate) object: Option<O>,
-    /// Replies already sent, keyed by op sequence (root only). A driver
-    /// retry whose original `Apply` did land is answered from here, so
-    /// retries stay exactly-once; migrates with the object on handoff.
-    pub(crate) reply_cache: Vec<(u64, O::Response)>,
-}
 
 /// Shared accounting: per-processor sent/received counters and the
 /// global in-flight message count used for quiescence detection.
@@ -52,8 +38,9 @@ pub(crate) struct Shared {
     /// the pool successor by the retirement shim.
     pub(crate) shim_forwards: AtomicU64,
     /// Messages abandoned because the destination thread was gone
-    /// (crashed or already shut down) — the graceful replacement for
-    /// the old `expect()` abort on a closed channel.
+    /// (crashed or already shut down) or their state was lost — the
+    /// graceful replacement for the old `expect()` abort on a closed
+    /// channel.
     pub(crate) dead_letters: AtomicU64,
 }
 
@@ -73,21 +60,13 @@ impl Shared {
 pub(crate) struct Worker<O: RootObject> {
     pub(crate) me: ProcessorId,
     pub(crate) topo: Arc<Topology>,
-    pub(crate) threshold: u64,
     pub(crate) rx: Receiver<NetMsg<O>>,
     pub(crate) peers: Arc<Vec<Sender<NetMsg<O>>>>,
     pub(crate) shared: Arc<Shared>,
     pub(crate) results: Sender<(u64, O::Response)>,
-    pub(crate) nodes: HashMap<NodeRef, Hosted<O>>,
-    /// Nodes this thread retired from, with the successor to forward to.
-    pub(crate) forwarding: HashMap<NodeRef, ProcessorId>,
-    /// Messages for nodes whose handoff has not arrived yet.
-    pub(crate) pending: HashMap<NodeRef, Vec<NetMsg<O>>>,
-    /// The (static) worker of this leaf's parent node: level-k nodes have
-    /// singleton pools and never retire, so this never changes.
-    pub(crate) leaf_parent_worker: ProcessorId,
-    /// Root reply-cache capacity (see [`DEFAULT_REPLY_CACHE`]).
-    pub(crate) reply_cache_cap: usize,
+    /// The protocol brain: every routing, aging, retirement and recovery
+    /// decision happens inside, never in this thread loop.
+    pub(crate) engine: NodeEngine<O>,
     /// Set by [`NetMsg::Crash`]: a crashed processor has lost all hosted
     /// state and silently discards every message (fail-silent model). It
     /// keeps draining its channel so in-flight accounting — and hence
@@ -140,210 +119,66 @@ impl<O: RootObject> Worker<O> {
         if self.crashed {
             // Fail-silent: drain and discard everything except the
             // driver's shutdown (handled by `run`'s break).
-            if matches!(msg, NetMsg::Apply { .. } | NetMsg::Reply { .. }) {
+            if matches!(msg, NetMsg::Protocol(Msg::Apply { .. } | Msg::Reply { .. })) {
                 self.shared.dead_letters.fetch_add(1, Ordering::Relaxed);
             }
             return;
         }
         match msg {
+            NetMsg::Protocol(m) => {
+                let fx = self.engine.on_event(Event::Deliver { msg: m }, VirtualTime::ZERO);
+                self.apply(fx);
+            }
             NetMsg::StartOp { op_seq, req } => {
-                let leaf_parent = self.topo.leaf_parent(self.me.index() as u64);
-                self.send(
-                    self.leaf_parent_worker,
-                    NetMsg::Apply { node: leaf_parent, origin: self.me, op_seq, req },
-                );
-            }
-            NetMsg::Apply { node, origin, op_seq, req } => {
-                self.on_apply(node, origin, op_seq, req);
-            }
-            NetMsg::Reply { resp, op_seq } => {
-                // The driver hung up (shutdown race): drop, don't abort.
-                let _ = self.results.send((op_seq, resp));
-            }
-            NetMsg::HandoffPart { .. } => {
-                // Unit parts only carry load; the final part installs.
-            }
-            NetMsg::HandoffFinal { transfer } => self.on_handoff(*transfer),
-            NetMsg::NewWorker { node, retired, new_worker } => {
-                self.on_new_worker(node, retired, new_worker);
+                let fx = self.engine.on_event(Event::Invoke { op_seq, req }, VirtualTime::ZERO);
+                self.apply(fx);
             }
             NetMsg::Crash => {
                 self.crashed = true;
-                self.nodes.clear();
-                self.forwarding.clear();
-                self.pending.clear();
+                // All hosted node state dies with the processor: a fresh
+                // engine has no hosting, forwarding, or pending buffers.
+                self.engine =
+                    NodeEngine::new(self.me, Arc::clone(&self.topo), self.engine.config());
             }
             NetMsg::Shutdown => {}
         }
     }
 
-    fn on_apply(&mut self, node: NodeRef, origin: ProcessorId, op_seq: u64, req: O::Request) {
-        if !self.nodes.contains_key(&node) {
-            // Shim: forward to the successor if we retired from this
-            // node; buffer if its handoff has not reached us yet.
-            if let Some(&successor) = self.forwarding.get(&node) {
-                self.shared.shim_forwards.fetch_add(1, Ordering::Relaxed);
-                self.send(successor, NetMsg::Apply { node, origin, op_seq, req });
-            } else {
-                self.pending.entry(node).or_default().push(NetMsg::Apply {
-                    node,
-                    origin,
-                    op_seq,
-                    req,
-                });
-            }
-            return;
-        }
-        if node == NodeRef::ROOT {
-            let Some(hosted) = self.nodes.get_mut(&node) else { return };
-            hosted.age += 2;
-            // Answer a driver retry from the reply cache so the object
-            // observes each operation exactly once.
-            let resp = match hosted.reply_cache.iter().find(|(seq, _)| *seq == op_seq) {
-                Some((_, cached)) => cached.clone(),
-                None => {
-                    let Some(object) = hosted.object.as_mut() else {
-                        // State was lost (crash without recovery): the
-                        // operation dies here instead of aborting the run.
-                        self.shared.dead_letters.fetch_add(1, Ordering::Relaxed);
-                        return;
-                    };
-                    let resp = object.apply(req);
-                    hosted.reply_cache.push((op_seq, resp.clone()));
-                    if hosted.reply_cache.len() > self.reply_cache_cap {
-                        hosted.reply_cache.remove(0);
-                    }
-                    resp
+    /// Realizes the engine's effects on this transport: sends go out on
+    /// the channel mesh, replies to the driver's result channel, and the
+    /// audit events that have a threaded-side counter are tallied. Timer
+    /// effects are advisory here — the driver's bounded retry loop plays
+    /// the watchdog role — and registry/persistence effects have no
+    /// threaded observer, so both are dropped deliberately.
+    fn apply(&mut self, fx: Vec<Effect<O>>) {
+        for effect in fx {
+            match effect {
+                Effect::Send { to, msg } => self.send(to, NetMsg::Protocol(msg)),
+                Effect::Reply { op_seq, resp } => {
+                    // The driver hung up (shutdown race): drop, don't
+                    // abort.
+                    let _ = self.results.send((op_seq, resp));
                 }
-            };
-            self.send(origin, NetMsg::Reply { resp, op_seq });
-        } else {
-            let parent = self.topo.parent(node);
-            let (parent, parent_worker) = {
-                let Some(hosted) = self.nodes.get_mut(&node) else { return };
-                hosted.age += 2;
-                match (parent, hosted.parent_worker) {
-                    (Some(p), Some(w)) => (p, w),
-                    // An inner node that has lost its routing view drops
-                    // the request rather than aborting the thread.
-                    _ => {
-                        self.shared.dead_letters.fetch_add(1, Ordering::Relaxed);
-                        return;
-                    }
+                Effect::Audit(AuditEvent::ShimForward) => {
+                    self.shared.shim_forwards.fetch_add(1, Ordering::Relaxed);
                 }
-            };
-            self.send(parent_worker, NetMsg::Apply { node: parent, origin, op_seq, req });
-        }
-        self.maybe_retire(node);
-    }
-
-    fn on_handoff(&mut self, transfer: NodeTransfer<O>) {
-        let node = transfer.node;
-        let hosted = Hosted {
-            age: 0,
-            pool_cursor: transfer.pool_cursor,
-            parent_worker: transfer.parent_worker,
-            child_workers: transfer.child_workers,
-            object: transfer.object,
-            reply_cache: transfer.reply_cache,
-        };
-        self.nodes.insert(node, hosted);
-        // We are the current worker now; drop any stale forwarding entry
-        // (possible if this processor served the node in a previous
-        // recycling epoch — not reachable with one-shot pools).
-        self.forwarding.remove(&node);
-        // Deliver everything that arrived before the handoff.
-        if let Some(buffered) = self.pending.remove(&node) {
-            for msg in buffered {
-                self.handle(msg);
+                Effect::Audit(AuditEvent::Retirement { .. }) => {
+                    self.shared.retirements.fetch_add(1, Ordering::Relaxed);
+                }
+                Effect::Audit(AuditEvent::Lost) => {
+                    // State was lost (crash without recovery): the
+                    // operation dies here instead of aborting the run.
+                    self.shared.dead_letters.fetch_add(1, Ordering::Relaxed);
+                }
+                Effect::SetTimer { .. }
+                | Effect::CancelTimer { .. }
+                | Effect::Retired { .. }
+                | Effect::Installed { .. }
+                | Effect::RecoveryStarted { .. }
+                | Effect::Recovered { .. }
+                | Effect::Persist { .. }
+                | Effect::Audit(_) => {}
             }
         }
-    }
-
-    fn on_new_worker(&mut self, node: NodeRef, retired: NodeRef, new_worker: ProcessorId) {
-        if !self.nodes.contains_key(&node) {
-            if let Some(&successor) = self.forwarding.get(&node) {
-                self.shared.shim_forwards.fetch_add(1, Ordering::Relaxed);
-                self.send(successor, NetMsg::NewWorker { node, retired, new_worker });
-            } else {
-                self.pending.entry(node).or_default().push(NetMsg::NewWorker {
-                    node,
-                    retired,
-                    new_worker,
-                });
-            }
-            return;
-        }
-        let Some(hosted) = self.nodes.get_mut(&node) else { return };
-        hosted.age += 1;
-        if self.topo.parent(node) == Some(retired) {
-            hosted.parent_worker = Some(new_worker);
-        } else if let Some(children) = self.topo.inner_children(node) {
-            if let Some(idx) = children.iter().position(|&c| c == retired) {
-                hosted.child_workers[idx] = new_worker;
-            }
-        }
-        self.maybe_retire(node);
-    }
-
-    fn maybe_retire(&mut self, node: NodeRef) {
-        let (age, pool_cursor) = {
-            let Some(hosted) = self.nodes.get(&node) else { return };
-            (hosted.age, hosted.pool_cursor)
-        };
-        if age < self.threshold {
-            return;
-        }
-        let pool = self.topo.pool(node);
-        let size = pool.end - pool.start;
-        if pool_cursor + 1 >= size {
-            // Pool drained (unreachable on the canonical workload).
-            if let Some(hosted) = self.nodes.get_mut(&node) {
-                hosted.age = 0;
-            }
-            return;
-        }
-        let successor = ProcessorId::new((pool.start + pool_cursor + 1) as usize);
-        let Some(hosted) = self.nodes.remove(&node) else { return };
-        self.shared.retirements.fetch_add(1, Ordering::Relaxed);
-        self.forwarding.insert(node, successor);
-
-        // k+1 handoff messages: k unit parts + the state-bearing final.
-        let total = self.topo.order() + 1;
-        for part in 0..total - 1 {
-            self.send(successor, NetMsg::HandoffPart { node, part, total });
-        }
-        self.send(
-            successor,
-            NetMsg::HandoffFinal {
-                transfer: Box::new(NodeTransfer {
-                    node,
-                    pool_cursor: pool_cursor + 1,
-                    parent_worker: hosted.parent_worker,
-                    child_workers: hosted.child_workers.clone(),
-                    object: hosted.object,
-                    reply_cache: hosted.reply_cache,
-                }),
-            },
-        );
-        // Notify the parent and every child of the new worker.
-        if let (Some(parent), Some(parent_worker)) = (self.topo.parent(node), hosted.parent_worker)
-        {
-            self.send(
-                parent_worker,
-                NetMsg::NewWorker { node: parent, retired: node, new_worker: successor },
-            );
-        }
-        if let Some(children) = self.topo.inner_children(node) {
-            for (idx, child) in children.into_iter().enumerate() {
-                let w = hosted.child_workers[idx];
-                self.send(
-                    w,
-                    NetMsg::NewWorker { node: child, retired: node, new_worker: successor },
-                );
-            }
-        }
-        // Level-k nodes never retire (singleton pools), so leaves need no
-        // notification channel here.
     }
 }

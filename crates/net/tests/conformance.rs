@@ -1,0 +1,122 @@
+//! Cross-driver conformance suite for the shared protocol engine.
+//!
+//! The simulator and the threaded backend are now thin drivers around
+//! the *same* sans-io [`distctr_core::engine::NodeEngine`], so their
+//! observable behaviour must not merely agree within slack — it must be
+//! **identical**: the same workload produces the same value sequence,
+//! the same per-processor message counts, and the same retirement and
+//! shim tallies, across a grid of tree orders and under fault injection.
+//! Any future edit that forks the two code paths again fails here first.
+
+use distctr_core::TreeCounter;
+use distctr_net::ThreadedTreeCounter;
+use distctr_sim::{Counter, ProcessorId, TraceMode};
+
+/// Observables of one full round through one backend.
+#[derive(Debug, PartialEq)]
+struct RoundObservables {
+    values: Vec<u64>,
+    loads: Vec<u64>,
+    retirements: u64,
+    shim_forwards: u64,
+}
+
+/// One full round of `n` operations under a seeded permutation, driven
+/// through both backends.
+fn drive_both(n: usize, seed: u64) -> (RoundObservables, RoundObservables) {
+    let mut sim = TreeCounter::builder(n)
+        .expect("builder")
+        .trace(TraceMode::Off)
+        .build()
+        .expect("sim counter");
+    let mut threads = ThreadedTreeCounter::new(n).expect("threaded counter");
+    assert_eq!(sim.processors(), threads.processors());
+    let n = sim.processors();
+
+    // A seeded permutation of initiators: x -> (a*x + b) mod n with a
+    // coprime to n covers every processor exactly once.
+    let a = (2 * seed + 7) | 1;
+    let order: Vec<usize> = (0..n).map(|i| ((a as usize * i) + seed as usize) % n).collect();
+    let mut seen = vec![false; n];
+    order.iter().for_each(|&p| seen[p] = true);
+    assert!(seen.iter().all(|&b| b), "seed {seed}: order is a permutation of 0..{n}");
+
+    let mut sim_values = Vec::with_capacity(n);
+    let mut thread_values = Vec::with_capacity(n);
+    for &p in &order {
+        sim_values.push(sim.inc(ProcessorId::new(p)).expect("sim inc").value);
+        thread_values.push(threads.inc(ProcessorId::new(p)).expect("threaded inc"));
+    }
+    let out = (
+        RoundObservables {
+            values: sim_values,
+            loads: sim.loads().to_vec(),
+            retirements: sim.audit().retirements_by_level().iter().sum(),
+            shim_forwards: sim.audit().shim_forwards(),
+        },
+        RoundObservables {
+            values: thread_values,
+            loads: threads.loads(),
+            retirements: threads.retirements(),
+            shim_forwards: threads.shim_forwards(),
+        },
+    );
+    threads.shutdown().expect("shutdown");
+    out
+}
+
+#[test]
+fn both_drivers_report_identical_values_loads_and_retirements() {
+    // Property-style over a small grid: every supported thread-scale
+    // order, several workload permutations each.
+    for n in [8usize, 81] {
+        for seed in [0u64, 3, 11] {
+            let (sim, threads) = drive_both(n, seed);
+            assert_eq!(
+                sim.values,
+                (0..sim.values.len() as u64).collect::<Vec<_>>(),
+                "n={n} seed={seed}: values are exactly sequential"
+            );
+            for (p, (&s, &t)) in sim.loads.iter().zip(&threads.loads).enumerate() {
+                assert_eq!(s, t, "n={n} seed={seed}: P{p} message count (sim {s}, threads {t})");
+            }
+            assert_eq!(sim, threads, "n={n} seed={seed}: observables diverge");
+        }
+    }
+}
+
+#[test]
+fn both_drivers_agree_under_a_crash_fault_plan() {
+    // Crash the same level-k singleton worker in both backends, then
+    // drive operations whose paths avoid the dead subtree: the engine
+    // must produce the same values and the same per-processor counts.
+    let n = 81usize;
+    let mut sim = TreeCounter::builder(n)
+        .expect("builder")
+        .trace(TraceMode::Off)
+        .faults(distctr_sim::FaultPlan::new(0))
+        .build()
+        .expect("sim counter");
+    let mut threads = ThreadedTreeCounter::new(n).expect("threaded counter");
+    let crash_target = ProcessorId::new(80);
+    sim.crash(crash_target);
+    threads.crash_worker(crash_target).expect("crash");
+
+    for (expected, p) in (0..54usize).enumerate() {
+        let s = sim.inc_fault_tolerant(ProcessorId::new(p)).expect("sim inc").value;
+        let t = threads.inc(ProcessorId::new(p)).expect("threaded inc");
+        assert_eq!(s, expected as u64, "sim initiator P{p}");
+        assert_eq!(t, expected as u64, "threaded initiator P{p}");
+    }
+    assert_eq!(
+        sim.audit().retirements_by_level().iter().sum::<u64>(),
+        threads.retirements(),
+        "retirement counts under the crash plan"
+    );
+    let sim_loads = sim.loads().to_vec();
+    let thread_loads = threads.loads();
+    for (p, (&s, &t)) in sim_loads.iter().zip(&thread_loads).enumerate() {
+        assert_eq!(s, t, "crash plan: P{p} message count (sim {s}, threads {t})");
+    }
+    threads.shutdown().expect("shutdown");
+}

@@ -12,6 +12,7 @@ use std::collections::VecDeque;
 
 use crate::id::{OpId, ProcessorId};
 use crate::network::{Outbox, Protocol};
+use crate::time::SimTime;
 
 /// One message to inject before exploration starts.
 #[derive(Debug, Clone)]
@@ -109,7 +110,7 @@ fn dfs<P, F>(
         let mut flights = in_flight.clone();
         let chosen = flights.remove(pick).expect("index in range");
         let mut sends: Vec<(ProcessorId, P::Msg)> = Vec::new();
-        let mut outbox = Outbox::for_explorer(chosen.to, chosen.op, &mut sends);
+        let mut outbox = Outbox::for_explorer(chosen.to, chosen.op, SimTime::ZERO, &mut sends);
         proto.on_deliver(&mut outbox, chosen.from, chosen.msg);
         for (to, msg) in sends {
             flights.push_back(Flight { op: chosen.op, from: chosen.to, to, msg });

@@ -49,6 +49,7 @@ pub trait Protocol {
 pub struct Outbox<'a, M> {
     me: ProcessorId,
     op: OpId,
+    now: SimTime,
     sends: &'a mut Vec<(ProcessorId, M)>,
 }
 
@@ -63,6 +64,13 @@ impl<'a, M> Outbox<'a, M> {
     #[must_use]
     pub fn op(&self) -> OpId {
         self.op
+    }
+
+    /// Simulated time of the delivery being handled (protocols with
+    /// timer logic stamp deadlines relative to this).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
     }
 
     /// Sends `msg` from [`Outbox::me`] to `to`. Delivery time is chosen by
@@ -81,9 +89,10 @@ impl<'a, M> Outbox<'a, M> {
     pub(crate) fn for_explorer(
         me: ProcessorId,
         op: OpId,
+        now: SimTime,
         sends: &'a mut Vec<(ProcessorId, M)>,
     ) -> Outbox<'a, M> {
-        Outbox { me, op, sends }
+        Outbox { me, op, now, sends }
     }
 }
 
@@ -375,7 +384,7 @@ impl<M: Clone + fmt::Debug> Network<M> {
                 self.now,
             );
             sends.clear();
-            let mut outbox = Outbox { me: env.to, op: env.op, sends: &mut sends };
+            let mut outbox = Outbox { me: env.to, op: env.op, now: self.now, sends: &mut sends };
             protocol.on_deliver(&mut outbox, env.from, env.msg);
             for (to, msg) in sends.drain(..) {
                 self.check_processor(to);

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example schedule_explorer`
 
-use distctr::core::{CounterObject, RetirementPolicy, Topology, TreeMsg, TreeProtocol};
+use distctr::core::{CounterObject, Msg, RetirementPolicy, Topology, TreeProtocol};
 use distctr::sim::{explore, Injection, OpId, ProcessorId};
 
 type Proto = TreeProtocol<CounterObject>;
@@ -21,7 +21,7 @@ fn main() {
             op: OpId::new(i),
             from: origin,
             to: proto.worker_of(leaf_parent),
-            msg: TreeMsg::Apply { node: leaf_parent, origin, req: () },
+            msg: Msg::Apply { node: leaf_parent, origin, op_seq: i as u64, req: () },
         };
         let expected = i as u64;
         let outcome =
