@@ -1,0 +1,267 @@
+//! `checkdrive` — the CI entry point of the model checker.
+//!
+//! Default mode runs a bounded sweep of checker cells (n ∈ {2, 4, 8},
+//! fault-free and crash-budget-1) under a shared transition budget and
+//! exits nonzero with a minimized, replayable counterexample if any
+//! invariant is violated. `--compare` runs the E21 experiment instead:
+//! the checker and the old whole-protocol DFS (`distctr_sim::explore`)
+//! on the identical scenario and wall-clock budget, reporting distinct
+//! quiescent states reached by each.
+//!
+//! ```text
+//! checkdrive [--budget 200k] [--depth 4096] [--compare]
+//! ```
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use distctr_check::{combined_fingerprint, Budget, CheckConfig, CheckOutcome, Checker};
+use distctr_core::{
+    CounterMsg, CounterObject, Msg, NodeEngine, RetirementPolicy, Topology, TreeProtocol,
+};
+use distctr_sim::{explore, Injection, OpId, ProcessorId};
+
+fn parse_budget(s: &str) -> Result<u64, String> {
+    let (digits, mult) = match s.trim().to_ascii_lowercase() {
+        t if t.ends_with('k') => (t[..t.len() - 1].to_string(), 1_000u64),
+        t if t.ends_with('m') => (t[..t.len() - 1].to_string(), 1_000_000u64),
+        t => (t, 1),
+    };
+    digits
+        .parse::<u64>()
+        .map(|n| n * mult)
+        .map_err(|e| format!("bad budget {s:?}: {e} (expected e.g. 200000, 200k, 2m)"))
+}
+
+struct Args {
+    budget: u64,
+    depth: usize,
+    compare: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { budget: 200_000, depth: 4_096, compare: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--budget" => {
+                let v = it.next().ok_or("--budget needs a value")?;
+                args.budget = parse_budget(&v)?;
+            }
+            "--depth" => {
+                let v = it.next().ok_or("--depth needs a value")?;
+                args.depth = v.parse().map_err(|e| format!("bad depth {v:?}: {e}"))?;
+            }
+            "--compare" => args.compare = true,
+            "--help" | "-h" => {
+                println!("usage: checkdrive [--budget 200k] [--depth N] [--compare]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// One sweep cell: a named configuration the CI run must hold on.
+struct Cell {
+    name: &'static str,
+    cfg: CheckConfig,
+}
+
+fn sweep_cells() -> Vec<Cell> {
+    vec![
+        Cell {
+            // n = 2 rounds up to the k = 2 tree; two concurrent ops on
+            // the same leaf parent maximally contend for one entry node.
+            name: "n=2 fault-free (2 ops, shared leaf parent)",
+            cfg: CheckConfig::new(2).concurrent_ops(&[0, 1]),
+        },
+        Cell {
+            // n = 4: warmed tree, two ops on distinct leaf parents.
+            name: "n=4 fault-free (warmup 2, 2 ops, distinct entries)",
+            cfg: CheckConfig::new(4).warmup(&[0, 2]).concurrent_ops(&[1, 6]),
+        },
+        Cell {
+            // n = 8: deeper warm-up so the explored ops straddle the
+            // root's retirement cascade.
+            name: "n=8 fault-free (warmup 3, cascade window)",
+            cfg: CheckConfig::new(8).warmup(&[0, 2, 4]).concurrent_ops(&[1, 6]),
+        },
+        Cell {
+            // n = 8, crash budget 1: the checker may crash the root's
+            // initial worker at any branch point; the watchdog must
+            // still complete the sequential workload correctly.
+            name: "n=8 crash-budget-1 (sequential, watchdog recovery)",
+            cfg: CheckConfig::new(8)
+                .sequential_ops(&[0, 4])
+                .fault_tolerant()
+                .explore_crashes(&[0], 1),
+        },
+    ]
+}
+
+fn report_violation(cell: &str, cfg: &CheckConfig, outcome: &CheckOutcome) {
+    let v = outcome.violation.as_ref().expect("caller checked");
+    eprintln!("FAIL [{cell}]: invariant `{}` violated", v.invariant);
+    eprintln!("  detail: {}", v.detail);
+    eprintln!("  schedule ({} choices): {}", v.schedule.choices.len(), v.schedule.serialize());
+    eprintln!("  minimized ({} choices): {}", v.minimized.choices.len(), v.minimized.serialize());
+    eprintln!("  replay test:\n{}", v.minimized.to_test_snippet(cfg, &v.invariant));
+}
+
+fn run_sweep(args: &Args) -> ExitCode {
+    let cells = sweep_cells();
+    let per_cell = (args.budget / cells.len() as u64).max(1);
+    println!(
+        "checkdrive: {} cells, {} transitions each (total budget {})",
+        cells.len(),
+        per_cell,
+        args.budget
+    );
+    let mut failed = false;
+    for cell in &cells {
+        let started = Instant::now();
+        let outcome = Checker::new(cell.cfg.clone())
+            .budget(Budget { max_transitions: per_cell, max_depth: args.depth, wall_clock: None })
+            .run();
+        let s = &outcome.stats;
+        println!(
+            "  [{}] transitions={} leaves={} distinct={} sleep_skips={} depth={}{} ({:?})",
+            cell.name,
+            s.transitions,
+            s.quiescent_leaves,
+            s.distinct_quiescent,
+            s.sleep_skips,
+            s.max_depth_seen,
+            if s.truncated { " truncated" } else { "" },
+            started.elapsed(),
+        );
+        if !outcome.holds() {
+            report_violation(cell.name, &cell.cfg, &outcome);
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("checkdrive: all cells hold");
+        ExitCode::SUCCESS
+    }
+}
+
+// --- E21 comparison: checker vs the old whole-protocol DFS ------------
+
+type Proto = TreeProtocol<CounterObject>;
+
+fn fresh_proto(k: u32) -> Proto {
+    let topo = Topology::new(k).expect("supported order");
+    TreeProtocol::new(topo, RetirementPolicy::PaperDefault, CounterObject::new())
+}
+
+fn inc_injection(proto: &Proto, initiator: usize, op: usize) -> Injection<CounterMsg> {
+    let origin = ProcessorId::new(initiator);
+    let leaf_parent = proto.topology().leaf_parent(initiator as u64);
+    Injection {
+        op: OpId::new(op),
+        from: origin,
+        to: proto.worker_of(leaf_parent),
+        msg: Msg::Apply { node: leaf_parent, origin, op_seq: op as u64, req: () },
+    }
+}
+
+fn proto_fingerprint(proto: &Proto, n: usize) -> u64 {
+    let fps: Vec<u64> =
+        (0..n).map(|p| NodeEngine::fingerprint(proto.engine_of(ProcessorId::new(p)))).collect();
+    let crashed = vec![false; n];
+    combined_fingerprint(&fps, &crashed)
+}
+
+fn run_compare(args: &Args) -> ExitCode {
+    // The E21 scenario: the (n = 4, 2-op) configuration for both
+    // explorers. The checker additionally branches a crash of any
+    // processor at every point (up to two per trace) with watchdog
+    // recovery — coverage the whole-protocol DFS structurally cannot
+    // reach (it has no crash transitions), which is where the distinct
+    // quiescent-state gap comes from.
+    let workload = [0usize, 4];
+    let cfg = CheckConfig::new(4)
+        .sequential_ops(&workload)
+        .fault_tolerant()
+        .explore_crashes(&[0, 1, 2, 3, 4, 5, 6, 7], 2);
+
+    let started = Instant::now();
+    let outcome = Checker::new(cfg)
+        .budget(Budget { max_transitions: args.budget, max_depth: args.depth, wall_clock: None })
+        .run();
+    let checker_wall = started.elapsed().max(Duration::from_millis(1));
+    let s = &outcome.stats;
+    println!(
+        "checker:     transitions={} leaves={} distinct_quiescent={} sleep_skips={}{} in {:?}",
+        s.transitions,
+        s.quiescent_leaves,
+        s.distinct_quiescent,
+        s.sleep_skips,
+        if s.truncated { " truncated" } else { "" },
+        checker_wall,
+    );
+    if !outcome.holds() {
+        let v = outcome.violation.as_ref().expect("violation present");
+        eprintln!("unexpected violation in comparison config: {}: {}", v.invariant, v.detail);
+        return ExitCode::FAILURE;
+    }
+
+    // The old DFS on the same workload, cut off at the checker's wall
+    // clock. It explores the two ops concurrently (it has no sequential
+    // injection either) and fault-free. Its invariant closure records
+    // distinct protocol states; an `Err` return aborts the search,
+    // which is how the wall-clock cutoff is realized (the
+    // pseudo-violation is discarded).
+    let proto = fresh_proto(2);
+    let n = usize::try_from(proto.topology().processors()).expect("n fits usize");
+    let injections: Vec<Injection<CounterMsg>> = workload
+        .iter()
+        .enumerate()
+        .map(|(i, &initiator)| inc_injection(&proto, initiator, i))
+        .collect();
+    let distinct: RefCell<HashSet<u64>> = RefCell::new(HashSet::new());
+    let sim_started = Instant::now();
+    let sim_outcome = explore(&proto, &injections, u64::MAX, &|p: &Proto| {
+        distinct.borrow_mut().insert(proto_fingerprint(p, n));
+        if sim_started.elapsed() >= checker_wall {
+            Err("wall clock".into())
+        } else {
+            Ok(())
+        }
+    });
+    let sim_wall = sim_started.elapsed();
+    let timed_out = sim_outcome.violation.as_deref() == Some("wall clock");
+    let sim_distinct = distinct.borrow().len() as u64;
+    println!(
+        "sim explore: schedules={} distinct_quiescent={}{} in {:?}",
+        sim_outcome.schedules,
+        sim_distinct,
+        if timed_out { " (wall-clock cutoff)" } else { " (exhausted)" },
+        sim_wall,
+    );
+    let factor = s.distinct_quiescent as f64 / sim_distinct.max(1) as f64;
+    println!("reduction: checker covered {factor:.1}x the distinct quiescent states");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("checkdrive: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.compare {
+        run_compare(&args)
+    } else {
+        run_sweep(&args)
+    }
+}

@@ -1,0 +1,239 @@
+//! The sleep-set DFS at the heart of the checker.
+//!
+//! States are worlds; transitions are deliveries of in-flight messages
+//! (plus optional crashes). Deliveries to distinct destination
+//! processors commute — delivering them in either order reaches the
+//! same state — so branching both orders explores the same
+//! Mazurkiewicz trace twice. Sleep sets prune exactly those redundant
+//! branches: after exploring transition `t` from a state, `t` is put to
+//! sleep for the remaining siblings, and stays asleep along a sibling
+//! branch for as long as it is independent of everything executed
+//! there. Crashes are conservatively dependent with every transition,
+//! so fault branches are never pruned.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use crate::config::CheckConfig;
+use crate::invariants::{default_invariants, Invariant};
+use crate::minimize::minimize;
+use crate::schedule::{Choice, Schedule, TransKey};
+use crate::world::{Quiescence, World};
+
+/// Exploration budgets. The checker stops (reporting truncation) when
+/// any budget is exhausted.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    /// Maximum transitions executed across the whole search.
+    pub max_transitions: u64,
+    /// Maximum schedule depth (choices along one trace).
+    pub max_depth: usize,
+    /// Maximum wall clock for the search.
+    pub wall_clock: Option<Duration>,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget { max_transitions: 1_000_000, max_depth: 4_096, wall_clock: None }
+    }
+}
+
+/// Search statistics.
+#[derive(Debug, Clone, Default)]
+pub struct CheckStats {
+    /// Transitions executed.
+    pub transitions: u64,
+    /// Terminal quiescent states reached (trace leaves).
+    pub quiescent_leaves: u64,
+    /// Distinct terminal quiescent state fingerprints.
+    pub distinct_quiescent: u64,
+    /// Branches skipped by sleep sets (redundant interleavings never
+    /// executed).
+    pub sleep_skips: u64,
+    /// Deepest schedule reached.
+    pub max_depth_seen: usize,
+    /// Whether any budget cut the search short.
+    pub truncated: bool,
+    /// Protocol-level fingerprints ([`World::fingerprint`]: engines +
+    /// crash pattern, without client state) of every quiescent state
+    /// reached — the set another backend's final state can be checked
+    /// for membership in (see `crates/net/tests/conformance.rs`).
+    pub quiescent_fingerprints: HashSet<u64>,
+}
+
+/// A violation found by the search.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The violated invariant's name.
+    pub invariant: String,
+    /// Human-readable details from the invariant.
+    pub detail: String,
+    /// The full schedule that reached the violating state.
+    pub schedule: Schedule,
+    /// The delta-debugged minimal schedule that still reproduces the
+    /// violation under [`crate::replay`].
+    pub minimized: Schedule,
+}
+
+/// The result of one [`Checker::run`].
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// Search statistics.
+    pub stats: CheckStats,
+    /// The first violation found, already minimized; `None` if every
+    /// explored trace satisfied every invariant.
+    pub violation: Option<Violation>,
+}
+
+impl CheckOutcome {
+    /// Whether the explored portion of the state space is clean.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+/// The model checker: explores delivery orders (and crash points) of a
+/// [`CheckConfig`]'s workload under an invariant set.
+pub struct Checker {
+    cfg: CheckConfig,
+    budget: Budget,
+    invariants: Vec<Box<dyn Invariant>>,
+}
+
+struct Search<'a> {
+    budget: Budget,
+    invariants: &'a [Box<dyn Invariant>],
+    started: Instant,
+    stats: CheckStats,
+    fingerprints: HashSet<u64>,
+    prefix: Vec<Choice>,
+}
+
+impl Checker {
+    /// A checker over `cfg` with the default budget and invariant set.
+    #[must_use]
+    pub fn new(cfg: CheckConfig) -> Self {
+        Checker { cfg, budget: Budget::default(), invariants: default_invariants() }
+    }
+
+    /// Overrides the budgets.
+    #[must_use]
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Replaces the invariant set.
+    #[must_use]
+    pub fn invariants(mut self, invariants: Vec<Box<dyn Invariant>>) -> Self {
+        self.invariants = invariants;
+        self
+    }
+
+    /// The configuration under check.
+    #[must_use]
+    pub fn config(&self) -> &CheckConfig {
+        &self.cfg
+    }
+
+    /// Runs the search: depth-first over delivery orders with sleep-set
+    /// partial-order reduction, invariants evaluated at every terminal
+    /// quiescent state, first violation minimized by delta debugging.
+    #[must_use]
+    pub fn run(&self) -> CheckOutcome {
+        let mut search = Search {
+            budget: self.budget,
+            invariants: &self.invariants,
+            started: Instant::now(),
+            stats: CheckStats::default(),
+            fingerprints: HashSet::new(),
+            prefix: Vec::new(),
+        };
+        let world = World::new(&self.cfg);
+        let violation = search.dfs(world, Vec::new());
+        let mut stats = search.stats;
+        stats.distinct_quiescent = search.fingerprints.len() as u64;
+        let violation = violation.map(|(invariant, detail, schedule)| {
+            let minimized = minimize(&self.cfg, &schedule, &self.invariants, &invariant);
+            Violation { invariant, detail, schedule, minimized }
+        });
+        CheckOutcome { stats, violation }
+    }
+}
+
+impl Search<'_> {
+    fn out_of_budget(&mut self) -> bool {
+        let out = self.stats.transitions >= self.budget.max_transitions
+            || self.prefix.len() >= self.budget.max_depth
+            || self.budget.wall_clock.is_some_and(|limit| self.started.elapsed() >= limit);
+        if out {
+            self.stats.truncated = true;
+        }
+        out
+    }
+
+    /// Explores every trace from `world`, with `sleep` holding the
+    /// transitions whose exploration here would duplicate an already
+    /// explored trace. Returns the first violation's (invariant,
+    /// detail, schedule).
+    fn dfs(
+        &mut self,
+        mut world: World,
+        sleep: Vec<TransKey>,
+    ) -> Option<(String, String, Schedule)> {
+        self.stats.max_depth_seen = self.stats.max_depth_seen.max(self.prefix.len());
+        // Resolve quiescence deterministically: sequential injections
+        // and watchdog rounds are not branch points. Every quiescent
+        // state — intermediate or terminal — is fingerprinted and
+        // checked against the invariant set.
+        while world.is_quiescent() {
+            self.fingerprints.insert(world.full_fingerprint());
+            self.stats.quiescent_fingerprints.insert(world.fingerprint());
+            for inv in self.invariants {
+                if let Err(detail) = inv.check(&world) {
+                    return Some((
+                        inv.name().to_string(),
+                        detail,
+                        Schedule::new(self.prefix.clone()),
+                    ));
+                }
+            }
+            match world.on_quiescence() {
+                Quiescence::Continued => {}
+                Quiescence::Final => {
+                    self.stats.quiescent_leaves += 1;
+                    return None;
+                }
+            }
+        }
+        if self.out_of_budget() {
+            return None;
+        }
+        let enabled = world.enabled();
+        let mut done: Vec<TransKey> = Vec::new();
+        for &t in &enabled {
+            if sleep.contains(&t) {
+                self.stats.sleep_skips += 1;
+                continue;
+            }
+            if self.out_of_budget() {
+                return None;
+            }
+            let mut next = world.clone();
+            let executed = next.execute(t);
+            debug_assert!(executed, "enabled transitions are feasible");
+            self.stats.transitions += 1;
+            self.prefix.push(t.to_choice());
+            let child_sleep: Vec<TransKey> =
+                sleep.iter().chain(done.iter()).copied().filter(|&s| s.independent(t)).collect();
+            let found = self.dfs(next, child_sleep);
+            self.prefix.pop();
+            if found.is_some() {
+                return found;
+            }
+            done.push(t);
+        }
+        None
+    }
+}

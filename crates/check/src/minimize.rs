@@ -1,0 +1,72 @@
+//! Delta-debugging minimization of counterexample schedules.
+//!
+//! Replay tolerates missing choices (infeasible ones are skipped, the
+//! tail is drained deterministically), so any *subset* of a violating
+//! schedule is itself a runnable schedule. `ddmin` shrinks the choice
+//! list to one that still reproduces the same invariant violation,
+//! then a greedy pass drops any remaining single choice that proved
+//! removable — yielding a locally minimal, human-readable repro.
+
+use crate::config::CheckConfig;
+use crate::invariants::Invariant;
+use crate::schedule::{replay_with, Choice, Schedule};
+
+/// Shrinks `schedule` while `replay` still violates `invariant`.
+pub(crate) fn minimize(
+    cfg: &CheckConfig,
+    schedule: &Schedule,
+    invariants: &[Box<dyn Invariant>],
+    invariant: &str,
+) -> Schedule {
+    let reproduces = |choices: &[Choice]| {
+        replay_with(cfg, &Schedule::new(choices.to_vec()), invariants)
+            .violation
+            .is_some_and(|v| v.invariant == invariant)
+    };
+    if !reproduces(&schedule.choices) {
+        // The violation does not survive the deterministic drain tail
+        // (e.g. it depended on budget truncation); keep the original.
+        return schedule.clone();
+    }
+    let mut current = schedule.choices.clone();
+
+    // Classic ddmin: try removing complements at shrinking granularity.
+    let mut chunks = 2usize;
+    while current.len() > 1 {
+        let chunk_len = current.len().div_ceil(chunks);
+        let mut reduced = false;
+        let mut start = 0usize;
+        while start < current.len() {
+            let end = (start + chunk_len).min(current.len());
+            let mut candidate = Vec::with_capacity(current.len() - (end - start));
+            candidate.extend_from_slice(&current[..start]);
+            candidate.extend_from_slice(&current[end..]);
+            if reproduces(&candidate) {
+                current = candidate;
+                chunks = chunks.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if chunk_len <= 1 {
+                break;
+            }
+            chunks = (chunks * 2).min(current.len());
+        }
+    }
+
+    // Greedy polish: drop any single choice that is still removable.
+    let mut i = 0;
+    while i < current.len() {
+        let mut candidate = current.clone();
+        candidate.remove(i);
+        if reproduces(&candidate) {
+            current = candidate;
+        } else {
+            i += 1;
+        }
+    }
+    Schedule::new(current)
+}

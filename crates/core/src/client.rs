@@ -460,13 +460,32 @@ impl<O: RootObject> TreeClient<O> {
             }
             let Some(successor) = self.live_successor(node, flat) else {
                 // Fatal only if the op needs this node and its worker is
-                // actually gone; a live worker stuck mid-handoff still
-                // serves requests (it just cannot retire again).
-                if worker_dead && path.contains(&flat) {
-                    return Err(CoreError::Unrecoverable(format!(
-                        "node ({}, {}) lost worker {} and its pool has no live successor",
-                        node.level, node.index, st.worker
-                    )));
+                // actually gone.
+                if worker_dead {
+                    if path.contains(&flat) {
+                        return Err(CoreError::Unrecoverable(format!(
+                            "node ({}, {}) lost worker {} and its pool has no live successor",
+                            node.level, node.index, st.worker
+                        )));
+                    }
+                    continue;
+                }
+                if stalled_handoff {
+                    // The pool is drained but the *retiring* worker is
+                    // still alive: the state-bearing final went to a
+                    // corpse, and the old worker no longer serves the
+                    // node — it shim-forwards every request at the dead
+                    // successor. Promote the old worker itself: it is a
+                    // pool member, no longer hosts the node, and the
+                    // rebuild clears its own stale forwarding entry.
+                    let old_worker = st.worker;
+                    let neighbours = self.neighbour_workers(node);
+                    self.net.inject(
+                        op,
+                        old_worker,
+                        old_worker,
+                        Msg::RecoverPromote { node, neighbours },
+                    );
                 }
                 continue;
             };

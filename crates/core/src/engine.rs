@@ -367,6 +367,17 @@ pub enum Effect<O: RootObject> {
 /// pre-refactor ledger).
 pub type Effects<O> = Vec<Effect<O>>;
 
+/// FNV-1a over `bytes`: a fixed, portable hash for state fingerprints
+/// (`DefaultHasher` makes no cross-version stability promise).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 /// How many rebuild shares a recovery of `node` must collect: one per
 /// inner neighbour (parent plus inner children). Leaf children hold no
 /// share — but level-k nodes have singleton pools and are never promoted
@@ -481,6 +492,33 @@ impl<O: RootObject> NodeEngine<O> {
     /// installs go through [`Msg::HandoffFinal`]).
     pub fn install(&mut self, node: NodeRef, hosted: Hosted<O>) {
         self.hosted.insert(node, hosted);
+    }
+
+    /// A deterministic structural fingerprint of this engine's protocol
+    /// state: hosting table, shim forwarding, buffered messages and
+    /// in-flight rebuilds. Two engines with identical protocol state
+    /// produce identical fingerprints regardless of `HashMap` iteration
+    /// order, process, or platform (the hash is FNV-1a over a canonical
+    /// sorted rendering, not `DefaultHasher`), so drivers as different
+    /// as the model checker and the threaded backend can compare final
+    /// states. The static configuration is excluded: fingerprints only
+    /// make sense between engines driven under the same `EngineConfig`.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        use std::collections::BTreeMap;
+        let hosted: BTreeMap<_, _> = self.hosted.iter().collect();
+        let forwarding: BTreeMap<_, _> = self.forwarding.iter().collect();
+        let pending: BTreeMap<_, _> = self.pending.iter().collect();
+        let rebuilding: BTreeMap<_, _> = self
+            .rebuilding
+            .iter()
+            .map(|(node, shares)| (node, shares.iter().collect::<BTreeMap<_, _>>()))
+            .collect();
+        let canon = format!(
+            "p{} hosted={hosted:?} fwd={forwarding:?} pending={pending:?} rebuild={rebuilding:?}",
+            self.me.index()
+        );
+        fnv1a(canon.as_bytes())
     }
 
     /// The single entry point: consumes one event, returns the effects.

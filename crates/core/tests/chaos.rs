@@ -156,6 +156,27 @@ fn a_different_seed_perturbs_the_faults_but_never_the_values() {
 }
 
 #[test]
+fn checker_explores_every_order_of_a_chaos_cell() {
+    // The model-checked chaos cell: where the seeded grid above samples
+    // one delivery order per (seed, plan), the engine-level checker
+    // explores *every* admissible order of the same scenario — the
+    // plan's scheduled crash fires at the same network-wide delivery
+    // count in each trace (`CheckConfig::faults` reuses the `FaultPlan`
+    // crash semantics; its probabilistic drops and duplicates are
+    // subsumed by schedule exploration). Sequential values, bounded
+    // loads, retirement integrity and linearizability are asserted at
+    // every quiescent state of every explored trace.
+    use distctr_check::{Budget, CheckConfig, Checker};
+
+    let plan = FaultPlan::new(7).crash(ProcessorId::new(0), 10);
+    let cfg = CheckConfig::new(N).sequential_ops(&[54, 61]).fault_tolerant().faults(&plan);
+    let outcome =
+        Checker::new(cfg).budget(Budget { max_transitions: 60_000, ..Budget::default() }).run();
+    assert!(outcome.holds(), "violation: {:?}", outcome.violation);
+    assert!(outcome.stats.quiescent_leaves >= 1);
+}
+
+#[test]
 fn crashing_up_to_k_workers_is_survivable_at_n_81() {
     // The acceptance headline: k simultaneous-ish worker crashes at
     // n = 81 with drops and duplication on top, and the counter still

@@ -1,0 +1,122 @@
+//! Seeded-random property tests for `kmath` — the arithmetic both
+//! backends and the checker share. No `proptest` machinery: cases are
+//! drawn from a seeded `StdRng` in-tree, so every run checks the exact
+//! same corpus and a failure names its inputs.
+
+use distctr_core::kmath::{
+    bottleneck_lower_bound, exact_order, leaves_of_order, next_pool_index, order_for, pow_u64,
+    retirement_threshold, MAX_ORDER,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `retirement_threshold` and `next_pool_index` are total (no panic, no
+/// overflow) over every `k ≤ 16` and every pool geometry an order-`k`
+/// tree can produce — including orders beyond `MAX_ORDER`, which the
+/// threshold formula must still accept (callers validate the order, the
+/// arithmetic must not).
+#[test]
+fn threshold_and_pool_walk_are_total_for_k_up_to_16() {
+    for k in 1u32..=16 {
+        let t = retirement_threshold(k);
+        assert_eq!(t, 4 * u64::from(k), "threshold is linear in k");
+        assert!(t >= 4, "threshold never degenerates");
+        // Pool sizes in an order-k tree are k^(k - level) for inner
+        // levels and k^k for the root; walk every size the formula can
+        // produce without panicking, for both policies.
+        for level in 0..=k.min(MAX_ORDER) {
+            let size = if level == 0 {
+                pow_u64(k.min(MAX_ORDER), k.min(MAX_ORDER))
+            } else {
+                pow_u64(k.min(MAX_ORDER), k.min(MAX_ORDER) - level)
+            };
+            for cursor in 0..size.min(64) {
+                let _ = next_pool_index(cursor, size, false);
+                let _ = next_pool_index(cursor, size, true);
+            }
+        }
+    }
+}
+
+/// A one-shot pool walk visits strictly increasing, in-range, pairwise
+/// distinct indices and terminates; a recycling walk of `size > 1`
+/// visits every index exactly once per lap. Pool geometries are drawn
+/// from a seeded rng.
+#[test]
+fn pool_indices_never_collide() {
+    let mut rng = StdRng::seed_from_u64(0x006b_6d61_7468);
+    for _ in 0..500 {
+        let size: u64 = rng.gen_range(1..=4096u64);
+        let start: u64 = rng.gen_range(0..size);
+
+        // One-shot: strictly increasing from start, no repeats, drains.
+        let mut seen = Vec::new();
+        let mut cursor = start;
+        while let Some(next) = next_pool_index(cursor, size, false) {
+            assert!(next > cursor, "one-shot cursor must advance");
+            assert!(next < size, "index stays in the pool");
+            assert!(!seen.contains(&next), "one-shot pool index repeated");
+            seen.push(next);
+            cursor = next;
+        }
+        assert_eq!(cursor, size - 1, "one-shot drains to the last id");
+        assert_eq!(seen.len() as u64, size - 1 - start, "every successor visited once");
+
+        // Recycling: one full lap hits every other index exactly once
+        // and returns to the start; singletons block.
+        if size == 1 {
+            assert_eq!(next_pool_index(start, size, true), None);
+        } else {
+            let mut seen = vec![false; size as usize];
+            let mut cursor = start;
+            for _ in 0..size - 1 {
+                cursor = next_pool_index(cursor, size, true).expect("recycling never blocks");
+                assert!(!seen[cursor as usize], "recycling lap revisited {cursor}");
+                seen[cursor as usize] = true;
+            }
+            assert_eq!(next_pool_index(cursor, size, true), Some(start), "lap closes");
+        }
+    }
+}
+
+/// The E11 ablation sweep's threshold column (k = 4: multiples
+/// {1, 2, 4, 8, 32}·k = {4, 8, 16, 32, 128}) is exactly what the
+/// formula produces, with `retirement_threshold` the 4k paper row.
+#[test]
+fn thresholds_match_the_e11_ablation_table() {
+    let k = 4u32;
+    let sweep: Vec<u64> = [1u64, 2, 4, 8, 32].iter().map(|m| m * u64::from(k)).collect();
+    assert_eq!(sweep, vec![4, 8, 16, 32, 128]);
+    assert_eq!(retirement_threshold(k), 16, "the paper row is 4k");
+    // And across orders, the paper constant stays 4k.
+    for k in 1u32..=16 {
+        assert_eq!(retirement_threshold(k), 4 * u64::from(k));
+    }
+}
+
+/// Round-trips between `n` and `k`: `exact_order` inverts
+/// `leaves_of_order`; `order_for` is the smallest admissible order for
+/// arbitrary seeded `n`; the lower-bound `k` never exceeds it.
+#[test]
+fn order_solvers_agree_on_seeded_inputs() {
+    for k in 1..=MAX_ORDER {
+        let n = leaves_of_order(k);
+        assert_eq!(exact_order(n), Some(k), "exact_order inverts leaves_of_order");
+        assert_eq!(order_for(n), k);
+    }
+    let mut rng = StdRng::seed_from_u64(0xE11);
+    for _ in 0..500 {
+        let n: u64 = rng.gen_range(1..=3_000_000_000u64);
+        let k = order_for(n);
+        assert!(leaves_of_order(k) >= n, "order_for must round up");
+        if k > 1 {
+            assert!(leaves_of_order(k - 1) < n, "order_for must be minimal");
+        }
+        let lb = bottleneck_lower_bound(n);
+        assert!(lb <= k, "lower-bound k cannot exceed the rounded-up order");
+        if let Some(exact) = exact_order(n) {
+            assert_eq!(exact, k);
+            assert_eq!(lb, exact, "at exact sizes the bound equals the order");
+        }
+    }
+}

@@ -433,6 +433,46 @@ where
         self.shared.dead_letters.load(Ordering::Relaxed)
     }
 
+    /// Snapshots every worker's engine fingerprint, in processor order.
+    ///
+    /// Only meaningful at quiescence (between operations): the driver
+    /// waits for the cascade to drain after each call, so calling this
+    /// from the driving thread observes a stable state. Crashed workers
+    /// answer too — their fingerprint is that of the reset engine, which
+    /// together with [`ThreadedTreeClient::crashed_workers`] matches the
+    /// model checker's `combined_fingerprint` convention.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::ShutDown`] after shutdown; [`NetError::Timeout`] if a
+    /// worker never answers (only possible if its thread died).
+    pub fn engine_fingerprints(&self) -> Result<Vec<u64>, NetError> {
+        if self.shut_down {
+            return Err(NetError::ShutDown);
+        }
+        let (tx, rx) = unbounded();
+        let mut expected = 0usize;
+        for peer in self.peers.iter() {
+            self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+            if peer.send(NetMsg::Fingerprint { reply: tx.clone() }).is_err() {
+                self.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            } else {
+                expected += 1;
+            }
+        }
+        if expected < self.processors() {
+            return Err(NetError::Timeout { waited_ms: 0, attempts: 0 });
+        }
+        let mut fps = vec![0u64; self.processors()];
+        for _ in 0..expected {
+            let (index, fp) = rx
+                .recv_timeout(QUIESCENCE_TIMEOUT)
+                .map_err(|_| NetError::Timeout { waited_ms: 0, attempts: 0 })?;
+            fps[index] = fp;
+        }
+        Ok(fps)
+    }
+
     /// The tree topology backing this network.
     #[must_use]
     pub fn topology(&self) -> &Topology {
@@ -600,6 +640,16 @@ impl ThreadedTreeCounter {
     #[must_use]
     pub fn dead_letters(&self) -> u64 {
         self.client.dead_letters()
+    }
+
+    /// Snapshots every worker's engine fingerprint; see
+    /// [`ThreadedTreeClient::engine_fingerprints`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ThreadedTreeClient::engine_fingerprints`].
+    pub fn engine_fingerprints(&self) -> Result<Vec<u64>, NetError> {
+        self.client.engine_fingerprints()
     }
 
     /// Stops every worker thread and joins them.

@@ -7,6 +7,7 @@
 //! worker, shut a thread down), none of which counts toward the paper's
 //! per-processor message load.
 
+use crossbeam_channel::Sender;
 use distctr_core::RootObject;
 
 pub use distctr_core::{Msg, NodeTransfer};
@@ -31,6 +32,18 @@ pub enum NetMsg<O: RootObject> {
     /// from then on silently discards all traffic (a fail-silent model).
     /// Not counted as load.
     Crash,
+    /// Driver control: report the worker's engine fingerprint (its
+    /// processor index and [`NodeEngine::fingerprint`]) on `reply`.
+    /// Answered even by crashed workers — their reset engine *is* their
+    /// observable state — so conformance suites can compare a whole
+    /// fleet against the model checker's quiescent set. Not counted as
+    /// load.
+    ///
+    /// [`NodeEngine::fingerprint`]: distctr_core::engine::NodeEngine::fingerprint
+    Fingerprint {
+        /// Where to send `(processor_index, fingerprint)`.
+        reply: Sender<(usize, u64)>,
+    },
     /// Driver control: exit the thread loop. Not counted as load.
     Shutdown,
 }

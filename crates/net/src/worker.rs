@@ -116,6 +116,13 @@ impl<O: RootObject> Worker<O> {
     }
 
     fn handle(&mut self, msg: NetMsg<O>) {
+        if let NetMsg::Fingerprint { reply } = msg {
+            // Answered even when crashed: the reset engine plus the
+            // crash flag the driver tracks *is* the processor's
+            // observable protocol state.
+            let _ = reply.send((self.me.index(), self.engine.fingerprint()));
+            return;
+        }
         if self.crashed {
             // Fail-silent: drain and discard everything except the
             // driver's shutdown (handled by `run`'s break).
@@ -140,6 +147,8 @@ impl<O: RootObject> Worker<O> {
                 self.engine =
                     NodeEngine::new(self.me, Arc::clone(&self.topo), self.engine.config());
             }
+            // Handled before the crashed guard above.
+            NetMsg::Fingerprint { .. } => unreachable!("fingerprints answered eagerly"),
             NetMsg::Shutdown => {}
         }
     }

@@ -8,9 +8,11 @@
 //! shim tallies, across a grid of tree orders and under fault injection.
 //! Any future edit that forks the two code paths again fails here first.
 
-use distctr_core::TreeCounter;
-use distctr_net::ThreadedTreeCounter;
-use distctr_sim::{Counter, ProcessorId, TraceMode};
+use distctr_check::{combined_fingerprint, Budget, CheckConfig, Checker};
+use distctr_core::engine::{EngineConfig, PoolPolicy};
+use distctr_core::{kmath, Topology, TreeCounter};
+use distctr_net::{ThreadedTreeCounter, DEFAULT_REPLY_CACHE};
+use distctr_sim::{Counter, FaultPlan, ProcessorId, TraceMode};
 
 /// Observables of one full round through one backend.
 #[derive(Debug, PartialEq)]
@@ -119,4 +121,77 @@ fn both_drivers_agree_under_a_crash_fault_plan() {
         assert_eq!(s, t, "crash plan: P{p} message count (sim {s}, threads {t})");
     }
     threads.shutdown().expect("shutdown");
+}
+
+/// The threaded backend's engine configuration, mirrored for the model
+/// checker: the driver always dedupes retries through a bounded reply
+/// cache and has no stable storage.
+fn threaded_parity_engine(k: u32) -> EngineConfig {
+    EngineConfig {
+        threshold: Some(kmath::retirement_threshold(k)),
+        pool_policy: PoolPolicy::OneShot,
+        reply_cache_cap: DEFAULT_REPLY_CACHE,
+        dedupe: true,
+        persist: false,
+    }
+}
+
+#[test]
+fn threaded_final_state_is_in_the_checkers_quiescent_set() {
+    // The strongest conformance statement the engines allow: the real
+    // threaded run, fingerprinted engine-by-engine, lands on a protocol
+    // state the model checker *also* reaches while exhausting every
+    // delivery order of the same workload under the same crash plan —
+    // over a matrix of tree orders and crash plans.
+    for k in [2u32, 3] {
+        let topo = Topology::new(k).expect("topology");
+        let n = usize::try_from(topo.processors()).expect("fits");
+        // Two ops whose paths stay inside the first top-level subtree,
+        // away from the crash victim below.
+        let initiators: Vec<usize> = vec![0, k as usize];
+        // The victim serves the *last* initiator's leaf parent — on no
+        // explored op's path, so both backends keep answering.
+        let victim = topo.initial_worker(topo.leaf_parent(topo.processors() - 1));
+        let plans =
+            [FaultPlan::new(0), FaultPlan::new(0).crash(victim, 0 /* before any delivery */)];
+        for plan in plans {
+            let crashes = plan.crashes.len();
+
+            // Drive the real threads.
+            let mut threads = ThreadedTreeCounter::new(n).expect("threaded counter");
+            for c in &plan.crashes {
+                threads.crash_worker(c.processor).expect("crash");
+            }
+            for (expected, &p) in initiators.iter().enumerate() {
+                let v = threads.inc(ProcessorId::new(p)).expect("threaded inc");
+                assert_eq!(v, expected as u64, "k={k} crashes={crashes}: P{p}");
+            }
+            let fps = threads.engine_fingerprints().expect("fingerprints");
+            let mut crashed = vec![false; n];
+            for c in threads.crashed_workers() {
+                crashed[c.index()] = true;
+            }
+            let threaded_fp = combined_fingerprint(&fps, &crashed);
+            threads.shutdown().expect("shutdown");
+
+            // Exhaust every delivery order of the same workload in the
+            // checker and demand the threaded state is in its quiescent
+            // set.
+            let cfg = CheckConfig::new(n)
+                .sequential_ops(&initiators)
+                .engine(threaded_parity_engine(k))
+                .faults(&plan);
+            let outcome = Checker::new(cfg)
+                .budget(Budget { max_transitions: 60_000, ..Budget::default() })
+                .run();
+            assert!(outcome.holds(), "k={k} crashes={crashes}: {:?}", outcome.violation);
+            assert!(!outcome.stats.truncated, "k={k} crashes={crashes}: exploration exhausted");
+            assert!(
+                outcome.stats.quiescent_fingerprints.contains(&threaded_fp),
+                "k={k} crashes={crashes}: threaded fingerprint {threaded_fp:#x} not among the \
+                 checker's {} quiescent states",
+                outcome.stats.quiescent_fingerprints.len()
+            );
+        }
+    }
 }

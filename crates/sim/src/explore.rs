@@ -7,6 +7,15 @@
 //! This is how the test suite shows the tree counter's lemmas are not
 //! artifacts of a particular schedule but hold on *every* asynchronous
 //! delivery order the model admits.
+//!
+//! This explorer is now the thin, generic adapter: it works for any
+//! [`Protocol`] implementor but explores redundant interleavings (no
+//! partial-order reduction) and cannot inject crashes at branch points.
+//! The engine-level model checker in the `distctr-check` crate is the
+//! primary exhaustive tool for the tree counter — sleep-set DPOR,
+//! crash-point exploration with a bounded budget, a pluggable invariant
+//! set at every quiescent state, and delta-debugged replayable
+//! counterexamples.
 
 use std::collections::VecDeque;
 

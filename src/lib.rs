@@ -46,6 +46,7 @@
 pub use distctr_analysis as analysis;
 pub use distctr_baselines as baselines;
 pub use distctr_bound as bound;
+pub use distctr_check as check;
 pub use distctr_core as core;
 pub use distctr_net as net;
 pub use distctr_quorum as quorum;
