@@ -7,15 +7,21 @@
 //! report --quick       # smaller sizes (CI-friendly)
 //! report e1 e3 f4      # selected experiments only
 //! report --csv out/    # additionally export machine-readable CSV
+//! report e22 --smoke   # batching regression gate, tiny sizes
 //! ```
+//!
+//! E22 additionally rewrites `BENCH_batching.json` in the working
+//! directory and exits nonzero if the combining path is slower than the
+//! sequential path at the highest measured concurrency.
 
 use distctr_bench::{
-    exp_ablation, exp_arrow, exp_backend, exp_bottleneck, exp_bound, exp_concurrent, exp_hotspot,
-    exp_lemmas, exp_linearizable, exp_serve, figures,
+    exp_ablation, exp_arrow, exp_backend, exp_batching, exp_bottleneck, exp_bound, exp_concurrent,
+    exp_hotspot, exp_lemmas, exp_linearizable, exp_serve, figures,
 };
 
 struct Config {
     quick: bool,
+    smoke: bool,
     csv_dir: Option<std::path::PathBuf>,
     selected: Vec<String>,
 }
@@ -27,6 +33,7 @@ fn wants(cfg: &Config, id: &str) -> bool {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let smoke = args.iter().any(|a| a == "--smoke");
     let csv_dir = args
         .iter()
         .position(|a| a == "--csv")
@@ -47,7 +54,7 @@ fn main() {
             !a.starts_with("--")
         })
         .collect();
-    let cfg = Config { quick, csv_dir, selected };
+    let cfg = Config { quick, smoke, csv_dir, selected };
 
     let sizes: &[usize] = if cfg.quick { &[8, 81] } else { &[8, 81, 1024] };
     let lemma_orders: &[u32] = if cfg.quick { &[2, 3] } else { &[2, 3, 4] };
@@ -128,6 +135,34 @@ fn main() {
     if wants(&cfg, "e20") {
         let (n, rounds) = if cfg.quick { (8, 3) } else { (81, 7) };
         println!("{}", exp_backend::e20_engine_throughput(n, rounds));
+    }
+    if wants(&cfg, "e22") || wants(&cfg, "exp_batching") {
+        // Smoke keeps the full concurrency grid (the regression gate is
+        // defined at 32 connections) but shrinks the per-connection work
+        // and trial count.
+        let (ops_per_conn, trials) = if cfg.smoke {
+            (10, 1)
+        } else if cfg.quick {
+            (25, 2)
+        } else {
+            (200, 5)
+        };
+        let (n, k) = (81, 3);
+        let rows = exp_batching::e22_measure(n, &[1, 8, 32], ops_per_conn, trials);
+        println!("{}", exp_batching::e22_render(n, k, &rows));
+        let json_path = std::path::Path::new("BENCH_batching.json");
+        std::fs::write(json_path, exp_batching::e22_json(n, ops_per_conn, &rows))
+            .expect("write BENCH_batching.json");
+        eprintln!("wrote {}", json_path.display());
+        let gate = rows.iter().max_by_key(|r| r.conns).expect("at least one row");
+        assert!(
+            gate.speedup() >= 1.0,
+            "regression: combining throughput ({:.1} incs/s) fell below the sequential \
+             path ({:.1} incs/s) at {} connections",
+            gate.combined_ops_per_sec,
+            gate.sequential_ops_per_sec,
+            gate.conns
+        );
     }
 
     if let Some(dir) = &cfg.csv_dir {

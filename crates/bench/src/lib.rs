@@ -18,6 +18,7 @@ pub mod algos;
 pub mod exp_ablation;
 pub mod exp_arrow;
 pub mod exp_backend;
+pub mod exp_batching;
 pub mod exp_bottleneck;
 pub mod exp_bound;
 pub mod exp_concurrent;

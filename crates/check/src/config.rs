@@ -58,6 +58,12 @@ pub struct CheckConfig {
     pub warmup_ops: Vec<usize>,
     /// The workload to explore.
     pub workload: Workload,
+    /// Batch size per *workload* operation (`op_counts[i]` pairs with
+    /// the i-th workload initiator): an op with count `m > 1` is
+    /// injected as one `BatchApply` traversal reserving the contiguous
+    /// range `[v, v + m)`. Missing entries (and an empty vector, the
+    /// default) mean unit increments; warm-up ops are always unit.
+    pub op_counts: Vec<u64>,
     /// Engine configuration override; `None` uses the paper preset for
     /// the derived order `k`.
     pub engine: Option<EngineConfig>,
@@ -87,6 +93,7 @@ impl CheckConfig {
             n,
             warmup_ops: Vec::new(),
             workload: Workload::Concurrent(Vec::new()),
+            op_counts: Vec::new(),
             engine: None,
             watchdog: false,
             crash_candidates: Vec::new(),
@@ -129,6 +136,14 @@ impl CheckConfig {
     #[must_use]
     pub fn sequential_ops(mut self, initiators: &[usize]) -> Self {
         self.workload = Workload::Sequential(initiators.to_vec());
+        self
+    }
+
+    /// Sets the per-op batch sizes (see [`CheckConfig::op_counts`]);
+    /// zeros are treated as unit increments.
+    #[must_use]
+    pub fn batch_counts(mut self, counts: &[u64]) -> Self {
+        self.op_counts = counts.to_vec();
         self
     }
 
@@ -197,6 +212,9 @@ impl CheckConfig {
             Workload::Sequential(ops) => {
                 code.push_str(&format!(".sequential_ops(&{ops:?})"));
             }
+        }
+        if !self.op_counts.is_empty() {
+            code.push_str(&format!(".batch_counts(&{:?})", self.op_counts));
         }
         if let Some(e) = self.engine {
             let pool = match e.pool_policy {

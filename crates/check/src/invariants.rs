@@ -45,9 +45,65 @@ impl Invariant for SequentialValues {
         if let Some(w) = values.windows(2).find(|w| w[0] == w[1]) {
             return Err(format!("two operations both received value {}", w[0]));
         }
+        // The exact 0..ops shape only holds for unit increments; batch
+        // workloads hand out range *starts*, whose shape is
+        // `range-partition`'s concern.
+        if world.ops().iter().any(|o| o.count > 1) {
+            return Ok(());
+        }
         let all_complete = world.ops().iter().all(|o| o.value.is_some());
         if all_complete && values.iter().enumerate().any(|(i, &v)| v != i as u64) {
             return Err(format!("values of {completed} completed ops are {values:?}, not 0.."));
+        }
+        Ok(())
+    }
+}
+
+/// The batch-aware correctness condition: every completed operation
+/// owns the contiguous range `[value, value + count)`, the ranges of
+/// any two completed operations are disjoint, and a fully completed
+/// workload's ranges partition `[0, total)` exactly (where `total` is
+/// the sum of all counts). For unit workloads this degenerates to
+/// [`SequentialValues`]'s exact check.
+pub struct RangePartition;
+
+impl Invariant for RangePartition {
+    fn name(&self) -> &'static str {
+        "range-partition"
+    }
+
+    fn check(&self, world: &World) -> Result<(), String> {
+        let mut ranges: Vec<(u64, u64)> =
+            world.ops().iter().filter_map(|o| o.value.map(|v| (v, o.count))).collect();
+        ranges.sort_unstable();
+        for w in ranges.windows(2) {
+            let (start_a, count_a) = w[0];
+            let (start_b, _) = w[1];
+            if start_a + count_a > start_b {
+                return Err(format!(
+                    "ranges [{start_a}, {}) and [{start_b}, ..) overlap",
+                    start_a + count_a
+                ));
+            }
+        }
+        if world.ops().iter().all(|o| o.value.is_some()) {
+            let total: u64 = world.ops().iter().map(|o| o.count).sum();
+            let mut expected = 0u64;
+            for &(start, count) in &ranges {
+                if start != expected {
+                    return Err(format!(
+                        "completed ranges leave a gap: expected a range starting at \
+                         {expected}, found [{start}, {})",
+                        start + count
+                    ));
+                }
+                expected = start + count;
+            }
+            if expected != total {
+                return Err(format!(
+                    "completed ranges cover [0, {expected}), but {total} increments were applied"
+                ));
+            }
         }
         Ok(())
     }
@@ -243,6 +299,7 @@ pub fn default_invariants() -> Vec<Box<dyn Invariant>> {
         Box::new(NoDoubleRetirement),
         Box::new(UniqueHosting),
         Box::new(SequentialValues),
+        Box::new(RangePartition),
         Box::new(PairwiseLinearizable),
         Box::new(HotSpotIntersection),
         Box::new(LoadBound::paper()),

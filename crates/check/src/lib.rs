@@ -41,7 +41,7 @@ pub use checker::{Budget, CheckOutcome, CheckStats, Checker, Violation};
 pub use config::{CheckConfig, Mutation, Workload};
 pub use invariants::{
     default_invariants, HotSpotIntersection, Invariant, LoadBound, NoDoubleRetirement,
-    PairwiseLinearizable, SequentialValues, UniqueHosting,
+    PairwiseLinearizable, RangePartition, SequentialValues, UniqueHosting,
 };
 pub use schedule::{replay, replay_with, Choice, ReplayOutcome, ReplayViolation, Schedule};
 pub use world::{combined_fingerprint, OpState, Quiescence, World, MAX_WATCHDOG_ROUNDS};

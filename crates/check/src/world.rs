@@ -48,6 +48,9 @@ pub(crate) struct InFlight {
 pub struct OpState {
     /// Initiating processor.
     pub initiator: usize,
+    /// Increments this op performs: 1 for a unit inc, `m > 1` for a
+    /// batch reserving the contiguous range `[value, value + m)`.
+    pub count: u64,
     /// Whether the op has been injected yet (sequential workloads defer).
     pub injected: bool,
     /// Step at which the op was first injected.
@@ -158,8 +161,16 @@ impl World {
         }
         let ops = all_initiators
             .iter()
-            .map(|&p| OpState {
+            .enumerate()
+            .map(|(i, &p)| OpState {
                 initiator: p,
+                // Batch counts pair with *workload* ops; warm-up ops
+                // (indices below `warm`) are always unit increments.
+                count: i
+                    .checked_sub(warm)
+                    .and_then(|w| cfg.op_counts.get(w).copied())
+                    .unwrap_or(1)
+                    .max(1),
                 injected: false,
                 started_step: None,
                 completed_step: None,
@@ -467,17 +478,22 @@ impl World {
         }
         let leaf_parent = self.topo.leaf_parent(initiator as u64);
         let entry = self.reachable_worker(leaf_parent);
-        self.send(
-            ProcessorId::new(initiator),
-            entry,
-            Some(i),
-            Msg::Apply {
-                node: leaf_parent,
-                origin: ProcessorId::new(initiator),
-                op_seq: i as u64,
-                req: (),
-            },
-        );
+        let msg = Self::entry_msg(leaf_parent, initiator, i, self.ops[i].count);
+        self.send(ProcessorId::new(initiator), entry, Some(i), msg);
+    }
+
+    /// The entry-point message of op `i`: a unit `Apply`, or a
+    /// `BatchApply` carrying the op's count. A watchdog re-injection
+    /// repeats the *same* op_seq and count, so the root's reply cache
+    /// answers retries with the original range.
+    fn entry_msg(leaf_parent: NodeRef, initiator: usize, i: usize, count: u64) -> CounterMsg {
+        let origin = ProcessorId::new(initiator);
+        let op_seq = i as u64;
+        if count > 1 {
+            Msg::BatchApply { node: leaf_parent, origin, op_seq, count, req: () }
+        } else {
+            Msg::Apply { node: leaf_parent, origin, op_seq, req: () }
+        }
     }
 
     fn deliver_at(&mut self, idx: usize) {
@@ -702,17 +718,8 @@ impl World {
             let leaf_parent = self.topo.leaf_parent(initiator as u64);
             let entry = self.reachable_worker(leaf_parent);
             if !self.crashed[entry.index()] {
-                self.send(
-                    ProcessorId::new(initiator),
-                    entry,
-                    Some(i),
-                    Msg::Apply {
-                        node: leaf_parent,
-                        origin: ProcessorId::new(initiator),
-                        op_seq: i as u64,
-                        req: (),
-                    },
-                );
+                let msg = Self::entry_msg(leaf_parent, initiator, i, self.ops[i].count);
+                self.send(ProcessorId::new(initiator), entry, Some(i), msg);
                 injected = true;
             }
             if self.ops[i].attempts >= 2 {

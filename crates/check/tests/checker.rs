@@ -52,6 +52,38 @@ fn healthy_crash_exploration_with_watchdog_holds() {
 }
 
 #[test]
+fn batched_ops_partition_the_range_under_crashes_on_every_order() {
+    // The batch-aware correctness condition (`range-partition`: every
+    // completed op owns [v, v + m), ranges disjoint, full completion
+    // tiles [0, total)) holds across every delivery order and every
+    // single-crash timing, on each supported scale.
+    for n in [2usize, 4, 8] {
+        let candidate = n - 1;
+        let cfg = CheckConfig::new(n)
+            .sequential_ops(&[0, n / 2])
+            .batch_counts(&[4, 3])
+            .fault_tolerant()
+            .explore_crashes(&[candidate], 1);
+        let outcome =
+            Checker::new(cfg).budget(Budget { max_transitions: 40_000, ..Budget::default() }).run();
+        assert!(outcome.holds(), "violation at n = {n}: {:?}", outcome.violation);
+        assert!(outcome.stats.quiescent_leaves > 0, "explored to quiescence at n = {n}");
+    }
+}
+
+#[test]
+fn a_mixed_batch_and_unit_workload_stays_exact_on_every_order() {
+    // Concurrent unit + batch ops: the batch's range and the unit incs
+    // interleave arbitrarily, but the handed-out ranges always
+    // partition [0, 6).
+    let cfg = CheckConfig::new(8).concurrent_ops(&[0, 4, 6]).batch_counts(&[1, 4, 1]);
+    let outcome =
+        Checker::new(cfg).budget(Budget { max_transitions: 60_000, ..Budget::default() }).run();
+    assert!(outcome.holds(), "violation: {:?}", outcome.violation);
+    assert!(outcome.stats.quiescent_leaves >= 2, "the interleavings are genuinely explored");
+}
+
+#[test]
 fn seeded_double_retirement_bug_is_found_and_minimized() {
     // The ResurrectRetired mutation re-installs every retiring node at
     // its old worker: the node is served twice, and enough traffic

@@ -236,6 +236,34 @@ impl<O: RootObject> TreeClient<O> {
         initiator: ProcessorId,
         req: O::Request,
     ) -> Result<InvokeResult<O::Response>, SimError> {
+        self.invoke_inner(initiator, None, req)
+    }
+
+    /// Executes a *batch* of `count` identical operations sharing one
+    /// tree traversal ([`Msg::BatchApply`]): the root applies all of them
+    /// atomically and the response is that of the first member — for the
+    /// counter, the start of the batch's contiguous range
+    /// `[first, first + count)`. The whole batch is one message of the
+    /// protocol, so per-member load is amortized to O(k / count).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TreeClient::invoke`].
+    pub fn invoke_batch(
+        &mut self,
+        initiator: ProcessorId,
+        count: u64,
+        req: O::Request,
+    ) -> Result<InvokeResult<O::Response>, SimError> {
+        self.invoke_inner(initiator, Some(count.max(1)), req)
+    }
+
+    fn invoke_inner(
+        &mut self,
+        initiator: ProcessorId,
+        batch: Option<u64>,
+        req: O::Request,
+    ) -> Result<InvokeResult<O::Response>, SimError> {
         if initiator.index() >= self.net.processors() {
             return Err(SimError::UnknownProcessor {
                 index: initiator.index(),
@@ -251,7 +279,7 @@ impl<O: RootObject> TreeClient<O> {
             op,
             initiator,
             worker,
-            Msg::Apply { node: leaf_parent, origin: initiator, op_seq: op.index() as u64, req },
+            Self::entry_msg(leaf_parent, initiator, op.index() as u64, batch, req),
         );
         let stats = self.net.run_to_quiescence(&mut self.proto)?;
         self.proto.audit_mut().end_op();
@@ -266,6 +294,20 @@ impl<O: RootObject> TreeClient<O> {
             completed_at: stats.end_time,
             trace,
         })
+    }
+
+    /// The message that enters an operation (or a batch) into the tree.
+    fn entry_msg(
+        node: NodeRef,
+        origin: ProcessorId,
+        op_seq: u64,
+        batch: Option<u64>,
+        req: O::Request,
+    ) -> Msg<O> {
+        match batch {
+            None => Msg::Apply { node, origin, op_seq, req },
+            Some(count) => Msg::BatchApply { node, origin, op_seq, count, req },
+        }
     }
 
     /// Whether the client retires workers (false for the static-tree
@@ -345,6 +387,33 @@ impl<O: RootObject> TreeClient<O> {
         initiator: ProcessorId,
         req: O::Request,
     ) -> Result<InvokeResult<O::Response>, CoreError> {
+        self.invoke_fault_tolerant_inner(initiator, None, req)
+    }
+
+    /// Fault-tolerant batch invocation: [`TreeClient::invoke_batch`] with
+    /// the recovery watchdog of [`TreeClient::invoke_fault_tolerant`].
+    /// Watchdog retries re-send the batch with the same `op_seq` *and*
+    /// the same `count`, so the root's reply cache keeps the whole range
+    /// exactly-once across crashes.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TreeClient::invoke_fault_tolerant`].
+    pub fn invoke_batch_fault_tolerant(
+        &mut self,
+        initiator: ProcessorId,
+        count: u64,
+        req: O::Request,
+    ) -> Result<InvokeResult<O::Response>, CoreError> {
+        self.invoke_fault_tolerant_inner(initiator, Some(count.max(1)), req)
+    }
+
+    fn invoke_fault_tolerant_inner(
+        &mut self,
+        initiator: ProcessorId,
+        batch: Option<u64>,
+        req: O::Request,
+    ) -> Result<InvokeResult<O::Response>, CoreError> {
         if initiator.index() >= self.net.processors() {
             return Err(SimError::UnknownProcessor {
                 index: initiator.index(),
@@ -387,12 +456,7 @@ impl<O: RootObject> TreeClient<O> {
                     op,
                     initiator,
                     entry_worker,
-                    Msg::Apply {
-                        node: leaf_parent,
-                        origin: initiator,
-                        op_seq: op.index() as u64,
-                        req: req.clone(),
-                    },
+                    Self::entry_msg(leaf_parent, initiator, op.index() as u64, batch, req.clone()),
                 );
             }
             let stats = self.net.run_to_quiescence(&mut self.proto)?;

@@ -202,6 +202,46 @@ impl TreeCounter {
         })
     }
 
+    /// A batch of `count` incs sharing one tree traversal
+    /// ([`Msg::BatchApply`](crate::messages::Msg::BatchApply)): the
+    /// returned value is the start of the contiguous range
+    /// `[value, value + count)` the batch owns. One message of protocol
+    /// load regardless of `count` — see [`TreeClient::invoke_batch`].
+    ///
+    /// # Errors
+    ///
+    /// See [`TreeClient::invoke`].
+    pub fn inc_batch(&mut self, initiator: ProcessorId, count: u64) -> Result<IncResult, SimError> {
+        let result = self.client.invoke_batch(initiator, count, ())?;
+        Ok(IncResult {
+            value: result.response,
+            messages: result.messages,
+            completed_at: result.completed_at,
+            trace: result.trace,
+        })
+    }
+
+    /// [`TreeCounter::inc_batch`] with the recovery watchdog of
+    /// [`TreeCounter::inc_fault_tolerant`]: retries repeat the same
+    /// sequence number and count, so the range stays exactly-once.
+    ///
+    /// # Errors
+    ///
+    /// See [`TreeClient::invoke_fault_tolerant`].
+    pub fn inc_batch_fault_tolerant(
+        &mut self,
+        initiator: ProcessorId,
+        count: u64,
+    ) -> Result<IncResult, CoreError> {
+        let result = self.client.invoke_batch_fault_tolerant(initiator, count, ())?;
+        Ok(IncResult {
+            value: result.response,
+            messages: result.messages,
+            completed_at: result.completed_at,
+            trace: result.trace,
+        })
+    }
+
     /// Crashes processor `p` immediately (test hook) and arms recovery.
     pub fn crash(&mut self, p: ProcessorId) {
         self.client.crash(p);

@@ -194,6 +194,20 @@ pub enum Event<O: RootObject> {
         /// The operation payload.
         req: O::Request,
     },
+    /// The local user asks this processor to initiate a *batch* of
+    /// `count` identical operations sharing one tree traversal
+    /// ([`Msg::BatchApply`]). The eventual [`Effect::Reply`] carries the
+    /// first response — the start of the batch's contiguous range for
+    /// range-structured objects like the counter.
+    InvokeBatch {
+        /// Driver-assigned sequence number for the whole batch. A retry
+        /// must repeat both the `op_seq` and the `count`.
+        op_seq: u64,
+        /// Number of operations combined (values < 1 are treated as 1).
+        count: u64,
+        /// The operation payload, shared by the whole batch.
+        req: O::Request,
+    },
     /// Stable storage restores a recovered node's object state (the
     /// driver answers [`Effect::Recovered`] for the root with this).
     Restore {
@@ -536,6 +550,20 @@ impl<O: RootObject> NodeEngine<O> {
                     msg: Msg::Apply { node: leaf_parent, origin: self.me, op_seq, req },
                 });
             }
+            Event::InvokeBatch { op_seq, count, req } => {
+                let leaf_parent = self.topo.leaf_parent(self.me.index() as u64);
+                let worker = self.topo.initial_worker(leaf_parent);
+                fx.push(Effect::Send {
+                    to: worker,
+                    msg: Msg::BatchApply {
+                        node: leaf_parent,
+                        origin: self.me,
+                        op_seq,
+                        count: count.max(1),
+                        req,
+                    },
+                });
+            }
             Event::Restore { node, object, reply_cache } => {
                 if let Some(h) = self.hosted.get_mut(&node) {
                     h.object = Some(object);
@@ -552,7 +580,10 @@ impl<O: RootObject> NodeEngine<O> {
     fn on_msg(&mut self, msg: Msg<O>, now: VirtualTime, fx: &mut Effects<O>) {
         match msg {
             Msg::Apply { node, origin, op_seq, req } => {
-                self.on_apply(node, origin, op_seq, req, now, fx);
+                self.on_apply(node, origin, op_seq, None, req, now, fx);
+            }
+            Msg::BatchApply { node, origin, op_seq, count, req } => {
+                self.on_apply(node, origin, op_seq, Some(count), req, now, fx);
             }
             Msg::Reply { op_seq, resp } => {
                 fx.push(Effect::Audit(AuditEvent::Kind("reply")));
@@ -608,25 +639,53 @@ impl<O: RootObject> NodeEngine<O> {
         true
     }
 
+    /// Re-wraps an in-flight (batch) apply for `node`, preserving the
+    /// batch count so shimmed/buffered traversals keep their identity.
+    fn wrap_apply(
+        node: NodeRef,
+        origin: ProcessorId,
+        op_seq: u64,
+        batch: Option<u64>,
+        req: O::Request,
+    ) -> Msg<O> {
+        match batch {
+            None => Msg::Apply { node, origin, op_seq, req },
+            Some(count) => Msg::BatchApply { node, origin, op_seq, count, req },
+        }
+    }
+
+    /// Handles a unit (`batch = None`) or batched (`batch = Some(count)`)
+    /// apply. Both are **one message** of the protocol: the node ages by
+    /// the same 2 (receive + forward) regardless of the batch size, which
+    /// is exactly where the amortized O(k / count) per-inc load comes
+    /// from — and why the Hot Spot Lemma's accounting, which counts
+    /// messages, is preserved per *traversal*.
+    #[allow(clippy::too_many_arguments)]
     fn on_apply(
         &mut self,
         node: NodeRef,
         origin: ProcessorId,
         op_seq: u64,
+        batch: Option<u64>,
         req: O::Request,
         now: VirtualTime,
         fx: &mut Effects<O>,
     ) {
-        if self.shim_or_buffer(node, Msg::Apply { node, origin, op_seq, req: req.clone() }, fx) {
+        let rewrapped = Self::wrap_apply(node, origin, op_seq, batch, req.clone());
+        if self.shim_or_buffer(node, rewrapped, fx) {
             return;
         }
-        fx.push(Effect::Audit(AuditEvent::Handled { node, kind: "apply", aged: 2 }));
+        let kind = if batch.is_some() { "batch-apply" } else { "apply" };
+        fx.push(Effect::Audit(AuditEvent::Handled { node, kind, aged: 2 }));
         let h = self.hosted.get_mut(&node).expect("hosted checked above");
         h.age += 2;
         if node == NodeRef::ROOT {
             // Deduplicate by operation: a retried (or network-duplicated)
             // Apply for an operation already executed re-sends the
-            // cached response instead of applying twice.
+            // cached response instead of applying twice. A batch retry
+            // repeats the same op_seq *and* count, so the cached first
+            // response denotes the identical range — batches are
+            // exactly-once through the same cache.
             let cached = self
                 .config
                 .dedupe
@@ -642,7 +701,10 @@ impl<O: RootObject> NodeEngine<O> {
                     fx.push(Effect::Audit(AuditEvent::Lost));
                     return;
                 };
-                let resp = object.apply(req);
+                let resp = match batch {
+                    None => object.apply(req),
+                    Some(count) => object.apply_batch(req, count.max(1)),
+                };
                 h.reply_cache.push((op_seq, resp.clone()));
                 if h.reply_cache.len() > self.config.reply_cache_cap {
                     h.reply_cache.remove(0);
@@ -668,7 +730,7 @@ impl<O: RootObject> NodeEngine<O> {
             };
             fx.push(Effect::Send {
                 to: parent_worker,
-                msg: Msg::Apply { node: parent, origin, op_seq, req },
+                msg: Self::wrap_apply(parent, origin, op_seq, batch, req),
             });
         }
         self.maybe_retire(node, now, fx);
@@ -1042,6 +1104,127 @@ mod tests {
         let next = Msg::Apply { node: NodeRef::ROOT, origin: p(7), op_seq: 5, req: () };
         let fx = engines[0].on_event(Event::Deliver { msg: next }, VirtualTime::ZERO);
         assert!(matches!(sends(&fx)[0].1, Msg::Reply { resp: 1, .. }), "count advanced once");
+    }
+
+    #[test]
+    fn a_batch_traverses_once_and_replies_with_the_range_start() {
+        let (_, mut engines) = fleet(2, EngineConfig::paper(2));
+        // Warm the counter to 3 with unit ops, then send a batch of 5.
+        for seq in 0..3 {
+            let fx = engines[3].on_event(Event::Invoke { op_seq: seq, req: () }, VirtualTime::ZERO);
+            let inbox = sends(&fx).into_iter().map(|(to, m)| (to, m.clone())).collect();
+            run_fleet(&mut engines, inbox);
+        }
+        let fx = engines[3]
+            .on_event(Event::InvokeBatch { op_seq: 3, count: 5, req: () }, VirtualTime::ZERO);
+        let s = sends(&fx);
+        assert!(
+            matches!(s[0].1, Msg::BatchApply { count: 5, op_seq: 3, .. }),
+            "the batch enters the tree as one message"
+        );
+        let inbox = s.into_iter().map(|(to, m)| (to, m.clone())).collect();
+        let observed = run_fleet(&mut engines, inbox);
+        let replies: Vec<_> = observed
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Reply { op_seq, resp } => Some((*op_seq, *resp)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(replies, vec![(3, 3)], "the batch owns [3, 8)");
+        // The next unit op sees the whole range consumed.
+        let fx = engines[4].on_event(Event::Invoke { op_seq: 4, req: () }, VirtualTime::ZERO);
+        let inbox = sends(&fx).into_iter().map(|(to, m)| (to, m.clone())).collect();
+        let observed = run_fleet(&mut engines, inbox);
+        assert!(
+            observed.iter().any(|e| matches!(e, Effect::Reply { op_seq: 4, resp: 8 })),
+            "unit op after the batch starts at 8"
+        );
+    }
+
+    #[test]
+    fn a_batch_of_m_ages_each_node_by_two_not_two_m() {
+        let (topo, mut engines) = fleet(2, EngineConfig::paper(2));
+        let node = NodeRef { level: 1, index: 0 };
+        let me = topo.initial_worker(node);
+        // Threshold is 4k = 8; a batch of 100 is still ONE message and
+        // must age the node by exactly 2 — no retirement.
+        let msg = Msg::BatchApply { node, origin: p(0), op_seq: 0, count: 100, req: () };
+        let fx = engines[me.index()].on_event(Event::Deliver { msg }, VirtualTime::ZERO);
+        assert!(
+            !fx.iter().any(|e| matches!(e, Effect::Retired { .. })),
+            "a batch counts once toward the threshold, not once per inc"
+        );
+        assert_eq!(engines[me.index()].hosted(node).expect("hosted").age, 2);
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            Effect::Audit(AuditEvent::Handled { kind: "batch-apply", aged: 2, .. })
+        )));
+        // Exactly as many batches as unit applies reach the threshold:
+        // three more deliveries retire the node (4 * 2 = 8 = 4k).
+        let mut last = Vec::new();
+        for seq in 1..4 {
+            let msg = Msg::BatchApply { node, origin: p(0), op_seq: seq, count: 100, req: () };
+            last = engines[me.index()].on_event(Event::Deliver { msg }, VirtualTime::ZERO);
+        }
+        assert!(
+            last.iter().any(|e| matches!(e, Effect::Retired { node: n, .. } if *n == node)),
+            "the fourth traversal (batched or not) retires the node"
+        );
+        let forwarded =
+            sends(&last).iter().filter(|(_, m)| matches!(m, Msg::BatchApply { .. })).count();
+        assert_eq!(forwarded, 1, "the batch climbs on as a batch");
+    }
+
+    #[test]
+    fn a_batch_retry_is_answered_from_the_reply_cache_with_the_same_range() {
+        let config = EngineConfig { dedupe: true, ..EngineConfig::paper(2) };
+        let (_, mut engines) = fleet(2, config);
+        let batch =
+            Msg::BatchApply { node: NodeRef::ROOT, origin: p(7), op_seq: 4, count: 6, req: () };
+        for attempt in 0..2 {
+            let fx = engines[0].on_event(Event::Deliver { msg: batch.clone() }, VirtualTime::ZERO);
+            let s = sends(&fx);
+            assert!(
+                matches!(s[0].1, Msg::Reply { op_seq: 4, resp: 0 }),
+                "attempt {attempt}: the retried batch owns the same range [0, 6)"
+            );
+        }
+        let next = Msg::Apply { node: NodeRef::ROOT, origin: p(7), op_seq: 5, req: () };
+        let fx = engines[0].on_event(Event::Deliver { msg: next }, VirtualTime::ZERO);
+        assert!(
+            matches!(sends(&fx)[0].1, Msg::Reply { resp: 6, .. }),
+            "the counter advanced by the batch size exactly once"
+        );
+    }
+
+    #[test]
+    fn a_batch_buffered_at_an_uninstalled_successor_keeps_its_count() {
+        let (topo, mut engines) = fleet(2, EngineConfig::paper(2));
+        let node = NodeRef { level: 1, index: 0 };
+        let successor = ProcessorId::new(topo.pool(node).start as usize + 1);
+        let early = Msg::BatchApply { node, origin: p(0), op_seq: 0, count: 9, req: () };
+        let fx =
+            engines[successor.index()].on_event(Event::Deliver { msg: early }, VirtualTime::ZERO);
+        assert!(sends(&fx).is_empty(), "buffered until the handoff installs");
+        let transfer = NodeTransfer {
+            node,
+            pool_cursor: 1,
+            parent_worker: Some(p(0)),
+            child_workers: vec![p(0), p(2)],
+            object: None,
+            reply_cache: Vec::new(),
+        };
+        let fx = engines[successor.index()].on_event(
+            Event::Deliver { msg: Msg::HandoffFinal { transfer: Box::new(transfer) } },
+            VirtualTime::ZERO,
+        );
+        assert!(
+            sends(&fx)
+                .iter()
+                .any(|(to, m)| *to == p(0) && matches!(m, Msg::BatchApply { count: 9, .. })),
+            "the replayed batch still carries count 9"
+        );
     }
 
     #[test]

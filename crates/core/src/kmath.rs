@@ -174,6 +174,27 @@ pub fn next_pool_index(cursor: u64, size: u64, recycle: bool) -> Option<u64> {
     }
 }
 
+/// Amortized messages charged per increment when traversals are batched:
+/// a unit inc costs one message per tree level (`k + 1` hops from the
+/// leaf parent to the root), a batch of `m` incs shares one traversal,
+/// so each member is charged `(k + 1) / m` — the O(k / m) amortization
+/// that batched combining buys without giving up exact values.
+///
+/// # Examples
+///
+/// ```
+/// use distctr_core::kmath::amortized_msgs_per_inc;
+/// assert_eq!(amortized_msgs_per_inc(3, 1), 4.0); // k+1 hops, unbatched
+/// assert_eq!(amortized_msgs_per_inc(3, 4), 1.0);
+/// assert_eq!(amortized_msgs_per_inc(2, 6), 0.5);
+/// assert_eq!(amortized_msgs_per_inc(2, 0), 3.0); // empty batch = unit
+/// ```
+#[must_use]
+pub fn amortized_msgs_per_inc(k: u32, batch: u64) -> f64 {
+    let hops = f64::from(k) + 1.0;
+    hops / batch.max(1) as f64
+}
+
 /// `k^e` as `u64`, for id-block arithmetic.
 ///
 /// # Panics
@@ -303,6 +324,18 @@ mod tests {
         // Singleton pools block either way.
         assert_eq!(next_pool_index(0, 1, false), None);
         assert_eq!(next_pool_index(0, 1, true), None);
+    }
+
+    #[test]
+    fn amortized_load_shrinks_inversely_with_the_batch() {
+        for k in 1..=MAX_ORDER {
+            let unit = amortized_msgs_per_inc(k, 1);
+            assert_eq!(unit, f64::from(k) + 1.0, "unbatched = one msg per level");
+            for m in [2u64, 8, 32] {
+                let batched = amortized_msgs_per_inc(k, m);
+                assert!((batched * m as f64 - unit).abs() < 1e-12, "k={k}, m={m}");
+            }
+        }
     }
 
     #[test]

@@ -61,6 +61,29 @@ pub enum Msg<O: RootObject> {
         /// The operation payload.
         req: O::Request,
     },
+    /// A *batch* of `count` identical operation requests from `origin`,
+    /// climbing the tree as **one** message; addressed to the current
+    /// worker of `node`. The root applies the whole batch atomically
+    /// ([`RootObject::apply_batch`](crate::object::RootObject::apply_batch))
+    /// and answers with a single [`Msg::Reply`] carrying the first
+    /// response — for the counter, the start `v` of the contiguous range
+    /// `[v, v + count)` the batch owns. Each tree node ages by the same
+    /// constant as for a unit `Apply`: the batch costs one traversal, so
+    /// the per-inc message load is amortized to O(k / count).
+    BatchApply {
+        /// The tree node this hop targets.
+        node: NodeRef,
+        /// The processor that initiated the batch (reply address).
+        origin: ProcessorId,
+        /// Driver-assigned sequence number for the whole batch; a retry
+        /// repeats the same `op_seq` *and* the same `count`, so the
+        /// root's reply cache deduplicates batches unchanged.
+        op_seq: u64,
+        /// Number of operations combined into this traversal (≥ 1).
+        count: u64,
+        /// The operation payload, shared by every member of the batch.
+        req: O::Request,
+    },
     /// The operation's response, sent by the root's worker directly to
     /// the operation's initiator.
     Reply {
@@ -152,6 +175,7 @@ impl<O: RootObject> Msg<O> {
     pub fn kind(&self) -> &'static str {
         match self {
             Msg::Apply { .. } => "apply",
+            Msg::BatchApply { .. } => "batch-apply",
             Msg::Reply { .. } => "reply",
             Msg::HandoffPart { .. } => "handoff",
             Msg::HandoffFinal { .. } => "handoff-final",
@@ -180,6 +204,10 @@ impl<O: RootObject> Msg<O> {
         tag_bits
             + match self {
                 Msg::Apply { .. } => node_bits + 2 * id_bits + req_bits,
+                // The count rides in the op-sequence width: a batch of m
+                // from a driver is bounded by the op space, so it costs
+                // one more id-sized field — still O(log n).
+                Msg::BatchApply { .. } => node_bits + 3 * id_bits + req_bits,
                 Msg::Reply { .. } => id_bits + resp_bits,
                 // Part counters are bounded by MAX_ORDER + 1, so a fixed
                 // byte each suffices regardless of k.
@@ -222,6 +250,13 @@ mod tests {
     fn all_variants() -> Vec<CounterMsg> {
         vec![
             Msg::Apply { node: node(1, 0), origin: ProcessorId::new(0), op_seq: 0, req: () },
+            Msg::BatchApply {
+                node: node(1, 0),
+                origin: ProcessorId::new(0),
+                op_seq: 0,
+                count: 4,
+                req: (),
+            },
             Msg::Reply { op_seq: 0, resp: 1 },
             Msg::HandoffPart { node: node(1, 0), part: 0, total: 4 },
             Msg::HandoffFinal { transfer: transfer() },

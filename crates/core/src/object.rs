@@ -29,6 +29,23 @@ pub trait RootObject: Clone + fmt::Debug {
 
     /// Applies one operation and produces its response.
     fn apply(&mut self, req: Self::Request) -> Self::Response;
+
+    /// Applies `count` copies of `req` as one atomic step and produces
+    /// the response of the *first* copy.
+    ///
+    /// This is the sequential-object side of batched traversals
+    /// ([`Msg::BatchApply`](crate::messages::Msg::BatchApply)): objects
+    /// whose responses form a range under repetition — the counter
+    /// returns its pre-batch value, so the batch owns `[v, v + count)` —
+    /// override this with an O(1) step. The default replays `apply`
+    /// `count` times, which is always semantically correct.
+    fn apply_batch(&mut self, req: Self::Request, count: u64) -> Self::Response {
+        let first = self.apply(req.clone());
+        for _ in 1..count {
+            self.apply(req.clone());
+        }
+        first
+    }
 }
 
 /// The paper's counter: `inc` returns the pre-increment value.
@@ -58,6 +75,13 @@ impl RootObject for CounterObject {
     fn apply(&mut self, (): ()) -> u64 {
         let old = self.value;
         self.value += 1;
+        old
+    }
+
+    /// One addition regardless of `count`; the batch owns `[old, old + count)`.
+    fn apply_batch(&mut self, (): (), count: u64) -> u64 {
+        let old = self.value;
+        self.value += count;
         old
     }
 }
@@ -213,6 +237,26 @@ mod tests {
         assert_eq!(c.apply(()), 0);
         assert_eq!(c.apply(()), 1);
         assert_eq!(c.value(), 2);
+    }
+
+    #[test]
+    fn counter_batch_reserves_a_contiguous_range() {
+        let mut c = CounterObject::new();
+        assert_eq!(c.apply(()), 0);
+        assert_eq!(c.apply_batch((), 5), 1, "batch starts at the pre-batch value");
+        assert_eq!(c.apply(()), 6, "the batch consumed [1, 6)");
+        assert_eq!(c.value(), 7);
+    }
+
+    #[test]
+    fn default_batch_replays_apply_and_returns_the_first_response() {
+        let mut b = FlipBitObject::new();
+        assert!(!b.apply_batch((), 3), "first flip saw false");
+        assert!(b.bit(), "three flips applied");
+        let mut q = PriorityQueueObject::new();
+        q.apply(PqRequest::Insert(7));
+        assert_eq!(q.apply_batch(PqRequest::ExtractMin, 2), PqResponse::Min(Some(7)));
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -73,6 +73,42 @@ pub trait CounterBackend {
         self.inc(initiator)
     }
 
+    /// Executes a *batch* of `count` incs charged to `initiator` as one
+    /// traversal where the backend supports it, returning the **first**
+    /// value of the batch's contiguous range `[first, first + count)`.
+    ///
+    /// The default replays [`CounterBackend::inc`] `count` times —
+    /// semantically identical (the values are contiguous because the
+    /// backend serializes them) but unamortized. Tree backends override
+    /// it with a single `BatchInc` traversal.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CounterBackend::inc`].
+    fn inc_batch(&mut self, initiator: ProcessorId, count: u64) -> Result<u64, Self::Error> {
+        let first = self.inc(initiator)?;
+        for _ in 1..count {
+            self.inc(initiator)?;
+        }
+        Ok(first)
+    }
+
+    /// Batch analogue of [`CounterBackend::inc_ticketed`]: re-driving the
+    /// same ticket with the same `count` must not increment again and
+    /// must return the same range start. The default ignores the ticket.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CounterBackend::inc`].
+    fn inc_batch_ticketed(
+        &mut self,
+        initiator: ProcessorId,
+        _ticket: u64,
+        count: u64,
+    ) -> Result<u64, Self::Error> {
+        self.inc_batch(initiator, count)
+    }
+
     /// The bottleneck load `m_b = max_p m_p` so far.
     fn bottleneck(&self) -> u64;
 
@@ -89,6 +125,10 @@ impl CounterBackend for TreeCounter {
 
     fn inc(&mut self, initiator: ProcessorId) -> Result<u64, Self::Error> {
         Ok(Counter::inc(self, initiator).map_err(CoreError::Sim)?.value)
+    }
+
+    fn inc_batch(&mut self, initiator: ProcessorId, count: u64) -> Result<u64, Self::Error> {
+        Ok(TreeCounter::inc_batch(self, initiator, count).map_err(CoreError::Sim)?.value)
     }
 
     fn bottleneck(&self) -> u64 {
@@ -117,6 +157,19 @@ mod tests {
         sequential_through_the_trait(&mut sim, 8);
         assert!(sim.bottleneck() >= 2, "the root's worker moved messages");
         assert!(CounterBackend::retirements(&sim) > 0);
+    }
+
+    #[test]
+    fn sim_batch_returns_the_range_start_and_advances_by_count() {
+        let mut sim = TreeCounter::new(8).expect("counter");
+        assert_eq!(CounterBackend::inc(&mut sim, ProcessorId::new(0)).expect("inc"), 0);
+        assert_eq!(
+            CounterBackend::inc_batch(&mut sim, ProcessorId::new(1), 5).expect("batch"),
+            1,
+            "owns [1, 6)"
+        );
+        assert_eq!(CounterBackend::inc(&mut sim, ProcessorId::new(2)).expect("inc"), 6);
+        assert_eq!(sim.inc_batch_ticketed(ProcessorId::new(3), 9, 2).expect("batch"), 7);
     }
 
     #[test]

@@ -235,6 +235,35 @@ where
         self.drive(initiator, op_seq, |op_seq| NetMsg::StartOp { op_seq, req: req.clone() })
     }
 
+    /// Executes a *batch* of `count` identical operations under a
+    /// caller-reserved op sequence: the batch shares **one** tree
+    /// traversal ([`Msg::BatchApply`]) and the response is the first
+    /// member's — for the counter, the start of the contiguous range
+    /// `[first, first + count)` the batch owns. Re-driving the same
+    /// sequence (with the same count) is answered from the root's reply
+    /// cache, so the whole range stays exactly-once across retries.
+    ///
+    /// [`Msg::BatchApply`]: distctr_core::Msg::BatchApply
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ThreadedTreeClient::invoke`].
+    pub fn invoke_batch_reserved(
+        &mut self,
+        initiator: ProcessorId,
+        op_seq: u64,
+        count: u64,
+        req: O::Request,
+    ) -> Result<O::Response, NetError> {
+        self.check_peer(initiator)?;
+        let count = count.max(1);
+        self.drive(initiator, op_seq, |op_seq| NetMsg::StartBatch {
+            op_seq,
+            count,
+            req: req.clone(),
+        })
+    }
+
     /// Injects an operation addressed to `node` directly at
     /// `entry_worker`, modelling a sender with a **stale routing view**
     /// (one that has not yet heard a retirement's `NewWorker`
@@ -575,6 +604,34 @@ impl ThreadedTreeCounter {
         self.client.invoke_reserved(initiator, op_seq, ())
     }
 
+    /// Executes a batch of `count` incs as one tree traversal under a
+    /// reserved op sequence, returning the start of the batch's range
+    /// `[first, first + count)`; see
+    /// [`ThreadedTreeClient::invoke_batch_reserved`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ThreadedTreeClient::invoke`].
+    pub fn inc_batch_reserved(
+        &mut self,
+        initiator: ProcessorId,
+        op_seq: u64,
+        count: u64,
+    ) -> Result<u64, NetError> {
+        self.client.invoke_batch_reserved(initiator, op_seq, count, ())
+    }
+
+    /// Executes a batch of `count` incs as one traversal with a fresh
+    /// internal sequence, returning the range start.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ThreadedTreeClient::invoke`].
+    pub fn inc_batch(&mut self, initiator: ProcessorId, count: u64) -> Result<u64, NetError> {
+        let op_seq = self.client.reserve_op();
+        self.inc_batch_reserved(initiator, op_seq, count)
+    }
+
     /// Number of processors (= threads).
     #[must_use]
     pub fn processors(&self) -> usize {
@@ -679,6 +736,19 @@ impl CounterBackend for ThreadedTreeCounter {
 
     fn inc_ticketed(&mut self, initiator: ProcessorId, ticket: u64) -> Result<u64, Self::Error> {
         self.inc_reserved(initiator, ticket)
+    }
+
+    fn inc_batch(&mut self, initiator: ProcessorId, count: u64) -> Result<u64, Self::Error> {
+        ThreadedTreeCounter::inc_batch(self, initiator, count)
+    }
+
+    fn inc_batch_ticketed(
+        &mut self,
+        initiator: ProcessorId,
+        ticket: u64,
+        count: u64,
+    ) -> Result<u64, Self::Error> {
+        self.inc_batch_reserved(initiator, ticket, count)
     }
 
     fn bottleneck(&self) -> u64 {
@@ -818,6 +888,39 @@ mod tests {
         assert_eq!(c.inc_ticketed(ProcessorId::new(0), t).expect("inc"), 0);
         assert_eq!(c.inc_ticketed(ProcessorId::new(0), t).expect("retry"), 0);
         assert_eq!(c.inc(ProcessorId::new(1)).expect("inc"), 1);
+        c.shutdown().expect("shutdown");
+    }
+
+    #[test]
+    fn batches_share_one_traversal_and_partition_the_range() {
+        let mut c = ThreadedTreeCounter::with_reply_cache(8, 64).expect("counter");
+        assert_eq!(c.inc(ProcessorId::new(0)).expect("inc"), 0);
+        let loads_before = c.loads();
+        let first = c.inc_batch(ProcessorId::new(1), 10).expect("batch");
+        assert_eq!(first, 1, "the batch owns [1, 11)");
+        let loads_after = c.loads();
+        let unit_cost: u64 = loads_after.iter().zip(&loads_before).map(|(a, b)| a - b).sum();
+        // One traversal (plus any retirement traffic), not 10: far less
+        // than 10 unit climbs would cost.
+        assert!(unit_cost < 20, "a batch of 10 moved {unit_cost} messages, not ~10 traversals");
+        assert_eq!(c.inc(ProcessorId::new(2)).expect("inc"), 11, "range fully consumed");
+        c.shutdown().expect("shutdown");
+    }
+
+    #[test]
+    fn batch_retry_under_one_ticket_returns_the_same_range() {
+        use distctr_core::CounterBackend as _;
+        let mut c = ThreadedTreeCounter::with_reply_cache(8, 64).expect("counter");
+        let t = c.reserve().expect("ticket");
+        assert_eq!(c.inc_batch_ticketed(ProcessorId::new(0), t, 4).expect("batch"), 0);
+        let between = CounterBackend::inc(&mut c, ProcessorId::new(5)).expect("inc");
+        assert_eq!(between, 4, "the batch consumed [0, 4)");
+        assert_eq!(
+            c.inc_batch_ticketed(ProcessorId::new(0), t, 4).expect("retry"),
+            0,
+            "the retried batch owns the same range"
+        );
+        assert_eq!(CounterBackend::inc(&mut c, ProcessorId::new(7)).expect("inc"), 5);
         c.shutdown().expect("shutdown");
     }
 

@@ -27,6 +27,18 @@ pub enum NetMsg<O: RootObject> {
         /// The operation payload.
         req: O::Request,
     },
+    /// Driver control: the receiving processor initiates a *batch* of
+    /// `count` identical operations sharing one tree traversal
+    /// ([`Msg::BatchApply`]). Not counted as load (it models the local
+    /// request); the traversal it triggers is one protocol message.
+    StartBatch {
+        /// Driver-assigned sequence number for the whole batch.
+        op_seq: u64,
+        /// Number of operations combined (≥ 1).
+        count: u64,
+        /// The operation payload, shared by the whole batch.
+        req: O::Request,
+    },
     /// Fault injection: the receiving processor crashes. It loses every
     /// hosted node, its forwarding table, and its pending buffers, and
     /// from then on silently discards all traffic (a fail-silent model).
@@ -68,6 +80,7 @@ mod tests {
     #[test]
     fn control_messages_are_not_load() {
         assert!(!Wire::StartOp { op_seq: 0, req: () }.counts_as_load());
+        assert!(!Wire::StartBatch { op_seq: 0, count: 8, req: () }.counts_as_load());
         assert!(!Wire::Shutdown.counts_as_load());
         assert!(!Wire::Crash.counts_as_load());
         assert!(Wire::Protocol(Msg::Reply { resp: 0, op_seq: 0 }).counts_as_load());

@@ -126,7 +126,10 @@ impl<O: RootObject> Worker<O> {
         if self.crashed {
             // Fail-silent: drain and discard everything except the
             // driver's shutdown (handled by `run`'s break).
-            if matches!(msg, NetMsg::Protocol(Msg::Apply { .. } | Msg::Reply { .. })) {
+            if matches!(
+                msg,
+                NetMsg::Protocol(Msg::Apply { .. } | Msg::BatchApply { .. } | Msg::Reply { .. })
+            ) {
                 self.shared.dead_letters.fetch_add(1, Ordering::Relaxed);
             }
             return;
@@ -138,6 +141,12 @@ impl<O: RootObject> Worker<O> {
             }
             NetMsg::StartOp { op_seq, req } => {
                 let fx = self.engine.on_event(Event::Invoke { op_seq, req }, VirtualTime::ZERO);
+                self.apply(fx);
+            }
+            NetMsg::StartBatch { op_seq, count, req } => {
+                let fx = self
+                    .engine
+                    .on_event(Event::InvokeBatch { op_seq, count, req }, VirtualTime::ZERO);
                 self.apply(fx);
             }
             NetMsg::Crash => {

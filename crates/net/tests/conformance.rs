@@ -123,6 +123,58 @@ fn both_drivers_agree_under_a_crash_fault_plan() {
     threads.shutdown().expect("shutdown");
 }
 
+#[test]
+fn both_drivers_grant_identical_batch_ranges_under_a_crash_plan() {
+    // Batched increments under the same crash: both backends must hand
+    // out the *same* contiguous ranges — same starts, same partition of
+    // [0, total) — and agree on per-processor message counts, so
+    // batching amortizes identically across drivers.
+    let n = 81usize;
+    let mut sim = TreeCounter::builder(n)
+        .expect("builder")
+        .trace(TraceMode::Off)
+        .faults(distctr_sim::FaultPlan::new(0))
+        .build()
+        .expect("sim counter");
+    let mut threads = ThreadedTreeCounter::new(n).expect("threaded counter");
+    let crash_target = ProcessorId::new(80);
+    sim.crash(crash_target);
+    threads.crash_worker(crash_target).expect("crash");
+
+    // Alternate unit incs and batches away from the dead subtree; the
+    // expected range starts are fully determined by the counts.
+    let counts: [u64; 8] = [1, 5, 1, 12, 3, 1, 7, 2];
+    let mut expected_start = 0u64;
+    for (i, &count) in counts.iter().enumerate() {
+        let p = ProcessorId::new(i * 5);
+        let (s, t) = if count == 1 {
+            (
+                sim.inc_fault_tolerant(p).expect("sim inc").value,
+                threads.inc(p).expect("threaded inc"),
+            )
+        } else {
+            (
+                sim.inc_batch_fault_tolerant(p, count).expect("sim batch").value,
+                threads.inc_batch(p, count).expect("threaded batch"),
+            )
+        };
+        assert_eq!(s, expected_start, "sim range start, op {i}");
+        assert_eq!(t, expected_start, "threaded range start, op {i}");
+        expected_start += count;
+    }
+    assert_eq!(
+        sim.audit().retirements_by_level().iter().sum::<u64>(),
+        threads.retirements(),
+        "retirement counts under the crash plan"
+    );
+    let sim_loads = sim.loads().to_vec();
+    let thread_loads = threads.loads();
+    for (p, (&s, &t)) in sim_loads.iter().zip(&thread_loads).enumerate() {
+        assert_eq!(s, t, "batch crash plan: P{p} message count (sim {s}, threads {t})");
+    }
+    threads.shutdown().expect("shutdown");
+}
+
 /// The threaded backend's engine configuration, mirrored for the model
 /// checker: the driver always dedupes retries through a bounded reply
 /// cache and has no stable storage.

@@ -19,7 +19,7 @@ use distctr_core::CounterBackend;
 use distctr_sim::ProcessorId;
 
 use crate::error::ServerError;
-use crate::wire::{read_frame, write_frame, StatsSnapshot, WireMsg};
+use crate::wire::{read_frame, write_frame, write_frame_buf, StatsSnapshot, WireMsg};
 
 /// Client-side guard against a wedged server: every reply must arrive
 /// within this window.
@@ -51,6 +51,9 @@ pub struct RemoteCounter {
     processor: u64,
     processors: u64,
     next_request: u64,
+    /// Reused frame-encoding buffer: a long-lived client sends every
+    /// request without a per-message allocation.
+    scratch: Vec<u8>,
 }
 
 impl RemoteCounter {
@@ -91,6 +94,7 @@ impl RemoteCounter {
             processor: 0,
             processors: 0,
             next_request: 0,
+            scratch: Vec::with_capacity(64),
         };
         counter.send(&WireMsg::Hello { resume })?;
         match counter.receive()? {
@@ -178,6 +182,43 @@ impl RemoteCounter {
         }
     }
 
+    /// Executes a batch of `count` incs as one request and one backend
+    /// traversal, returning the first value of the granted contiguous
+    /// range `[first, first + count)`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RemoteCounter::inc`].
+    pub fn inc_batch(&mut self, count: u64) -> Result<u64, ServerError> {
+        let request_id = self.next_request;
+        self.next_request += 1;
+        self.inc_batch_with_id(request_id, count, None)
+    }
+
+    /// Executes (or replays) a batch under an explicit request id — the
+    /// batch analogue of [`RemoteCounter::inc_with_id`]. A replay must
+    /// repeat the same `count` and is answered with the original range.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RemoteCounter::inc`].
+    pub fn inc_batch_with_id(
+        &mut self,
+        request_id: u64,
+        count: u64,
+        initiator: Option<u64>,
+    ) -> Result<u64, ServerError> {
+        self.next_request = self.next_request.max(request_id + 1);
+        self.send(&WireMsg::BatchInc { request_id, count, initiator })?;
+        match self.receive()? {
+            WireMsg::BatchOk { request_id: rid, first, .. } if rid == request_id => Ok(first),
+            WireMsg::BatchOk { request_id: rid, .. } => Err(ServerError::Protocol(format!(
+                "BatchOk for request {rid} while {request_id} was in flight"
+            ))),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Fetches the server's statistics snapshot.
     ///
     /// # Errors
@@ -204,7 +245,7 @@ impl RemoteCounter {
     }
 
     fn send(&mut self, msg: &WireMsg) -> Result<(), ServerError> {
-        write_frame(&mut self.stream, msg).map_err(ServerError::Wire)
+        write_frame_buf(&mut self.stream, msg, &mut self.scratch).map_err(ServerError::Wire)
     }
 
     fn receive(&mut self) -> Result<WireMsg, ServerError> {
@@ -231,6 +272,12 @@ impl CounterBackend for RemoteCounter {
 
     fn inc(&mut self, initiator: ProcessorId) -> Result<u64, Self::Error> {
         self.inc_as(initiator)
+    }
+
+    fn inc_batch(&mut self, initiator: ProcessorId, count: u64) -> Result<u64, Self::Error> {
+        let request_id = self.next_request;
+        self.next_request += 1;
+        self.inc_batch_with_id(request_id, count, Some(initiator.index() as u64))
     }
 
     fn bottleneck(&self) -> u64 {

@@ -22,7 +22,7 @@ use distctr_analysis::{percentile, Histogram, Table};
 
 use crate::client::RemoteCounter;
 use crate::error::ServerError;
-use crate::wire::{read_frame, write_frame, WireMsg};
+use crate::wire::{read_frame, write_frame, write_frame_buf, WireMsg};
 
 /// The driving discipline.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,12 +73,17 @@ pub struct ConnReport {
 }
 
 /// The aggregated result of a load run.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LoadReport {
     /// Operations completed.
     pub ops: usize,
     /// Wall-clock duration of the whole run.
     pub wall: Duration,
+    /// The rate the run *asked* for (open-loop injection schedule), in
+    /// operations/second; `None` for closed-loop runs, which have no
+    /// schedule. Compare against [`LoadReport::achieved_rate`]: past
+    /// saturation the two diverge and the difference is queueing.
+    pub offered_rate: Option<f64>,
     /// All observed latencies in microseconds, ascending.
     pub latencies_us: Vec<u64>,
     /// All counter values handed out, ascending.
@@ -95,6 +100,15 @@ impl LoadReport {
             return 0.0;
         }
         self.ops as f64 / self.wall.as_secs_f64()
+    }
+
+    /// Completed operations per second — what the run actually
+    /// sustained, as opposed to what [`LoadReport::offered_rate`] asked
+    /// for. Identical to [`LoadReport::throughput`]; the alias makes
+    /// offered-vs-achieved comparisons read naturally.
+    #[must_use]
+    pub fn achieved_rate(&self) -> f64 {
+        self.throughput()
     }
 
     /// The `q`-th latency percentile in microseconds (0–100).
@@ -127,7 +141,12 @@ impl LoadReport {
         let mut t = Table::new(vec!["metric", "value"]);
         t.row(vec!["operations".into(), self.ops.to_string()]);
         t.row(vec!["wall time".into(), format!("{:.3} s", self.wall.as_secs_f64())]);
-        t.row(vec!["throughput".into(), format!("{:.0} ops/s", self.throughput())]);
+        if let Some(offered) = self.offered_rate {
+            t.row(vec!["offered rate".into(), format!("{offered:.0} ops/s")]);
+            t.row(vec!["achieved rate".into(), format!("{:.0} ops/s", self.achieved_rate())]);
+        } else {
+            t.row(vec!["throughput".into(), format!("{:.0} ops/s", self.throughput())]);
+        }
         t.row(vec!["p50 latency".into(), format!("{} us", self.latency_percentile_us(50.0))]);
         t.row(vec!["p99 latency".into(), format!("{} us", self.latency_percentile_us(99.0))]);
         t.row(vec!["max latency".into(), format!("{} us", self.max_latency_us())]);
@@ -198,7 +217,18 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> Result<LoadReport, Server
     let wall = started.elapsed();
     latencies.sort_unstable();
     values.sort_unstable();
-    Ok(LoadReport { ops: values.len(), wall, latencies_us: latencies, values, per_conn })
+    let offered_rate = match cfg.mode {
+        LoadMode::Closed => None,
+        LoadMode::Open { rate } => Some(rate),
+    };
+    Ok(LoadReport {
+        ops: values.len(),
+        wall,
+        offered_rate,
+        latencies_us: latencies,
+        values,
+        per_conn,
+    })
 }
 
 /// One closed-loop connection: `(value, latency_us)` per operation.
@@ -255,12 +285,17 @@ fn drive_open(addr: SocketAddr, ops: usize, rate: f64) -> Result<Vec<(u64, u64)>
         })
         .map_err(|e| ServerError::Io(e.to_string()))?;
 
+    let mut scratch = Vec::with_capacity(64);
     for i in 0..ops {
         let due = start + interval.mul_f64(i as f64);
         if let Some(wait) = due.checked_duration_since(Instant::now()) {
             std::thread::sleep(wait);
         }
-        write_frame(&mut writer, &WireMsg::Inc { request_id: i as u64, initiator: None })?;
+        write_frame_buf(
+            &mut writer,
+            &WireMsg::Inc { request_id: i as u64, initiator: None },
+            &mut scratch,
+        )?;
     }
     collector.join().map_err(|_| ServerError::Io("the reader thread panicked".into()))?
 }
@@ -274,6 +309,7 @@ mod tests {
         LoadReport {
             ops,
             wall: Duration::from_millis(100),
+            offered_rate: None,
             latencies_us: latencies,
             values,
             per_conn: vec![ConnReport { ops, max_us: 0 }],
@@ -304,5 +340,16 @@ mod tests {
         assert!(s.contains("throughput"));
         assert!(s.contains("p99 latency"));
         assert!(s.contains('#'), "histogram bars present");
+    }
+
+    #[test]
+    fn open_loop_reports_offered_and_achieved_separately() {
+        let mut r = report(vec![10, 20], vec![0, 1]);
+        r.offered_rate = Some(5000.0);
+        assert!((r.achieved_rate() - 20.0).abs() < 1e-6, "2 ops in 100 ms");
+        let s = r.render();
+        assert!(s.contains("offered rate"));
+        assert!(s.contains("achieved rate"));
+        assert!(!s.contains("throughput"), "replaced by the offered/achieved pair");
     }
 }

@@ -17,12 +17,26 @@
 //! between any two inc requests"): with many concurrent clients the
 //! *server* stays correct and the contention becomes client-observed
 //! queueing latency — which is exactly what the load generator measures.
+//!
+//! A server started with [`CounterServer::serve_combining`] replaces
+//! that hot path with pipelined **flat combining**: connection threads
+//! only *enqueue* their pending incs and return to the socket, and a
+//! dedicated combiner thread drains everything queued into one
+//! [`CounterBackend::inc_batch_ticketed`] traversal per round, writing
+//! each waiter's slice of the granted range straight to its connection.
+//! Coalesced batches are charged to a rotating origin processor (an
+//! `Inc` naming an explicit initiator still climbs from that leaf), so
+//! new requests accumulate while the previous round's traversal is in
+//! flight — the batch size adapts to the backlog instead of a timer.
+//! The counter stays exact — values are a contiguous range partitioned
+//! in queue order — while the backend sees one traversal where the
+//! sequential path saw `m`.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -30,7 +44,7 @@ use distctr_core::CounterBackend;
 use distctr_sim::ProcessorId;
 
 use crate::error::{ErrCode, ServerError};
-use crate::wire::{read_frame, write_frame, StatsSnapshot, WireError, WireMsg};
+use crate::wire::{read_frame, write_frame, write_frame_buf, StatsSnapshot, WireError, WireMsg};
 
 /// Per-session dedup window: how many recent request ids a session
 /// remembers for exactly-once retries.
@@ -38,6 +52,10 @@ pub const DEDUP_WINDOW: usize = 256;
 
 /// How often blocked reads poll the shutdown flag.
 const POLL: Duration = Duration::from_millis(50);
+
+/// How long the idle combiner thread parks between shutdown-flag
+/// checks when no increments are queued.
+const COMBINE_IDLE: Duration = Duration::from_millis(25);
 
 /// Dedup state and accounting of one client session.
 #[derive(Debug, Default)]
@@ -72,6 +90,10 @@ struct Inner<B> {
     backend: B,
     sessions: HashMap<u64, Session>,
     next_session: u64,
+    /// Round-robin origin for combined batches without an explicit
+    /// initiator: each coalesced traversal is charged to the next
+    /// processor in turn.
+    combine_origin: u64,
 }
 
 /// Lock-free counters, updated by connection threads.
@@ -81,11 +103,49 @@ struct Counters {
     ops: AtomicU64,
     deduped: AtomicU64,
     wire_errors: AtomicU64,
+    combined_traversals: AtomicU64,
+}
+
+/// The write half of one connection: the stream plus its reusable
+/// encode scratch. Shared between the connection's reader thread
+/// (handshake, stats, explicit-batch and error replies) and the
+/// combiner thread (combined inc replies), each writing whole frames
+/// under the mutex.
+struct ConnWriter {
+    stream: TcpStream,
+    scratch: Vec<u8>,
+}
+
+impl ConnWriter {
+    fn send(&mut self, msg: &WireMsg) -> Result<(), WireError> {
+        write_frame_buf(&mut self.stream, msg, &mut self.scratch)
+    }
+}
+
+/// One enqueued increment awaiting a combining round. Validation
+/// (session lookup, initiator bounds, retry dedup) happens in the
+/// round, under the backend lock the combiner holds, so the enqueue
+/// itself touches nothing but the queue mutex — the reader thread goes
+/// straight back to its socket and the connection stays pipelined.
+struct PendingInc {
+    session_id: u64,
+    request_id: u64,
+    initiator: Option<u64>,
+    /// The connection the combiner writes this waiter's reply to.
+    writer: Arc<Mutex<ConnWriter>>,
+}
+
+/// Work queue and wakeup for the dedicated combiner thread.
+struct CombineState {
+    queue: Mutex<Vec<PendingInc>>,
+    wake: Condvar,
 }
 
 struct Shared<B> {
     inner: Mutex<Inner<B>>,
     stats: Counters,
+    /// `Some` iff this server serves incs through flat combining.
+    combine: Option<CombineState>,
 }
 
 /// A TCP stream whose reads poll the server's stop flag: a blocked
@@ -135,6 +195,7 @@ pub struct CounterServer<B: CounterBackend + Send + 'static> {
     stop: Arc<AtomicBool>,
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
+    combiner: Option<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
@@ -149,20 +210,68 @@ impl<B: CounterBackend + Send + 'static> CounterServer<B> {
         Self::serve_on("127.0.0.1:0", backend)
     }
 
+    /// Serves `backend` on an ephemeral loopback port with the
+    /// flat-combining inc path enabled; see [`CounterServer::serve_on`]
+    /// and the module docs for what combining changes.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CounterServer::serve_on`].
+    pub fn serve_combining(backend: B) -> Result<Self, ServerError> {
+        Self::serve_combining_on("127.0.0.1:0", backend)
+    }
+
     /// Binds `addr` and starts the accept loop, hosting `backend`.
     ///
     /// # Errors
     ///
     /// [`ServerError::Io`] if binding or spawning fails.
     pub fn serve_on(addr: impl ToSocketAddrs, backend: B) -> Result<Self, ServerError> {
+        Self::serve_inner(addr, backend, false)
+    }
+
+    /// [`CounterServer::serve_on`] with the flat-combining inc path
+    /// enabled.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Io`] if binding or spawning fails.
+    pub fn serve_combining_on(addr: impl ToSocketAddrs, backend: B) -> Result<Self, ServerError> {
+        Self::serve_inner(addr, backend, true)
+    }
+
+    fn serve_inner(
+        addr: impl ToSocketAddrs,
+        backend: B,
+        combining: bool,
+    ) -> Result<Self, ServerError> {
         let listener = TcpListener::bind(addr).map_err(|e| ServerError::Io(e.to_string()))?;
         let addr = listener.local_addr().map_err(|e| ServerError::Io(e.to_string()))?;
         let shared = Arc::new(Shared {
-            inner: Mutex::new(Inner { backend, sessions: HashMap::new(), next_session: 0 }),
+            inner: Mutex::new(Inner {
+                backend,
+                sessions: HashMap::new(),
+                next_session: 0,
+                combine_origin: 0,
+            }),
             stats: Counters::default(),
+            combine: combining
+                .then(|| CombineState { queue: Mutex::new(Vec::new()), wake: Condvar::new() }),
         });
         let stop = Arc::new(AtomicBool::new(false));
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let combiner = if combining {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            Some(
+                std::thread::Builder::new()
+                    .name("distctr-combiner".into())
+                    .spawn(move || combiner_loop(&shared, &stop))
+                    .map_err(|e| ServerError::Io(e.to_string()))?,
+            )
+        } else {
+            None
+        };
         let accept = {
             let shared = Arc::clone(&shared);
             let stop = Arc::clone(&stop);
@@ -172,7 +281,14 @@ impl<B: CounterBackend + Send + 'static> CounterServer<B> {
                 .spawn(move || accept_loop(&listener, &shared, &stop, &conns))
                 .map_err(|e| ServerError::Io(e.to_string()))?
         };
-        Ok(CounterServer { shared: Some(shared), stop, addr, accept: Some(accept), conns })
+        Ok(CounterServer {
+            shared: Some(shared),
+            stop,
+            addr,
+            accept: Some(accept),
+            combiner,
+            conns,
+        })
     }
 
     /// The bound address (connect [`crate::RemoteCounter`] here).
@@ -217,6 +333,12 @@ impl<B: CounterBackend + Send + 'static> CounterServer<B> {
         let _ = TcpStream::connect(self.addr);
         let mut panicked = false;
         if let Some(handle) = self.accept.take() {
+            panicked |= handle.join().is_err();
+        }
+        if let Some(handle) = self.combiner.take() {
+            if let Some(combine) = self.shared.as_ref().and_then(|s| s.combine.as_ref()) {
+                combine.wake.notify_all();
+            }
             panicked |= handle.join().is_err();
         }
         let handles = match self.conns.lock() {
@@ -340,41 +462,109 @@ fn handle_conn<B: CounterBackend + Send + 'static>(
     }
 
     // --- session loop -------------------------------------------------
+    // The write half moves behind a mutex shared with the combiner
+    // thread, with one scratch buffer per connection: every reply frame
+    // on the hot path is encoded into it and written with a single
+    // syscall, with no per-message allocation.
+    let writer =
+        Arc::new(Mutex::new(ConnWriter { stream: writer, scratch: Vec::with_capacity(64) }));
     loop {
         match read_frame(&mut reader) {
-            Ok(WireMsg::Inc { request_id, initiator }) => {
-                let reply = serve_inc(shared, session_id, request_id, initiator);
-                if write_frame(&mut writer, &reply).is_err() {
+            Ok(WireMsg::Inc { request_id, initiator }) => match &shared.combine {
+                // Pipelined: enqueue for the combiner and go straight
+                // back to the socket; the combiner writes the reply.
+                Some(combine) => {
+                    if !enqueue_inc(combine, session_id, request_id, initiator, &writer) {
+                        break;
+                    }
+                }
+                None => {
+                    let reply = serve_inc(shared, session_id, request_id, initiator);
+                    if send_reply(&writer, &reply).is_err() {
+                        break;
+                    }
+                }
+            },
+            Ok(WireMsg::BatchInc { request_id, count, initiator }) => {
+                let reply = serve_batch_inc(shared, session_id, request_id, count, initiator);
+                if send_reply(&writer, &reply).is_err() {
                     break;
                 }
             }
             Ok(WireMsg::Stats) => {
                 let reply = WireMsg::StatsOk(snapshot(shared));
-                if write_frame(&mut writer, &reply).is_err() {
+                if send_reply(&writer, &reply).is_err() {
                     break;
                 }
             }
             Ok(WireMsg::Hello { .. }) => {
                 shared.stats.wire_errors.fetch_add(1, Ordering::Relaxed);
-                let _ = write_frame(&mut writer, &WireMsg::Err { code: ErrCode::BadHandshake });
+                let _ = send_reply(&writer, &WireMsg::Err { code: ErrCode::BadHandshake });
                 break;
             }
             Ok(
                 WireMsg::HelloOk { .. }
                 | WireMsg::IncOk { .. }
+                | WireMsg::BatchOk { .. }
                 | WireMsg::StatsOk(_)
                 | WireMsg::Err { .. },
             ) => {
                 shared.stats.wire_errors.fetch_add(1, Ordering::Relaxed);
-                let _ = write_frame(&mut writer, &WireMsg::Err { code: ErrCode::Malformed });
+                let _ = send_reply(&writer, &WireMsg::Err { code: ErrCode::Malformed });
                 break;
             }
             Err(WireError::Closed) => break,
             Err(e) => {
-                report_wire_error(&mut writer, shared, &e);
+                shared.stats.wire_errors.fetch_add(1, Ordering::Relaxed);
+                if let Some(code) = wire_err_code(&e) {
+                    let _ = send_reply(&writer, &WireMsg::Err { code });
+                }
                 break;
             }
         }
+    }
+}
+
+/// Writes one reply frame under the connection's writer mutex.
+fn send_reply(writer: &Arc<Mutex<ConnWriter>>, msg: &WireMsg) -> Result<(), WireError> {
+    match writer.lock() {
+        Ok(mut w) => w.send(msg),
+        Err(_) => Err(WireError::Io("connection writer poisoned".into())),
+    }
+}
+
+/// Enqueues one inc for the combiner thread and returns to the socket
+/// without waiting — a connection can have many incs in flight at once.
+/// Returns `false` only if the queue mutex is poisoned.
+fn enqueue_inc(
+    combine: &CombineState,
+    session_id: u64,
+    request_id: u64,
+    initiator: Option<u64>,
+    writer: &Arc<Mutex<ConnWriter>>,
+) -> bool {
+    let Ok(mut q) = combine.queue.lock() else { return false };
+    let was_empty = q.is_empty();
+    q.push(PendingInc { session_id, request_id, initiator, writer: Arc::clone(writer) });
+    drop(q);
+    // The combiner only parks after observing an empty queue under this
+    // mutex, so only the empty -> non-empty transition can have a parked
+    // waiter; pushes onto a backlog skip the futex wake.
+    if was_empty {
+        combine.wake.notify_one();
+    }
+    true
+}
+
+/// The client-visible code for a decode failure, if the transport is
+/// still there to send it on.
+fn wire_err_code(e: &WireError) -> Option<ErrCode> {
+    match e {
+        WireError::Oversized { .. } => Some(ErrCode::Oversized),
+        WireError::UnknownTag(_) => Some(ErrCode::UnknownTag),
+        WireError::Malformed(_) => Some(ErrCode::Malformed),
+        // Truncated / Io: the transport is gone; nothing to send on.
+        _ => None,
     }
 }
 
@@ -386,14 +576,9 @@ fn report_wire_error<B: CounterBackend + Send + 'static>(
     e: &WireError,
 ) {
     shared.stats.wire_errors.fetch_add(1, Ordering::Relaxed);
-    let code = match e {
-        WireError::Oversized { .. } => ErrCode::Oversized,
-        WireError::UnknownTag(_) => ErrCode::UnknownTag,
-        WireError::Malformed(_) => ErrCode::Malformed,
-        // Truncated / Io: the transport is gone; nothing to send on.
-        _ => return,
-    };
-    let _ = write_frame(writer, &WireMsg::Err { code });
+    if let Some(code) = wire_err_code(e) {
+        let _ = write_frame(writer, &WireMsg::Err { code });
+    }
 }
 
 /// One increment, with exactly-once retry semantics. See the module doc
@@ -463,6 +648,207 @@ fn serve_inc<B: CounterBackend + Send + 'static>(
     }
 }
 
+/// The dedicated combiner: parks until incs are queued, then drains and
+/// serves rounds until the queue is empty again. Everything that
+/// accumulates while one round's traversals are in flight becomes the
+/// next round's batch — backpressure, not a timer, sets the batch size.
+/// Replies are written straight to each waiter's connection, so the
+/// per-inc hot path costs one enqueue and an amortized share of one
+/// traversal, with no per-reply thread handoff.
+fn combiner_loop<B: CounterBackend + Send + 'static>(
+    shared: &Arc<Shared<B>>,
+    stop: &Arc<AtomicBool>,
+) {
+    let Some(combine) = &shared.combine else { return };
+    loop {
+        let drained = {
+            let Ok(mut q) = combine.queue.lock() else { return };
+            loop {
+                if !q.is_empty() {
+                    // Serve what's queued even mid-shutdown; the final
+                    // empty drain observes `stop` and exits.
+                    break std::mem::take(&mut *q);
+                }
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                let Ok((guard, _)) = combine.wake.wait_timeout(q, COMBINE_IDLE) else { return };
+                q = guard;
+            }
+        };
+        let Ok(mut inner) = shared.inner.lock() else { return };
+        combine_round(shared, &mut inner, drained);
+    }
+}
+
+/// One combining round: answer retries from the session tables, then
+/// drive **one** batched traversal per initiating processor, slicing
+/// each granted range `[first, first + m)` over its waiters in queue
+/// order. Each slice is recorded in its session's answer table before
+/// the reply is sent, so a reconnect-and-retry of any combined request
+/// is answered exactly-once without a traversal.
+fn combine_round<B: CounterBackend + Send + 'static>(
+    shared: &Arc<Shared<B>>,
+    inner: &mut Inner<B>,
+    drained: Vec<PendingInc>,
+) {
+    // A retry racing its original into the same round must share one
+    // slice, not claim two: dedupe by (session, request id) and park
+    // the duplicates' connections until the key is answered.
+    let mut seen: HashSet<(u64, u64)> = HashSet::new();
+    let mut dup: HashMap<(u64, u64), Vec<Arc<Mutex<ConnWriter>>>> = HashMap::new();
+    let mut unique: Vec<PendingInc> = Vec::new();
+    for p in drained {
+        if seen.insert((p.session_id, p.request_id)) {
+            unique.push(p);
+        } else {
+            shared.stats.deduped.fetch_add(1, Ordering::Relaxed);
+            dup.entry((p.session_id, p.request_id)).or_default().push(p.writer);
+        }
+    }
+    let deliver = |dup: &mut HashMap<(u64, u64), Vec<Arc<Mutex<ConnWriter>>>>,
+                   p: &PendingInc,
+                   reply: WireMsg| {
+        for writer in dup.remove(&(p.session_id, p.request_id)).unwrap_or_default() {
+            if let Ok(mut w) = writer.lock() {
+                let _ = w.send(&reply);
+            }
+        }
+        if let Ok(mut w) = p.writer.lock() {
+            let _ = w.send(&reply);
+        }
+    };
+    // Validate each waiter and split answered retries from fresh work.
+    // A batch traversal has exactly one origin, so requests with an
+    // explicit initiator group by it; everything else — the common
+    // "don't care" traffic — coalesces into ONE batch per round (the
+    // `None` bucket), charged to a round-robin rotating processor so no
+    // single initiator becomes an artificial hot spot.
+    let mut fresh: BTreeMap<Option<u64>, Vec<PendingInc>> = BTreeMap::new();
+    for p in unique {
+        let Some(session) = inner.sessions.get(&p.session_id) else {
+            deliver(&mut dup, &p, WireMsg::Err { code: ErrCode::UnknownSession });
+            continue;
+        };
+        match p.initiator {
+            Some(i) if i < inner.backend.processors() as u64 => {}
+            Some(_) => {
+                deliver(&mut dup, &p, WireMsg::Err { code: ErrCode::BadInitiator });
+                continue;
+            }
+            None => {}
+        }
+        if let Some(&value) = session.answered.get(&p.request_id) {
+            shared.stats.deduped.fetch_add(1, Ordering::Relaxed);
+            deliver(&mut dup, &p, WireMsg::IncOk { request_id: p.request_id, value });
+            continue;
+        }
+        fresh.entry(p.initiator).or_default().push(p);
+    }
+    for (explicit, waiters) in fresh {
+        let m = waiters.len() as u64;
+        let charged = explicit.unwrap_or_else(|| {
+            let p = inner.combine_origin;
+            inner.combine_origin = (inner.combine_origin + 1) % inner.backend.processors() as u64;
+            p
+        });
+        let initiator = ProcessorId::new(charged as usize);
+        shared.stats.combined_traversals.fetch_add(1, Ordering::Relaxed);
+        let result = match inner.backend.reserve() {
+            Some(t) => inner.backend.inc_batch_ticketed(initiator, t, m),
+            None => inner.backend.inc_batch(initiator, m),
+        };
+        match result {
+            Ok(first) => {
+                for (i, p) in waiters.into_iter().enumerate() {
+                    let value = first + i as u64;
+                    if let Some(session) = inner.sessions.get_mut(&p.session_id) {
+                        session.answered.insert(p.request_id, value);
+                        session.remember(p.request_id);
+                        session.ops += 1;
+                    }
+                    shared.stats.ops.fetch_add(1, Ordering::Relaxed);
+                    deliver(&mut dup, &p, WireMsg::IncOk { request_id: p.request_id, value });
+                }
+            }
+            // The batch's composition is not reproducible, so nothing
+            // is pinned: the clients' retries re-enter a later round
+            // (the same guarantee as a non-ticketed sequential inc).
+            Err(_) => {
+                for p in waiters {
+                    deliver(&mut dup, &p, WireMsg::Err { code: ErrCode::Backend });
+                }
+            }
+        }
+    }
+}
+
+/// One explicit `BatchInc`: a single traversal granting the contiguous
+/// range `[first, first + count)`, with the same two exactly-once paths
+/// as [`serve_inc`] — a backend ticket pinned to the request id where
+/// available, the session answer table otherwise. Retries must repeat
+/// the same `count`; the reply echoes it.
+fn serve_batch_inc<B: CounterBackend + Send + 'static>(
+    shared: &Arc<Shared<B>>,
+    session_id: u64,
+    request_id: u64,
+    count: u64,
+    initiator: Option<u64>,
+) -> WireMsg {
+    if count == 0 {
+        return WireMsg::Err { code: ErrCode::Malformed };
+    }
+    let Ok(mut guard) = shared.inner.lock() else {
+        return WireMsg::Err { code: ErrCode::Backend };
+    };
+    let inner = &mut *guard;
+    let Some(session) = inner.sessions.get_mut(&session_id) else {
+        return WireMsg::Err { code: ErrCode::UnknownSession };
+    };
+    let charged = match initiator {
+        Some(i) if i < inner.backend.processors() as u64 => i,
+        Some(_) => return WireMsg::Err { code: ErrCode::BadInitiator },
+        None => session.processor,
+    };
+    let p = ProcessorId::new(charged as usize);
+
+    if let Some(&first) = session.answered.get(&request_id) {
+        shared.stats.deduped.fetch_add(1, Ordering::Relaxed);
+        return WireMsg::BatchOk { request_id, first, count };
+    }
+    let (ticket, is_retry) = match session.tickets.get(&request_id) {
+        Some(&t) => (Some(t), true),
+        None => match inner.backend.reserve() {
+            Some(t) => {
+                session.tickets.insert(request_id, t);
+                session.remember(request_id);
+                (Some(t), false)
+            }
+            None => (None, false),
+        },
+    };
+    let result = match ticket {
+        Some(t) => inner.backend.inc_batch_ticketed(p, t, count),
+        None => inner.backend.inc_batch(p, count),
+    };
+    match result {
+        Ok(first) => {
+            session.ops += count;
+            if is_retry {
+                shared.stats.deduped.fetch_add(1, Ordering::Relaxed);
+            } else {
+                shared.stats.ops.fetch_add(count, Ordering::Relaxed);
+                if ticket.is_none() {
+                    session.answered.insert(request_id, first);
+                    session.remember(request_id);
+                }
+            }
+            WireMsg::BatchOk { request_id, first, count }
+        }
+        Err(_) => WireMsg::Err { code: ErrCode::Backend },
+    }
+}
+
 fn snapshot<B: CounterBackend + Send + 'static>(shared: &Arc<Shared<B>>) -> StatsSnapshot {
     let (processors, sessions, bottleneck, retirements) = match shared.inner.lock() {
         Ok(inner) => (
@@ -480,6 +866,7 @@ fn snapshot<B: CounterBackend + Send + 'static>(shared: &Arc<Shared<B>>) -> Stat
         ops: shared.stats.ops.load(Ordering::Relaxed),
         deduped: shared.stats.deduped.load(Ordering::Relaxed),
         wire_errors: shared.stats.wire_errors.load(Ordering::Relaxed),
+        combined_traversals: shared.stats.combined_traversals.load(Ordering::Relaxed),
         bottleneck,
         retirements,
     }

@@ -25,9 +25,11 @@ pub const MAX_FRAME: u32 = 256;
 const TAG_HELLO: u8 = 0x01;
 const TAG_INC: u8 = 0x02;
 const TAG_STATS: u8 = 0x03;
+const TAG_BATCH_INC: u8 = 0x04;
 const TAG_HELLO_OK: u8 = 0x81;
 const TAG_INC_OK: u8 = 0x82;
 const TAG_STATS_OK: u8 = 0x83;
+const TAG_BATCH_OK: u8 = 0x84;
 const TAG_ERR: u8 = 0xEE;
 
 /// A server-side statistics snapshot, carried by [`WireMsg::StatsOk`].
@@ -45,6 +47,9 @@ pub struct StatsSnapshot {
     pub deduped: u64,
     /// Frames rejected by the codec (truncated, oversized, garbage).
     pub wire_errors: u64,
+    /// Batched traversals driven by the flat-combining front-end
+    /// (`ops / combined_traversals` is the realized mean batch size).
+    pub combined_traversals: u64,
     /// The backend's bottleneck load `max_p m_p`.
     pub bottleneck: u64,
     /// Worker retirements inside the backend.
@@ -70,6 +75,19 @@ pub enum WireMsg {
         /// Explicit initiating processor, if the client wants one.
         initiator: Option<u64>,
     },
+    /// A batch of `count` increments as one backend traversal. The reply
+    /// ([`WireMsg::BatchOk`]) grants the contiguous range
+    /// `[first, first + count)`. `request_id` deduplicates retries like
+    /// [`WireMsg::Inc`]: resending the same id (with the same count)
+    /// returns the same range without incrementing again.
+    BatchInc {
+        /// Client-chosen retry/dedup key, unique per session.
+        request_id: u64,
+        /// Number of increments requested (must be ≥ 1).
+        count: u64,
+        /// Explicit initiating processor, if the client wants one.
+        initiator: Option<u64>,
+    },
     /// Request a [`WireMsg::StatsOk`] snapshot.
     Stats,
     /// Server handshake reply.
@@ -85,6 +103,16 @@ pub enum WireMsg {
         request_id: u64,
         /// The counter value handed out.
         value: u64,
+    },
+    /// Reply to [`WireMsg::BatchInc`]: the batch owns every value in
+    /// `[first, first + count)`.
+    BatchOk {
+        /// Echo of the request's `request_id`.
+        request_id: u64,
+        /// First value of the granted range.
+        first: u64,
+        /// Echo of the granted count.
+        count: u64,
     },
     /// Reply to [`WireMsg::Stats`].
     StatsOk(StatsSnapshot),
@@ -202,34 +230,67 @@ pub fn read_frame(r: &mut impl Read) -> Result<WireMsg, WireError> {
     decode(&payload)
 }
 
-/// Writes one frame.
+/// Writes one frame, allocating a scratch buffer per call. Hot paths
+/// (the server's per-connection loop, the load generator) should hold a
+/// reusable buffer and call [`write_frame_buf`] instead.
 ///
 /// # Errors
 ///
 /// [`WireError::Io`] if the underlying write fails.
 pub fn write_frame(w: &mut impl Write, msg: &WireMsg) -> Result<(), WireError> {
-    let payload = encode(msg);
-    debug_assert!(payload.len() <= MAX_FRAME as usize);
-    let mut frame = Vec::with_capacity(4 + payload.len());
-    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    frame.extend_from_slice(&payload);
-    w.write_all(&frame).map_err(|e| WireError::Io(e.to_string()))?;
+    let mut scratch = Vec::with_capacity(40);
+    write_frame_buf(w, msg, &mut scratch)
+}
+
+/// Writes one frame through a caller-owned scratch buffer: the length
+/// prefix and payload are assembled in `scratch` (cleared, capacity
+/// kept) and written with a single `write_all`, so a steady-state
+/// connection encodes frames with zero allocations.
+///
+/// # Errors
+///
+/// [`WireError::Io`] if the underlying write fails.
+pub fn write_frame_buf(
+    w: &mut impl Write,
+    msg: &WireMsg,
+    scratch: &mut Vec<u8>,
+) -> Result<(), WireError> {
+    scratch.clear();
+    // Length-prefix placeholder, patched once the payload length is known.
+    scratch.extend_from_slice(&[0u8; 4]);
+    encode_into(msg, scratch);
+    let payload_len = (scratch.len() - 4) as u32;
+    debug_assert!(payload_len <= MAX_FRAME);
+    scratch[..4].copy_from_slice(&payload_len.to_le_bytes());
+    w.write_all(scratch).map_err(|e| WireError::Io(e.to_string()))?;
     w.flush().map_err(|e| WireError::Io(e.to_string()))
 }
 
-/// Encodes `msg` into a payload (tag + fields, no length prefix).
+/// Encodes `msg` into a fresh payload (tag + fields, no length prefix).
 #[must_use]
 pub fn encode(msg: &WireMsg) -> Vec<u8> {
     let mut out = Vec::with_capacity(32);
+    encode_into(msg, &mut out);
+    out
+}
+
+/// Appends `msg`'s payload (tag + fields, no length prefix) to `out`.
+fn encode_into(msg: &WireMsg, out: &mut Vec<u8>) {
     match msg {
         WireMsg::Hello { resume } => {
             out.push(TAG_HELLO);
-            push_opt_u64(&mut out, *resume);
+            push_opt_u64(out, *resume);
         }
         WireMsg::Inc { request_id, initiator } => {
             out.push(TAG_INC);
             out.extend_from_slice(&request_id.to_le_bytes());
-            push_opt_u64(&mut out, *initiator);
+            push_opt_u64(out, *initiator);
+        }
+        WireMsg::BatchInc { request_id, count, initiator } => {
+            out.push(TAG_BATCH_INC);
+            out.extend_from_slice(&request_id.to_le_bytes());
+            out.extend_from_slice(&count.to_le_bytes());
+            push_opt_u64(out, *initiator);
         }
         WireMsg::Stats => out.push(TAG_STATS),
         WireMsg::HelloOk { session, processor } => {
@@ -242,6 +303,12 @@ pub fn encode(msg: &WireMsg) -> Vec<u8> {
             out.extend_from_slice(&request_id.to_le_bytes());
             out.extend_from_slice(&value.to_le_bytes());
         }
+        WireMsg::BatchOk { request_id, first, count } => {
+            out.push(TAG_BATCH_OK);
+            out.extend_from_slice(&request_id.to_le_bytes());
+            out.extend_from_slice(&first.to_le_bytes());
+            out.extend_from_slice(&count.to_le_bytes());
+        }
         WireMsg::StatsOk(s) => {
             out.push(TAG_STATS_OK);
             for field in [
@@ -251,6 +318,7 @@ pub fn encode(msg: &WireMsg) -> Vec<u8> {
                 s.ops,
                 s.deduped,
                 s.wire_errors,
+                s.combined_traversals,
                 s.bottleneck,
                 s.retirements,
             ] {
@@ -262,7 +330,6 @@ pub fn encode(msg: &WireMsg) -> Vec<u8> {
             out.extend_from_slice(&code.as_u16().to_le_bytes());
         }
     }
-    out
 }
 
 fn push_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
@@ -287,9 +354,17 @@ pub fn decode(payload: &[u8]) -> Result<WireMsg, WireError> {
     let msg = match tag {
         TAG_HELLO => WireMsg::Hello { resume: cur.opt_u64()? },
         TAG_INC => WireMsg::Inc { request_id: cur.u64()?, initiator: cur.opt_u64()? },
+        TAG_BATCH_INC => WireMsg::BatchInc {
+            request_id: cur.u64()?,
+            count: cur.u64()?,
+            initiator: cur.opt_u64()?,
+        },
         TAG_STATS => WireMsg::Stats,
         TAG_HELLO_OK => WireMsg::HelloOk { session: cur.u64()?, processor: cur.u64()? },
         TAG_INC_OK => WireMsg::IncOk { request_id: cur.u64()?, value: cur.u64()? },
+        TAG_BATCH_OK => {
+            WireMsg::BatchOk { request_id: cur.u64()?, first: cur.u64()?, count: cur.u64()? }
+        }
         TAG_STATS_OK => WireMsg::StatsOk(StatsSnapshot {
             processors: cur.u64()?,
             sessions: cur.u64()?,
@@ -297,6 +372,7 @@ pub fn decode(payload: &[u8]) -> Result<WireMsg, WireError> {
             ops: cur.u64()?,
             deduped: cur.u64()?,
             wire_errors: cur.u64()?,
+            combined_traversals: cur.u64()?,
             bottleneck: cur.u64()?,
             retirements: cur.u64()?,
         }),
@@ -367,6 +443,9 @@ mod tests {
         round_trip(WireMsg::Hello { resume: Some(42) });
         round_trip(WireMsg::Inc { request_id: 7, initiator: None });
         round_trip(WireMsg::Inc { request_id: u64::MAX, initiator: Some(80) });
+        round_trip(WireMsg::BatchInc { request_id: 11, count: 64, initiator: None });
+        round_trip(WireMsg::BatchInc { request_id: 12, count: 1, initiator: Some(3) });
+        round_trip(WireMsg::BatchOk { request_id: 11, first: 512, count: 64 });
         round_trip(WireMsg::Stats);
         round_trip(WireMsg::HelloOk { session: 3, processor: 17 });
         round_trip(WireMsg::IncOk { request_id: 9, value: 1234 });
@@ -377,11 +456,32 @@ mod tests {
             ops: 2000,
             deduped: 2,
             wire_errors: 1,
+            combined_traversals: 12,
             bottleneck: 55,
             retirements: 40,
         }));
         round_trip(WireMsg::Err { code: ErrCode::UnknownTag });
         round_trip(WireMsg::Err { code: ErrCode::Other(999) });
+    }
+
+    #[test]
+    fn a_reused_scratch_buffer_produces_identical_frames() {
+        let msgs = [
+            WireMsg::Inc { request_id: 1, initiator: Some(9) },
+            WireMsg::BatchInc { request_id: 2, count: 32, initiator: None },
+            WireMsg::StatsOk(StatsSnapshot::default()),
+            WireMsg::Hello { resume: None },
+        ];
+        let mut scratch = Vec::new();
+        for msg in &msgs {
+            let mut via_buf = Vec::new();
+            write_frame_buf(&mut via_buf, msg, &mut scratch).expect("write");
+            let mut via_alloc = Vec::new();
+            write_frame(&mut via_alloc, msg).expect("write");
+            assert_eq!(via_buf, via_alloc, "scratch path must match the allocating path");
+            let mut r = IoCursor::new(via_buf);
+            assert_eq!(&read_frame(&mut r).expect("read"), msg);
+        }
     }
 
     #[test]

@@ -18,7 +18,7 @@ use rand::{Rng, SeedableRng};
 /// named variants, so `Other` draws from the open range — the named
 /// codes are covered explicitly in `known_error_codes_round_trip`.
 fn arbitrary_msg(rng: &mut StdRng) -> WireMsg {
-    match rng.gen_range(0u32..7) {
+    match rng.gen_range(0u32..9) {
         0 => WireMsg::Hello { resume: rng.gen_bool(0.5).then(|| rng.gen()) },
         1 => {
             WireMsg::Inc { request_id: rng.gen(), initiator: rng.gen_bool(0.5).then(|| rng.gen()) }
@@ -33,9 +33,16 @@ fn arbitrary_msg(rng: &mut StdRng) -> WireMsg {
             ops: rng.gen(),
             deduped: rng.gen(),
             wire_errors: rng.gen(),
+            combined_traversals: rng.gen(),
             bottleneck: rng.gen(),
             retirements: rng.gen(),
         }),
+        6 => WireMsg::BatchInc {
+            request_id: rng.gen(),
+            count: rng.gen(),
+            initiator: rng.gen_bool(0.5).then(|| rng.gen()),
+        },
+        7 => WireMsg::BatchOk { request_id: rng.gen(), first: rng.gen(), count: rng.gen() },
         _ => WireMsg::Err { code: ErrCode::from_u16(rng.gen_range(8u16..=u16::MAX)) },
     }
 }

@@ -10,6 +10,7 @@
 //! ```text
 //! cargo run --release --bin loadgen -- --n 81 --conns 16 --ops 2000
 //! cargo run --release --bin loadgen -- --n 81 --conns 8 --ops 2000 --open 4000
+//! cargo run --release --bin loadgen -- --n 8 --conns 32 --ops 3200 --combine
 //! ```
 
 #![forbid(unsafe_code)]
@@ -37,10 +38,13 @@ struct Args {
     /// Backend for the hosted server: the real-threads tree, or the
     /// discrete-event simulator tree.
     sim: bool,
+    /// Serve the hosted backend through the flat-combining hot path
+    /// instead of the sequential ticketed one.
+    combine: bool,
 }
 
 const USAGE: &str = "usage: loadgen [--n N] [--conns C] [--ops OPS] [--open RATE] \
-                     [--addr HOST:PORT] [--cache CAP] [--sim]";
+                     [--addr HOST:PORT] [--cache CAP] [--sim] [--combine]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -51,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
         addr: None,
         cache: distctr::net::DEFAULT_REPLY_CACHE,
         sim: false,
+        combine: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -73,6 +78,7 @@ fn parse_args() -> Result<Args, String> {
                 args.cache = value("--cache")?.parse().map_err(|e| format!("--cache: {e}"))?;
             }
             "--sim" => args.sim = true,
+            "--combine" => args.combine = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -132,10 +138,13 @@ fn run(args: &Args) -> Result<bool, Box<dyn std::error::Error>> {
 }
 
 fn banner(args: &Args, backend_name: &str, addr: SocketAddr) {
-    let mode = match args.open {
+    let mut mode = match args.open {
         Some(rate) => format!("open loop @ {rate:.0} ops/s"),
         None => "closed loop".to_string(),
     };
+    if args.combine {
+        mode.push_str(", combining");
+    }
     println!(
         "loadgen: {mode}, {} conns x {} ops against {backend_name} at {addr}",
         args.conns, args.ops
@@ -151,7 +160,11 @@ fn hosted_run<B>(
 where
     B: distctr::core::CounterBackend + Send + 'static,
 {
-    let mut server = CounterServer::serve(backend)?;
+    let mut server = if args.combine {
+        CounterServer::serve_combining(backend)?
+    } else {
+        CounterServer::serve(backend)?
+    };
     banner(args, backend_name, server.local_addr());
 
     let report = run_load(server.local_addr(), cfg)?;
@@ -170,6 +183,7 @@ where
     t.row(vec!["ops served".into(), stats.ops.to_string()]);
     t.row(vec!["retries deduped".into(), stats.deduped.to_string()]);
     t.row(vec!["wire errors".into(), stats.wire_errors.to_string()]);
+    t.row(vec!["combined traversals".into(), stats.combined_traversals.to_string()]);
     t.row(vec!["bottleneck (max msg load)".into(), stats.bottleneck.to_string()]);
     t.row(vec!["retirements".into(), stats.retirements.to_string()]);
     println!("\n{}", t.render());
