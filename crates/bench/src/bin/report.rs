@@ -8,15 +8,18 @@
 //! report e1 e3 f4      # selected experiments only
 //! report --csv out/    # additionally export machine-readable CSV
 //! report e22 --smoke   # batching regression gate, tiny sizes
+//! report e23 --smoke   # chaos robustness gate, tiny sizes
 //! ```
 //!
 //! E22 additionally rewrites `BENCH_batching.json` in the working
 //! directory and exits nonzero if the combining path is slower than the
-//! sequential path at the highest measured concurrency.
+//! sequential path at the highest measured concurrency. E23 rewrites
+//! `BENCH_chaos.json` and exits nonzero if any chaos scenario loses
+//! exactness or availability.
 
 use distctr_bench::{
-    exp_ablation, exp_arrow, exp_backend, exp_batching, exp_bottleneck, exp_bound, exp_concurrent,
-    exp_hotspot, exp_lemmas, exp_linearizable, exp_serve, figures,
+    exp_ablation, exp_arrow, exp_backend, exp_batching, exp_bottleneck, exp_bound, exp_chaos,
+    exp_concurrent, exp_hotspot, exp_lemmas, exp_linearizable, exp_serve, figures,
 };
 
 struct Config {
@@ -163,6 +166,37 @@ fn main() {
             gate.sequential_ops_per_sec,
             gate.conns
         );
+    }
+
+    if wants(&cfg, "e23") || wants(&cfg, "exp_chaos") {
+        // The chaos gate is a robustness check, not a perf one: every
+        // scenario must stay exactly-once and fully available. Smoke
+        // shrinks the per-connection work, not the toxic grid.
+        let (conns, ops_per_conn) = if cfg.smoke {
+            (2, 8)
+        } else if cfg.quick {
+            (4, 25)
+        } else {
+            (8, 100)
+        };
+        let n = 8;
+        let rows = exp_chaos::e23_measure(n, conns, ops_per_conn, &exp_chaos::e23_scenarios());
+        println!("{}", exp_chaos::e23_render(n, &rows));
+        let json_path = std::path::Path::new("BENCH_chaos.json");
+        std::fs::write(json_path, exp_chaos::e23_json(n, conns, ops_per_conn, &rows))
+            .expect("write BENCH_chaos.json");
+        eprintln!("wrote {}", json_path.display());
+        for r in &rows {
+            assert!(
+                r.exact && (r.availability - 1.0).abs() < f64::EPSILON,
+                "robustness regression: scenario '{}' lost exactness or availability \
+                 ({} of {} ops failed, exact: {})",
+                r.scenario,
+                r.failed,
+                r.ops,
+                r.exact
+            );
+        }
     }
 
     if let Some(dir) = &cfg.csv_dir {

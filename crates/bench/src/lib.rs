@@ -21,6 +21,7 @@ pub mod exp_backend;
 pub mod exp_batching;
 pub mod exp_bottleneck;
 pub mod exp_bound;
+pub mod exp_chaos;
 pub mod exp_concurrent;
 pub mod exp_hotspot;
 pub mod exp_lemmas;

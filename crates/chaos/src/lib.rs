@@ -1,0 +1,44 @@
+//! # distctr-chaos
+//!
+//! An **in-process fault-injecting TCP proxy** — the adverse network
+//! the serving stack must survive, as a library. A [`ChaosProxy`] sits
+//! between clients and a `distctr-server` (or any TCP service),
+//! forwarding both directions of every connection through a chain of
+//! **toxics** described by a [`ChaosPlan`]:
+//!
+//! * [`Toxic::Latency`] — fixed delay plus uniform jitter per chunk;
+//! * [`Toxic::Throttle`] — bandwidth cap (bytes/second);
+//! * [`Toxic::Reset`] — abrupt connection cut after a byte budget;
+//! * [`Toxic::Blackhole`] — silent partition after a byte budget: the
+//!   connection stays open but nothing is delivered ever again;
+//! * [`Toxic::Slice`] — re-segmentation into tiny chunks with
+//!   inter-chunk gaps, so frames arrive torn across many reads;
+//! * [`Toxic::Corrupt`] — per-byte bit flips.
+//!
+//! The same `(seed, plan)` discipline as the simulator's `FaultPlan`
+//! applies: every random decision (jitter draws, flip positions, chunk
+//! sizes) comes from a deterministic per-connection, per-direction
+//! stream derived from [`ChaosPlan::seed`], so a failing chaos run
+//! replays byte-for-byte identically given the same connection order.
+//!
+//! ```no_run
+//! use distctr_chaos::{ChaosPlan, ChaosProxy};
+//! use std::time::Duration;
+//!
+//! let plan = ChaosPlan::new(42)
+//!     .latency(Duration::from_millis(2), Duration::from_millis(3))
+//!     .corrupt(0.001);
+//! let server_addr = "127.0.0.1:9000".parse().unwrap();
+//! let mut proxy = ChaosProxy::start(server_addr, plan).unwrap();
+//! // point clients at proxy.local_addr() instead of the server ...
+//! proxy.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod plan;
+pub mod proxy;
+
+pub use plan::{ChaosPlan, Toxic};
+pub use proxy::{ChaosProxy, ChaosStats};

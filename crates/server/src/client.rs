@@ -6,11 +6,16 @@
 //! `ThreadedTreeCounter` — tests, experiments, the load generator — can
 //! drive a counter on the other end of a socket unchanged.
 //!
-//! Reconnect-and-retry is first-class: [`RemoteCounter::session`] is the
-//! resume token, and [`RemoteCounter::inc_with_id`] replays a request id
-//! after [`RemoteCounter::resume`], landing on the server's dedup state
-//! so the increment applies exactly once no matter how many times the
-//! connection died.
+//! Reconnect-and-retry is first-class **and automatic**: every
+//! operation runs under the client's [`RetryPolicy`]. A transport
+//! failure mid-operation makes the client resume its session
+//! ([`RemoteCounter::session`] is the token) and replay the *same*
+//! request id, landing on the server's dedup state so the increment
+//! applies exactly once no matter how many times the connection died. A
+//! [`WireMsg::Busy`] load-shed reply makes it back off for the server's
+//! `retry_after_ms` hint (plus jitter) before retrying. The manual
+//! hooks ([`RemoteCounter::resume`], [`RemoteCounter::inc_with_id`])
+//! remain for callers orchestrating their own recovery.
 
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -18,12 +23,156 @@ use std::time::Duration;
 use distctr_core::CounterBackend;
 use distctr_sim::ProcessorId;
 
-use crate::error::ServerError;
+use crate::error::{ErrCode, ServerError};
 use crate::wire::{read_frame, write_frame, write_frame_buf, StatsSnapshot, WireMsg};
 
-/// Client-side guard against a wedged server: every reply must arrive
-/// within this window.
-const REPLY_TIMEOUT: Duration = Duration::from_secs(10);
+/// Jittered-exponential-backoff retry budget: how a [`RemoteCounter`]
+/// turns transient failures (dead connections, corrupted frames,
+/// [`WireMsg::Busy`] load sheds, backend hiccups) into delay instead of
+/// errors. Exactly-once is preserved across every retry because the
+/// replay carries the original request id into the server's dedup
+/// state.
+///
+/// The backoff before retry `n` is drawn uniformly from
+/// `[d/2, d]` where `d = min(base_backoff · 2ⁿ, max_backoff)` —
+/// "equal jitter", which decorrelates a thundering herd of clients
+/// shed at the same instant. A `Busy { retry_after_ms }` reply
+/// overrides the exponential base with the server's hint (still
+/// jittered).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries allowed per operation beyond the first attempt; `0`
+    /// disables retrying entirely.
+    pub max_retries: u32,
+    /// First-retry backoff; doubles each retry.
+    pub base_backoff: Duration,
+    /// Ceiling on any single backoff.
+    pub max_backoff: Duration,
+    /// Seed of the jitter stream, so a test run's delays are
+    /// reproducible.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 8,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+            seed: 0x5DEE_CE66_D5DE_ECE6,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries: every failure surfaces immediately,
+    /// exactly as the pre-policy client behaved.
+    #[must_use]
+    pub fn none() -> Self {
+        RetryPolicy { max_retries: 0, ..RetryPolicy::default() }
+    }
+
+    /// The default policy with a different retry budget.
+    #[must_use]
+    pub fn with_budget(max_retries: u32) -> Self {
+        RetryPolicy { max_retries, ..RetryPolicy::default() }
+    }
+
+    /// The backoff before retry number `attempt` (0-based), honoring a
+    /// server `retry_after_ms` hint when one was given.
+    fn backoff(&self, attempt: u32, hint_ms: Option<u64>, rng: &mut u64) -> Duration {
+        let base = match hint_ms {
+            Some(ms) => Duration::from_millis(ms),
+            None => self.base_backoff.saturating_mul(1u32 << attempt.min(16)),
+        };
+        let nanos = base.min(self.max_backoff).as_nanos() as u64;
+        if nanos == 0 {
+            return Duration::ZERO;
+        }
+        let half = nanos / 2;
+        Duration::from_nanos(half + xorshift(rng) % (nanos - half + 1))
+    }
+}
+
+/// One step of xorshift64 — all the randomness jitter needs, with no
+/// dependency and reproducible from [`RetryPolicy::seed`].
+fn xorshift(state: &mut u64) -> u64 {
+    if *state == 0 {
+        *state = 0x9E37_79B9_7F4A_7C15;
+    }
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Tunable knobs of a [`RemoteCounter`]. The default reproduces the
+/// historical timeout (10 s) and adds an 8-retry policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Client-side guard against a wedged server: every reply must
+    /// arrive within this window.
+    pub reply_timeout: Duration,
+    /// How failures are retried; [`RetryPolicy::none`] restores
+    /// fail-fast behavior.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig { reply_timeout: Duration::from_secs(10), retry: RetryPolicy::default() }
+    }
+}
+
+/// Whether an error is worth retrying: transient transport, overload
+/// and backend failures are; protocol refusals (bad initiator, unknown
+/// session, malformed request) never change on retry.
+fn retryable(e: &ServerError) -> bool {
+    match e {
+        ServerError::Wire(_) | ServerError::Io(_) | ServerError::Busy { .. } => true,
+        // Decode-failure codes (`Corrupt`, `Oversized`, `UnknownTag`,
+        // `Malformed`) mean the server could not parse what arrived —
+        // on a damaged network that is the *transport's* fault, not a
+        // protocol bug, so the request is replayed on a fresh
+        // connection. A genuinely broken client is still bounded by
+        // the retry budget.
+        ServerError::Remote(code) => matches!(
+            code,
+            ErrCode::Backend
+                | ErrCode::Corrupt
+                | ErrCode::Oversized
+                | ErrCode::UnknownTag
+                | ErrCode::Malformed
+        ),
+        _ => false,
+    }
+}
+
+/// Whether the connection must be re-established before retrying.
+/// `Busy` and backend errors leave the stream framed and healthy; any
+/// codec or transport failure — reported locally (`Wire`/`Io`) or by
+/// the server (a decode-failure code, after which the server closes) —
+/// means the stream position can no longer be trusted.
+fn needs_reconnect(e: &ServerError) -> bool {
+    matches!(
+        e,
+        ServerError::Wire(_)
+            | ServerError::Io(_)
+            | ServerError::Remote(
+                ErrCode::Corrupt | ErrCode::Oversized | ErrCode::UnknownTag | ErrCode::Malformed
+            )
+    )
+}
+
+/// The server's backoff hint, if the failure carried one.
+fn busy_hint(e: &ServerError) -> Option<u64> {
+    match e {
+        ServerError::Busy { retry_after_ms } => Some(*retry_after_ms),
+        _ => None,
+    }
+}
 
 /// A counter served over TCP.
 ///
@@ -51,6 +200,9 @@ pub struct RemoteCounter {
     processor: u64,
     processors: u64,
     next_request: u64,
+    config: ClientConfig,
+    /// Jitter stream state (see [`RetryPolicy::seed`]).
+    rng: u64,
     /// Reused frame-encoding buffer: a long-lived client sends every
     /// request without a per-message allocation.
     scratch: Vec<u8>,
@@ -58,15 +210,28 @@ pub struct RemoteCounter {
 
 impl RemoteCounter {
     /// Connects to a [`crate::CounterServer`] at `addr` and opens a
-    /// fresh session.
+    /// fresh session, with [`ClientConfig::default`] knobs.
     ///
     /// # Errors
     ///
     /// [`ServerError::Io`] on connect failure; [`ServerError::Wire`],
     /// [`ServerError::Remote`] or [`ServerError::Protocol`] on a failed
-    /// handshake.
+    /// handshake; [`ServerError::Busy`] (possibly wrapped in
+    /// [`ServerError::RetriesExhausted`]) if the server keeps shedding.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServerError> {
-        Self::handshake(addr, None)
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// [`RemoteCounter::connect`] with explicit knobs.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RemoteCounter::connect`].
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+    ) -> Result<Self, ServerError> {
+        Self::handshake_retrying(addr, None, config)
     }
 
     /// Reconnects to `addr` and resumes session `session` (from
@@ -79,33 +244,144 @@ impl RemoteCounter {
     /// [`ServerError::Remote`] with `UnknownSession` if the server does
     /// not know the session.
     pub fn resume(addr: impl ToSocketAddrs, session: u64) -> Result<Self, ServerError> {
-        Self::handshake(addr, Some(session))
+        Self::handshake_retrying(addr, Some(session), ClientConfig::default())
     }
 
-    fn handshake(addr: impl ToSocketAddrs, resume: Option<u64>) -> Result<Self, ServerError> {
-        let stream = TcpStream::connect(addr).map_err(|e| ServerError::Io(e.to_string()))?;
-        stream.set_nodelay(true).map_err(|e| ServerError::Io(e.to_string()))?;
-        stream.set_read_timeout(Some(REPLY_TIMEOUT)).map_err(|e| ServerError::Io(e.to_string()))?;
+    /// [`RemoteCounter::resume`] with explicit knobs.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RemoteCounter::resume`].
+    pub fn resume_with(
+        addr: impl ToSocketAddrs,
+        session: u64,
+        config: ClientConfig,
+    ) -> Result<Self, ServerError> {
+        Self::handshake_retrying(addr, Some(session), config)
+    }
+
+    /// Connect-and-handshake under the retry policy: a server that
+    /// sheds the connection with `Busy` (draining, or at its admission
+    /// cap) is retried after its hint, like any shed operation.
+    fn handshake_retrying(
+        addr: impl ToSocketAddrs,
+        resume: Option<u64>,
+        config: ClientConfig,
+    ) -> Result<Self, ServerError> {
+        let mut rng = config.retry.seed;
+        let mut attempt = 0u32;
+        loop {
+            let e = match Self::handshake(&addr, resume, &config) {
+                Ok(mut counter) => {
+                    counter.rng = rng;
+                    return Ok(counter);
+                }
+                Err(e) => e,
+            };
+            if !retryable(&e) {
+                return Err(e);
+            }
+            if attempt >= config.retry.max_retries {
+                return if config.retry.max_retries == 0 {
+                    Err(e)
+                } else {
+                    Err(ServerError::RetriesExhausted(Box::new(e)))
+                };
+            }
+            std::thread::sleep(config.retry.backoff(attempt, busy_hint(&e), &mut rng));
+            attempt += 1;
+        }
+    }
+
+    /// One handshake attempt, no retries.
+    fn handshake(
+        addr: impl ToSocketAddrs,
+        resume: Option<u64>,
+        config: &ClientConfig,
+    ) -> Result<Self, ServerError> {
+        let (stream, session, processor) = Self::dial(&addr, resume, config)?;
         let addr = stream.peer_addr().map_err(|e| ServerError::Io(e.to_string()))?;
         let mut counter = RemoteCounter {
             stream,
             addr,
-            session: 0,
-            processor: 0,
+            session,
+            processor,
             processors: 0,
             next_request: 0,
+            rng: config.retry.seed,
+            config: config.clone(),
             scratch: Vec::with_capacity(64),
         };
-        counter.send(&WireMsg::Hello { resume })?;
-        match counter.receive()? {
-            WireMsg::HelloOk { session, processor } => {
-                counter.session = session;
-                counter.processor = processor;
-            }
-            other => return Err(unexpected(&other)),
-        }
         counter.processors = counter.stats()?.processors;
         Ok(counter)
+    }
+
+    /// Dials the server and completes the Hello exchange, returning the
+    /// raw pieces — shared by first connects and mid-operation
+    /// reconnects.
+    fn dial(
+        addr: impl ToSocketAddrs,
+        resume: Option<u64>,
+        config: &ClientConfig,
+    ) -> Result<(TcpStream, u64, u64), ServerError> {
+        let mut stream = TcpStream::connect(addr).map_err(|e| ServerError::Io(e.to_string()))?;
+        stream.set_nodelay(true).map_err(|e| ServerError::Io(e.to_string()))?;
+        stream
+            .set_read_timeout(Some(config.reply_timeout))
+            .map_err(|e| ServerError::Io(e.to_string()))?;
+        write_frame(&mut stream, &WireMsg::Hello { resume })?;
+        match read_frame(&mut stream)? {
+            WireMsg::HelloOk { session, processor } => Ok((stream, session, processor)),
+            WireMsg::Busy { retry_after_ms } => Err(ServerError::Busy { retry_after_ms }),
+            WireMsg::Err { code } => Err(ServerError::Remote(code)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Re-establishes the connection and resumes this session, keeping
+    /// the server-side dedup state the retry loop replays into.
+    fn reconnect(&mut self) -> Result<(), ServerError> {
+        let (stream, session, processor) = Self::dial(self.addr, Some(self.session), &self.config)?;
+        self.stream = stream;
+        self.session = session;
+        self.processor = processor;
+        Ok(())
+    }
+
+    /// Runs one operation under the retry policy: backoff on transient
+    /// failures (honoring `Busy` hints), resume the session when the
+    /// transport died, and replay the same request — then report
+    /// [`ServerError::RetriesExhausted`] once the budget is spent.
+    fn with_retry<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Self) -> Result<T, ServerError>,
+    ) -> Result<T, ServerError> {
+        let mut attempt = 0u32;
+        loop {
+            let e = match op(self) {
+                Ok(v) => return Ok(v),
+                Err(e) => e,
+            };
+            if !retryable(&e) {
+                return Err(e);
+            }
+            if attempt >= self.config.retry.max_retries {
+                return if self.config.retry.max_retries == 0 {
+                    Err(e)
+                } else {
+                    Err(ServerError::RetriesExhausted(Box::new(e)))
+                };
+            }
+            let delay = self.config.retry.backoff(attempt, busy_hint(&e), &mut self.rng);
+            std::thread::sleep(delay);
+            if needs_reconnect(&e) {
+                // Best-effort: if the redial fails, the next attempt of
+                // `op` surfaces a fresh transport error and the loop
+                // charges another attempt against the budget.
+                let _ = self.reconnect();
+            }
+            attempt += 1;
+        }
     }
 
     /// The session id — the resume token for [`RemoteCounter::resume`].
@@ -127,6 +403,12 @@ impl RemoteCounter {
         self.addr
     }
 
+    /// The knobs this client runs under.
+    #[must_use]
+    pub fn config(&self) -> &ClientConfig {
+        &self.config
+    }
+
     /// Request ids handed out so far; `next_request_id - 1` is the id of
     /// the operation in flight when a connection dies mid-`inc`, which is
     /// what [`RemoteCounter::inc_with_id`] replays after a resume.
@@ -135,12 +417,13 @@ impl RemoteCounter {
         self.next_request
     }
 
-    /// Executes one `inc` charged to the session's processor.
+    /// Executes one `inc` charged to the session's processor, retrying
+    /// per the [`RetryPolicy`].
     ///
     /// # Errors
     ///
-    /// [`ServerError::Wire`] on transport failure (resume and replay to
-    /// retry); [`ServerError::Remote`] if the server reports one.
+    /// [`ServerError::Wire`] on transport failure once retries are
+    /// spent; [`ServerError::Remote`] if the server reports one.
     pub fn inc(&mut self) -> Result<u64, ServerError> {
         let request_id = self.next_request;
         self.next_request += 1;
@@ -160,8 +443,9 @@ impl RemoteCounter {
     }
 
     /// Executes (or replays) an `inc` under an explicit request id: the
-    /// exactly-once retry hook. Replaying an id the server has seen is
-    /// answered from its dedup state without incrementing again.
+    /// exactly-once retry hook, itself run under the retry policy.
+    /// Replaying an id the server has seen is answered from its dedup
+    /// state without incrementing again.
     ///
     /// # Errors
     ///
@@ -172,6 +456,10 @@ impl RemoteCounter {
         initiator: Option<u64>,
     ) -> Result<u64, ServerError> {
         self.next_request = self.next_request.max(request_id + 1);
+        self.with_retry(|c| c.raw_inc(request_id, initiator))
+    }
+
+    fn raw_inc(&mut self, request_id: u64, initiator: Option<u64>) -> Result<u64, ServerError> {
         self.send(&WireMsg::Inc { request_id, initiator })?;
         match self.receive()? {
             WireMsg::IncOk { request_id: rid, value } if rid == request_id => Ok(value),
@@ -209,6 +497,15 @@ impl RemoteCounter {
         initiator: Option<u64>,
     ) -> Result<u64, ServerError> {
         self.next_request = self.next_request.max(request_id + 1);
+        self.with_retry(|c| c.raw_inc_batch(request_id, count, initiator))
+    }
+
+    fn raw_inc_batch(
+        &mut self,
+        request_id: u64,
+        count: u64,
+        initiator: Option<u64>,
+    ) -> Result<u64, ServerError> {
         self.send(&WireMsg::BatchInc { request_id, count, initiator })?;
         match self.receive()? {
             WireMsg::BatchOk { request_id: rid, first, .. } if rid == request_id => Ok(first),
@@ -251,6 +548,7 @@ impl RemoteCounter {
     fn receive(&mut self) -> Result<WireMsg, ServerError> {
         match read_frame(&mut self.stream)? {
             WireMsg::Err { code } => Err(ServerError::Remote(code)),
+            WireMsg::Busy { retry_after_ms } => Err(ServerError::Busy { retry_after_ms }),
             msg => Ok(msg),
         }
     }
@@ -259,6 +557,7 @@ impl RemoteCounter {
 fn unexpected(msg: &WireMsg) -> ServerError {
     match msg {
         WireMsg::Err { code } => ServerError::Remote(*code),
+        WireMsg::Busy { retry_after_ms } => ServerError::Busy { retry_after_ms: *retry_after_ms },
         other => ServerError::Protocol(format!("unexpected frame {other:?}")),
     }
 }

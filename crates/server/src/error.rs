@@ -25,6 +25,9 @@ pub enum ErrCode {
     BadInitiator,
     /// The hosted backend failed the operation (timeout, lost peer).
     Backend,
+    /// A frame arrived whose payload failed its CRC-32: corrupted in
+    /// transit. The connection is desynchronized; retry on a fresh one.
+    Corrupt,
     /// A code this client build does not know (forward compatibility).
     Other(u16),
 }
@@ -41,6 +44,7 @@ impl ErrCode {
             ErrCode::UnknownSession => 5,
             ErrCode::BadInitiator => 6,
             ErrCode::Backend => 7,
+            ErrCode::Corrupt => 8,
             ErrCode::Other(c) => c,
         }
     }
@@ -57,6 +61,7 @@ impl ErrCode {
             5 => ErrCode::UnknownSession,
             6 => ErrCode::BadInitiator,
             7 => ErrCode::Backend,
+            8 => ErrCode::Corrupt,
             other => ErrCode::Other(other),
         }
     }
@@ -72,6 +77,7 @@ impl fmt::Display for ErrCode {
             ErrCode::UnknownSession => write!(f, "unknown session"),
             ErrCode::BadInitiator => write!(f, "initiator out of range"),
             ErrCode::Backend => write!(f, "backend failure"),
+            ErrCode::Corrupt => write!(f, "frame failed its checksum"),
             ErrCode::Other(c) => write!(f, "unknown error code {c}"),
         }
     }
@@ -95,6 +101,19 @@ pub enum ServerError {
     Io(String),
     /// Constructing the hosted backend failed.
     Backend(String),
+    /// The server shed the request or connection under overload; back
+    /// off for the carried hint and retry (the request was not applied,
+    /// so the retry stays exactly-once). [`crate::RetryPolicy`] honors
+    /// the hint automatically.
+    Busy {
+        /// The server's backoff hint, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The retry budget was exhausted without a definitive answer; the
+    /// wrapped error is the last attempt's failure. The operation may
+    /// or may not have been applied server-side — only a successful
+    /// replay of the same request id can tell.
+    RetriesExhausted(Box<ServerError>),
     /// The server (or client) was already shut down.
     ShutDown,
 }
@@ -107,6 +126,12 @@ impl fmt::Display for ServerError {
             ServerError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
             ServerError::Io(msg) => write!(f, "socket failure: {msg}"),
             ServerError::Backend(msg) => write!(f, "backend failure: {msg}"),
+            ServerError::Busy { retry_after_ms } => {
+                write!(f, "server busy, retry after {retry_after_ms} ms")
+            }
+            ServerError::RetriesExhausted(last) => {
+                write!(f, "retry budget exhausted; last failure: {last}")
+            }
             ServerError::ShutDown => write!(f, "service has been shut down"),
         }
     }
@@ -116,6 +141,7 @@ impl Error for ServerError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ServerError::Wire(e) => Some(e),
+            ServerError::RetriesExhausted(e) => Some(e),
             _ => None,
         }
     }
@@ -141,6 +167,7 @@ mod tests {
             ErrCode::UnknownSession,
             ErrCode::BadInitiator,
             ErrCode::Backend,
+            ErrCode::Corrupt,
             ErrCode::Other(4242),
         ] {
             assert_eq!(ErrCode::from_u16(code.as_u16()), code);

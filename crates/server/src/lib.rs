@@ -52,8 +52,8 @@ pub mod load;
 pub mod server;
 pub mod wire;
 
-pub use client::RemoteCounter;
+pub use client::{ClientConfig, RemoteCounter, RetryPolicy};
 pub use error::{ErrCode, ServerError};
 pub use load::{run_load, ConnReport, LoadConfig, LoadMode, LoadReport};
-pub use server::{CounterServer, DEDUP_WINDOW};
+pub use server::{CounterServer, ServerConfig, DEDUP_WINDOW};
 pub use wire::{StatsSnapshot, WireError, WireMsg, MAX_FRAME};

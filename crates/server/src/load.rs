@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 
 use distctr_analysis::{percentile, Histogram, Table};
 
-use crate::client::RemoteCounter;
+use crate::client::{ClientConfig, RemoteCounter};
 use crate::error::ServerError;
 use crate::wire::{read_frame, write_frame, write_frame_buf, WireMsg};
 
@@ -47,19 +47,29 @@ pub struct LoadConfig {
     pub ops: usize,
     /// Driving discipline.
     pub mode: LoadMode,
+    /// Knobs (timeout, retry policy) for the closed-loop clients —
+    /// chaos runs shrink the budget so a dead path gives up quickly.
+    pub client: ClientConfig,
 }
 
 impl LoadConfig {
     /// A closed-loop run.
     #[must_use]
     pub fn closed(conns: usize, ops: usize) -> Self {
-        LoadConfig { conns, ops, mode: LoadMode::Closed }
+        LoadConfig { conns, ops, mode: LoadMode::Closed, client: ClientConfig::default() }
     }
 
     /// An open-loop run at `rate` total operations/second.
     #[must_use]
     pub fn open(conns: usize, ops: usize, rate: f64) -> Self {
-        LoadConfig { conns, ops, mode: LoadMode::Open { rate } }
+        LoadConfig { conns, ops, mode: LoadMode::Open { rate }, client: ClientConfig::default() }
+    }
+
+    /// The same run with explicit client knobs.
+    #[must_use]
+    pub fn with_client(mut self, client: ClientConfig) -> Self {
+        self.client = client;
+        self
     }
 }
 
@@ -77,6 +87,10 @@ pub struct ConnReport {
 pub struct LoadReport {
     /// Operations completed.
     pub ops: usize,
+    /// Operations that failed for good — the client's whole retry
+    /// budget was spent without an ack (closed loop only; an open-loop
+    /// run aborts on its first failure instead).
+    pub failed: usize,
     /// Wall-clock duration of the whole run.
     pub wall: Duration,
     /// The rate the run *asked* for (open-loop injection schedule), in
@@ -124,6 +138,19 @@ impl LoadReport {
         self.latencies_us.last().copied().unwrap_or(0)
     }
 
+    /// The fraction of attempted operations that were acked:
+    /// `ops / (ops + failed)`, `1.0` for an empty run. Under chaos this
+    /// is the availability headline; correctness of what *was* acked is
+    /// [`LoadReport::values_are_distinct`].
+    #[must_use]
+    pub fn availability(&self) -> f64 {
+        let attempted = self.ops + self.failed;
+        if attempted == 0 {
+            return 1.0;
+        }
+        self.ops as f64 / attempted as f64
+    }
+
     /// Whether the values handed out across *all* connections are
     /// exactly `start..start + ops` — the distributed counter's
     /// correctness condition, observed from outside the service
@@ -134,12 +161,25 @@ impl LoadReport {
             && self.values.iter().enumerate().all(|(i, &v)| v == start + i as u64)
     }
 
+    /// Whether no counter value was acked twice — the exactly-once
+    /// half that must survive even runs where some operations failed
+    /// (shed or timed out), when the acked set is no longer contiguous.
+    #[must_use]
+    pub fn values_are_distinct(&self) -> bool {
+        // `values` is sorted ascending, so duplicates are adjacent.
+        self.values.windows(2).all(|w| w[0] != w[1])
+    }
+
     /// Renders the throughput summary and the latency histogram.
     #[must_use]
     pub fn render(&self) -> String {
         let mut out = String::new();
         let mut t = Table::new(vec!["metric", "value"]);
         t.row(vec!["operations".into(), self.ops.to_string()]);
+        if self.failed > 0 {
+            t.row(vec!["failed".into(), self.failed.to_string()]);
+            t.row(vec!["availability".into(), format!("{:.4}", self.availability())]);
+        }
         t.row(vec!["wall time".into(), format!("{:.3} s", self.wall.as_secs_f64())]);
         if let Some(offered) = self.offered_rate {
             t.row(vec!["offered rate".into(), format!("{offered:.0} ops/s")]);
@@ -178,11 +218,12 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> Result<LoadReport, Server
         let ops = cfg.ops / cfg.conns + usize::from(conn < cfg.ops % cfg.conns);
         let mode = cfg.mode;
         let conns = cfg.conns;
+        let client = cfg.client.clone();
         handles.push(
             std::thread::Builder::new()
                 .name(format!("loadgen-c{conn}"))
                 .spawn(move || match mode {
-                    LoadMode::Closed => drive_closed(addr, ops),
+                    LoadMode::Closed => drive_closed(addr, ops, &client),
                     LoadMode::Open { rate } => drive_open(addr, ops, rate / conns as f64),
                 })
                 .map_err(|e| ServerError::Io(e.to_string()))?,
@@ -191,15 +232,17 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> Result<LoadReport, Server
     let mut latencies = Vec::with_capacity(cfg.ops);
     let mut values = Vec::with_capacity(cfg.ops);
     let mut per_conn = Vec::with_capacity(cfg.conns);
+    let mut failed = 0;
     let mut first_error = None;
     for handle in handles {
         match handle.join() {
             Ok(Ok(conn_result)) => {
                 per_conn.push(ConnReport {
-                    ops: conn_result.len(),
-                    max_us: conn_result.iter().map(|&(_, lat)| lat).max().unwrap_or(0),
+                    ops: conn_result.acked.len(),
+                    max_us: conn_result.acked.iter().map(|&(_, lat)| lat).max().unwrap_or(0),
                 });
-                for (value, lat_us) in conn_result {
+                failed += conn_result.failed;
+                for (value, lat_us) in conn_result.acked {
                     values.push(value);
                     latencies.push(lat_us);
                 }
@@ -223,6 +266,7 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> Result<LoadReport, Server
     };
     Ok(LoadReport {
         ops: values.len(),
+        failed,
         wall,
         offered_rate,
         latencies_us: latencies,
@@ -231,14 +275,30 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> Result<LoadReport, Server
     })
 }
 
-/// One closed-loop connection: `(value, latency_us)` per operation.
-fn drive_closed(addr: SocketAddr, ops: usize) -> Result<Vec<(u64, u64)>, ServerError> {
-    let mut client = RemoteCounter::connect(addr)?;
-    let mut out = Vec::with_capacity(ops);
+/// One connection's outcome: acked `(value, latency_us)` pairs plus the
+/// count of operations whose retry budget ran dry.
+struct ConnOutcome {
+    acked: Vec<(u64, u64)>,
+    failed: usize,
+}
+
+/// One closed-loop connection. Operation failures (retry budget spent)
+/// are *counted*, not fatal: under chaos a connection keeps driving the
+/// ops that remain, and availability is reported from the split. Only a
+/// failed initial connect aborts the run.
+fn drive_closed(
+    addr: SocketAddr,
+    ops: usize,
+    config: &ClientConfig,
+) -> Result<ConnOutcome, ServerError> {
+    let mut client = RemoteCounter::connect_with(addr, config.clone())?;
+    let mut out = ConnOutcome { acked: Vec::with_capacity(ops), failed: 0 };
     for _ in 0..ops {
         let t0 = Instant::now();
-        let value = client.inc()?;
-        out.push((value, t0.elapsed().as_micros() as u64));
+        match client.inc() {
+            Ok(value) => out.acked.push((value, t0.elapsed().as_micros() as u64)),
+            Err(_) => out.failed += 1,
+        }
     }
     Ok(out)
 }
@@ -246,7 +306,7 @@ fn drive_closed(addr: SocketAddr, ops: usize) -> Result<Vec<(u64, u64)>, ServerE
 /// One open-loop connection at `rate` operations/second: requests go out
 /// on schedule over a pipelined socket while a reader half collects the
 /// replies; latency is completion minus *scheduled* injection.
-fn drive_open(addr: SocketAddr, ops: usize, rate: f64) -> Result<Vec<(u64, u64)>, ServerError> {
+fn drive_open(addr: SocketAddr, ops: usize, rate: f64) -> Result<ConnOutcome, ServerError> {
     assert!(rate > 0.0, "open-loop rate must be positive");
     let stream = TcpStream::connect(addr).map_err(|e| ServerError::Io(e.to_string()))?;
     stream.set_nodelay(true).map_err(|e| ServerError::Io(e.to_string()))?;
@@ -297,7 +357,9 @@ fn drive_open(addr: SocketAddr, ops: usize, rate: f64) -> Result<Vec<(u64, u64)>
             &mut scratch,
         )?;
     }
-    collector.join().map_err(|_| ServerError::Io("the reader thread panicked".into()))?
+    let acked =
+        collector.join().map_err(|_| ServerError::Io("the reader thread panicked".into()))??;
+    Ok(ConnOutcome { acked, failed: 0 })
 }
 
 #[cfg(test)]
@@ -308,6 +370,7 @@ mod tests {
         let ops = values.len();
         LoadReport {
             ops,
+            failed: 0,
             wall: Duration::from_millis(100),
             offered_rate: None,
             latencies_us: latencies,
@@ -340,6 +403,20 @@ mod tests {
         assert!(s.contains("throughput"));
         assert!(s.contains("p99 latency"));
         assert!(s.contains('#'), "histogram bars present");
+    }
+
+    #[test]
+    fn availability_and_distinctness_track_partial_runs() {
+        let mut r = report(vec![1, 2, 3], vec![0, 4, 9]);
+        assert!(r.values_are_distinct(), "gaps are fine, duplicates are not");
+        assert!(!r.values_are_sequential_from(0), "a gappy run is not sequential");
+        assert!((r.availability() - 1.0).abs() < 1e-9);
+        r.failed = 1;
+        assert!((r.availability() - 0.75).abs() < 1e-9, "3 acked of 4 attempted");
+        assert!(r.render().contains("availability"));
+        let dup = report(vec![1, 2, 3], vec![0, 4, 4]);
+        assert!(!dup.values_are_distinct(), "an acked value handed out twice");
+        assert!((report(Vec::new(), Vec::new()).availability() - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -31,14 +31,39 @@
 //! The counter stays exact — values are a contiguous range partitioned
 //! in queue order — while the backend sees one traversal where the
 //! sequential path saw `m`.
+//!
+//! # Overload and failure containment
+//!
+//! [`ServerConfig`] adds the controls a server needs once the network
+//! in front of it turns adversarial (see `distctr-chaos`):
+//!
+//! * **admission control** — past [`ServerConfig::max_conns`] active
+//!   connections, or past [`ServerConfig::max_inflight_per_conn`]
+//!   queued incs on one connection, the server *sheds*: it answers
+//!   [`WireMsg::Busy`] with a retry-after hint instead of queueing
+//!   without bound. Nothing shed is applied, so a retry of the same
+//!   request id stays exactly-once.
+//! * **per-request deadlines** — a queued inc older than
+//!   [`ServerConfig::request_deadline`] is shed rather than served into
+//!   a reply the client has long stopped waiting for.
+//! * **graceful drain** — [`CounterServer::drain`] stops admitting,
+//!   lets every in-flight request finish and flushes its reply, then
+//!   closes. An acked operation is never lost; a never-received one was
+//!   never acked, so the client's replay on another server stays sound.
+//! * **panic containment** — a panicking backend call (combining round
+//!   or sequential) is caught, counted in
+//!   [`crate::StatsSnapshot::panics_contained`], and turned into
+//!   `Err { Backend }` replies that make the clients retry; the mutex
+//!   poisoning that used to kill every later request is recovered.
 
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use distctr_core::CounterBackend;
 use distctr_sim::ProcessorId;
@@ -50,12 +75,49 @@ use crate::wire::{read_frame, write_frame, write_frame_buf, StatsSnapshot, WireE
 /// remembers for exactly-once retries.
 pub const DEDUP_WINDOW: usize = 256;
 
-/// How often blocked reads poll the shutdown flag.
-const POLL: Duration = Duration::from_millis(50);
+/// Tunable knobs of a [`CounterServer`]. [`ServerConfig::default`]
+/// reproduces the historical behavior exactly (no admission limits, no
+/// deadlines); chaos tests and operators override what they need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// How often blocked reads poll the shutdown/drain flags, and the
+    /// accept loop's reap tick: every interval, finished connection
+    /// handles are reaped even if no new connection ever arrives.
+    pub poll: Duration,
+    /// How long the idle combiner thread parks between shutdown-flag
+    /// checks when no increments are queued.
+    pub combine_idle: Duration,
+    /// Active-connection cap; connections beyond it are answered
+    /// [`WireMsg::Busy`] and closed. `None` admits everything.
+    pub max_conns: Option<usize>,
+    /// Combining mode: the most incs one connection may have queued
+    /// before further ones are shed with [`WireMsg::Busy`]. `None`
+    /// queues without bound.
+    pub max_inflight_per_conn: Option<usize>,
+    /// Combining mode: a queued inc older than this is shed with
+    /// [`WireMsg::Busy`] instead of served. `None` disables deadlines.
+    pub request_deadline: Option<Duration>,
+    /// The backoff hint carried by every [`WireMsg::Busy`] this server
+    /// sends.
+    pub busy_retry_after: Duration,
+    /// How long [`CounterServer::drain`] waits for connections to go
+    /// idle before falling back to a hard stop.
+    pub drain_grace: Duration,
+}
 
-/// How long the idle combiner thread parks between shutdown-flag
-/// checks when no increments are queued.
-const COMBINE_IDLE: Duration = Duration::from_millis(25);
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            poll: Duration::from_millis(50),
+            combine_idle: Duration::from_millis(25),
+            max_conns: None,
+            max_inflight_per_conn: None,
+            request_deadline: None,
+            busy_retry_after: Duration::from_millis(50),
+            drain_grace: Duration::from_secs(5),
+        }
+    }
+}
 
 /// Dedup state and accounting of one client session.
 #[derive(Debug, Default)]
@@ -104,6 +166,8 @@ struct Counters {
     deduped: AtomicU64,
     wire_errors: AtomicU64,
     combined_traversals: AtomicU64,
+    shed: AtomicU64,
+    panics_contained: AtomicU64,
 }
 
 /// The write half of one connection: the stream plus its reusable
@@ -131,8 +195,13 @@ struct PendingInc {
     session_id: u64,
     request_id: u64,
     initiator: Option<u64>,
+    /// When the reader enqueued it, for [`ServerConfig::request_deadline`].
+    enqueued_at: Instant,
     /// The connection the combiner writes this waiter's reply to.
     writer: Arc<Mutex<ConnWriter>>,
+    /// The connection's in-flight count, decremented when the reply is
+    /// delivered (backs [`ServerConfig::max_inflight_per_conn`]).
+    inflight: Arc<AtomicUsize>,
 }
 
 /// Work queue and wakeup for the dedicated combiner thread.
@@ -144,16 +213,47 @@ struct CombineState {
 struct Shared<B> {
     inner: Mutex<Inner<B>>,
     stats: Counters,
+    config: ServerConfig,
+    /// Active (not yet closed) connections, for admission control
+    /// (shared with each connection thread's exit guard).
+    active_conns: Arc<AtomicUsize>,
     /// `Some` iff this server serves incs through flat combining.
     combine: Option<CombineState>,
 }
 
+impl<B> Shared<B> {
+    /// Locks the server state, recovering from poisoning: a panicked
+    /// request (already counted and contained) must not condemn every
+    /// later request to `Err { Backend }`.
+    fn lock_inner(&self) -> MutexGuard<'_, Inner<B>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn busy(&self) -> WireMsg {
+        self.stats.shed.fetch_add(1, Ordering::Relaxed);
+        WireMsg::Busy { retry_after_ms: self.config.busy_retry_after.as_millis() as u64 }
+    }
+}
+
+/// Decrements the active-connection count when a connection thread
+/// exits, however it exits.
+struct ActiveGuard(Arc<AtomicUsize>);
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 /// A TCP stream whose reads poll the server's stop flag: a blocked
 /// connection thread observes shutdown as EOF instead of wedging in
-/// `read` forever.
+/// `read` forever. During a drain, reads that would block also return
+/// EOF — at a frame boundary that is a clean `Closed`; data already
+/// buffered is still read and served first.
 struct PollRead {
     inner: TcpStream,
     stop: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
 }
 
 impl Read for PollRead {
@@ -165,7 +265,12 @@ impl Read for PollRead {
             match self.inner.read(buf) {
                 Err(e)
                     if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if self.draining.load(Ordering::SeqCst) {
+                        return Ok(0);
+                    }
+                }
                 other => return other,
             }
         }
@@ -193,6 +298,7 @@ impl Read for PollRead {
 pub struct CounterServer<B: CounterBackend + Send + 'static> {
     shared: Option<Arc<Shared<B>>>,
     stop: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
     combiner: Option<JoinHandle<()>>,
@@ -210,6 +316,15 @@ impl<B: CounterBackend + Send + 'static> CounterServer<B> {
         Self::serve_on("127.0.0.1:0", backend)
     }
 
+    /// [`CounterServer::serve`] with explicit [`ServerConfig`] knobs.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CounterServer::serve_on`].
+    pub fn serve_with(backend: B, config: ServerConfig) -> Result<Self, ServerError> {
+        Self::serve_inner("127.0.0.1:0", backend, false, config)
+    }
+
     /// Serves `backend` on an ephemeral loopback port with the
     /// flat-combining inc path enabled; see [`CounterServer::serve_on`]
     /// and the module docs for what combining changes.
@@ -221,13 +336,23 @@ impl<B: CounterBackend + Send + 'static> CounterServer<B> {
         Self::serve_combining_on("127.0.0.1:0", backend)
     }
 
+    /// [`CounterServer::serve_combining`] with explicit [`ServerConfig`]
+    /// knobs.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CounterServer::serve_on`].
+    pub fn serve_combining_with(backend: B, config: ServerConfig) -> Result<Self, ServerError> {
+        Self::serve_inner("127.0.0.1:0", backend, true, config)
+    }
+
     /// Binds `addr` and starts the accept loop, hosting `backend`.
     ///
     /// # Errors
     ///
     /// [`ServerError::Io`] if binding or spawning fails.
     pub fn serve_on(addr: impl ToSocketAddrs, backend: B) -> Result<Self, ServerError> {
-        Self::serve_inner(addr, backend, false)
+        Self::serve_inner(addr, backend, false, ServerConfig::default())
     }
 
     /// [`CounterServer::serve_on`] with the flat-combining inc path
@@ -237,16 +362,35 @@ impl<B: CounterBackend + Send + 'static> CounterServer<B> {
     ///
     /// [`ServerError::Io`] if binding or spawning fails.
     pub fn serve_combining_on(addr: impl ToSocketAddrs, backend: B) -> Result<Self, ServerError> {
-        Self::serve_inner(addr, backend, true)
+        Self::serve_inner(addr, backend, true, ServerConfig::default())
+    }
+
+    /// [`CounterServer::serve_on`] with explicit [`ServerConfig`] knobs
+    /// and the serving path selected by `combining`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Io`] if binding or spawning fails.
+    pub fn serve_on_with(
+        addr: impl ToSocketAddrs,
+        backend: B,
+        combining: bool,
+        config: ServerConfig,
+    ) -> Result<Self, ServerError> {
+        Self::serve_inner(addr, backend, combining, config)
     }
 
     fn serve_inner(
         addr: impl ToSocketAddrs,
         backend: B,
         combining: bool,
+        config: ServerConfig,
     ) -> Result<Self, ServerError> {
         let listener = TcpListener::bind(addr).map_err(|e| ServerError::Io(e.to_string()))?;
         let addr = listener.local_addr().map_err(|e| ServerError::Io(e.to_string()))?;
+        // Nonblocking, so the accept loop doubles as the reap tick and
+        // observes shutdown without a wakeup connection.
+        listener.set_nonblocking(true).map_err(|e| ServerError::Io(e.to_string()))?;
         let shared = Arc::new(Shared {
             inner: Mutex::new(Inner {
                 backend,
@@ -255,10 +399,13 @@ impl<B: CounterBackend + Send + 'static> CounterServer<B> {
                 combine_origin: 0,
             }),
             stats: Counters::default(),
+            config,
+            active_conns: Arc::new(AtomicUsize::new(0)),
             combine: combining
                 .then(|| CombineState { queue: Mutex::new(Vec::new()), wake: Condvar::new() }),
         });
         let stop = Arc::new(AtomicBool::new(false));
+        let draining = Arc::new(AtomicBool::new(false));
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let combiner = if combining {
             let shared = Arc::clone(&shared);
@@ -275,15 +422,17 @@ impl<B: CounterBackend + Send + 'static> CounterServer<B> {
         let accept = {
             let shared = Arc::clone(&shared);
             let stop = Arc::clone(&stop);
+            let draining = Arc::clone(&draining);
             let conns = Arc::clone(&conns);
             std::thread::Builder::new()
                 .name("distctr-accept".into())
-                .spawn(move || accept_loop(&listener, &shared, &stop, &conns))
+                .spawn(move || accept_loop(&listener, &shared, &stop, &draining, &conns))
                 .map_err(|e| ServerError::Io(e.to_string()))?
         };
         Ok(CounterServer {
             shared: Some(shared),
             stop,
+            draining,
             addr,
             accept: Some(accept),
             combiner,
@@ -312,15 +461,64 @@ impl<B: CounterBackend + Send + 'static> CounterServer<B> {
     #[must_use]
     pub fn session_ops(&self) -> Vec<(u64, u64)> {
         let Some(shared) = &self.shared else { return Vec::new() };
-        let Ok(inner) = shared.inner.lock() else { return Vec::new() };
+        let inner = shared.lock_inner();
         let mut out: Vec<(u64, u64)> = inner.sessions.iter().map(|(&id, s)| (id, s.ops)).collect();
         out.sort_unstable();
         out
     }
 
+    /// Gracefully drains the server: stops admitting (new connections
+    /// are answered [`WireMsg::Busy`]), lets every connection finish
+    /// the request it is serving, flushes all queued combining replies,
+    /// then closes and joins every thread. In-flight requests get their
+    /// reply or a clean close — an acked operation is never lost.
+    /// Connections still busy after [`ServerConfig::drain_grace`] are
+    /// cut by a hard stop.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Io`] if a service thread panicked.
+    pub fn drain(&mut self) -> Result<(), ServerError> {
+        if self.stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        self.draining.store(true, Ordering::SeqCst);
+        let grace = self
+            .shared
+            .as_ref()
+            .map_or_else(|| ServerConfig::default().drain_grace, |s| s.config.drain_grace);
+        let deadline = Instant::now() + grace;
+        // Wait for connection threads to run dry: each exits once its
+        // socket idles at a frame boundary (PollRead reports EOF under
+        // drain) or after serving its current request.
+        let all_conns_done = |conns: &Arc<Mutex<Vec<JoinHandle<()>>>>| {
+            conns.lock().map_or(true, |c| c.iter().all(JoinHandle::is_finished))
+        };
+        while !all_conns_done(&self.conns) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Let the combiner flush every queued reply before stopping it.
+        if let Some(combine) = self.shared.as_ref().and_then(|s| s.combine.as_ref()) {
+            loop {
+                let empty = combine.queue.lock().map_or(true, |q| q.is_empty());
+                if empty || Instant::now() >= deadline {
+                    break;
+                }
+                combine.wake.notify_one();
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+        // From here it is the ordinary teardown: stragglers past the
+        // grace period observe the hard stop.
+        self.stop.store(true, Ordering::SeqCst);
+        self.join_all()
+    }
+
     /// Stops accepting, disconnects every client, and joins all threads.
     /// The hosted backend stays alive until the server is dropped (or
-    /// reclaimed via [`CounterServer::into_backend`]).
+    /// reclaimed via [`CounterServer::into_backend`]). For a shutdown
+    /// that lets in-flight requests finish first, see
+    /// [`CounterServer::drain`].
     ///
     /// # Errors
     ///
@@ -329,8 +527,12 @@ impl<B: CounterBackend + Send + 'static> CounterServer<B> {
         if self.stop.swap(true, Ordering::SeqCst) {
             return Ok(());
         }
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
+        self.join_all()
+    }
+
+    /// Joins the accept loop, the combiner and every connection thread
+    /// (the stop flag must already be set).
+    fn join_all(&mut self) -> Result<(), ServerError> {
         let mut panicked = false;
         if let Some(handle) = self.accept.take() {
             panicked |= handle.join().is_err();
@@ -365,9 +567,7 @@ impl<B: CounterBackend + Send + 'static> CounterServer<B> {
         let shared = self.shared.take().ok_or(ServerError::ShutDown)?;
         let shared = Arc::try_unwrap(shared)
             .map_err(|_| ServerError::Io("a connection still holds the server state".into()))?;
-        let inner = shared.inner.into_inner().map_err(|_| {
-            ServerError::Io("server state poisoned by a panicked connection".into())
-        })?;
+        let inner = shared.inner.into_inner().unwrap_or_else(PoisonError::into_inner);
         Ok(inner.backend)
     }
 }
@@ -382,24 +582,55 @@ fn accept_loop<B: CounterBackend + Send + 'static>(
     listener: &TcpListener,
     shared: &Arc<Shared<B>>,
     stop: &Arc<AtomicBool>,
+    draining: &Arc<AtomicBool>,
     conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
 ) {
-    for stream in listener.incoming() {
+    let reap = |conns: &Arc<Mutex<Vec<JoinHandle<()>>>>| {
+        if let Ok(mut conns) = conns.lock() {
+            conns.retain(|h| !h.is_finished());
+        }
+    };
+    loop {
         if stop.load(Ordering::SeqCst) {
             break;
         }
-        let Ok(stream) = stream else { continue };
-        shared.stats.connections.fetch_add(1, Ordering::Relaxed);
-        let shared = Arc::clone(shared);
-        let stop_flag = Arc::clone(stop);
-        let spawned = std::thread::Builder::new()
-            .name("distctr-conn".into())
-            .spawn(move || handle_conn(stream, &shared, &stop_flag));
-        if let (Ok(handle), Ok(mut conns)) = (spawned, conns.lock()) {
-            // Opportunistically reap finished connections so long-lived
-            // servers don't accumulate dead handles.
-            conns.retain(|h| !h.is_finished());
-            conns.push(handle);
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                // Admission control: draining servers and servers at
+                // their connection cap shed with a Busy hint instead of
+                // accepting work they will not finish.
+                let at_cap = shared
+                    .config
+                    .max_conns
+                    .is_some_and(|cap| shared.active_conns.load(Ordering::SeqCst) >= cap);
+                if draining.load(Ordering::SeqCst) || at_cap {
+                    let _ = write_frame(&mut stream, &shared.busy());
+                    continue;
+                }
+                shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                shared.active_conns.fetch_add(1, Ordering::SeqCst);
+                let guard = ActiveGuard(Arc::clone(&shared.active_conns));
+                let shared = Arc::clone(shared);
+                let stop_flag = Arc::clone(stop);
+                let drain_flag = Arc::clone(draining);
+                let spawned =
+                    std::thread::Builder::new().name("distctr-conn".into()).spawn(move || {
+                        let _guard = guard;
+                        handle_conn(stream, &shared, &stop_flag, &drain_flag);
+                    });
+                if let (Ok(handle), Ok(mut conns)) = (spawned, conns.lock()) {
+                    // Opportunistic reap on top of the periodic one.
+                    conns.retain(|h| !h.is_finished());
+                    conns.push(handle);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // The idle tick: reap finished connection handles so a
+                // long-idle server does not accumulate them, then nap.
+                reap(conns);
+                std::thread::sleep(shared.config.poll);
+            }
+            Err(_) => std::thread::sleep(shared.config.poll),
         }
     }
 }
@@ -411,22 +642,25 @@ fn handle_conn<B: CounterBackend + Send + 'static>(
     stream: TcpStream,
     shared: &Arc<Shared<B>>,
     stop: &Arc<AtomicBool>,
+    draining: &Arc<AtomicBool>,
 ) {
     let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(POLL));
+    let _ = stream.set_read_timeout(Some(shared.config.poll));
     let Ok(read_half) = stream.try_clone() else { return };
-    let mut reader = PollRead { inner: read_half, stop: Arc::clone(stop) };
+    let mut reader =
+        PollRead { inner: read_half, stop: Arc::clone(stop), draining: Arc::clone(draining) };
     let mut writer = stream;
 
     // --- handshake: the first frame must be a Hello ------------------
     let session_id = match read_frame(&mut reader) {
         Ok(WireMsg::Hello { resume }) => {
-            let Ok(mut inner) = shared.inner.lock() else { return };
+            let mut inner = shared.lock_inner();
             match resume {
                 Some(id) => {
                     if inner.sessions.contains_key(&id) {
                         id
                     } else {
+                        drop(inner);
                         let _ = write_frame(
                             &mut writer,
                             &WireMsg::Err { code: ErrCode::UnknownSession },
@@ -453,10 +687,7 @@ fn handle_conn<B: CounterBackend + Send + 'static>(
             return;
         }
     };
-    let processor = {
-        let Ok(inner) = shared.inner.lock() else { return };
-        inner.sessions.get(&session_id).map_or(0, |s| s.processor)
-    };
+    let processor = shared.lock_inner().sessions.get(&session_id).map_or(0, |s| s.processor);
     if write_frame(&mut writer, &WireMsg::HelloOk { session: session_id, processor }).is_err() {
         return;
     }
@@ -468,13 +699,33 @@ fn handle_conn<B: CounterBackend + Send + 'static>(
     // syscall, with no per-message allocation.
     let writer =
         Arc::new(Mutex::new(ConnWriter { stream: writer, scratch: Vec::with_capacity(64) }));
+    let inflight = Arc::new(AtomicUsize::new(0));
     loop {
+        // A draining server closes at the next frame boundary; the
+        // request just served (if any) already has its reply written,
+        // and queued combining replies are flushed by the combiner.
+        if draining.load(Ordering::SeqCst) {
+            break;
+        }
         match read_frame(&mut reader) {
             Ok(WireMsg::Inc { request_id, initiator }) => match &shared.combine {
                 // Pipelined: enqueue for the combiner and go straight
                 // back to the socket; the combiner writes the reply.
                 Some(combine) => {
-                    if !enqueue_inc(combine, session_id, request_id, initiator, &writer) {
+                    let over_cap = shared
+                        .config
+                        .max_inflight_per_conn
+                        .is_some_and(|cap| inflight.load(Ordering::SeqCst) >= cap);
+                    if over_cap {
+                        // Shed instead of queueing without bound; the
+                        // request was not applied, so the client's
+                        // retry of the same id stays exactly-once.
+                        if send_reply(&writer, &shared.busy()).is_err() {
+                            break;
+                        }
+                    } else if !enqueue_inc(
+                        combine, session_id, request_id, initiator, &writer, &inflight,
+                    ) {
                         break;
                     }
                 }
@@ -507,6 +758,7 @@ fn handle_conn<B: CounterBackend + Send + 'static>(
                 | WireMsg::IncOk { .. }
                 | WireMsg::BatchOk { .. }
                 | WireMsg::StatsOk(_)
+                | WireMsg::Busy { .. }
                 | WireMsg::Err { .. },
             ) => {
                 shared.stats.wire_errors.fetch_add(1, Ordering::Relaxed);
@@ -542,10 +794,19 @@ fn enqueue_inc(
     request_id: u64,
     initiator: Option<u64>,
     writer: &Arc<Mutex<ConnWriter>>,
+    inflight: &Arc<AtomicUsize>,
 ) -> bool {
     let Ok(mut q) = combine.queue.lock() else { return false };
     let was_empty = q.is_empty();
-    q.push(PendingInc { session_id, request_id, initiator, writer: Arc::clone(writer) });
+    inflight.fetch_add(1, Ordering::SeqCst);
+    q.push(PendingInc {
+        session_id,
+        request_id,
+        initiator,
+        enqueued_at: Instant::now(),
+        writer: Arc::clone(writer),
+        inflight: Arc::clone(inflight),
+    });
     drop(q);
     // The combiner only parks after observing an empty queue under this
     // mutex, so only the empty -> non-empty transition can have a parked
@@ -563,6 +824,7 @@ fn wire_err_code(e: &WireError) -> Option<ErrCode> {
         WireError::Oversized { .. } => Some(ErrCode::Oversized),
         WireError::UnknownTag(_) => Some(ErrCode::UnknownTag),
         WireError::Malformed(_) => Some(ErrCode::Malformed),
+        WireError::Checksum { .. } => Some(ErrCode::Corrupt),
         // Truncated / Io: the transport is gone; nothing to send on.
         _ => None,
     }
@@ -581,6 +843,21 @@ fn report_wire_error<B: CounterBackend + Send + 'static>(
     }
 }
 
+/// Runs one backend operation with panic containment: a panicking
+/// backend (or a bug in the serving path) is caught, counted, and
+/// reported as a `Backend` error the client will retry — instead of a
+/// dead thread and a poisoned lock.
+fn contained<T>(stats: &Counters, f: impl FnOnce() -> Result<T, ()>) -> Result<T, ErrCode> {
+    match std::panic::catch_unwind(AssertUnwindSafe(f)) {
+        Ok(Ok(v)) => Ok(v),
+        Ok(Err(())) => Err(ErrCode::Backend),
+        Err(_panic) => {
+            stats.panics_contained.fetch_add(1, Ordering::Relaxed);
+            Err(ErrCode::Backend)
+        }
+    }
+}
+
 /// One increment, with exactly-once retry semantics. See the module doc
 /// for the two dedup paths (backend tickets vs the session answer
 /// table).
@@ -590,9 +867,7 @@ fn serve_inc<B: CounterBackend + Send + 'static>(
     request_id: u64,
     initiator: Option<u64>,
 ) -> WireMsg {
-    let Ok(mut guard) = shared.inner.lock() else {
-        return WireMsg::Err { code: ErrCode::Backend };
-    };
+    let mut guard = shared.lock_inner();
     let inner = &mut *guard;
     let Some(session) = inner.sessions.get_mut(&session_id) else {
         return WireMsg::Err { code: ErrCode::UnknownSession };
@@ -613,21 +888,26 @@ fn serve_inc<B: CounterBackend + Send + 'static>(
     // Ticketed path: the first sighting of a request id reserves a
     // backend ticket; a retry re-drives the *same* ticket, which the
     // backend's reply cache answers without incrementing again.
+    let backend = &mut inner.backend;
     let (ticket, is_retry) = match session.tickets.get(&request_id) {
         Some(&t) => (Some(t), true),
-        None => match inner.backend.reserve() {
-            Some(t) => {
+        None => match contained(&shared.stats, || Ok(backend.reserve())) {
+            Ok(Some(t)) => {
                 session.tickets.insert(request_id, t);
                 session.remember(request_id);
                 (Some(t), false)
             }
-            None => (None, false),
+            Ok(None) => (None, false),
+            Err(code) => return WireMsg::Err { code },
         },
     };
-    let result = match ticket {
-        Some(t) => inner.backend.inc_ticketed(p, t),
-        None => inner.backend.inc(p),
-    };
+    let result = contained(&shared.stats, || {
+        match ticket {
+            Some(t) => backend.inc_ticketed(p, t),
+            None => backend.inc(p),
+        }
+        .map_err(|_| ())
+    });
     match result {
         Ok(value) => {
             session.ops += 1;
@@ -644,7 +924,7 @@ fn serve_inc<B: CounterBackend + Send + 'static>(
         }
         // The ticket (if any) stays pinned to the request id, so the
         // client's retry converges on exactly-once.
-        Err(_) => WireMsg::Err { code: ErrCode::Backend },
+        Err(code) => WireMsg::Err { code },
     }
 }
 
@@ -672,11 +952,14 @@ fn combiner_loop<B: CounterBackend + Send + 'static>(
                 if stop.load(Ordering::SeqCst) {
                     return;
                 }
-                let Ok((guard, _)) = combine.wake.wait_timeout(q, COMBINE_IDLE) else { return };
+                let Ok((guard, _)) = combine.wake.wait_timeout(q, shared.config.combine_idle)
+                else {
+                    return;
+                };
                 q = guard;
             }
         };
-        let Ok(mut inner) = shared.inner.lock() else { return };
+        let mut inner = shared.lock_inner();
         combine_round(shared, &mut inner, drained);
     }
 }
@@ -696,28 +979,31 @@ fn combine_round<B: CounterBackend + Send + 'static>(
     // slice, not claim two: dedupe by (session, request id) and park
     // the duplicates' connections until the key is answered.
     let mut seen: HashSet<(u64, u64)> = HashSet::new();
-    let mut dup: HashMap<(u64, u64), Vec<Arc<Mutex<ConnWriter>>>> = HashMap::new();
+    let mut dup: HashMap<(u64, u64), Vec<PendingInc>> = HashMap::new();
     let mut unique: Vec<PendingInc> = Vec::new();
     for p in drained {
         if seen.insert((p.session_id, p.request_id)) {
             unique.push(p);
         } else {
             shared.stats.deduped.fetch_add(1, Ordering::Relaxed);
-            dup.entry((p.session_id, p.request_id)).or_default().push(p.writer);
+            dup.entry((p.session_id, p.request_id)).or_default().push(p);
         }
     }
-    let deliver = |dup: &mut HashMap<(u64, u64), Vec<Arc<Mutex<ConnWriter>>>>,
-                   p: &PendingInc,
-                   reply: WireMsg| {
-        for writer in dup.remove(&(p.session_id, p.request_id)).unwrap_or_default() {
-            if let Ok(mut w) = writer.lock() {
+    // Sends `reply` to a waiter (and any same-key duplicates), then
+    // releases the waiters' in-flight slots.
+    let deliver =
+        |dup: &mut HashMap<(u64, u64), Vec<PendingInc>>, p: &PendingInc, reply: WireMsg| {
+            for d in dup.remove(&(p.session_id, p.request_id)).unwrap_or_default() {
+                if let Ok(mut w) = d.writer.lock() {
+                    let _ = w.send(&reply);
+                }
+                d.inflight.fetch_sub(1, Ordering::SeqCst);
+            }
+            if let Ok(mut w) = p.writer.lock() {
                 let _ = w.send(&reply);
             }
-        }
-        if let Ok(mut w) = p.writer.lock() {
-            let _ = w.send(&reply);
-        }
-    };
+            p.inflight.fetch_sub(1, Ordering::SeqCst);
+        };
     // Validate each waiter and split answered retries from fresh work.
     // A batch traversal has exactly one origin, so requests with an
     // explicit initiator group by it; everything else — the common
@@ -743,6 +1029,13 @@ fn combine_round<B: CounterBackend + Send + 'static>(
             deliver(&mut dup, &p, WireMsg::IncOk { request_id: p.request_id, value });
             continue;
         }
+        // A waiter past its deadline is shed, not served: the client
+        // stopped waiting long ago, and serving it would consume a
+        // value whose ack nobody collects.
+        if shared.config.request_deadline.is_some_and(|d| p.enqueued_at.elapsed() > d) {
+            deliver(&mut dup, &p, shared.busy());
+            continue;
+        }
         fresh.entry(p.initiator).or_default().push(p);
     }
     for (explicit, waiters) in fresh {
@@ -754,10 +1047,17 @@ fn combine_round<B: CounterBackend + Send + 'static>(
         });
         let initiator = ProcessorId::new(charged as usize);
         shared.stats.combined_traversals.fetch_add(1, Ordering::Relaxed);
-        let result = match inner.backend.reserve() {
-            Some(t) => inner.backend.inc_batch_ticketed(initiator, t, m),
-            None => inner.backend.inc_batch(initiator, m),
-        };
+        // The whole traversal runs contained: a panicking backend round
+        // is caught here, its waiters are told to retry, and the
+        // combiner (and the server with it) survives.
+        let backend = &mut inner.backend;
+        let result = contained(&shared.stats, || {
+            match backend.reserve() {
+                Some(t) => backend.inc_batch_ticketed(initiator, t, m),
+                None => backend.inc_batch(initiator, m),
+            }
+            .map_err(|_| ())
+        });
         match result {
             Ok(first) => {
                 for (i, p) in waiters.into_iter().enumerate() {
@@ -774,9 +1074,9 @@ fn combine_round<B: CounterBackend + Send + 'static>(
             // The batch's composition is not reproducible, so nothing
             // is pinned: the clients' retries re-enter a later round
             // (the same guarantee as a non-ticketed sequential inc).
-            Err(_) => {
+            Err(code) => {
                 for p in waiters {
-                    deliver(&mut dup, &p, WireMsg::Err { code: ErrCode::Backend });
+                    deliver(&mut dup, &p, WireMsg::Err { code });
                 }
             }
         }
@@ -798,9 +1098,7 @@ fn serve_batch_inc<B: CounterBackend + Send + 'static>(
     if count == 0 {
         return WireMsg::Err { code: ErrCode::Malformed };
     }
-    let Ok(mut guard) = shared.inner.lock() else {
-        return WireMsg::Err { code: ErrCode::Backend };
-    };
+    let mut guard = shared.lock_inner();
     let inner = &mut *guard;
     let Some(session) = inner.sessions.get_mut(&session_id) else {
         return WireMsg::Err { code: ErrCode::UnknownSession };
@@ -816,21 +1114,26 @@ fn serve_batch_inc<B: CounterBackend + Send + 'static>(
         shared.stats.deduped.fetch_add(1, Ordering::Relaxed);
         return WireMsg::BatchOk { request_id, first, count };
     }
+    let backend = &mut inner.backend;
     let (ticket, is_retry) = match session.tickets.get(&request_id) {
         Some(&t) => (Some(t), true),
-        None => match inner.backend.reserve() {
-            Some(t) => {
+        None => match contained(&shared.stats, || Ok(backend.reserve())) {
+            Ok(Some(t)) => {
                 session.tickets.insert(request_id, t);
                 session.remember(request_id);
                 (Some(t), false)
             }
-            None => (None, false),
+            Ok(None) => (None, false),
+            Err(code) => return WireMsg::Err { code },
         },
     };
-    let result = match ticket {
-        Some(t) => inner.backend.inc_batch_ticketed(p, t, count),
-        None => inner.backend.inc_batch(p, count),
-    };
+    let result = contained(&shared.stats, || {
+        match ticket {
+            Some(t) => backend.inc_batch_ticketed(p, t, count),
+            None => backend.inc_batch(p, count),
+        }
+        .map_err(|_| ())
+    });
     match result {
         Ok(first) => {
             session.ops += count;
@@ -845,19 +1148,19 @@ fn serve_batch_inc<B: CounterBackend + Send + 'static>(
             }
             WireMsg::BatchOk { request_id, first, count }
         }
-        Err(_) => WireMsg::Err { code: ErrCode::Backend },
+        Err(code) => WireMsg::Err { code },
     }
 }
 
 fn snapshot<B: CounterBackend + Send + 'static>(shared: &Arc<Shared<B>>) -> StatsSnapshot {
-    let (processors, sessions, bottleneck, retirements) = match shared.inner.lock() {
-        Ok(inner) => (
+    let (processors, sessions, bottleneck, retirements) = {
+        let inner = shared.lock_inner();
+        (
             inner.backend.processors() as u64,
             inner.next_session,
             inner.backend.bottleneck(),
             inner.backend.retirements(),
-        ),
-        Err(_) => (0, 0, 0, 0),
+        )
     };
     StatsSnapshot {
         processors,
@@ -867,6 +1170,8 @@ fn snapshot<B: CounterBackend + Send + 'static>(shared: &Arc<Shared<B>>) -> Stat
         deduped: shared.stats.deduped.load(Ordering::Relaxed),
         wire_errors: shared.stats.wire_errors.load(Ordering::Relaxed),
         combined_traversals: shared.stats.combined_traversals.load(Ordering::Relaxed),
+        shed: shared.stats.shed.load(Ordering::Relaxed),
+        panics_contained: shared.stats.panics_contained.load(Ordering::Relaxed),
         bottleneck,
         retirements,
     }

@@ -1,15 +1,20 @@
 //! The length-prefixed binary wire codec.
 //!
-//! Every frame is a little-endian `u32` payload length followed by the
-//! payload: one tag byte and fixed-width little-endian fields. The
-//! format is deliberately minimal — no self-describing envelope, no
-//! registry dependencies — but decoding is hardened: a partial read
-//! surfaces as [`WireError::Truncated`] (never a panic or a wedged
-//! loop), a length prefix beyond [`MAX_FRAME`] is rejected *before* any
-//! allocation as [`WireError::Oversized`], an unknown tag or trailing
-//! garbage is a typed error, and a peer closing between frames is the
-//! distinct [`WireError::Closed`] so servers can tell a clean disconnect
-//! from a mid-frame one.
+//! Every frame is a little-endian `u32` payload length, a little-endian
+//! `u32` CRC-32 of the payload, then the payload: one tag byte and
+//! fixed-width little-endian fields. The format is deliberately
+//! minimal — no self-describing envelope, no registry dependencies —
+//! but decoding is hardened: a partial read surfaces as
+//! [`WireError::Truncated`] (never a panic or a wedged loop), a length
+//! prefix beyond [`MAX_FRAME`] is rejected *before* any allocation as
+//! [`WireError::Oversized`], a payload whose bytes were damaged in
+//! transit fails the checksum as [`WireError::Checksum`] (TCP's own
+//! checksum is weak, and the chaos proxy's corrupt toxic flips bits on
+//! purpose — exactly-once retry is only sound if corruption is
+//! *detected*, never mis-decoded into a different valid frame), an
+//! unknown tag or trailing garbage is a typed error, and a peer closing
+//! between frames is the distinct [`WireError::Closed`] so servers can
+//! tell a clean disconnect from a mid-frame one.
 
 use std::io::{ErrorKind, Read, Write};
 
@@ -30,7 +35,25 @@ const TAG_HELLO_OK: u8 = 0x81;
 const TAG_INC_OK: u8 = 0x82;
 const TAG_STATS_OK: u8 = 0x83;
 const TAG_BATCH_OK: u8 = 0x84;
+const TAG_BUSY: u8 = 0x85;
 const TAG_ERR: u8 = 0xEE;
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes` — the per-frame
+/// integrity check. Table-free bitwise form: frames are at most
+/// [`MAX_FRAME`] bytes, so the 8-shifts-per-byte cost is noise next to
+/// the syscall that carries the frame.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
 
 /// A server-side statistics snapshot, carried by [`WireMsg::StatsOk`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -50,6 +73,14 @@ pub struct StatsSnapshot {
     /// Batched traversals driven by the flat-combining front-end
     /// (`ops / combined_traversals` is the realized mean batch size).
     pub combined_traversals: u64,
+    /// Requests and connections refused with a [`WireMsg::Busy`] by the
+    /// admission/overload controls (shed, not failed: the reply carries
+    /// a retry-after hint and a retrying client converges).
+    pub shed: u64,
+    /// Combiner/backend panics contained by the supervisor: each one is
+    /// a round whose waiters were told to retry instead of a dead
+    /// server.
+    pub panics_contained: u64,
     /// The backend's bottleneck load `max_p m_p`.
     pub bottleneck: u64,
     /// Worker retirements inside the backend.
@@ -116,6 +147,15 @@ pub enum WireMsg {
     },
     /// Reply to [`WireMsg::Stats`].
     StatsOk(StatsSnapshot),
+    /// Load-shed reply: the server is over its admission or in-flight
+    /// limits (or draining) and refused the request *without* applying
+    /// it. The client should back off for `retry_after_ms` and retry
+    /// the same request id — nothing was consumed, so the retry is
+    /// still exactly-once.
+    Busy {
+        /// Server's backoff hint, in milliseconds.
+        retry_after_ms: u64,
+    },
     /// Server-reported failure.
     Err {
         /// What went wrong.
@@ -142,6 +182,15 @@ pub enum WireError {
         /// The permitted maximum.
         max: u32,
     },
+    /// The payload's bytes do not match the frame's CRC-32: damaged in
+    /// transit (or by a fault injector). The stream is desynchronized
+    /// and must be discarded; a retry on a fresh connection is safe.
+    Checksum {
+        /// The checksum the frame header promised.
+        expected: u32,
+        /// The checksum of the bytes that actually arrived.
+        found: u32,
+    },
     /// The payload's tag byte is not a known message.
     UnknownTag(
         /// The offending tag.
@@ -163,6 +212,9 @@ impl std::fmt::Display for WireError {
             }
             WireError::Oversized { len, max } => {
                 write!(f, "frame length {len} exceeds the {max}-byte limit")
+            }
+            WireError::Checksum { expected, found } => {
+                write!(f, "frame checksum mismatch: header says {expected:#010x}, payload hashes to {found:#010x}")
             }
             WireError::UnknownTag(tag) => write!(f, "unknown frame tag 0x{tag:02x}"),
             WireError::Malformed(what) => write!(f, "malformed frame: {what}"),
@@ -225,8 +277,15 @@ pub fn read_frame(r: &mut impl Read) -> Result<WireMsg, WireError> {
     if len == 0 {
         return Err(WireError::Malformed("zero-length payload"));
     }
+    let mut crc_buf = [0u8; 4];
+    fill(r, &mut crc_buf, false, "the checksum")?;
+    let expected = u32::from_le_bytes(crc_buf);
     let mut payload = vec![0u8; len as usize];
     fill(r, &mut payload, false, "the payload")?;
+    let found = crc32(&payload);
+    if found != expected {
+        return Err(WireError::Checksum { expected, found });
+    }
     decode(&payload)
 }
 
@@ -243,9 +302,9 @@ pub fn write_frame(w: &mut impl Write, msg: &WireMsg) -> Result<(), WireError> {
 }
 
 /// Writes one frame through a caller-owned scratch buffer: the length
-/// prefix and payload are assembled in `scratch` (cleared, capacity
-/// kept) and written with a single `write_all`, so a steady-state
-/// connection encodes frames with zero allocations.
+/// prefix, checksum and payload are assembled in `scratch` (cleared,
+/// capacity kept) and written with a single `write_all`, so a
+/// steady-state connection encodes frames with zero allocations.
 ///
 /// # Errors
 ///
@@ -256,14 +315,30 @@ pub fn write_frame_buf(
     scratch: &mut Vec<u8>,
 ) -> Result<(), WireError> {
     scratch.clear();
-    // Length-prefix placeholder, patched once the payload length is known.
-    scratch.extend_from_slice(&[0u8; 4]);
+    // Length-prefix + checksum placeholders, patched once the payload
+    // is assembled.
+    scratch.extend_from_slice(&[0u8; 8]);
     encode_into(msg, scratch);
-    let payload_len = (scratch.len() - 4) as u32;
+    let payload_len = (scratch.len() - 8) as u32;
     debug_assert!(payload_len <= MAX_FRAME);
+    let crc = crc32(&scratch[8..]);
     scratch[..4].copy_from_slice(&payload_len.to_le_bytes());
+    scratch[4..8].copy_from_slice(&crc.to_le_bytes());
     w.write_all(scratch).map_err(|e| WireError::Io(e.to_string()))?;
     w.flush().map_err(|e| WireError::Io(e.to_string()))
+}
+
+/// Frames a raw payload exactly as [`write_frame_buf`] would — length
+/// prefix, CRC-32, payload — without requiring it to be a legal
+/// message. For tests and fuzzers that need byte-level control over
+/// what goes on the wire while keeping the envelope valid.
+#[must_use]
+pub fn frame_raw(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
 }
 
 /// Encodes `msg` into a fresh payload (tag + fields, no length prefix).
@@ -319,11 +394,17 @@ fn encode_into(msg: &WireMsg, out: &mut Vec<u8>) {
                 s.deduped,
                 s.wire_errors,
                 s.combined_traversals,
+                s.shed,
+                s.panics_contained,
                 s.bottleneck,
                 s.retirements,
             ] {
                 out.extend_from_slice(&field.to_le_bytes());
             }
+        }
+        WireMsg::Busy { retry_after_ms } => {
+            out.push(TAG_BUSY);
+            out.extend_from_slice(&retry_after_ms.to_le_bytes());
         }
         WireMsg::Err { code } => {
             out.push(TAG_ERR);
@@ -373,9 +454,12 @@ pub fn decode(payload: &[u8]) -> Result<WireMsg, WireError> {
             deduped: cur.u64()?,
             wire_errors: cur.u64()?,
             combined_traversals: cur.u64()?,
+            shed: cur.u64()?,
+            panics_contained: cur.u64()?,
             bottleneck: cur.u64()?,
             retirements: cur.u64()?,
         }),
+        TAG_BUSY => WireMsg::Busy { retry_after_ms: cur.u64()? },
         TAG_ERR => WireMsg::Err { code: ErrCode::from_u16(cur.u16()?) },
         other => return Err(WireError::UnknownTag(other)),
     };
@@ -457,9 +541,12 @@ mod tests {
             deduped: 2,
             wire_errors: 1,
             combined_traversals: 12,
+            shed: 5,
+            panics_contained: 1,
             bottleneck: 55,
             retirements: 40,
         }));
+        round_trip(WireMsg::Busy { retry_after_ms: 50 });
         round_trip(WireMsg::Err { code: ErrCode::UnknownTag });
         round_trip(WireMsg::Err { code: ErrCode::Other(999) });
     }
@@ -516,11 +603,28 @@ mod tests {
 
     #[test]
     fn garbage_tag_rejected() {
-        let mut buf = Vec::new();
-        buf.extend_from_slice(&1u32.to_le_bytes());
-        buf.push(0x7F);
-        let mut r = IoCursor::new(buf);
+        let mut r = IoCursor::new(frame_raw(&[0x7F]));
         assert_eq!(read_frame(&mut r), Err(WireError::UnknownTag(0x7F)));
+    }
+
+    #[test]
+    fn corrupted_payload_fails_the_checksum() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &WireMsg::IncOk { request_id: 7, value: 1234 }).expect("write");
+        // Flip one bit in the value field: without the checksum this
+        // would decode as a *different valid frame* — the exact failure
+        // mode that breaks exactly-once under corruption.
+        let last = buf.len() - 1;
+        buf[last] ^= 0x10;
+        let mut r = IoCursor::new(buf);
+        assert!(matches!(read_frame(&mut r), Err(WireError::Checksum { .. })));
+    }
+
+    #[test]
+    fn checksum_is_the_reference_crc32() {
+        // IEEE CRC-32 of "123456789" is the standard check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]
@@ -532,17 +636,12 @@ mod tests {
     #[test]
     fn short_and_long_payloads_rejected() {
         // Inc with a missing initiator flag byte.
-        let mut buf = Vec::new();
-        buf.extend_from_slice(&9u32.to_le_bytes());
-        buf.push(0x02);
-        buf.extend_from_slice(&[0u8; 8]);
-        let mut r = IoCursor::new(buf);
+        let mut payload = vec![0x02u8];
+        payload.extend_from_slice(&[0u8; 8]);
+        let mut r = IoCursor::new(frame_raw(&payload));
         assert!(matches!(read_frame(&mut r), Err(WireError::Malformed(_))));
         // Stats with trailing garbage.
-        let mut buf = Vec::new();
-        buf.extend_from_slice(&3u32.to_le_bytes());
-        buf.extend_from_slice(&[0x03, 0, 0]);
-        let mut r = IoCursor::new(buf);
+        let mut r = IoCursor::new(frame_raw(&[0x03, 0, 0]));
         assert_eq!(
             read_frame(&mut r),
             Err(WireError::Malformed("trailing bytes after the message"))
@@ -551,10 +650,7 @@ mod tests {
 
     #[test]
     fn bad_option_flag_rejected() {
-        let mut buf = Vec::new();
-        buf.extend_from_slice(&2u32.to_le_bytes());
-        buf.extend_from_slice(&[0x01, 7]);
-        let mut r = IoCursor::new(buf);
+        let mut r = IoCursor::new(frame_raw(&[0x01, 7]));
         assert_eq!(read_frame(&mut r), Err(WireError::Malformed("option flag must be 0 or 1")));
     }
 
@@ -564,5 +660,6 @@ mod tests {
         assert!(WireError::UnknownTag(0xAB).to_string().contains("0xab"));
         assert!(WireError::Truncated { context: "the payload" }.to_string().contains("payload"));
         assert!(WireError::Closed.to_string().contains("closed"));
+        assert!(WireError::Checksum { expected: 1, found: 2 }.to_string().contains("checksum"));
     }
 }

@@ -9,7 +9,7 @@ use std::time::{Duration, Instant};
 
 use distctr_core::TreeCounter;
 use distctr_net::ThreadedTreeCounter;
-use distctr_server::wire::{read_frame, write_frame};
+use distctr_server::wire::{frame_raw, read_frame, write_frame};
 use distctr_server::{CounterServer, ErrCode, RemoteCounter, WireMsg, MAX_FRAME};
 
 /// Opens a raw socket and completes the Hello handshake, returning the
@@ -93,20 +93,20 @@ fn oversized_length_prefix_is_rejected_before_allocation() {
 fn garbage_tag_and_malformed_payload_get_typed_errors() {
     let mut server = CounterServer::serve(TreeCounter::new(8).expect("sim")).expect("serve");
 
-    // Unknown tag 0x7f in an otherwise well-formed frame.
+    // Unknown tag 0x7f in an otherwise well-formed frame (honest
+    // length prefix and checksum, so the tag is what gets flagged).
     let (mut stream, _) = raw_hello(server.local_addr());
-    stream.write_all(&1u32.to_le_bytes()).expect("prefix");
-    stream.write_all(&[0x7f]).expect("tag");
+    stream.write_all(&frame_raw(&[0x7f])).expect("tag");
     match read_frame(&mut stream).expect("error reply") {
         WireMsg::Err { code } => assert_eq!(code, ErrCode::UnknownTag),
         other => panic!("expected Err {{ UnknownTag }}, got {other:?}"),
     }
     drop(stream);
 
-    // A valid Inc tag with a short body.
+    // A valid Inc tag with a short body (framed honestly, so the
+    // layout mismatch is what gets flagged).
     let (mut stream, _) = raw_hello(server.local_addr());
-    stream.write_all(&3u32.to_le_bytes()).expect("prefix");
-    stream.write_all(&[0x02, 0x01, 0x02]).expect("short inc");
+    stream.write_all(&frame_raw(&[0x02, 0x01, 0x02])).expect("short inc");
     match read_frame(&mut stream).expect("error reply") {
         WireMsg::Err { code } => assert_eq!(code, ErrCode::Malformed),
         other => panic!("expected Err {{ Malformed }}, got {other:?}"),

@@ -5,7 +5,7 @@
 //! [`WireError`] — never a panic, never a hang, never a bogus frame
 //! accepted as a different message than the bytes spell.
 
-use std::io::Cursor;
+use std::io::{Cursor, Read};
 
 use distctr_server::error::ErrCode;
 use distctr_server::wire::{
@@ -14,11 +14,11 @@ use distctr_server::wire::{
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Draws one arbitrary valid message. Error codes below 8 are reserved
+/// Draws one arbitrary valid message. Error codes below 9 are reserved
 /// named variants, so `Other` draws from the open range — the named
 /// codes are covered explicitly in `known_error_codes_round_trip`.
 fn arbitrary_msg(rng: &mut StdRng) -> WireMsg {
-    match rng.gen_range(0u32..9) {
+    match rng.gen_range(0u32..10) {
         0 => WireMsg::Hello { resume: rng.gen_bool(0.5).then(|| rng.gen()) },
         1 => {
             WireMsg::Inc { request_id: rng.gen(), initiator: rng.gen_bool(0.5).then(|| rng.gen()) }
@@ -34,6 +34,8 @@ fn arbitrary_msg(rng: &mut StdRng) -> WireMsg {
             deduped: rng.gen(),
             wire_errors: rng.gen(),
             combined_traversals: rng.gen(),
+            shed: rng.gen(),
+            panics_contained: rng.gen(),
             bottleneck: rng.gen(),
             retirements: rng.gen(),
         }),
@@ -43,7 +45,8 @@ fn arbitrary_msg(rng: &mut StdRng) -> WireMsg {
             initiator: rng.gen_bool(0.5).then(|| rng.gen()),
         },
         7 => WireMsg::BatchOk { request_id: rng.gen(), first: rng.gen(), count: rng.gen() },
-        _ => WireMsg::Err { code: ErrCode::from_u16(rng.gen_range(8u16..=u16::MAX)) },
+        8 => WireMsg::Busy { retry_after_ms: rng.gen() },
+        _ => WireMsg::Err { code: ErrCode::from_u16(rng.gen_range(9u16..=u16::MAX)) },
     }
 }
 
@@ -116,7 +119,8 @@ fn single_byte_mutations_never_panic_and_errors_are_typed() {
                 WireError::Truncated { .. }
                 | WireError::Oversized { .. }
                 | WireError::UnknownTag(_)
-                | WireError::Malformed(_),
+                | WireError::Malformed(_)
+                | WireError::Checksum { .. },
             ) => {}
             Err(other) => panic!("unexpected error class for a byte flip: {other:?}"),
         }
@@ -175,4 +179,136 @@ fn truncated_payloads_of_every_tag_are_malformed_or_truncated() {
             other => panic!("shortened payload must be malformed, got {other:?}"),
         }
     }
+}
+
+/// Delivers a byte stream in bounded random chunks — exactly what the
+/// chaos proxy's slicer toxic does to TCP segments. The codec must
+/// reassemble frames from any segmentation.
+struct Chunked<'a> {
+    data: &'a [u8],
+    pos: usize,
+    rng: StdRng,
+    max_chunk: usize,
+}
+
+impl Read for Chunked<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.data.len() || buf.is_empty() {
+            return Ok(0);
+        }
+        let k =
+            self.rng.gen_range(1..=self.max_chunk).min(buf.len()).min(self.data.len() - self.pos);
+        buf[..k].copy_from_slice(&self.data[self.pos..self.pos + k]);
+        self.pos += k;
+        Ok(k)
+    }
+}
+
+#[test]
+fn sliced_delivery_reassembles_every_frame() {
+    let mut rng = StdRng::seed_from_u64(0x736c_6963);
+    for round in 0..50 {
+        let msgs: Vec<WireMsg> = (0..20).map(|_| arbitrary_msg(&mut rng)).collect();
+        let mut bytes = Vec::new();
+        for m in &msgs {
+            write_frame(&mut bytes, m).expect("in-memory write");
+        }
+        // 1–3 bytes at a time: every frame arrives interleaved across
+        // many partial reads, and boundaries never align with frames.
+        let mut r = Chunked {
+            data: &bytes,
+            pos: 0,
+            rng: StdRng::seed_from_u64(0xF00D + round),
+            max_chunk: 3,
+        };
+        for m in &msgs {
+            assert_eq!(&read_frame(&mut r).expect("reassembled frame"), m);
+        }
+        assert!(
+            matches!(read_frame(&mut r), Err(WireError::Closed)),
+            "clean EOF at the stream's end"
+        );
+    }
+}
+
+#[test]
+fn a_torn_frame_spliced_into_a_fresh_one_is_rejected_not_misparsed() {
+    // The blackhole/reset toxics can cut a connection mid-frame; a
+    // naive peer that reconnects and keeps appending would splice a
+    // fresh frame right after the torn prefix. The reader must flag a
+    // typed error — under the length prefix alone the splice could
+    // decode as a *different valid message*; the checksum forbids it.
+    let mut rng = StdRng::seed_from_u64(0x746f_726e);
+    for _ in 0..400 {
+        let torn = arbitrary_msg(&mut rng);
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &torn).expect("in-memory write");
+        let cut = rng.gen_range(5..bytes.len());
+        bytes.truncate(cut);
+        write_frame(&mut bytes, &arbitrary_msg(&mut rng)).expect("in-memory write");
+        let mut r = Cursor::new(&bytes[..]);
+        match read_frame(&mut r) {
+            Err(WireError::Io(e)) => panic!("in-memory reads cannot fail with i/o: {e}"),
+            Err(_) => {}
+            // A splice can only decode when the borrowed bytes re-spell
+            // the torn frame exactly (same payload, same checksum) — in
+            // which case it IS the original message and exactly-once is
+            // unharmed. Decoding as a *different* message is the bug.
+            Ok(decoded) => assert_eq!(decoded, torn, "a torn splice misparsed"),
+        }
+    }
+}
+
+#[test]
+fn interleaved_partial_frames_from_two_writers_stay_framed() {
+    // Two logical streams sliced and concatenated whole-frame-wise (the
+    // proxy never mixes bytes of different connections, but a combining
+    // server's reply stream interleaves frames written by the reader
+    // thread and the combiner): order within the byte stream is the
+    // only order, and every frame must parse independently.
+    let mut rng = StdRng::seed_from_u64(0x696e_746c);
+    let a: Vec<WireMsg> = (0..10).map(|_| arbitrary_msg(&mut rng)).collect();
+    let b: Vec<WireMsg> = (0..10).map(|_| arbitrary_msg(&mut rng)).collect();
+    let mut bytes = Vec::new();
+    let mut expect = Vec::new();
+    for (x, y) in a.iter().zip(&b) {
+        write_frame(&mut bytes, x).expect("in-memory write");
+        write_frame(&mut bytes, y).expect("in-memory write");
+        expect.push(x.clone());
+        expect.push(y.clone());
+    }
+    let mut r = Chunked { data: &bytes, pos: 0, rng: StdRng::seed_from_u64(0xBEEF), max_chunk: 5 };
+    for m in &expect {
+        assert_eq!(&read_frame(&mut r).expect("interleaved frame"), m);
+    }
+}
+
+#[test]
+fn corrupted_frames_are_flagged_with_the_offending_checksum() {
+    // Byte corruption in flight (the corrupt toxic) must surface as
+    // Checksum — not decode into a different message whose ack would
+    // break exactly-once.
+    let mut rng = StdRng::seed_from_u64(0x6372_6370);
+    let mut flagged = 0u32;
+    for _ in 0..400 {
+        let msg = arbitrary_msg(&mut rng);
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &msg).expect("in-memory write");
+        // Flip strictly inside the payload (past the 8-byte header), so
+        // the length prefix stays honest and the CRC must do the work.
+        if framed.len() <= 8 {
+            continue;
+        }
+        let idx = rng.gen_range(8..framed.len());
+        framed[idx] ^= rng.gen_range(1u32..=255) as u8;
+        let mut r = Cursor::new(&framed[..]);
+        match read_frame(&mut r) {
+            Err(WireError::Checksum { expected, found }) => {
+                assert_ne!(expected, found);
+                flagged += 1;
+            }
+            other => panic!("payload corruption must fail the checksum, got {other:?}"),
+        }
+    }
+    assert!(flagged > 300, "the corpus actually exercised the checksum ({flagged})");
 }

@@ -17,6 +17,7 @@
 //! | [`bound`] | `distctr-bound` | the executable lower bound: adversary + weight audit |
 //! | [`net`] | `distctr-net` | real-threads backend: the tree counter over OS threads + channels |
 //! | [`server`] | `distctr-server` | TCP service layer: wire codec, counter server, remote client, load generator |
+//! | [`chaos`] | `distctr-chaos` | fault-injecting TCP proxy: seeded latency/throttle/reset/blackhole/slice/corrupt toxics |
 //! | [`analysis`] | `distctr-analysis` | statistics and report rendering |
 //!
 //! ## Quickstart
@@ -46,6 +47,7 @@
 pub use distctr_analysis as analysis;
 pub use distctr_baselines as baselines;
 pub use distctr_bound as bound;
+pub use distctr_chaos as chaos;
 pub use distctr_check as check;
 pub use distctr_core as core;
 pub use distctr_net as net;
@@ -63,12 +65,15 @@ pub mod prelude {
     // `CounterBackend` is deliberately NOT here: its `inc` would collide
     // with `Counter::inc` on `TreeCounter` for every prelude user. Reach
     // it as `distctr::core::CounterBackend`.
+    pub use distctr_chaos::{ChaosPlan, ChaosProxy};
     pub use distctr_core::{
         DistributedFlipBit, DistributedPriorityQueue, RetirementPolicy, TreeClient, TreeCounter,
     };
     pub use distctr_net::ThreadedTreeCounter;
     pub use distctr_quorum::QuorumSystem;
-    pub use distctr_server::{run_load, CounterServer, LoadConfig, RemoteCounter};
+    pub use distctr_server::{
+        run_load, ClientConfig, CounterServer, LoadConfig, RemoteCounter, RetryPolicy, ServerConfig,
+    };
     pub use distctr_sim::{
         ConcurrentCounter, ConcurrentDriver, Counter, DeliveryPolicy, FaultPlan, ProcessorId,
         SequentialDriver, TraceMode,
