@@ -9,17 +9,20 @@
 //! report --csv out/    # additionally export machine-readable CSV
 //! report e22 --smoke   # batching regression gate, tiny sizes
 //! report e23 --smoke   # chaos robustness gate, tiny sizes
+//! report e24 --smoke   # keyspace placement gate, tiny sizes
 //! ```
 //!
 //! E22 additionally rewrites `BENCH_batching.json` in the working
 //! directory and exits nonzero if the combining path is slower than the
 //! sequential path at the highest measured concurrency. E23 rewrites
 //! `BENCH_chaos.json` and exits nonzero if any chaos scenario loses
-//! exactness or availability.
+//! exactness or availability. E24 rewrites `BENCH_keyspace.json` and
+//! exits nonzero if any placement policy loses per-key exactness or the
+//! adaptive policy's goodput falls below the best static placement.
 
 use distctr_bench::{
     exp_ablation, exp_arrow, exp_backend, exp_batching, exp_bottleneck, exp_bound, exp_chaos,
-    exp_concurrent, exp_hotspot, exp_lemmas, exp_linearizable, exp_serve, figures,
+    exp_concurrent, exp_hotspot, exp_keyspace, exp_lemmas, exp_linearizable, exp_serve, figures,
 };
 
 struct Config {
@@ -197,6 +200,64 @@ fn main() {
                 r.exact
             );
         }
+    }
+
+    if wants(&cfg, "e24") || wants(&cfg, "exp_keyspace") {
+        // The keyspace gate is the adaptive-placement claim: under a
+        // Zipf-skewed keyed load with a real per-message price, the
+        // adaptive policy must not lose to either static extreme, and
+        // every policy must keep every key exactly sequential. Smoke
+        // shrinks the load, keeps the cost model, and allows a small
+        // tolerance (short runs are noisy); the full run is strict.
+        let (conns, ops_per_conn) = if cfg.smoke {
+            (16, 25)
+        } else if cfg.quick {
+            (16, 40)
+        } else {
+            (32, 60)
+        };
+        let (n, keys, s) = (81, 12, 1.6);
+        let per_message = exp_keyspace::e24_per_message();
+        let rows = exp_keyspace::e24_measure(
+            n,
+            keys,
+            s,
+            conns,
+            ops_per_conn,
+            per_message,
+            &exp_keyspace::e24_scenarios(),
+        );
+        println!("{}", exp_keyspace::e24_render(n, keys, s, per_message, &rows));
+        let json_path = std::path::Path::new("BENCH_keyspace.json");
+        std::fs::write(
+            json_path,
+            exp_keyspace::e24_json(n, keys, s, conns, ops_per_conn, per_message, &rows),
+        )
+        .expect("write BENCH_keyspace.json");
+        eprintln!("wrote {}", json_path.display());
+        for r in &rows {
+            assert!(
+                r.exact,
+                "correctness regression: policy '{}' lost per-key exactness \
+                 ({} of {} ops failed)",
+                r.policy, r.failed, r.ops
+            );
+        }
+        let adaptive = rows.iter().find(|r| r.policy == "adaptive").expect("adaptive row");
+        let best_static =
+            rows.iter().filter(|r| r.policy != "adaptive").map(|r| r.goodput).fold(0.0, f64::max);
+        assert!(
+            adaptive.promotions >= 1,
+            "the adaptive policy never promoted a hot key: {adaptive:?}"
+        );
+        let tolerance = if cfg.smoke { 0.95 } else { 1.0 };
+        assert!(
+            adaptive.goodput >= best_static * tolerance,
+            "regression: adaptive goodput ({:.1} incs/s) fell below the best static \
+             placement ({:.1} incs/s, tolerance {tolerance})",
+            adaptive.goodput,
+            best_static
+        );
     }
 
     if let Some(dir) = &cfg.csv_dir {

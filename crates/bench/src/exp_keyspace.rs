@@ -1,0 +1,253 @@
+//! Experiment E24 — adaptive per-key backend promotion under a
+//! Zipf-skewed multi-counter workload.
+//!
+//! The paper's trade-off, per key: a centralized counter answers one
+//! operation for one message, the retirement tree answers a *combined
+//! batch* for `k+1` messages. A hot key amortizes the traversal and
+//! wants the tree; a cold key cannot and wants the center. E24 puts a
+//! keyspace of many counters behind the combining server, prices every
+//! message at a fixed `μ` (busy-spun inside the backend, so the wire
+//! and the scheduler cannot blur the model), and drives a Zipf-skewed
+//! keyed load against three placement policies:
+//!
+//! * **all-central** — every key pinned to the centralized backend
+//!   (`count × μ` per batch: the center cannot amortize);
+//! * **all-tree** — every key pinned to the retirement tree
+//!   (`(k+1) × μ` per traversal: cold keys overpay);
+//! * **adaptive** — every key born central, the contention monitor
+//!   promoting hot keys live (and demoting on cooldown).
+//!
+//! The claim under test: adaptive placement beats *both* static
+//! extremes on goodput, because the skew gives it hot keys to promote
+//! and cold keys to leave alone — while every key's acked values stay
+//! exactly `0..ops_k` across the live migrations.
+
+use std::time::Duration;
+
+use distctr_analysis::{fmt_f64, Table};
+use distctr_keyspace::{Keyspace, KeyspaceConfig, PromotionPolicy};
+use distctr_server::{run_load, CounterServer, LoadConfig};
+
+/// One placement policy's measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyspaceRow {
+    /// Policy label.
+    pub policy: String,
+    /// Operations attempted.
+    pub ops: usize,
+    /// Operations that exhausted their retry budget.
+    pub failed: usize,
+    /// Acked operations per second across all keys.
+    pub goodput: f64,
+    /// Median client-observed latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile client-observed latency, microseconds.
+    pub p99_us: u64,
+    /// Whether every key's acked values were exactly `0..ops_k`.
+    pub exact: bool,
+    /// Keys the backend ended up hosting.
+    pub keys_hosted: u64,
+    /// Promotions (central → tree) the run performed.
+    pub promotions: u64,
+    /// Demotions (tree → central) the run performed.
+    pub demotions: u64,
+}
+
+/// The policy grid: both static extremes plus the adaptive default.
+#[must_use]
+pub fn e24_scenarios() -> Vec<(String, PromotionPolicy)> {
+    vec![
+        ("all-central".into(), PromotionPolicy::pinned_central()),
+        ("all-tree".into(), PromotionPolicy::pinned_tree()),
+        ("adaptive".into(), PromotionPolicy::default()),
+    ]
+}
+
+/// The per-message price the cost model charges inside the backend.
+#[must_use]
+pub fn e24_per_message() -> Duration {
+    Duration::from_micros(150)
+}
+
+/// Runs the Zipf-keyed closed-loop workload against a fresh keyspace
+/// per policy and measures goodput, tails and placement churn.
+///
+/// # Panics
+///
+/// Panics if a server cannot bind loopback or a load run fails outright.
+#[must_use]
+pub fn e24_measure(
+    n: usize,
+    keys: usize,
+    s: f64,
+    conns: usize,
+    ops_per_conn: usize,
+    per_message: Duration,
+    scenarios: &[(String, PromotionPolicy)],
+) -> Vec<KeyspaceRow> {
+    let ops = conns * ops_per_conn;
+    scenarios
+        .iter()
+        .map(|(name, policy)| {
+            let backend = Keyspace::sim(KeyspaceConfig {
+                policy: policy.clone(),
+                per_message,
+                ..KeyspaceConfig::new(n)
+            });
+            let mut server = CounterServer::serve_combining(backend).expect("serve");
+            let config = LoadConfig::closed(conns, ops).with_keys(keys, s, 0xE24);
+            let report = run_load(server.local_addr(), &config).expect("load run");
+            let stats = server.stats();
+            server.shutdown().expect("shutdown");
+            KeyspaceRow {
+                policy: name.clone(),
+                ops,
+                failed: report.failed,
+                goodput: report.throughput(),
+                p50_us: report.latency_percentile_us(50.0),
+                p99_us: report.latency_percentile_us(99.0),
+                exact: report.failed == 0
+                    && report.ops == ops
+                    && report.values_are_sequential_per_key(),
+                keys_hosted: stats.keys_hosted,
+                promotions: stats.promotions,
+                demotions: stats.demotions,
+            }
+        })
+        .collect()
+}
+
+/// Renders the E24 table.
+#[must_use]
+pub fn e24_render(
+    n: usize,
+    keys: usize,
+    s: f64,
+    per_message: Duration,
+    rows: &[KeyspaceRow],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "E24. Keyspace placement: closed-loop keyed TCP incs over {keys} counters\n\
+         (zipf s = {s}), hosted on {n}-processor backends, every message priced at\n\
+         {} us inside the backend\n\n",
+        per_message.as_micros()
+    ));
+    let mut table = Table::new(vec![
+        "policy",
+        "ops",
+        "goodput (incs/s)",
+        "p50 (us)",
+        "p99 (us)",
+        "exact",
+        "keys",
+        "promotions",
+        "demotions",
+    ]);
+    for r in rows {
+        table.row(vec![
+            r.policy.clone(),
+            r.ops.to_string(),
+            fmt_f64(r.goodput),
+            r.p50_us.to_string(),
+            r.p99_us.to_string(),
+            if r.exact { "yes".into() } else { "NO".into() },
+            r.keys_hosted.to_string(),
+            r.promotions.to_string(),
+            r.demotions.to_string(),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "\nreading: the center cannot amortize (count x u per batch), the tree overpays\n\
+         on cold keys ((k+1) x u per traversal of a singleton batch). Adaptive placement\n\
+         promotes the Zipf head to the tree and leaves the tail centralized, beating both\n\
+         static extremes on goodput — with every key's values exactly 0..ops_k across\n\
+         the live migrations.\n",
+    );
+    out
+}
+
+/// Serializes the measurement as the checked-in `BENCH_keyspace.json`
+/// artifact (hand-rolled JSON; the harness has no serde dependency).
+#[must_use]
+pub fn e24_json(
+    n: usize,
+    keys: usize,
+    s: f64,
+    conns: usize,
+    ops_per_conn: usize,
+    per_message: Duration,
+    rows: &[KeyspaceRow],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"experiment\": \"keyspace\",\n");
+    out.push_str("  \"backend\": \"keyspace over sim trees\",\n");
+    out.push_str("  \"mode\": \"closed-loop keyed TCP, combining server\",\n");
+    out.push_str(&format!("  \"processors\": {n},\n"));
+    out.push_str(&format!("  \"keys\": {keys},\n"));
+    out.push_str(&format!("  \"zipf_s\": {s},\n"));
+    out.push_str(&format!("  \"conns\": {conns},\n"));
+    out.push_str(&format!("  \"ops_per_conn\": {ops_per_conn},\n"));
+    out.push_str(&format!("  \"per_message_us\": {},\n", per_message.as_micros()));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"policy\": \"{}\", \"ops\": {}, \"failed\": {}, \
+             \"goodput_incs_per_sec\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \
+             \"exact\": {}, \"keys_hosted\": {}, \"promotions\": {}, \"demotions\": {} }}{}\n",
+            r.policy,
+            r.ops,
+            r.failed,
+            r.goodput,
+            r.p50_us,
+            r.p99_us,
+            r.exact,
+            r.keys_hosted,
+            r.promotions,
+            r.demotions,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e24_measures_renders_and_serializes() {
+        // Tiny sizes and a free cost model: this test pins the harness
+        // shape (exactness, stats plumbing, rendering), not the
+        // performance ordering — the report gate checks that at real
+        // sizes.
+        let rows = e24_measure(8, 3, 1.2, 2, 20, Duration::ZERO, &e24_scenarios());
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.exact), "a policy lost exactness: {rows:?}");
+        assert!(rows.iter().all(|r| r.goodput > 0.0));
+        assert!(rows.iter().all(|r| r.keys_hosted >= 1 && r.keys_hosted <= 3));
+        let central = &rows[0];
+        let tree = &rows[1];
+        assert_eq!(central.promotions, 0, "pinned central never promotes");
+        assert_eq!(tree.promotions, 0, "pinned tree is born on the tree, no migration");
+        assert_eq!(tree.demotions, 0);
+        let report = e24_render(8, 3, 1.2, Duration::ZERO, &rows);
+        assert!(report.contains("goodput"), "{report}");
+        assert!(report.contains("adaptive"), "{report}");
+        let json = e24_json(8, 3, 1.2, 2, 20, Duration::ZERO, &rows);
+        assert!(json.contains("\"experiment\": \"keyspace\""), "{json}");
+        assert!(json.contains("\"policy\": \"adaptive\""), "{json}");
+    }
+
+    #[test]
+    fn the_policy_grid_covers_both_extremes_and_the_adaptive_default() {
+        let scenarios = e24_scenarios();
+        assert_eq!(scenarios.len(), 3);
+        assert_eq!(scenarios[0].0, "all-central");
+        assert_eq!(scenarios[1].0, "all-tree");
+        assert_eq!(scenarios[2].0, "adaptive");
+    }
+}

@@ -24,6 +24,7 @@ pub mod exp_bound;
 pub mod exp_chaos;
 pub mod exp_concurrent;
 pub mod exp_hotspot;
+pub mod exp_keyspace;
 pub mod exp_lemmas;
 pub mod exp_linearizable;
 pub mod exp_serve;

@@ -148,6 +148,48 @@ fn a_composed_storm_of_toxics_still_counts_exactly_once() {
 }
 
 #[test]
+fn a_promotion_mid_storm_keeps_every_key_exactly_once() {
+    // The hardest composition in the suite: a keyspace whose policy
+    // promotes hot keys on the faintest contention signal, driven with
+    // a Zipf-skewed keyed load *through* a proxy that slices frames to
+    // shreds and resets every connection after a few ops. Promotions
+    // and demotion-free migrations race reconnect replays; the reply
+    // caches the migration carries across must keep every key's values
+    // exactly `0..ops_k` regardless.
+    use distctr_keyspace::{Keyspace, KeyspaceConfig, PromotionPolicy};
+
+    let policy = PromotionPolicy {
+        window: Duration::from_millis(50),
+        promote_rate: 1.0,
+        promote_depth: 1,
+        demote_rate: 0.0,
+        cooldown: Duration::from_secs(3600),
+        ..PromotionPolicy::default()
+    };
+    let backend = Keyspace::sim(KeyspaceConfig { policy, ..KeyspaceConfig::new(8) });
+    let mut server = CounterServer::serve_combining(backend).expect("serve");
+    let plan = ChaosPlan::new(24).slice(5, Duration::from_micros(100)).reset_after(900);
+    let proxy = ChaosProxy::start(server.local_addr(), plan).expect("proxy");
+    let cfg = LoadConfig::closed(4, 120)
+        .with_client(hardened(Duration::from_secs(5), 30))
+        .with_keys(4, 1.4, 0x5707);
+    let report = run_load(proxy.local_addr(), &cfg).expect("load");
+    let stats = server.stats();
+    server.shutdown().expect("shutdown");
+
+    assert_eq!(report.failed, 0, "ops failed despite the retry budget");
+    assert_eq!(report.ops, 120, "not every op completed");
+    assert!(
+        report.values_are_sequential_per_key(),
+        "a key lost or double-counted a grant across a mid-storm migration: {:?}",
+        report.per_key
+    );
+    assert!(stats.promotions >= 1, "the storm never tripped a promotion: {stats:?}");
+    assert!(proxy.stats().resets >= 1, "the reset toxic never fired");
+    assert!(proxy.stats().connections > 4, "no reconnect ever happened");
+}
+
+#[test]
 fn the_same_seed_and_plan_replay_the_same_fault_decisions() {
     // The replay discipline: per-(connection, direction) random streams
     // are fully determined by `(seed, plan)`. Two proxies with the same

@@ -21,6 +21,52 @@ use distctr_sim::{Counter, ProcessorId};
 use crate::counter::TreeCounter;
 use crate::error::CoreError;
 
+/// The key a single-counter client addresses implicitly: every backend
+/// is a keyspace of (at least) one, hosting this key, so pre-keyspace
+/// clients and servers interoperate with keyed ones unchanged.
+pub const DEFAULT_KEY: u64 = 0;
+
+/// Outcome of a keyed operation ([`CounterBackend::inc_key`] /
+/// [`CounterBackend::inc_batch_key`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyedReply {
+    /// The operation was applied; the value (or first value of the
+    /// granted contiguous range) is carried.
+    Fresh(u64),
+    /// The operation's dedup token was found in a reply cache: nothing
+    /// was applied, and the original grant's (first) value is carried.
+    /// This is what keeps a reconnect-and-retry exactly-once even when
+    /// the key migrated backends between the attempts.
+    Replay(u64),
+    /// The backend does not host this key (single-counter backends host
+    /// only [`DEFAULT_KEY`]; a keyspace may be at its key limit).
+    Unrouted,
+}
+
+/// Keyspace-level statistics, carried over the wire in the server's
+/// stats snapshot. A single-counter backend is a keyspace of one with
+/// no migration machinery — see [`KeyspaceStats::single`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KeyspaceStats {
+    /// Keys currently hosted.
+    pub keys_hosted: u64,
+    /// Keys promoted centralized → tree so far.
+    pub promotions: u64,
+    /// Keys demoted tree → centralized so far.
+    pub demotions: u64,
+    /// Keys marked for migration that have not yet settled (draining).
+    pub migrations_inflight: u64,
+}
+
+impl KeyspaceStats {
+    /// The stats of a plain single-counter backend: one hosted key,
+    /// nothing ever migrates.
+    #[must_use]
+    pub fn single() -> Self {
+        KeyspaceStats { keys_hosted: 1, ..KeyspaceStats::default() }
+    }
+}
+
 /// A counter implementation that can be hosted behind a service
 /// boundary.
 ///
@@ -109,6 +155,71 @@ pub trait CounterBackend {
         self.inc_batch(initiator, count)
     }
 
+    /// Executes one `inc` against counter `key`, optionally under a
+    /// `(session, request)` dedup token: a backend that keeps a keyed
+    /// reply cache answers a replayed token with [`KeyedReply::Replay`]
+    /// instead of incrementing again — and carries that cache across
+    /// backend migrations, so exactly-once survives a key changing
+    /// placement between a request and its retry.
+    ///
+    /// The default routes [`DEFAULT_KEY`] to [`CounterBackend::inc`]
+    /// (ignoring the token; the caller's own answer table must dedup)
+    /// and reports every other key [`KeyedReply::Unrouted`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CounterBackend::inc`].
+    fn inc_key(
+        &mut self,
+        key: u64,
+        initiator: ProcessorId,
+        token: Option<(u64, u64)>,
+    ) -> Result<KeyedReply, Self::Error> {
+        let _ = token;
+        if key == DEFAULT_KEY {
+            self.inc(initiator).map(KeyedReply::Fresh)
+        } else {
+            Ok(KeyedReply::Unrouted)
+        }
+    }
+
+    /// Batch analogue of [`CounterBackend::inc_key`]: `count` incs
+    /// against counter `key` as one traversal where supported, granting
+    /// the contiguous range `[first, first + count)`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CounterBackend::inc`].
+    fn inc_batch_key(
+        &mut self,
+        key: u64,
+        initiator: ProcessorId,
+        count: u64,
+        token: Option<(u64, u64)>,
+    ) -> Result<KeyedReply, Self::Error> {
+        let _ = token;
+        if key == DEFAULT_KEY {
+            self.inc_batch(initiator, count).map(KeyedReply::Fresh)
+        } else {
+            Ok(KeyedReply::Unrouted)
+        }
+    }
+
+    /// Reads counter `key`'s current value (the count of grants so far)
+    /// without incrementing, or `None` if this backend cannot serve
+    /// reads for it. The default declines every key: the single-counter
+    /// backends expose no read path, only keyspaces do.
+    fn read_key(&self, key: u64) -> Option<u64> {
+        let _ = key;
+        None
+    }
+
+    /// Keyspace-level statistics. The default reports a keyspace of one
+    /// ([`KeyspaceStats::single`]).
+    fn keyspace_stats(&self) -> KeyspaceStats {
+        KeyspaceStats::single()
+    }
+
     /// The bottleneck load `m_b = max_p m_p` so far.
     fn bottleneck(&self) -> u64;
 
@@ -178,5 +289,21 @@ mod tests {
         assert_eq!(sim.reserve(), None);
         assert_eq!(sim.inc_ticketed(ProcessorId::new(0), 7).expect("inc"), 0);
         assert_eq!(sim.inc_ticketed(ProcessorId::new(1), 7).expect("inc"), 1);
+    }
+
+    #[test]
+    fn default_keyed_methods_make_every_backend_a_keyspace_of_one() {
+        let mut sim = TreeCounter::new(8).expect("counter");
+        let p = ProcessorId::new(0);
+        assert_eq!(sim.inc_key(DEFAULT_KEY, p, Some((1, 1))).expect("inc"), KeyedReply::Fresh(0));
+        assert_eq!(
+            sim.inc_batch_key(DEFAULT_KEY, p, 3, None).expect("batch"),
+            KeyedReply::Fresh(1)
+        );
+        assert_eq!(sim.inc_key(7, p, None).expect("inc"), KeyedReply::Unrouted);
+        assert_eq!(sim.inc_batch_key(7, p, 2, None).expect("batch"), KeyedReply::Unrouted);
+        assert_eq!(sim.read_key(DEFAULT_KEY), None, "single-counter backends decline reads");
+        assert_eq!(sim.keyspace_stats(), KeyspaceStats::single());
+        assert_eq!(sim.keyspace_stats().keys_hosted, 1);
     }
 }

@@ -1,0 +1,136 @@
+//! The cheap centralized backend every cold key starts on.
+
+use distctr_core::CounterBackend;
+use distctr_sim::ProcessorId;
+
+use crate::keyspace::KeyspaceError;
+
+/// A centralized counter object: one processor (the center) owns the
+/// value and hands it out in order. Every increment is one message at
+/// the center, so its [`CounterBackend::bottleneck`] grows linearly
+/// with the ops — the exact load profile the paper's lower bound says a
+/// *contended* counter cannot escape, and the exact profile that is
+/// **optimal** for an uncontended one (the tree pays `k+1` messages per
+/// cold traversal where the center pays 1).
+///
+/// # Examples
+///
+/// ```
+/// use distctr_core::CounterBackend;
+/// use distctr_keyspace::CentralBackend;
+/// use distctr_sim::ProcessorId;
+///
+/// let mut c = CentralBackend::new(8);
+/// assert_eq!(c.inc(ProcessorId::new(3)).unwrap(), 0);
+/// assert_eq!(c.inc_batch(ProcessorId::new(5), 4).unwrap(), 1);
+/// assert_eq!(c.bottleneck(), 5, "the center saw every op");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CentralBackend {
+    processors: usize,
+    next: u64,
+    /// Messages handled at the center — one per granted value.
+    handled: u64,
+}
+
+impl CentralBackend {
+    /// A fresh centralized counter for a network of `n` processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a network needs at least one processor");
+        CentralBackend { processors: n, next: 0, handled: 0 }
+    }
+
+    /// A centralized counter resuming from `value` grants already made
+    /// elsewhere — the demotion path's state carry.
+    #[must_use]
+    pub fn resuming_at(n: usize, value: u64) -> Self {
+        let mut c = Self::new(n);
+        c.next = value;
+        c
+    }
+
+    /// The next value this counter will grant (== grants so far).
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.next
+    }
+
+    fn check(&self, initiator: ProcessorId) -> Result<(), KeyspaceError> {
+        if initiator.index() < self.processors {
+            Ok(())
+        } else {
+            Err(KeyspaceError::BadInitiator { initiator: initiator.index(), n: self.processors })
+        }
+    }
+}
+
+impl CounterBackend for CentralBackend {
+    type Error = KeyspaceError;
+
+    fn processors(&self) -> usize {
+        self.processors
+    }
+
+    fn inc(&mut self, initiator: ProcessorId) -> Result<u64, Self::Error> {
+        self.inc_batch(initiator, 1)
+    }
+
+    fn inc_batch(&mut self, initiator: ProcessorId, count: u64) -> Result<u64, Self::Error> {
+        self.check(initiator)?;
+        let first = self.next;
+        self.next += count;
+        // The center cannot amortize: each of the batch's increments is
+        // its own message from the modeled deployment's remote clients.
+        self.handled += count;
+        Ok(first)
+    }
+
+    fn bottleneck(&self) -> u64 {
+        self.handled
+    }
+
+    fn retirements(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_are_sequential_and_the_center_is_the_bottleneck() {
+        let mut c = CentralBackend::new(4);
+        for i in 0..10u64 {
+            assert_eq!(c.inc(ProcessorId::new((i % 4) as usize)).expect("inc"), i);
+        }
+        assert_eq!(c.bottleneck(), 10);
+        assert_eq!(c.retirements(), 0);
+        assert_eq!(c.value(), 10);
+    }
+
+    #[test]
+    fn batches_grant_contiguous_ranges_without_amortizing_the_center() {
+        let mut c = CentralBackend::new(4);
+        assert_eq!(c.inc_batch(ProcessorId::new(0), 5).expect("batch"), 0);
+        assert_eq!(c.inc(ProcessorId::new(1)).expect("inc"), 5);
+        assert_eq!(c.bottleneck(), 6, "a batch of 5 is 5 messages at the center");
+    }
+
+    #[test]
+    fn resuming_carries_the_value() {
+        let mut c = CentralBackend::resuming_at(4, 42);
+        assert_eq!(c.inc(ProcessorId::new(0)).expect("inc"), 42);
+    }
+
+    #[test]
+    fn out_of_range_initiators_fail() {
+        let mut c = CentralBackend::new(4);
+        assert!(c.inc(ProcessorId::new(4)).is_err());
+    }
+}

@@ -1,0 +1,242 @@
+//! Per-key contention measurement and the promotion/demotion policy.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use crate::keyspace::MigrationDirection;
+
+/// A sliding-window contention monitor for one key: the windowed
+/// increment rate plus the depth of the most recent combiner batch.
+/// Time is injected as microseconds-since-epoch, so the policy is unit
+/// testable without a clock.
+#[derive(Debug, Clone)]
+pub struct ContentionMonitor {
+    window_us: u64,
+    /// `(time_us, count)` events inside the window, oldest first.
+    events: VecDeque<(u64, u64)>,
+    in_window: u64,
+    /// Ops in the most recent single batch (combiner round depth).
+    last_depth: u64,
+    /// Since when the rate has been continuously below the demotion
+    /// threshold (tree-placed keys only), for the cooldown clock.
+    cool_since: Option<u64>,
+}
+
+impl ContentionMonitor {
+    /// A monitor with the given rate window.
+    #[must_use]
+    pub fn new(window: Duration) -> Self {
+        ContentionMonitor {
+            window_us: (window.as_micros() as u64).max(1),
+            events: VecDeque::new(),
+            in_window: 0,
+            last_depth: 0,
+            cool_since: None,
+        }
+    }
+
+    /// Records a batch of `count` incs observed at `now_us`.
+    pub fn record(&mut self, now_us: u64, count: u64) {
+        self.events.push_back((now_us, count));
+        self.in_window += count;
+        self.last_depth = count;
+        self.prune(now_us);
+    }
+
+    fn prune(&mut self, now_us: u64) {
+        let horizon = now_us.saturating_sub(self.window_us);
+        while let Some(&(t, c)) = self.events.front() {
+            if t >= horizon {
+                break;
+            }
+            self.events.pop_front();
+            self.in_window -= c;
+        }
+    }
+
+    /// The windowed increment rate in ops/second as of `now_us`.
+    #[must_use]
+    pub fn rate(&mut self, now_us: u64) -> f64 {
+        self.prune(now_us);
+        self.in_window as f64 / (self.window_us as f64 / 1_000_000.0)
+    }
+
+    /// Depth of the most recent batch.
+    #[must_use]
+    pub fn last_depth(&self) -> u64 {
+        self.last_depth
+    }
+}
+
+/// Pins a keyspace to one placement for baseline configurations; the
+/// adaptive policy is the point of the crate, the pins are what it is
+/// benchmarked against (E24).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPin {
+    /// Decide per key from measured contention.
+    Adaptive,
+    /// Every key stays on its centralized backend forever.
+    Central,
+    /// Every key is promoted to a tree backend on first touch.
+    Tree,
+}
+
+/// When a key moves between the centralized backend and the retirement
+/// tree.
+///
+/// Promotion fires when the windowed rate reaches `promote_rate` *or* a
+/// single combiner batch reaches `promote_depth` — the latter is the
+/// direct observation that batching would amortize a traversal below
+/// the center's per-op cost (the crossover is at depth `k+1`).
+/// Demotion fires when a tree-placed key's rate stays below
+/// `demote_rate` for a full `cooldown`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromotionPolicy {
+    /// The contention monitor's rate window.
+    pub window: Duration,
+    /// Windowed ops/second at which a central key is promoted.
+    pub promote_rate: f64,
+    /// A single batch this deep promotes immediately (set near `k+1`,
+    /// the amortization crossover).
+    pub promote_depth: u64,
+    /// Windowed ops/second below which a tree key starts cooling.
+    pub demote_rate: f64,
+    /// How long a tree key must stay cool before it is demoted.
+    pub cooldown: Duration,
+    /// Baseline pinning; [`PlacementPin::Adaptive`] for real use.
+    pub pin: PlacementPin,
+}
+
+impl Default for PromotionPolicy {
+    fn default() -> Self {
+        PromotionPolicy {
+            window: Duration::from_millis(100),
+            promote_rate: 500.0,
+            promote_depth: 4,
+            demote_rate: 50.0,
+            cooldown: Duration::from_millis(250),
+            pin: PlacementPin::Adaptive,
+        }
+    }
+}
+
+impl PromotionPolicy {
+    /// The all-central baseline: no key ever leaves its centralized
+    /// backend.
+    #[must_use]
+    pub fn pinned_central() -> Self {
+        PromotionPolicy { pin: PlacementPin::Central, ..PromotionPolicy::default() }
+    }
+
+    /// The all-tree baseline: every key is promoted on first touch.
+    #[must_use]
+    pub fn pinned_tree() -> Self {
+        PromotionPolicy { pin: PlacementPin::Tree, ..PromotionPolicy::default() }
+    }
+
+    /// Decides whether a key should migrate, given its monitor, the
+    /// time, and its current placement. Returns `None` to stay put.
+    #[must_use]
+    pub fn decide(
+        &self,
+        monitor: &mut ContentionMonitor,
+        now_us: u64,
+        on_tree: bool,
+    ) -> Option<MigrationDirection> {
+        match self.pin {
+            PlacementPin::Central => {
+                return (on_tree).then_some(MigrationDirection::Demote);
+            }
+            PlacementPin::Tree => {
+                return (!on_tree).then_some(MigrationDirection::Promote);
+            }
+            PlacementPin::Adaptive => {}
+        }
+        let rate = monitor.rate(now_us);
+        if on_tree {
+            if rate >= self.demote_rate {
+                monitor.cool_since = None;
+                return None;
+            }
+            let since = *monitor.cool_since.get_or_insert(now_us);
+            (now_us.saturating_sub(since) >= self.cooldown.as_micros() as u64)
+                .then_some(MigrationDirection::Demote)
+        } else {
+            monitor.cool_since = None;
+            (rate >= self.promote_rate || monitor.last_depth() >= self.promote_depth)
+                .then_some(MigrationDirection::Promote)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: u64 = 1_000_000;
+
+    #[test]
+    fn the_window_forgets_old_traffic() {
+        let mut m = ContentionMonitor::new(Duration::from_millis(100));
+        m.record(0, 50);
+        assert!((m.rate(0) - 500.0).abs() < 1e-9, "50 ops over a 100 ms window");
+        assert_eq!(m.rate(SEC) as u64, 0, "a second later the window is empty");
+        assert_eq!(m.last_depth(), 50, "depth is the last batch, not windowed");
+    }
+
+    #[test]
+    fn adaptive_promotes_on_rate_or_depth_and_demotes_after_cooldown() {
+        let p = PromotionPolicy {
+            promote_rate: 1000.0,
+            promote_depth: 8,
+            demote_rate: 100.0,
+            window: Duration::from_millis(100),
+            cooldown: Duration::from_millis(200),
+            pin: PlacementPin::Adaptive,
+        };
+        // Rate path: 150 ops in the window is 1500/s >= 1000/s.
+        let mut m = ContentionMonitor::new(p.window);
+        for t in 0..150 {
+            m.record(t * 100, 1);
+        }
+        assert_eq!(p.decide(&mut m, 15_000, false), Some(MigrationDirection::Promote));
+        // Depth path: one deep batch promotes a quiet key immediately.
+        let mut m = ContentionMonitor::new(p.window);
+        m.record(0, 8);
+        assert_eq!(p.decide(&mut m, 0, false), Some(MigrationDirection::Promote));
+        // A cold key on the tree must stay cool for the whole cooldown.
+        let mut m = ContentionMonitor::new(p.window);
+        m.record(0, 1);
+        assert_eq!(p.decide(&mut m, SEC, true), None, "cooldown starts now");
+        assert_eq!(p.decide(&mut m, SEC + 100_000, true), None, "still cooling");
+        assert_eq!(
+            p.decide(&mut m, SEC + 250_000, true),
+            Some(MigrationDirection::Demote),
+            "cooldown elapsed"
+        );
+        // Hot traffic resets the cooldown clock.
+        let mut m = ContentionMonitor::new(p.window);
+        assert_eq!(p.decide(&mut m, 0, true), None);
+        for t in 0..50 {
+            m.record(100_000 + t * 1000, 1);
+        }
+        assert_eq!(p.decide(&mut m, 150_000, true), None, "rate 500/s >= 100/s resets cooling");
+        assert!(m.cool_since.is_none());
+    }
+
+    #[test]
+    fn pins_override_measurement() {
+        let mut m = ContentionMonitor::new(Duration::from_millis(100));
+        m.record(0, 1000);
+        assert_eq!(PromotionPolicy::pinned_central().decide(&mut m, 0, false), None);
+        assert_eq!(
+            PromotionPolicy::pinned_central().decide(&mut m, 0, true),
+            Some(MigrationDirection::Demote)
+        );
+        assert_eq!(
+            PromotionPolicy::pinned_tree().decide(&mut m, 0, false),
+            Some(MigrationDirection::Promote)
+        );
+        assert_eq!(PromotionPolicy::pinned_tree().decide(&mut m, 0, true), None);
+    }
+}

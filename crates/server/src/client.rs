@@ -199,6 +199,9 @@ pub struct RemoteCounter {
     session: u64,
     processor: u64,
     processors: u64,
+    /// The counter key this session was opened against (`None` for the
+    /// unkeyed handshake), re-sent on every reconnect handshake.
+    key: Option<u64>,
     next_request: u64,
     config: ClientConfig,
     /// Jitter stream state (see [`RetryPolicy::seed`]).
@@ -231,7 +234,32 @@ impl RemoteCounter {
         addr: impl ToSocketAddrs,
         config: ClientConfig,
     ) -> Result<Self, ServerError> {
-        Self::handshake_retrying(addr, None, config)
+        Self::handshake_retrying(addr, None, None, config)
+    }
+
+    /// Connects with the **keyed** handshake: this session's unkeyed
+    /// operations are routed to counter `key` instead of the default
+    /// key. The server must host a keyed backend for any non-zero key
+    /// (otherwise the first operation reports `NoSuchKey`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RemoteCounter::connect`].
+    pub fn connect_keyed(addr: impl ToSocketAddrs, key: u64) -> Result<Self, ServerError> {
+        Self::connect_keyed_with(addr, key, ClientConfig::default())
+    }
+
+    /// [`RemoteCounter::connect_keyed`] with explicit knobs.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RemoteCounter::connect`].
+    pub fn connect_keyed_with(
+        addr: impl ToSocketAddrs,
+        key: u64,
+        config: ClientConfig,
+    ) -> Result<Self, ServerError> {
+        Self::handshake_retrying(addr, None, Some(key), config)
     }
 
     /// Reconnects to `addr` and resumes session `session` (from
@@ -244,7 +272,7 @@ impl RemoteCounter {
     /// [`ServerError::Remote`] with `UnknownSession` if the server does
     /// not know the session.
     pub fn resume(addr: impl ToSocketAddrs, session: u64) -> Result<Self, ServerError> {
-        Self::handshake_retrying(addr, Some(session), ClientConfig::default())
+        Self::handshake_retrying(addr, Some(session), None, ClientConfig::default())
     }
 
     /// [`RemoteCounter::resume`] with explicit knobs.
@@ -257,7 +285,7 @@ impl RemoteCounter {
         session: u64,
         config: ClientConfig,
     ) -> Result<Self, ServerError> {
-        Self::handshake_retrying(addr, Some(session), config)
+        Self::handshake_retrying(addr, Some(session), None, config)
     }
 
     /// Connect-and-handshake under the retry policy: a server that
@@ -266,12 +294,13 @@ impl RemoteCounter {
     fn handshake_retrying(
         addr: impl ToSocketAddrs,
         resume: Option<u64>,
+        key: Option<u64>,
         config: ClientConfig,
     ) -> Result<Self, ServerError> {
         let mut rng = config.retry.seed;
         let mut attempt = 0u32;
         loop {
-            let e = match Self::handshake(&addr, resume, &config) {
+            let e = match Self::handshake(&addr, resume, key, &config) {
                 Ok(mut counter) => {
                     counter.rng = rng;
                     return Ok(counter);
@@ -297,9 +326,10 @@ impl RemoteCounter {
     fn handshake(
         addr: impl ToSocketAddrs,
         resume: Option<u64>,
+        key: Option<u64>,
         config: &ClientConfig,
     ) -> Result<Self, ServerError> {
-        let (stream, session, processor) = Self::dial(&addr, resume, config)?;
+        let (stream, session, processor) = Self::dial(&addr, resume, key, config)?;
         let addr = stream.peer_addr().map_err(|e| ServerError::Io(e.to_string()))?;
         let mut counter = RemoteCounter {
             stream,
@@ -307,6 +337,7 @@ impl RemoteCounter {
             session,
             processor,
             processors: 0,
+            key,
             next_request: 0,
             rng: config.retry.seed,
             config: config.clone(),
@@ -322,6 +353,7 @@ impl RemoteCounter {
     fn dial(
         addr: impl ToSocketAddrs,
         resume: Option<u64>,
+        key: Option<u64>,
         config: &ClientConfig,
     ) -> Result<(TcpStream, u64, u64), ServerError> {
         let mut stream = TcpStream::connect(addr).map_err(|e| ServerError::Io(e.to_string()))?;
@@ -329,7 +361,11 @@ impl RemoteCounter {
         stream
             .set_read_timeout(Some(config.reply_timeout))
             .map_err(|e| ServerError::Io(e.to_string()))?;
-        write_frame(&mut stream, &WireMsg::Hello { resume })?;
+        let hello = match key {
+            Some(key) => WireMsg::HelloKeyed { resume, key },
+            None => WireMsg::Hello { resume },
+        };
+        write_frame(&mut stream, &hello)?;
         match read_frame(&mut stream)? {
             WireMsg::HelloOk { session, processor } => Ok((stream, session, processor)),
             WireMsg::Busy { retry_after_ms } => Err(ServerError::Busy { retry_after_ms }),
@@ -341,7 +377,8 @@ impl RemoteCounter {
     /// Re-establishes the connection and resumes this session, keeping
     /// the server-side dedup state the retry loop replays into.
     fn reconnect(&mut self) -> Result<(), ServerError> {
-        let (stream, session, processor) = Self::dial(self.addr, Some(self.session), &self.config)?;
+        let (stream, session, processor) =
+            Self::dial(self.addr, Some(self.session), self.key, &self.config)?;
         self.stream = stream;
         self.session = session;
         self.processor = processor;
@@ -514,6 +551,124 @@ impl RemoteCounter {
             ))),
             other => Err(unexpected(&other)),
         }
+    }
+
+    /// The key this session was opened against, if the keyed handshake
+    /// was used.
+    #[must_use]
+    pub fn key(&self) -> Option<u64> {
+        self.key
+    }
+
+    /// Executes one `inc` against counter `key` (regardless of the
+    /// session's own key), retrying per the [`RetryPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RemoteCounter::inc`], plus
+    /// [`ServerError::Remote`] with `NoSuchKey` if the server does not
+    /// route the key.
+    pub fn inc_key(&mut self, key: u64) -> Result<u64, ServerError> {
+        let request_id = self.next_request;
+        self.next_request += 1;
+        self.inc_key_with_id(key, request_id, None)
+    }
+
+    /// Executes (or replays) a keyed `inc` under an explicit request id
+    /// — the keyed [`RemoteCounter::inc_with_id`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RemoteCounter::inc_key`].
+    pub fn inc_key_with_id(
+        &mut self,
+        key: u64,
+        request_id: u64,
+        initiator: Option<u64>,
+    ) -> Result<u64, ServerError> {
+        self.next_request = self.next_request.max(request_id + 1);
+        self.with_retry(|c| c.raw_inc_key(key, request_id, initiator))
+    }
+
+    fn raw_inc_key(
+        &mut self,
+        key: u64,
+        request_id: u64,
+        initiator: Option<u64>,
+    ) -> Result<u64, ServerError> {
+        self.send(&WireMsg::KeyInc { key, request_id, initiator })?;
+        match self.receive()? {
+            WireMsg::IncOk { request_id: rid, value } if rid == request_id => Ok(value),
+            WireMsg::IncOk { request_id: rid, .. } => Err(ServerError::Protocol(format!(
+                "IncOk for request {rid} while {request_id} was in flight"
+            ))),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Executes a batch of `count` incs against counter `key` as one
+    /// request, returning the first value of the granted range.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RemoteCounter::inc_key`].
+    pub fn inc_batch_key(&mut self, key: u64, count: u64) -> Result<u64, ServerError> {
+        let request_id = self.next_request;
+        self.next_request += 1;
+        self.inc_batch_key_with_id(key, request_id, count, None)
+    }
+
+    /// Executes (or replays) a keyed batch under an explicit request id.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RemoteCounter::inc_key`].
+    pub fn inc_batch_key_with_id(
+        &mut self,
+        key: u64,
+        request_id: u64,
+        count: u64,
+        initiator: Option<u64>,
+    ) -> Result<u64, ServerError> {
+        self.next_request = self.next_request.max(request_id + 1);
+        self.with_retry(|c| c.raw_inc_batch_key(key, request_id, count, initiator))
+    }
+
+    fn raw_inc_batch_key(
+        &mut self,
+        key: u64,
+        request_id: u64,
+        count: u64,
+        initiator: Option<u64>,
+    ) -> Result<u64, ServerError> {
+        self.send(&WireMsg::KeyBatchInc { key, request_id, count, initiator })?;
+        match self.receive()? {
+            WireMsg::BatchOk { request_id: rid, first, .. } if rid == request_id => Ok(first),
+            WireMsg::BatchOk { request_id: rid, .. } => Err(ServerError::Protocol(format!(
+                "BatchOk for request {rid} while {request_id} was in flight"
+            ))),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Reads counter `key`'s current value without incrementing,
+    /// retrying per the [`RetryPolicy`]. Reads have no side effect, so
+    /// retrying them is trivially safe.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RemoteCounter::inc_key`].
+    pub fn read(&mut self, key: u64) -> Result<u64, ServerError> {
+        self.with_retry(|c| {
+            c.send(&WireMsg::Read { key })?;
+            match c.receive()? {
+                WireMsg::ReadOk { key: k, value } if k == key => Ok(value),
+                WireMsg::ReadOk { key: k, .. } => Err(ServerError::Protocol(format!(
+                    "ReadOk for key {k} while {key} was in flight"
+                ))),
+                other => Err(unexpected(&other)),
+            }
+        })
     }
 
     /// Fetches the server's statistics snapshot.

@@ -28,6 +28,11 @@ pub enum ErrCode {
     /// A frame arrived whose payload failed its CRC-32: corrupted in
     /// transit. The connection is desynchronized; retry on a fresh one.
     Corrupt,
+    /// A keyed operation named a counter the hosted backend does not
+    /// route (single-counter backends host only key 0; a keyspace may
+    /// be at its key limit). Not retryable: the same key will keep
+    /// failing.
+    NoSuchKey,
     /// A code this client build does not know (forward compatibility).
     Other(u16),
 }
@@ -45,6 +50,7 @@ impl ErrCode {
             ErrCode::BadInitiator => 6,
             ErrCode::Backend => 7,
             ErrCode::Corrupt => 8,
+            ErrCode::NoSuchKey => 9,
             ErrCode::Other(c) => c,
         }
     }
@@ -62,6 +68,7 @@ impl ErrCode {
             6 => ErrCode::BadInitiator,
             7 => ErrCode::Backend,
             8 => ErrCode::Corrupt,
+            9 => ErrCode::NoSuchKey,
             other => ErrCode::Other(other),
         }
     }
@@ -78,6 +85,7 @@ impl fmt::Display for ErrCode {
             ErrCode::BadInitiator => write!(f, "initiator out of range"),
             ErrCode::Backend => write!(f, "backend failure"),
             ErrCode::Corrupt => write!(f, "frame failed its checksum"),
+            ErrCode::NoSuchKey => write!(f, "no such counter key"),
             ErrCode::Other(c) => write!(f, "unknown error code {c}"),
         }
     }
@@ -168,6 +176,7 @@ mod tests {
             ErrCode::BadInitiator,
             ErrCode::Backend,
             ErrCode::Corrupt,
+            ErrCode::NoSuchKey,
             ErrCode::Other(4242),
         ] {
             assert_eq!(ErrCode::from_u16(code.as_u16()), code);

@@ -54,6 +54,6 @@ pub mod wire;
 
 pub use client::{ClientConfig, RemoteCounter, RetryPolicy};
 pub use error::{ErrCode, ServerError};
-pub use load::{run_load, ConnReport, LoadConfig, LoadMode, LoadReport};
+pub use load::{run_load, ConnReport, KeyLoad, KeyMix, LoadConfig, LoadMode, LoadReport};
 pub use server::{CounterServer, ServerConfig, DEDUP_WINDOW};
 pub use wire::{StatsSnapshot, WireError, WireMsg, MAX_FRAME};

@@ -15,10 +15,14 @@
 //!   regimes), retold as what a client actually experiences in front of
 //!   the paper's bottleneck.
 
+use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
 use distctr_analysis::{percentile, Histogram, Table};
+use distctr_sim::ZipfSampler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 use crate::client::{ClientConfig, RemoteCounter};
 use crate::error::ServerError;
@@ -38,6 +42,21 @@ pub enum LoadMode {
     },
 }
 
+/// A keyed traffic mix: every operation targets a counter key drawn
+/// from a Zipf distribution over ranks `0..keys` — the multi-counter
+/// analogue of [`distctr_sim::Workload::Zipf`]. Low ranks are hot,
+/// high ranks are cold; a keyspace backend should promote the former
+/// and leave the latter centralized.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyMix {
+    /// Number of distinct counter keys.
+    pub keys: usize,
+    /// Zipf skew exponent (`0` = uniform-with-replacement).
+    pub s: f64,
+    /// Sampling seed (varied per connection).
+    pub seed: u64,
+}
+
 /// A load-generation run description.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LoadConfig {
@@ -50,25 +69,48 @@ pub struct LoadConfig {
     /// Knobs (timeout, retry policy) for the closed-loop clients —
     /// chaos runs shrink the budget so a dead path gives up quickly.
     pub client: ClientConfig,
+    /// When set, operations carry counter keys (`KeyInc` frames) drawn
+    /// from this mix instead of driving the server's single default
+    /// counter.
+    pub key_mix: Option<KeyMix>,
 }
 
 impl LoadConfig {
     /// A closed-loop run.
     #[must_use]
     pub fn closed(conns: usize, ops: usize) -> Self {
-        LoadConfig { conns, ops, mode: LoadMode::Closed, client: ClientConfig::default() }
+        LoadConfig {
+            conns,
+            ops,
+            mode: LoadMode::Closed,
+            client: ClientConfig::default(),
+            key_mix: None,
+        }
     }
 
     /// An open-loop run at `rate` total operations/second.
     #[must_use]
     pub fn open(conns: usize, ops: usize, rate: f64) -> Self {
-        LoadConfig { conns, ops, mode: LoadMode::Open { rate }, client: ClientConfig::default() }
+        LoadConfig {
+            conns,
+            ops,
+            mode: LoadMode::Open { rate },
+            client: ClientConfig::default(),
+            key_mix: None,
+        }
     }
 
     /// The same run with explicit client knobs.
     #[must_use]
     pub fn with_client(mut self, client: ClientConfig) -> Self {
         self.client = client;
+        self
+    }
+
+    /// The same run over `keys` counters with Zipf skew `s`.
+    #[must_use]
+    pub fn with_keys(mut self, keys: usize, s: f64, seed: u64) -> Self {
+        self.key_mix = Some(KeyMix { keys, s, seed });
         self
     }
 }
@@ -100,10 +142,26 @@ pub struct LoadReport {
     pub offered_rate: Option<f64>,
     /// All observed latencies in microseconds, ascending.
     pub latencies_us: Vec<u64>,
-    /// All counter values handed out, ascending.
+    /// All counter values handed out, ascending. In a keyed run each
+    /// key counts independently, so values repeat across keys here —
+    /// use [`LoadReport::per_key`] for correctness checks there.
     pub values: Vec<u64>,
     /// Per-connection accounting, by connection index.
     pub per_conn: Vec<ConnReport>,
+    /// Per-key accounting, ascending by key — empty unless the run had
+    /// a [`KeyMix`].
+    pub per_key: Vec<KeyLoad>,
+}
+
+/// Per-key accounting of a keyed run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyLoad {
+    /// The counter key.
+    pub key: u64,
+    /// Operations acked on this key.
+    pub ops: usize,
+    /// Counter values acked on this key, ascending.
+    pub values: Vec<u64>,
 }
 
 impl LoadReport {
@@ -161,6 +219,18 @@ impl LoadReport {
             && self.values.iter().enumerate().all(|(i, &v)| v == start + i as u64)
     }
 
+    /// Whether every key's acked values are exactly `0..ops_k` — the
+    /// distributed counter's correctness condition, independently per
+    /// counter. Vacuously true for runs without a [`KeyMix`]; a live
+    /// promotion or demotion that lost or duplicated a grant shows up
+    /// here as a gap or a repeat on that key.
+    #[must_use]
+    pub fn values_are_sequential_per_key(&self) -> bool {
+        self.per_key.iter().all(|k| {
+            k.values.len() == k.ops && k.values.iter().enumerate().all(|(i, &v)| v == i as u64)
+        })
+    }
+
     /// Whether no counter value was acked twice — the exactly-once
     /// half that must survive even runs where some operations failed
     /// (shed or timed out), when the acked set is no longer contiguous.
@@ -191,6 +261,23 @@ impl LoadReport {
         t.row(vec!["p99 latency".into(), format!("{} us", self.latency_percentile_us(99.0))]);
         t.row(vec!["max latency".into(), format!("{} us", self.max_latency_us())]);
         out.push_str(&t.render());
+        if !self.per_key.is_empty() {
+            out.push_str("\nper-key goodput:\n");
+            let mut kt = Table::new(vec!["key", "ops", "rate", "sequential"]);
+            let wall = self.wall.as_secs_f64();
+            for k in &self.per_key {
+                let rate = if wall > 0.0 { k.ops as f64 / wall } else { 0.0 };
+                let sequential = k.values.iter().enumerate().all(|(i, &v)| v == i as u64)
+                    && k.values.len() == k.ops;
+                kt.row(vec![
+                    k.key.to_string(),
+                    k.ops.to_string(),
+                    format!("{rate:.0} ops/s"),
+                    if sequential { "yes".into() } else { "NO".into() },
+                ]);
+            }
+            out.push_str(&kt.render());
+        }
         out.push_str("\nlatency distribution (us):\n");
         let h = Histogram::from_samples(&self.latencies_us, 10);
         out.push_str(&h.render(40));
@@ -219,12 +306,15 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> Result<LoadReport, Server
         let mode = cfg.mode;
         let conns = cfg.conns;
         let client = cfg.client.clone();
+        let key_mix = cfg.key_mix.clone();
         handles.push(
             std::thread::Builder::new()
                 .name(format!("loadgen-c{conn}"))
                 .spawn(move || match mode {
-                    LoadMode::Closed => drive_closed(addr, ops, &client),
-                    LoadMode::Open { rate } => drive_open(addr, ops, rate / conns as f64),
+                    LoadMode::Closed => drive_closed(addr, conn, ops, &client, key_mix.as_ref()),
+                    LoadMode::Open { rate } => {
+                        drive_open(addr, conn, ops, rate / conns as f64, key_mix.as_ref())
+                    }
                 })
                 .map_err(|e| ServerError::Io(e.to_string()))?,
         );
@@ -232,6 +322,8 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> Result<LoadReport, Server
     let mut latencies = Vec::with_capacity(cfg.ops);
     let mut values = Vec::with_capacity(cfg.ops);
     let mut per_conn = Vec::with_capacity(cfg.conns);
+    let mut by_key: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    let keyed = cfg.key_mix.is_some();
     let mut failed = 0;
     let mut first_error = None;
     for handle in handles {
@@ -239,12 +331,15 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> Result<LoadReport, Server
             Ok(Ok(conn_result)) => {
                 per_conn.push(ConnReport {
                     ops: conn_result.acked.len(),
-                    max_us: conn_result.acked.iter().map(|&(_, lat)| lat).max().unwrap_or(0),
+                    max_us: conn_result.acked.iter().map(|&(_, _, lat)| lat).max().unwrap_or(0),
                 });
                 failed += conn_result.failed;
-                for (value, lat_us) in conn_result.acked {
+                for (key, value, lat_us) in conn_result.acked {
                     values.push(value);
                     latencies.push(lat_us);
+                    if keyed {
+                        by_key.entry(key).or_default().push(value);
+                    }
                 }
             }
             Ok(Err(e)) => first_error = first_error.or(Some(e)),
@@ -260,6 +355,13 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> Result<LoadReport, Server
     let wall = started.elapsed();
     latencies.sort_unstable();
     values.sort_unstable();
+    let per_key = by_key
+        .into_iter()
+        .map(|(key, mut vals)| {
+            vals.sort_unstable();
+            KeyLoad { key, ops: vals.len(), values: vals }
+        })
+        .collect();
     let offered_rate = match cfg.mode {
         LoadMode::Closed => None,
         LoadMode::Open { rate } => Some(rate),
@@ -272,14 +374,25 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> Result<LoadReport, Server
         latencies_us: latencies,
         values,
         per_conn,
+        per_key,
     })
 }
 
-/// One connection's outcome: acked `(value, latency_us)` pairs plus the
-/// count of operations whose retry budget ran dry.
+/// One connection's outcome: acked `(key, value, latency_us)` triples
+/// plus the count of operations whose retry budget ran dry. Unkeyed
+/// runs report everything on key 0.
 struct ConnOutcome {
-    acked: Vec<(u64, u64)>,
+    acked: Vec<(u64, u64, u64)>,
     failed: usize,
+}
+
+/// A per-connection key sequence: each connection samples its own
+/// stream from the mix, seeded by connection index so the run is
+/// reproducible without coordination.
+fn key_stream(mix: &KeyMix, conn: usize, ops: usize) -> Vec<u64> {
+    let sampler = ZipfSampler::new(mix.keys, mix.s);
+    let mut rng = StdRng::seed_from_u64(mix.seed.wrapping_add(conn as u64));
+    (0..ops).map(|_| sampler.sample(&mut rng) as u64).collect()
 }
 
 /// One closed-loop connection. Operation failures (retry budget spent)
@@ -288,15 +401,22 @@ struct ConnOutcome {
 /// failed initial connect aborts the run.
 fn drive_closed(
     addr: SocketAddr,
+    conn: usize,
     ops: usize,
     config: &ClientConfig,
+    key_mix: Option<&KeyMix>,
 ) -> Result<ConnOutcome, ServerError> {
     let mut client = RemoteCounter::connect_with(addr, config.clone())?;
+    let keys = key_mix.map(|mix| key_stream(mix, conn, ops));
     let mut out = ConnOutcome { acked: Vec::with_capacity(ops), failed: 0 };
-    for _ in 0..ops {
+    for i in 0..ops {
         let t0 = Instant::now();
-        match client.inc() {
-            Ok(value) => out.acked.push((value, t0.elapsed().as_micros() as u64)),
+        let (key, result) = match &keys {
+            Some(keys) => (keys[i], client.inc_key(keys[i])),
+            None => (0, client.inc()),
+        };
+        match result {
+            Ok(value) => out.acked.push((key, value, t0.elapsed().as_micros() as u64)),
             Err(_) => out.failed += 1,
         }
     }
@@ -306,8 +426,15 @@ fn drive_closed(
 /// One open-loop connection at `rate` operations/second: requests go out
 /// on schedule over a pipelined socket while a reader half collects the
 /// replies; latency is completion minus *scheduled* injection.
-fn drive_open(addr: SocketAddr, ops: usize, rate: f64) -> Result<ConnOutcome, ServerError> {
+fn drive_open(
+    addr: SocketAddr,
+    conn: usize,
+    ops: usize,
+    rate: f64,
+    key_mix: Option<&KeyMix>,
+) -> Result<ConnOutcome, ServerError> {
     assert!(rate > 0.0, "open-loop rate must be positive");
+    let keys = key_mix.map(|mix| key_stream(mix, conn, ops));
     let stream = TcpStream::connect(addr).map_err(|e| ServerError::Io(e.to_string()))?;
     stream.set_nodelay(true).map_err(|e| ServerError::Io(e.to_string()))?;
     stream
@@ -324,16 +451,20 @@ fn drive_open(addr: SocketAddr, ops: usize, rate: f64) -> Result<ConnOutcome, Se
 
     let interval = Duration::from_secs_f64(1.0 / rate);
     let start = Instant::now();
+    // The reader indexes acked replies back into the key stream by
+    // request id, so the two halves need no shared mutable state.
+    let reader_keys = keys.clone();
     let collector = std::thread::Builder::new()
         .name("loadgen-read".into())
-        .spawn(move || -> Result<Vec<(u64, u64)>, ServerError> {
+        .spawn(move || -> Result<Vec<(u64, u64, u64)>, ServerError> {
             let mut out = Vec::with_capacity(ops);
             for _ in 0..ops {
                 match read_frame(&mut reader)? {
                     WireMsg::IncOk { request_id, value } => {
                         let scheduled = start + interval.mul_f64(request_id as f64);
                         let lat = Instant::now().saturating_duration_since(scheduled);
-                        out.push((value, lat.as_micros() as u64));
+                        let key = reader_keys.as_ref().map_or(0, |keys| keys[request_id as usize]);
+                        out.push((key, value, lat.as_micros() as u64));
                     }
                     WireMsg::Err { code } => return Err(ServerError::Remote(code)),
                     other => {
@@ -351,11 +482,11 @@ fn drive_open(addr: SocketAddr, ops: usize, rate: f64) -> Result<ConnOutcome, Se
         if let Some(wait) = due.checked_duration_since(Instant::now()) {
             std::thread::sleep(wait);
         }
-        write_frame_buf(
-            &mut writer,
-            &WireMsg::Inc { request_id: i as u64, initiator: None },
-            &mut scratch,
-        )?;
+        let msg = match &keys {
+            Some(keys) => WireMsg::KeyInc { key: keys[i], request_id: i as u64, initiator: None },
+            None => WireMsg::Inc { request_id: i as u64, initiator: None },
+        };
+        write_frame_buf(&mut writer, &msg, &mut scratch)?;
     }
     let acked =
         collector.join().map_err(|_| ServerError::Io("the reader thread panicked".into()))??;
@@ -376,6 +507,7 @@ mod tests {
             latencies_us: latencies,
             values,
             per_conn: vec![ConnReport { ops, max_us: 0 }],
+            per_key: Vec::new(),
         }
     }
 
@@ -417,6 +549,38 @@ mod tests {
         let dup = report(vec![1, 2, 3], vec![0, 4, 4]);
         assert!(!dup.values_are_distinct(), "an acked value handed out twice");
         assert!((report(Vec::new(), Vec::new()).availability() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_key_sequentiality_catches_gaps_dups_and_renders() {
+        let mut r = report(vec![1, 2, 3, 4, 5], vec![0, 0, 1, 1, 2]);
+        assert!(r.values_are_sequential_per_key(), "vacuously true without a mix");
+        r.per_key = vec![
+            KeyLoad { key: 0, ops: 3, values: vec![0, 1, 2] },
+            KeyLoad { key: 7, ops: 2, values: vec![0, 1] },
+        ];
+        assert!(r.values_are_sequential_per_key());
+        let s = r.render();
+        assert!(s.contains("per-key goodput"));
+        assert!(s.contains("yes"));
+        r.per_key[1].values = vec![0, 2];
+        assert!(!r.values_are_sequential_per_key(), "a gap on one key fails the run");
+        assert!(r.render().contains("NO"));
+        r.per_key[1].values = vec![0, 0];
+        assert!(!r.values_are_sequential_per_key(), "a duplicate on one key fails the run");
+    }
+
+    #[test]
+    fn key_streams_are_reproducible_and_skewed() {
+        let mix = KeyMix { keys: 8, s: 1.5, seed: 42 };
+        let a = key_stream(&mix, 0, 500);
+        let b = key_stream(&mix, 0, 500);
+        let c = key_stream(&mix, 1, 500);
+        assert_eq!(a, b, "same conn, same stream");
+        assert_ne!(a, c, "different conns sample independently");
+        assert!(a.iter().all(|&k| k < 8));
+        let hot = a.iter().filter(|&&k| k == 0).count();
+        assert!(hot > 100, "rank 0 dominates a 1.5-skewed stream: {hot}/500");
     }
 
     #[test]

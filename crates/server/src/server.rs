@@ -65,7 +65,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use distctr_core::CounterBackend;
+use distctr_core::{CounterBackend, KeyedReply, DEFAULT_KEY};
 use distctr_sim::ProcessorId;
 
 use crate::error::{ErrCode, ServerError};
@@ -125,6 +125,9 @@ struct Session {
     /// The processor this session's operations are charged to (unless
     /// an `Inc` names an explicit initiator).
     processor: u64,
+    /// The counter key this session's unkeyed `Inc`/`BatchInc` route to
+    /// ([`DEFAULT_KEY`] for sessions opened with the unkeyed `Hello`).
+    key: u64,
     /// request id -> backend ticket (ticketed backends).
     tickets: HashMap<u64, u64>,
     /// request id -> value already handed out (non-ticketed backends).
@@ -193,6 +196,9 @@ impl ConnWriter {
 /// straight back to its socket and the connection stays pipelined.
 struct PendingInc {
     session_id: u64,
+    /// The counter this inc targets (the session's key, or an explicit
+    /// one from `KeyInc`). Combining rounds batch per key.
+    key: u64,
     request_id: u64,
     initiator: Option<u64>,
     /// When the reader enqueued it, for [`ServerConfig::request_deadline`].
@@ -651,32 +657,10 @@ fn handle_conn<B: CounterBackend + Send + 'static>(
         PollRead { inner: read_half, stop: Arc::clone(stop), draining: Arc::clone(draining) };
     let mut writer = stream;
 
-    // --- handshake: the first frame must be a Hello ------------------
-    let session_id = match read_frame(&mut reader) {
-        Ok(WireMsg::Hello { resume }) => {
-            let mut inner = shared.lock_inner();
-            match resume {
-                Some(id) => {
-                    if inner.sessions.contains_key(&id) {
-                        id
-                    } else {
-                        drop(inner);
-                        let _ = write_frame(
-                            &mut writer,
-                            &WireMsg::Err { code: ErrCode::UnknownSession },
-                        );
-                        return;
-                    }
-                }
-                None => {
-                    let id = inner.next_session;
-                    inner.next_session += 1;
-                    let processor = id % inner.backend.processors() as u64;
-                    inner.sessions.insert(id, Session { processor, ..Session::default() });
-                    id
-                }
-            }
-        }
+    // --- handshake: the first frame must be a Hello (either version) --
+    let established = match read_frame(&mut reader) {
+        Ok(WireMsg::Hello { resume }) => establish(shared, resume, DEFAULT_KEY),
+        Ok(WireMsg::HelloKeyed { resume, key }) => establish(shared, resume, key),
         Ok(_) => {
             shared.stats.wire_errors.fetch_add(1, Ordering::Relaxed);
             let _ = write_frame(&mut writer, &WireMsg::Err { code: ErrCode::BadHandshake });
@@ -684,6 +668,13 @@ fn handle_conn<B: CounterBackend + Send + 'static>(
         }
         Err(e) => {
             report_wire_error(&mut writer, shared, &e);
+            return;
+        }
+    };
+    let (session_id, session_key) = match established {
+        Ok(pair) => pair,
+        Err(code) => {
+            let _ = write_frame(&mut writer, &WireMsg::Err { code });
             return;
         }
     };
@@ -708,36 +699,46 @@ fn handle_conn<B: CounterBackend + Send + 'static>(
             break;
         }
         match read_frame(&mut reader) {
-            Ok(WireMsg::Inc { request_id, initiator }) => match &shared.combine {
-                // Pipelined: enqueue for the combiner and go straight
-                // back to the socket; the combiner writes the reply.
-                Some(combine) => {
-                    let over_cap = shared
-                        .config
-                        .max_inflight_per_conn
-                        .is_some_and(|cap| inflight.load(Ordering::SeqCst) >= cap);
-                    if over_cap {
-                        // Shed instead of queueing without bound; the
-                        // request was not applied, so the client's
-                        // retry of the same id stays exactly-once.
-                        if send_reply(&writer, &shared.busy()).is_err() {
-                            break;
-                        }
-                    } else if !enqueue_inc(
-                        combine, session_id, request_id, initiator, &writer, &inflight,
-                    ) {
-                        break;
-                    }
+            // An unkeyed Inc routes to the session's key; KeyInc names
+            // its counter explicitly. Both take the same two serving
+            // paths (combining enqueue vs sequential).
+            Ok(WireMsg::Inc { request_id, initiator }) => {
+                if !route_inc(
+                    shared,
+                    session_id,
+                    session_key,
+                    request_id,
+                    initiator,
+                    &writer,
+                    &inflight,
+                ) {
+                    break;
                 }
-                None => {
-                    let reply = serve_inc(shared, session_id, request_id, initiator);
-                    if send_reply(&writer, &reply).is_err() {
-                        break;
-                    }
+            }
+            Ok(WireMsg::KeyInc { key, request_id, initiator }) => {
+                if !route_inc(shared, session_id, key, request_id, initiator, &writer, &inflight) {
+                    break;
                 }
-            },
+            }
             Ok(WireMsg::BatchInc { request_id, count, initiator }) => {
-                let reply = serve_batch_inc(shared, session_id, request_id, count, initiator);
+                let reply =
+                    serve_batch_inc(shared, session_id, session_key, request_id, count, initiator);
+                if send_reply(&writer, &reply).is_err() {
+                    break;
+                }
+            }
+            Ok(WireMsg::KeyBatchInc { key, request_id, count, initiator }) => {
+                let reply = serve_batch_inc(shared, session_id, key, request_id, count, initiator);
+                if send_reply(&writer, &reply).is_err() {
+                    break;
+                }
+            }
+            Ok(WireMsg::Read { key }) => {
+                let value = shared.lock_inner().backend.read_key(key);
+                let reply = match value {
+                    Some(value) => WireMsg::ReadOk { key, value },
+                    None => WireMsg::Err { code: ErrCode::NoSuchKey },
+                };
                 if send_reply(&writer, &reply).is_err() {
                     break;
                 }
@@ -748,7 +749,7 @@ fn handle_conn<B: CounterBackend + Send + 'static>(
                     break;
                 }
             }
-            Ok(WireMsg::Hello { .. }) => {
+            Ok(WireMsg::Hello { .. } | WireMsg::HelloKeyed { .. }) => {
                 shared.stats.wire_errors.fetch_add(1, Ordering::Relaxed);
                 let _ = send_reply(&writer, &WireMsg::Err { code: ErrCode::BadHandshake });
                 break;
@@ -759,6 +760,7 @@ fn handle_conn<B: CounterBackend + Send + 'static>(
                 | WireMsg::BatchOk { .. }
                 | WireMsg::StatsOk(_)
                 | WireMsg::Busy { .. }
+                | WireMsg::ReadOk { .. }
                 | WireMsg::Err { .. },
             ) => {
                 shared.stats.wire_errors.fetch_add(1, Ordering::Relaxed);
@@ -777,11 +779,74 @@ fn handle_conn<B: CounterBackend + Send + 'static>(
     }
 }
 
+/// Resolves a handshake into `(session id, session key)`: resume an
+/// existing session (keeping its key and dedup state) or open a fresh
+/// one bound to `key`.
+fn establish<B: CounterBackend + Send + 'static>(
+    shared: &Arc<Shared<B>>,
+    resume: Option<u64>,
+    key: u64,
+) -> Result<(u64, u64), ErrCode> {
+    let mut inner = shared.lock_inner();
+    match resume {
+        Some(id) => match inner.sessions.get(&id) {
+            // The session's original key wins: resuming re-attaches to
+            // the same counter the acked operations went to.
+            Some(session) => Ok((id, session.key)),
+            None => Err(ErrCode::UnknownSession),
+        },
+        None => {
+            let id = inner.next_session;
+            inner.next_session += 1;
+            let processor = id % inner.backend.processors() as u64;
+            inner.sessions.insert(id, Session { processor, key, ..Session::default() });
+            Ok((id, key))
+        }
+    }
+}
+
 /// Writes one reply frame under the connection's writer mutex.
 fn send_reply(writer: &Arc<Mutex<ConnWriter>>, msg: &WireMsg) -> Result<(), WireError> {
     match writer.lock() {
         Ok(mut w) => w.send(msg),
         Err(_) => Err(WireError::Io("connection writer poisoned".into())),
+    }
+}
+
+/// Dispatches one inc — unkeyed (carrying its session's key) or an
+/// explicit `KeyInc` — onto the serving path: combining servers enqueue
+/// and return to the socket, sequential servers serve inline. Returns
+/// `false` when the connection must close.
+fn route_inc<B: CounterBackend + Send + 'static>(
+    shared: &Arc<Shared<B>>,
+    session_id: u64,
+    key: u64,
+    request_id: u64,
+    initiator: Option<u64>,
+    writer: &Arc<Mutex<ConnWriter>>,
+    inflight: &Arc<AtomicUsize>,
+) -> bool {
+    match &shared.combine {
+        // Pipelined: enqueue for the combiner and go straight back to
+        // the socket; the combiner writes the reply.
+        Some(combine) => {
+            let over_cap = shared
+                .config
+                .max_inflight_per_conn
+                .is_some_and(|cap| inflight.load(Ordering::SeqCst) >= cap);
+            if over_cap {
+                // Shed instead of queueing without bound; the request
+                // was not applied, so the client's retry of the same id
+                // stays exactly-once.
+                send_reply(writer, &shared.busy()).is_ok()
+            } else {
+                enqueue_inc(combine, session_id, key, request_id, initiator, writer, inflight)
+            }
+        }
+        None => {
+            let reply = serve_inc(shared, session_id, key, request_id, initiator);
+            send_reply(writer, &reply).is_ok()
+        }
     }
 }
 
@@ -791,6 +856,7 @@ fn send_reply(writer: &Arc<Mutex<ConnWriter>>, msg: &WireMsg) -> Result<(), Wire
 fn enqueue_inc(
     combine: &CombineState,
     session_id: u64,
+    key: u64,
     request_id: u64,
     initiator: Option<u64>,
     writer: &Arc<Mutex<ConnWriter>>,
@@ -801,6 +867,7 @@ fn enqueue_inc(
     inflight.fetch_add(1, Ordering::SeqCst);
     q.push(PendingInc {
         session_id,
+        key,
         request_id,
         initiator,
         enqueued_at: Instant::now(),
@@ -860,10 +927,13 @@ fn contained<T>(stats: &Counters, f: impl FnOnce() -> Result<T, ()>) -> Result<T
 
 /// One increment, with exactly-once retry semantics. See the module doc
 /// for the two dedup paths (backend tickets vs the session answer
-/// table).
+/// table). A non-default `key` takes the keyed backend path instead:
+/// the backend routes the key and keeps its own migrating reply cache,
+/// with the session answer table in front as the first dedup line.
 fn serve_inc<B: CounterBackend + Send + 'static>(
     shared: &Arc<Shared<B>>,
     session_id: u64,
+    key: u64,
     request_id: u64,
     initiator: Option<u64>,
 ) -> WireMsg {
@@ -884,6 +954,12 @@ fn serve_inc<B: CounterBackend + Send + 'static>(
     if let Some(&value) = session.answered.get(&request_id) {
         shared.stats.deduped.fetch_add(1, Ordering::Relaxed);
         return WireMsg::IncOk { request_id, value };
+    }
+    if key != DEFAULT_KEY {
+        return match serve_keyed(shared, inner, session_id, key, p, request_id, 1) {
+            Ok(value) => WireMsg::IncOk { request_id, value },
+            Err(code) => WireMsg::Err { code },
+        };
     }
     // Ticketed path: the first sighting of a request id reserves a
     // backend ticket; a retry re-drives the *same* ticket, which the
@@ -926,6 +1002,43 @@ fn serve_inc<B: CounterBackend + Send + 'static>(
         // client's retry converges on exactly-once.
         Err(code) => WireMsg::Err { code },
     }
+}
+
+/// The keyed serving path shared by [`serve_inc`] and
+/// [`serve_batch_inc`]: drives the backend's keyed batch op under a
+/// `(session, request)` dedup token — the backend's keyed reply cache
+/// is what survives a key migrating between placements — and mirrors
+/// the grant into the session answer table so later retries are
+/// answered without touching the backend at all.
+fn serve_keyed<B: CounterBackend + Send + 'static>(
+    shared: &Arc<Shared<B>>,
+    inner: &mut Inner<B>,
+    session_id: u64,
+    key: u64,
+    p: ProcessorId,
+    request_id: u64,
+    count: u64,
+) -> Result<u64, ErrCode> {
+    let backend = &mut inner.backend;
+    let reply = contained(&shared.stats, || {
+        backend.inc_batch_key(key, p, count, Some((session_id, request_id))).map_err(|_| ())
+    })?;
+    let (first, fresh) = match reply {
+        KeyedReply::Fresh(first) => (first, true),
+        KeyedReply::Replay(first) => (first, false),
+        KeyedReply::Unrouted => return Err(ErrCode::NoSuchKey),
+    };
+    if let Some(session) = inner.sessions.get_mut(&session_id) {
+        session.answered.insert(request_id, first);
+        session.remember(request_id);
+        session.ops += count;
+    }
+    if fresh {
+        shared.stats.ops.fetch_add(count, Ordering::Relaxed);
+    } else {
+        shared.stats.deduped.fetch_add(1, Ordering::Relaxed);
+    }
+    Ok(first)
 }
 
 /// The dedicated combiner: parks until incs are queued, then drains and
@@ -1005,12 +1118,13 @@ fn combine_round<B: CounterBackend + Send + 'static>(
             p.inflight.fetch_sub(1, Ordering::SeqCst);
         };
     // Validate each waiter and split answered retries from fresh work.
-    // A batch traversal has exactly one origin, so requests with an
-    // explicit initiator group by it; everything else — the common
-    // "don't care" traffic — coalesces into ONE batch per round (the
-    // `None` bucket), charged to a round-robin rotating processor so no
-    // single initiator becomes an artificial hot spot.
-    let mut fresh: BTreeMap<Option<u64>, Vec<PendingInc>> = BTreeMap::new();
+    // A batch traversal targets exactly one counter and has exactly one
+    // origin, so waiters group by **(key, initiator)**: per key,
+    // requests with an explicit initiator group by it and everything
+    // else — the common "don't care" traffic — coalesces into ONE batch
+    // per round (the `None` bucket), charged to a round-robin rotating
+    // processor so no single initiator becomes an artificial hot spot.
+    let mut fresh: BTreeMap<(u64, Option<u64>), Vec<PendingInc>> = BTreeMap::new();
     for p in unique {
         let Some(session) = inner.sessions.get(&p.session_id) else {
             deliver(&mut dup, &p, WireMsg::Err { code: ErrCode::UnknownSession });
@@ -1036,9 +1150,9 @@ fn combine_round<B: CounterBackend + Send + 'static>(
             deliver(&mut dup, &p, shared.busy());
             continue;
         }
-        fresh.entry(p.initiator).or_default().push(p);
+        fresh.entry((p.key, p.initiator)).or_default().push(p);
     }
-    for (explicit, waiters) in fresh {
+    for ((key, explicit), waiters) in fresh {
         let m = waiters.len() as u64;
         let charged = explicit.unwrap_or_else(|| {
             let p = inner.combine_origin;
@@ -1052,14 +1166,25 @@ fn combine_round<B: CounterBackend + Send + 'static>(
         // combiner (and the server with it) survives.
         let backend = &mut inner.backend;
         let result = contained(&shared.stats, || {
-            match backend.reserve() {
-                Some(t) => backend.inc_batch_ticketed(initiator, t, m),
-                None => backend.inc_batch(initiator, m),
+            if key == DEFAULT_KEY {
+                // The legacy single-counter path, tickets and all.
+                match backend.reserve() {
+                    Some(t) => backend.inc_batch_ticketed(initiator, t, m),
+                    None => backend.inc_batch(initiator, m),
+                }
+                .map(KeyedReply::Fresh)
+            } else {
+                // Keyed rounds carry no token: the batch is an
+                // aggregate of many requests, so per-request dedup
+                // lives in the session answer tables (filled below) and
+                // the keyspace's own cache — a token here could only
+                // alias distinct batches.
+                backend.inc_batch_key(key, initiator, m, None)
             }
             .map_err(|_| ())
         });
         match result {
-            Ok(first) => {
+            Ok(KeyedReply::Fresh(first) | KeyedReply::Replay(first)) => {
                 for (i, p) in waiters.into_iter().enumerate() {
                     let value = first + i as u64;
                     if let Some(session) = inner.sessions.get_mut(&p.session_id) {
@@ -1069,6 +1194,11 @@ fn combine_round<B: CounterBackend + Send + 'static>(
                     }
                     shared.stats.ops.fetch_add(1, Ordering::Relaxed);
                     deliver(&mut dup, &p, WireMsg::IncOk { request_id: p.request_id, value });
+                }
+            }
+            Ok(KeyedReply::Unrouted) => {
+                for p in waiters {
+                    deliver(&mut dup, &p, WireMsg::Err { code: ErrCode::NoSuchKey });
                 }
             }
             // The batch's composition is not reproducible, so nothing
@@ -1091,6 +1221,7 @@ fn combine_round<B: CounterBackend + Send + 'static>(
 fn serve_batch_inc<B: CounterBackend + Send + 'static>(
     shared: &Arc<Shared<B>>,
     session_id: u64,
+    key: u64,
     request_id: u64,
     count: u64,
     initiator: Option<u64>,
@@ -1113,6 +1244,12 @@ fn serve_batch_inc<B: CounterBackend + Send + 'static>(
     if let Some(&first) = session.answered.get(&request_id) {
         shared.stats.deduped.fetch_add(1, Ordering::Relaxed);
         return WireMsg::BatchOk { request_id, first, count };
+    }
+    if key != DEFAULT_KEY {
+        return match serve_keyed(shared, inner, session_id, key, p, request_id, count) {
+            Ok(first) => WireMsg::BatchOk { request_id, first, count },
+            Err(code) => WireMsg::Err { code },
+        };
     }
     let backend = &mut inner.backend;
     let (ticket, is_retry) = match session.tickets.get(&request_id) {
@@ -1153,13 +1290,14 @@ fn serve_batch_inc<B: CounterBackend + Send + 'static>(
 }
 
 fn snapshot<B: CounterBackend + Send + 'static>(shared: &Arc<Shared<B>>) -> StatsSnapshot {
-    let (processors, sessions, bottleneck, retirements) = {
+    let (processors, sessions, bottleneck, retirements, keyspace) = {
         let inner = shared.lock_inner();
         (
             inner.backend.processors() as u64,
             inner.next_session,
             inner.backend.bottleneck(),
             inner.backend.retirements(),
+            inner.backend.keyspace_stats(),
         )
     };
     StatsSnapshot {
@@ -1174,5 +1312,9 @@ fn snapshot<B: CounterBackend + Send + 'static>(shared: &Arc<Shared<B>>) -> Stat
         panics_contained: shared.stats.panics_contained.load(Ordering::Relaxed),
         bottleneck,
         retirements,
+        keys_hosted: keyspace.keys_hosted,
+        promotions: keyspace.promotions,
+        demotions: keyspace.demotions,
+        migrations_inflight: keyspace.migrations_inflight,
     }
 }

@@ -31,11 +31,16 @@ const TAG_HELLO: u8 = 0x01;
 const TAG_INC: u8 = 0x02;
 const TAG_STATS: u8 = 0x03;
 const TAG_BATCH_INC: u8 = 0x04;
+const TAG_HELLO_KEYED: u8 = 0x05;
+const TAG_KEY_INC: u8 = 0x06;
+const TAG_KEY_BATCH_INC: u8 = 0x07;
+const TAG_READ: u8 = 0x08;
 const TAG_HELLO_OK: u8 = 0x81;
 const TAG_INC_OK: u8 = 0x82;
 const TAG_STATS_OK: u8 = 0x83;
 const TAG_BATCH_OK: u8 = 0x84;
 const TAG_BUSY: u8 = 0x85;
+const TAG_READ_OK: u8 = 0x86;
 const TAG_ERR: u8 = 0xEE;
 
 /// CRC-32 (IEEE 802.3, reflected) over `bytes` — the per-frame
@@ -85,6 +90,15 @@ pub struct StatsSnapshot {
     pub bottleneck: u64,
     /// Worker retirements inside the backend.
     pub retirements: u64,
+    /// Counters hosted by the backend's keyspace (1 for single-counter
+    /// backends).
+    pub keys_hosted: u64,
+    /// Keys promoted centralized → tree so far.
+    pub promotions: u64,
+    /// Keys demoted tree → centralized so far.
+    pub demotions: u64,
+    /// Keys marked for migration that have not yet settled.
+    pub migrations_inflight: u64,
 }
 
 /// One protocol message.
@@ -121,6 +135,52 @@ pub enum WireMsg {
     },
     /// Request a [`WireMsg::StatsOk`] snapshot.
     Stats,
+    /// Versioned client handshake for keyspace-aware clients: like
+    /// [`WireMsg::Hello`] plus the **counter key** this session's
+    /// unkeyed [`WireMsg::Inc`]/[`WireMsg::BatchInc`] operations are
+    /// routed to. Resume keeps the session's dedup state exactly as the
+    /// unkeyed handshake does.
+    HelloKeyed {
+        /// Session id to resume, if any.
+        resume: Option<u64>,
+        /// The counter this session operates on by default.
+        key: u64,
+    },
+    /// One increment against counter `key` — [`WireMsg::Inc`] with an
+    /// explicit key, usable from any session. Replied with
+    /// [`WireMsg::IncOk`].
+    KeyInc {
+        /// The counter to increment.
+        key: u64,
+        /// Client-chosen retry/dedup key, unique per session.
+        request_id: u64,
+        /// Explicit initiating processor, if the client wants one.
+        initiator: Option<u64>,
+    },
+    /// A batch of `count` increments against counter `key` — the keyed
+    /// [`WireMsg::BatchInc`]. Replied with [`WireMsg::BatchOk`].
+    KeyBatchInc {
+        /// The counter to increment.
+        key: u64,
+        /// Client-chosen retry/dedup key, unique per session.
+        request_id: u64,
+        /// Number of increments requested (must be ≥ 1).
+        count: u64,
+        /// Explicit initiating processor, if the client wants one.
+        initiator: Option<u64>,
+    },
+    /// Read counter `key`'s current value without incrementing.
+    Read {
+        /// The counter to read.
+        key: u64,
+    },
+    /// Reply to [`WireMsg::Read`].
+    ReadOk {
+        /// Echo of the request's key.
+        key: u64,
+        /// The counter's value (grants so far).
+        value: u64,
+    },
     /// Server handshake reply.
     HelloOk {
         /// The session id (present this to resume after a reconnect).
@@ -368,6 +428,33 @@ fn encode_into(msg: &WireMsg, out: &mut Vec<u8>) {
             push_opt_u64(out, *initiator);
         }
         WireMsg::Stats => out.push(TAG_STATS),
+        WireMsg::HelloKeyed { resume, key } => {
+            out.push(TAG_HELLO_KEYED);
+            push_opt_u64(out, *resume);
+            out.extend_from_slice(&key.to_le_bytes());
+        }
+        WireMsg::KeyInc { key, request_id, initiator } => {
+            out.push(TAG_KEY_INC);
+            out.extend_from_slice(&key.to_le_bytes());
+            out.extend_from_slice(&request_id.to_le_bytes());
+            push_opt_u64(out, *initiator);
+        }
+        WireMsg::KeyBatchInc { key, request_id, count, initiator } => {
+            out.push(TAG_KEY_BATCH_INC);
+            out.extend_from_slice(&key.to_le_bytes());
+            out.extend_from_slice(&request_id.to_le_bytes());
+            out.extend_from_slice(&count.to_le_bytes());
+            push_opt_u64(out, *initiator);
+        }
+        WireMsg::Read { key } => {
+            out.push(TAG_READ);
+            out.extend_from_slice(&key.to_le_bytes());
+        }
+        WireMsg::ReadOk { key, value } => {
+            out.push(TAG_READ_OK);
+            out.extend_from_slice(&key.to_le_bytes());
+            out.extend_from_slice(&value.to_le_bytes());
+        }
         WireMsg::HelloOk { session, processor } => {
             out.push(TAG_HELLO_OK);
             out.extend_from_slice(&session.to_le_bytes());
@@ -398,6 +485,10 @@ fn encode_into(msg: &WireMsg, out: &mut Vec<u8>) {
                 s.panics_contained,
                 s.bottleneck,
                 s.retirements,
+                s.keys_hosted,
+                s.promotions,
+                s.demotions,
+                s.migrations_inflight,
             ] {
                 out.extend_from_slice(&field.to_le_bytes());
             }
@@ -441,6 +532,18 @@ pub fn decode(payload: &[u8]) -> Result<WireMsg, WireError> {
             initiator: cur.opt_u64()?,
         },
         TAG_STATS => WireMsg::Stats,
+        TAG_HELLO_KEYED => WireMsg::HelloKeyed { resume: cur.opt_u64()?, key: cur.u64()? },
+        TAG_KEY_INC => {
+            WireMsg::KeyInc { key: cur.u64()?, request_id: cur.u64()?, initiator: cur.opt_u64()? }
+        }
+        TAG_KEY_BATCH_INC => WireMsg::KeyBatchInc {
+            key: cur.u64()?,
+            request_id: cur.u64()?,
+            count: cur.u64()?,
+            initiator: cur.opt_u64()?,
+        },
+        TAG_READ => WireMsg::Read { key: cur.u64()? },
+        TAG_READ_OK => WireMsg::ReadOk { key: cur.u64()?, value: cur.u64()? },
         TAG_HELLO_OK => WireMsg::HelloOk { session: cur.u64()?, processor: cur.u64()? },
         TAG_INC_OK => WireMsg::IncOk { request_id: cur.u64()?, value: cur.u64()? },
         TAG_BATCH_OK => {
@@ -458,6 +561,10 @@ pub fn decode(payload: &[u8]) -> Result<WireMsg, WireError> {
             panics_contained: cur.u64()?,
             bottleneck: cur.u64()?,
             retirements: cur.u64()?,
+            keys_hosted: cur.u64()?,
+            promotions: cur.u64()?,
+            demotions: cur.u64()?,
+            migrations_inflight: cur.u64()?,
         }),
         TAG_BUSY => WireMsg::Busy { retry_after_ms: cur.u64()? },
         TAG_ERR => WireMsg::Err { code: ErrCode::from_u16(cur.u16()?) },
@@ -531,6 +638,14 @@ mod tests {
         round_trip(WireMsg::BatchInc { request_id: 12, count: 1, initiator: Some(3) });
         round_trip(WireMsg::BatchOk { request_id: 11, first: 512, count: 64 });
         round_trip(WireMsg::Stats);
+        round_trip(WireMsg::HelloKeyed { resume: None, key: 0 });
+        round_trip(WireMsg::HelloKeyed { resume: Some(42), key: u64::MAX });
+        round_trip(WireMsg::KeyInc { key: 7, request_id: 1, initiator: None });
+        round_trip(WireMsg::KeyInc { key: u64::MAX, request_id: 2, initiator: Some(80) });
+        round_trip(WireMsg::KeyBatchInc { key: 9, request_id: 3, count: 64, initiator: None });
+        round_trip(WireMsg::KeyBatchInc { key: 0, request_id: 4, count: 1, initiator: Some(3) });
+        round_trip(WireMsg::Read { key: 12 });
+        round_trip(WireMsg::ReadOk { key: 12, value: 512 });
         round_trip(WireMsg::HelloOk { session: 3, processor: 17 });
         round_trip(WireMsg::IncOk { request_id: 9, value: 1234 });
         round_trip(WireMsg::StatsOk(StatsSnapshot {
@@ -545,6 +660,10 @@ mod tests {
             panics_contained: 1,
             bottleneck: 55,
             retirements: 40,
+            keys_hosted: 12,
+            promotions: 3,
+            demotions: 1,
+            migrations_inflight: 2,
         }));
         round_trip(WireMsg::Busy { retry_after_ms: 50 });
         round_trip(WireMsg::Err { code: ErrCode::UnknownTag });
@@ -646,6 +765,30 @@ mod tests {
             read_frame(&mut r),
             Err(WireError::Malformed("trailing bytes after the message"))
         );
+    }
+
+    #[test]
+    fn truncated_counter_id_fields_rejected() {
+        // KeyInc with only half of its key field.
+        let mut payload = vec![0x06u8];
+        payload.extend_from_slice(&[0u8; 4]);
+        let mut r = IoCursor::new(frame_raw(&payload));
+        assert!(matches!(read_frame(&mut r), Err(WireError::Malformed(_))));
+        // HelloKeyed whose key field is missing entirely after the
+        // resume option — the unkeyed Hello layout sent under the keyed
+        // tag.
+        let mut r = IoCursor::new(frame_raw(&[0x05, 0]));
+        assert!(matches!(read_frame(&mut r), Err(WireError::Malformed(_))));
+        // Read with a truncated key.
+        let mut payload = vec![0x08u8];
+        payload.extend_from_slice(&[0u8; 7]);
+        let mut r = IoCursor::new(frame_raw(&payload));
+        assert!(matches!(read_frame(&mut r), Err(WireError::Malformed(_))));
+        // KeyBatchInc cut off inside its count field.
+        let mut payload = vec![0x07u8];
+        payload.extend_from_slice(&[0u8; 18]);
+        let mut r = IoCursor::new(frame_raw(&payload));
+        assert!(matches!(read_frame(&mut r), Err(WireError::Malformed(_))));
     }
 
     #[test]

@@ -19,6 +19,7 @@ use std::net::SocketAddr;
 use std::process::ExitCode;
 
 use distctr::analysis::Table;
+use distctr::keyspace::KeyspaceConfig;
 use distctr::net::ThreadedTreeCounter;
 use distctr::server::{run_load, CounterServer, LoadConfig};
 
@@ -41,10 +42,21 @@ struct Args {
     /// Serve the hosted backend through the flat-combining hot path
     /// instead of the sequential ticketed one.
     combine: bool,
+    /// Number of counter keys to spread operations over (0 = unkeyed,
+    /// the single default counter). Hosts an adaptive `Keyspace` when
+    /// set.
+    keys: usize,
+    /// Zipf skew exponent for the key mix.
+    zipf: f64,
 }
 
 const USAGE: &str = "usage: loadgen [--n N] [--conns C] [--ops OPS] [--open RATE] \
-                     [--addr HOST:PORT] [--cache CAP] [--sim] [--combine]";
+                     [--addr HOST:PORT] [--cache CAP] [--sim] [--combine] \
+                     [--keys N] [--zipf S]";
+
+/// Seed for the keyed traffic mix — fixed so two invocations with the
+/// same flags drive the same per-connection key streams.
+const KEY_SEED: u64 = 0x6b65_7973;
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -56,6 +68,8 @@ fn parse_args() -> Result<Args, String> {
         cache: distctr::net::DEFAULT_REPLY_CACHE,
         sim: false,
         combine: false,
+        keys: 0,
+        zipf: 1.2,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -79,6 +93,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--sim" => args.sim = true,
             "--combine" => args.combine = true,
+            "--keys" => {
+                args.keys = value("--keys")?.parse().map_err(|e| format!("--keys: {e}"))?;
+            }
+            "--zipf" => {
+                args.zipf = value("--zipf")?.parse().map_err(|e| format!("--zipf: {e}"))?;
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -118,16 +138,24 @@ fn main() -> ExitCode {
 /// Runs the load, prints the report; `Ok(false)` if the sequential-values
 /// check failed against an in-process server.
 fn run(args: &Args) -> Result<bool, Box<dyn std::error::Error>> {
-    let cfg = match args.open {
+    let mut cfg = match args.open {
         Some(rate) => LoadConfig::open(args.conns, args.ops, rate),
         None => LoadConfig::closed(args.conns, args.ops),
     };
+    if args.keys > 0 {
+        cfg = cfg.with_keys(args.keys, args.zipf, KEY_SEED);
+    }
     // Host a server in-process unless pointed at an external one.
     if let Some(addr) = args.addr {
         banner(args, "external", addr);
         let report = run_load(addr, &cfg)?;
         println!("\n{}", report.render());
         Ok(true)
+    } else if args.keys > 0 {
+        // Keyed traffic needs a keyed backend: the adaptive keyspace
+        // over simulator trees, every key born centralized.
+        let backend = distctr::keyspace::Keyspace::sim(KeyspaceConfig::new(args.n));
+        hosted_run(backend, args, &cfg, "Keyspace<TreeCounter>")
     } else if args.sim {
         let backend = distctr::core::TreeCounter::new(args.n)?;
         hosted_run(backend, args, &cfg, "sim TreeCounter")
@@ -144,6 +172,9 @@ fn banner(args: &Args, backend_name: &str, addr: SocketAddr) {
     };
     if args.combine {
         mode.push_str(", combining");
+    }
+    if args.keys > 0 {
+        mode.push_str(&format!(", {} keys zipf {:.2}", args.keys, args.zipf));
     }
     println!(
         "loadgen: {mode}, {} conns x {} ops against {backend_name} at {addr}",
@@ -170,10 +201,22 @@ where
     let report = run_load(server.local_addr(), cfg)?;
     println!("\n{}", report.render());
 
-    // Fresh server, so the values must be exactly 0..ops — the paper's
-    // correctness condition observed over real TCP.
-    let ok = report.values_are_sequential_from(0);
-    println!("sequential values 0..{}: {}", args.ops, if ok { "OK" } else { "VIOLATED" });
+    // Fresh server, so the values must be exactly sequential — per key
+    // for a keyed run, globally otherwise: the paper's correctness
+    // condition observed over real TCP.
+    let ok = if cfg.key_mix.is_some() {
+        let ok = report.values_are_sequential_per_key();
+        println!(
+            "sequential values per key ({} keys touched): {}",
+            report.per_key.len(),
+            if ok { "OK" } else { "VIOLATED" }
+        );
+        ok
+    } else {
+        let ok = report.values_are_sequential_from(0);
+        println!("sequential values 0..{}: {}", args.ops, if ok { "OK" } else { "VIOLATED" });
+        ok
+    };
 
     let stats = server.stats();
     let mut t = Table::new(vec!["server metric", "value"]);
@@ -186,6 +229,10 @@ where
     t.row(vec!["combined traversals".into(), stats.combined_traversals.to_string()]);
     t.row(vec!["bottleneck (max msg load)".into(), stats.bottleneck.to_string()]);
     t.row(vec!["retirements".into(), stats.retirements.to_string()]);
+    t.row(vec!["keys hosted".into(), stats.keys_hosted.to_string()]);
+    t.row(vec!["promotions".into(), stats.promotions.to_string()]);
+    t.row(vec!["demotions".into(), stats.demotions.to_string()]);
+    t.row(vec!["migrations in flight".into(), stats.migrations_inflight.to_string()]);
     println!("\n{}", t.render());
     server.shutdown()?;
     Ok(ok)

@@ -18,6 +18,7 @@
 //! | [`net`] | `distctr-net` | real-threads backend: the tree counter over OS threads + channels |
 //! | [`server`] | `distctr-server` | TCP service layer: wire codec, counter server, remote client, load generator |
 //! | [`chaos`] | `distctr-chaos` | fault-injecting TCP proxy: seeded latency/throttle/reset/blackhole/slice/corrupt toxics |
+//! | [`keyspace`] | `distctr-keyspace` | sharded multi-counter keyspace with adaptive per-key backend promotion |
 //! | [`analysis`] | `distctr-analysis` | statistics and report rendering |
 //!
 //! ## Quickstart
@@ -50,6 +51,7 @@ pub use distctr_bound as bound;
 pub use distctr_chaos as chaos;
 pub use distctr_check as check;
 pub use distctr_core as core;
+pub use distctr_keyspace as keyspace;
 pub use distctr_net as net;
 pub use distctr_quorum as quorum;
 pub use distctr_server as server;
@@ -69,6 +71,7 @@ pub mod prelude {
     pub use distctr_core::{
         DistributedFlipBit, DistributedPriorityQueue, RetirementPolicy, TreeClient, TreeCounter,
     };
+    pub use distctr_keyspace::{Keyspace, KeyspaceConfig, PromotionPolicy};
     pub use distctr_net::ThreadedTreeCounter;
     pub use distctr_quorum::QuorumSystem;
     pub use distctr_server::{
