@@ -10,6 +10,7 @@
 //! report e22 --smoke   # batching regression gate, tiny sizes
 //! report e23 --smoke   # chaos robustness gate, tiny sizes
 //! report e24 --smoke   # keyspace placement gate, tiny sizes
+//! report e25 --smoke   # arena scale gate, n <= 10k (seconds)
 //! ```
 //!
 //! E22 additionally rewrites `BENCH_batching.json` in the working
@@ -19,10 +20,14 @@
 //! exactness or availability. E24 rewrites `BENCH_keyspace.json` and
 //! exits nonzero if any placement policy loses per-key exactness or the
 //! adaptive policy's goodput falls below the best static placement.
+//! E25 rewrites `BENCH_scale.json` and exits nonzero if any size's
+//! bottleneck exceeds twice the `20k` envelope (or, in the full sweep,
+//! if no size reaches 1M processors).
 
 use distctr_bench::{
     exp_ablation, exp_arrow, exp_backend, exp_batching, exp_bottleneck, exp_bound, exp_chaos,
-    exp_concurrent, exp_hotspot, exp_keyspace, exp_lemmas, exp_linearizable, exp_serve, figures,
+    exp_concurrent, exp_hotspot, exp_keyspace, exp_lemmas, exp_linearizable, exp_scale, exp_serve,
+    figures,
 };
 
 struct Config {
@@ -258,6 +263,35 @@ fn main() {
             adaptive.goodput,
             best_static
         );
+    }
+
+    if wants(&cfg, "e25") || wants(&cfg, "exp_scale") {
+        // The scale gate is the paper's curve on the arena core: the
+        // measured bottleneck must track the O(k) envelope at every
+        // size. Smoke stops at n = 1024 (the seconds-scale regression
+        // gate); the full sweep runs past a million processors and is
+        // what the checked-in BENCH_scale.json records.
+        let sizes = exp_scale::e25_sizes(cfg.quick, cfg.smoke);
+        let rows = exp_scale::e25_measure(&sizes);
+        println!("{}", exp_scale::e25_render(&rows));
+        let json_path = std::path::Path::new("BENCH_scale.json");
+        std::fs::write(json_path, exp_scale::e25_json(&rows)).expect("write BENCH_scale.json");
+        eprintln!("wrote {}", json_path.display());
+        for r in &rows {
+            assert!(
+                r.max_load <= 2 * r.predicted,
+                "scale regression: n={} bottleneck {} exceeds twice the O(k) envelope {}",
+                r.processors,
+                r.max_load,
+                r.predicted
+            );
+        }
+        if !cfg.quick && !cfg.smoke {
+            assert!(
+                rows.iter().any(|r| r.processors >= 1_000_000),
+                "the full sweep must include a size past 1M processors"
+            );
+        }
     }
 
     if let Some(dir) = &cfg.csv_dir {

@@ -27,6 +27,7 @@ pub mod exp_hotspot;
 pub mod exp_keyspace;
 pub mod exp_lemmas;
 pub mod exp_linearizable;
+pub mod exp_scale;
 pub mod exp_serve;
 pub mod figures;
 

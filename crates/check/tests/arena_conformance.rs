@@ -1,0 +1,113 @@
+//! Cross-backend conformance for the arena-backed engine storage.
+//!
+//! The engine's `hosted` / `forwarding` / `pending` / `rebuilding` maps
+//! were refactored from per-node `HashMap`s to flat arena slots keyed by
+//! the interned `NodeRef → u32` flat index. The refactor must be
+//! *observationally invisible*: [`NodeEngine::fingerprint`] hashes a
+//! canonical sorted rendering of the protocol state, and these golden
+//! values were captured from the pre-refactor `HashMap` implementation
+//! running the exact same seeded workloads. If the arena representation
+//! perturbed any protocol state — or merely the canonical rendering —
+//! the fingerprints would move and this suite would fail.
+//!
+//! Two workload families per requested size n ∈ {2, 4, 8, 81}:
+//!
+//! * a fault-free run mixing unit and batched increments (exercises
+//!   apply forwarding, reply caches, retirement handoffs and shims);
+//! * a crash-plan run that kills the root's worker mid-sequence and
+//!   recovers through the watchdog (exercises dead-letter purging,
+//!   pool-successor promotion, rebuild-share collection and pending
+//!   buffers).
+
+use distctr_check::combined_fingerprint;
+use distctr_core::{NodeRef, TreeCounter};
+use distctr_sim::{Counter, FaultPlan, ProcessorId};
+
+/// Runs `n` unit incs (initiators `i % processors`, ascending) with a
+/// batch of 3 injected halfway, then folds every engine fingerprint and
+/// the (empty) crash pattern into one state fingerprint.
+fn fault_free_fingerprint(n: usize) -> u64 {
+    let mut c = TreeCounter::new(n).expect("counter");
+    let procs = c.processors();
+    for i in 0..n {
+        let p = ProcessorId::new(i % procs);
+        if i == n / 2 {
+            c.inc_batch(p, 3).expect("batch inc");
+        } else {
+            c.inc(p).expect("inc");
+        }
+    }
+    let fps = c.engine_fingerprints();
+    let crashed = vec![false; procs];
+    combined_fingerprint(&fps, &crashed)
+}
+
+/// Same shape under a crash plan: the root's current worker is crashed
+/// halfway through the sequence and every op runs through the recovery
+/// watchdog. The final state (including the crash pattern) is folded
+/// into one fingerprint.
+fn crash_plan_fingerprint(n: usize) -> u64 {
+    // Recycling pools keep the crash recoverable at every size: the
+    // victim below may be the last member of a one-shot pool.
+    let mut c = TreeCounter::builder(n)
+        .expect("builder")
+        .pool(distctr_core::PoolPolicy::Recycling)
+        .faults(FaultPlan::new(0))
+        .build()
+        .expect("counter");
+    let procs = c.processors();
+    for i in 0..n {
+        if i == n / 2 {
+            let victim = c.worker_of(NodeRef::ROOT);
+            c.crash(victim);
+        }
+        let p = ProcessorId::new(i % procs);
+        c.inc_fault_tolerant(p).expect("fault-tolerant inc");
+    }
+    let fps = c.engine_fingerprints();
+    let mut crashed = vec![false; procs];
+    for p in c.crashed_processors() {
+        crashed[p.index()] = true;
+    }
+    combined_fingerprint(&fps, &crashed)
+}
+
+/// Golden `(n, fingerprint)` pairs captured from the pre-refactor
+/// `HashMap`-backed engine (commit before the arena storage landed).
+const FAULT_FREE_GOLDEN: [(usize, u64); 4] = [
+    (2, 0xdcd6_1044_5dfd_084c),
+    (4, 0xb767_abdb_91fd_63cb),
+    (8, 0x8cf2_8883_1bdc_ee95),
+    (81, 0x9aaf_5c99_4bcf_0fdc),
+];
+
+const CRASH_PLAN_GOLDEN: [(usize, u64); 4] = [
+    (2, 0x4869_e449_551d_1edd),
+    (4, 0xd90d_eef9_d8f0_b35f),
+    (8, 0x99cd_78df_41a5_face),
+    (81, 0x6166_6536_9a02_2c87),
+];
+
+#[test]
+fn fault_free_fingerprints_match_the_pre_refactor_backend() {
+    for (n, golden) in FAULT_FREE_GOLDEN {
+        let fp = fault_free_fingerprint(n);
+        assert_eq!(
+            fp, golden,
+            "n={n}: fault-free fingerprint {fp:#018x} diverged from the pre-refactor golden \
+             {golden:#018x}"
+        );
+    }
+}
+
+#[test]
+fn crash_plan_fingerprints_match_the_pre_refactor_backend() {
+    for (n, golden) in CRASH_PLAN_GOLDEN {
+        let fp = crash_plan_fingerprint(n);
+        assert_eq!(
+            fp, golden,
+            "n={n}: crash-plan fingerprint {fp:#018x} diverged from the pre-refactor golden \
+             {golden:#018x}"
+        );
+    }
+}

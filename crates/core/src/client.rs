@@ -218,6 +218,13 @@ impl<O: RootObject> TreeClient<O> {
         self.next_op
     }
 
+    /// Per-processor engine fingerprints, in processor order (see
+    /// [`crate::protocol::TreeProtocol::engine_fingerprints`]).
+    #[must_use]
+    pub fn engine_fingerprints(&self) -> Vec<u64> {
+        self.proto.engine_fingerprints()
+    }
+
     /// Executes one operation initiated by `initiator`, running the whole
     /// process (including retirement cascades) to quiescence.
     ///

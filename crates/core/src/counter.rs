@@ -184,6 +184,13 @@ impl TreeCounter {
         self.client.ops_executed()
     }
 
+    /// Per-processor engine fingerprints, in processor order (see
+    /// [`TreeClient::engine_fingerprints`]).
+    #[must_use]
+    pub fn engine_fingerprints(&self) -> Vec<u64> {
+        self.client.engine_fingerprints()
+    }
+
     /// One `inc` on a faulty network: quiescing without a response
     /// triggers the recovery watchdog (crashed workers are replaced by
     /// their pool successors, the operation is retried exactly-once) —

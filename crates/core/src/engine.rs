@@ -37,7 +37,6 @@
 //! protection at quiescence (the simulator's client watchdog) or by
 //! bounded retry (the threaded driver), and ignore the effects.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use distctr_sim::ProcessorId;
@@ -392,6 +391,100 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// A sorted arena of per-node slots, keyed by the interned `NodeRef →
+/// u32` flat index ([`Topology::flat_index`]; [`Topology::node_at`] is
+/// the inverse).
+///
+/// One engine hosts O(1) nodes out of a tree that can have millions, so
+/// the former per-engine `HashMap<NodeRef, T>`s are replaced by one
+/// short sorted run of `(flat, T)` pairs: three words when empty (a
+/// `HashMap` is six, plus its heap block once touched), binary-searched
+/// lookups with no hashing, and iteration already in `NodeRef` order —
+/// which is exactly the flat-index order, so fingerprints can rebuild
+/// the canonical sorted rendering for free.
+#[derive(Debug, Clone)]
+struct NodeSlots<T> {
+    entries: Vec<(u32, T)>,
+}
+
+impl<T> NodeSlots<T> {
+    fn new() -> Self {
+        NodeSlots { entries: Vec::new() }
+    }
+
+    /// Sortedness invariant, checked in debug builds and — so release
+    /// checker runs catch stale-id bugs — under the `bounds-audit`
+    /// feature.
+    #[inline]
+    fn audit(&self) {
+        #[cfg(any(debug_assertions, feature = "bounds-audit"))]
+        assert!(
+            self.entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "arena slots must stay strictly sorted by interned node id"
+        );
+    }
+
+    fn contains(&self, key: u32) -> bool {
+        self.entries.binary_search_by_key(&key, |&(k, _)| k).is_ok()
+    }
+
+    fn get(&self, key: u32) -> Option<&T> {
+        self.entries.binary_search_by_key(&key, |&(k, _)| k).ok().map(|i| &self.entries[i].1)
+    }
+
+    fn get_mut(&mut self, key: u32) -> Option<&mut T> {
+        match self.entries.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(i) => Some(&mut self.entries[i].1),
+            Err(_) => None,
+        }
+    }
+
+    fn insert(&mut self, key: u32, value: T) {
+        match self.entries.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(i) => self.entries[i].1 = value,
+            Err(i) => self.entries.insert(i, (key, value)),
+        }
+        self.audit();
+    }
+
+    fn remove(&mut self, key: u32) -> Option<T> {
+        match self.entries.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(i) => {
+                let (_, value) = self.entries.remove(i);
+                self.audit();
+                Some(value)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// The slot for `key`, inserting `T::default()` if absent (the
+    /// former `entry(..).or_default()`).
+    fn get_or_default(&mut self, key: u32) -> &mut T
+    where
+        T: Default,
+    {
+        let i = match self.entries.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(i) => i,
+            Err(i) => {
+                self.entries.insert(i, (key, T::default()));
+                self.audit();
+                i
+            }
+        };
+        &mut self.entries[i].1
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Slots in ascending key (= `NodeRef`) order.
+    fn iter(&self) -> impl Iterator<Item = (u32, &T)> {
+        self.entries.iter().map(|(k, v)| (*k, v))
+    }
+}
+
 /// How many rebuild shares a recovery of `node` must collect: one per
 /// inner neighbour (parent plus inner children). Leaf children hold no
 /// share — but level-k nodes have singleton pools and are never promoted
@@ -445,15 +538,15 @@ pub struct NodeEngine<O: RootObject> {
     topo: Arc<Topology>,
     config: EngineConfig,
     /// Nodes this processor currently works for.
-    hosted: HashMap<NodeRef, Hosted<O>>,
+    hosted: NodeSlots<Hosted<O>>,
     /// Nodes this processor retired from, with the successor to forward
     /// to (the shim).
-    forwarding: HashMap<NodeRef, ProcessorId>,
+    forwarding: NodeSlots<ProcessorId>,
     /// Messages for nodes whose handoff has not arrived here yet.
-    pending: HashMap<NodeRef, Vec<Msg<O>>>,
+    pending: NodeSlots<Vec<Msg<O>>>,
     /// In-flight rebuilds: per node, the distinct neighbours that
     /// answered so far with the worker each reported.
-    rebuilding: HashMap<NodeRef, HashMap<NodeRef, ProcessorId>>,
+    rebuilding: NodeSlots<NodeSlots<ProcessorId>>,
 }
 
 impl<O: RootObject> NodeEngine<O> {
@@ -465,11 +558,30 @@ impl<O: RootObject> NodeEngine<O> {
             me,
             topo,
             config,
-            hosted: HashMap::new(),
-            forwarding: HashMap::new(),
-            pending: HashMap::new(),
-            rebuilding: HashMap::new(),
+            hosted: NodeSlots::new(),
+            forwarding: NodeSlots::new(),
+            pending: NodeSlots::new(),
+            rebuilding: NodeSlots::new(),
         }
+    }
+
+    /// Interns `node` to its arena key: the topology's flat index, which
+    /// is dense, stable, and ordered exactly like `NodeRef`'s `Ord`.
+    /// Under `bounds-audit` (and in debug builds) the round trip through
+    /// [`Topology::node_at`] is verified, catching stale or foreign ids
+    /// before they corrupt a slot.
+    #[inline]
+    fn slot(&self, node: NodeRef) -> u32 {
+        let flat = self.topo.flat_index(node);
+        #[cfg(any(debug_assertions, feature = "bounds-audit"))]
+        assert_eq!(self.topo.node_at(flat), node, "interned node id must round-trip");
+        flat as u32
+    }
+
+    /// The inverse interning: arena key back to the node it names.
+    #[inline]
+    fn node_of(&self, slot: u32) -> NodeRef {
+        self.topo.node_at(slot as usize)
     }
 
     /// The processor this engine models.
@@ -493,40 +605,49 @@ impl<O: RootObject> NodeEngine<O> {
     /// Whether this processor currently works for `node`.
     #[must_use]
     pub fn hosts(&self, node: NodeRef) -> bool {
-        self.hosted.contains_key(&node)
+        self.hosted.contains(self.slot(node))
     }
 
     /// The hosted state of `node`, if this processor works for it.
     #[must_use]
     pub fn hosted(&self, node: NodeRef) -> Option<&Hosted<O>> {
-        self.hosted.get(&node)
+        self.hosted.get(self.slot(node))
     }
 
     /// Installs `node` here directly (initial seeding; protocol-driven
     /// installs go through [`Msg::HandoffFinal`]).
     pub fn install(&mut self, node: NodeRef, hosted: Hosted<O>) {
-        self.hosted.insert(node, hosted);
+        self.hosted.insert(self.slot(node), hosted);
     }
 
     /// A deterministic structural fingerprint of this engine's protocol
     /// state: hosting table, shim forwarding, buffered messages and
     /// in-flight rebuilds. Two engines with identical protocol state
-    /// produce identical fingerprints regardless of `HashMap` iteration
-    /// order, process, or platform (the hash is FNV-1a over a canonical
-    /// sorted rendering, not `DefaultHasher`), so drivers as different
-    /// as the model checker and the threaded backend can compare final
-    /// states. The static configuration is excluded: fingerprints only
-    /// make sense between engines driven under the same `EngineConfig`.
+    /// produce identical fingerprints regardless of storage backend,
+    /// process, or platform (the hash is FNV-1a over a canonical sorted
+    /// rendering, not `DefaultHasher`), so drivers as different as the
+    /// model checker and the threaded backend can compare final states.
+    /// The rendering is pinned to the original `BTreeMap` one — the
+    /// arena slots are de-interned through [`Topology::node_at`] and
+    /// rebuilt into the same sorted maps, which costs nothing extra
+    /// because slot order *is* `NodeRef` order. The static configuration
+    /// is excluded: fingerprints only make sense between engines driven
+    /// under the same `EngineConfig`.
     #[must_use]
     pub fn fingerprint(&self) -> u64 {
         use std::collections::BTreeMap;
-        let hosted: BTreeMap<_, _> = self.hosted.iter().collect();
-        let forwarding: BTreeMap<_, _> = self.forwarding.iter().collect();
-        let pending: BTreeMap<_, _> = self.pending.iter().collect();
-        let rebuilding: BTreeMap<_, _> = self
+        let hosted: BTreeMap<NodeRef, &Hosted<O>> =
+            self.hosted.iter().map(|(s, h)| (self.node_of(s), h)).collect();
+        let forwarding: BTreeMap<NodeRef, &ProcessorId> =
+            self.forwarding.iter().map(|(s, w)| (self.node_of(s), w)).collect();
+        let pending: BTreeMap<NodeRef, &Vec<Msg<O>>> =
+            self.pending.iter().map(|(s, msgs)| (self.node_of(s), msgs)).collect();
+        let rebuilding: BTreeMap<NodeRef, BTreeMap<NodeRef, &ProcessorId>> = self
             .rebuilding
             .iter()
-            .map(|(node, shares)| (node, shares.iter().collect::<BTreeMap<_, _>>()))
+            .map(|(s, shares)| {
+                (self.node_of(s), shares.iter().map(|(s2, w)| (self.node_of(s2), w)).collect())
+            })
             .collect();
         let canon = format!(
             "p{} hosted={hosted:?} fwd={forwarding:?} pending={pending:?} rebuild={rebuilding:?}",
@@ -565,7 +686,7 @@ impl<O: RootObject> NodeEngine<O> {
                 });
             }
             Event::Restore { node, object, reply_cache } => {
-                if let Some(h) = self.hosted.get_mut(&node) {
+                if let Some(h) = self.hosted.get_mut(self.slot(node)) {
                     h.object = Some(object);
                     h.reply_cache = reply_cache;
                     // The object is back; traffic buffered during the
@@ -623,10 +744,11 @@ impl<O: RootObject> NodeEngine<O> {
     /// (or does not yet) work for. Returns `true` if the message was
     /// consumed.
     fn shim_or_buffer(&mut self, node: NodeRef, msg: Msg<O>, fx: &mut Effects<O>) -> bool {
-        if self.hosted.contains_key(&node) {
+        let slot = self.slot(node);
+        if self.hosted.contains(slot) {
             return false;
         }
-        if let Some(&successor) = self.forwarding.get(&node) {
+        if let Some(&successor) = self.forwarding.get(slot) {
             // Shim: forward to the successor we handed the node to
             // (counts as one extra message, the paper's handshake
             // argument).
@@ -634,7 +756,7 @@ impl<O: RootObject> NodeEngine<O> {
             fx.push(Effect::Send { to: successor, msg });
         } else {
             // The handoff has not reached us yet; deliver when it does.
-            self.pending.entry(node).or_default().push(msg);
+            self.pending.get_or_default(slot).push(msg);
         }
         true
     }
@@ -677,7 +799,7 @@ impl<O: RootObject> NodeEngine<O> {
         }
         let kind = if batch.is_some() { "batch-apply" } else { "apply" };
         fx.push(Effect::Audit(AuditEvent::Handled { node, kind, aged: 2 }));
-        let h = self.hosted.get_mut(&node).expect("hosted checked above");
+        let h = self.hosted.get_mut(self.slot(node)).expect("hosted checked above");
         h.age += 2;
         if node == NodeRef::ROOT {
             // Deduplicate by operation: a retried (or network-duplicated)
@@ -742,7 +864,7 @@ impl<O: RootObject> NodeEngine<O> {
             return;
         }
         fx.push(Effect::Audit(AuditEvent::Handled { node, kind: "new-worker", aged: 1 }));
-        let h = self.hosted.get_mut(&node).expect("hosted checked above");
+        let h = self.hosted.get_mut(self.slot(node)).expect("hosted checked above");
         h.age += 1;
         if self.topo.parent(node) == Some(retired) {
             h.parent_worker = Some(new_worker);
@@ -762,8 +884,9 @@ impl<O: RootObject> NodeEngine<O> {
     ) {
         fx.push(Effect::Audit(AuditEvent::Kind("handoff-final")));
         let node = transfer.node;
+        let slot = self.slot(node);
         self.hosted.insert(
-            node,
+            slot,
             Hosted {
                 age: 0,
                 pool_cursor: transfer.pool_cursor,
@@ -776,7 +899,7 @@ impl<O: RootObject> NodeEngine<O> {
         // We are the current worker now; drop any stale forwarding entry
         // (possible if this processor served the node in a previous
         // recycling epoch).
-        self.forwarding.remove(&node);
+        self.forwarding.remove(slot);
         fx.push(Effect::Installed { node, worker: self.me, pool_cursor: transfer.pool_cursor });
         fx.push(Effect::CancelTimer { node });
         // The stint that just ended absorbed the k+1 handoff messages;
@@ -794,13 +917,14 @@ impl<O: RootObject> NodeEngine<O> {
         fx: &mut Effects<O>,
     ) {
         fx.push(Effect::Audit(AuditEvent::Kind("recover-promote")));
-        if self.hosted.contains_key(&node) {
+        let slot = self.slot(node);
+        if self.hosted.contains(slot) {
             // Stale promotion: this processor already took over.
             return;
         }
         // (Re-)start the collection: a repeated promotion is the retry
         // path when rebuild traffic is itself lost.
-        self.rebuilding.insert(node, HashMap::new());
+        self.rebuilding.insert(slot, NodeSlots::new());
         fx.push(Effect::RecoveryStarted { node, successor: self.me });
         fx.push(Effect::SetTimer { node, deadline: now + WATCHDOG_TICKS });
         let queries = neighbours.len() as u64;
@@ -824,18 +948,20 @@ impl<O: RootObject> NodeEngine<O> {
     ) {
         fx.push(Effect::Audit(AuditEvent::Kind("rebuild-share")));
         fx.push(Effect::Audit(AuditEvent::RecoveryMsgs { count: 1 }));
-        let Some(collected) = self.rebuilding.get_mut(&node) else {
-            // Late or duplicated share, no rebuild in flight: ignore.
-            return;
-        };
-        collected.insert(neighbour, worker);
+        let slot = self.slot(node);
+        let neighbour_slot = self.slot(neighbour);
         // Every *distinct* neighbour must answer (a duplicated share
         // must not complete the rebuild with a neighbour missing).
         let needed = expected_shares(&self.topo, node);
+        let Some(collected) = self.rebuilding.get_mut(slot) else {
+            // Late or duplicated share, no rebuild in flight: ignore.
+            return;
+        };
+        collected.insert(neighbour_slot, worker);
         if (collected.len() as u32) < needed {
             return;
         }
-        let collected = self.rebuilding.remove(&node).expect("present above");
+        let collected = self.rebuilding.remove(slot).expect("present above");
         // Align the pool cursor with the promoted worker so a later
         // ordinary retirement continues from the right place.
         let pool = self.topo.pool(node);
@@ -843,16 +969,20 @@ impl<O: RootObject> NodeEngine<O> {
         debug_assert!(pool.contains(&me), "successor must come from the node's pool");
         let pool_cursor = me - pool.start;
         let parent = self.topo.parent(node);
-        let parent_worker = parent.map(|p| *collected.get(&p).expect("parent share collected"));
+        let parent_worker =
+            parent.map(|p| *collected.get(self.slot(p)).expect("parent share collected"));
         let child_workers: Vec<ProcessorId> = self
             .topo
             .inner_children(node)
             .map(|children| {
-                children.iter().map(|c| *collected.get(c).expect("child share collected")).collect()
+                children
+                    .iter()
+                    .map(|&c| *collected.get(self.slot(c)).expect("child share collected"))
+                    .collect()
             })
             .unwrap_or_default();
         self.hosted.insert(
-            node,
+            slot,
             Hosted {
                 age: 0,
                 pool_cursor,
@@ -864,7 +994,7 @@ impl<O: RootObject> NodeEngine<O> {
                 reply_cache: Vec::new(),
             },
         );
-        self.forwarding.remove(&node);
+        self.forwarding.remove(slot);
         fx.push(Effect::Recovered { node, worker: self.me, pool_cursor });
         fx.push(Effect::CancelTimer { node });
         fx.push(Effect::Audit(AuditEvent::Recovery { node }));
@@ -910,7 +1040,8 @@ impl<O: RootObject> NodeEngine<O> {
 
     fn maybe_retire(&mut self, node: NodeRef, now: VirtualTime, fx: &mut Effects<O>) {
         let Some(threshold) = self.config.threshold else { return };
-        let Some(h) = self.hosted.get(&node) else { return };
+        let slot = self.slot(node);
+        let Some(h) = self.hosted.get(slot) else { return };
         if h.age < threshold {
             return;
         }
@@ -923,13 +1054,13 @@ impl<O: RootObject> NodeEngine<O> {
             // the paper's dimensioning this is unreachable for the
             // canonical workload (the audit asserts so).
             fx.push(Effect::Audit(AuditEvent::PoolExhausted { node }));
-            self.hosted.get_mut(&node).expect("hosted checked above").age = 0;
+            self.hosted.get_mut(slot).expect("hosted checked above").age = 0;
             return;
         };
         let successor = ProcessorId::new((pool.start + next_index) as usize);
         fx.push(Effect::Audit(AuditEvent::Retirement { node }));
-        let h = self.hosted.remove(&node).expect("hosted checked above");
-        self.forwarding.insert(node, successor);
+        let h = self.hosted.remove(slot).expect("hosted checked above");
+        self.forwarding.insert(slot, successor);
         fx.push(Effect::Retired { node, successor });
         fx.push(Effect::SetTimer { node, deadline: now + WATCHDOG_TICKS });
 
@@ -993,7 +1124,7 @@ impl<O: RootObject> NodeEngine<O> {
     }
 
     fn replay_pending(&mut self, node: NodeRef, now: VirtualTime, fx: &mut Effects<O>) {
-        if let Some(buffered) = self.pending.remove(&node) {
+        if let Some(buffered) = self.pending.remove(self.slot(node)) {
             for msg in buffered {
                 self.on_msg(msg, now, fx);
             }

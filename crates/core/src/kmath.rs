@@ -64,6 +64,29 @@ pub fn order_for(n: u64) -> u32 {
     (1..=MAX_ORDER).find(|&k| leaves_of_order(k) >= n).expect("checked against MAX_ORDER")
 }
 
+/// The tree order to build for a target fleet of `n` processors: the
+/// inverse of `n = k^(k+1)`, rounded up (so the built tree has at least
+/// `n` leaves), clamped to [`MAX_ORDER`]. Unlike [`order_for`] it is
+/// total — oversized requests saturate at the largest supported tree
+/// instead of panicking — which makes it the right sizing function for
+/// benchmark sweeps that probe the upper end of the processor space.
+/// Asymptotically `k_for_n(n) ≈ ln n / ln ln n`, the paper's bound.
+///
+/// # Examples
+///
+/// ```
+/// use distctr_core::kmath::{k_for_n, MAX_ORDER};
+/// assert_eq!(k_for_n(0), 1);
+/// assert_eq!(k_for_n(81), 3);
+/// assert_eq!(k_for_n(82), 4);
+/// assert_eq!(k_for_n(1_000_000), 7); // 7^8 = 5_764_801 covers 1e6
+/// assert_eq!(k_for_n(u64::MAX), MAX_ORDER);
+/// ```
+#[must_use]
+pub fn k_for_n(n: u64) -> u32 {
+    (1..=MAX_ORDER).find(|&k| leaves_of_order(k) >= n).unwrap_or(MAX_ORDER)
+}
+
 /// The exact order if `n` is of the form `k^(k+1)`, else `None`.
 ///
 /// # Examples
@@ -256,6 +279,43 @@ mod tests {
             assert!(leaves_of_order(up) >= n);
             assert!(leaves_of_order(down) <= n || down == 1);
             assert!(up.saturating_sub(down) <= 1, "n={n}: up={up}, down={down}");
+        }
+    }
+
+    #[test]
+    fn k_for_n_properties() {
+        // Exact inverse on every representable k^(k+1).
+        for k in 1..=MAX_ORDER {
+            assert_eq!(k_for_n(leaves_of_order(k)), k, "exact inverse at k={k}");
+        }
+        // Monotone, total, and in-between n rounds up by exactly the
+        // amount the sandwich with the lower bound allows.
+        let mut last = 0;
+        for n in (0..200_000u64).step_by(97).chain([u64::MAX / 2, u64::MAX]) {
+            let k = k_for_n(n);
+            assert!(k >= last, "monotone: n={n}");
+            last = k;
+            assert!((1..=MAX_ORDER).contains(&k));
+            // The built tree covers the request (until the clamp).
+            if n <= leaves_of_order(MAX_ORDER) {
+                assert!(leaves_of_order(k) >= n, "n={n} covered by k={k}");
+                if n >= 1 {
+                    assert_eq!(k, order_for(n), "agrees with order_for in range");
+                    let down = bottleneck_lower_bound(n);
+                    assert!(k.saturating_sub(down) <= 1, "sandwich: n={n}");
+                }
+            } else {
+                assert_eq!(k, MAX_ORDER, "oversized requests saturate");
+            }
+            // Consistent with the continuous solution: the discrete
+            // order is its ceiling (within float slack) while in range.
+            if (2..=leaves_of_order(MAX_ORDER)).contains(&n) {
+                let x = continuous_order(n as f64);
+                assert!(
+                    f64::from(k) + 1e-6 >= x && f64::from(k) - x < 1.0 + 1e-6,
+                    "n={n}: k={k} should be ceil of continuous {x}"
+                );
+            }
         }
     }
 

@@ -204,6 +204,16 @@ impl<O: RootObject> TreeProtocol<O> {
         &self.engines[p.index()]
     }
 
+    /// Per-processor engine fingerprints, in processor order — the same
+    /// values the model checker and the threaded backend fold through
+    /// `combined_fingerprint`, so a simulated run's final state can be
+    /// compared across drivers and across refactors of the engine's
+    /// internal storage.
+    #[must_use]
+    pub fn engine_fingerprints(&self) -> Vec<u64> {
+        self.engines.iter().map(NodeEngine::fingerprint).collect()
+    }
+
     /// How many rebuild shares a recovery of `node` must collect.
     #[must_use]
     pub fn expected_shares(&self, node: NodeRef) -> u32 {

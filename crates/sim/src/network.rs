@@ -7,7 +7,7 @@
 //! implementation: a state machine that reacts to deliveries by emitting
 //! further messages into an [`Outbox`].
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 
 use crate::error::SimError;
@@ -115,11 +115,67 @@ pub struct Network<M> {
     policy: DeliveryPolicy,
     loads: LoadTracker,
     recorder: TraceRecorder,
-    op_sources: HashMap<OpId, Option<u32>>,
+    op_sources: OpSourceTable,
     now: SimTime,
     seq: u64,
     message_cap: u64,
     faults: Option<FaultState>,
+}
+
+/// Dense per-operation trace-source table, keyed by [`OpId::index`].
+///
+/// Op ids are sequential driver counters, so a flat `Vec` replaces the
+/// former `HashMap<OpId, Option<u32>>`: one byte per op ever injected,
+/// no hashing on the hot path, and the slot distinguishes "never
+/// injected" from "injected without a trace source" exactly as map
+/// absence vs `None` did.
+#[derive(Debug, Clone, Default)]
+struct OpSourceTable {
+    slots: Vec<OpSlot>,
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+enum OpSlot {
+    /// The op was never injected (former map absence).
+    #[default]
+    Unseen,
+    /// Injected; tracing recorded no source event (former `None` value).
+    NoSource,
+    /// Injected with the trace node id of the source event.
+    Source(u32),
+}
+
+impl OpSourceTable {
+    /// Whether `op` was injected already (former `contains_key`).
+    fn seen(&self, op: OpId) -> bool {
+        self.slots.get(op.index()).is_some_and(|s| *s != OpSlot::Unseen)
+    }
+
+    /// Records the source event of `op`'s injection.
+    fn set(&mut self, op: OpId, source: Option<u32>) {
+        if self.slots.len() <= op.index() {
+            self.slots.resize(op.index() + 1, OpSlot::Unseen);
+        }
+        self.slots[op.index()] = match source {
+            None => OpSlot::NoSource,
+            Some(id) => OpSlot::Source(id),
+        };
+    }
+
+    /// The source event of `op`, if one was recorded.
+    fn get(&self, op: OpId) -> Option<u32> {
+        match self.slots.get(op.index()) {
+            Some(OpSlot::Source(id)) => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// Forgets `op` (former `remove`); its slot is reusable.
+    fn clear(&mut self, op: OpId) {
+        if let Some(slot) = self.slots.get_mut(op.index()) {
+            *slot = OpSlot::Unseen;
+        }
+    }
 }
 
 impl<M: Clone + fmt::Debug> Network<M> {
@@ -151,7 +207,7 @@ impl<M: Clone + fmt::Debug> Network<M> {
             policy,
             loads: LoadTracker::new(processors),
             recorder: TraceRecorder::new(trace),
-            op_sources: HashMap::new(),
+            op_sources: OpSourceTable::default(),
             now: SimTime::ZERO,
             seq: 0,
             message_cap: DEFAULT_MESSAGE_CAP,
@@ -283,11 +339,17 @@ impl<M: Clone + fmt::Debug> Network<M> {
     pub fn inject(&mut self, op: OpId, from: ProcessorId, to: ProcessorId, msg: M) {
         self.check_processor(from);
         self.check_processor(to);
-        if !self.recorder.is_open(op) && !self.op_sources.contains_key(&op) {
-            let source = self.recorder.begin_op(op, from, self.now);
-            self.op_sources.insert(op, source);
-        }
-        let source = self.op_sources.get(&op).copied().flatten();
+        // With tracing off there are no trace events and no per-op
+        // bookkeeping: the hot injection path allocates nothing.
+        let source = if self.recorder.mode() == TraceMode::Off {
+            None
+        } else {
+            if !self.recorder.is_open(op) && !self.op_sources.seen(op) {
+                let source = self.recorder.begin_op(op, from, self.now);
+                self.op_sources.set(op, source);
+            }
+            self.op_sources.get(op)
+        };
         self.schedule_send(op, from, to, msg, source);
     }
 
@@ -408,7 +470,7 @@ impl<M: Clone + fmt::Debug> Network<M> {
     /// Ends trace recording for `op`, returning what was recorded (always
     /// `None` under [`TraceMode::Off`]).
     pub fn finish_op(&mut self, op: OpId) -> Option<OpTrace> {
-        self.op_sources.remove(&op);
+        self.op_sources.clear(op);
         self.recorder.finish_op(op)
     }
 

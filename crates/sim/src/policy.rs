@@ -75,8 +75,49 @@ pub enum DeliveryPolicy {
         /// Largest possible per-message delay, in ticks (`>= 1`).
         max_delay: u64,
         /// Last scheduled arrival per (from, to) link.
-        last_on_link: std::collections::HashMap<(u32, u32), SimTime>,
+        last_on_link: LinkTable,
     },
+}
+
+/// Flat per-link arrival floors for [`DeliveryPolicy::ChannelFifo`],
+/// indexed by sender.
+///
+/// In a tree network every processor talks to O(k) distinct peers, so
+/// the former `HashMap<(u32, u32), SimTime>` is replaced by one short
+/// sorted `(to, floor)` run per sender: cache-friendly, no hashing, and
+/// memory proportional to links actually used rather than `n²`.
+#[derive(Debug, Clone, Default)]
+pub struct LinkTable {
+    /// `by_sender[from]` holds that sender's links, sorted by `to`.
+    by_sender: Vec<Vec<(u32, SimTime)>>,
+}
+
+impl LinkTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        LinkTable::default()
+    }
+
+    /// The scheduled-arrival floor for the link `from -> to`.
+    fn floor(&self, from: u32, to: u32) -> SimTime {
+        self.by_sender
+            .get(from as usize)
+            .and_then(|links| links.binary_search_by_key(&to, |&(t, _)| t).ok().map(|i| links[i].1))
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Raises the floor of the link `from -> to` to `at`.
+    fn set(&mut self, from: u32, to: u32, at: SimTime) {
+        if self.by_sender.len() <= from as usize {
+            self.by_sender.resize(from as usize + 1, Vec::new());
+        }
+        let links = &mut self.by_sender[from as usize];
+        match links.binary_search_by_key(&to, |&(t, _)| t) {
+            Ok(i) => links[i].1 = at,
+            Err(i) => links.insert(i, (to, at)),
+        }
+    }
 }
 
 impl DeliveryPolicy {
@@ -99,7 +140,7 @@ impl DeliveryPolicy {
         DeliveryPolicy::ChannelFifo {
             rng: StdRng::seed_from_u64(seed),
             max_delay: max_delay.max(1),
-            last_on_link: std::collections::HashMap::new(),
+            last_on_link: LinkTable::new(),
         }
     }
 
@@ -154,9 +195,8 @@ impl DeliveryPolicy {
             }
             DeliveryPolicy::ChannelFifo { rng, max_delay, last_on_link } => {
                 let delay = rng.gen_range(1..=*max_delay);
-                let floor = last_on_link.get(&(from, to)).copied().unwrap_or(SimTime::ZERO);
-                let at = (now + delay).max_with(floor);
-                last_on_link.insert((from, to), at);
+                let at = (now + delay).max_with(last_on_link.floor(from, to));
+                last_on_link.set(from, to, at);
                 DeliveryRank { at, tiebreak: seq }
             }
         }

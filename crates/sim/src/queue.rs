@@ -4,6 +4,16 @@
 //! their `DeliveryRank` (arrival time, then
 //! a policy-chosen tiebreak). The queue is a min-heap; `pop` yields the
 //! next message the network should deliver.
+//!
+//! ## Storage layout
+//!
+//! The heap orders bare `(rank, slot)` pairs while the envelopes live in
+//! a slot arena beside it. Cancelling a message (a crash purging its
+//! victim's inbox) *tombstones* its slot — the heap entry stays behind
+//! and is discarded lazily when it surfaces — instead of rebuilding the
+//! whole heap per cancellation. `settle` keeps the head live after every
+//! mutation, so `peek_rank` stays a borrow and the delivery loop never
+//! observes a tombstone.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -26,25 +36,25 @@ pub struct Envelope<M> {
     pub(crate) sent_from_event: Option<u32>,
 }
 
-#[derive(Debug, Clone)]
-struct Entry<M> {
+#[derive(Debug, Clone, Copy)]
+struct Entry {
     rank: DeliveryRank,
-    envelope: Envelope<M>,
+    slot: u32,
 }
 
 // Min-heap semantics: reverse the natural rank order.
-impl<M> PartialEq for Entry<M> {
+impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
         self.rank == other.rank
     }
 }
-impl<M> Eq for Entry<M> {}
-impl<M> PartialOrd for Entry<M> {
+impl Eq for Entry {}
+impl PartialOrd for Entry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<M> Ord for Entry<M> {
+impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
         other.rank.cmp(&self.rank)
     }
@@ -57,34 +67,58 @@ impl<M> Ord for Entry<M> {
 /// report queue depth.
 #[derive(Debug, Clone, Default)]
 pub struct EventQueue<M> {
-    heap: BinaryHeap<Entry<M>>,
+    heap: BinaryHeap<Entry>,
+    /// Slot arena: `None` marks a tombstone whose heap entry has not
+    /// surfaced yet. A slot is recycled only after its heap entry is
+    /// discarded, so a stale entry can never resolve to a new message.
+    slots: Vec<Option<Envelope<M>>>,
+    free: Vec<u32>,
+    live: usize,
 }
 
 impl<M> EventQueue<M> {
     /// Creates an empty queue.
     #[must_use]
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new() }
+        EventQueue { heap: BinaryHeap::new(), slots: Vec::new(), free: Vec::new(), live: 0 }
     }
 
     /// Number of messages currently in flight.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.live
     }
 
     /// Whether no messages are in flight (the network is quiescent).
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.live == 0
     }
 
     pub(crate) fn push(&mut self, rank: DeliveryRank, envelope: Envelope<M>) {
-        self.heap.push(Entry { rank, envelope });
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(envelope);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("queue slots fit u32");
+                self.slots.push(Some(envelope));
+                slot
+            }
+        };
+        self.heap.push(Entry { rank, slot });
+        self.live += 1;
     }
 
     pub(crate) fn pop(&mut self) -> Option<(DeliveryRank, Envelope<M>)> {
-        self.heap.pop().map(|e| (e.rank, e.envelope))
+        // `settle` keeps the head live, so one pop suffices.
+        let entry = self.heap.pop()?;
+        let envelope = self.slots[entry.slot as usize].take().expect("head entry is live");
+        self.free.push(entry.slot);
+        self.live -= 1;
+        self.settle();
+        Some((entry.rank, envelope))
     }
 
     /// Rank of the next message to be delivered, if any.
@@ -92,23 +126,33 @@ impl<M> EventQueue<M> {
         self.heap.peek().map(|e| e.rank)
     }
 
+    /// Discards tombstoned entries at the heap head so the next
+    /// `peek_rank`/`pop` sees a live message (or an empty queue).
+    fn settle(&mut self) {
+        while let Some(head) = self.heap.peek() {
+            if self.slots[head.slot as usize].is_some() {
+                break;
+            }
+            let entry = self.heap.pop().expect("peeked above");
+            self.free.push(entry.slot);
+        }
+    }
+
     /// Removes every message addressed to `to`, returning them in
     /// delivery order. Used when `to` crashes: its inbox becomes dead
-    /// letters.
+    /// letters. The matching envelopes are tombstoned in place — their
+    /// heap entries are skipped lazily on pop — so a cancellation costs
+    /// one scan, not a heap rebuild.
     pub(crate) fn drain_for(&mut self, to: ProcessorId) -> Vec<(DeliveryRank, Envelope<M>)> {
-        if self.heap.iter().all(|e| e.envelope.to != to) {
-            return Vec::new();
-        }
-        let mut kept = BinaryHeap::with_capacity(self.heap.len());
-        let mut purged = Vec::new();
-        for entry in std::mem::take(&mut self.heap) {
-            if entry.envelope.to == to {
-                purged.push((entry.rank, entry.envelope));
-            } else {
-                kept.push(entry);
+        let mut purged: Vec<(DeliveryRank, Envelope<M>)> = Vec::new();
+        for entry in &self.heap {
+            let slot = &mut self.slots[entry.slot as usize];
+            if slot.as_ref().is_some_and(|e| e.to == to) {
+                purged.push((entry.rank, slot.take().expect("matched above")));
             }
         }
-        self.heap = kept;
+        self.live -= purged.len();
+        self.settle();
         purged.sort_by_key(|(rank, _)| *rank);
         purged
     }
@@ -119,17 +163,16 @@ impl<M> EventQueue<M> {
     where
         M: std::fmt::Debug,
     {
-        let mut entries: Vec<&Entry<M>> = self.heap.iter().collect();
-        entries.sort_by_key(|e| e.rank);
+        let mut entries: Vec<(DeliveryRank, &Envelope<M>)> = self
+            .heap
+            .iter()
+            .filter_map(|e| self.slots[e.slot as usize].as_ref().map(|env| (e.rank, env)))
+            .collect();
+        entries.sort_by_key(|(rank, _)| *rank);
         entries
             .into_iter()
             .take(limit)
-            .map(|e| {
-                format!(
-                    "{} {} -> {} ({}): {:?}",
-                    e.rank.at, e.envelope.from, e.envelope.to, e.envelope.op, e.envelope.msg
-                )
-            })
+            .map(|(rank, e)| format!("{} {} -> {} ({}): {:?}", rank.at, e.from, e.to, e.op, e.msg))
             .collect()
     }
 }
@@ -205,6 +248,41 @@ mod tests {
         assert_eq!(q.len(), 1, "other recipients keep their messages");
         assert_eq!(q.pop().map(|(_, e)| e.msg), Some(2));
         assert!(q.drain_for(ProcessorId::new(1)).is_empty(), "nothing left to purge");
+    }
+
+    #[test]
+    fn cancellation_tombstones_skip_on_pop_without_reordering_survivors() {
+        // Interleave three recipients, cancel one mid-stream, and verify
+        // the survivors pop in exactly the order they would have without
+        // the cancellation — the tombstoned entries are skipped, never
+        // reordered, and len/peek stay consistent throughout.
+        fn send(q: &mut EventQueue<u8>, i: usize, tag: u8, at: u64) {
+            let mut e = env(tag);
+            e.to = ProcessorId::new(i);
+            q.push(rank(at, u64::from(tag)), e);
+        }
+        let mut q = EventQueue::new();
+        send(&mut q, 1, 1, 1);
+        send(&mut q, 2, 2, 2);
+        send(&mut q, 1, 3, 3);
+        send(&mut q, 3, 4, 4);
+        send(&mut q, 1, 5, 5);
+        send(&mut q, 2, 6, 6);
+        assert_eq!(q.len(), 6);
+        // P1's inbox dies: 1, 3 and 5 become dead letters, in delivery
+        // order.
+        let purged = q.drain_for(ProcessorId::new(1));
+        assert_eq!(purged.iter().map(|(_, e)| e.msg).collect::<Vec<_>>(), vec![1, 3, 5]);
+        assert_eq!(q.len(), 3, "live count excludes tombstones");
+        // The head was a tombstone (msg 1 at t1); peek must already see
+        // the next live message.
+        assert_eq!(q.peek_rank(), Some(rank(2, 2)));
+        let order: Vec<u8> = std::iter::from_fn(|| q.pop().map(|(_, e)| e.msg)).collect();
+        assert_eq!(order, vec![2, 4, 6], "survivors deliver in unchanged order");
+        assert!(q.is_empty());
+        // Slots are recycled: push after heavy cancellation still works.
+        send(&mut q, 2, 9, 9);
+        assert_eq!(q.pop().map(|(_, e)| e.msg), Some(9));
     }
 
     #[test]
