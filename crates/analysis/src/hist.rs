@@ -72,6 +72,73 @@ impl Histogram {
         Self::from_samples(&us, bins)
     }
 
+    /// Builds an **empty** histogram with an explicit layout: `bins`
+    /// equal-width bins spanning `[lo, hi]`. Unlike
+    /// [`Histogram::from_samples`], whose layout is derived from the
+    /// data (and therefore differs between two sample sets), an explicit
+    /// layout makes histograms *mergeable*: give every recording thread
+    /// its own `with_layout` histogram and fold them with
+    /// [`Histogram::merge`] afterwards — no shared mutex on the hot
+    /// path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi < lo`.
+    #[must_use]
+    pub fn with_layout(lo: u64, hi: u64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(hi >= lo, "hi must not be below lo");
+        let width = ((hi - lo) / bins as u64 + 1).max(1);
+        Histogram { bins: vec![0; bins], lo, hi, width }
+    }
+
+    /// Records one sample. Samples below `lo` clamp into the first bin,
+    /// samples above `hi` into the last — the layout is fixed at
+    /// construction so merged histograms stay bin-compatible.
+    pub fn record(&mut self, sample: u64) {
+        let s = sample.max(self.lo);
+        let idx = (((s - self.lo) / self.width) as usize).min(self.bins.len() - 1);
+        self.bins[idx] += 1;
+    }
+
+    /// Folds `other` into `self` bin by bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layouts differ (bin count, `lo`, or width): merging
+    /// is only meaningful for histograms created with the same
+    /// [`Histogram::with_layout`] parameters.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.bins.len() == other.bins.len() && self.lo == other.lo && self.width == other.width,
+            "histogram layouts differ: merge requires identical with_layout parameters"
+        );
+        for (b, o) in self.bins.iter_mut().zip(&other.bins) {
+            *b += o;
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the upper edge of the bin
+    /// containing the `ceil(q * total)`-th smallest sample (a
+    /// conservative estimate — true p99 is at or below it). `None` for
+    /// an empty histogram.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &count) in self.bins.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return Some(self.lo + (i as u64 + 1) * self.width - 1);
+            }
+        }
+        Some(self.hi)
+    }
+
     /// Total samples.
     #[must_use]
     pub fn total(&self) -> u64 {
@@ -157,5 +224,47 @@ mod tests {
     #[should_panic(expected = "at least one bin")]
     fn zero_bins_rejected() {
         let _ = Histogram::from_samples(&[1], 0);
+    }
+
+    #[test]
+    fn per_thread_histograms_merge_into_the_pooled_distribution() {
+        // The multi-thread recorder pattern: identical layouts recorded
+        // independently, merged afterwards, equal to recording pooled.
+        let mut a = Histogram::with_layout(0, 99, 10);
+        let mut b = Histogram::with_layout(0, 99, 10);
+        let mut pooled = Histogram::with_layout(0, 99, 10);
+        for s in [3u64, 15, 27, 42] {
+            a.record(s);
+            pooled.record(s);
+        }
+        for s in [8u64, 15, 88, 1000] {
+            b.record(s);
+            pooled.record(s);
+        }
+        a.merge(&b);
+        assert_eq!(a, pooled);
+        assert_eq!(a.total(), 8);
+        assert_eq!(*a.bins().last().expect("bins"), 1, "the clamped 1000");
+        assert_eq!(a.bins()[8], 1, "88 in [80, 90)");
+    }
+
+    #[test]
+    #[should_panic(expected = "layouts differ")]
+    fn merging_mismatched_layouts_is_rejected() {
+        let mut a = Histogram::with_layout(0, 99, 10);
+        a.merge(&Histogram::with_layout(0, 99, 5));
+    }
+
+    #[test]
+    fn quantiles_read_the_tail() {
+        let mut h = Histogram::with_layout(0, 999, 100);
+        for i in 0..100u64 {
+            h.record(i * 10);
+        }
+        assert_eq!(h.quantile(0.0), Some(9), "first sample's bin edge");
+        assert_eq!(h.quantile(0.5), Some(499));
+        assert_eq!(h.quantile(0.99), Some(989));
+        assert_eq!(h.quantile(1.0), Some(999));
+        assert_eq!(Histogram::with_layout(0, 9, 2).quantile(0.5), None, "empty");
     }
 }

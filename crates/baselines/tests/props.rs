@@ -96,6 +96,69 @@ proptest! {
         }
     }
 
+    // --- step-sequential equivalence: simulated baselines vs. the
+    // --- real-atomics implementations in distctr-shm. Driven one token
+    // --- at a time, the hardware structures must be *indistinguishable*
+    // --- from the message-model simulations they were ported from.
+
+    #[test]
+    fn atomic_bitonic_exit_counts_match_the_simulated_network(
+        width_exp in 1u32..5,
+        entries in prop::collection::vec(0usize..64, 0..200),
+    ) {
+        let width = 1usize << width_exp;
+        let net = BitonicNetwork::new(width);
+        let atomic = distctr_shm::AtomicBitonicCounter::new(width);
+        let entries: Vec<usize> = entries.into_iter().map(|e| e % width).collect();
+        for &e in &entries {
+            let _ = atomic.inc_on(e);
+        }
+        let simulated = net.simulate_counts(&entries);
+        prop_assert_eq!(
+            atomic.exit_counts(),
+            simulated,
+            "same wiring, same entry multiset, same exit distribution"
+        );
+        prop_assert_eq!(atomic.issued(), entries.len() as u64);
+    }
+
+    #[test]
+    fn atomic_bitonic_ith_sequential_token_counts_i(
+        width_exp in 1u32..5,
+        m in 1usize..80,
+        entry_seed in any::<u64>(),
+    ) {
+        // The atomic port of the counting property the toggle-vector
+        // test above pins for the simulation: whatever wires sequential
+        // tokens enter on, the i-th token's *value* is i.
+        let width = 1usize << width_exp;
+        let atomic = distctr_shm::AtomicBitonicCounter::new(width);
+        let mut x = entry_seed;
+        for i in 0..m as u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let wire = (x >> 33) as usize % width;
+            prop_assert_eq!(atomic.inc_on(wire), i, "token {} of width {}", i, width);
+        }
+    }
+
+    #[test]
+    fn atomic_combining_and_simulated_combining_agree_on_the_multiset(
+        n in 2usize..=64,
+        batch in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        // Both combining counters — the message-model tree and the
+        // flat-combining cell — must hand the same n callers the same
+        // value multiset 0..n, whatever the batching.
+        let mut sim = CombiningTreeCounter::new(n).expect("combining");
+        let mut sim_values = ConcurrentDriver::run_batches(&mut sim, batch, seed).expect("runs");
+        sim_values.sort_unstable();
+        let atomic = distctr_shm::FlatCombiningCounter::new(n);
+        let mut atomic_values: Vec<u64> = (0..n).map(|t| atomic.inc_shared(t)).collect();
+        atomic_values.sort_unstable();
+        prop_assert_eq!(sim_values, atomic_values);
+    }
+
     #[test]
     fn hosting_covers_all_processors_when_enough_nodes(
         processors in 1usize..64,

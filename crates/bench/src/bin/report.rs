@@ -11,6 +11,7 @@
 //! report e23 --smoke   # chaos robustness gate, tiny sizes
 //! report e24 --smoke   # keyspace placement gate, tiny sizes
 //! report e25 --smoke   # arena scale gate, n <= 10k (seconds)
+//! report e26 --smoke   # shared-memory bake-off gate, <= 8 threads
 //! ```
 //!
 //! E22 additionally rewrites `BENCH_batching.json` in the working
@@ -22,12 +23,15 @@
 //! adaptive policy's goodput falls below the best static placement.
 //! E25 rewrites `BENCH_scale.json` and exits nonzero if any size's
 //! bottleneck exceeds twice the `20k` envelope (or, in the full sweep,
-//! if no size reaches 1M processors).
+//! if no size reaches 1M processors). E26 rewrites `BENCH_shm.json`
+//! and exits nonzero if any shared-memory backend loses the gap-free
+//! `0..ops` value multiset, or a backend that promises linearizability
+//! shows a real-time order violation.
 
 use distctr_bench::{
     exp_ablation, exp_arrow, exp_backend, exp_batching, exp_bottleneck, exp_bound, exp_chaos,
     exp_concurrent, exp_hotspot, exp_keyspace, exp_lemmas, exp_linearizable, exp_scale, exp_serve,
-    figures,
+    exp_shm, figures,
 };
 
 struct Config {
@@ -292,6 +296,24 @@ fn main() {
                 "the full sweep must include a size past 1M processors"
             );
         }
+    }
+
+    if wants(&cfg, "e26") || wants(&cfg, "exp_shm") {
+        // The shared-memory bake-off: throughput is machine-relative,
+        // but every cell's correctness verdict is absolute and gated.
+        let threads = exp_shm::e26_threads(cfg.quick, cfg.smoke);
+        let ops = exp_shm::e26_ops_per_thread(cfg.quick, cfg.smoke);
+        let rows = exp_shm::e26_measure(&threads, ops);
+        println!("{}", exp_shm::e26_render(&rows));
+        let json_path = std::path::Path::new("BENCH_shm.json");
+        std::fs::write(json_path, exp_shm::e26_json(&rows)).expect("write BENCH_shm.json");
+        eprintln!("wrote {}", json_path.display());
+        let violations = exp_shm::e26_gate_violations(&rows);
+        assert!(
+            violations.is_empty(),
+            "shared-memory correctness regression:\n{}",
+            violations.join("\n")
+        );
     }
 
     if let Some(dir) = &cfg.csv_dir {

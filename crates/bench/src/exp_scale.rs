@@ -238,11 +238,7 @@ mod tests {
         assert_eq!(full, vec![81, 1024, 15_625, 279_936, 5_764_801]);
         assert!(full.iter().any(|&n| n >= 1_000_000), "the full sweep crosses 1M");
         for &n in &full {
-            assert_eq!(
-                kmath::exact_order(n as u64).is_some(),
-                true,
-                "n={n} must be an exact k^(k+1)"
-            );
+            assert!(kmath::exact_order(n as u64).is_some(), "n={n} must be an exact k^(k+1)");
         }
     }
 

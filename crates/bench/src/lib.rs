@@ -29,6 +29,7 @@ pub mod exp_lemmas;
 pub mod exp_linearizable;
 pub mod exp_scale;
 pub mod exp_serve;
+pub mod exp_shm;
 pub mod figures;
 
 pub use algos::{run_canonical, run_shuffled_dyn, Algo, RunSummary, REPORT_SEED};

@@ -1,0 +1,286 @@
+//! A concurrent-history recorder and checker for fetch&increment
+//! objects.
+//!
+//! The shared-memory bake-off (`crates/shm`, experiment E26) runs
+//! free-running OS threads against a counter backend and needs a
+//! correctness verdict that does not depend on the scheduler: every
+//! backend must hand out **exactly** the values `0..ops` (gap-free, no
+//! duplicates), and — for the linearizable backends — must respect
+//! real-time order: an operation that *starts* after another *returns*
+//! must observe a larger value.
+//!
+//! The recorder is deliberately cheap and contention-free: each thread
+//! records into its own [`ThreadHistory`] (a plain `Vec` it owns), with
+//! timestamps taken from one shared monotonic epoch so cross-thread
+//! comparison is meaningful. Threads never synchronize through the
+//! recorder, so the recorder cannot mask races in the object under
+//! test.
+//!
+//! The check itself is the classical one for fetch&increment histories
+//! (a special case of linearizability checking that is linear-time
+//! rather than NP-hard): sort completed operations by invocation time;
+//! operation `B` is a real-time violation iff
+//! `value(B) < max { value(A) : return(A) < invoke(B) }`.
+//! Counting networks are only *quiescently consistent*, so the verdict
+//! separates the gap-free multiset property (required of every backend)
+//! from the real-time property (required of linearizable ones).
+
+use std::time::Instant;
+
+/// One completed fetch&increment operation, as observed by its caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistoryEvent {
+    /// Recorder-assigned thread index.
+    pub thread: usize,
+    /// Invocation time in nanoseconds since the recorder's epoch.
+    pub invoke_ns: u64,
+    /// Return time in nanoseconds since the recorder's epoch.
+    pub return_ns: u64,
+    /// The value the operation returned.
+    pub value: u64,
+}
+
+/// Per-thread event log. Owned by exactly one thread while recording;
+/// hand it back to [`HistoryRecorder::check`] when the thread is done.
+#[derive(Debug)]
+pub struct ThreadHistory {
+    thread: usize,
+    epoch: Instant,
+    events: Vec<HistoryEvent>,
+}
+
+impl ThreadHistory {
+    /// Marks an invocation; feed the returned instant to [`Self::ret`].
+    #[must_use]
+    pub fn invoke(&self) -> Instant {
+        Instant::now()
+    }
+
+    /// Records a completed operation that returned `value`.
+    pub fn ret(&mut self, invoked_at: Instant, value: u64) {
+        let now = Instant::now();
+        self.events.push(HistoryEvent {
+            thread: self.thread,
+            invoke_ns: saturating_ns(self.epoch, invoked_at),
+            return_ns: saturating_ns(self.epoch, now),
+            value,
+        });
+    }
+
+    /// Number of operations recorded so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no operations have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+fn saturating_ns(epoch: Instant, t: Instant) -> u64 {
+    u64::try_from(t.saturating_duration_since(epoch).as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Allocates per-thread histories sharing one epoch and checks the
+/// merged result.
+#[derive(Debug)]
+pub struct HistoryRecorder {
+    epoch: Instant,
+}
+
+impl HistoryRecorder {
+    /// A fresh recorder; its construction instant is the shared epoch.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { epoch: Instant::now() }
+    }
+
+    /// A private log for one thread. Move it into the thread; collect
+    /// it back (e.g. through the join handle) for [`Self::check`].
+    #[must_use]
+    pub fn thread(&self, thread: usize) -> ThreadHistory {
+        ThreadHistory { thread, epoch: self.epoch, events: Vec::new() }
+    }
+
+    /// Merges per-thread logs and renders the verdict.
+    #[must_use]
+    pub fn check(&self, histories: &[ThreadHistory]) -> HistoryVerdict {
+        let mut events: Vec<HistoryEvent> =
+            histories.iter().flat_map(|h| h.events.iter().copied()).collect();
+        check_fetch_inc_history(&mut events)
+    }
+}
+
+impl Default for HistoryRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The outcome of checking a merged fetch&increment history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistoryVerdict {
+    /// Total completed operations in the history.
+    pub ops: usize,
+    /// Values in `0..ops` that no operation returned.
+    pub missing: Vec<u64>,
+    /// Values returned by more than one operation (or `>= ops`).
+    pub duplicates: Vec<u64>,
+    /// Real-time order violations: `(value_returned, floor_violated)`
+    /// pairs where the operation returned `value_returned` although an
+    /// operation returning `floor_violated` had already completed
+    /// before it was invoked.
+    pub lin_violations: Vec<(u64, u64)>,
+}
+
+impl HistoryVerdict {
+    /// Every value in `0..ops` returned exactly once.
+    #[must_use]
+    pub fn gap_free(&self) -> bool {
+        self.missing.is_empty() && self.duplicates.is_empty()
+    }
+
+    /// Gap-free **and** no real-time order violations.
+    #[must_use]
+    pub fn linearizable(&self) -> bool {
+        self.gap_free() && self.lin_violations.is_empty()
+    }
+}
+
+/// Checks a merged history of completed fetch&increment operations.
+///
+/// Reorders `events` by invocation time as a side effect. Gap-freedom
+/// is the multiset condition `values == 0..len`; the real-time
+/// condition is checked with a sweep over invocation order maintaining
+/// the max value among operations already returned ("the floor"):
+/// a fetch&increment history is linearizable iff no operation returns
+/// a value below the floor at its invocation.
+#[must_use]
+pub fn check_fetch_inc_history(events: &mut [HistoryEvent]) -> HistoryVerdict {
+    let ops = events.len();
+
+    let mut seen = vec![0u32; ops];
+    let mut duplicates = Vec::new();
+    for e in events.iter() {
+        match usize::try_from(e.value).ok().filter(|&v| v < ops) {
+            Some(v) => {
+                seen[v] += 1;
+                if seen[v] == 2 {
+                    duplicates.push(e.value);
+                }
+            }
+            None => duplicates.push(e.value),
+        }
+    }
+    let missing: Vec<u64> = (0..ops).filter(|&v| seen[v] == 0).map(|v| v as u64).collect();
+    duplicates.sort_unstable();
+    duplicates.dedup();
+
+    // Real-time sweep. Sort by invocation; walk a second cursor over
+    // the same events sorted by return time, folding returned values
+    // into the floor before each invocation.
+    events.sort_unstable_by_key(|e| (e.invoke_ns, e.return_ns));
+    let mut by_return: Vec<(u64, u64)> = events.iter().map(|e| (e.return_ns, e.value)).collect();
+    by_return.sort_unstable();
+
+    let mut lin_violations = Vec::new();
+    let mut floor: Option<u64> = None;
+    let mut ret_cursor = 0;
+    for e in events.iter() {
+        while ret_cursor < by_return.len() && by_return[ret_cursor].0 < e.invoke_ns {
+            let v = by_return[ret_cursor].1;
+            floor = Some(floor.map_or(v, |f| f.max(v)));
+            ret_cursor += 1;
+        }
+        if let Some(f) = floor {
+            if e.value < f {
+                lin_violations.push((e.value, f));
+            }
+        }
+    }
+
+    HistoryVerdict { ops, missing, duplicates, lin_violations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(thread: usize, invoke_ns: u64, return_ns: u64, value: u64) -> HistoryEvent {
+        HistoryEvent { thread, invoke_ns, return_ns, value }
+    }
+
+    #[test]
+    fn a_sequential_history_is_linearizable_and_gap_free() {
+        let mut h = vec![ev(0, 0, 10, 0), ev(0, 20, 30, 1), ev(1, 40, 50, 2)];
+        let v = check_fetch_inc_history(&mut h);
+        assert_eq!(v.ops, 3);
+        assert!(v.gap_free(), "{v:?}");
+        assert!(v.linearizable(), "{v:?}");
+    }
+
+    #[test]
+    fn overlapping_operations_may_return_in_either_order() {
+        // Two overlapping ops: the later invocation returning the
+        // smaller value is fine because neither happened-before the
+        // other.
+        let mut h = vec![ev(0, 0, 100, 1), ev(1, 10, 90, 0)];
+        let v = check_fetch_inc_history(&mut h);
+        assert!(v.linearizable(), "{v:?}");
+    }
+
+    #[test]
+    fn a_real_time_violation_is_reported_with_its_floor() {
+        // Op returning 5 completed at t=10; an op invoked at t=20 then
+        // returned 3 < 5: quiescently consistent, not linearizable.
+        let mut h = vec![
+            ev(0, 0, 10, 5),
+            ev(1, 20, 30, 3),
+            ev(0, 40, 50, 0),
+            ev(1, 60, 70, 1),
+            ev(0, 80, 90, 2),
+            ev(1, 100, 110, 4),
+        ];
+        let v = check_fetch_inc_history(&mut h);
+        assert!(v.gap_free(), "{v:?}");
+        assert!(!v.linearizable());
+        assert!(v.lin_violations.contains(&(3, 5)), "{:?}", v.lin_violations);
+    }
+
+    #[test]
+    fn gaps_and_duplicates_are_both_reported() {
+        let mut h = vec![ev(0, 0, 10, 0), ev(0, 20, 30, 0), ev(0, 40, 50, 7)];
+        let v = check_fetch_inc_history(&mut h);
+        assert!(!v.gap_free());
+        assert_eq!(v.duplicates, vec![0, 7], "0 twice, 7 out of range");
+        assert_eq!(v.missing, vec![1, 2], "values 1 and 2 never returned");
+    }
+
+    #[test]
+    fn the_recorder_merges_per_thread_logs_against_one_epoch() {
+        let rec = HistoryRecorder::new();
+        let mut a = rec.thread(0);
+        let mut b = rec.thread(1);
+        let t = a.invoke();
+        a.ret(t, 0);
+        let t = b.invoke();
+        b.ret(t, 1);
+        let t = a.invoke();
+        a.ret(t, 2);
+        assert_eq!(a.len(), 2);
+        assert!(!b.is_empty());
+        let v = rec.check(&[a, b]);
+        assert_eq!(v.ops, 3);
+        assert!(v.linearizable(), "{v:?}");
+    }
+
+    #[test]
+    fn the_empty_history_is_trivially_linearizable() {
+        let v = check_fetch_inc_history(&mut []);
+        assert_eq!(v.ops, 0);
+        assert!(v.linearizable());
+    }
+}

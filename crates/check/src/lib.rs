@@ -32,6 +32,7 @@
 
 pub mod checker;
 pub mod config;
+pub mod history;
 pub mod invariants;
 mod minimize;
 pub mod schedule;
@@ -39,6 +40,9 @@ pub mod world;
 
 pub use checker::{Budget, CheckOutcome, CheckStats, Checker, Violation};
 pub use config::{CheckConfig, Mutation, Workload};
+pub use history::{
+    check_fetch_inc_history, HistoryEvent, HistoryRecorder, HistoryVerdict, ThreadHistory,
+};
 pub use invariants::{
     default_invariants, HotSpotIntersection, Invariant, LoadBound, NoDoubleRetirement,
     PairwiseLinearizable, RangePartition, SequentialValues, UniqueHosting,

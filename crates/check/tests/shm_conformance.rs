@@ -1,0 +1,63 @@
+//! Cross-**driver** conformance: the shared-memory arena driver must
+//! leave the engines in exactly the state the virtual-time simulator
+//! does.
+//!
+//! `distctr-shm`'s [`ShmTreeCounter`] reuses the sans-io `NodeEngine`
+//! protocol verbatim and replaces only the transport: mailbox pushes on
+//! a shared arena instead of simulated unit-latency messages. Replacing
+//! the transport must be observationally invisible to the protocol, so
+//! this suite runs the *same* seeded fault-free workload as
+//! `arena_conformance.rs` and pins the combined engine fingerprint to
+//! the *same* golden values captured from the simulator. A divergence
+//! means the arena's delivery order (a global FIFO pumped to quiescence
+//! per operation) no longer matches the sim's unit-delay semantics —
+//! i.e. the driver changed the protocol, which is exactly the bug class
+//! this test exists to catch.
+//!
+//! Only the fault-free family applies: the shared-memory driver has no
+//! crash injection (there is no process to kill when the callers *are*
+//! the processors).
+
+use distctr_check::combined_fingerprint;
+use distctr_shm::ShmTreeCounter;
+use distctr_sim::ProcessorId;
+
+/// The golden workload of `arena_conformance.rs`, driven through the
+/// shared-memory arena: `n` unit incs (initiators `i % processors`,
+/// ascending) with a batch of 3 injected halfway.
+fn shm_fault_free_fingerprint(n: usize) -> u64 {
+    let mut c = ShmTreeCounter::new(n).expect("arena");
+    let procs = c.processors();
+    for i in 0..n {
+        let p = ProcessorId::new(i % procs);
+        if i == n / 2 {
+            c.inc_batch(p, 3).expect("batch inc");
+        } else {
+            c.inc(p).expect("inc");
+        }
+    }
+    let fps = c.engine_fingerprints();
+    let crashed = vec![false; procs];
+    combined_fingerprint(&fps, &crashed)
+}
+
+/// The same goldens as `arena_conformance.rs` — captured from the
+/// simulator, now pinning a *driver* rather than a storage refactor.
+const FAULT_FREE_GOLDEN: [(usize, u64); 4] = [
+    (2, 0xdcd6_1044_5dfd_084c),
+    (4, 0xb767_abdb_91fd_63cb),
+    (8, 0x8cf2_8883_1bdc_ee95),
+    (81, 0x9aaf_5c99_4bcf_0fdc),
+];
+
+#[test]
+fn shm_driver_fingerprints_match_the_simulator_goldens() {
+    for (n, golden) in FAULT_FREE_GOLDEN {
+        let fp = shm_fault_free_fingerprint(n);
+        assert_eq!(
+            fp, golden,
+            "n={n}: shm-driver fingerprint {fp:#018x} diverged from the simulator golden \
+             {golden:#018x}"
+        );
+    }
+}

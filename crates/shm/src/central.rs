@@ -1,0 +1,87 @@
+//! The baseline every shared-memory structure is judged against: one
+//! `fetch_add` on one cache line.
+//!
+//! In the paper's message model a central counter is the worst possible
+//! design — its bottleneck is `2n` messages at one processor. In shared
+//! memory the same design is a single `lock xadd`, and on small core
+//! counts it is *very* hard to beat: the E26 bake-off exists to measure
+//! where (thread count, contention) the crossover to distributed
+//! structures actually happens on the machine at hand, rather than
+//! assuming the asymptotics.
+
+use crate::pad::CachePadded;
+use crate::sync::{AtomicU64, Ordering};
+
+/// A fetch&increment counter: one padded atomic cell.
+#[derive(Debug)]
+pub struct CentralCounter {
+    value: CachePadded<AtomicU64>,
+    processors: usize,
+}
+
+impl CentralCounter {
+    /// A zeroed counter nominally serving `processors` callers (the
+    /// count only feeds load accounting; any number of threads may
+    /// call).
+    #[must_use]
+    pub fn new(processors: usize) -> Self {
+        CentralCounter { value: CachePadded::new(AtomicU64::new(0)), processors: processors.max(1) }
+    }
+
+    /// Takes the next value. Lock-free (wait-free, even): one
+    /// `fetch_add`.
+    pub fn inc_shared(&self) -> u64 {
+        self.value.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Values handed out so far.
+    #[must_use]
+    pub fn issued(&self) -> u64 {
+        self.value.load(Ordering::SeqCst)
+    }
+
+    /// Nominal processor count (for backend reporting).
+    #[must_use]
+    pub fn processors(&self) -> usize {
+        self.processors
+    }
+
+    /// The shared-memory analogue of the paper's bottleneck: every
+    /// operation hits the same cell, so the hottest location has
+    /// absorbed every increment.
+    #[must_use]
+    pub fn bottleneck(&self) -> u64 {
+        self.issued()
+    }
+}
+
+#[cfg(all(test, not(feature = "loom")))]
+mod tests {
+    use super::*;
+    use crate::sync::{thread, Arc};
+
+    #[test]
+    fn sequential_values_are_zero_upward() {
+        let c = CentralCounter::new(4);
+        assert_eq!(c.processors(), 4);
+        for i in 0..10 {
+            assert_eq!(c.inc_shared(), i);
+        }
+        assert_eq!(c.issued(), 10);
+        assert_eq!(c.bottleneck(), 10, "one location took all the traffic");
+    }
+
+    #[test]
+    fn concurrent_values_partition_the_range() {
+        let c = Arc::new(CentralCounter::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                thread::spawn(move || (0..100).map(|_| c.inc_shared()).collect::<Vec<_>>())
+            })
+            .collect();
+        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().expect("inc")).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..400).collect::<Vec<_>>(), "every value exactly once");
+    }
+}

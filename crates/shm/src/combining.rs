@@ -1,0 +1,177 @@
+//! Flat combining: publish your request, and whoever holds the
+//! combiner lock executes everyone's.
+//!
+//! The middle contender of the E26 bake-off, between the central cell
+//! (all threads collide on one line) and the counting network (no
+//! combining at all). Each thread owns a padded *publication slot*; to
+//! increment it marks the slot `PENDING` and then either (a) acquires
+//! the combiner lock with a single CAS, scans every slot, satisfies all
+//! pending requests with **one** `fetch_add` of the batch size, and
+//! distributes the range — or (b) spins locally on its own slot until a
+//! combiner hands it a value. Under contention the shared cell is
+//! touched once per *batch* instead of once per operation, which is the
+//! entire trick; the cost is the combiner's O(threads) scan.
+//!
+//! Values within one combined batch are assigned in slot order, which
+//! nests inside the batch's single atomic grab — the object is
+//! linearizable (each op linearizes at its batch's `fetch_add`), and
+//! the E26 gate holds it to that.
+
+use crate::pad::CachePadded;
+use crate::sync::{hint, AtomicU64, Ordering};
+
+const IDLE: u64 = 0;
+const PENDING: u64 = 1;
+const DONE: u64 = 2;
+
+#[derive(Debug, Default)]
+struct Slot {
+    /// IDLE → PENDING (owner) → DONE (combiner) → IDLE (owner).
+    state: AtomicU64,
+    /// The granted value; meaningful only in state DONE.
+    result: AtomicU64,
+}
+
+/// A flat-combining fetch&increment counter for up to a fixed number of
+/// threads.
+#[derive(Debug)]
+pub struct FlatCombiningCounter {
+    value: CachePadded<AtomicU64>,
+    /// The combiner lock: 0 free, 1 held. A plain CAS lock — *not* a
+    /// queue lock — because a loser does not wait for it; it waits for
+    /// its slot.
+    combiner: CachePadded<AtomicU64>,
+    slots: Vec<CachePadded<Slot>>,
+    /// Batches executed (each cost one `fetch_add` on `value`).
+    batches: CachePadded<AtomicU64>,
+}
+
+impl FlatCombiningCounter {
+    /// A counter with one publication slot per thread; `threads` is the
+    /// maximum caller index, not a spawn count.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        FlatCombiningCounter {
+            value: CachePadded::new(AtomicU64::new(0)),
+            combiner: CachePadded::new(AtomicU64::new(0)),
+            slots: (0..threads.max(1)).map(|_| CachePadded::new(Slot::default())).collect(),
+            batches: CachePadded::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Slots available (= maximum concurrent callers).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Takes the next value on behalf of caller `thread`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is outside the slot range — two concurrent
+    /// callers must never share a slot.
+    pub fn inc_shared(&self, thread: usize) -> u64 {
+        let slot = &self.slots[thread];
+        slot.state.store(PENDING, Ordering::SeqCst);
+        let mut spins = 0u32;
+        loop {
+            if slot.state.load(Ordering::SeqCst) == DONE {
+                let v = slot.result.load(Ordering::SeqCst);
+                slot.state.store(IDLE, Ordering::SeqCst);
+                return v;
+            }
+            if self.combiner.compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst).is_ok() {
+                self.combine();
+                self.combiner.store(0, Ordering::SeqCst);
+                // Own request was pending during our own scan, so it is
+                // DONE now; the next loop iteration collects it.
+                continue;
+            }
+            spins += 1;
+            if spins.is_multiple_of(32) {
+                crate::sync::thread::yield_now();
+            } else {
+                hint::spin_loop();
+            }
+        }
+    }
+
+    /// One combining pass: satisfy every slot currently PENDING with a
+    /// single grab of the shared cell.
+    fn combine(&self) {
+        let pending: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.state.load(Ordering::SeqCst) == PENDING)
+            .map(|(i, _)| i)
+            .collect();
+        if pending.is_empty() {
+            return;
+        }
+        let base = self.value.fetch_add(pending.len() as u64, Ordering::SeqCst);
+        self.batches.fetch_add(1, Ordering::SeqCst);
+        for (offset, i) in pending.into_iter().enumerate() {
+            let slot = &self.slots[i];
+            slot.result.store(base + offset as u64, Ordering::SeqCst);
+            slot.state.store(DONE, Ordering::SeqCst);
+        }
+    }
+
+    /// Values handed out so far.
+    #[must_use]
+    pub fn issued(&self) -> u64 {
+        self.value.load(Ordering::SeqCst)
+    }
+
+    /// Combining passes executed; `issued / batches` is the achieved
+    /// combining factor.
+    #[must_use]
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::SeqCst)
+    }
+
+    /// Hottest-location traffic: the shared cell is touched once per
+    /// batch, the whole point of combining.
+    #[must_use]
+    pub fn bottleneck(&self) -> u64 {
+        self.batches()
+    }
+}
+
+#[cfg(all(test, not(feature = "loom")))]
+mod tests {
+    use super::*;
+    use crate::sync::{thread, Arc};
+
+    #[test]
+    fn sequential_calls_degenerate_to_batches_of_one() {
+        let c = FlatCombiningCounter::new(4);
+        assert_eq!(c.threads(), 4);
+        for i in 0..10 {
+            assert_eq!(c.inc_shared(i as usize % 4), i);
+        }
+        assert_eq!(c.issued(), 10);
+        assert_eq!(c.batches(), 10, "no concurrency, no combining");
+    }
+
+    #[test]
+    fn concurrent_callers_combine_and_partition_the_range() {
+        const THREADS: usize = 4;
+        const PER: u64 = 500;
+        let c = Arc::new(FlatCombiningCounter::new(THREADS));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                thread::spawn(move || (0..PER).map(|_| c.inc_shared(t)).collect::<Vec<u64>>())
+            })
+            .collect();
+        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().expect("inc")).collect();
+        all.sort_unstable();
+        let n = THREADS as u64 * PER;
+        assert_eq!(all, (0..n).collect::<Vec<_>>(), "every value exactly once");
+        assert_eq!(c.issued(), n);
+        assert!(c.batches() <= n, "combining can only reduce shared-cell traffic");
+    }
+}

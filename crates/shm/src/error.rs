@@ -1,0 +1,56 @@
+//! Error type of the shared-memory backends.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the shared-memory counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ShmError {
+    /// Invalid network size / tree order.
+    Order(String),
+    /// Out-of-range initiator.
+    UnknownProcessor {
+        /// The offending index.
+        index: usize,
+        /// The arena size.
+        processors: usize,
+    },
+    /// An operation's reply never materialized — only possible if a
+    /// protocol message was dropped inside the arena, which the
+    /// fault-free shared-memory driver never does; surfaced instead of
+    /// spinning forever.
+    Stalled {
+        /// The operation's sequence number.
+        op_seq: u64,
+    },
+}
+
+impl fmt::Display for ShmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShmError::Order(msg) => write!(f, "invalid tree order: {msg}"),
+            ShmError::UnknownProcessor { index, processors } => write!(
+                f,
+                "processor index {index} out of range for an arena of {processors} processors"
+            ),
+            ShmError::Stalled { op_seq } => {
+                write!(f, "operation {op_seq} stalled: its reply never arrived")
+            }
+        }
+    }
+}
+
+impl Error for ShmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(ShmError::Order("bad".into()).to_string().contains("bad"));
+        assert!(ShmError::UnknownProcessor { index: 9, processors: 2 }.to_string().contains('9'));
+        assert!(ShmError::Stalled { op_seq: 41 }.to_string().contains("41"));
+    }
+}

@@ -1,0 +1,156 @@
+//! The bitonic counting network on real atomics.
+//!
+//! `distctr-baselines` builds the Aspnes–Herlihy–Shavit bitonic network
+//! and *simulates* it under the paper's message model; this module runs
+//! the **same compiled wiring** with hardware atomics. A balancer is one
+//! `fetch_xor(1)` on its toggle word (previous value even → token leaves
+//! on the top wire, odd → bottom), an exit counter is one `fetch_add`,
+//! and the token's value is `rank + width * local` — the counter at exit
+//! rank `r` hands out `r, r + w, r + 2w, …`. Every operation is a fixed
+//! sequence of `O(log² w)` uncontended-on-average RMWs with no locks and
+//! no retry loops, so the structure is lock-free (in fact wait-free:
+//! each token takes exactly `depth + 1` RMWs).
+//!
+//! Counting networks are **quiescently consistent, not linearizable**:
+//! with concurrent tokens, a token that started later can overtake and
+//! return a smaller value. The E26 gate therefore holds this backend to
+//! the gap-free `0..ops` multiset check and *reports* — rather than
+//! rejects — real-time reorderings; the tree and central backends are
+//! held to full linearizability.
+
+use distctr_baselines::bitonic::BitonicNetwork;
+
+use crate::pad::CachePadded;
+use crate::sync::{AtomicU64, Ordering};
+
+/// A width-`w` bitonic counting network over atomics.
+#[derive(Debug)]
+pub struct AtomicBitonicCounter {
+    net: BitonicNetwork,
+    /// One toggle word per balancer: bit 0 is the wire selector.
+    toggles: Vec<CachePadded<AtomicU64>>,
+    /// One counter per exit rank.
+    exits: Vec<CachePadded<AtomicU64>>,
+    /// Tokens admitted per entry wire (load accounting only; updated by
+    /// the wire's own callers, so typically uncontended).
+    entries: Vec<CachePadded<AtomicU64>>,
+}
+
+impl AtomicBitonicCounter {
+    /// Builds the network. `width` must be a power of two (panics
+    /// otherwise, like the baseline constructor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or not a power of two.
+    #[must_use]
+    pub fn new(width: usize) -> Self {
+        let net = BitonicNetwork::new(width);
+        AtomicBitonicCounter {
+            toggles: (0..net.balancer_count())
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            exits: (0..width).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
+            entries: (0..width).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
+            net,
+        }
+    }
+
+    /// Network width (= entry wires = exit counters).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.net.width()
+    }
+
+    /// Sends one token in on `entry_wire` (taken mod width) and returns
+    /// the value its exit counter hands out. Callers should spread
+    /// statically over entry wires (thread id mod width) — a shared
+    /// dispatch counter would reintroduce the central hot spot the
+    /// network exists to avoid.
+    pub fn inc_on(&self, entry_wire: usize) -> u64 {
+        let w = self.net.width();
+        let mut wire = entry_wire % w;
+        self.entries[wire].fetch_add(1, Ordering::Relaxed);
+        let mut next = self.net.entry(wire);
+        while let Some(b) = next {
+            let bal = self.net.balancer(b);
+            let prev = self.toggles[b as usize].fetch_xor(1, Ordering::SeqCst);
+            wire = if prev & 1 == 0 { bal.top } else { bal.bottom };
+            next = self.net.next_on_wire(wire, b);
+        }
+        let rank = self.net.exit_rank(wire);
+        let local = self.exits[rank].fetch_add(1, Ordering::SeqCst);
+        rank as u64 + w as u64 * local
+    }
+
+    /// Tokens that have fully traversed, per exit rank — the quiescent
+    /// state the step property is stated over.
+    #[must_use]
+    pub fn exit_counts(&self) -> Vec<u64> {
+        self.exits.iter().map(|c| c.load(Ordering::SeqCst)).collect()
+    }
+
+    /// Values handed out so far.
+    #[must_use]
+    pub fn issued(&self) -> u64 {
+        self.exit_counts().iter().sum()
+    }
+
+    /// The hottest single location's traffic: each first-column balancer
+    /// absorbs every token entering on its two wires, and with static
+    /// thread→wire assignment that is the worst contention point of the
+    /// whole traversal (deeper columns only ever see a subset split
+    /// evenly). Computed from the per-wire entry counts.
+    #[must_use]
+    pub fn bottleneck(&self) -> u64 {
+        let w = self.net.width();
+        if w == 1 {
+            return self.issued();
+        }
+        let mut per_balancer = vec![0u64; self.net.balancer_count()];
+        for wire in 0..w {
+            if let Some(b) = self.net.entry(wire) {
+                per_balancer[b as usize] += self.entries[wire].load(Ordering::Relaxed);
+            }
+        }
+        per_balancer.into_iter().max().unwrap_or(0)
+    }
+}
+
+#[cfg(all(test, not(feature = "loom")))]
+mod tests {
+    use super::*;
+    use crate::sync::{thread, Arc};
+    use distctr_baselines::bitonic::has_step_property;
+
+    #[test]
+    fn sequential_tokens_count_zero_upward_on_any_entry_pattern() {
+        for w in [2usize, 4, 8] {
+            let c = AtomicBitonicCounter::new(w);
+            assert_eq!(c.width(), w);
+            for i in 0..3 * w as u64 {
+                assert_eq!(c.inc_on(i as usize), i, "width {w}: i-th sequential token");
+            }
+            assert!(has_step_property(&c.exit_counts()), "{:?}", c.exit_counts());
+        }
+    }
+
+    #[test]
+    fn concurrent_tokens_partition_the_range_and_leave_the_step_property() {
+        let w = 8;
+        let c = Arc::new(AtomicBitonicCounter::new(w));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                thread::spawn(move || (0..200).map(|_| c.inc_on(t)).collect::<Vec<u64>>())
+            })
+            .collect();
+        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().expect("inc")).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..800).collect::<Vec<_>>(), "gap-free despite concurrency");
+        let counts = c.exit_counts();
+        assert!(has_step_property(&counts), "quiescent step property: {counts:?}");
+        assert_eq!(c.issued(), 800);
+        assert!(c.bottleneck() >= 800 / (w as u64 / 2), "some first balancer took its share");
+    }
+}

@@ -1,0 +1,22 @@
+//! Synchronization primitives, cfg-switched between `std` and `loom`.
+//!
+//! Everything in this crate that synchronizes between threads imports
+//! from here, never from `std::sync` directly. A normal build re-exports
+//! `std`; `--features loom` swaps in the model checker's instrumented
+//! versions so the `tests/loom.rs` suite can enumerate interleavings of
+//! the exact code that ships. The two surfaces are API-compatible, so no
+//! other file in the crate mentions the feature.
+
+#[cfg(feature = "loom")]
+pub(crate) use loom::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+#[cfg(feature = "loom")]
+pub(crate) use loom::sync::{Arc, Mutex};
+#[cfg(feature = "loom")]
+pub(crate) use loom::{hint, thread};
+
+#[cfg(not(feature = "loom"))]
+pub(crate) use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+#[cfg(not(feature = "loom"))]
+pub(crate) use std::sync::{Arc, Mutex};
+#[cfg(not(feature = "loom"))]
+pub(crate) use std::{hint, thread};

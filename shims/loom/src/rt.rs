@@ -1,0 +1,314 @@
+//! The cooperative scheduler behind [`crate::model`].
+//!
+//! One execution = one set of real OS threads coordinated through a
+//! single token: exactly one managed thread is `active` at a time, and
+//! control moves only inside [`switch`] — the scheduling points the
+//! instrumented primitives insert. Each point records a
+//! [`Decision`] `(chosen, alternatives)`; replaying a prefix of choices
+//! and bumping the deepest unexhausted decision is the whole
+//! depth-first exploration.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// One scheduling decision: which of `alts` enabled continuations ran.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Decision {
+    pub(crate) chosen: usize,
+    pub(crate) alts: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    Finished,
+}
+
+pub(crate) struct Exec {
+    st: Mutex<ExecSt>,
+    cv: Condvar,
+    bound: Option<usize>,
+    step_cap: u64,
+}
+
+struct ExecSt {
+    status: Vec<Status>,
+    active: usize,
+    /// Choices to replay, then first-alternative from there on.
+    prefix: Vec<usize>,
+    decisions: Vec<Decision>,
+    preemptions: usize,
+    steps: u64,
+    failure: Option<String>,
+    abort: bool,
+    live: usize,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Sentinel payload for panics that merely unwind a managed thread out
+/// of an aborted execution (not a real failure of the model body).
+const ABORTED: &str = "loom-shim: execution aborted";
+
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) exec: Arc<Exec>,
+    pub(crate) id: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// The calling thread's managed context, if it belongs to a model run.
+pub(crate) fn current() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// An instrumented access from whatever thread we are on: a scheduling
+/// point under a model, nothing otherwise.
+pub(crate) fn access() {
+    if let Some(ctx) = current() {
+        switch(&ctx.exec, ctx.id, false);
+    }
+}
+
+impl Exec {
+    fn lock_st(&self) -> MutexGuard<'_, ExecSt> {
+        // The scheduler mutex gets poisoned whenever a managed thread
+        // panics at a scheduling point; state stays consistent because
+        // every mutation completes before any panic.
+        self.st.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl ExecSt {
+    fn fail(&mut self, msg: String) {
+        if self.failure.is_none() {
+            self.failure = Some(msg);
+        }
+        self.abort = true;
+    }
+}
+
+/// The scheduling point. `force` marks an involuntary switch (yield,
+/// spin hint, contended lock, join wait): the current thread does not
+/// continue by default and no preemption budget is charged.
+///
+/// # Panics
+///
+/// Unwinds the calling thread when the execution is aborted (another
+/// thread failed, step cap, deadlock, replay divergence).
+pub(crate) fn switch(exec: &Arc<Exec>, me: usize, force: bool) {
+    let mut st = exec.lock_st();
+    if st.abort {
+        drop(st);
+        panic!("{ABORTED}");
+    }
+    st.steps += 1;
+    if st.steps > exec.step_cap {
+        st.fail(format!("step cap {} exceeded: possible livelock or lock cycle", exec.step_cap));
+        drop(st);
+        exec.cv.notify_all();
+        panic!("{ABORTED}");
+    }
+
+    // Enabled continuations, round-robin from the caller: the caller
+    // itself first (unless forced away), then every other runnable
+    // thread in index order.
+    let n = st.status.len();
+    let mut cands: Vec<usize> = Vec::new();
+    if !force && st.status[me] == Status::Runnable {
+        cands.push(me);
+    }
+    for off in 1..n {
+        let t = (me + off) % n;
+        if st.status[t] == Status::Runnable {
+            cands.push(t);
+        }
+    }
+    if cands.is_empty() {
+        if force && st.status[me] == Status::Runnable {
+            // Sole runnable thread yielding: it continues (a genuinely
+            // stuck spin then trips the step cap above).
+            cands.push(me);
+        } else {
+            st.fail("deadlock: no runnable thread".into());
+            drop(st);
+            exec.cv.notify_all();
+            panic!("{ABORTED}");
+        }
+    }
+    // Preemption bounding: alternatives to "continue the caller" at an
+    // ordinary access point each cost one unit; with the budget spent,
+    // the caller just continues.
+    if !force && cands.first() == Some(&me) {
+        if let Some(bound) = exec.bound {
+            if st.preemptions >= bound {
+                cands.truncate(1);
+            }
+        }
+    }
+
+    let di = st.decisions.len();
+    let chosen = if di < st.prefix.len() { st.prefix[di] } else { 0 };
+    if chosen >= cands.len() {
+        st.fail(format!(
+            "schedule replay diverged at decision {di} ({chosen} of {} choices): \
+             the model body must be deterministic",
+            cands.len()
+        ));
+        drop(st);
+        exec.cv.notify_all();
+        panic!("{ABORTED}");
+    }
+    st.decisions.push(Decision { chosen, alts: cands.len() });
+    let next = cands[chosen];
+    if !force && next != me {
+        st.preemptions += 1;
+    }
+    st.active = next;
+    exec.cv.notify_all();
+    while st.active != me && !st.abort {
+        st = exec.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+    }
+    if st.abort {
+        drop(st);
+        panic!("{ABORTED}");
+    }
+}
+
+/// Best-effort rendering of a panic payload.
+pub(crate) fn payload_to_string(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic payload of unknown type".to_string()
+    }
+}
+
+/// Registers and starts one managed thread running `body`.
+pub(crate) fn spawn_managed(exec: &Arc<Exec>, body: impl FnOnce() + Send + 'static) {
+    let id = {
+        let mut st = exec.lock_st();
+        st.status.push(Status::Runnable);
+        st.live += 1;
+        st.status.len() - 1
+    };
+    let exec2 = Arc::clone(exec);
+    let handle = std::thread::Builder::new()
+        .name(format!("loom-shim-{id}"))
+        .spawn(move || run_thread(&exec2, id, body))
+        .expect("loom-shim: OS thread spawn");
+    exec.lock_st().handles.push(handle);
+}
+
+fn run_thread(exec: &Arc<Exec>, id: usize, body: impl FnOnce() + Send) {
+    CTX.with(|c| *c.borrow_mut() = Some(Ctx { exec: Arc::clone(exec), id }));
+    // Wait to be scheduled for the first time.
+    let skip_body = {
+        let mut st = exec.lock_st();
+        while st.active != id && !st.abort {
+            st = exec.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        st.abort
+    };
+    if !skip_body {
+        if let Err(p) = catch_unwind(AssertUnwindSafe(body)) {
+            let msg = payload_to_string(&*p);
+            let mut st = exec.lock_st();
+            if msg != ABORTED {
+                st.fail(msg);
+            }
+            drop(st);
+        }
+    }
+    // Finish bookkeeping: mark done and hand the token to a successor
+    // (itself a recorded decision — who runs after a thread exits is a
+    // real scheduling choice).
+    let mut st = exec.lock_st();
+    st.status[id] = Status::Finished;
+    st.live -= 1;
+    if st.live > 0 && !st.abort {
+        let n = st.status.len();
+        let cands: Vec<usize> = (1..n)
+            .map(|off| (id + off) % n)
+            .filter(|&t| st.status[t] == Status::Runnable)
+            .collect();
+        if cands.is_empty() {
+            // Every other live thread is mid-switch waiting to be
+            // chosen; impossible here because non-finished threads are
+            // always Runnable.
+            st.fail("deadlock: a thread exited with no runnable successor".into());
+        } else {
+            let di = st.decisions.len();
+            let chosen = if di < st.prefix.len() { st.prefix[di] } else { 0 };
+            if chosen >= cands.len() {
+                st.fail("schedule replay diverged at thread exit".into());
+            } else {
+                st.decisions.push(Decision { chosen, alts: cands.len() });
+                st.active = cands[chosen];
+            }
+        }
+    }
+    drop(st);
+    exec.cv.notify_all();
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// Runs one execution replaying `prefix`; returns the decisions taken
+/// and the failure, if any.
+pub(crate) fn run_one<F>(
+    f: Arc<F>,
+    bound: Option<usize>,
+    step_cap: u64,
+    prefix: Vec<usize>,
+) -> (Vec<Decision>, Option<String>)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let exec = Arc::new(Exec {
+        st: Mutex::new(ExecSt {
+            status: Vec::new(),
+            active: 0,
+            prefix,
+            decisions: Vec::new(),
+            preemptions: 0,
+            steps: 0,
+            failure: None,
+            abort: false,
+            live: 0,
+            handles: Vec::new(),
+        }),
+        cv: Condvar::new(),
+        bound,
+        step_cap,
+    });
+    spawn_managed(&exec, move || f());
+    let (handles, decisions, failure) = {
+        let mut st = exec.lock_st();
+        while st.live > 0 {
+            st = exec.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        (std::mem::take(&mut st.handles), std::mem::take(&mut st.decisions), st.failure.take())
+    };
+    for h in handles {
+        let _ = h.join();
+    }
+    (decisions, failure)
+}
+
+/// The next depth-first prefix: bump the deepest decision that still
+/// has an untried alternative, or `None` when the tree is exhausted.
+pub(crate) fn next_prefix(decisions: &[Decision]) -> Option<Vec<usize>> {
+    for i in (0..decisions.len()).rev() {
+        if decisions[i].chosen + 1 < decisions[i].alts {
+            let mut p: Vec<usize> = decisions[..i].iter().map(|d| d.chosen).collect();
+            p.push(decisions[i].chosen + 1);
+            return Some(p);
+        }
+    }
+    None
+}

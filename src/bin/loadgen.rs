@@ -36,9 +36,11 @@ struct Args {
     addr: Option<SocketAddr>,
     /// Root reply-cache capacity for the hosted backend.
     cache: usize,
-    /// Backend for the hosted server: the real-threads tree, or the
-    /// discrete-event simulator tree.
-    sim: bool,
+    /// Backend for the hosted server: `net` (real-threads tree,
+    /// default), `sim` (discrete-event simulator tree), or one of the
+    /// shared-memory structures `shm-tree` / `shm-network` /
+    /// `shm-central`.
+    backend: String,
     /// Serve the hosted backend through the flat-combining hot path
     /// instead of the sequential ticketed one.
     combine: bool,
@@ -51,7 +53,8 @@ struct Args {
 }
 
 const USAGE: &str = "usage: loadgen [--n N] [--conns C] [--ops OPS] [--open RATE] \
-                     [--addr HOST:PORT] [--cache CAP] [--sim] [--combine] \
+                     [--addr HOST:PORT] [--cache CAP] [--combine] \
+                     [--backend net|sim|shm-tree|shm-network|shm-central] [--sim] \
                      [--keys N] [--zipf S]";
 
 /// Seed for the keyed traffic mix — fixed so two invocations with the
@@ -66,7 +69,7 @@ fn parse_args() -> Result<Args, String> {
         open: None,
         addr: None,
         cache: distctr::net::DEFAULT_REPLY_CACHE,
-        sim: false,
+        backend: "net".to_string(),
         combine: false,
         keys: 0,
         zipf: 1.2,
@@ -91,7 +94,9 @@ fn parse_args() -> Result<Args, String> {
             "--cache" => {
                 args.cache = value("--cache")?.parse().map_err(|e| format!("--cache: {e}"))?;
             }
-            "--sim" => args.sim = true,
+            "--backend" => args.backend = value("--backend")?,
+            // Back-compat alias for `--backend sim`.
+            "--sim" => args.backend = "sim".to_string(),
             "--combine" => args.combine = true,
             "--keys" => {
                 args.keys = value("--keys")?.parse().map_err(|e| format!("--keys: {e}"))?;
@@ -156,12 +161,33 @@ fn run(args: &Args) -> Result<bool, Box<dyn std::error::Error>> {
         // over simulator trees, every key born centralized.
         let backend = distctr::keyspace::Keyspace::sim(KeyspaceConfig::new(args.n));
         hosted_run(backend, args, &cfg, "Keyspace<TreeCounter>")
-    } else if args.sim {
-        let backend = distctr::core::TreeCounter::new(args.n)?;
-        hosted_run(backend, args, &cfg, "sim TreeCounter")
     } else {
-        let backend = ThreadedTreeCounter::with_reply_cache(args.n, args.cache)?;
-        hosted_run(backend, args, &cfg, "ThreadedTreeCounter")
+        match args.backend.as_str() {
+            "net" => {
+                let backend = ThreadedTreeCounter::with_reply_cache(args.n, args.cache)?;
+                hosted_run(backend, args, &cfg, "ThreadedTreeCounter")
+            }
+            "sim" => {
+                let backend = distctr::core::TreeCounter::new(args.n)?;
+                hosted_run(backend, args, &cfg, "sim TreeCounter")
+            }
+            "shm-tree" => {
+                let backend = distctr::shm::ShmTreeCounter::new(args.n)?;
+                hosted_run(backend, args, &cfg, "ShmTreeCounter")
+            }
+            "shm-network" => {
+                // The network needs a power-of-two width; round the
+                // requested processor count up.
+                let width = args.n.next_power_of_two().max(2);
+                let backend = distctr::shm::AtomicBitonicCounter::new(width);
+                hosted_run(backend, args, &cfg, "AtomicBitonicCounter")
+            }
+            "shm-central" => {
+                let backend = distctr::shm::CentralCounter::new(args.n);
+                hosted_run(backend, args, &cfg, "CentralCounter")
+            }
+            other => Err(format!("unknown --backend {other}\n{USAGE}").into()),
+        }
     }
 }
 

@@ -19,6 +19,7 @@
 //! | [`server`] | `distctr-server` | TCP service layer: wire codec, counter server, remote client, load generator |
 //! | [`chaos`] | `distctr-chaos` | fault-injecting TCP proxy: seeded latency/throttle/reset/blackhole/slice/corrupt toxics |
 //! | [`keyspace`] | `distctr-keyspace` | sharded multi-counter keyspace with adaptive per-key backend promotion |
+//! | [`shm`] | `distctr-shm` | shared-memory backends: the tree on a mailbox arena, flat combining, atomic counting network, central cell |
 //! | [`analysis`] | `distctr-analysis` | statistics and report rendering |
 //!
 //! ## Quickstart
@@ -55,6 +56,7 @@ pub use distctr_keyspace as keyspace;
 pub use distctr_net as net;
 pub use distctr_quorum as quorum;
 pub use distctr_server as server;
+pub use distctr_shm as shm;
 pub use distctr_sim as sim;
 
 /// The most common imports for working with the reproduction.
