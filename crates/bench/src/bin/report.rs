@@ -12,6 +12,7 @@
 //! report e24 --smoke   # keyspace placement gate, tiny sizes
 //! report e25 --smoke   # arena scale gate, n <= 10k (seconds)
 //! report e26 --smoke   # shared-memory bake-off gate, <= 8 threads
+//! report e27 --smoke   # async serving gate, <= 256 connections
 //! ```
 //!
 //! E22 additionally rewrites `BENCH_batching.json` in the working
@@ -26,12 +27,19 @@
 //! if no size reaches 1M processors). E26 rewrites `BENCH_shm.json`
 //! and exits nonzero if any shared-memory backend loses the gap-free
 //! `0..ops` value multiset, or a backend that promises linearizability
-//! shows a real-time order violation.
+//! shows a real-time order violation. E27 rewrites `BENCH_async.json`
+//! and exits nonzero if the readiness server loses an op, goes inexact,
+//! misses its p99 SLO at any connection level, falls behind the
+//! threaded server's goodput at the smallest level, or (outside smoke)
+//! fails to sustain strictly more connections than thread-per-connection
+//! serving. The full E27 sweep additionally spawns the server as a
+//! child process (`report --e27-serve <style> <n>`, an internal mode)
+//! so 10k client and 10k server sockets each get their own fd table.
 
 use distctr_bench::{
-    exp_ablation, exp_arrow, exp_backend, exp_batching, exp_bottleneck, exp_bound, exp_chaos,
-    exp_concurrent, exp_hotspot, exp_keyspace, exp_lemmas, exp_linearizable, exp_scale, exp_serve,
-    exp_shm, figures,
+    exp_ablation, exp_arrow, exp_async, exp_backend, exp_batching, exp_bottleneck, exp_bound,
+    exp_chaos, exp_concurrent, exp_hotspot, exp_keyspace, exp_lemmas, exp_linearizable, exp_scale,
+    exp_serve, exp_shm, figures,
 };
 
 struct Config {
@@ -47,6 +55,14 @@ fn wants(cfg: &Config, id: &str) -> bool {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--e27-serve") {
+        // Internal child mode for the E27 full sweep: serve until the
+        // parent closes our stdin, then drain and exit.
+        let style = args.get(1).expect("--e27-serve <style> <n>").clone();
+        let n: usize = args.get(2).and_then(|a| a.parse().ok()).expect("--e27-serve <style> <n>");
+        exp_async::e27_child_serve(&style, n);
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let smoke = args.iter().any(|a| a == "--smoke");
     let csv_dir = args
@@ -314,6 +330,56 @@ fn main() {
             "shared-memory correctness regression:\n{}",
             violations.join("\n")
         );
+    }
+
+    if wants(&cfg, "e27") || wants(&cfg, "exp_async") {
+        // The C10k gate: the readiness server must hold its SLO (no
+        // loss, exact values, p99 under the bound) at every measured
+        // fan-in, match the threaded server's goodput where both are
+        // comfortable, and — beyond smoke sizes — sustain strictly more
+        // connections than thread-per-connection serving does.
+        let n = 8;
+        let grid = exp_async::e27_grid(cfg.quick, cfg.smoke);
+        let rows = exp_async::e27_measure(n, &grid);
+        println!("{}", exp_async::e27_render(n, &rows));
+        let json_path = std::path::Path::new("BENCH_async.json");
+        std::fs::write(json_path, exp_async::e27_json(n, &rows)).expect("write BENCH_async.json");
+        eprintln!("wrote {}", json_path.display());
+        for r in rows.iter().filter(|r| r.style == "async") {
+            assert!(
+                r.sustainable(),
+                "async serving regression: the readiness server missed its SLO at {} \
+                 connections (failed {}, exact {}, p99 {} us)",
+                r.conns,
+                r.failed,
+                r.exact,
+                r.p99_us
+            );
+        }
+        let base = grid.first().copied().expect("non-empty grid");
+        let threaded_base = rows
+            .iter()
+            .find(|r| r.style == "threaded" && r.conns == base)
+            .expect("threaded base row");
+        let async_base =
+            rows.iter().find(|r| r.style == "async" && r.conns == base).expect("async base row");
+        assert!(
+            async_base.goodput >= threaded_base.goodput * 0.9,
+            "async serving regression: readiness goodput ({:.1} ops/s) fell below the \
+             threaded path ({:.1} ops/s) at {} connections",
+            async_base.goodput,
+            threaded_base.goodput,
+            base
+        );
+        if !cfg.smoke {
+            let threaded_max = exp_async::e27_max_sustainable(&rows, "threaded");
+            let async_max = exp_async::e27_max_sustainable(&rows, "async");
+            assert!(
+                async_max > threaded_max,
+                "async serving regression: readiness serving sustained {async_max} \
+                 connections, not strictly more than the threaded path's {threaded_max}"
+            );
+        }
     }
 
     if let Some(dir) = &cfg.csv_dir {

@@ -17,6 +17,7 @@
 pub mod algos;
 pub mod exp_ablation;
 pub mod exp_arrow;
+pub mod exp_async;
 pub mod exp_backend;
 pub mod exp_batching;
 pub mod exp_bottleneck;

@@ -114,3 +114,44 @@ fn single_counter_backends_reject_foreign_keys_with_no_such_key() {
     );
     server.shutdown().unwrap();
 }
+
+#[test]
+fn keyed_serving_rides_the_readiness_loop_with_live_promotion() {
+    // The whole keyed story — keyed handshakes, per-request keys,
+    // reads, and eager promotion under concurrent Zipf load — served
+    // by the single-reactor async core instead of a thread per
+    // connection. Per-key exactly-once must hold across promotions
+    // exactly as it does on the threaded path.
+    let mut server = CounterServer::serve_async_combining(keyspace(27, eager())).unwrap();
+    let addr = server.local_addr();
+
+    // Warm-up keys sit outside the load mix below (keys 0..5), so the
+    // per-key sequence check sees each mixed key from zero.
+    let mut alice = RemoteCounter::connect_keyed(addr, 7).unwrap();
+    let mut bob = RemoteCounter::connect_keyed(addr, 8).unwrap();
+    assert_eq!(alice.inc().unwrap(), 0, "key 7 counts alone on the reactor");
+    assert_eq!(bob.inc().unwrap(), 0, "key 8 counts alone on the reactor");
+    assert_eq!(alice.inc_key(8).unwrap(), 1, "cross-session keyed inc lands on key 8");
+    assert_eq!(alice.read(8).unwrap(), 2);
+    drop(alice);
+    drop(bob);
+
+    let cfg = LoadConfig::closed(8, 1200).with_keys(5, 1.3, 0xBEEF);
+    let report = run_load(addr, &cfg).unwrap();
+    assert_eq!(report.failed, 0, "no operation lost its retry budget");
+    assert!(
+        report.values_are_sequential_per_key(),
+        "every key's acked values are exactly 0..ops_k across promotions on the async path"
+    );
+    // The warm-up keys tripped the eager policy too; one more op each
+    // settles their pending migrations before the drain check.
+    let mut settle = RemoteCounter::connect(addr).unwrap();
+    assert_eq!(settle.inc_key(7).unwrap(), 1);
+    assert_eq!(settle.inc_key(8).unwrap(), 2);
+    drop(settle);
+
+    let stats = server.stats();
+    assert!(stats.promotions >= 1, "the eager policy promoted under load: {stats:?}");
+    assert_eq!(stats.migrations_inflight, 0, "the run drained every pending migration");
+    server.shutdown().unwrap();
+}

@@ -1,0 +1,226 @@
+//! # distctr-reactor
+//!
+//! The readiness core under the async serving stack: a level-triggered
+//! [`Poller`] wrapping raw Linux `epoll` through direct `extern "C"`
+//! bindings (no external dependencies — this workspace builds offline),
+//! with a portable `poll(2)` fallback behind the same API; a self-pipe
+//! [`Waker`] for cross-thread wakeups; and fd-pressure helpers
+//! ([`FdReserve`], [`raise_nofile_soft`]) so `EMFILE` is shed with an
+//! answer instead of a hung client.
+//!
+//! This crate is deliberately tiny and protocol-free: it knows about
+//! file descriptors and readiness, nothing about frames, sessions or
+//! counters. All `unsafe` in the serving stack is confined to
+//! [`mod@sys`]; everything exported here is a safe owned type.
+//!
+//! ```
+//! use std::time::Duration;
+//! use std::os::fd::AsRawFd;
+//! use distctr_reactor::{Event, Interest, Poller};
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let listener = std::net::TcpListener::bind("127.0.0.1:0")?;
+//! listener.set_nonblocking(true)?;
+//! let mut poller = Poller::new()?;
+//! poller.register(listener.as_raw_fd(), 7, Interest::READ)?;
+//!
+//! let mut events = Vec::new();
+//! // Nothing pending: the wait times out with zero events.
+//! assert_eq!(poller.wait(&mut events, Some(Duration::from_millis(1)))?, 0);
+//!
+//! let client = std::net::TcpStream::connect(listener.local_addr()?)?;
+//! // The pending connection wakes the registration.
+//! while poller.wait(&mut events, Some(Duration::from_millis(100)))? == 0 {}
+//! assert!(events.iter().any(|e| e.token == 7 && e.readable));
+//! # drop(client);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod limits;
+mod poller;
+pub mod sys;
+mod waker;
+
+pub use limits::{is_fd_exhaustion, nofile_limits, raise_nofile_soft, FdReserve};
+pub use poller::{Backend, Event, Interest, Poller};
+pub use waker::Waker;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::time::{Duration, Instant};
+
+    fn backends() -> Vec<Poller> {
+        vec![
+            Poller::new().expect("default poller"),
+            Poller::with_backend(Backend::Poll).expect("poll fallback"),
+        ]
+    }
+
+    #[test]
+    fn default_backend_is_epoll_on_linux() {
+        if cfg!(target_os = "linux") {
+            assert_eq!(Poller::new().unwrap().backend(), Backend::Epoll);
+        }
+        assert_eq!(Poller::with_backend(Backend::Poll).unwrap().backend(), Backend::Poll);
+    }
+
+    #[test]
+    fn timeout_fires_with_no_events() {
+        for mut poller in backends() {
+            let mut events = Vec::new();
+            let t0 = Instant::now();
+            let n = poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+            assert_eq!(n, 0);
+            assert!(events.is_empty());
+            assert!(t0.elapsed() >= Duration::from_millis(5), "the wait actually blocked");
+        }
+    }
+
+    #[test]
+    fn listener_readiness_and_stream_readiness_round_trip() {
+        for mut poller in backends() {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.set_nonblocking(true).unwrap();
+            poller.register(listener.as_raw_fd(), 1, Interest::READ).unwrap();
+
+            let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            let mut events = Vec::new();
+            wait_for(&mut poller, &mut events, 1);
+            assert!(events.iter().any(|e| e.token == 1 && e.readable), "{events:?}");
+
+            let (server_side, _) = listener.accept().unwrap();
+            server_side.set_nonblocking(true).unwrap();
+            poller.register(server_side.as_raw_fd(), 2, Interest::READ).unwrap();
+            // Quiet stream: no spurious read readiness.
+            poller.wait(&mut events, Some(Duration::from_millis(20))).unwrap();
+            assert!(!events.iter().any(|e| e.token == 2 && e.readable), "{events:?}");
+
+            client.write_all(b"ping").unwrap();
+            wait_for(&mut poller, &mut events, 2);
+            assert!(events.iter().any(|e| e.token == 2 && e.readable), "{events:?}");
+
+            // A fresh stream with room in its send buffer is writable.
+            poller.modify(server_side.as_raw_fd(), 2, Interest::BOTH).unwrap();
+            wait_for(&mut poller, &mut events, 2);
+            assert!(events.iter().any(|e| e.token == 2 && e.writable), "{events:?}");
+
+            poller.deregister(server_side.as_raw_fd()).unwrap();
+            poller.deregister(listener.as_raw_fd()).unwrap();
+        }
+    }
+
+    #[test]
+    fn peer_hangup_reports_readable_eof() {
+        for mut poller in backends() {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            let (server_side, _) = listener.accept().unwrap();
+            server_side.set_nonblocking(true).unwrap();
+            poller.register(server_side.as_raw_fd(), 9, Interest::READ).unwrap();
+            drop(client);
+            let mut events = Vec::new();
+            wait_for(&mut poller, &mut events, 9);
+            let ev = events.iter().find(|e| e.token == 9).unwrap();
+            assert!(ev.readable, "hangup must surface as readable-EOF: {ev:?}");
+        }
+    }
+
+    #[test]
+    fn waker_wakes_a_parked_wait_from_another_thread() {
+        for mut poller in backends() {
+            let waker = std::sync::Arc::new(Waker::new().unwrap());
+            poller.register(waker.fd(), 0, Interest::READ).unwrap();
+            let w = std::sync::Arc::clone(&waker);
+            let handle = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                w.wake();
+            });
+            let mut events = Vec::new();
+            let t0 = Instant::now();
+            // Wait "forever": only the waker can end this.
+            while poller.wait(&mut events, Some(Duration::from_secs(10))).unwrap() == 0 {}
+            assert!(t0.elapsed() < Duration::from_secs(5), "woken, not timed out");
+            assert!(events.iter().any(|e| e.token == 0 && e.readable));
+            waker.drain();
+            // Drained: the next wait no longer sees the waker.
+            poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+            assert!(!events.iter().any(|e| e.token == 0), "{events:?}");
+            handle.join().unwrap();
+            poller.deregister(waker.fd()).unwrap();
+        }
+    }
+
+    #[test]
+    fn wakes_coalesce_and_drain_handles_bursts() {
+        let waker = Waker::new().unwrap();
+        for _ in 0..10_000 {
+            waker.wake(); // fills the pipe; must never block or error
+        }
+        waker.drain();
+        let mut poller = Poller::new().unwrap();
+        poller.register(waker.fd(), 3, Interest::READ).unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_millis(5))).unwrap();
+        assert!(events.is_empty(), "a drained waker is quiet: {events:?}");
+    }
+
+    #[test]
+    fn duplicate_registration_and_unknown_fd_are_errors() {
+        let mut poller = Poller::with_backend(Backend::Poll).unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let fd = listener.as_raw_fd();
+        poller.register(fd, 1, Interest::READ).unwrap();
+        assert!(poller.register(fd, 2, Interest::READ).is_err(), "double register");
+        poller.deregister(fd).unwrap();
+        assert!(poller.deregister(fd).is_err(), "double deregister");
+        assert!(poller.modify(fd, 1, Interest::READ).is_err(), "modify unknown");
+    }
+
+    #[test]
+    fn nofile_limits_read_and_raise() {
+        let (soft, hard) = nofile_limits().unwrap();
+        assert!(soft > 0 && hard >= soft);
+        // Raising to the current soft value is a no-op, never an error.
+        assert_eq!(raise_nofile_soft(soft).unwrap(), soft);
+        // Asking past the hard limit clamps to it.
+        let raised = raise_nofile_soft(u64::MAX).unwrap();
+        assert!(raised >= soft && raised <= hard);
+    }
+
+    #[test]
+    fn fd_reserve_sheds_a_pending_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let mut reserve = FdReserve::new();
+        assert!(reserve.armed());
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        // Give the kernel a beat to finish the handshake.
+        std::thread::sleep(Duration::from_millis(10));
+        let mut answered = false;
+        assert!(reserve.shed_one(&listener, |s| {
+            answered = true;
+            let _ = s.write_all(b"busy");
+        }));
+        assert!(answered);
+        assert!(reserve.armed(), "re-armed after the shed");
+        drop(client);
+    }
+
+    fn wait_for(poller: &mut Poller, events: &mut Vec<Event>, token: usize) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            poller.wait(events, Some(Duration::from_millis(50))).unwrap();
+            if events.iter().any(|e| e.token == token) {
+                return;
+            }
+            assert!(Instant::now() < deadline, "timed out waiting for token {token}");
+        }
+    }
+}

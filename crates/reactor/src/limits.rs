@@ -1,0 +1,112 @@
+//! File-descriptor pressure: limits and graceful `EMFILE` shedding.
+//!
+//! A C10k server meets `RLIMIT_NOFILE` before it meets any algorithmic
+//! wall. Two tools live here:
+//!
+//! * [`nofile_limits`] / [`raise_nofile_soft`] — read and raise the
+//!   soft fd limit toward the hard one, so an experiment asking for
+//!   10k+ sockets is not silently capped at the usual 1024 soft
+//!   default.
+//! * [`FdReserve`] — the classic reserve-descriptor trick. `accept(2)`
+//!   failing with `EMFILE` leaves the pending connection *in the
+//!   queue*: there is no fd to answer on, so the client would hang
+//!   until its own timeout. Holding one spare descriptor open lets the
+//!   server momentarily release it, accept the waiting connection,
+//!   tell the client to back off (a `Busy` frame), close it, and
+//!   re-arm the spare — shedding with an answer instead of a stall.
+
+use std::fs::File;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+
+use crate::sys;
+
+/// `(soft, hard)` of `RLIMIT_NOFILE` for this process.
+///
+/// # Errors
+///
+/// I/O error if the kernel refuses `getrlimit`.
+pub fn nofile_limits() -> io::Result<(u64, u64)> {
+    sys::sys_get_nofile()
+}
+
+/// Raises the soft `RLIMIT_NOFILE` to `min(want, hard)` and returns the
+/// resulting soft limit. Lowering is refused (no-op returning the
+/// current soft limit) — this helper exists to *gain* headroom.
+///
+/// # Errors
+///
+/// I/O error if the kernel refuses `setrlimit`.
+pub fn raise_nofile_soft(want: u64) -> io::Result<u64> {
+    let (soft, hard) = sys::sys_get_nofile()?;
+    let target = want.min(hard);
+    if target <= soft {
+        return Ok(soft);
+    }
+    sys::sys_set_nofile_soft(target)?;
+    Ok(target)
+}
+
+/// One spare descriptor held open so `EMFILE` can be answered; see the
+/// module docs. The reserve is `/dev/null` — always openable, costs
+/// nothing.
+pub struct FdReserve {
+    spare: Option<File>,
+}
+
+impl FdReserve {
+    /// Arms the reserve. A failure to open the spare (itself an fd
+    /// exhaustion symptom) yields an unarmed reserve that
+    /// [`FdReserve::shed_one`] reports as unavailable.
+    #[must_use]
+    pub fn new() -> FdReserve {
+        FdReserve { spare: File::open("/dev/null").ok() }
+    }
+
+    /// Whether a spare descriptor is currently held.
+    #[must_use]
+    pub fn armed(&self) -> bool {
+        self.spare.is_some()
+    }
+
+    /// Releases the spare, accepts one pending connection from
+    /// `listener`, hands it to `answer` (which should write a `Busy`
+    /// frame and may fail freely), closes it, and re-arms. Returns
+    /// `true` if a connection was shed.
+    pub fn shed_one(
+        &mut self,
+        listener: &TcpListener,
+        answer: impl FnOnce(&mut TcpStream),
+    ) -> bool {
+        if self.spare.take().is_none() {
+            // Nothing to release; try to re-arm for next time.
+            self.spare = File::open("/dev/null").ok();
+            return false;
+        }
+        let shed = match listener.accept() {
+            Ok((mut stream, _)) => {
+                answer(&mut stream);
+                true
+            }
+            Err(_) => false,
+        };
+        // The shed connection's fd is closed by now; re-arm.
+        self.spare = File::open("/dev/null").ok();
+        shed
+    }
+}
+
+impl Default for FdReserve {
+    fn default() -> Self {
+        FdReserve::new()
+    }
+}
+
+/// Whether an `accept(2)` failure is descriptor exhaustion (`EMFILE` /
+/// `ENFILE`), the condition [`FdReserve`] exists for.
+#[must_use]
+pub fn is_fd_exhaustion(e: &io::Error) -> bool {
+    // EMFILE == 24, ENFILE == 23 on Linux; raw codes because the io
+    // ErrorKind for these stabilized only recently.
+    matches!(e.raw_os_error(), Some(23 | 24))
+}

@@ -1,0 +1,328 @@
+//! The readiness poller: one safe type over two kernel interfaces.
+//!
+//! [`Poller`] is a level-triggered readiness multiplexer. On Linux it
+//! wraps an `epoll` instance — O(ready) wakeups, the only interface
+//! that holds 10k+ registrations without rescanning them per call. The
+//! portable fallback drives the same API over `poll(2)`, which rescans
+//! the whole table per call (O(registered)) but exists everywhere;
+//! [`Poller::new`] picks epoll where compiled in, and
+//! [`Poller::with_backend`] forces the fallback for tests and
+//! non-Linux targets.
+//!
+//! Registrations are level-triggered on purpose: the serving loop's
+//! invariant is "interest reflects what the connection state machine
+//! is waiting for", and level semantics make a missed drain a repeat
+//! notification instead of a lost connection.
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+use crate::sys;
+
+/// What a registration wants to hear about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or the peer hung up).
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read interest only.
+    pub const READ: Interest = Interest { readable: true, writable: false };
+    /// Write interest only.
+    pub const WRITE: Interest = Interest { readable: false, writable: true };
+    /// Both directions.
+    pub const BOTH: Interest = Interest { readable: true, writable: true };
+    /// Neither direction (parked registration; errors still surface).
+    pub const NONE: Interest = Interest { readable: false, writable: false };
+}
+
+/// One readiness notification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: usize,
+    /// The fd has bytes to read (or a hangup to observe via `read 0`).
+    pub readable: bool,
+    /// The fd can accept bytes.
+    pub writable: bool,
+    /// Error or hangup: the fd should be read to EOF / closed.
+    pub closed: bool,
+}
+
+/// Which kernel interface backs a [`Poller`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Linux `epoll` — O(ready) readiness at any registration count.
+    Epoll,
+    /// Portable `poll(2)` — O(registered) per call, works everywhere.
+    Poll,
+}
+
+enum Imp {
+    #[cfg(target_os = "linux")]
+    Epoll(Epoll),
+    Poll(PollTable),
+}
+
+/// A level-triggered readiness multiplexer; see the module docs.
+pub struct Poller {
+    imp: Imp,
+}
+
+impl Poller {
+    /// The fastest available backend: epoll on Linux, `poll(2)`
+    /// elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// I/O error if the kernel refuses an epoll instance.
+    pub fn new() -> io::Result<Poller> {
+        #[cfg(target_os = "linux")]
+        {
+            Ok(Poller { imp: Imp::Epoll(Epoll::new()?) })
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            Self::with_backend(Backend::Poll)
+        }
+    }
+
+    /// A poller over an explicit [`Backend`]. Requesting
+    /// [`Backend::Epoll`] off Linux falls back to `poll(2)`.
+    ///
+    /// # Errors
+    ///
+    /// I/O error if the kernel refuses an epoll instance.
+    pub fn with_backend(backend: Backend) -> io::Result<Poller> {
+        match backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll => Ok(Poller { imp: Imp::Epoll(Epoll::new()?) }),
+            _ => Ok(Poller { imp: Imp::Poll(PollTable::default()) }),
+        }
+    }
+
+    /// Which backend this poller runs on.
+    #[must_use]
+    pub fn backend(&self) -> Backend {
+        match &self.imp {
+            #[cfg(target_os = "linux")]
+            Imp::Epoll(_) => Backend::Epoll,
+            Imp::Poll(_) => Backend::Poll,
+        }
+    }
+
+    /// Registers `fd` under `token`. The fd must stay open until
+    /// [`Poller::deregister`]; the token comes back verbatim in every
+    /// [`Event`].
+    ///
+    /// # Errors
+    ///
+    /// I/O error from the kernel (e.g. the fd is already registered).
+    pub fn register(&mut self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        match &mut self.imp {
+            #[cfg(target_os = "linux")]
+            Imp::Epoll(e) => e.ctl(sys::EPOLL_CTL_ADD, fd, token, interest),
+            Imp::Poll(t) => t.register(fd, token, interest),
+        }
+    }
+
+    /// Replaces the interest set of a registered fd.
+    ///
+    /// # Errors
+    ///
+    /// I/O error from the kernel (e.g. the fd was never registered).
+    pub fn modify(&mut self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        match &mut self.imp {
+            #[cfg(target_os = "linux")]
+            Imp::Epoll(e) => e.ctl(sys::EPOLL_CTL_MOD, fd, token, interest),
+            Imp::Poll(t) => t.modify(fd, interest),
+        }
+    }
+
+    /// Removes a registration. Must be called *before* the fd is
+    /// closed on the `poll(2)` backend (a closed fd in the table is
+    /// `POLLNVAL` noise); epoll drops closed fds on its own but the
+    /// discipline is kept uniform.
+    ///
+    /// # Errors
+    ///
+    /// I/O error from the kernel (e.g. the fd was never registered).
+    pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        match &mut self.imp {
+            #[cfg(target_os = "linux")]
+            Imp::Epoll(e) => e.ctl(sys::EPOLL_CTL_DEL, fd, 0, Interest::NONE),
+            Imp::Poll(t) => t.deregister(fd),
+        }
+    }
+
+    /// Blocks until readiness or `timeout` (forever when `None`),
+    /// appending to `events` (cleared first). Returns the ready count;
+    /// `0` means the timeout (or a signal) fired.
+    ///
+    /// # Errors
+    ///
+    /// I/O error from the kernel. `EINTR` is reported as `Ok(0)`.
+    pub fn wait(
+        &mut self,
+        events: &mut Vec<Event>,
+        timeout: Option<Duration>,
+    ) -> io::Result<usize> {
+        events.clear();
+        let timeout_ms = timeout_to_ms(timeout);
+        let r = match &mut self.imp {
+            #[cfg(target_os = "linux")]
+            Imp::Epoll(e) => e.wait(events, timeout_ms),
+            Imp::Poll(t) => t.wait(events, timeout_ms),
+        };
+        match r {
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(0),
+            other => other,
+        }
+    }
+}
+
+/// Clamps a timeout to the `int` milliseconds the kernel takes,
+/// rounding sub-millisecond waits *up* so a 100µs deadline does not
+/// spin at timeout 0.
+fn timeout_to_ms(timeout: Option<Duration>) -> sys::CInt {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            let ms = d.as_millis();
+            let ms = if ms == 0 && !d.is_zero() { 1 } else { ms };
+            ms.min(sys::CInt::MAX as u128) as sys::CInt
+        }
+    }
+}
+
+// --- epoll backend ---------------------------------------------------
+
+#[cfg(target_os = "linux")]
+struct Epoll {
+    epfd: RawFd,
+    /// Reused kernel-events buffer; capacity bounds one wait's batch,
+    /// not the registration count (level triggering re-reports).
+    buf: Vec<sys::EpollEvent>,
+}
+
+#[cfg(target_os = "linux")]
+impl Epoll {
+    fn new() -> io::Result<Epoll> {
+        Ok(Epoll {
+            epfd: sys::sys_epoll_create()?,
+            buf: vec![sys::EpollEvent { events: 0, data: 0 }; 1024],
+        })
+    }
+
+    fn ctl(
+        &mut self,
+        op: sys::CInt,
+        fd: RawFd,
+        token: usize,
+        interest: Interest,
+    ) -> io::Result<()> {
+        let mut events = sys::EPOLLRDHUP;
+        if interest.readable {
+            events |= sys::EPOLLIN;
+        }
+        if interest.writable {
+            events |= sys::EPOLLOUT;
+        }
+        sys::sys_epoll_ctl(self.epfd, op, fd, events, token as u64)
+    }
+
+    fn wait(&mut self, events: &mut Vec<Event>, timeout_ms: sys::CInt) -> io::Result<usize> {
+        let n = sys::sys_epoll_wait(self.epfd, &mut self.buf, timeout_ms)?;
+        for ev in &self.buf[..n] {
+            let bits = ev.events;
+            events.push(Event {
+                token: ev.data as usize,
+                readable: bits & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP) != 0,
+                writable: bits & sys::EPOLLOUT != 0,
+                closed: bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0,
+            });
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        sys::sys_close(self.epfd);
+    }
+}
+
+// --- poll(2) backend -------------------------------------------------
+
+#[derive(Default)]
+struct PollTable {
+    fds: Vec<sys::PollFd>,
+    tokens: Vec<usize>,
+}
+
+impl PollTable {
+    fn find(&self, fd: RawFd) -> Option<usize> {
+        self.fds.iter().position(|p| p.fd == fd)
+    }
+
+    fn register(&mut self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        if self.find(fd).is_some() {
+            return Err(io::Error::new(io::ErrorKind::AlreadyExists, "fd already registered"));
+        }
+        self.fds.push(sys::PollFd { fd, events: interest_bits(interest), revents: 0 });
+        self.tokens.push(token);
+        Ok(())
+    }
+
+    fn modify(&mut self, fd: RawFd, interest: Interest) -> io::Result<()> {
+        let i = self
+            .find(fd)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "fd not registered"))?;
+        self.fds[i].events = interest_bits(interest);
+        Ok(())
+    }
+
+    fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        let i = self
+            .find(fd)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "fd not registered"))?;
+        self.fds.swap_remove(i);
+        self.tokens.swap_remove(i);
+        Ok(())
+    }
+
+    fn wait(&mut self, events: &mut Vec<Event>, timeout_ms: sys::CInt) -> io::Result<usize> {
+        let n = sys::sys_poll(&mut self.fds, timeout_ms)?;
+        if n > 0 {
+            for (p, &token) in self.fds.iter().zip(&self.tokens) {
+                let r = p.revents;
+                if r == 0 {
+                    continue;
+                }
+                events.push(Event {
+                    token,
+                    readable: r & (sys::POLLIN | sys::POLLHUP) != 0,
+                    writable: r & sys::POLLOUT != 0,
+                    closed: r & (sys::POLLERR | sys::POLLHUP | sys::POLLNVAL) != 0,
+                });
+            }
+        }
+        Ok(events.len())
+    }
+}
+
+fn interest_bits(interest: Interest) -> sys::CShort {
+    let mut bits: sys::CShort = 0;
+    if interest.readable {
+        bits |= sys::POLLIN;
+    }
+    if interest.writable {
+        bits |= sys::POLLOUT;
+    }
+    bits
+}

@@ -1,0 +1,67 @@
+//! Cross-thread reactor wakeup: the classic self-pipe.
+//!
+//! A reactor thread parked in [`crate::Poller::wait`] only notices fd
+//! readiness — a [`Waker`] gives every other thread (combiner, drain,
+//! shutdown) an fd to make ready. The write end is nonblocking and a
+//! full pipe is treated as success: one pending byte already guarantees
+//! the next `wait` returns, which is the only contract wakeups need
+//! (wakes coalesce exactly like condvar notifies on a held lock).
+
+use std::io;
+use std::os::fd::RawFd;
+
+use crate::sys;
+
+/// A self-pipe wakeup handle. Cheap to share behind an `Arc`: `wake`
+/// takes `&self` and is async-signal-safe in spirit (one `write`).
+pub struct Waker {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+// SAFETY: both ends are plain fds; `write`/`read` on them are
+// thread-safe syscalls and the struct is never mutated after creation.
+unsafe impl Send for Waker {}
+unsafe impl Sync for Waker {}
+
+impl Waker {
+    /// Builds the pipe pair (both ends nonblocking, close-on-exec).
+    ///
+    /// # Errors
+    ///
+    /// I/O error if the kernel refuses a pipe.
+    pub fn new() -> io::Result<Waker> {
+        let (read_fd, write_fd) = sys::sys_pipe_nonblocking()?;
+        Ok(Waker { read_fd, write_fd })
+    }
+
+    /// The fd to register (read interest) with the reactor's poller.
+    #[must_use]
+    pub fn fd(&self) -> RawFd {
+        self.read_fd
+    }
+
+    /// Makes the reactor's next (or current) `wait` return. Never
+    /// blocks; a full pipe already is a pending wakeup.
+    pub fn wake(&self) {
+        let _ = sys::sys_write(self.write_fd, &[1u8]);
+    }
+
+    /// Drains pending wakeup bytes; the reactor calls this on every
+    /// waker-token readiness so level triggering does not spin.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while let Ok(n) = sys::sys_read(self.read_fd, &mut buf) {
+            if n < buf.len() {
+                break;
+            }
+        }
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        sys::sys_close(self.read_fd);
+        sys::sys_close(self.write_fd);
+    }
+}

@@ -9,20 +9,30 @@
 //! [`RemoteCounter`] is a native client implementing the same backend
 //! interface — a counter whose "network" is a socket.
 //!
-//! Four layers, all on `std::net` and OS threads (no registry
-//! dependencies, preserving the offline shims-only build):
+//! Six layers, all on `std::net` (no registry dependencies, preserving
+//! the offline shims-only build):
 //!
-//! 1. [`wire`] — the codec: `Hello`/`Inc`/`Stats` requests,
+//! 1. [`wire`] — the sans-io codec: `Hello`/`Inc`/`Stats` requests,
 //!    `HelloOk`/`IncOk`/`StatsOk`/`Err` replies, hardened against
-//!    truncated frames, oversized length prefixes and garbage tags.
-//! 2. [`server`] — a thread-per-connection server with a **session
+//!    truncated frames, oversized length prefixes and garbage tags;
+//!    parses from buffers, so both serving engines share it.
+//! 2. [`server`] — the thread-per-connection engine with the **session
 //!    layer**: connections map to sessions, sessions map to
 //!    `ProcessorId`s, and each session carries the dedup state that
 //!    makes reconnect-and-retry exactly-once (riding the threaded
 //!    backend's migrating root reply cache where available).
-//! 3. [`client`] — [`RemoteCounter`], with first-class resume/replay.
-//! 4. [`load`] — a closed- and open-loop load generator reporting
+//! 3. [`readiness`] — the same server on one reactor thread:
+//!    nonblocking connections as slab-held state machines over
+//!    `distctr-reactor`'s epoll/poll poller, partial-frame buffers,
+//!    writable-interest backpressure, `Busy` shedding on fd
+//!    exhaustion ([`CounterServer::serve_async`]). Sessions,
+//!    combining, drain, and exactly-once carry over unchanged.
+//! 4. [`client`] — [`RemoteCounter`], with first-class resume/replay.
+//! 5. [`load`] — a closed- and open-loop load generator reporting
 //!    throughput and p50/p99/max client-observed latency.
+//! 6. [`mux`] — the C10k client side: [`run_mux`] multiplexes
+//!    thousands of open-loop connections from a single thread over the
+//!    same poller, with a paced connect ramp and no per-op allocation.
 //!
 //! ```
 //! use distctr_net::ThreadedTreeCounter;
@@ -49,11 +59,14 @@
 pub mod client;
 pub mod error;
 pub mod load;
+pub mod mux;
+pub mod readiness;
 pub mod server;
 pub mod wire;
 
 pub use client::{ClientConfig, RemoteCounter, RetryPolicy};
 pub use error::{ErrCode, ServerError};
 pub use load::{run_load, ConnReport, KeyLoad, KeyMix, LoadConfig, LoadMode, LoadReport};
+pub use mux::{run_mux, MuxConfig};
 pub use server::{CounterServer, ServerConfig, DEDUP_WINDOW};
 pub use wire::{StatsSnapshot, WireError, WireMsg, MAX_FRAME};

@@ -59,13 +59,15 @@
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use distctr_core::{CounterBackend, KeyedReply, DEFAULT_KEY};
+use distctr_reactor::{is_fd_exhaustion, FdReserve, Interest, Poller, Waker};
 use distctr_sim::ProcessorId;
 
 use crate::error::{ErrCode, ServerError};
@@ -80,12 +82,17 @@ pub const DEDUP_WINDOW: usize = 256;
 /// deadlines); chaos tests and operators override what they need.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerConfig {
-    /// How often blocked reads poll the shutdown/drain flags, and the
-    /// accept loop's reap tick: every interval, finished connection
-    /// handles are reaped even if no new connection ever arrives.
+    /// How often a *threaded* connection's blocked read polls the
+    /// shutdown/drain flags (the read timeout on its socket). The
+    /// accept loop and the async serving path are readiness-driven and
+    /// never sleep on this; it only bounds how long an idle threaded
+    /// connection takes to observe shutdown.
     pub poll: Duration,
-    /// How long the idle combiner thread parks between shutdown-flag
-    /// checks when no increments are queued.
+    /// Historical knob, retired: the combiner used to park for this
+    /// long between shutdown-flag checks when idle. It now parks on a
+    /// plain condvar wait (zero idle wakeups) and is woken explicitly
+    /// by enqueues, drain and shutdown; the field remains so existing
+    /// configs keep compiling.
     pub combine_idle: Duration,
     /// Active-connection cap; connections beyond it are answered
     /// [`WireMsg::Busy`] and closed. `None` admits everything.
@@ -151,8 +158,8 @@ impl Session {
 }
 
 /// Mutex-guarded server state: the backend plus the session table.
-struct Inner<B> {
-    backend: B,
+pub(crate) struct Inner<B> {
+    pub(crate) backend: B,
     sessions: HashMap<u64, Session>,
     next_session: u64,
     /// Round-robin origin for combined batches without an explicit
@@ -163,14 +170,15 @@ struct Inner<B> {
 
 /// Lock-free counters, updated by connection threads.
 #[derive(Debug, Default)]
-struct Counters {
-    connections: AtomicU64,
-    ops: AtomicU64,
-    deduped: AtomicU64,
-    wire_errors: AtomicU64,
-    combined_traversals: AtomicU64,
-    shed: AtomicU64,
-    panics_contained: AtomicU64,
+pub(crate) struct Counters {
+    pub(crate) connections: AtomicU64,
+    pub(crate) ops: AtomicU64,
+    pub(crate) deduped: AtomicU64,
+    pub(crate) wire_errors: AtomicU64,
+    pub(crate) combined_traversals: AtomicU64,
+    pub(crate) shed: AtomicU64,
+    pub(crate) panics_contained: AtomicU64,
+    pub(crate) accept_errors: AtomicU64,
 }
 
 /// The write half of one connection: the stream plus its reusable
@@ -178,7 +186,7 @@ struct Counters {
 /// (handshake, stats, explicit-batch and error replies) and the
 /// combiner thread (combined inc replies), each writing whole frames
 /// under the mutex.
-struct ConnWriter {
+pub(crate) struct ConnWriter {
     stream: TcpStream,
     scratch: Vec<u8>,
 }
@@ -189,12 +197,54 @@ impl ConnWriter {
     }
 }
 
+/// Where the combiner delivers one waiter's reply. The threaded path
+/// writes whole frames straight to the connection's stream under its
+/// mutex; the readiness path cannot (only the reactor thread touches a
+/// nonblocking socket), so its replies travel over a channel back to
+/// the reactor, which queues them behind the connection's write buffer
+/// and is woken to flush.
+pub(crate) enum ReplySink {
+    /// A thread-per-connection waiter: write the frame directly.
+    Threaded {
+        /// The connection the combiner writes this waiter's reply to.
+        writer: Arc<Mutex<ConnWriter>>,
+    },
+    /// A readiness-loop waiter: hand the frame to the reactor thread.
+    Queued {
+        /// The reactor-side connection token the reply belongs to.
+        token: usize,
+        /// The reactor's reply channel.
+        replies: mpsc::Sender<(usize, WireMsg)>,
+        /// Wakes the reactor out of its poll to flush the reply.
+        waker: Arc<Waker>,
+    },
+}
+
+impl ReplySink {
+    /// Best-effort delivery; a dead connection just drops the frame
+    /// (the client's reconnect-and-retry path recovers the value).
+    fn deliver(&self, msg: &WireMsg) {
+        match self {
+            ReplySink::Threaded { writer } => {
+                if let Ok(mut w) = writer.lock() {
+                    let _ = w.send(msg);
+                }
+            }
+            ReplySink::Queued { token, replies, waker } => {
+                if replies.send((*token, msg.clone())).is_ok() {
+                    waker.wake();
+                }
+            }
+        }
+    }
+}
+
 /// One enqueued increment awaiting a combining round. Validation
 /// (session lookup, initiator bounds, retry dedup) happens in the
 /// round, under the backend lock the combiner holds, so the enqueue
 /// itself touches nothing but the queue mutex — the reader thread goes
 /// straight back to its socket and the connection stays pipelined.
-struct PendingInc {
+pub(crate) struct PendingInc {
     session_id: u64,
     /// The counter this inc targets (the session's key, or an explicit
     /// one from `KeyInc`). Combining rounds batch per key.
@@ -203,39 +253,58 @@ struct PendingInc {
     initiator: Option<u64>,
     /// When the reader enqueued it, for [`ServerConfig::request_deadline`].
     enqueued_at: Instant,
-    /// The connection the combiner writes this waiter's reply to.
-    writer: Arc<Mutex<ConnWriter>>,
+    /// Where this waiter's reply goes.
+    sink: ReplySink,
     /// The connection's in-flight count, decremented when the reply is
     /// delivered (backs [`ServerConfig::max_inflight_per_conn`]).
     inflight: Arc<AtomicUsize>,
 }
 
 /// Work queue and wakeup for the dedicated combiner thread.
-struct CombineState {
+pub(crate) struct CombineState {
     queue: Mutex<Vec<PendingInc>>,
     wake: Condvar,
 }
 
-struct Shared<B> {
+pub(crate) struct Shared<B> {
     inner: Mutex<Inner<B>>,
-    stats: Counters,
-    config: ServerConfig,
+    pub(crate) stats: Counters,
+    pub(crate) config: ServerConfig,
     /// Active (not yet closed) connections, for admission control
     /// (shared with each connection thread's exit guard).
-    active_conns: Arc<AtomicUsize>,
+    pub(crate) active_conns: Arc<AtomicUsize>,
     /// `Some` iff this server serves incs through flat combining.
-    combine: Option<CombineState>,
+    pub(crate) combine: Option<CombineState>,
 }
 
 impl<B> Shared<B> {
+    /// Fresh server state hosting `backend`; `combining` arms the
+    /// combiner queue. Both serving paths (threaded and readiness)
+    /// start from this.
+    pub(crate) fn new(backend: B, config: ServerConfig, combining: bool) -> Shared<B> {
+        Shared {
+            inner: Mutex::new(Inner {
+                backend,
+                sessions: HashMap::new(),
+                next_session: 0,
+                combine_origin: 0,
+            }),
+            stats: Counters::default(),
+            config,
+            active_conns: Arc::new(AtomicUsize::new(0)),
+            combine: combining
+                .then(|| CombineState { queue: Mutex::new(Vec::new()), wake: Condvar::new() }),
+        }
+    }
+
     /// Locks the server state, recovering from poisoning: a panicked
     /// request (already counted and contained) must not condemn every
     /// later request to `Err { Backend }`.
-    fn lock_inner(&self) -> MutexGuard<'_, Inner<B>> {
+    pub(crate) fn lock_inner(&self) -> MutexGuard<'_, Inner<B>> {
         self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    fn busy(&self) -> WireMsg {
+    pub(crate) fn busy(&self) -> WireMsg {
         self.stats.shed.fetch_add(1, Ordering::Relaxed);
         WireMsg::Busy { retry_after_ms: self.config.busy_retry_after.as_millis() as u64 }
     }
@@ -243,7 +312,7 @@ impl<B> Shared<B> {
 
 /// Decrements the active-connection count when a connection thread
 /// exits, however it exits.
-struct ActiveGuard(Arc<AtomicUsize>);
+pub(crate) struct ActiveGuard(pub(crate) Arc<AtomicUsize>);
 
 impl Drop for ActiveGuard {
     fn drop(&mut self) {
@@ -302,13 +371,17 @@ impl Read for PollRead {
 /// # }
 /// ```
 pub struct CounterServer<B: CounterBackend + Send + 'static> {
-    shared: Option<Arc<Shared<B>>>,
-    stop: Arc<AtomicBool>,
-    draining: Arc<AtomicBool>,
-    addr: SocketAddr,
-    accept: Option<JoinHandle<()>>,
-    combiner: Option<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    pub(crate) shared: Option<Arc<Shared<B>>>,
+    pub(crate) stop: Arc<AtomicBool>,
+    pub(crate) draining: Arc<AtomicBool>,
+    pub(crate) addr: SocketAddr,
+    pub(crate) accept: Option<JoinHandle<()>>,
+    pub(crate) combiner: Option<JoinHandle<()>>,
+    pub(crate) conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    /// Wakes the accept/reactor thread out of its readiness wait so
+    /// shutdown and drain are observed immediately instead of at the
+    /// next connection event.
+    pub(crate) waker: Arc<Waker>,
 }
 
 impl<B: CounterBackend + Send + 'static> CounterServer<B> {
@@ -397,21 +470,10 @@ impl<B: CounterBackend + Send + 'static> CounterServer<B> {
         // Nonblocking, so the accept loop doubles as the reap tick and
         // observes shutdown without a wakeup connection.
         listener.set_nonblocking(true).map_err(|e| ServerError::Io(e.to_string()))?;
-        let shared = Arc::new(Shared {
-            inner: Mutex::new(Inner {
-                backend,
-                sessions: HashMap::new(),
-                next_session: 0,
-                combine_origin: 0,
-            }),
-            stats: Counters::default(),
-            config,
-            active_conns: Arc::new(AtomicUsize::new(0)),
-            combine: combining
-                .then(|| CombineState { queue: Mutex::new(Vec::new()), wake: Condvar::new() }),
-        });
+        let shared = Arc::new(Shared::new(backend, config, combining));
         let stop = Arc::new(AtomicBool::new(false));
         let draining = Arc::new(AtomicBool::new(false));
+        let waker = Arc::new(Waker::new().map_err(|e| ServerError::Io(e.to_string()))?);
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let combiner = if combining {
             let shared = Arc::clone(&shared);
@@ -430,9 +492,10 @@ impl<B: CounterBackend + Send + 'static> CounterServer<B> {
             let stop = Arc::clone(&stop);
             let draining = Arc::clone(&draining);
             let conns = Arc::clone(&conns);
+            let waker = Arc::clone(&waker);
             std::thread::Builder::new()
                 .name("distctr-accept".into())
-                .spawn(move || accept_loop(&listener, &shared, &stop, &draining, &conns))
+                .spawn(move || accept_loop(&listener, &shared, &stop, &draining, &conns, &waker))
                 .map_err(|e| ServerError::Io(e.to_string()))?
         };
         Ok(CounterServer {
@@ -443,6 +506,7 @@ impl<B: CounterBackend + Send + 'static> CounterServer<B> {
             accept: Some(accept),
             combiner,
             conns,
+            waker,
         })
     }
 
@@ -489,18 +553,26 @@ impl<B: CounterBackend + Send + 'static> CounterServer<B> {
             return Ok(());
         }
         self.draining.store(true, Ordering::SeqCst);
+        self.waker.wake();
         let grace = self
             .shared
             .as_ref()
             .map_or_else(|| ServerConfig::default().drain_grace, |s| s.config.drain_grace);
         let deadline = Instant::now() + grace;
-        // Wait for connection threads to run dry: each exits once its
-        // socket idles at a frame boundary (PollRead reports EOF under
-        // drain) or after serving its current request.
-        let all_conns_done = |conns: &Arc<Mutex<Vec<JoinHandle<()>>>>| {
-            conns.lock().map_or(true, |c| c.iter().all(JoinHandle::is_finished))
+        // Wait for connections to run dry. Threaded: each connection
+        // thread exits once its socket idles at a frame boundary
+        // (PollRead reports EOF under drain) or after serving its
+        // current request. Readiness: the reactor closes each
+        // connection once its buffered requests are served and its
+        // replies flushed; `active_conns` reaching zero covers both.
+        let all_conns_done = |server: &Self| {
+            let threads_done =
+                server.conns.lock().map_or(true, |c| c.iter().all(JoinHandle::is_finished));
+            let active =
+                server.shared.as_ref().map_or(0, |s| s.active_conns.load(Ordering::SeqCst));
+            threads_done && active == 0
         };
-        while !all_conns_done(&self.conns) && Instant::now() < deadline {
+        while !all_conns_done(self) && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5));
         }
         // Let the combiner flush every queued reply before stopping it.
@@ -540,6 +612,9 @@ impl<B: CounterBackend + Send + 'static> CounterServer<B> {
     /// (the stop flag must already be set).
     fn join_all(&mut self) -> Result<(), ServerError> {
         let mut panicked = false;
+        // The accept/reactor thread may be parked in a readiness wait
+        // with no timeout; the stop flag alone cannot reach it.
+        self.waker.wake();
         if let Some(handle) = self.accept.take() {
             panicked |= handle.join().is_err();
         }
@@ -584,27 +659,139 @@ impl<B: CounterBackend + Send + 'static> Drop for CounterServer<B> {
     }
 }
 
+/// Tokens of the accept loop's two registrations.
+const ACCEPT_TOKEN_LISTENER: usize = 0;
+const ACCEPT_TOKEN_WAKER: usize = 1;
+
+/// The thread-per-connection accept loop, readiness-driven: it parks in
+/// a [`Poller`] wait over the listener and the server's [`Waker`], so a
+/// new connection is accepted the instant it arrives (the historical
+/// version napped [`ServerConfig::poll`] between nonblocking accept
+/// attempts — a 50ms admission-latency floor) and shutdown/drain are
+/// observed via a wakeup instead of the next flag poll.
 fn accept_loop<B: CounterBackend + Send + 'static>(
     listener: &TcpListener,
     shared: &Arc<Shared<B>>,
     stop: &Arc<AtomicBool>,
     draining: &Arc<AtomicBool>,
     conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    waker: &Arc<Waker>,
 ) {
-    let reap = |conns: &Arc<Mutex<Vec<JoinHandle<()>>>>| {
-        if let Ok(mut conns) = conns.lock() {
-            conns.retain(|h| !h.is_finished());
-        }
+    let mut poller = match Poller::new() {
+        Ok(p) => p,
+        Err(_) => return accept_loop_sleeping(listener, shared, stop, draining, conns),
     };
+    if poller.register(listener.as_raw_fd(), ACCEPT_TOKEN_LISTENER, Interest::READ).is_err()
+        || poller.register(waker.fd(), ACCEPT_TOKEN_WAKER, Interest::READ).is_err()
+    {
+        return accept_loop_sleeping(listener, shared, stop, draining, conns);
+    }
+    // The reserve descriptor that lets EMFILE be *answered*; see
+    // `FdReserve`. While exhausted, the listener's interest is parked
+    // for a backoff period so the loop does not spin on a condition
+    // only the kernel can clear.
+    let mut reserve = FdReserve::new();
+    let mut paused_until: Option<Instant> = None;
+    let mut events = Vec::new();
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        // While fd-exhausted, sleep out the rest of the backoff (the
+        // waker still interrupts for shutdown); afterwards re-arm.
+        let timeout = paused_until.map(|t| t.saturating_duration_since(Instant::now()));
+        if let Some(until) = paused_until {
+            if Instant::now() >= until
+                && poller
+                    .modify(listener.as_raw_fd(), ACCEPT_TOKEN_LISTENER, Interest::READ)
+                    .is_ok()
+            {
+                paused_until = None;
+            }
+        }
+        if poller.wait(&mut events, timeout).is_err() {
+            break;
+        }
+        waker.drain();
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        // Accept the whole burst the wakeup announced.
+        loop {
+            match listener.accept() {
+                Ok((mut stream, _)) => {
+                    // Admission control: draining servers and servers at
+                    // their connection cap shed with a Busy hint instead
+                    // of accepting work they will not finish.
+                    let at_cap = shared
+                        .config
+                        .max_conns
+                        .is_some_and(|cap| shared.active_conns.load(Ordering::SeqCst) >= cap);
+                    if draining.load(Ordering::SeqCst) || at_cap {
+                        let _ = write_frame(&mut stream, &shared.busy());
+                        continue;
+                    }
+                    shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                    shared.active_conns.fetch_add(1, Ordering::SeqCst);
+                    let guard = ActiveGuard(Arc::clone(&shared.active_conns));
+                    let shared_conn = Arc::clone(shared);
+                    let stop_flag = Arc::clone(stop);
+                    let drain_flag = Arc::clone(draining);
+                    let spawned =
+                        std::thread::Builder::new().name("distctr-conn".into()).spawn(move || {
+                            let _guard = guard;
+                            handle_conn(stream, &shared_conn, &stop_flag, &drain_flag);
+                        });
+                    if let (Ok(handle), Ok(mut conns)) = (spawned, conns.lock()) {
+                        // Reap finished handles while we are here, so an
+                        // active server never accumulates them.
+                        conns.retain(|h| !h.is_finished());
+                        conns.push(handle);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if is_fd_exhaustion(&e) => {
+                    // Out of descriptors: answer what we can through the
+                    // reserve fd, then back off instead of hot-looping
+                    // on an accept that can only fail again.
+                    shared.stats.accept_errors.fetch_add(1, Ordering::Relaxed);
+                    reserve.shed_one(listener, |s| {
+                        let _ = write_frame(s, &shared.busy());
+                    });
+                    if poller
+                        .modify(listener.as_raw_fd(), ACCEPT_TOKEN_LISTENER, Interest::NONE)
+                        .is_ok()
+                    {
+                        paused_until = Some(Instant::now() + shared.config.busy_retry_after);
+                    }
+                    break;
+                }
+                Err(_) => {
+                    // Transient per-connection failure (ECONNABORTED and
+                    // friends): count it and take the next one.
+                    shared.stats.accept_errors.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Fallback accept loop for the (never expected) case where no poller
+/// can be built: the historical nonblocking-accept-then-nap loop.
+fn accept_loop_sleeping<B: CounterBackend + Send + 'static>(
+    listener: &TcpListener,
+    shared: &Arc<Shared<B>>,
+    stop: &Arc<AtomicBool>,
+    draining: &Arc<AtomicBool>,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
     loop {
         if stop.load(Ordering::SeqCst) {
             break;
         }
         match listener.accept() {
             Ok((mut stream, _)) => {
-                // Admission control: draining servers and servers at
-                // their connection cap shed with a Busy hint instead of
-                // accepting work they will not finish.
                 let at_cap = shared
                     .config
                     .max_conns
@@ -616,27 +803,29 @@ fn accept_loop<B: CounterBackend + Send + 'static>(
                 shared.stats.connections.fetch_add(1, Ordering::Relaxed);
                 shared.active_conns.fetch_add(1, Ordering::SeqCst);
                 let guard = ActiveGuard(Arc::clone(&shared.active_conns));
-                let shared = Arc::clone(shared);
+                let shared_conn = Arc::clone(shared);
                 let stop_flag = Arc::clone(stop);
                 let drain_flag = Arc::clone(draining);
                 let spawned =
                     std::thread::Builder::new().name("distctr-conn".into()).spawn(move || {
                         let _guard = guard;
-                        handle_conn(stream, &shared, &stop_flag, &drain_flag);
+                        handle_conn(stream, &shared_conn, &stop_flag, &drain_flag);
                     });
                 if let (Ok(handle), Ok(mut conns)) = (spawned, conns.lock()) {
-                    // Opportunistic reap on top of the periodic one.
                     conns.retain(|h| !h.is_finished());
                     conns.push(handle);
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                // The idle tick: reap finished connection handles so a
-                // long-idle server does not accumulate them, then nap.
-                reap(conns);
+                if let Ok(mut conns) = conns.lock() {
+                    conns.retain(|h| !h.is_finished());
+                }
                 std::thread::sleep(shared.config.poll);
             }
-            Err(_) => std::thread::sleep(shared.config.poll),
+            Err(_) => {
+                shared.stats.accept_errors.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(shared.config.poll);
+            }
         }
     }
 }
@@ -782,7 +971,7 @@ fn handle_conn<B: CounterBackend + Send + 'static>(
 /// Resolves a handshake into `(session id, session key)`: resume an
 /// existing session (keeping its key and dedup state) or open a fresh
 /// one bound to `key`.
-fn establish<B: CounterBackend + Send + 'static>(
+pub(crate) fn establish<B: CounterBackend + Send + 'static>(
     shared: &Arc<Shared<B>>,
     resume: Option<u64>,
     key: u64,
@@ -803,6 +992,16 @@ fn establish<B: CounterBackend + Send + 'static>(
             Ok((id, key))
         }
     }
+}
+
+/// The processor a session's operations are charged to (0 when the
+/// session vanished — the reply is heading into a dead connection
+/// anyway).
+pub(crate) fn session_processor<B: CounterBackend + Send + 'static>(
+    shared: &Arc<Shared<B>>,
+    session_id: u64,
+) -> u64 {
+    shared.lock_inner().sessions.get(&session_id).map_or(0, |s| s.processor)
 }
 
 /// Writes one reply frame under the connection's writer mutex.
@@ -840,7 +1039,8 @@ fn route_inc<B: CounterBackend + Send + 'static>(
                 // stays exactly-once.
                 send_reply(writer, &shared.busy()).is_ok()
             } else {
-                enqueue_inc(combine, session_id, key, request_id, initiator, writer, inflight)
+                let sink = ReplySink::Threaded { writer: Arc::clone(writer) };
+                enqueue_inc(combine, session_id, key, request_id, initiator, sink, inflight)
             }
         }
         None => {
@@ -853,13 +1053,13 @@ fn route_inc<B: CounterBackend + Send + 'static>(
 /// Enqueues one inc for the combiner thread and returns to the socket
 /// without waiting — a connection can have many incs in flight at once.
 /// Returns `false` only if the queue mutex is poisoned.
-fn enqueue_inc(
+pub(crate) fn enqueue_inc(
     combine: &CombineState,
     session_id: u64,
     key: u64,
     request_id: u64,
     initiator: Option<u64>,
-    writer: &Arc<Mutex<ConnWriter>>,
+    sink: ReplySink,
     inflight: &Arc<AtomicUsize>,
 ) -> bool {
     let Ok(mut q) = combine.queue.lock() else { return false };
@@ -871,7 +1071,7 @@ fn enqueue_inc(
         request_id,
         initiator,
         enqueued_at: Instant::now(),
-        writer: Arc::clone(writer),
+        sink,
         inflight: Arc::clone(inflight),
     });
     drop(q);
@@ -886,7 +1086,7 @@ fn enqueue_inc(
 
 /// The client-visible code for a decode failure, if the transport is
 /// still there to send it on.
-fn wire_err_code(e: &WireError) -> Option<ErrCode> {
+pub(crate) fn wire_err_code(e: &WireError) -> Option<ErrCode> {
     match e {
         WireError::Oversized { .. } => Some(ErrCode::Oversized),
         WireError::UnknownTag(_) => Some(ErrCode::UnknownTag),
@@ -930,7 +1130,7 @@ fn contained<T>(stats: &Counters, f: impl FnOnce() -> Result<T, ()>) -> Result<T
 /// table). A non-default `key` takes the keyed backend path instead:
 /// the backend routes the key and keeps its own migrating reply cache,
 /// with the session answer table in front as the first dedup line.
-fn serve_inc<B: CounterBackend + Send + 'static>(
+pub(crate) fn serve_inc<B: CounterBackend + Send + 'static>(
     shared: &Arc<Shared<B>>,
     session_id: u64,
     key: u64,
@@ -1048,7 +1248,7 @@ fn serve_keyed<B: CounterBackend + Send + 'static>(
 /// Replies are written straight to each waiter's connection, so the
 /// per-inc hot path costs one enqueue and an amortized share of one
 /// traversal, with no per-reply thread handoff.
-fn combiner_loop<B: CounterBackend + Send + 'static>(
+pub(crate) fn combiner_loop<B: CounterBackend + Send + 'static>(
     shared: &Arc<Shared<B>>,
     stop: &Arc<AtomicBool>,
 ) {
@@ -1065,8 +1265,13 @@ fn combiner_loop<B: CounterBackend + Send + 'static>(
                 if stop.load(Ordering::SeqCst) {
                     return;
                 }
-                let Ok((guard, _)) = combine.wake.wait_timeout(q, shared.config.combine_idle)
-                else {
+                // A plain wait, not a timed one: every transition that
+                // matters is paired with a notify (enqueue on the
+                // empty -> non-empty edge, drain's flush loop, and
+                // `join_all` after setting `stop`), so an idle combiner
+                // costs zero wakeups — the historical `combine_idle`
+                // tick burned a futex wake every 25ms per idle server.
+                let Ok(guard) = combine.wake.wait(q) else {
                     return;
                 };
                 q = guard;
@@ -1107,14 +1312,10 @@ fn combine_round<B: CounterBackend + Send + 'static>(
     let deliver =
         |dup: &mut HashMap<(u64, u64), Vec<PendingInc>>, p: &PendingInc, reply: WireMsg| {
             for d in dup.remove(&(p.session_id, p.request_id)).unwrap_or_default() {
-                if let Ok(mut w) = d.writer.lock() {
-                    let _ = w.send(&reply);
-                }
+                d.sink.deliver(&reply);
                 d.inflight.fetch_sub(1, Ordering::SeqCst);
             }
-            if let Ok(mut w) = p.writer.lock() {
-                let _ = w.send(&reply);
-            }
+            p.sink.deliver(&reply);
             p.inflight.fetch_sub(1, Ordering::SeqCst);
         };
     // Validate each waiter and split answered retries from fresh work.
@@ -1218,7 +1419,7 @@ fn combine_round<B: CounterBackend + Send + 'static>(
 /// as [`serve_inc`] — a backend ticket pinned to the request id where
 /// available, the session answer table otherwise. Retries must repeat
 /// the same `count`; the reply echoes it.
-fn serve_batch_inc<B: CounterBackend + Send + 'static>(
+pub(crate) fn serve_batch_inc<B: CounterBackend + Send + 'static>(
     shared: &Arc<Shared<B>>,
     session_id: u64,
     key: u64,
@@ -1289,7 +1490,9 @@ fn serve_batch_inc<B: CounterBackend + Send + 'static>(
     }
 }
 
-fn snapshot<B: CounterBackend + Send + 'static>(shared: &Arc<Shared<B>>) -> StatsSnapshot {
+pub(crate) fn snapshot<B: CounterBackend + Send + 'static>(
+    shared: &Arc<Shared<B>>,
+) -> StatsSnapshot {
     let (processors, sessions, bottleneck, retirements, keyspace) = {
         let inner = shared.lock_inner();
         (
@@ -1316,5 +1519,6 @@ fn snapshot<B: CounterBackend + Send + 'static>(shared: &Arc<Shared<B>>) -> Stat
         promotions: keyspace.promotions,
         demotions: keyspace.demotions,
         migrations_inflight: keyspace.migrations_inflight,
+        accept_errors: shared.stats.accept_errors.load(Ordering::Relaxed),
     }
 }

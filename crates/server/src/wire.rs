@@ -99,6 +99,12 @@ pub struct StatsSnapshot {
     pub demotions: u64,
     /// Keys marked for migration that have not yet settled.
     pub migrations_inflight: u64,
+    /// `accept(2)` failures absorbed by the accept loop — descriptor
+    /// exhaustion (`EMFILE`/`ENFILE`) shed with a [`WireMsg::Busy`] via
+    /// the reserve descriptor, plus transient per-connection errors
+    /// (`ECONNABORTED` and friends). Counted, answered where possible,
+    /// never allowed to wedge the listener.
+    pub accept_errors: u64,
 }
 
 /// One protocol message.
@@ -489,6 +495,7 @@ fn encode_into(msg: &WireMsg, out: &mut Vec<u8>) {
                 s.promotions,
                 s.demotions,
                 s.migrations_inflight,
+                s.accept_errors,
             ] {
                 out.extend_from_slice(&field.to_le_bytes());
             }
@@ -565,6 +572,7 @@ pub fn decode(payload: &[u8]) -> Result<WireMsg, WireError> {
             promotions: cur.u64()?,
             demotions: cur.u64()?,
             migrations_inflight: cur.u64()?,
+            accept_errors: cur.u64()?,
         }),
         TAG_BUSY => WireMsg::Busy { retry_after_ms: cur.u64()? },
         TAG_ERR => WireMsg::Err { code: ErrCode::from_u16(cur.u16()?) },
@@ -616,6 +624,155 @@ impl Cursor<'_> {
     }
 }
 
+// --- sans-io framing for nonblocking transports -----------------------
+//
+// `read_frame`/`write_frame_buf` above assume a blocking stream: they
+// loop until the frame is complete. A readiness loop cannot — a frame
+// routinely arrives torn across several readable events, and a write
+// routinely lands short when the peer's receive window is full. The
+// pair below separates framing from I/O entirely: `try_decode_frame`
+// consumes a byte buffer and says "not yet" without losing its place,
+// and `WriteBuffer` owns the unsent tail so a short write resumes at
+// the exact offset the kernel stopped at.
+
+/// Appends one complete frame (length prefix, CRC-32, payload) for
+/// `msg` to `out` without clearing it — the buffered-write counterpart
+/// of [`write_frame_buf`], producing byte-identical frames.
+pub fn encode_frame_into(msg: &WireMsg, out: &mut Vec<u8>) {
+    let header_at = out.len();
+    // Length-prefix + checksum placeholders, patched once the payload
+    // is assembled.
+    out.extend_from_slice(&[0u8; 8]);
+    encode_into(msg, out);
+    let payload_len = (out.len() - header_at - 8) as u32;
+    debug_assert!(payload_len <= MAX_FRAME);
+    let crc = crc32(&out[header_at + 8..]);
+    out[header_at..header_at + 4].copy_from_slice(&payload_len.to_le_bytes());
+    out[header_at + 4..header_at + 8].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Attempts to decode one frame from the front of `buf`.
+///
+/// Returns `Ok(None)` when `buf` holds only a prefix of a frame (the
+/// caller keeps the bytes and retries after the next readable event),
+/// or `Ok(Some((msg, consumed)))` where `consumed` is the number of
+/// bytes the frame occupied — the caller drains exactly that many and
+/// calls again, because one readable event often delivers several
+/// frames.
+///
+/// # Errors
+///
+/// The same taxonomy as [`read_frame`] for bytes that can never become
+/// a legal frame: [`WireError::Oversized`] and zero-length are rejected
+/// from the 4-byte prefix alone (no need to wait for a payload that
+/// should not exist), [`WireError::Checksum`], [`WireError::UnknownTag`]
+/// and [`WireError::Malformed`] once the payload is complete. Errors
+/// desynchronize the stream; the connection should be dropped.
+pub fn try_decode_frame(buf: &[u8]) -> Result<Option<(WireMsg, usize)>, WireError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().expect("4-byte slice"));
+    if len > MAX_FRAME {
+        return Err(WireError::Oversized { len, max: MAX_FRAME });
+    }
+    if len == 0 {
+        return Err(WireError::Malformed("zero-length payload"));
+    }
+    let total = 8 + len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let expected = u32::from_le_bytes(buf[4..8].try_into().expect("4-byte slice"));
+    let payload = &buf[8..total];
+    let found = crc32(payload);
+    if found != expected {
+        return Err(WireError::Checksum { expected, found });
+    }
+    decode(payload).map(|msg| Some((msg, total)))
+}
+
+/// An outbound frame queue for a nonblocking stream: encoded frames
+/// accumulate here, and [`WriteBuffer::flush_into`] pushes them to the
+/// socket as far as the kernel will take them, remembering the offset
+/// of the first unsent byte so the next writable event resumes exactly
+/// where the short write stopped — never re-sending, never skipping.
+#[derive(Debug, Default)]
+pub struct WriteBuffer {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already accepted by the kernel.
+    sent: usize,
+}
+
+impl WriteBuffer {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> WriteBuffer {
+        WriteBuffer::default()
+    }
+
+    /// Whether every queued byte has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sent == self.buf.len()
+    }
+
+    /// Unsent bytes currently queued — the backpressure signal: a
+    /// connection whose peer stops reading grows this, and the serving
+    /// loop stops reading *from* that peer once it passes a high-water
+    /// mark.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.sent
+    }
+
+    /// Queues one frame behind whatever is already pending.
+    pub fn push(&mut self, msg: &WireMsg) {
+        if self.sent == self.buf.len() {
+            // Fully drained: recycle the allocation.
+            self.buf.clear();
+            self.sent = 0;
+        } else if self.sent > 4096 {
+            // Large consumed prefix: compact so the buffer does not
+            // grow without bound on a slow-reading peer.
+            self.buf.drain(..self.sent);
+            self.sent = 0;
+        }
+        encode_frame_into(msg, &mut self.buf);
+    }
+
+    /// Writes as much of the queue as the stream will take right now.
+    /// Returns `true` when the queue drained completely (the caller
+    /// drops write interest), `false` on a short write or `WouldBlock`
+    /// (the caller keeps write interest and waits for the next writable
+    /// event).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error other than `WouldBlock`/`Interrupted` — the
+    /// connection is broken and should be closed. A `write` returning
+    /// `Ok(0)` is reported as [`ErrorKind::WriteZero`].
+    pub fn flush_into(&mut self, w: &mut impl Write) -> std::io::Result<bool> {
+        while self.sent < self.buf.len() {
+            match w.write(&self.buf[self.sent..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::WriteZero,
+                        "stream accepted zero bytes",
+                    ));
+                }
+                Ok(n) => self.sent += n,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(false),
+                Err(e) => return Err(e),
+            }
+        }
+        self.buf.clear();
+        self.sent = 0;
+        Ok(true)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -664,6 +821,7 @@ mod tests {
             promotions: 3,
             demotions: 1,
             migrations_inflight: 2,
+            accept_errors: 4,
         }));
         round_trip(WireMsg::Busy { retry_after_ms: 50 });
         round_trip(WireMsg::Err { code: ErrCode::UnknownTag });
@@ -795,6 +953,190 @@ mod tests {
     fn bad_option_flag_rejected() {
         let mut r = IoCursor::new(frame_raw(&[0x01, 7]));
         assert_eq!(read_frame(&mut r), Err(WireError::Malformed("option flag must be 0 or 1")));
+    }
+
+    #[test]
+    fn torn_frames_decode_incrementally_at_every_split_point() {
+        // The readiness loop's contract: a frame arriving one byte per
+        // readable event must decode to the same message as the frame
+        // arriving whole, with `Ok(None)` (keep waiting) at every
+        // intermediate prefix.
+        let msg = WireMsg::KeyBatchInc { key: 7, request_id: 11, count: 64, initiator: Some(3) };
+        let mut frame = Vec::new();
+        encode_frame_into(&msg, &mut frame);
+        for split in 0..frame.len() {
+            assert_eq!(
+                try_decode_frame(&frame[..split]).expect("prefix is not an error"),
+                None,
+                "prefix of {split} bytes must ask for more"
+            );
+        }
+        let (decoded, consumed) = try_decode_frame(&frame).expect("whole frame").expect("complete");
+        assert_eq!(decoded, msg);
+        assert_eq!(consumed, frame.len());
+    }
+
+    #[test]
+    fn one_readable_event_can_carry_many_frames() {
+        let msgs = [
+            WireMsg::Inc { request_id: 1, initiator: None },
+            WireMsg::Stats,
+            WireMsg::IncOk { request_id: 1, value: 99 },
+        ];
+        let mut buf = Vec::new();
+        for m in &msgs {
+            encode_frame_into(m, &mut buf);
+        }
+        // Plus a torn prefix of a fourth frame.
+        let mut fourth = Vec::new();
+        encode_frame_into(&WireMsg::Read { key: 5 }, &mut fourth);
+        buf.extend_from_slice(&fourth[..5]);
+
+        let mut at = 0usize;
+        for expected in &msgs {
+            let (msg, consumed) =
+                try_decode_frame(&buf[at..]).expect("decode").expect("complete frame");
+            assert_eq!(&msg, expected);
+            at += consumed;
+        }
+        assert_eq!(try_decode_frame(&buf[at..]).expect("torn tail"), None);
+    }
+
+    #[test]
+    fn try_decode_rejects_what_read_frame_rejects() {
+        // Oversized and zero-length are decided from the prefix alone.
+        let mut oversized = u32::MAX.to_le_bytes().to_vec();
+        oversized.extend_from_slice(&[0u8; 12]);
+        assert_eq!(
+            try_decode_frame(&oversized),
+            Err(WireError::Oversized { len: u32::MAX, max: MAX_FRAME })
+        );
+        assert_eq!(
+            try_decode_frame(&0u32.to_le_bytes()),
+            Err(WireError::Malformed("zero-length payload"))
+        );
+        // Corruption fails the checksum once the payload is complete.
+        let mut frame = Vec::new();
+        encode_frame_into(&WireMsg::IncOk { request_id: 7, value: 1234 }, &mut frame);
+        let last = frame.len() - 1;
+        frame[last] ^= 0x10;
+        assert!(matches!(try_decode_frame(&frame), Err(WireError::Checksum { .. })));
+        // Unknown tags survive the checksum and fail decode.
+        assert_eq!(try_decode_frame(&frame_raw(&[0x7F])), Err(WireError::UnknownTag(0x7F)));
+    }
+
+    #[test]
+    fn encode_frame_into_matches_the_blocking_writer() {
+        let msgs = [
+            WireMsg::Hello { resume: Some(4) },
+            WireMsg::StatsOk(StatsSnapshot::default()),
+            WireMsg::Busy { retry_after_ms: 25 },
+        ];
+        let mut appended = Vec::new();
+        for m in &msgs {
+            encode_frame_into(m, &mut appended);
+        }
+        let mut blocking = Vec::new();
+        for m in &msgs {
+            write_frame(&mut blocking, m).expect("write");
+        }
+        assert_eq!(appended, blocking, "both writers must produce identical bytes");
+    }
+
+    /// A `Write` that accepts at most `cap` bytes per call and yields
+    /// `WouldBlock` every other call — the unflattering model of a
+    /// nonblocking socket under a full send buffer.
+    struct Trickle {
+        out: Vec<u8>,
+        cap: usize,
+        starve: bool,
+    }
+
+    impl Write for Trickle {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.starve = !self.starve;
+            if self.starve {
+                return Err(std::io::Error::new(ErrorKind::WouldBlock, "send buffer full"));
+            }
+            let n = buf.len().min(self.cap);
+            self.out.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn short_writes_resume_at_the_exact_offset() {
+        let msgs = [
+            WireMsg::IncOk { request_id: 1, value: 10 },
+            WireMsg::BatchOk { request_id: 2, first: 11, count: 8 },
+            WireMsg::StatsOk(StatsSnapshot::default()),
+        ];
+        let mut wb = WriteBuffer::new();
+        let mut expected = Vec::new();
+        for m in &msgs {
+            wb.push(m);
+            encode_frame_into(m, &mut expected);
+        }
+        assert_eq!(wb.pending(), expected.len());
+
+        // 3 bytes per successful write, WouldBlock in between: the kind
+        // of stream that tears every frame many times over.
+        let mut sink = Trickle { out: Vec::new(), cap: 3, starve: false };
+        let mut flushes = 0usize;
+        loop {
+            flushes += 1;
+            assert!(flushes < 10_000, "flush loop must terminate");
+            if wb.flush_into(&mut sink).expect("no real I/O errors here") {
+                break;
+            }
+        }
+        assert!(wb.is_empty());
+        assert_eq!(sink.out, expected, "bytes must arrive exactly once, in order");
+        assert!(flushes > 1, "the trickle sink must actually have torn the writes");
+
+        // A queue that drained fully starts clean for the next frame.
+        wb.push(&WireMsg::Busy { retry_after_ms: 5 });
+        let mut fast = Vec::new();
+        assert!(wb.flush_into(&mut fast).expect("plain vec write"));
+        let mut one = Vec::new();
+        encode_frame_into(&WireMsg::Busy { retry_after_ms: 5 }, &mut one);
+        assert_eq!(fast, one);
+    }
+
+    #[test]
+    fn pushing_behind_a_partial_write_keeps_byte_order() {
+        let mut wb = WriteBuffer::new();
+        wb.push(&WireMsg::IncOk { request_id: 1, value: 10 });
+        // Take a few bytes, then queue more behind the unsent tail.
+        let mut sink = Trickle { out: Vec::new(), cap: 5, starve: true };
+        let _ = wb.flush_into(&mut sink).expect("wouldblock or short");
+        let _ = wb.flush_into(&mut sink).expect("wouldblock or short");
+        wb.push(&WireMsg::IncOk { request_id: 2, value: 11 });
+        while !wb.flush_into(&mut sink).expect("no real errors") {}
+        let mut expected = Vec::new();
+        encode_frame_into(&WireMsg::IncOk { request_id: 1, value: 10 }, &mut expected);
+        encode_frame_into(&WireMsg::IncOk { request_id: 2, value: 11 }, &mut expected);
+        assert_eq!(sink.out, expected);
+    }
+
+    #[test]
+    fn write_buffer_compacts_its_consumed_prefix() {
+        let mut wb = WriteBuffer::new();
+        // Enough traffic to cross the 4096-byte compaction threshold
+        // many times; `pending` must track only unsent bytes throughout.
+        let mut sink = Trickle { out: Vec::new(), cap: 64, starve: false };
+        let mut expected = Vec::new();
+        for i in 0..2_000u64 {
+            let m = WireMsg::IncOk { request_id: i, value: i * 3 };
+            wb.push(&m);
+            encode_frame_into(&m, &mut expected);
+            let _ = wb.flush_into(&mut sink).expect("no real errors");
+        }
+        while !wb.flush_into(&mut sink).expect("no real errors") {}
+        assert_eq!(sink.out, expected);
     }
 
     #[test]

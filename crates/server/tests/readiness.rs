@@ -1,0 +1,287 @@
+//! The readiness serving core, observed from outside the service
+//! boundary: the same clients, the same wire protocol, the same
+//! exactly-once story — served by one reactor thread instead of a
+//! thread per connection. Every scenario here runs against
+//! `serve_async`/`serve_async_combining` and asserts behavior the
+//! threaded server already pinned down, plus the properties only the
+//! async path has (admission under `max_conns` without a service
+//! thread, torn-frame reassembly inside the reactor, combining replies
+//! routed through the reply channel).
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use distctr_core::TreeCounter;
+use distctr_net::ThreadedTreeCounter;
+use distctr_server::wire::{encode_frame_into, read_frame, write_frame};
+use distctr_server::{
+    run_load, run_mux, CounterServer, ErrCode, LoadConfig, MuxConfig, RemoteCounter, ServerConfig,
+    WireMsg,
+};
+
+fn tree(n: usize) -> TreeCounter {
+    TreeCounter::new(n).expect("tree")
+}
+
+/// Opens a raw socket and completes the Hello handshake.
+fn raw_hello(addr: SocketAddr) -> (TcpStream, u64) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+    write_frame(&mut stream, &WireMsg::Hello { resume: None }).expect("hello");
+    match read_frame(&mut stream).expect("hello reply") {
+        WireMsg::HelloOk { session, .. } => (stream, session),
+        other => panic!("expected HelloOk, got {other:?}"),
+    }
+}
+
+#[test]
+fn sequential_async_server_serves_real_clients_exactly_once() {
+    let mut server = CounterServer::serve_async(tree(8)).expect("serve");
+    let mut a = RemoteCounter::connect(server.local_addr()).expect("connect");
+    let mut b = RemoteCounter::connect(server.local_addr()).expect("connect");
+    assert_eq!(a.inc().expect("inc"), 0);
+    assert_eq!(b.inc().expect("inc"), 1);
+    assert_eq!(a.inc_batch(5).expect("batch"), 2, "batch grants 2..7");
+    assert_eq!(b.inc().expect("inc"), 7);
+    let stats = server.stats();
+    assert_eq!(stats.ops, 8);
+    assert_eq!(stats.connections, 2);
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn combining_async_server_is_exactly_once_under_concurrent_load() {
+    let mut server = CounterServer::serve_async_combining(tree(8)).expect("serve");
+    let report = run_load(server.local_addr(), &LoadConfig::closed(8, 400)).expect("load");
+    assert_eq!(report.failed, 0);
+    assert!(report.values_are_sequential_from(0), "exactly-once across 8 concurrent conns");
+    let stats = server.stats();
+    assert_eq!(stats.ops, 400);
+    assert!(stats.combined_traversals > 0, "the combiner actually batched");
+    assert!(stats.combined_traversals < 400, "combining coalesced at least some concurrent incs");
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn async_server_hosts_the_threaded_backend_too() {
+    let backend = ThreadedTreeCounter::new(8).expect("threads");
+    let mut server = CounterServer::serve_async_combining(backend).expect("serve");
+    let report = run_load(server.local_addr(), &LoadConfig::closed(4, 64)).expect("load");
+    assert!(report.values_are_sequential_from(0));
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn resume_and_replay_is_exactly_once_on_the_async_path() {
+    let mut server = CounterServer::serve_async(tree(8)).expect("serve");
+    let addr = server.local_addr();
+    let mut client = RemoteCounter::connect(addr).expect("connect");
+    let session = client.session();
+    assert_eq!(client.inc().expect("inc"), 0);
+    // The connection dies with the grant delivered; the client's
+    // reconnect resumes the session and replays the same request id.
+    drop(client);
+    let mut resumed = RemoteCounter::resume(addr, session).expect("resume");
+    assert_eq!(resumed.inc_with_id(0, None).expect("replay"), 0, "replay returns the old grant");
+    assert_eq!(resumed.inc().expect("fresh"), 1, "the replay consumed nothing");
+    assert_eq!(server.stats().deduped, 1);
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn a_frame_trickled_one_byte_at_a_time_is_reassembled() {
+    let mut server = CounterServer::serve_async(tree(8)).expect("serve");
+    let (mut stream, _) = raw_hello(server.local_addr());
+    let mut frame = Vec::new();
+    encode_frame_into(&WireMsg::Inc { request_id: 0, initiator: None }, &mut frame);
+    // Each byte is its own TCP segment, microseconds apart: the reactor
+    // sees up to `frame.len()` separate readable events, buffering the
+    // torn prefix until the frame completes.
+    for byte in frame {
+        stream.write_all(&[byte]).expect("trickle byte");
+        stream.flush().expect("flush");
+        std::thread::sleep(Duration::from_micros(300));
+    }
+    match read_frame(&mut stream).expect("reply") {
+        WireMsg::IncOk { request_id: 0, value: 0 } => {}
+        other => panic!("expected IncOk(0, 0), got {other:?}"),
+    }
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn pipelined_requests_in_one_write_all_get_answers() {
+    let mut server = CounterServer::serve_async_combining(tree(8)).expect("serve");
+    let (mut stream, _) = raw_hello(server.local_addr());
+    // 50 Incs in a single write: one readable event carries many
+    // frames, and the replies queue behind one write buffer.
+    let mut burst = Vec::new();
+    for request_id in 0..50 {
+        encode_frame_into(&WireMsg::Inc { request_id, initiator: None }, &mut burst);
+    }
+    stream.write_all(&burst).expect("burst");
+    let mut values: Vec<u64> = (0..50)
+        .map(|_| match read_frame(&mut stream).expect("reply") {
+            WireMsg::IncOk { value, .. } => value,
+            other => panic!("expected IncOk, got {other:?}"),
+        })
+        .collect();
+    values.sort_unstable();
+    assert_eq!(values, (0..50).collect::<Vec<u64>>(), "every pipelined inc got its own value");
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn garbage_after_the_handshake_gets_a_typed_error_and_the_server_survives() {
+    let mut server = CounterServer::serve_async(tree(8)).expect("serve");
+    let (mut stream, _) = raw_hello(server.local_addr());
+    // A frame with an unknown tag: length 1, valid CRC over tag 0x7F.
+    let crc = distctr_server::wire::crc32(&[0x7F]);
+    stream.write_all(&1u32.to_le_bytes()).expect("len");
+    stream.write_all(&crc.to_le_bytes()).expect("crc");
+    stream.write_all(&[0x7F]).expect("tag");
+    match read_frame(&mut stream).expect("reply") {
+        WireMsg::Err { code: ErrCode::UnknownTag } => {}
+        other => panic!("expected Err(UnknownTag), got {other:?}"),
+    }
+    // The connection is closed after the error frame...
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).expect("eof");
+    assert!(rest.is_empty());
+    // ...and the server keeps serving fresh connections exactly-once.
+    let mut fresh = RemoteCounter::connect(server.local_addr()).expect("fresh");
+    assert_eq!(fresh.inc().expect("inc"), 0);
+    assert_eq!(server.stats().wire_errors, 1);
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn an_inc_before_hello_is_a_bad_handshake() {
+    let mut server = CounterServer::serve_async(tree(8)).expect("serve");
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+    write_frame(&mut stream, &WireMsg::Inc { request_id: 0, initiator: None }).expect("inc");
+    match read_frame(&mut stream).expect("reply") {
+        WireMsg::Err { code: ErrCode::BadHandshake } => {}
+        other => panic!("expected Err(BadHandshake), got {other:?}"),
+    }
+    assert_eq!(server.stats().ops, 0, "nothing was counted");
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn max_conns_sheds_with_busy_on_the_async_path() {
+    let config = ServerConfig { max_conns: Some(2), ..ServerConfig::default() };
+    let mut server = CounterServer::serve_async_with(tree(8), config).expect("serve");
+    let addr = server.local_addr();
+    let (_a, _) = raw_hello(addr);
+    let (_b, _) = raw_hello(addr);
+    // The third connection is answered Busy and closed, without a
+    // session and without a thread.
+    let mut third = TcpStream::connect(addr).expect("connect");
+    third.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+    match read_frame(&mut third).expect("busy frame") {
+        WireMsg::Busy { retry_after_ms } => assert!(retry_after_ms > 0),
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    assert_eq!(server.stats().shed, 1);
+    // Dropping one admitted connection frees a slot.
+    drop(_a);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        if let Ok(mut c) = RemoteCounter::connect(addr) {
+            if c.inc().is_ok() {
+                break;
+            }
+        }
+        assert!(Instant::now() < deadline, "slot never freed after a close");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn max_inflight_sheds_excess_pipelined_incs_without_losing_count() {
+    let config = ServerConfig { max_inflight_per_conn: Some(4), ..ServerConfig::default() };
+    let mut server = CounterServer::serve_async_combining_with(tree(8), config).expect("serve");
+    let (mut stream, _) = raw_hello(server.local_addr());
+    let mut burst = Vec::new();
+    for request_id in 0..64 {
+        encode_frame_into(&WireMsg::Inc { request_id, initiator: None }, &mut burst);
+    }
+    stream.write_all(&burst).expect("burst");
+    let mut acked = 0u64;
+    let mut busied = 0u64;
+    for _ in 0..64 {
+        match read_frame(&mut stream).expect("reply") {
+            WireMsg::IncOk { .. } => acked += 1,
+            WireMsg::Busy { .. } => busied += 1,
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    assert_eq!(acked + busied, 64, "every request got exactly one answer");
+    assert!(busied > 0, "the cap actually shed");
+    assert_eq!(server.stats().ops, acked, "shed requests consumed nothing");
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn drain_completes_buffered_work_then_refuses_new_connections() {
+    let mut server = CounterServer::serve_async_combining(tree(8)).expect("serve");
+    let addr = server.local_addr();
+    let (mut stream, _) = raw_hello(addr);
+    // Work already on the wire when drain begins must still be served.
+    let mut burst = Vec::new();
+    for request_id in 0..20 {
+        encode_frame_into(&WireMsg::Inc { request_id, initiator: None }, &mut burst);
+    }
+    stream.write_all(&burst).expect("burst");
+    let mut values: Vec<u64> = (0..20)
+        .map(|_| match read_frame(&mut stream).expect("reply") {
+            WireMsg::IncOk { value, .. } => value,
+            other => panic!("expected IncOk, got {other:?}"),
+        })
+        .collect();
+    server.drain().expect("drain");
+    values.sort_unstable();
+    assert_eq!(values, (0..20).collect::<Vec<u64>>(), "drain lost an acked value");
+    // The drained connection was closed at a frame boundary.
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).expect("eof");
+    assert!(rest.is_empty(), "no torn bytes after the drain close");
+    assert!(RemoteCounter::connect(addr).is_err(), "a drained server admits nobody");
+}
+
+#[test]
+fn stats_and_reads_are_served_inline_by_the_reactor() {
+    let mut server = CounterServer::serve_async(tree(8)).expect("serve");
+    let mut client = RemoteCounter::connect(server.local_addr()).expect("connect");
+    assert_eq!(client.inc().expect("inc"), 0);
+    let stats = client.stats().expect("stats over the wire");
+    assert_eq!(stats.ops, 1);
+    assert_eq!(stats.connections, 1);
+    assert_eq!(stats.accept_errors, 0);
+    // A single-counter backend rejects reads with NoSuchKey, same as
+    // the threaded path.
+    assert!(client.read(0).is_err());
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn the_mux_driver_sustains_hundreds_of_conns_on_one_thread_each_side() {
+    // A smoke-sized C10k shape: 256 concurrent connections, one client
+    // thread, one reactor thread. (The full 10k run is experiment E27,
+    // which splits client and server across processes to stay inside
+    // RLIMIT_NOFILE.)
+    let mut server = CounterServer::serve_async_combining(tree(8)).expect("serve");
+    let cfg = MuxConfig::open(256, 2048, 20_000.0).with_ramp(Duration::from_millis(100));
+    let report = run_mux(server.local_addr(), &cfg).expect("mux");
+    assert_eq!(report.failed, 0, "no op failed at smoke load");
+    assert!(report.values_are_sequential_from(0), "exactly-once at 256 conns");
+    assert_eq!(report.per_conn.len(), 256);
+    let stats = server.stats();
+    assert_eq!(stats.ops, 2048);
+    assert_eq!(stats.connections, 256);
+    server.shutdown().expect("shutdown");
+}

@@ -36,6 +36,7 @@ fn arbitrary_msg(rng: &mut StdRng) -> WireMsg {
             combined_traversals: rng.gen(),
             shed: rng.gen(),
             panics_contained: rng.gen(),
+            accept_errors: rng.gen(),
             bottleneck: rng.gen(),
             retirements: rng.gen(),
             keys_hosted: rng.gen(),

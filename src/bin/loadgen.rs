@@ -11,7 +11,16 @@
 //! cargo run --release --bin loadgen -- --n 81 --conns 16 --ops 2000
 //! cargo run --release --bin loadgen -- --n 81 --conns 8 --ops 2000 --open 4000
 //! cargo run --release --bin loadgen -- --n 8 --conns 32 --ops 3200 --combine
+//! cargo run --release --bin loadgen -- --n 8 --reactor --mux --conns 5000 \
+//!     --ops 50000 --open 20000 --ramp 2500 --combine
 //! ```
+//!
+//! `--reactor` serves the hosted backend through the readiness-based
+//! async core (one reactor thread for every connection) instead of a
+//! thread per connection. `--mux` drives the load through the
+//! multiplexed open-loop client (one thread, one poller, per-connection
+//! buffers reused across operations) — the C10k shape on both sides of
+//! the socket; `--ramp MS` spreads the connection storm over a window.
 
 #![forbid(unsafe_code)]
 
@@ -21,7 +30,7 @@ use std::process::ExitCode;
 use distctr::analysis::Table;
 use distctr::keyspace::KeyspaceConfig;
 use distctr::net::ThreadedTreeCounter;
-use distctr::server::{run_load, CounterServer, LoadConfig};
+use distctr::server::{run_load, run_mux, CounterServer, LoadConfig, LoadReport, MuxConfig};
 
 struct Args {
     /// Processors in the hosted tree (ignored with `--addr`).
@@ -50,10 +59,19 @@ struct Args {
     keys: usize,
     /// Zipf skew exponent for the key mix.
     zipf: f64,
+    /// Serve the hosted backend through the readiness (async) core.
+    reactor: bool,
+    /// Drive with the multiplexed one-thread client instead of a
+    /// thread per connection. Requires `--open` (the mux driver is
+    /// open-loop only) and is incompatible with `--keys`.
+    mux: bool,
+    /// Connection ramp window for `--mux`, in milliseconds.
+    ramp_ms: Option<u64>,
 }
 
 const USAGE: &str = "usage: loadgen [--n N] [--conns C] [--ops OPS] [--open RATE] \
-                     [--addr HOST:PORT] [--cache CAP] [--combine] \
+                     [--addr HOST:PORT] [--cache CAP] [--combine] [--reactor] \
+                     [--mux] [--ramp MS] \
                      [--backend net|sim|shm-tree|shm-network|shm-central] [--sim] \
                      [--keys N] [--zipf S]";
 
@@ -73,6 +91,9 @@ fn parse_args() -> Result<Args, String> {
         combine: false,
         keys: 0,
         zipf: 1.2,
+        reactor: false,
+        mux: false,
+        ramp_ms: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -98,6 +119,11 @@ fn parse_args() -> Result<Args, String> {
             // Back-compat alias for `--backend sim`.
             "--sim" => args.backend = "sim".to_string(),
             "--combine" => args.combine = true,
+            "--reactor" => args.reactor = true,
+            "--mux" => args.mux = true,
+            "--ramp" => {
+                args.ramp_ms = Some(value("--ramp")?.parse().map_err(|e| format!("--ramp: {e}"))?);
+            }
             "--keys" => {
                 args.keys = value("--keys")?.parse().map_err(|e| format!("--keys: {e}"))?;
             }
@@ -113,6 +139,12 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.conns == 0 || args.ops == 0 {
         return Err("--conns and --ops must be positive".into());
+    }
+    if args.mux && args.open.is_none() {
+        return Err(format!("--mux is open-loop only; give it a rate with --open\n{USAGE}"));
+    }
+    if args.mux && args.keys > 0 {
+        return Err(format!("--mux drives the unkeyed default counter only\n{USAGE}"));
     }
     Ok(args)
 }
@@ -153,7 +185,7 @@ fn run(args: &Args) -> Result<bool, Box<dyn std::error::Error>> {
     // Host a server in-process unless pointed at an external one.
     if let Some(addr) = args.addr {
         banner(args, "external", addr);
-        let report = run_load(addr, &cfg)?;
+        let report = drive(addr, args, &cfg)?;
         println!("\n{}", report.render());
         Ok(true)
     } else if args.keys > 0 {
@@ -191,6 +223,25 @@ fn run(args: &Args) -> Result<bool, Box<dyn std::error::Error>> {
     }
 }
 
+/// Drives the configured load — the thread-per-connection harness, or
+/// the multiplexed one-thread driver under `--mux`.
+fn drive(
+    addr: SocketAddr,
+    args: &Args,
+    cfg: &LoadConfig,
+) -> Result<LoadReport, Box<dyn std::error::Error>> {
+    if args.mux {
+        let rate = args.open.expect("--mux requires --open (validated at parse)");
+        let mut mux = MuxConfig::open(args.conns, args.ops, rate);
+        if let Some(ms) = args.ramp_ms {
+            mux = mux.with_ramp(std::time::Duration::from_millis(ms));
+        }
+        Ok(run_mux(addr, &mux)?)
+    } else {
+        Ok(run_load(addr, cfg)?)
+    }
+}
+
 fn banner(args: &Args, backend_name: &str, addr: SocketAddr) {
     let mut mode = match args.open {
         Some(rate) => format!("open loop @ {rate:.0} ops/s"),
@@ -198,6 +249,12 @@ fn banner(args: &Args, backend_name: &str, addr: SocketAddr) {
     };
     if args.combine {
         mode.push_str(", combining");
+    }
+    if args.reactor {
+        mode.push_str(", reactor-served");
+    }
+    if args.mux {
+        mode.push_str(", mux-driven");
     }
     if args.keys > 0 {
         mode.push_str(&format!(", {} keys zipf {:.2}", args.keys, args.zipf));
@@ -217,14 +274,15 @@ fn hosted_run<B>(
 where
     B: distctr::core::CounterBackend + Send + 'static,
 {
-    let mut server = if args.combine {
-        CounterServer::serve_combining(backend)?
-    } else {
-        CounterServer::serve(backend)?
+    let mut server = match (args.reactor, args.combine) {
+        (true, true) => CounterServer::serve_async_combining(backend)?,
+        (true, false) => CounterServer::serve_async(backend)?,
+        (false, true) => CounterServer::serve_combining(backend)?,
+        (false, false) => CounterServer::serve(backend)?,
     };
     banner(args, backend_name, server.local_addr());
 
-    let report = run_load(server.local_addr(), cfg)?;
+    let report = drive(server.local_addr(), args, cfg)?;
     println!("\n{}", report.render());
 
     // Fresh server, so the values must be exactly sequential — per key
@@ -253,6 +311,7 @@ where
     t.row(vec!["retries deduped".into(), stats.deduped.to_string()]);
     t.row(vec!["wire errors".into(), stats.wire_errors.to_string()]);
     t.row(vec!["combined traversals".into(), stats.combined_traversals.to_string()]);
+    t.row(vec!["accept errors".into(), stats.accept_errors.to_string()]);
     t.row(vec!["bottleneck (max msg load)".into(), stats.bottleneck.to_string()]);
     t.row(vec!["retirements".into(), stats.retirements.to_string()]);
     t.row(vec!["keys hosted".into(), stats.keys_hosted.to_string()]);
